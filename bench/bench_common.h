@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure benchmark harnesses: building
+ * named target accelerators, running the full compile/schedule/
+ * simulate pipeline, and the "manually tuned" oracle of Fig. 10.
+ */
+
+#ifndef DSA_BENCH_BENCH_COMMON_H
+#define DSA_BENCH_BENCH_COMMON_H
+
+#include <cmath>
+#include <string>
+
+#include "adg/prebuilt.h"
+#include "compiler/compile.h"
+#include "mapper/scheduler.h"
+#include "model/host_model.h"
+#include "model/perf_model.h"
+#include "sim/simulator.h"
+#include "workloads/workload.h"
+
+namespace dsa::bench {
+
+/** Build a Fig. 10 target accelerator by name (large-enough sizing). */
+inline adg::Adg
+buildTarget(const std::string &name)
+{
+    if (name == "softbrain")
+        return adg::buildSoftbrain(5, 5);
+    if (name == "maeri")
+        return adg::buildMaeri(16);
+    if (name == "triggered")
+        return adg::buildTriggered(4, 4);
+    if (name == "spu")
+        return adg::buildSpu(5, 5);
+    if (name == "revel")
+        return adg::buildRevel(4, 4);
+    return adg::buildDseInitial();
+}
+
+/** Outcome of one compile+schedule+simulate pipeline run. */
+struct PipelineResult
+{
+    bool ok = false;
+    std::string error;
+    int64_t simCycles = 0;
+    double estCycles = 0;
+    double hostCycles = 0;
+    int unroll = 1;
+};
+
+/**
+ * Run the full flow for @p w on @p hw, trying every unroll version and
+ * keeping the best *simulated* one (as the paper's compiler selects by
+ * estimated performance, then reports simulation).
+ */
+inline PipelineResult
+runPipeline(const workloads::Workload &w, const adg::Adg &hw,
+            int schedIters, const compiler::CompileOptions &copts = {},
+            const mapper::SchedOptions &schedBase = {},
+            const sim::SimOptions &simOpts = {})
+{
+    PipelineResult best;
+    auto golden = workloads::runGolden(w);
+    best.hostCycles = model::estimateHostCycles(golden.stats);
+    auto features = compiler::HwFeatures::fromAdg(hw);
+    auto placement = compiler::Placement::autoLayout(w.kernel, features);
+
+    for (int u : copts.unrollFactors) {
+        auto lowered =
+            compiler::lowerKernel(w.kernel, placement, features, copts, u);
+        if (!lowered.ok) {
+            if (best.error.empty())
+                best.error = lowered.error;
+            continue;
+        }
+        mapper::SchedOptions so = schedBase;
+        so.maxIters = schedIters;
+        auto sched =
+            mapper::scheduleProgram(lowered.version.program, hw, so);
+        if (!sched.cost.legal())
+            continue;
+        auto est = model::estimatePerformance(lowered.version.program,
+                                              sched, hw);
+        auto img =
+            sim::MemImage::build(w.kernel, golden.initial, placement);
+        auto res =
+            sim::simulate(lowered.version.program, sched, hw, img,
+                          simOpts);
+        if (!res.ok)
+            continue;
+        ir::ArrayStore out = golden.initial;
+        img.extract(w.kernel, placement, out);
+        if (!workloads::checkOutputs(w, golden.final, out).empty())
+            continue;
+        if (!best.ok || res.cycles < best.simCycles) {
+            best.ok = true;
+            best.simCycles = res.cycles;
+            best.estCycles = est.cycles;
+            best.unroll = u;
+        }
+    }
+    return best;
+}
+
+/**
+ * The "manually tuned" oracle (see DESIGN.md §1): the same target
+ * hardware driven as an expert would — a much larger scheduling
+ * budget, hand-scheduled command code (lower per-command overhead),
+ * and tighter scalar fallback loops.
+ */
+inline PipelineResult
+runManualOracle(const workloads::Workload &w, adg::Adg hw, int schedIters)
+{
+    hw.control().cmdLatency = 1;
+    hw.control().cmdIssueIpc = 4.0;
+    sim::SimOptions simOpts;
+    simOpts.scalarElementInterval = 2;
+    mapper::SchedOptions so;
+    so.seed = 101;
+    return runPipeline(w, hw, std::min(6000, schedIters * 4), {}, so,
+                       simOpts);
+}
+
+/**
+ * Scheduling budget per workload: kernels that pack the fabric tightly
+ * (or straddle the static/dynamic protocol boundary) need a longer
+ * stochastic search, mirroring the paper's observation that spatial
+ * scheduling is the slow step.
+ */
+inline int
+schedBudgetFor(const std::string &workload)
+{
+    if (workload == "fft")
+        return 4000;
+    if (workload == "md" || workload == "stencil-2d" ||
+        workload == "conv")
+        return 2500;
+    if (workload == "qr" || workload == "chol" ||
+        workload == "sparse-cnn" || workload == "stencil-3d")
+        return 1500;
+    return 1000;
+}
+
+inline double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0;
+    double s = 0;
+    for (double x : xs)
+        s += std::log(std::max(1e-12, x));
+    return std::exp(s / static_cast<double>(xs.size()));
+}
+
+} // namespace dsa::bench
+
+#endif // DSA_BENCH_BENCH_COMMON_H

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fig. 11: schedule repair versus full re-mapping during DSE. Both
+ * strategies run the same exploration on the MachSuite set with the
+ * same per-step scheduling budget; the repairing scheduler keeps prior
+ * mappings alive as the hardware tightens, so its objective stays
+ * ahead (the paper reports ~1.3x better final objective).
+ */
+
+#include <cstdio>
+
+#include "base/table.h"
+#include "bench/bench_common.h"
+#include "dse/explorer.h"
+
+using namespace dsa;
+
+int
+main()
+{
+    std::printf("== Fig. 11: Repair vs Re-Mapping during DSE ==\n\n");
+    dse::DseOptions base;
+    base.maxIters = 260;
+    base.noImproveExit = 240;
+    base.schedIters = 30;
+    base.unrollFactors = {1, 4};
+    base.seed = 21;
+
+    auto workloadSet = workloads::suiteWorkloads("MachSuite");
+    std::vector<dse::DseResult> results;
+    for (bool repair : {true, false}) {
+        dse::DseOptions opts = base;
+        opts.useRepair = repair;
+        dse::Explorer ex(workloadSet, opts);
+        results.push_back(ex.run(adg::buildDseInitial()));
+    }
+    const auto &rep = results[0];
+    const auto &rem = results[1];
+
+    // Objective trajectory (best-so-far), sampled every 20 iterations.
+    Table t({"iteration", "repair objective", "re-map objective"});
+    auto bestAt = [](const dse::DseResult &r, int iter) {
+        double best = 0;
+        for (const auto &h : r.history)
+            if (h.iter <= iter && h.accepted)
+                best = std::max(best, h.objective);
+        return best;
+    };
+    for (int it = 0; it < base.maxIters; it += 20)
+        t.addRow({std::to_string(it), Table::fmt(bestAt(rep, it), 3),
+                  Table::fmt(bestAt(rem, it), 3)});
+    t.print();
+
+    std::printf("\nfinal objective:  repair=%.3f  re-map=%.3f  "
+                "ratio=%.2fx (paper: ~1.3x)\n",
+                rep.bestObjective, rem.bestObjective,
+                rep.bestObjective / std::max(1e-9, rem.bestObjective));
+    return 0;
+}

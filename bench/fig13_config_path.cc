@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fig. 13: configuration-path length versus the ideal. Mesh fabrics
+ * from 2x2 to 5x5 PEs under 3, 6, and 9 configuration paths; the ideal
+ * longest path is ceil(n/p) for n nodes. The paper's generator comes
+ * within a mean 1.4x of ideal.
+ */
+
+#include <cstdio>
+
+#include "adg/builders.h"
+#include "base/table.h"
+#include "hwgen/config_path.h"
+
+using namespace dsa;
+
+int
+main()
+{
+    std::printf("== Fig. 13: Configuration Path Length "
+                "(gray: ideal, black: generated) ==\n\n");
+    Table t({"mesh", "nodes", "paths", "ideal", "generated", "ratio"});
+    double ratioSum = 0;
+    int count = 0;
+    for (int dim = 2; dim <= 5; ++dim) {
+        adg::MeshConfig cfg;
+        cfg.rows = dim;
+        cfg.cols = dim;
+        adg::Adg g = buildMesh(cfg);
+        int n = static_cast<int>(g.aliveNodes().size());
+        for (int p : {3, 6, 9}) {
+            auto set = hwgen::generateConfigPaths(g, p, 400, 17);
+            std::string problem = hwgen::validateConfigPaths(g, set);
+            if (!problem.empty()) {
+                t.addRow({std::to_string(dim) + "x" + std::to_string(dim),
+                          std::to_string(n), std::to_string(p), "-",
+                          "INVALID: " + problem, "-"});
+                continue;
+            }
+            int ideal = (n + p - 1) / p;
+            double ratio =
+                static_cast<double>(set.maxLength()) / ideal;
+            ratioSum += ratio;
+            ++count;
+            t.addRow({std::to_string(dim) + "x" + std::to_string(dim),
+                      std::to_string(n), std::to_string(p),
+                      std::to_string(ideal),
+                      std::to_string(set.maxLength()),
+                      Table::fmt(ratio, 2)});
+        }
+    }
+    t.print();
+    std::printf("\nmean generated/ideal: %.2fx (paper: ~1.4x)\n",
+                ratioSum / std::max(1, count));
+    return 0;
+}

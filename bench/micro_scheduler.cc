@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark): spatial-scheduler throughput —
+ * from-scratch mapping vs repair after an incremental hardware change
+ * (the mechanism that makes each DSE step cheap, §V-A).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+using namespace dsa;
+
+namespace {
+
+struct Fixture
+{
+    adg::Adg hw = adg::buildDseInitial();
+    dfg::DecoupledProgram prog;
+    mapper::Schedule seed;
+
+    explicit Fixture(const std::string &workload)
+    {
+        auto features = compiler::HwFeatures::fromAdg(hw);
+        const auto &w = workloads::workload(workload);
+        auto placement =
+            compiler::Placement::autoLayout(w.kernel, features);
+        auto r = compiler::lowerKernel(w.kernel, placement, features, {},
+                                       1);
+        prog = r.version.program;
+        seed = mapper::scheduleProgram(prog, hw,
+                                       {.maxIters = 600, .seed = 3});
+    }
+};
+
+void
+BM_ScheduleFromScratch(benchmark::State &state,
+                       const std::string &workload)
+{
+    Fixture f(workload);
+    uint64_t seed = 1;
+    for (auto _ : state) {
+        auto s = mapper::scheduleProgram(f.prog, f.hw,
+                                         {.maxIters = 100, .seed = seed++});
+        benchmark::DoNotOptimize(s.cost.scalar());
+    }
+}
+
+void
+BM_ScheduleRepair(benchmark::State &state, const std::string &workload)
+{
+    Fixture f(workload);
+    // Remove one PE so the repair has real (but small) work to do.
+    adg::Adg mutated = f.hw;
+    adg::NodeId victim = adg::kInvalidNode;
+    for (const auto &vx : f.prog.regions[0].dfg.vertices())
+        if (vx.kind == dfg::VertexKind::Instruction)
+            victim = f.seed.regions[0].vertexMap[vx.id];
+    if (victim != adg::kInvalidNode)
+        mutated.removeNode(victim);
+    for (auto _ : state) {
+        mapper::SpatialScheduler sch(f.prog, mutated,
+                                     {.maxIters = 100, .seed = 5});
+        auto s = sch.run(&f.seed);
+        benchmark::DoNotOptimize(s.cost.scalar());
+    }
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_ScheduleFromScratch, crs, std::string("crs"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ScheduleFromScratch, mm, std::string("mm"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ScheduleFromScratch, conv, std::string("conv"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ScheduleRepair, crs, std::string("crs"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ScheduleRepair, mm, std::string("mm"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ScheduleRepair, conv, std::string("conv"))
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark): cycle-level simulator
+ * throughput (simulated cycles per wall second) on representative
+ * kernels, plus interpreter (golden-model) throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+using namespace dsa;
+
+namespace {
+
+struct SimFixture
+{
+    adg::Adg hw = adg::buildDseInitial();
+    const workloads::Workload &w;
+    workloads::GoldenRun golden;
+    compiler::Placement placement;
+    dfg::DecoupledProgram prog;
+    mapper::Schedule sched;
+    bool ready = false;
+
+    explicit SimFixture(const std::string &name)
+        : w(workloads::workload(name)), golden(workloads::runGolden(w)),
+          placement(compiler::Placement::autoLayout(
+              w.kernel, compiler::HwFeatures::fromAdg(hw)))
+    {
+        auto features = compiler::HwFeatures::fromAdg(hw);
+        auto r = compiler::lowerKernel(w.kernel, placement, features, {},
+                                       1);
+        if (!r.ok)
+            return;
+        prog = r.version.program;
+        sched = mapper::scheduleProgram(prog, hw,
+                                        {.maxIters = 800, .seed = 3});
+        ready = sched.cost.legal();
+    }
+};
+
+void
+BM_Simulate(benchmark::State &state, const std::string &name)
+{
+    SimFixture f(name);
+    if (!f.ready) {
+        state.SkipWithError("schedule illegal");
+        return;
+    }
+    int64_t cycles = 0;
+    for (auto _ : state) {
+        auto img = sim::MemImage::build(f.w.kernel, f.golden.initial,
+                                        f.placement);
+        auto res = sim::simulate(f.prog, f.sched, f.hw, img);
+        cycles += res.cycles;
+        benchmark::DoNotOptimize(res.cycles);
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+
+void
+BM_Interpret(benchmark::State &state, const std::string &name)
+{
+    const auto &w = workloads::workload(name);
+    auto golden = workloads::runGolden(w);
+    for (auto _ : state) {
+        ir::ArrayStore st = golden.initial;
+        auto stats = ir::interpret(w.kernel, st);
+        benchmark::DoNotOptimize(stats.arithOps);
+    }
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_Simulate, crs, std::string("crs"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Simulate, histogram, std::string("histogram"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Simulate, classifier, std::string("classifier"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Interpret, mm, std::string("mm"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Interpret, fft, std::string("fft"))
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

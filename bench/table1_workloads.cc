@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Table I: workload specification. Prints each kernel's suite, data
+ * size, and measured dynamic characteristics from the golden run,
+ * plus the lowered-program shape (regions, streams, instructions).
+ */
+
+#include <cstdio>
+
+#include "base/table.h"
+#include "bench/bench_common.h"
+
+using namespace dsa;
+
+int
+main()
+{
+    std::printf("== Table I: Workload Specification ==\n\n");
+    Table t({"workload", "suite", "arrays (elems)", "dyn ops", "loads",
+             "stores", "regions", "streams", "insts", "fig10 target"});
+    adg::Adg hw = adg::buildDseInitial();
+    auto features = compiler::HwFeatures::fromAdg(hw);
+    for (const auto &w : workloads::allWorkloads()) {
+        auto golden = workloads::runGolden(w);
+        int64_t elems = 0;
+        for (const auto &a : w.kernel.arrays)
+            elems += a.length;
+        auto placement =
+            compiler::Placement::autoLayout(w.kernel, features);
+        auto r = compiler::lowerKernel(w.kernel, placement, features, {},
+                                       1);
+        int streams = 0, insts = 0;
+        size_t regions = 0;
+        if (r.ok) {
+            regions = r.version.program.regions.size();
+            for (const auto &reg : r.version.program.regions) {
+                streams += static_cast<int>(reg.streams.size());
+                insts += reg.dfg.numInstructions();
+            }
+        }
+        t.addRow({w.name, w.suite, std::to_string(elems),
+                  std::to_string(golden.stats.arithOps),
+                  std::to_string(golden.stats.loads),
+                  std::to_string(golden.stats.stores),
+                  std::to_string(regions), std::to_string(streams),
+                  std::to_string(insts), w.fig10Target});
+    }
+    t.print();
+    return 0;
+}

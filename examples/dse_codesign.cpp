@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Hardware/software co-design walkthrough: run the design-space
+ * explorer on a workload set of your choice (default: the DenseNN
+ * kernels), watch the objective evolve, and inspect what hardware the
+ * explorer settled on — which features survived pruning, what the
+ * fabric looks like, and how much area/power the specialization saved.
+ *
+ * Usage: dse_codesign [suite] [iterations]
+ *   suite: MachSuite | Sparse | Dsp | PolyBench | DenseNN | SparseCNN
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "adg/prebuilt.h"
+#include "base/table.h"
+#include "dse/explorer.h"
+#include "model/regression.h"
+
+using namespace dsa;
+
+int
+main(int argc, char **argv)
+{
+    std::string suite = argc > 1 ? argv[1] : "DenseNN";
+    int iters = argc > 2 ? std::atoi(argv[2]) : 250;
+
+    auto set = workloads::suiteWorkloads(suite);
+    if (set.empty()) {
+        std::fprintf(stderr, "unknown suite '%s'\n", suite.c_str());
+        return 1;
+    }
+    std::printf("co-designing an accelerator for the %s set (%zu "
+                "kernels, %d DSE iterations)\n\n",
+                suite.c_str(), set.size(), iters);
+
+    dse::DseOptions opts;
+    opts.maxIters = iters;
+    opts.noImproveExit = iters;
+    opts.schedIters = 40;
+    opts.unrollFactors = {1, 4};
+    opts.seed = 7;
+    dse::Explorer explorer(set, opts);
+    auto res = explorer.run(adg::buildDseInitial());
+
+    Table trace({"iteration", "area mm^2", "power mW", "perf",
+                 "objective"});
+    int step = std::max<size_t>(1, res.history.size() / 12);
+    for (size_t i = 0; i < res.history.size(); i += step) {
+        const auto &h = res.history[i];
+        if (!h.accepted)
+            continue;
+        trace.addRow({std::to_string(h.iter), Table::fmt(h.areaMm2, 3),
+                      Table::fmt(h.powerMw, 1), Table::fmt(h.perf, 2),
+                      Table::fmt(h.objective, 3)});
+    }
+    trace.print();
+
+    auto st = res.best.stats();
+    std::printf("\nfinal design: %d PEs (%d dynamic, %d shared), %d "
+                "switches, %d syncs, %d edges\n",
+                st.numPes, st.numDynamicPes, st.numSharedPes,
+                st.numSwitches, st.numSyncs, st.numEdges);
+    bool indirect = false, atomic = false;
+    for (adg::NodeId id : res.best.aliveNodes(adg::NodeKind::Memory)) {
+        indirect |= res.best.node(id).mem().indirect;
+        atomic |= res.best.node(id).mem().atomicUpdate;
+    }
+    std::printf("memory features kept: indirect=%s atomic=%s\n",
+                indirect ? "yes" : "no", atomic ? "yes" : "no");
+    std::printf("area %.3f -> %.3f mm^2, power %.1f -> %.1f mW, "
+                "objective %.3f -> %.3f (%.1fx)\n",
+                res.initialCost.areaMm2, res.bestCost.areaMm2,
+                res.initialCost.powerMw, res.bestCost.powerMw,
+                res.initialObjective, res.bestObjective,
+                res.bestObjective /
+                    std::max(1e-9, res.initialObjective));
+
+    std::string path = "dse_" + suite + "_design.adg";
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (f) {
+        std::string text = res.best.toText();
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+        std::printf("\ndesign saved to %s (feed it to hw_generate to "
+                    "emit Verilog)\n",
+                    path.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Sparse inner join (the paper's Fig. 8 example): a two-pointer merge
+ * over sorted key/value tables, compiled with the stream-join
+ * transformation onto SPU-style hardware (dynamic PEs with join
+ * control), and contrasted with the serialized control-core fallback
+ * the compiler emits for hardware without the feature (Softbrain).
+ */
+
+#include <cstdio>
+#include <set>
+
+#include "adg/prebuilt.h"
+#include "base/table.h"
+#include "compiler/compile.h"
+#include "ir/interp.h"
+#include "mapper/scheduler.h"
+#include "sim/simulator.h"
+
+using namespace dsa;
+
+namespace {
+
+/** Build the sparse inner-product kernel of Fig. 8(a). */
+ir::KernelSource
+joinKernel(int64_t n)
+{
+    using namespace ir;
+    KernelSource k;
+    k.name = "sparse_join";
+    k.params["n"] = n;
+    k.arrays = {
+        {"ka", n, 8, false, false}, {"va", n, 8, true, false},
+        {"kb", n, 8, false, false}, {"vb", n, 8, true, false},
+        {"acc_out", 1, 8, true, false},
+    };
+    MergeLoopInfo m;
+    m.keysA = "ka";
+    m.keysB = "kb";
+    m.lenA = param("n");
+    m.lenB = param("n");
+    m.ivA = 1;
+    m.ivB = 2;
+    k.body = {
+        makeLet("acc", floatConst(0.0)),
+        makeMergeLoop(m, {makeReduce("acc", OpCode::FAdd,
+                                     binary(OpCode::FMul,
+                                            load("va", iterVar(1)),
+                                            load("vb", iterVar(2))))}),
+        makeStore("acc_out", intConst(0), scalarRef("acc")),
+    };
+    return k;
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr int64_t n = 512;
+    auto kernel = joinKernel(n);
+
+    // Sorted keys with partial overlap.
+    ir::ArrayStore inputs(kernel);
+    Rng rng(2024);
+    auto fill = [&](const char *keys, const char *vals) {
+        std::set<int64_t> s;
+        while (static_cast<int64_t>(s.size()) < n)
+            s.insert(rng.uniformInt(0, n * 3));
+        int64_t i = 0;
+        for (int64_t key : s)
+            inputs.data(keys)[i++] = static_cast<Value>(key);
+        for (int64_t j = 0; j < n; ++j)
+            inputs.data(vals)[j] = valueFromF64(rng.uniformReal(0.0, 1.0));
+    };
+    fill("ka", "va");
+    fill("kb", "vb");
+
+    ir::ArrayStore golden = inputs;
+    ir::interpret(kernel, golden);
+    double expect = valueAsF64(golden.data("acc_out")[0]);
+    std::printf("sparse join, n=%lld per table, expected dot of matched "
+                "values = %.6f\n\n",
+                static_cast<long long>(n), expect);
+
+    Table t({"hardware", "stream-join?", "cycles", "result", "ok"});
+    struct Target
+    {
+        const char *name;
+        adg::Adg hw;
+    };
+    for (Target target : {Target{"SPU (dynamic PEs)", adg::buildSpu(5, 5)},
+                          Target{"Softbrain (static)",
+                                 adg::buildSoftbrain()}}) {
+        auto features = compiler::HwFeatures::fromAdg(target.hw);
+        auto placement =
+            compiler::Placement::autoLayout(kernel, features);
+        auto lowered =
+            compiler::lowerKernel(kernel, placement, features, {}, 1);
+        if (!lowered.ok) {
+            std::printf("%s: lowering failed: %s\n", target.name,
+                        lowered.error.c_str());
+            continue;
+        }
+        bool joined = !lowered.version.program.regions[0].serialized;
+        auto sched = mapper::scheduleProgram(
+            lowered.version.program, target.hw,
+            {.maxIters = 600, .seed = 9});
+        if (!sched.cost.legal()) {
+            std::printf("%s: schedule illegal\n", target.name);
+            continue;
+        }
+        auto img = sim::MemImage::build(kernel, inputs, placement);
+        auto res =
+            sim::simulate(lowered.version.program, sched, target.hw, img);
+        if (!res.ok) {
+            std::printf("%s: simulation failed: %s\n", target.name,
+                        res.error.c_str());
+            continue;
+        }
+        ir::ArrayStore out = inputs;
+        img.extract(kernel, placement, out);
+        double got = valueAsF64(out.data("acc_out")[0]);
+        t.addRow({target.name, joined ? "yes" : "no (serialized)",
+                  std::to_string(res.cycles), Table::fmt(got, 6),
+                  std::abs(got - expect) < 1e-9 ? "yes" : "NO"});
+    }
+    t.print();
+    std::printf("\nThe stream-join hardware consumes both key streams "
+                "data-dependently on the fabric;\nwithout it the "
+                "compiler falls back to a serialized control-core "
+                "loop.\n");
+    return 0;
+}

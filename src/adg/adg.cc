@@ -1,0 +1,687 @@
+#include "adg/adg.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "base/bits.h"
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace dsa::adg {
+
+const char *
+nodeKindName(NodeKind kind)
+{
+    switch (kind) {
+      case NodeKind::Pe: return "pe";
+      case NodeKind::Switch: return "switch";
+      case NodeKind::Memory: return "mem";
+      case NodeKind::Sync: return "sync";
+      case NodeKind::Delay: return "delay";
+    }
+    DSA_PANIC("bad node kind");
+}
+
+NodeKind
+nodeKindFromName(const std::string &name)
+{
+    if (name == "pe") return NodeKind::Pe;
+    if (name == "switch") return NodeKind::Switch;
+    if (name == "mem") return NodeKind::Memory;
+    if (name == "sync") return NodeKind::Sync;
+    if (name == "delay") return NodeKind::Delay;
+    DSA_FATAL("unknown node kind '", name, "'");
+}
+
+const char *
+schedulingName(Scheduling s)
+{
+    return s == Scheduling::Static ? "static" : "dynamic";
+}
+
+Scheduling
+schedulingFromName(const std::string &name)
+{
+    if (name == "static") return Scheduling::Static;
+    if (name == "dynamic") return Scheduling::Dynamic;
+    DSA_FATAL("unknown scheduling '", name, "'");
+}
+
+const char *
+sharingName(Sharing s)
+{
+    return s == Sharing::Dedicated ? "dedicated" : "shared";
+}
+
+Sharing
+sharingFromName(const std::string &name)
+{
+    if (name == "dedicated") return Sharing::Dedicated;
+    if (name == "shared") return Sharing::Shared;
+    DSA_FATAL("unknown sharing '", name, "'");
+}
+
+NodeId
+Adg::addNode(NodeKind kind,
+             std::variant<PeProps, SwitchProps, MemProps, SyncProps,
+                          DelayProps> props,
+             const std::string &name)
+{
+    AdgNode n;
+    n.id = static_cast<NodeId>(nodes_.size());
+    n.kind = kind;
+    n.props = std::move(props);
+    n.name = name.empty()
+        ? std::string(nodeKindName(kind)) + std::to_string(n.id)
+        : name;
+    nodes_.push_back(std::move(n));
+    outEdges_.emplace_back();
+    inEdges_.emplace_back();
+    return nodes_.back().id;
+}
+
+NodeId
+Adg::addPe(const PeProps &props, const std::string &name)
+{
+    DSA_ASSERT(isPow2(props.datapathBits) && props.datapathBits <= 64,
+               "PE datapath must be power-of-two <= 64");
+    DSA_ASSERT(props.sharing == Sharing::Shared || props.maxInsts == 1,
+               "dedicated PE holds exactly one instruction");
+    return addNode(NodeKind::Pe, props, name);
+}
+
+NodeId
+Adg::addSwitch(const SwitchProps &props, const std::string &name)
+{
+    DSA_ASSERT(isPow2(props.datapathBits) && props.datapathBits <= 64,
+               "switch datapath must be power-of-two <= 64");
+    return addNode(NodeKind::Switch, props, name);
+}
+
+NodeId
+Adg::addMemory(const MemProps &props, const std::string &name)
+{
+    DSA_ASSERT(props.widthBytes > 0 && props.numStreamEngines > 0,
+               "memory needs positive width and stream engines");
+    return addNode(NodeKind::Memory, props, name);
+}
+
+NodeId
+Adg::addSync(const SyncProps &props, const std::string &name)
+{
+    DSA_ASSERT(props.depth > 0 && props.lanes > 0, "bad sync params");
+    return addNode(NodeKind::Sync, props, name);
+}
+
+NodeId
+Adg::addDelay(const DelayProps &props, const std::string &name)
+{
+    DSA_ASSERT(props.depth > 0, "bad delay depth");
+    return addNode(NodeKind::Delay, props, name);
+}
+
+namespace {
+
+/** Datapath width of a node, for defaulting connection widths. */
+int
+nodeWidthBits(const AdgNode &n)
+{
+    switch (n.kind) {
+      case NodeKind::Pe: return n.pe().datapathBits;
+      case NodeKind::Switch: return n.sw().datapathBits;
+      case NodeKind::Memory: return n.mem().widthBytes * 8;
+      case NodeKind::Sync: return n.sync().widthBits * n.sync().lanes;
+      case NodeKind::Delay: return n.delay().widthBits;
+    }
+    DSA_PANIC("bad node kind");
+}
+
+} // namespace
+
+EdgeId
+Adg::connect(NodeId src, NodeId dst, int widthBits)
+{
+    DSA_ASSERT(nodeAlive(src), "connect from dead node ", src);
+    DSA_ASSERT(nodeAlive(dst), "connect to dead node ", dst);
+    DSA_ASSERT(src != dst, "self loop on node ", src);
+    if (widthBits == 0) {
+        widthBits = std::min(nodeWidthBits(node(src)),
+                             nodeWidthBits(node(dst)));
+    }
+    DSA_ASSERT(isPow2(widthBits), "edge width must be power of two");
+    AdgEdge e;
+    e.id = static_cast<EdgeId>(edges_.size());
+    e.src = src;
+    e.dst = dst;
+    e.widthBits = widthBits;
+    edges_.push_back(e);
+    outEdges_[src].push_back(e.id);
+    inEdges_[dst].push_back(e.id);
+    return e.id;
+}
+
+void
+Adg::removeNode(NodeId id)
+{
+    DSA_ASSERT(nodeAlive(id), "remove dead node ", id);
+    // Copy: removeEdge mutates the adjacency lists we iterate.
+    auto out = outEdges_[id];
+    for (EdgeId e : out)
+        removeEdge(e);
+    auto in = inEdges_[id];
+    for (EdgeId e : in)
+        removeEdge(e);
+    nodes_[id].alive = false;
+}
+
+void
+Adg::removeEdge(EdgeId id)
+{
+    DSA_ASSERT(edgeAlive(id), "remove dead edge ", id);
+    AdgEdge &e = edges_[id];
+    e.alive = false;
+    auto &out = outEdges_[e.src];
+    out.erase(std::remove(out.begin(), out.end(), id), out.end());
+    auto &in = inEdges_[e.dst];
+    in.erase(std::remove(in.begin(), in.end(), id), in.end());
+}
+
+bool
+Adg::nodeAlive(NodeId id) const
+{
+    return id >= 0 && id < static_cast<NodeId>(nodes_.size()) &&
+           nodes_[id].alive;
+}
+
+bool
+Adg::edgeAlive(EdgeId id) const
+{
+    return id >= 0 && id < static_cast<EdgeId>(edges_.size()) &&
+           edges_[id].alive;
+}
+
+const AdgNode &
+Adg::node(NodeId id) const
+{
+    DSA_ASSERT(id >= 0 && id < static_cast<NodeId>(nodes_.size()),
+               "bad node id ", id);
+    return nodes_[id];
+}
+
+AdgNode &
+Adg::node(NodeId id)
+{
+    DSA_ASSERT(id >= 0 && id < static_cast<NodeId>(nodes_.size()),
+               "bad node id ", id);
+    return nodes_[id];
+}
+
+const AdgEdge &
+Adg::edge(EdgeId id) const
+{
+    DSA_ASSERT(id >= 0 && id < static_cast<EdgeId>(edges_.size()),
+               "bad edge id ", id);
+    return edges_[id];
+}
+
+AdgEdge &
+Adg::edge(EdgeId id)
+{
+    DSA_ASSERT(id >= 0 && id < static_cast<EdgeId>(edges_.size()),
+               "bad edge id ", id);
+    return edges_[id];
+}
+
+std::vector<NodeId>
+Adg::aliveNodes() const
+{
+    std::vector<NodeId> out;
+    for (const auto &n : nodes_)
+        if (n.alive)
+            out.push_back(n.id);
+    return out;
+}
+
+std::vector<NodeId>
+Adg::aliveNodes(NodeKind kind) const
+{
+    std::vector<NodeId> out;
+    for (const auto &n : nodes_)
+        if (n.alive && n.kind == kind)
+            out.push_back(n.id);
+    return out;
+}
+
+std::vector<EdgeId>
+Adg::aliveEdges() const
+{
+    std::vector<EdgeId> out;
+    for (const auto &e : edges_)
+        if (e.alive)
+            out.push_back(e.id);
+    return out;
+}
+
+const std::vector<EdgeId> &
+Adg::outEdges(NodeId id) const
+{
+    DSA_ASSERT(id >= 0 && id < static_cast<NodeId>(nodes_.size()),
+               "bad node id ", id);
+    return outEdges_[id];
+}
+
+const std::vector<EdgeId> &
+Adg::inEdges(NodeId id) const
+{
+    DSA_ASSERT(id >= 0 && id < static_cast<NodeId>(nodes_.size()),
+               "bad node id ", id);
+    return inEdges_[id];
+}
+
+EdgeId
+Adg::findEdge(NodeId src, NodeId dst) const
+{
+    for (EdgeId e : outEdges(src))
+        if (edges_[e].dst == dst)
+            return e;
+    return kInvalidEdge;
+}
+
+AdgStats
+Adg::stats() const
+{
+    AdgStats s;
+    for (const auto &n : nodes_) {
+        if (!n.alive)
+            continue;
+        switch (n.kind) {
+          case NodeKind::Pe:
+            ++s.numPes;
+            if (n.pe().sched == Scheduling::Dynamic)
+                ++s.numDynamicPes;
+            if (n.pe().sharing == Sharing::Shared)
+                ++s.numSharedPes;
+            break;
+          case NodeKind::Switch: ++s.numSwitches; break;
+          case NodeKind::Memory: ++s.numMemories; break;
+          case NodeKind::Sync: ++s.numSyncs; break;
+          case NodeKind::Delay: ++s.numDelays; break;
+        }
+    }
+    for (const auto &e : edges_)
+        if (e.alive)
+            ++s.numEdges;
+    return s;
+}
+
+std::vector<std::string>
+Adg::validate() const
+{
+    std::vector<std::string> problems;
+    auto complain = [&](auto &&...args) {
+        problems.push_back(detail::fold(args...));
+    };
+
+    for (const auto &e : edges_) {
+        if (!e.alive)
+            continue;
+        if (!nodeAlive(e.src) || !nodeAlive(e.dst)) {
+            complain("edge ", e.id, " touches a dead node");
+            continue;
+        }
+        const AdgNode &src = node(e.src);
+        const AdgNode &dst = node(e.dst);
+        // §III-C: buses exist only between memories and sync elements.
+        if (src.kind == NodeKind::Memory && dst.kind != NodeKind::Sync)
+            complain("edge ", e.id, ": memory '", src.name,
+                     "' may only feed sync elements");
+        if (dst.kind == NodeKind::Memory && src.kind != NodeKind::Sync)
+            complain("edge ", e.id, ": memory '", dst.name,
+                     "' may only be fed by sync elements");
+        // Sync direction must match usage.
+        if (src.kind == NodeKind::Sync &&
+            src.sync().dir == SyncDir::Input &&
+            dst.kind == NodeKind::Memory) {
+            complain("edge ", e.id, ": input sync '", src.name,
+                     "' cannot write memory");
+        }
+        if (dst.kind == NodeKind::Sync &&
+            dst.sync().dir == SyncDir::Output &&
+            src.kind == NodeKind::Memory) {
+            complain("edge ", e.id, ": output sync '", dst.name,
+                     "' cannot be fed by memory");
+        }
+        if (!isPow2(e.widthBits))
+            complain("edge ", e.id, " width ", e.widthBits,
+                     " is not a power of two");
+    }
+
+    auto mems = aliveNodes(NodeKind::Memory);
+    if (mems.empty())
+        complain("design has no memory");
+    bool hasIn = false, hasOut = false;
+    for (NodeId id : aliveNodes(NodeKind::Sync)) {
+        if (node(id).sync().dir == SyncDir::Input)
+            hasIn = true;
+        else
+            hasOut = true;
+    }
+    if (!hasIn)
+        complain("design has no input sync element");
+    if (!hasOut)
+        complain("design has no output sync element");
+
+    for (const auto &n : nodes_) {
+        if (!n.alive || n.kind != NodeKind::Pe)
+            continue;
+        if (n.pe().ops.empty())
+            complain("PE '", n.name, "' supports no operations");
+        if (n.pe().streamJoin && n.pe().sched != Scheduling::Dynamic)
+            complain("PE '", n.name,
+                     "': stream-join requires dynamic scheduling");
+    }
+    return problems;
+}
+
+namespace {
+
+std::string
+opsToString(const OpSet &ops)
+{
+    std::vector<std::string> names;
+    for (OpCode op : ops.toVector())
+        names.emplace_back(opName(op));
+    return join(names, ",");
+}
+
+OpSet
+opsFromString(const std::string &s)
+{
+    OpSet out;
+    if (s.empty())
+        return out;
+    for (const auto &tok : split(s, ','))
+        if (!tok.empty())
+            out.insert(opFromName(tok));
+    return out;
+}
+
+/** key=value tokenizer for one serialized line. */
+std::map<std::string, std::string>
+parseKeyVals(const std::vector<std::string> &toks, size_t firstIdx)
+{
+    std::map<std::string, std::string> kv;
+    for (size_t i = firstIdx; i < toks.size(); ++i) {
+        if (toks[i].empty())
+            continue;
+        auto eq = toks[i].find('=');
+        DSA_ASSERT(eq != std::string::npos, "malformed token '", toks[i],
+                   "'");
+        kv[toks[i].substr(0, eq)] = toks[i].substr(eq + 1);
+    }
+    return kv;
+}
+
+std::string
+getOr(const std::map<std::string, std::string> &kv, const std::string &key,
+      const std::string &dflt)
+{
+    auto it = kv.find(key);
+    return it == kv.end() ? dflt : it->second;
+}
+
+} // namespace
+
+std::string
+Adg::toText() const
+{
+    std::ostringstream os;
+    os << "adg v1\n";
+    const auto &c = control_;
+    os << "control ipc=" << c.cmdIssueIpc << " lat=" << c.cmdLatency
+       << " cfgbits=" << c.configBitsPerCycle << "\n";
+    for (const auto &n : nodes_) {
+        if (!n.alive)
+            continue;
+        os << "node " << n.id << " " << nodeKindName(n.kind)
+           << " name=" << n.name << " row=" << n.row << " col=" << n.col;
+        switch (n.kind) {
+          case NodeKind::Pe: {
+            const auto &p = n.pe();
+            os << " sched=" << schedulingName(p.sched)
+               << " sharing=" << sharingName(p.sharing)
+               << " insts=" << p.maxInsts << " bits=" << p.datapathBits
+               << " decomp=" << p.decomposable
+               << " minlane=" << p.minLaneBits
+               << " delay=" << p.delayFifoDepth << " join=" << p.streamJoin
+               << " regs=" << p.regFileSize << " ops=" << opsToString(p.ops);
+            break;
+          }
+          case NodeKind::Switch: {
+            const auto &p = n.sw();
+            os << " sched=" << schedulingName(p.sched)
+               << " bits=" << p.datapathBits << " decomp=" << p.decomposable
+               << " minlane=" << p.minLaneBits << " flop=" << p.flopOutput
+               << " routes=" << p.maxRoutes;
+            break;
+          }
+          case NodeKind::Memory: {
+            const auto &p = n.mem();
+            os << " kind=" << (p.kind == MemKind::Main ? "main" : "spad")
+               << " cap=" << p.capacityBytes << " width=" << p.widthBytes
+               << " engines=" << p.numStreamEngines << " linear=" << p.linear
+               << " indirect=" << p.indirect << " atomic=" << p.atomicUpdate
+               << " banks=" << p.numBanks;
+            break;
+          }
+          case NodeKind::Sync: {
+            const auto &p = n.sync();
+            os << " dir=" << (p.dir == SyncDir::Input ? "in" : "out")
+               << " depth=" << p.depth << " bits=" << p.widthBits
+               << " lanes=" << p.lanes;
+            break;
+          }
+          case NodeKind::Delay: {
+            const auto &p = n.delay();
+            os << " sched=" << schedulingName(p.sched)
+               << " depth=" << p.depth << " bits=" << p.widthBits;
+            break;
+          }
+        }
+        os << "\n";
+    }
+    for (const auto &e : edges_) {
+        if (!e.alive)
+            continue;
+        os << "edge " << e.id << " " << e.src << " " << e.dst << " "
+           << e.widthBits << "\n";
+    }
+    return os.str();
+}
+
+std::string
+Adg::toDot() const
+{
+    std::ostringstream os;
+    os << "digraph adg {\n  rankdir=TB;\n";
+    for (const auto &n : nodes_) {
+        if (!n.alive)
+            continue;
+        const char *shape = "box";
+        std::string color = "black";
+        switch (n.kind) {
+          case NodeKind::Pe:
+            shape = "ellipse";
+            color = n.pe().sched == Scheduling::Dynamic ? "red" : "blue";
+            if (n.pe().sharing == Sharing::Shared)
+                color = "purple";
+            break;
+          case NodeKind::Switch:
+            shape = "diamond";
+            color = n.sw().sched == Scheduling::Dynamic ? "orange"
+                                                        : "gray";
+            break;
+          case NodeKind::Memory:
+            shape = "cylinder";
+            color = "green";
+            break;
+          case NodeKind::Sync:
+            shape = n.sync().dir == SyncDir::Input ? "invhouse" : "house";
+            color = "brown";
+            break;
+          case NodeKind::Delay:
+            shape = "cds";
+            color = "gray";
+            break;
+        }
+        os << "  n" << n.id << " [label=\"" << n.name << "\", shape="
+           << shape << ", color=" << color << "];\n";
+    }
+    for (const auto &e : edges_) {
+        if (!e.alive)
+            continue;
+        os << "  n" << e.src << " -> n" << e.dst;
+        if (e.widthBits != 64)
+            os << " [label=\"" << e.widthBits << "b\"]";
+        os << ";\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+Adg
+Adg::fromText(const std::string &text)
+{
+    Adg g;
+    // First pass: find id bounds so tombstones keep original ids.
+    NodeId maxNode = -1;
+    EdgeId maxEdge = -1;
+    std::vector<std::string> lines = split(text, '\n');
+    for (const auto &raw : lines) {
+        auto line = trim(raw);
+        auto toks = split(line, ' ');
+        if (toks.size() >= 2 && toks[0] == "node")
+            maxNode = std::max(maxNode, NodeId(std::stol(toks[1])));
+        if (toks.size() >= 2 && toks[0] == "edge")
+            maxEdge = std::max(maxEdge, EdgeId(std::stol(toks[1])));
+    }
+    g.nodes_.resize(maxNode + 1);
+    g.outEdges_.resize(maxNode + 1);
+    g.inEdges_.resize(maxNode + 1);
+    for (NodeId i = 0; i <= maxNode; ++i) {
+        g.nodes_[i].id = i;
+        g.nodes_[i].alive = false;
+    }
+    g.edges_.resize(maxEdge + 1);
+    for (EdgeId i = 0; i <= maxEdge; ++i) {
+        g.edges_[i].id = i;
+        g.edges_[i].alive = false;
+    }
+
+    for (const auto &raw : lines) {
+        auto line = trim(raw);
+        if (line.empty() || line[0] == '#')
+            continue;
+        auto toks = split(line, ' ');
+        if (toks[0] == "adg") {
+            if (toks.size() < 2 || toks[1] != "v1")
+                DSA_FATAL("unsupported ADG version");
+        } else if (toks[0] == "control") {
+            auto kv = parseKeyVals(toks, 1);
+            g.control_.cmdIssueIpc = std::stod(getOr(kv, "ipc", "1"));
+            g.control_.cmdLatency = std::stoi(getOr(kv, "lat", "5"));
+            g.control_.configBitsPerCycle =
+                std::stoi(getOr(kv, "cfgbits", "64"));
+        } else if (toks[0] == "node") {
+            DSA_ASSERT(toks.size() >= 3, "malformed node line");
+            NodeId id = std::stol(toks[1]);
+            NodeKind kind = nodeKindFromName(toks[2]);
+            auto kv = parseKeyVals(toks, 3);
+            AdgNode &n = g.nodes_[id];
+            n.alive = true;
+            n.kind = kind;
+            n.name = getOr(kv, "name", "");
+            n.row = std::stoi(getOr(kv, "row", "-1"));
+            n.col = std::stoi(getOr(kv, "col", "-1"));
+            switch (kind) {
+              case NodeKind::Pe: {
+                PeProps p;
+                p.sched = schedulingFromName(getOr(kv, "sched", "static"));
+                p.sharing =
+                    sharingFromName(getOr(kv, "sharing", "dedicated"));
+                p.maxInsts = std::stoi(getOr(kv, "insts", "1"));
+                p.datapathBits = std::stoi(getOr(kv, "bits", "64"));
+                p.decomposable = std::stoi(getOr(kv, "decomp", "0"));
+                p.minLaneBits = std::stoi(getOr(kv, "minlane", "64"));
+                p.delayFifoDepth = std::stoi(getOr(kv, "delay", "4"));
+                p.streamJoin = std::stoi(getOr(kv, "join", "0"));
+                p.regFileSize = std::stoi(getOr(kv, "regs", "2"));
+                p.ops = opsFromString(getOr(kv, "ops", ""));
+                n.props = p;
+                break;
+              }
+              case NodeKind::Switch: {
+                SwitchProps p;
+                p.sched = schedulingFromName(getOr(kv, "sched", "static"));
+                p.datapathBits = std::stoi(getOr(kv, "bits", "64"));
+                p.decomposable = std::stoi(getOr(kv, "decomp", "0"));
+                p.minLaneBits = std::stoi(getOr(kv, "minlane", "64"));
+                p.flopOutput = std::stoi(getOr(kv, "flop", "1"));
+                p.maxRoutes = std::stoi(getOr(kv, "routes", "1"));
+                n.props = p;
+                break;
+              }
+              case NodeKind::Memory: {
+                MemProps p;
+                p.kind = getOr(kv, "kind", "spad") == "main"
+                    ? MemKind::Main : MemKind::Scratchpad;
+                p.capacityBytes = std::stoll(getOr(kv, "cap", "8192"));
+                p.widthBytes = std::stoi(getOr(kv, "width", "64"));
+                p.numStreamEngines = std::stoi(getOr(kv, "engines", "4"));
+                p.linear = std::stoi(getOr(kv, "linear", "1"));
+                p.indirect = std::stoi(getOr(kv, "indirect", "0"));
+                p.atomicUpdate = std::stoi(getOr(kv, "atomic", "0"));
+                p.numBanks = std::stoi(getOr(kv, "banks", "1"));
+                n.props = p;
+                break;
+              }
+              case NodeKind::Sync: {
+                SyncProps p;
+                p.dir = getOr(kv, "dir", "in") == "in" ? SyncDir::Input
+                                                       : SyncDir::Output;
+                p.depth = std::stoi(getOr(kv, "depth", "8"));
+                p.widthBits = std::stoi(getOr(kv, "bits", "64"));
+                p.lanes = std::stoi(getOr(kv, "lanes", "4"));
+                n.props = p;
+                break;
+              }
+              case NodeKind::Delay: {
+                DelayProps p;
+                p.sched = schedulingFromName(getOr(kv, "sched", "static"));
+                p.depth = std::stoi(getOr(kv, "depth", "8"));
+                p.widthBits = std::stoi(getOr(kv, "bits", "64"));
+                n.props = p;
+                break;
+              }
+            }
+        } else if (toks[0] == "edge") {
+            DSA_ASSERT(toks.size() >= 5, "malformed edge line");
+            EdgeId id = std::stol(toks[1]);
+            AdgEdge &e = g.edges_[id];
+            e.alive = true;
+            e.src = std::stol(toks[2]);
+            e.dst = std::stol(toks[3]);
+            e.widthBits = std::stoi(toks[4]);
+            if (!g.nodeAlive(e.src) || !g.nodeAlive(e.dst))
+                DSA_FATAL("edge ", id, " references unknown node");
+            g.outEdges_[e.src].push_back(id);
+            g.inEdges_[e.dst].push_back(id);
+        } else {
+            DSA_FATAL("unknown ADG line '", line, "'");
+        }
+    }
+    return g;
+}
+
+} // namespace dsa::adg

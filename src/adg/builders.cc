@@ -1,0 +1,302 @@
+#include "adg/builders.h"
+
+#include <vector>
+
+#include "base/bits.h"
+#include "base/logging.h"
+
+namespace dsa::adg {
+
+namespace {
+
+/** Workhorse opcode set for general meshes: integer + common FP. */
+OpSet
+defaultMeshOps()
+{
+    return OpSet{OpCode::Add, OpCode::Sub, OpCode::Mul, OpCode::Min,
+                 OpCode::Max, OpCode::Abs, OpCode::And, OpCode::Or,
+                 OpCode::Xor, OpCode::Shl, OpCode::Shr, OpCode::CmpEQ,
+                 OpCode::CmpNE, OpCode::CmpLT, OpCode::CmpLE,
+                 OpCode::CmpGT, OpCode::CmpGE, OpCode::Select,
+                 OpCode::Pass, OpCode::Acc, OpCode::FAdd, OpCode::FSub,
+                 OpCode::FMul, OpCode::FDiv, OpCode::FSqrt, OpCode::FAcc,
+                 OpCode::FCmpLT, OpCode::FCmpLE, OpCode::FCmpEQ,
+                 OpCode::FMin, OpCode::FMax, OpCode::Sigmoid,
+                 OpCode::ReLU};
+}
+
+} // namespace
+
+MeshConfig::MeshConfig()
+{
+    pe.ops = defaultMeshOps();
+    syncIn.dir = SyncDir::Input;
+    syncIn.lanes = 8;
+    syncOut.dir = SyncDir::Output;
+    syncOut.lanes = 4;
+    mainMem.kind = MemKind::Main;
+    mainMem.capacityBytes = int64_t(1) << 32;
+    mainMem.widthBytes = 64;    // ~75 GB/s at 1.25 GHz equivalent
+    mainMem.numStreamEngines = 16;
+    spad.kind = MemKind::Scratchpad;
+    spad.capacityBytes = 16 * 1024;
+    spad.widthBytes = 64;       // 512-bit wide scratchpad
+    spad.numStreamEngines = 12;
+}
+
+Adg
+buildMesh(const MeshConfig &cfg)
+{
+    DSA_ASSERT(cfg.rows > 0 && cfg.cols > 0, "bad mesh shape");
+    Adg g;
+
+    // Switch grid: (rows+1) x (cols+1).
+    std::vector<std::vector<NodeId>> sw(cfg.rows + 1,
+                                        std::vector<NodeId>(cfg.cols + 1));
+    for (int r = 0; r <= cfg.rows; ++r) {
+        for (int c = 0; c <= cfg.cols; ++c) {
+            NodeId id = g.addSwitch(cfg.sw, "sw" + std::to_string(r) + "_" +
+                                                std::to_string(c));
+            g.node(id).row = r;
+            g.node(id).col = c;
+            sw[r][c] = id;
+        }
+    }
+    // Bidirectional neighbor links between switches.
+    for (int r = 0; r <= cfg.rows; ++r) {
+        for (int c = 0; c <= cfg.cols; ++c) {
+            if (c + 1 <= cfg.cols) {
+                g.connect(sw[r][c], sw[r][c + 1]);
+                g.connect(sw[r][c + 1], sw[r][c]);
+            }
+            if (r + 1 <= cfg.rows) {
+                g.connect(sw[r][c], sw[r + 1][c]);
+                g.connect(sw[r + 1][c], sw[r][c]);
+            }
+        }
+    }
+
+    // PEs in cells; inputs from the 4 corner switches, outputs to the
+    // SE and NW corners (gives the router both directions).
+    for (int r = 0; r < cfg.rows; ++r) {
+        for (int c = 0; c < cfg.cols; ++c) {
+            NodeId pe = g.addPe(cfg.pe, "pe" + std::to_string(r) + "_" +
+                                            std::to_string(c));
+            g.node(pe).row = r;
+            g.node(pe).col = c;
+            g.connect(sw[r][c], pe);
+            g.connect(sw[r][c + 1], pe);
+            g.connect(sw[r + 1][c], pe);
+            g.connect(sw[r + 1][c + 1], pe);
+            g.connect(pe, sw[r][c]);
+            g.connect(pe, sw[r][c + 1]);
+            g.connect(pe, sw[r + 1][c]);
+            g.connect(pe, sw[r + 1][c + 1]);
+        }
+    }
+
+    // Memories.
+    std::vector<NodeId> mems;
+    mems.push_back(g.addMemory(cfg.mainMem, "main"));
+    if (cfg.hasSpad)
+        mems.push_back(g.addMemory(cfg.spad, "spad"));
+
+    // Input syncs feed the top switch row, spread across columns.
+    for (int i = 0; i < cfg.numInputSyncs; ++i) {
+        NodeId s = g.addSync(cfg.syncIn, "in" + std::to_string(i));
+        for (NodeId m : mems)
+            g.connect(m, s);
+        int c0 = (i * (cfg.cols + 1)) / std::max(1, cfg.numInputSyncs);
+        for (int dc = 0; dc < 3; ++dc)
+            if (c0 + dc <= cfg.cols)
+                g.connect(s, sw[0][c0 + dc]);
+    }
+    // Output syncs drain the bottom switch row.
+    std::vector<NodeId> outs;
+    std::vector<NodeId> ins;
+    for (NodeId id : g.aliveNodes(NodeKind::Sync))
+        ins.push_back(id);
+    for (int i = 0; i < cfg.numOutputSyncs; ++i) {
+        NodeId s = g.addSync(cfg.syncOut, "out" + std::to_string(i));
+        int c0 = (i * (cfg.cols + 1)) / std::max(1, cfg.numOutputSyncs);
+        for (int dc = 0; dc < 3; ++dc)
+            if (c0 + dc <= cfg.cols)
+                g.connect(sw[cfg.rows][c0 + dc], s);
+        for (NodeId m : mems)
+            g.connect(s, m);
+        outs.push_back(s);
+    }
+    // Recurrence bus: output ports can feed input ports directly
+    // (port-to-port forwarding and the repetitive-update optimization).
+    for (NodeId o : outs)
+        for (NodeId in : ins)
+            g.connect(o, in);
+    return g;
+}
+
+TreeConfig::TreeConfig()
+{
+    leafPe.ops = OpSet{OpCode::Mul, OpCode::FMul, OpCode::Pass};
+    reducePe.ops = OpSet{OpCode::Add, OpCode::FAdd, OpCode::Acc,
+                         OpCode::FAcc, OpCode::Max, OpCode::FMax,
+                         OpCode::Pass, OpCode::Sigmoid, OpCode::ReLU};
+    mainMem.kind = MemKind::Main;
+    mainMem.capacityBytes = int64_t(1) << 32;
+    mainMem.widthBytes = 64;
+    mainMem.numStreamEngines = 16;
+    spad.kind = MemKind::Scratchpad;
+    spad.capacityBytes = 32 * 1024;
+    spad.widthBytes = 64;
+    spad.numStreamEngines = 12;
+}
+
+Adg
+buildTree(const TreeConfig &cfg)
+{
+    DSA_ASSERT(isPow2(cfg.leaves) && cfg.leaves >= 2,
+               "tree leaves must be a power of two >= 2");
+    Adg g;
+
+    std::vector<NodeId> mems;
+    mems.push_back(g.addMemory(cfg.mainMem, "main"));
+    if (cfg.hasSpad)
+        mems.push_back(g.addMemory(cfg.spad, "spad"));
+
+    // Distribution network: switches fan out from a root fed by input
+    // sync elements down to one switch per leaf PE.
+    int depth = log2Ceil(cfg.leaves);
+    std::vector<std::vector<NodeId>> level(depth + 1);
+    level[0].push_back(g.addSwitch(cfg.sw, "dist_root"));
+    for (int d = 1; d <= depth; ++d) {
+        // Fat-tree distribution (as in MAERI): parallel links, wider
+        // toward the root, so several operands reach the same leaf.
+        int links = std::max(2, 8 >> d);
+        for (size_t i = 0; i < level[d - 1].size() * 2; ++i) {
+            NodeId s = g.addSwitch(cfg.sw, "dist" + std::to_string(d) + "_" +
+                                               std::to_string(i));
+            g.node(s).row = d;
+            g.node(s).col = static_cast<int>(i);
+            level[d].push_back(s);
+            for (int l = 0; l < links; ++l)
+                g.connect(level[d - 1][i / 2], s);
+        }
+    }
+
+    // Two input ports (e.g. weights and activations) into the root.
+    SyncProps inProps;
+    inProps.dir = SyncDir::Input;
+    inProps.lanes = std::min(cfg.leaves, 8);
+    for (int i = 0; i < 2; ++i) {
+        NodeId s = g.addSync(inProps, "in" + std::to_string(i));
+        for (NodeId m : mems)
+            g.connect(m, s);
+        g.connect(s, level[0][0]);
+    }
+
+    // Leaf PEs (multipliers); each has links for both operands.
+    std::vector<NodeId> cur;
+    for (int i = 0; i < cfg.leaves; ++i) {
+        NodeId pe = g.addPe(cfg.leafPe, "leaf" + std::to_string(i));
+        g.node(pe).row = depth + 1;
+        g.node(pe).col = i;
+        g.connect(level[depth][i], pe);
+        g.connect(level[depth][i], pe);
+        g.connect(level[depth][i], pe);
+        cur.push_back(pe);
+    }
+
+    // Reduction tree of PEs.
+    int lvl = 0;
+    while (cur.size() > 1) {
+        std::vector<NodeId> next;
+        for (size_t i = 0; i + 1 < cur.size(); i += 2) {
+            NodeId pe = g.addPe(cfg.reducePe,
+                                "red" + std::to_string(lvl) + "_" +
+                                    std::to_string(i / 2));
+            g.node(pe).row = depth + 2 + lvl;
+            g.node(pe).col = static_cast<int>(i / 2);
+            g.connect(cur[i], pe);
+            g.connect(cur[i + 1], pe);
+            next.push_back(pe);
+        }
+        cur = std::move(next);
+        ++lvl;
+    }
+
+    SyncProps outProps;
+    outProps.dir = SyncDir::Output;
+    outProps.lanes = 2;
+    NodeId out = g.addSync(outProps, "out0");
+    g.connect(cur[0], out);
+    for (NodeId m : mems)
+        g.connect(out, m);
+
+    // A second output port tapping the leaf level lets non-reduction
+    // kernels (e.g. elementwise) use the tree fabric too.
+    NodeId out1 = g.addSync(outProps, "out1");
+    NodeId tapSw = g.addSwitch(cfg.sw, "tap");
+    for (int i = 0; i < std::min(cfg.leaves, 4); ++i)
+        g.connect(level[depth][i], tapSw);
+    g.connect(tapSw, out1);
+    for (NodeId m : mems)
+        g.connect(out1, m);
+
+    // Recurrence bus: output ports back to the input ports.
+    for (NodeId o : {out, out1})
+        for (NodeId in : g.aliveNodes(NodeKind::Sync))
+            if (g.node(in).sync().dir == SyncDir::Input)
+                g.connect(o, in);
+    return g;
+}
+
+Adg
+buildCcaLike(int rows, int pesPerRow, const PeProps &pe)
+{
+    DSA_ASSERT(rows > 0 && pesPerRow > 0, "bad CCA shape");
+    Adg g;
+    MemProps main;
+    main.kind = MemKind::Main;
+    main.capacityBytes = int64_t(1) << 32;
+    main.widthBytes = 32;
+    main.numStreamEngines = 8;
+    NodeId mem = g.addMemory(main, "main");
+
+    SyncProps inProps;
+    inProps.dir = SyncDir::Input;
+    inProps.lanes = pesPerRow;
+    NodeId in = g.addSync(inProps, "in0");
+    g.connect(mem, in);
+
+    SwitchProps sw;
+    NodeId prevSw = g.addSwitch(sw, "sw_in");
+    g.connect(in, prevSw);
+
+    for (int r = 0; r < rows; ++r) {
+        std::vector<NodeId> rowPes;
+        for (int c = 0; c < pesPerRow; ++c) {
+            NodeId p = g.addPe(pe, "pe" + std::to_string(r) + "_" +
+                                       std::to_string(c));
+            g.node(p).row = r;
+            g.node(p).col = c;
+            g.connect(prevSw, p);
+            rowPes.push_back(p);
+        }
+        NodeId nextSw = g.addSwitch(sw, "sw" + std::to_string(r));
+        for (NodeId p : rowPes)
+            g.connect(p, nextSw);
+        // Bypass lane so values can skip a row.
+        g.connect(prevSw, nextSw);
+        prevSw = nextSw;
+    }
+
+    SyncProps outProps;
+    outProps.dir = SyncDir::Output;
+    outProps.lanes = 2;
+    NodeId out = g.addSync(outProps, "out0");
+    g.connect(prevSw, out);
+    g.connect(out, mem);
+    g.connect(out, in);  // recurrence bus
+    return g;
+}
+
+} // namespace dsa::adg

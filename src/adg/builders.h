@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Parameterized ADG topology builders: the mesh fabric used by most of
+ * the paper's instantiations, plus a binary-tree fabric (MAERI- and
+ * DianNao-style datapaths) and a bus-style minimal fabric (CCA-style).
+ */
+
+#ifndef DSA_ADG_BUILDERS_H
+#define DSA_ADG_BUILDERS_H
+
+#include "adg/adg.h"
+
+namespace dsa::adg {
+
+/** Configuration for buildMesh(). */
+struct MeshConfig
+{
+    int rows = 4;
+    int cols = 4;
+    /** Properties stamped onto every PE (name/position filled in). */
+    PeProps pe;
+    /** Properties stamped onto every switch. */
+    SwitchProps sw;
+    /** Vector-port counts on the fabric boundary. */
+    int numInputSyncs = 3;
+    int numOutputSyncs = 2;
+    SyncProps syncIn;
+    SyncProps syncOut;
+    /** Main-memory interface (fixed during DSE). */
+    MemProps mainMem;
+    /** Optional scratchpad. */
+    bool hasSpad = true;
+    MemProps spad;
+
+    MeshConfig();
+};
+
+/**
+ * Build the canonical decoupled-spatial mesh (Fig. 2(c) style):
+ * an (rows+1)x(cols+1) grid of switches with a PE in every cell,
+ * input sync elements feeding the top switch row, output sync elements
+ * fed from the bottom switch row, and memories on the boundary buses.
+ */
+Adg buildMesh(const MeshConfig &cfg);
+
+/** Configuration for buildTree(). */
+struct TreeConfig
+{
+    /** Number of leaf PEs (power of two). */
+    int leaves = 8;
+    /** Properties of the leaf (multiplier) PEs. */
+    PeProps leafPe;
+    /** Properties of the internal (reduction) PEs. */
+    PeProps reducePe;
+    SwitchProps sw;
+    MemProps mainMem;
+    bool hasSpad = true;
+    MemProps spad;
+
+    TreeConfig();
+};
+
+/**
+ * Build a binary-tree fabric: a distribution network of switches fans
+ * input operands out to the leaf PEs; a reduction tree of PEs combines
+ * results down to a single output sync element (MAERI/DianNao style).
+ */
+Adg buildTree(const TreeConfig &cfg);
+
+/**
+ * Build a minimal CCA-style fabric: a few PEs in rows connected by
+ * single switches per row (lowest switch overhead, least flexibility).
+ */
+Adg buildCcaLike(int rows, int peMaxRow, const PeProps &pe);
+
+} // namespace dsa::adg
+
+#endif // DSA_ADG_BUILDERS_H

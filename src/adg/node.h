@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Node and edge property definitions for the Architecture Description
+ * Graph (ADG), mirroring the modular spatial-architecture primitives of
+ * DSAGEN §III: processing elements, switches, memories, synchronization
+ * elements, delay elements, connections, and the control core.
+ */
+
+#ifndef DSA_ADG_NODE_H
+#define DSA_ADG_NODE_H
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "isa/opcode.h"
+
+namespace dsa::adg {
+
+/** Stable node identifier (never reused within one Adg's lifetime). */
+using NodeId = int32_t;
+/** Stable edge identifier. */
+using EdgeId = int32_t;
+
+constexpr NodeId kInvalidNode = -1;
+constexpr EdgeId kInvalidEdge = -1;
+
+/** The primitive component kinds of §III-A. */
+enum class NodeKind : uint8_t { Pe, Switch, Memory, Sync, Delay };
+
+/** Execution-model axis 1: who decides when an action fires (§III-A). */
+enum class Scheduling : uint8_t { Static, Dynamic };
+
+/** Execution-model axis 2: dedicated vs temporally shared (§III-A). */
+enum class Sharing : uint8_t { Dedicated, Shared };
+
+/** Direction of a synchronization element relative to the fabric. */
+enum class SyncDir : uint8_t { Input, Output };
+
+/** Memory flavors: the (fixed) main-memory interface or a scratchpad. */
+enum class MemKind : uint8_t { Main, Scratchpad };
+
+/** Short lowercase name for a node kind. */
+const char *nodeKindName(NodeKind kind);
+/** Parse a node-kind name; fatal on unknown. */
+NodeKind nodeKindFromName(const std::string &name);
+
+const char *schedulingName(Scheduling s);
+Scheduling schedulingFromName(const std::string &name);
+const char *sharingName(Sharing s);
+Sharing sharingFromName(const std::string &name);
+
+/** Processing-element parameters. */
+struct PeProps
+{
+    Scheduling sched = Scheduling::Static;
+    Sharing sharing = Sharing::Dedicated;
+    /** Instruction slots; > 1 only meaningful for shared PEs. */
+    int maxInsts = 1;
+    /** Datapath bitwidth (power of two, <= 64). */
+    int datapathBits = 64;
+    /** FUs may split into power-of-two sub-lanes down to minLaneBits. */
+    bool decomposable = false;
+    int minLaneBits = 64;
+    /** Opcodes the PE's functional units must support. */
+    OpSet ops;
+    /** Depth of the per-input delay FIFO (static PEs; timing repair). */
+    int delayFifoDepth = 4;
+    /**
+     * Dynamic PEs may support stream-join control: conditional reuse /
+     * discard of operands based on a control input (§III-A).
+     */
+    bool streamJoin = false;
+    /** Local registers (accumulators). */
+    int regFileSize = 2;
+
+    bool operator==(const PeProps &) const = default;
+};
+
+/** Switch parameters. */
+struct SwitchProps
+{
+    Scheduling sched = Scheduling::Static;
+    int datapathBits = 64;
+    /** Routes power-of-two sub-words independently down to minLaneBits. */
+    bool decomposable = false;
+    int minLaneBits = 64;
+    /**
+     * Whether the output is registered. Fixed to true during DSE so
+     * each switch is one pipeline stage (§V-D).
+     */
+    bool flopOutput = true;
+    /** Independent route configurations (per output) a config can hold. */
+    int maxRoutes = 1;
+
+    bool operator==(const SwitchProps &) const = default;
+};
+
+/** Memory / stream-engine parameters. */
+struct MemProps
+{
+    MemKind kind = MemKind::Scratchpad;
+    /** Capacity in bytes (ignored for Main, which models an L2 link). */
+    int64_t capacityBytes = 8 * 1024;
+    /** Peak bytes transferred per cycle. */
+    int widthBytes = 64;
+    /** Concurrent stream engines. */
+    int numStreamEngines = 4;
+    /** Linear controller: inductive 2D affine streams (REVEL-style). */
+    bool linear = true;
+    /** Indirect controller: a[b[i]] gather/scatter (SPU-style). */
+    bool indirect = false;
+    /** Banked compute for atomic read-modify-write (a[b[i]] += v). */
+    bool atomicUpdate = false;
+    /** Number of banks (bank conflicts limit indirect throughput). */
+    int numBanks = 1;
+
+    bool operator==(const MemProps &) const = default;
+};
+
+/** Synchronization-element (vector port) parameters. */
+struct SyncProps
+{
+    SyncDir dir = SyncDir::Input;
+    /** FIFO depth in entries per lane. */
+    int depth = 8;
+    /** Bits per lane. */
+    int widthBits = 64;
+    /** Vector lanes released together by the ready-logic. */
+    int lanes = 4;
+
+    bool operator==(const SyncProps &) const = default;
+};
+
+/** Stand-alone delay-FIFO parameters (§III-A delay elements). */
+struct DelayProps
+{
+    Scheduling sched = Scheduling::Static;
+    int depth = 8;
+    int widthBits = 64;
+
+    bool operator==(const DelayProps &) const = default;
+};
+
+/** Control-core parameters (one per ADG; §III-A "Control"). */
+struct ControlProps
+{
+    /** Stream/config commands issued per cycle. */
+    double cmdIssueIpc = 1.0;
+    /** Cycles from issue to a stream command taking effect. */
+    int cmdLatency = 5;
+    /** Bits of configuration delivered per cycle per config path. */
+    int configBitsPerCycle = 64;
+
+    bool operator==(const ControlProps &) const = default;
+};
+
+/** One node of the ADG: a kind tag plus kind-specific properties. */
+struct AdgNode
+{
+    NodeId id = kInvalidNode;
+    NodeKind kind = NodeKind::Pe;
+    bool alive = true;
+    std::string name;
+    /** Optional grid position hint (builders set it; -1 = unplaced). */
+    int row = -1;
+    int col = -1;
+    std::variant<PeProps, SwitchProps, MemProps, SyncProps, DelayProps>
+        props;
+
+    PeProps &pe() { return std::get<PeProps>(props); }
+    const PeProps &pe() const { return std::get<PeProps>(props); }
+    SwitchProps &sw() { return std::get<SwitchProps>(props); }
+    const SwitchProps &sw() const { return std::get<SwitchProps>(props); }
+    MemProps &mem() { return std::get<MemProps>(props); }
+    const MemProps &mem() const { return std::get<MemProps>(props); }
+    SyncProps &sync() { return std::get<SyncProps>(props); }
+    const SyncProps &sync() const { return std::get<SyncProps>(props); }
+    DelayProps &delay() { return std::get<DelayProps>(props); }
+    const DelayProps &delay() const { return std::get<DelayProps>(props); }
+};
+
+/** A directed connection between two nodes (§III-A "Connections"). */
+struct AdgEdge
+{
+    EdgeId id = kInvalidEdge;
+    bool alive = true;
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    /** Wire width in bits. */
+    int widthBits = 64;
+};
+
+} // namespace dsa::adg
+
+#endif // DSA_ADG_NODE_H

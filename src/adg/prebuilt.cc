@@ -1,0 +1,177 @@
+#include "adg/prebuilt.h"
+
+#include "adg/builders.h"
+
+namespace dsa::adg {
+
+namespace {
+
+/** Full integer+FP op set used by the general-purpose fabrics. */
+OpSet
+fullOps()
+{
+    return OpSet::all();
+}
+
+} // namespace
+
+Adg
+buildSoftbrain(int rows, int cols)
+{
+    MeshConfig cfg;
+    cfg.rows = rows;
+    cfg.cols = cols;
+    cfg.pe.sched = Scheduling::Static;
+    cfg.pe.sharing = Sharing::Dedicated;
+    cfg.pe.delayFifoDepth = 8;
+    cfg.sw.sched = Scheduling::Static;
+    cfg.numInputSyncs = 3;
+    cfg.numOutputSyncs = 2;
+    cfg.hasSpad = true;
+    cfg.spad.numBanks = 1;      // single non-banked scratchpad
+    cfg.spad.linear = true;
+    cfg.spad.indirect = false;
+    return buildMesh(cfg);
+}
+
+Adg
+buildMaeri(int leaves)
+{
+    TreeConfig cfg;
+    cfg.leaves = leaves;
+    cfg.leafPe.sched = Scheduling::Static;
+    cfg.leafPe.sharing = Sharing::Dedicated;
+    cfg.reducePe.sched = Scheduling::Static;
+    cfg.reducePe.sharing = Sharing::Dedicated;
+    return buildTree(cfg);
+}
+
+Adg
+buildTriggered(int rows, int cols)
+{
+    MeshConfig cfg;
+    cfg.rows = rows;
+    cfg.cols = cols;
+    cfg.pe.sched = Scheduling::Dynamic;
+    cfg.pe.sharing = Sharing::Shared;
+    cfg.pe.maxInsts = 16;       // triggered-instruction window
+    cfg.pe.streamJoin = true;
+    cfg.pe.ops = fullOps();
+    cfg.sw.sched = Scheduling::Dynamic;
+    cfg.numInputSyncs = 3;
+    cfg.numOutputSyncs = 2;
+    cfg.hasSpad = true;
+    cfg.spad.numBanks = 4;      // PE groups share a decoupled scratchpad
+    return buildMesh(cfg);
+}
+
+Adg
+buildSpu(int rows, int cols)
+{
+    MeshConfig cfg;
+    cfg.rows = rows;
+    cfg.cols = cols;
+    cfg.pe.sched = Scheduling::Dynamic;
+    cfg.pe.sharing = Sharing::Dedicated;
+    cfg.pe.streamJoin = true;   // data-dependence forms need join control
+    cfg.pe.decomposable = true;
+    cfg.pe.minLaneBits = 8;
+    cfg.pe.ops = fullOps();
+    cfg.sw.sched = Scheduling::Dynamic;
+    cfg.sw.decomposable = true;
+    cfg.sw.minLaneBits = 8;
+    cfg.numInputSyncs = 4;
+    cfg.numOutputSyncs = 2;
+    cfg.hasSpad = true;
+    cfg.spad.numBanks = 8;      // banked scratchpad
+    cfg.spad.indirect = true;
+    cfg.spad.atomicUpdate = true;
+    return buildMesh(cfg);
+}
+
+Adg
+buildRevel(int rows, int cols)
+{
+    MeshConfig cfg;
+    cfg.rows = rows;
+    cfg.cols = cols;
+    cfg.pe.sched = Scheduling::Static;
+    cfg.pe.sharing = Sharing::Dedicated;
+    cfg.pe.ops = fullOps();
+    cfg.numInputSyncs = 4;
+    cfg.numOutputSyncs = 2;
+    cfg.hasSpad = true;
+    cfg.spad.linear = true;     // inductive 2D streams (REVEL's generator)
+    Adg g = buildMesh(cfg);
+    // Make the right half of the mesh dynamic (hybrid systolic-dataflow);
+    // switches on that side speak the flow-controlled protocol too.
+    for (NodeId id : g.aliveNodes(NodeKind::Pe)) {
+        AdgNode &n = g.node(id);
+        if (n.col >= cols / 2) {
+            n.pe().sched = Scheduling::Dynamic;
+            n.pe().streamJoin = true;
+        }
+    }
+    for (NodeId id : g.aliveNodes(NodeKind::Switch)) {
+        AdgNode &n = g.node(id);
+        if (n.col >= cols / 2)
+            n.sw().sched = Scheduling::Dynamic;
+    }
+    return g;
+}
+
+Adg
+buildDianNaoLike(int multipliers)
+{
+    TreeConfig cfg;
+    cfg.leaves = multipliers;
+    cfg.leafPe.sched = Scheduling::Static;
+    cfg.leafPe.sharing = Sharing::Dedicated;
+    cfg.leafPe.ops = OpSet{OpCode::Mul, OpCode::FMul, OpCode::Pass};
+    cfg.reducePe.sched = Scheduling::Static;
+    cfg.reducePe.sharing = Sharing::Dedicated;
+    cfg.reducePe.ops = OpSet{OpCode::Add, OpCode::FAdd, OpCode::Acc,
+                             OpCode::FAcc, OpCode::Max, OpCode::FMax,
+                             OpCode::Sigmoid, OpCode::ReLU, OpCode::Pass};
+    cfg.hasSpad = true;
+    cfg.spad.capacityBytes = 44 * 1024;  // NBin + NBout + SB
+    cfg.spad.widthBytes = 128;
+    return buildTree(cfg);
+}
+
+Adg
+buildDseInitial(int rows, int cols)
+{
+    MeshConfig cfg;
+    cfg.rows = rows;
+    cfg.cols = cols;
+    cfg.pe.ops = fullOps();
+    cfg.pe.decomposable = true;
+    cfg.pe.minLaneBits = 8;
+    // Full capability: flow-controlled switches everywhere so dynamic
+    // dataflow (stream-join) can route anywhere; DSE trims later.
+    cfg.sw.sched = Scheduling::Dynamic;
+    cfg.numInputSyncs = 4;
+    cfg.numOutputSyncs = 3;
+    cfg.hasSpad = true;
+    cfg.spad.numBanks = 8;
+    cfg.spad.indirect = true;
+    cfg.spad.atomicUpdate = true;
+    Adg g = buildMesh(cfg);
+    // Mix in dynamic (stream-join capable) and shared PEs so every
+    // modular compiler feature has hardware to map to.
+    for (NodeId id : g.aliveNodes(NodeKind::Pe)) {
+        AdgNode &n = g.node(id);
+        if ((n.row + n.col) % 2 == 1) {
+            n.pe().sched = Scheduling::Dynamic;
+            n.pe().streamJoin = true;
+        }
+        if (n.row == 0 && n.col % 2 == 0) {
+            n.pe().sharing = Sharing::Shared;
+            n.pe().maxInsts = 8;
+        }
+    }
+    return g;
+}
+
+} // namespace dsa::adg

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Prebuilt ADG instantiations of the accelerators the paper targets
+ * (§VII "Target Accelerators"), plus the DianNao-like domain-specific
+ * point and the full-capability initial design used to seed DSE (§VIII-B).
+ *
+ * All designs assume integration with a high-bandwidth L2 (75 GB/s),
+ * modeled as the `main` memory interface width.
+ */
+
+#ifndef DSA_ADG_PREBUILT_H
+#define DSA_ADG_PREBUILT_H
+
+#include "adg/adg.h"
+
+namespace dsa::adg {
+
+/**
+ * Softbrain [65]: mesh of static-scheduled/dedicated PEs and switches,
+ * single non-banked scratchpad, linear streams only.
+ */
+Adg buildSoftbrain(int rows = 5, int cols = 5);
+
+/**
+ * MAERI [45]: tree-based topology; multiplier leaves with a
+ * reconfigurable reduction tree (approximated with our tree fabric).
+ */
+Adg buildMaeri(int leaves = 16);
+
+/**
+ * Triggered Instructions [69]: mesh of dynamic-scheduled/shared
+ * (temporal) PEs; groups of PEs share a decoupled scratchpad.
+ */
+Adg buildTriggered(int rows = 4, int cols = 4);
+
+/**
+ * SPU [20]: mesh of dynamic-scheduled/dedicated PEs with stream-join
+ * control, banked scratchpad with indirect + atomic-update controllers.
+ */
+Adg buildSpu(int rows = 4, int cols = 4);
+
+/**
+ * REVEL [92]: hybrid systolic-dataflow mesh composing static and
+ * dynamic PEs, communicating through synchronization elements; linear
+ * controller supports inductive 2D streams.
+ */
+Adg buildRevel(int rows = 4, int cols = 4);
+
+/**
+ * DianNao-like [12] domain-specific reference: two scratchpads plus a
+ * static-scheduled dedicated multiplier layer and adder tree.
+ */
+Adg buildDianNaoLike(int multipliers = 16);
+
+/**
+ * The initial DSE hardware of §VIII-B: a 5x4 mesh with full capability
+ * (control flow / stream-join, FU decomposability, indirect memory
+ * controller, shared and dynamic PEs mixed in).
+ */
+Adg buildDseInitial(int rows = 5, int cols = 4);
+
+} // namespace dsa::adg
+
+#endif // DSA_ADG_PREBUILT_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used across the ADG and hardware
+ * generator (datapath widths are constrained to powers of two).
+ */
+
+#ifndef DSA_BASE_BITS_H
+#define DSA_BASE_BITS_H
+
+#include <cstdint>
+
+namespace dsa {
+
+/** True iff @p x is a (positive) power of two. */
+constexpr bool
+isPow2(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** ceil(log2(x)); log2Ceil(1) == 0. */
+constexpr int
+log2Ceil(uint64_t x)
+{
+    int n = 0;
+    uint64_t v = 1;
+    while (v < x) {
+        v <<= 1;
+        ++n;
+    }
+    return n;
+}
+
+/** floor(log2(x)); undefined for x == 0. */
+constexpr int
+log2Floor(uint64_t x)
+{
+    int n = -1;
+    while (x) {
+        x >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+/** Smallest power of two >= x. */
+constexpr uint64_t
+nextPow2(uint64_t x)
+{
+    uint64_t v = 1;
+    while (v < x)
+        v <<= 1;
+    return v;
+}
+
+/** Integer ceiling division. */
+constexpr int64_t
+divCeil(int64_t a, int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace dsa
+
+#endif // DSA_BASE_BITS_H

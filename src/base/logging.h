@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Logging and error-reporting helpers for the DSAGEN framework.
+ *
+ * Follows the gem5 fatal/panic convention:
+ *  - fatal():  the situation is the *user's* fault (bad configuration,
+ *              invalid input); exits with an error code.
+ *  - panic():  the situation should never happen regardless of input
+ *              (a framework bug); aborts so a debugger/core dump can
+ *              capture the state.
+ *  - warn()/inform(): status messages that never stop execution.
+ */
+
+#ifndef DSA_BASE_LOGGING_H
+#define DSA_BASE_LOGGING_H
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dsa {
+
+/** Verbosity levels for inform(). */
+enum class LogLevel { Quiet = 0, Normal = 1, Verbose = 2 };
+
+/** Global log verbosity; benches set Quiet to keep output tabular. */
+LogLevel logLevel();
+
+/** Set the global log verbosity. */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg, LogLevel level);
+
+/** Fold a list of streamable values into one string. */
+template <typename... Args>
+std::string
+fold(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace dsa
+
+/** Report an unrecoverable user-caused error and exit(1). */
+#define DSA_FATAL(...) \
+    ::dsa::detail::fatalImpl(__FILE__, __LINE__, ::dsa::detail::fold(__VA_ARGS__))
+
+/** Report a framework bug and abort(). */
+#define DSA_PANIC(...) \
+    ::dsa::detail::panicImpl(__FILE__, __LINE__, ::dsa::detail::fold(__VA_ARGS__))
+
+/** Panic when an internal invariant does not hold. */
+#define DSA_ASSERT(cond, ...)                                                 \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::dsa::detail::panicImpl(                                         \
+                __FILE__, __LINE__,                                           \
+                ::dsa::detail::fold("assertion failed: " #cond " ",          \
+                                    ##__VA_ARGS__));                          \
+        }                                                                     \
+    } while (0)
+
+/** Non-fatal warning to stderr. */
+#define DSA_WARN(...) \
+    ::dsa::detail::warnImpl(::dsa::detail::fold(__VA_ARGS__))
+
+/** Informational message, printed at Normal verbosity or above. */
+#define DSA_INFORM(...) \
+    ::dsa::detail::informImpl(::dsa::detail::fold(__VA_ARGS__), \
+                              ::dsa::LogLevel::Normal)
+
+/** Informational message, printed only at Verbose verbosity. */
+#define DSA_VERBOSE(...) \
+    ::dsa::detail::informImpl(::dsa::detail::fold(__VA_ARGS__), \
+                              ::dsa::LogLevel::Verbose)
+
+#endif // DSA_BASE_LOGGING_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Deterministic random-number utilities.
+ *
+ * Every stochastic component in the framework (scheduler, DSE, synthesis
+ * oracle noise) draws from an explicitly seeded Rng so that experiments
+ * are reproducible run-to-run.
+ */
+
+#ifndef DSA_BASE_RNG_H
+#define DSA_BASE_RNG_H
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace dsa {
+
+/** A seeded pseudo-random generator with convenience draws. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0) : engine_(seed) {}
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    int64_t
+    uniformInt(int64_t lo, int64_t hi)
+    {
+        DSA_ASSERT(lo <= hi, "bad range [", lo, ", ", hi, "]");
+        std::uniform_int_distribution<int64_t> d(lo, hi);
+        return d(engine_);
+    }
+
+    /** Uniform real in [lo, hi). */
+    double
+    uniformReal(double lo = 0.0, double hi = 1.0)
+    {
+        std::uniform_real_distribution<double> d(lo, hi);
+        return d(engine_);
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool
+    chance(double p)
+    {
+        std::bernoulli_distribution d(p);
+        return d(engine_);
+    }
+
+    /** Gaussian draw. */
+    double
+    gaussian(double mean, double stddev)
+    {
+        std::normal_distribution<double> d(mean, stddev);
+        return d(engine_);
+    }
+
+    /** Pick a uniformly random element of a non-empty vector. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &v)
+    {
+        DSA_ASSERT(!v.empty(), "pick from empty vector");
+        return v[static_cast<size_t>(uniformInt(0, int64_t(v.size()) - 1))];
+    }
+
+    /** Shuffle a vector in place. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        std::shuffle(v.begin(), v.end(), engine_);
+    }
+
+    /** Fork a child generator (e.g. one per DSE worker). */
+    Rng fork() { return Rng(engine_()); }
+
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace dsa
+
+#endif // DSA_BASE_RNG_H

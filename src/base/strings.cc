@@ -1,0 +1,53 @@
+#include "base/strings.h"
+
+#include <sstream>
+
+namespace dsa {
+
+std::vector<std::string>
+split(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char ch : s) {
+        if (ch == delim) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(ch);
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            os << sep;
+        os << parts[i];
+    }
+    return os.str();
+}
+
+} // namespace dsa

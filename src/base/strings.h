@@ -1,0 +1,29 @@
+/**
+ * @file
+ * String helpers used by the ADG serializer and command printers.
+ */
+
+#ifndef DSA_BASE_STRINGS_H
+#define DSA_BASE_STRINGS_H
+
+#include <string>
+#include <vector>
+
+namespace dsa {
+
+/** Split @p s at every occurrence of @p delim (empty pieces kept). */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** Strip leading/trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** True iff @p s begins with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Join the elements of @p parts with @p sep. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+} // namespace dsa
+
+#endif // DSA_BASE_STRINGS_H

@@ -1,0 +1,67 @@
+#include "base/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "base/logging.h"
+
+namespace dsa {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    DSA_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    DSA_ASSERT(cells.size() == headers_.size(), "row arity ", cells.size(),
+               " != header arity ", headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::ostringstream os;
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << "| " << row[c]
+               << std::string(widths[c] - row[c].size() + 1, ' ');
+        }
+        os << "|\n";
+        return os.str();
+    };
+
+    std::ostringstream os;
+    os << renderRow(headers_);
+    for (size_t c = 0; c < headers_.size(); ++c)
+        os << "|" << std::string(widths[c] + 2, '-');
+    os << "|\n";
+    for (const auto &row : rows_)
+        os << renderRow(row);
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+} // namespace dsa

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * ASCII table formatting used by the benchmark harnesses to print the
+ * rows/series of each paper table and figure.
+ */
+
+#ifndef DSA_BASE_TABLE_H
+#define DSA_BASE_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace dsa {
+
+/** Accumulates rows of strings and renders an aligned ASCII table. */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table with aligned columns. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    size_t numRows() const { return rows_.size(); }
+
+    /** Format a double with @p precision decimal places. */
+    static std::string fmt(double v, int precision = 2);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace dsa
+
+#endif // DSA_BASE_TABLE_H

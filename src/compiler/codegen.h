@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Control-program code generation (§IV-C "Code Generation"): the final
+ * compiler step emits the control core's command stream — configure
+ * the fabric, issue stream intrinsics (with per-issue base updates for
+ * enclosing loops), forward produced scalars, and fence memory where
+ * region ordering requires it. The emitted listing is the
+ * stream-dataflow "assembly" a control core executes; the simulator's
+ * issue logic mirrors its semantics.
+ */
+
+#ifndef DSA_COMPILER_CODEGEN_H
+#define DSA_COMPILER_CODEGEN_H
+
+#include <string>
+
+#include "adg/adg.h"
+#include "dfg/program.h"
+#include "mapper/schedule.h"
+
+namespace dsa::compiler {
+
+/** Statistics of the emitted control program. */
+struct CommandStats
+{
+    int configCommands = 0;
+    int streamCommands = 0;
+    int barrierCommands = 0;
+    int loopInstructions = 0;
+    int totalCommands() const
+    {
+        return configCommands + streamCommands + barrierCommands +
+               loopInstructions;
+    }
+};
+
+/**
+ * Emit the control program for a scheduled decoupled program.
+ * @param stats optional out-param with command counts.
+ * @return human-readable command listing.
+ */
+std::string emitControlProgram(const dfg::DecoupledProgram &prog,
+                               const mapper::Schedule &sched,
+                               const adg::Adg &adg,
+                               CommandStats *stats = nullptr);
+
+} // namespace dsa::compiler
+
+#endif // DSA_COMPILER_CODEGEN_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Top-level modular compilation driver (§IV). Given a kernel in the
+ * loop-nest IR, an array placement, and the target's hardware
+ * features, produce several candidate decoupled programs — one per
+ * explored vectorization degree, with feature-specific transformations
+ * applied only where the hardware supports them and fallbacks
+ * elsewhere. The scheduler + performance model later pick the best
+ * legal version (§IV-C "Code Generation").
+ */
+
+#ifndef DSA_COMPILER_COMPILE_H
+#define DSA_COMPILER_COMPILE_H
+
+#include <string>
+#include <vector>
+
+#include "compiler/features.h"
+#include "compiler/placement.h"
+#include "dfg/program.h"
+#include "ir/stmt.h"
+
+namespace dsa::compiler {
+
+/** Feature gates + exploration knobs (Fig. 12's on/off switches). */
+struct CompileOptions
+{
+    /** Vectorization degrees to generate versions for (§IV-E). */
+    std::vector<int> unrollFactors = {1, 2, 4, 8};
+    /** Allow the stream-join transformation (needs dynamic PEs). */
+    bool enableStreamJoin = true;
+    /** Allow vectorized indirect loads/updates (needs indirect ctrl). */
+    bool enableIndirect = true;
+    /** Allow mapping low-rate computation to shared PEs (scheduler). */
+    bool enableShared = true;
+    /** Producer-consumer forwarding between regions (§IV-D). */
+    bool enableProducerConsumer = true;
+    /** Repetitive in-place update buffering (§IV-D / Fig. 7(b)). */
+    bool enableRepetitiveUpdate = true;
+};
+
+/** One compiled candidate. */
+struct CompiledVersion
+{
+    dfg::DecoupledProgram program;
+    int unrollFactor = 1;
+    /** Human-readable record of the transformations applied. */
+    std::vector<std::string> notes;
+};
+
+/** Outcome of lowering one kernel at one unroll factor. */
+struct LowerResult
+{
+    bool ok = false;
+    std::string error;
+    CompiledVersion version;
+};
+
+/**
+ * Lower @p kernel at vectorization degree @p unroll.
+ * Fails (ok=false) when the degree does not divide the inner trip
+ * counts or an unsupported construct is hit.
+ */
+LowerResult lowerKernel(const ir::KernelSource &kernel,
+                        const Placement &placement, const HwFeatures &hw,
+                        const CompileOptions &opts, int unroll);
+
+/**
+ * Compile @p kernel into one candidate per viable unroll factor.
+ * At least one version (unroll 1) is guaranteed for supported kernels.
+ */
+std::vector<CompiledVersion> compile(const ir::KernelSource &kernel,
+                                     const Placement &placement,
+                                     const HwFeatures &hw,
+                                     const CompileOptions &opts = {});
+
+} // namespace dsa::compiler
+
+#endif // DSA_COMPILER_COMPILE_H

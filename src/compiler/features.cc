@@ -1,0 +1,48 @@
+#include "compiler/features.h"
+
+namespace dsa::compiler {
+
+HwFeatures
+HwFeatures::fromAdg(const adg::Adg &g)
+{
+    using namespace dsa::adg;
+    HwFeatures f;
+    for (NodeId id : g.aliveNodes(NodeKind::Pe)) {
+        const auto &pe = g.node(id).pe();
+        ++f.numPes;
+        f.ops |= pe.ops;
+        if (pe.sched == Scheduling::Dynamic) {
+            f.dynamicPes = true;
+            ++f.numDynamicPes;
+            if (pe.streamJoin)
+                f.streamJoin = true;
+        }
+        if (pe.sharing == Sharing::Shared)
+            f.sharedPes = true;
+    }
+    for (NodeId id : g.aliveNodes(NodeKind::Memory)) {
+        const auto &m = g.node(id).mem();
+        if (m.indirect)
+            f.indirectMemory = true;
+        if (m.atomicUpdate)
+            f.atomicUpdate = true;
+        if (m.kind == MemKind::Scratchpad) {
+            f.hasSpad = true;
+            f.spadCapacityBytes += m.capacityBytes;
+        }
+    }
+    for (NodeId id : g.aliveNodes(NodeKind::Sync)) {
+        const auto &s = g.node(id).sync();
+        if (s.dir == SyncDir::Input) {
+            f.maxInputLanes = std::max(f.maxInputLanes, s.lanes);
+            f.totalInputLanes += s.lanes;
+            f.syncBufferEntries += int64_t(s.depth) * s.lanes;
+        } else {
+            f.maxOutputLanes = std::max(f.maxOutputLanes, s.lanes);
+            f.totalOutputLanes += s.lanes;
+        }
+    }
+    return f;
+}
+
+} // namespace dsa::compiler

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Hardware feature extraction: the compiler inspects the target ADG to
+ * decide which modular transformations are applicable (§IV-C "Modular
+ * Compilation" — "the compiler will first inspect if the underlying
+ * hardware has the corresponding feature to support it").
+ */
+
+#ifndef DSA_COMPILER_FEATURES_H
+#define DSA_COMPILER_FEATURES_H
+
+#include "adg/adg.h"
+
+namespace dsa::compiler {
+
+/** Summary of an ADG's capabilities relevant to modular compilation. */
+struct HwFeatures
+{
+    /** Any dynamic-scheduled PE with stream-join control. */
+    bool streamJoin = false;
+    /** Any dynamic-scheduled PE (control-dependent dataflow). */
+    bool dynamicPes = false;
+    /** Any shared (temporal) PE. */
+    bool sharedPes = false;
+    /** Any memory with an indirect controller. */
+    bool indirectMemory = false;
+    /** Any memory with banked atomic-update support. */
+    bool atomicUpdate = false;
+    /** Scratchpad present. */
+    bool hasSpad = false;
+    int64_t spadCapacityBytes = 0;
+
+    int numPes = 0;
+    int numDynamicPes = 0;
+    /** Union of all PE opcode capabilities. */
+    OpSet ops;
+
+    /** Widest input / output sync element (vector lanes). */
+    int maxInputLanes = 1;
+    int maxOutputLanes = 1;
+    /** Total vector lanes across all input / output sync elements. */
+    int totalInputLanes = 0;
+    int totalOutputLanes = 0;
+    /** Total sync buffering (entries summed over input syncs). */
+    int64_t syncBufferEntries = 0;
+
+    /** Extract features from @p adg. */
+    static HwFeatures fromAdg(const adg::Adg &adg);
+};
+
+} // namespace dsa::compiler
+
+#endif // DSA_COMPILER_FEATURES_H

@@ -1,0 +1,2014 @@
+/**
+ * @file
+ * Kernel lowering: loop-nest IR -> decoupled programs (§IV-C..E).
+ *
+ * The lowering walks the kernel body; every `offload`-marked loop (or
+ * merge loop) becomes one Region. Within a region:
+ *  - affine loads/stores are hoisted into linear streams (the SCEV-
+ *    driven decoupling of §IV-C), folding up to two loop dimensions
+ *    into one inductive 2D pattern; deeper enclosing loops become
+ *    control-core re-issues with per-iteration base shifts;
+ *  - indirect accesses become indirect/atomic streams when the
+ *    hardware has the controller, else scalar-issued fallbacks;
+ *  - if/else is converted to select dataflow (Fig. 6);
+ *  - merge loops become stream-join dataflow on dynamic PEs (Fig. 8),
+ *    else a serialized control-core fallback;
+ *  - reductions become self-accumulating instructions, vectorized into
+ *    per-lane accumulators plus a combine tree when unrolling;
+ *  - the producer-consumer and repetitive-update idioms of §IV-D are
+ *    recognized and forwarded / buffered on-fabric.
+ */
+
+#include "compiler/compile.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "base/logging.h"
+#include "ir/affine.h"
+
+namespace dsa::compiler {
+
+namespace {
+
+using namespace dsa::ir;
+using dsa::dfg::CtrlSpec;
+using dsa::dfg::DecoupledProgram;
+using dsa::dfg::Forward;
+using dsa::dfg::LinearPattern;
+using dsa::dfg::MemSpace;
+using dsa::dfg::Operand;
+using dsa::dfg::Region;
+using dsa::dfg::Stream;
+using dsa::dfg::StreamKind;
+using dsa::dfg::VertexId;
+using dsa::dfg::VertexKind;
+
+/** Thrown to abort lowering of one version. */
+struct LowerError
+{
+    std::string msg;
+};
+
+[[noreturn]] void
+fail(const std::string &msg)
+{
+    throw LowerError{msg};
+}
+
+/** Identity element of a reduction/update operation. */
+Value
+identityOf(OpCode op)
+{
+    switch (op) {
+      case OpCode::Add: case OpCode::Sub: case OpCode::Or:
+      case OpCode::Xor: case OpCode::Shl: case OpCode::Shr:
+        return 0;
+      case OpCode::FAdd: case OpCode::FSub:
+        return valueFromF64(0.0);
+      case OpCode::Mul:
+        return 1;
+      case OpCode::FMul:
+        return valueFromF64(1.0);
+      case OpCode::Max:
+        return static_cast<Value>(INT64_MIN);
+      case OpCode::Min:
+        return static_cast<Value>(INT64_MAX);
+      case OpCode::FMax:
+        return valueFromF64(-1e300);
+      case OpCode::FMin:
+        return valueFromF64(1e300);
+      case OpCode::And:
+        return ~Value(0);
+      default:
+        fail(std::string("no identity for op ") + opName(op));
+    }
+}
+
+/** An enclosing loop. */
+struct LoopCtx
+{
+    int id;
+    int64_t extent;         ///< extent with all enclosing ivs at 0
+    AffineForm extentAff;   ///< full affine extent
+};
+
+/** A lowered effect: per-lane value operands for a store or reduce. */
+struct StoreEff
+{
+    const Stmt *stmt = nullptr;
+    std::string array;
+    ExprPtr idxExpr;
+    bool isUpdate = false;
+    OpCode updateOp = OpCode::Add;
+    std::vector<Operand> value;  ///< one per lane
+    /** Compaction store: index is this scalar, incremented alongside. */
+    std::string compactScalar;
+};
+
+struct ReduceEff
+{
+    std::string scalar;
+    OpCode op = OpCode::Add;
+    std::vector<Operand> value;  ///< one per lane
+};
+
+struct Effects
+{
+    std::vector<StoreEff> stores;
+    std::vector<ReduceEff> reduces;
+};
+
+/** Signature of an affine form (for port sharing / index matching). */
+std::string
+affineKey(const AffineForm &f)
+{
+    std::ostringstream os;
+    os << f.base;
+    for (const auto &[id, c] : f.coeffs)
+        if (c != 0)
+            os << "|" << id << "*" << c;
+    return os.str();
+}
+
+class Lowerer
+{
+  public:
+    Lowerer(const KernelSource &k, const Placement &pl, const HwFeatures &hw,
+            const CompileOptions &opts, int unroll)
+        : k_(k), pl_(pl), hw_(hw), opts_(opts), U_(unroll)
+    {
+    }
+
+    LowerResult
+    run()
+    {
+        LowerResult res;
+        try {
+            prog_.name = k_.name + "_u" + std::to_string(U_);
+            prescanDependences();
+            processBody(k_.body);
+            if (prog_.regions.empty())
+                fail("kernel has no offloaded region");
+            applyRegionDependences();
+            assignConfigGroups();
+            if (sequential_) {
+                prog_.sequential = true;
+                generatePhaseScript();
+                note("cross-region array dependences: sequential phase "
+                     "execution (" +
+                     std::to_string(prog_.phaseScript.size()) + " issues)");
+            }
+            auto problems = prog_.validate();
+            if (!problems.empty())
+                fail("lowered program invalid: " + problems.front());
+            res.ok = true;
+            res.version.program = std::move(prog_);
+            res.version.unrollFactor = U_;
+            res.version.notes = notes_;
+        } catch (const LowerError &e) {
+            res.ok = false;
+            res.error = e.msg;
+        }
+        return res;
+    }
+
+  private:
+    /// @name Kernel-wide state
+    /// @{
+    const KernelSource &k_;
+    const Placement &pl_;
+    const HwFeatures &hw_;
+    const CompileOptions &opts_;
+    const int U_;
+
+    DecoupledProgram prog_;
+    std::vector<std::string> notes_;
+    std::map<std::string, Value> scalarConsts_;
+    struct ScalarProd
+    {
+        int region;
+        VertexId port;       ///< output port (created on demand)
+        VertexId rootValue;  ///< combine-tree root inside the region
+        int64_t outputEvery;
+    };
+    std::map<std::string, ScalarProd> scalarProducers_;
+    std::vector<LoopCtx> loopStack_;
+    /** Kernel needs strictly-ordered phase execution. */
+    bool sequential_ = false;
+    /** Region index each offload/merge statement lowered to. */
+    std::map<const Stmt *, int> regionOfStmt_;
+    /** Cross-region deps between disjoint nests (stmt -> stmts). */
+    std::map<const Stmt *, std::vector<const Stmt *>> stmtDeps_;
+    /// @}
+
+    /// @name Per-region state
+    /// @{
+    Region region_;
+    int regionIdx_ = -1;
+    int innerId_ = -1;
+    AffineForm innerExtentAff_;
+    int64_t innerExtent_ = 0;   ///< extent with enclosing ivs at 0
+    bool hasDim2_ = false;
+    int dim2Id_ = -1;
+    int64_t dim2Extent_ = 0;
+    std::vector<LoopCtx> regionOuter_;  ///< non-folded enclosing loops
+    int64_t firesPerGroup_ = 0;  ///< DFG fires per reduction group
+    std::map<std::string, VertexId> loadPorts_;   ///< affine load ports
+    std::map<const Expr *, std::vector<Operand>> memo_;
+    struct UpdateInfo
+    {
+        AffineForm idx;
+        VertexId inPort = dfg::kInvalidVertex;
+        bool recurrence = false;
+        bool used = false;
+    };
+    std::map<std::string, UpdateInfo> updates_;
+    std::map<std::string, std::vector<Operand>> mergeGates_;
+    /** Scalars locally bound to in-region values (post-store exprs). */
+    std::map<std::string, Operand> scalarLocal_;
+    /** Issue-invariant loads grouped into persistent vector ports:
+     *  "array#affineKey" -> (port, lane). */
+    struct InvariantLoad
+    {
+        VertexId port;
+        int lane;
+    };
+    std::map<std::string, InvariantLoad> invariantLoads_;
+    VertexId iotaInner_ = dfg::kInvalidVertex;
+    VertexId iotaDim2_ = dfg::kInvalidVertex;
+    std::set<std::string> regionReducedScalars_;
+    /// @}
+
+    void
+    note(const std::string &n)
+    {
+        notes_.push_back(n);
+    }
+
+    /// Evaluate a compile-time-constant expression (consts, params,
+    /// known scalars, pure arithmetic).
+    Value
+    evalConstValue(const ExprPtr &e)
+    {
+        DSA_ASSERT(e, "null expr");
+        switch (e->kind) {
+          case ExprKind::Const:
+            return e->constVal;
+          case ExprKind::Param: {
+            auto it = k_.params.find(e->name);
+            if (it == k_.params.end())
+                fail("unbound param " + e->name);
+            return static_cast<Value>(it->second);
+          }
+          case ExprKind::Scalar: {
+            auto it = scalarConsts_.find(e->name);
+            if (it == scalarConsts_.end())
+                fail("scalar " + e->name + " is not compile-time constant");
+            return it->second;
+          }
+          case ExprKind::Op: {
+            Value a = evalConstValue(e->a);
+            Value b = e->b ? evalConstValue(e->b) : 0;
+            Value c = e->c ? evalConstValue(e->c) : 0;
+            return evalOp(e->op, a, b, c, nullptr);
+          }
+          default:
+            fail("expression is not compile-time constant");
+        }
+    }
+
+    std::optional<AffineForm>
+    affine(const ExprPtr &e) const
+    {
+        return analyzeAffine(e, k_.params);
+    }
+
+    /// Split an affine index into (inner stride, dim2 stride, reissue
+    /// coeffs); fails if a coefficient lands on an unknown loop.
+    struct SplitAffine
+    {
+        int64_t base;
+        int64_t strideInner;
+        int64_t strideDim2;
+        std::map<int, int64_t> outerCoeffs;  ///< by loop id (elements)
+    };
+
+    SplitAffine
+    splitAffine(const AffineForm &f) const
+    {
+        SplitAffine s;
+        s.base = f.base;
+        s.strideInner = f.coeff(innerId_);
+        s.strideDim2 = hasDim2_ ? f.coeff(dim2Id_) : 0;
+        for (const auto &[id, c] : f.coeffs) {
+            if (c == 0 || id == innerId_ || (hasDim2_ && id == dim2Id_))
+                continue;
+            bool known = false;
+            for (const auto &L : regionOuter_)
+                known |= (L.id == id);
+            if (!known)
+                fail("index uses loop i" + std::to_string(id) +
+                     " outside the region nest");
+            s.outerCoeffs[id] = c;
+        }
+        return s;
+    }
+
+    /// Build the linear pattern (and reissue coeffs) for an affine
+    /// access with element size @p eb over the region's dimensions.
+    void
+    fillLinear(Stream &st, const AffineForm &idx, int eb,
+               int64_t base_bytes) const
+    {
+        SplitAffine s = splitAffine(idx);
+        st.pattern.baseBytes = base_bytes + s.base * eb;
+        st.pattern.elemBytes = eb;
+        st.pattern.stride1 = s.strideInner;
+        st.pattern.len1 = innerExtent_;
+        st.pattern.stride2 = s.strideDim2;
+        st.pattern.len2 = hasDim2_ ? dim2Extent_ : 1;
+        for (const auto &[id, c] : s.outerCoeffs)
+            st.reissueCoeffs[id] = c * eb;
+        // Triangular inner extent: length varies with outer loops.
+        for (const auto &[id, c] : innerExtentAff_.coeffs) {
+            if (c == 0)
+                continue;
+            st.reissueLenCoeffs[id] = c;
+        }
+    }
+
+    const ArrayDecl &
+    arrayDecl(const std::string &name) const
+    {
+        if (!k_.hasArray(name))
+            fail("unknown array " + name);
+        return k_.arrayDecl(name);
+    }
+
+    /// ------------------------------------------------------------
+    /// Cross-region dependence analysis and phase scripting
+    /// ------------------------------------------------------------
+
+    /** Collect scalar names referenced in an expression. */
+    static void
+    exprScalarRefs(const ExprPtr &e, std::set<std::string> &out)
+    {
+        if (!e)
+            return;
+        if (e->kind == ExprKind::Scalar)
+            out.insert(e->name);
+        exprScalarRefs(e->a, out);
+        exprScalarRefs(e->b, out);
+        exprScalarRefs(e->c, out);
+        exprScalarRefs(e->index, out);
+    }
+
+    /** Arrays loaded in an expression (including index expressions). */
+    static void
+    exprArrayReads(const ExprPtr &e, std::set<std::string> &out)
+    {
+        if (!e)
+            return;
+        if (e->kind == ExprKind::Load)
+            out.insert(e->array);
+        exprArrayReads(e->a, out);
+        exprArrayReads(e->b, out);
+        exprArrayReads(e->c, out);
+        exprArrayReads(e->index, out);
+    }
+
+    struct RegionAccess
+    {
+        const Stmt *stmt = nullptr;
+        std::set<int> loops;  ///< enclosing loop ids
+        std::set<std::string> reads, writes;
+    };
+
+    void
+    collectAccesses(const std::vector<StmtPtr> &stmts,
+                    std::set<std::string> &reads,
+                    std::set<std::string> &writes) const
+    {
+        for (const auto &sp : stmts) {
+            const Stmt &s = *sp;
+            switch (s.kind) {
+              case StmtKind::Store:
+                writes.insert(s.array);
+                exprArrayReads(s.index, reads);
+                exprArrayReads(s.value, reads);
+                if (s.isUpdate)
+                    reads.insert(s.array);
+                break;
+              case StmtKind::Reduce:
+                exprArrayReads(s.rvalue, reads);
+                break;
+              case StmtKind::If:
+                exprArrayReads(s.cond, reads);
+                collectAccesses(s.thenBody, reads, writes);
+                collectAccesses(s.elseBody, reads, writes);
+                break;
+              case StmtKind::Loop:
+                collectAccesses(s.body, reads, writes);
+                break;
+              case StmtKind::MergeLoop:
+                reads.insert(s.merge.keysA);
+                reads.insert(s.merge.keysB);
+                collectAccesses(s.matchBody, reads, writes);
+                break;
+              default:
+                break;
+            }
+        }
+    }
+
+    void
+    prescanRegions(const std::vector<StmtPtr> &stmts, std::set<int> &loops,
+                   std::vector<RegionAccess> &out) const
+    {
+        for (size_t i = 0; i < stmts.size(); ++i) {
+            const Stmt &s = *stmts[i];
+            if (s.kind == StmtKind::Loop && !s.offload) {
+                loops.insert(s.loopId);
+                prescanRegions(s.body, loops, out);
+                loops.erase(s.loopId);
+            } else if ((s.kind == StmtKind::Loop && s.offload) ||
+                       s.kind == StmtKind::MergeLoop) {
+                RegionAccess ra;
+                ra.stmt = &s;
+                ra.loops = loops;
+                std::vector<StmtPtr> self = {stmts[i]};
+                collectAccesses(self, ra.reads, ra.writes);
+                // Trailing scalar stores belong to this region.
+                size_t j = i + 1;
+                for (; j < stmts.size(); ++j) {
+                    const Stmt &nx = *stmts[j];
+                    std::set<std::string> refs;
+                    if (nx.kind == StmtKind::Store && !nx.isUpdate)
+                        exprScalarRefs(nx.value, refs);
+                    if (refs.empty())
+                        break;
+                    ra.writes.insert(nx.array);
+                    exprArrayReads(nx.index, ra.reads);
+                    exprArrayReads(nx.value, ra.reads);
+                }
+                i = j - 1;
+                out.push_back(std::move(ra));
+            }
+        }
+    }
+
+    void
+    prescanDependences()
+    {
+        if (k_.assumeRegionIndependence)
+            return;
+        std::vector<RegionAccess> ras;
+        std::set<int> loops;
+        prescanRegions(k_.body, loops, ras);
+        for (size_t b = 0; b < ras.size(); ++b) {
+            for (size_t a = 0; a < b; ++a) {
+                bool conflict = false;
+                for (const auto &w : ras[a].writes)
+                    conflict |= ras[b].reads.count(w) ||
+                                ras[b].writes.count(w);
+                for (const auto &w : ras[b].writes)
+                    conflict |= ras[a].reads.count(w);
+                if (!conflict)
+                    continue;
+                bool shared = false;
+                for (int l : ras[a].loops)
+                    shared |= ras[b].loops.count(l) > 0;
+                if (shared)
+                    sequential_ = true;
+                else
+                    stmtDeps_[ras[b].stmt].push_back(ras[a].stmt);
+            }
+        }
+    }
+
+    /**
+     * Pack regions into configuration groups (§IV-B: a config scope
+     * may hold several concurrent regions, but a program whose phases
+     * exceed the fabric's capacity must reconfigure between them).
+     * Regions connected by a direct forward must share a group.
+     */
+    void
+    assignConfigGroups()
+    {
+        size_t n = prog_.regions.size();
+        // Union-find over direct forwards.
+        std::vector<int> parent(n);
+        for (size_t i = 0; i < n; ++i)
+            parent[i] = static_cast<int>(i);
+        std::function<int(int)> find = [&](int x) {
+            return parent[x] == x ? x : parent[x] = find(parent[x]);
+        };
+        for (const auto &f : prog_.forwards)
+            if (!f.viaMemory)
+                parent[find(f.srcRegion)] = find(f.dstRegion);
+
+        struct CompCost
+        {
+            int insts = 0, inLanes = 0, outLanes = 0;
+            std::vector<int> members;
+        };
+        std::map<int, CompCost> comps;  // keyed by root (ordered)
+        for (size_t r = 0; r < n; ++r) {
+            auto &cc = comps[find(static_cast<int>(r))];
+            cc.members.push_back(static_cast<int>(r));
+            const Region &reg = prog_.regions[r];
+            if (reg.serialized)
+                continue;
+            cc.insts += reg.dfg.numInstructions();
+            for (VertexId p : reg.dfg.inputPorts())
+                cc.inLanes += reg.dfg.vertex(p).lanes;
+            for (VertexId p : reg.dfg.outputPorts())
+                cc.outLanes += reg.dfg.vertex(p).lanes;
+        }
+
+        // Leave headroom for routing; perfectly-full fabrics rarely
+        // place cleanly.
+        int budgetInsts = std::max(1, (hw_.numPes * 17) / 20);
+        int budgetIn = std::max(1, hw_.totalInputLanes);
+        int budgetOut = std::max(1, hw_.totalOutputLanes);
+        int group = 0, insts = 0, inl = 0, outl = 0;
+        bool first = true;
+        for (auto &[root, cc] : comps) {
+            bool fits = insts + cc.insts <= budgetInsts &&
+                        inl + cc.inLanes <= budgetIn &&
+                        outl + cc.outLanes <= budgetOut;
+            if (!first && !fits) {
+                ++group;
+                insts = inl = outl = 0;
+            }
+            first = false;
+            insts += cc.insts;
+            inl += cc.inLanes;
+            outl += cc.outLanes;
+            for (int r : cc.members)
+                prog_.regions[r].configGroup = group;
+        }
+        if (group > 0)
+            note("program split into " + std::to_string(group + 1) +
+                 " configuration groups");
+    }
+
+    void
+    applyRegionDependences()
+    {
+        for (const auto &[stmt, deps] : stmtDeps_) {
+            auto it = regionOfStmt_.find(stmt);
+            if (it == regionOfStmt_.end())
+                continue;
+            for (const Stmt *dep : deps) {
+                auto dit = regionOfStmt_.find(dep);
+                if (dit != regionOfStmt_.end())
+                    prog_.regions[it->second].dependsOn.push_back(
+                        dit->second);
+            }
+        }
+    }
+
+    /**
+     * Walk the kernel loop structure evaluating extents, appending one
+     * phase-script entry per offloaded-region visit (deduplicating
+     * consecutive identical entries that arise from folded loops).
+     */
+    void
+    scriptWalk(const std::vector<StmtPtr> &stmts,
+               std::map<int, int64_t> &env)
+    {
+        for (const auto &sp : stmts) {
+            const Stmt &s = *sp;
+            if (s.kind == StmtKind::Loop && !s.offload) {
+                auto ext = affine(s.extent);
+                DSA_ASSERT(ext, "script walk: non-affine extent");
+                int64_t n = ext->base;
+                for (const auto &[id, c] : ext->coeffs) {
+                    auto it = env.find(id);
+                    if (it != env.end())
+                        n += c * it->second;
+                }
+                for (int64_t i = 0; i < n; ++i) {
+                    env[s.loopId] = i;
+                    scriptWalk(s.body, env);
+                }
+                env.erase(s.loopId);
+            } else if ((s.kind == StmtKind::Loop && s.offload) ||
+                       s.kind == StmtKind::MergeLoop) {
+                auto it = regionOfStmt_.find(&s);
+                if (it == regionOfStmt_.end())
+                    continue;
+                dfg::PhaseIssue issue;
+                issue.region = it->second;
+                const Region &reg = prog_.regions[it->second];
+                for (const auto &[id, extent] : reg.outerLoops) {
+                    auto eit = env.find(id);
+                    issue.ivs.emplace_back(
+                        id, eit == env.end() ? 0 : eit->second);
+                    (void)extent;
+                }
+                auto same = [&](const dfg::PhaseIssue &x,
+                                const dfg::PhaseIssue &y) {
+                    return x.region == y.region && x.ivs == y.ivs;
+                };
+                if (prog_.phaseScript.empty() ||
+                    !same(prog_.phaseScript.back(), issue))
+                    prog_.phaseScript.push_back(std::move(issue));
+            }
+        }
+    }
+
+    void
+    generatePhaseScript()
+    {
+        std::map<int, int64_t> env;
+        scriptWalk(k_.body, env);
+        DSA_ASSERT(prog_.phaseScript.size() < 1000000,
+                   "phase script unreasonably large");
+    }
+
+    /// Scalars reduced anywhere inside a loop/merge statement.
+    static void
+    reducedScalars(const std::vector<StmtPtr> &stmts,
+                   std::set<std::string> &out)
+    {
+        for (const auto &sp : stmts) {
+            const Stmt &s = *sp;
+            switch (s.kind) {
+              case StmtKind::Reduce:
+                out.insert(s.scalar);
+                break;
+              case StmtKind::If:
+                reducedScalars(s.thenBody, out);
+                reducedScalars(s.elseBody, out);
+                break;
+              case StmtKind::Loop:
+                reducedScalars(s.body, out);
+                break;
+              case StmtKind::MergeLoop:
+                reducedScalars(s.matchBody, out);
+                break;
+              default:
+                break;
+            }
+        }
+    }
+
+    /// True if a trailing store drains a scalar the given region
+    /// statement reduces.
+    bool
+    storesProducedScalar(const Stmt &store, const Stmt &regionStmt) const
+    {
+        std::set<std::string> refs;
+        exprScalarRefs(store.value, refs);
+        if (refs.empty())
+            return false;
+        std::set<std::string> reduced;
+        if (regionStmt.kind == StmtKind::MergeLoop)
+            reducedScalars(regionStmt.matchBody, reduced);
+        else
+            reducedScalars(regionStmt.body, reduced);
+        bool hitsReduced = false;
+        for (const auto &r : refs) {
+            if (reduced.count(r))
+                hitsReduced = true;
+            else if (!scalarConsts_.count(r) &&
+                     !scalarProducers_.count(r))
+                return false;
+        }
+        return hitsReduced;
+    }
+
+    /// ------------------------------------------------------------
+    /// Kernel body walk
+    /// ------------------------------------------------------------
+
+    void
+    processBody(const std::vector<StmtPtr> &stmts)
+    {
+        for (size_t i = 0; i < stmts.size(); ++i) {
+            const Stmt &s = *stmts[i];
+            switch (s.kind) {
+              case StmtKind::LetScalar:
+                scalarConsts_[s.scalar] = evalConstValue(s.rvalue);
+                break;
+              case StmtKind::Loop: {
+                if (s.offload) {
+                    // Consume trailing scalar stores of this region.
+                    std::vector<const Stmt *> postStores;
+                    size_t j = i + 1;
+                    for (; j < stmts.size(); ++j) {
+                        const Stmt &nx = *stmts[j];
+                        if (nx.kind == StmtKind::Store && !nx.isUpdate &&
+                            storesProducedScalar(nx, s))
+                            postStores.push_back(&nx);
+                        else
+                            break;
+                    }
+                    lowerOffload(s, postStores);
+                    i = j - 1;
+                } else {
+                    LoopCtx ctx;
+                    ctx.id = s.loopId;
+                    auto ext = affine(s.extent);
+                    if (!ext)
+                        fail("loop extent is not affine");
+                    ctx.extentAff = *ext;
+                    ctx.extent = ext->base;
+                    loopStack_.push_back(ctx);
+                    processBody(s.body);
+                    loopStack_.pop_back();
+                }
+                break;
+              }
+              case StmtKind::MergeLoop: {
+                std::vector<const Stmt *> postStores;
+                size_t j = i + 1;
+                for (; j < stmts.size(); ++j) {
+                    const Stmt &nx = *stmts[j];
+                    if (nx.kind == StmtKind::Store && !nx.isUpdate &&
+                        storesProducedScalar(nx, s))
+                        postStores.push_back(&nx);
+                    else
+                        break;
+                }
+                lowerMerge(s, postStores);
+                i = j - 1;
+                break;
+              }
+              case StmtKind::Store:
+                fail("store outside offloaded region (value '" +
+                     exprToString(s.value) + "')");
+              default:
+                fail("unsupported statement outside offloaded region");
+            }
+        }
+    }
+
+    /// ------------------------------------------------------------
+    /// Region setup helpers
+    /// ------------------------------------------------------------
+
+    void
+    beginRegion(const std::string &name)
+    {
+        region_ = Region();
+        region_.name = name;
+        region_.unrollFactor = U_;
+        regionIdx_ = static_cast<int>(prog_.regions.size());
+        loadPorts_.clear();
+        memo_.clear();
+        updates_.clear();
+        mergeGates_.clear();
+        scalarLocal_.clear();
+        invariantLoads_.clear();
+        iotaInner_ = dfg::kInvalidVertex;
+        iotaDim2_ = dfg::kInvalidVertex;
+        regionReducedScalars_.clear();
+        region_.dfg.setName(name);
+    }
+
+    void
+    endRegion()
+    {
+        for (const auto &L : regionOuter_)
+            region_.outerLoops.emplace_back(L.id, L.extent);
+        double freq = static_cast<double>(region_.instancesEstimate()) *
+                      static_cast<double>(region_.reissues());
+        region_.execFreq = std::max(1.0, freq);
+        prog_.regions.push_back(std::move(region_));
+    }
+
+    /// Scan region statements for arrays that are stored with an
+    /// affine index (update candidates), recursing into ifs.
+    void
+    scanStores(const std::vector<StmtPtr> &stmts,
+               std::vector<const Stmt *> &stores,
+               std::vector<const Stmt *> &reduces) const
+    {
+        for (const auto &sp : stmts) {
+            const Stmt &s = *sp;
+            switch (s.kind) {
+              case StmtKind::Store:
+                stores.push_back(&s);
+                break;
+              case StmtKind::Reduce:
+                reduces.push_back(&s);
+                break;
+              case StmtKind::If:
+                scanStores(s.thenBody, stores, reduces);
+                scanStores(s.elseBody, stores, reduces);
+                break;
+              case StmtKind::LetScalar:
+                break;
+              default:
+                fail("unsupported statement inside offloaded loop");
+            }
+        }
+    }
+
+    /// True if @p e loads @p array anywhere.
+    static bool
+    loadsArray(const ExprPtr &e, const std::string &array)
+    {
+        if (!e)
+            return false;
+        if (e->kind == ExprKind::Load && e->array == array)
+            return true;
+        return loadsArray(e->a, array) || loadsArray(e->b, array) ||
+               loadsArray(e->c, array) || loadsArray(e->index, array);
+    }
+
+    /// ------------------------------------------------------------
+    /// Offloaded affine region
+    /// ------------------------------------------------------------
+
+    void
+    lowerOffload(const Stmt &loop, const std::vector<const Stmt *> &posts)
+    {
+        beginRegion(k_.name + "_r" + std::to_string(prog_.regions.size()));
+        regionOfStmt_[&loop] = regionIdx_;
+        innerId_ = loop.loopId;
+        auto ext = affine(loop.extent);
+        if (!ext)
+            fail("offload loop extent is not affine");
+        innerExtentAff_ = *ext;
+        innerExtent_ = ext->base;
+        // Triangular loops (extent depending on an enclosing iv) may
+        // have zero trips at the base point; fixed extents must be
+        // positive.
+        if (innerExtent_ <= 0 && innerExtentAff_.coeffs.empty())
+            fail("offload loop extent must be positive");
+        if (U_ > 1 && (innerExtent_ % U_ != 0 || !innerExtentAff_.coeffs.empty() ||
+                       innerExtent_ < U_))
+            fail("unroll factor does not divide inner trip count");
+
+        // Gather stores/reduces to plan dimension folding.
+        std::vector<const Stmt *> stores, reduces;
+        scanStores(loop.body, stores, reduces);
+
+        // Identify update arrays: stored affine AND (op= or also loaded).
+        struct PendingUpdate
+        {
+            AffineForm idx;
+            bool repetitive;  ///< no dim2 coefficient (Fig. 7(b) idiom)
+        };
+        std::map<std::string, PendingUpdate> pendingUpdates;
+        for (const Stmt *s : stores) {
+            auto idxAff = affine(s->index);
+            if (!idxAff)
+                continue;  // indirect store; no folding hazard
+            bool selfRead = s->isUpdate || loadsArray(s->value, s->array);
+            for (const Stmt *r : reduces)
+                selfRead |= loadsArray(r->rvalue, s->array);
+            if (selfRead)
+                pendingUpdates[s->array] = {*idxAff, false};
+        }
+
+        // Dimension-2 folding decision.
+        hasDim2_ = false;
+        region_.drainBetweenReissues = false;
+        regionOuter_ = loopStack_;
+        bool wantRecurrence = false;
+        // Sequentially-phased kernels interleave region issues under
+        // shared loops, so folding an enclosing dimension into one big
+        // stream would reorder memory accesses across phases.
+        if (!loopStack_.empty() && !sequential_) {
+            const LoopCtx &cand = loopStack_.back();
+            bool foldable = innerExtentAff_.coeff(cand.id) == 0 &&
+                            cand.extentAff.coeffs.empty();
+            for (auto &[arr, up] : pendingUpdates) {
+                if (up.idx.coeff(cand.id) != 0)
+                    continue;  // disjoint rows per dim2: safe to fold
+                // Repetitive in-place update across dim2.
+                up.repetitive = true;
+                bool fits = innerExtent_ <= hw_.syncBufferEntries;
+                if (opts_.enableRepetitiveUpdate && fits) {
+                    wantRecurrence = true;
+                } else {
+                    foldable = false;
+                    region_.drainBetweenReissues = true;
+                    note(region_.name + ": in-place update too large for "
+                         "sync buffers; fenced re-issues");
+                }
+            }
+            if (foldable) {
+                hasDim2_ = true;
+                dim2Id_ = cand.id;
+                dim2Extent_ = cand.extent;
+                regionOuter_.pop_back();
+            }
+        }
+        firesPerGroup_ = innerExtent_ / U_;
+
+        for (auto &[arr, up] : pendingUpdates) {
+            UpdateInfo info;
+            info.idx = up.idx;
+            info.recurrence = up.repetitive && wantRecurrence && hasDim2_;
+            if (info.recurrence)
+                note(region_.name + ": repetitive update on '" + arr +
+                     "' buffered on-fabric");
+            updates_[arr] = info;
+        }
+
+        setupInvariantGroups(loop, posts);
+
+        // Lower the body into effects, then materialize them.
+        Effects eff = lowerStmts(loop.body);
+        emitReduces(eff.reduces, posts);
+        emitStores(eff.stores);
+        endRegion();
+    }
+
+    /// Collect every Load subexpression reachable from the statements.
+    static void
+    collectLoads(const ExprPtr &e, std::vector<ExprPtr> &out)
+    {
+        if (!e)
+            return;
+        if (e->kind == ExprKind::Load)
+            out.push_back(e);
+        collectLoads(e->a, out);
+        collectLoads(e->b, out);
+        collectLoads(e->c, out);
+        collectLoads(e->index, out);
+    }
+
+    static void
+    collectLoadsStmts(const std::vector<StmtPtr> &stmts,
+                      std::vector<ExprPtr> &out)
+    {
+        for (const auto &sp : stmts) {
+            const Stmt &st = *sp;
+            collectLoads(st.index, out);
+            collectLoads(st.value, out);
+            collectLoads(st.rvalue, out);
+            collectLoads(st.cond, out);
+            collectLoadsStmts(st.thenBody, out);
+            collectLoadsStmts(st.elseBody, out);
+            collectLoadsStmts(st.body, out);
+            collectLoadsStmts(st.matchBody, out);
+        }
+    }
+
+    /**
+     * Group loads that are invariant across the issue (no inner/dim2
+     * coefficient) into shared vector ports whose single vector is
+     * reused for the whole issue — e.g. the 9 filter taps of a stencil
+     * become one wide port read once, instead of 9 ports streaming
+     * duplicated elements (a form of scalar/constant port packing).
+     */
+    void
+    setupInvariantGroups(const Stmt &loop,
+                         const std::vector<const Stmt *> &posts)
+    {
+        std::vector<ExprPtr> loads;
+        collectLoadsStmts(loop.body, loads);
+        for (const Stmt *p : posts)
+            collectLoads(p->value, loads);
+
+        struct Group
+        {
+            std::string array;
+            std::map<int, int64_t> outerCoeffs;
+            std::map<int64_t, std::string> entries;  ///< base -> key
+        };
+        std::map<std::string, Group> groups;
+        for (const auto &ld : loads) {
+            if (updates_.count(ld->array) || !k_.hasArray(ld->array))
+                continue;
+            auto aff = affine(ld->index);
+            if (!aff)
+                continue;
+            if (aff->coeff(innerId_) != 0 ||
+                (hasDim2_ && aff->coeff(dim2Id_) != 0))
+                continue;
+            // Only loops of this region's nest may appear.
+            bool ok = true;
+            std::map<int, int64_t> outer;
+            for (const auto &[id, c] : aff->coeffs) {
+                if (c == 0 || id == innerId_ ||
+                    (hasDim2_ && id == dim2Id_))
+                    continue;
+                bool known = false;
+                for (const auto &L : regionOuter_)
+                    known |= L.id == id;
+                if (!known)
+                    ok = false;
+                outer[id] = c;
+            }
+            if (!ok)
+                continue;
+            std::ostringstream sig;
+            sig << ld->array;
+            for (const auto &[id, c] : outer)
+                sig << "|" << id << "*" << c;
+            Group &g = groups[sig.str()];
+            g.array = ld->array;
+            g.outerCoeffs = outer;
+            g.entries[aff->base] = ld->array + "#" + affineKey(*aff);
+        }
+
+        for (auto &[sig, g] : groups) {
+            std::vector<std::pair<int64_t, std::string>> entries(
+                g.entries.begin(), g.entries.end());
+            // Bases must form an arithmetic sequence for one pattern.
+            int64_t delta = entries.size() > 1
+                ? entries[1].first - entries[0].first : 1;
+            bool uniform = delta > 0;
+            for (size_t i = 1; i + 1 < entries.size(); ++i)
+                uniform &= entries[i + 1].first - entries[i].first == delta;
+            if (!uniform)
+                continue;  // fall back to per-load streams
+            const ArrayDecl &decl = arrayDecl(g.array);
+            const ArrayLoc &loc = pl_.loc(g.array);
+            int maxLanes = std::max(1, hw_.maxInputLanes);
+            for (size_t c0 = 0; c0 < entries.size();
+                 c0 += static_cast<size_t>(maxLanes)) {
+                size_t cnt = std::min<size_t>(maxLanes,
+                                              entries.size() - c0);
+                VertexId port = region_.dfg.addInputPort(
+                    g.array + "_inv" + std::to_string(c0),
+                    static_cast<int>(cnt), decl.elemBytes * 8);
+                // One vector per issue, reused for every fire.
+                region_.dfg.vertex(port).reuse = INT64_MAX / 4;
+                Stream st;
+                st.kind = StreamKind::LinearRead;
+                st.space = loc.space;
+                st.name = g.array + "_inv_rd";
+                st.port = port;
+                st.pattern.baseBytes =
+                    loc.baseBytes + entries[c0].first * decl.elemBytes;
+                st.pattern.elemBytes = decl.elemBytes;
+                st.pattern.stride1 = delta;
+                st.pattern.len1 = static_cast<int64_t>(cnt);
+                for (const auto &[id, coef] : g.outerCoeffs)
+                    st.reissueCoeffs[id] = coef * decl.elemBytes;
+                region_.addStream(st);
+                for (size_t i = 0; i < cnt; ++i)
+                    invariantLoads_[entries[c0 + i].second] = {
+                        port, static_cast<int>(i)};
+            }
+        }
+    }
+
+    /// ------------------------------------------------------------
+    /// Expression lowering (per-lane)
+    /// ------------------------------------------------------------
+
+    std::vector<Operand>
+    broadcast(Operand o) const
+    {
+        return std::vector<Operand>(static_cast<size_t>(U_), o);
+    }
+
+    static bool
+    sameOperand(const Operand &a, const Operand &b)
+    {
+        return a.src == b.src && a.srcLane == b.srcLane && a.imm == b.imm;
+    }
+
+    static bool
+    uniformLanes(const std::vector<Operand> &v)
+    {
+        for (size_t i = 1; i < v.size(); ++i)
+            if (!sameOperand(v[i], v[0]))
+                return false;
+        return true;
+    }
+
+    VertexId
+    iotaPort(bool inner)
+    {
+        VertexId &cache = inner ? iotaInner_ : iotaDim2_;
+        if (cache != dfg::kInvalidVertex)
+            return cache;
+        Stream st;
+        st.kind = StreamKind::Iota;
+        st.name = inner ? "iota_inner" : "iota_outer";
+        st.pattern.elemBytes = 1;
+        st.pattern.len1 = innerExtent_;
+        st.pattern.len2 = hasDim2_ ? dim2Extent_ : 1;
+        if (inner) {
+            st.pattern.stride1 = 1;
+            st.pattern.stride2 = 0;
+        } else {
+            st.pattern.stride1 = 0;
+            st.pattern.stride2 = 1;
+        }
+        for (const auto &[id, c] : innerExtentAff_.coeffs)
+            st.reissueLenCoeffs[id] = c;
+        cache = region_.dfg.addInputPort(st.name, U_, 64);
+        st.port = cache;
+        region_.addStream(st);
+        return cache;
+    }
+
+    std::vector<Operand>
+    lowerLoad(const Expr &e)
+    {
+        const ArrayDecl &decl = arrayDecl(e.array);
+        const ArrayLoc &loc = pl_.loc(e.array);
+
+        // Merge-gate substitution (inside merge loops).
+        auto git = mergeGates_.find(e.array);
+        if (git != mergeGates_.end())
+            return git->second;
+
+        auto idxAff = affine(e.index);
+        if (idxAff) {
+            // Issue-invariant load packed into a shared vector port.
+            auto iit = invariantLoads_.find(e.array + "#" +
+                                            affineKey(*idxAff));
+            if (iit != invariantLoads_.end())
+                return broadcast(Operand::value(iit->second.port,
+                                                iit->second.lane));
+            // Update-array read: route through the update input port.
+            auto uit = updates_.find(e.array);
+            if (uit != updates_.end() &&
+                affineKey(uit->second.idx) == affineKey(*idxAff)) {
+                VertexId p = updatePort(e.array, uit->second);
+                std::vector<Operand> out;
+                for (int l = 0; l < U_; ++l)
+                    out.push_back(Operand::value(p, l));
+                return out;
+            }
+            std::string key = e.array + "#" + affineKey(*idxAff);
+            auto it = loadPorts_.find(key);
+            VertexId port;
+            if (it != loadPorts_.end()) {
+                port = it->second;
+            } else {
+                port = region_.dfg.addInputPort(
+                    e.array + "_in" + std::to_string(loadPorts_.size()), U_,
+                    decl.elemBytes * 8);
+                Stream st;
+                st.kind = StreamKind::LinearRead;
+                st.space = loc.space;
+                st.name = e.array + "_rd";
+                st.port = port;
+                fillLinear(st, *idxAff, decl.elemBytes, loc.baseBytes);
+                region_.addStream(st);
+                loadPorts_[key] = port;
+            }
+            std::vector<Operand> out;
+            for (int l = 0; l < U_; ++l)
+                out.push_back(Operand::value(port, l));
+            return out;
+        }
+
+        auto ind = analyzeIndirect(e.index, k_.params);
+        if (!ind)
+            fail("index of " + e.array + " is neither affine nor indirect");
+        const ArrayDecl &idxDecl = arrayDecl(ind->idxArray);
+        const ArrayLoc &idxLoc = pl_.loc(ind->idxArray);
+        bool supported = hw_.indirectMemory && opts_.enableIndirect;
+        VertexId port = region_.dfg.addInputPort(
+            e.array + "_gather" + std::to_string(loadPorts_.size()), U_,
+            decl.elemBytes * 8);
+        Stream st;
+        st.kind = StreamKind::IndirectRead;
+        st.space = loc.space;
+        st.name = e.array + "_ind_rd";
+        st.port = port;
+        st.pattern.baseBytes = loc.baseBytes + ind->offset * decl.elemBytes;
+        st.pattern.elemBytes = decl.elemBytes;
+        st.idxSpace = idxLoc.space;
+        st.idxElemBytes = idxDecl.elemBytes;
+        // Build the index-array pattern over the region dims.
+        {
+            Stream tmp;
+            fillLinear(tmp, ind->idxAffine, idxDecl.elemBytes,
+                       idxLoc.baseBytes);
+            st.idxPattern = tmp.pattern;
+            st.idxReissueCoeffs = tmp.reissueCoeffs;
+            st.reissueLenCoeffs = tmp.reissueLenCoeffs;
+        }
+        st.scalarFallback = !supported;
+        if (!supported)
+            note(region_.name + ": indirect load of '" + e.array +
+                 "' falls back to scalar issue");
+        region_.addStream(st);
+        std::vector<Operand> out;
+        for (int l = 0; l < U_; ++l)
+            out.push_back(Operand::value(port, l));
+        return out;
+    }
+
+    VertexId
+    updatePort(const std::string &array, UpdateInfo &info)
+    {
+        if (info.inPort != dfg::kInvalidVertex)
+            return info.inPort;
+        const ArrayDecl &decl = arrayDecl(array);
+        const ArrayLoc &loc = pl_.loc(array);
+        info.inPort = region_.dfg.addInputPort(array + "_upd_in", U_,
+                                               decl.elemBytes * 8);
+        info.used = true;
+        Stream rd;
+        rd.kind = StreamKind::LinearRead;
+        rd.space = loc.space;
+        rd.name = array + "_upd_rd";
+        rd.port = info.inPort;
+        fillLinear(rd, info.idx, decl.elemBytes, loc.baseBytes);
+        if (info.recurrence) {
+            // Only the first dim2 iteration reads memory.
+            rd.pattern.len2 = 1;
+            rd.pattern.stride2 = 0;
+        }
+        region_.addStream(rd);
+        return info.inPort;
+    }
+
+    std::vector<Operand>
+    lowerExpr(const ExprPtr &ep)
+    {
+        DSA_ASSERT(ep, "null expr");
+        auto mit = memo_.find(ep.get());
+        if (mit != memo_.end())
+            return mit->second;
+        const Expr &e = *ep;
+        std::vector<Operand> out;
+        switch (e.kind) {
+          case ExprKind::Const:
+            out = broadcast(Operand::immediate(e.constVal));
+            break;
+          case ExprKind::Param:
+            out = broadcast(
+                Operand::immediate(evalConstValue(ep)));
+            break;
+          case ExprKind::Scalar: {
+            auto lit = scalarLocal_.find(e.name);
+            if (lit != scalarLocal_.end()) {
+                out = broadcast(lit->second);
+                break;
+            }
+            auto cit = scalarConsts_.find(e.name);
+            if (cit != scalarConsts_.end()) {
+                out = broadcast(Operand::immediate(cit->second));
+                break;
+            }
+            auto pit = scalarProducers_.find(e.name);
+            if (pit == scalarProducers_.end())
+                fail("scalar " + e.name + " has no producer");
+            out = broadcast(consumeForward(e.name, pit->second));
+            break;
+          }
+          case ExprKind::IterVar: {
+            if (e.loopId == innerId_) {
+                VertexId p = iotaPort(true);
+                for (int l = 0; l < U_; ++l)
+                    out.push_back(Operand::value(p, l));
+            } else if (hasDim2_ && e.loopId == dim2Id_) {
+                VertexId p = iotaPort(false);
+                for (int l = 0; l < U_; ++l)
+                    out.push_back(Operand::value(p, l));
+            } else {
+                fail("non-folded loop variable i" +
+                     std::to_string(e.loopId) + " used in computation");
+            }
+            break;
+          }
+          case ExprKind::Load:
+            out = lowerLoad(e);
+            break;
+          case ExprKind::Op: {
+            std::vector<Operand> a = lowerExpr(e.a);
+            std::vector<Operand> b, c;
+            if (e.b)
+                b = lowerExpr(e.b);
+            if (e.c)
+                c = lowerExpr(e.c);
+            bool uniform = uniformLanes(a) &&
+                           (b.empty() || uniformLanes(b)) &&
+                           (c.empty() || uniformLanes(c));
+            int copies = uniform ? 1 : U_;
+            std::vector<Operand> res;
+            for (int l = 0; l < copies; ++l) {
+                std::vector<Operand> ops;
+                ops.push_back(a[l]);
+                if (!b.empty())
+                    ops.push_back(b[l]);
+                if (!c.empty())
+                    ops.push_back(c[l]);
+                VertexId v = region_.dfg.addInstruction(e.op, ops);
+                res.push_back(Operand::value(v));
+            }
+            if (uniform)
+                out = broadcast(res[0]);
+            else
+                out = res;
+            break;
+          }
+        }
+        memo_[ep.get()] = out;
+        return out;
+    }
+
+    /// Create (or reuse) the forwarded-scalar input port of this region.
+    Operand
+    consumeForward(const std::string &name, ScalarProd &prod)
+    {
+        // One forward port per scalar per region.
+        std::string portName = "fwd_" + name;
+        for (VertexId p : region_.dfg.inputPorts())
+            if (region_.dfg.vertex(p).name == portName)
+                return Operand::value(p);
+        VertexId p = region_.dfg.addInputPort(portName, 1, 64);
+        region_.dfg.vertex(p).reuse = firesPerGroup_;
+        materializeScalarOutput(prod);
+        Forward f;
+        f.srcRegion = prod.region;
+        f.srcPort = prod.port;
+        f.dstRegion = regionIdx_;
+        f.dstPort = p;
+        f.viaMemory = !opts_.enableProducerConsumer;
+        if (f.viaMemory)
+            note(region_.name + ": producer-consumer forwarding disabled; "
+                 "scalar '" + name + "' round-trips through memory");
+        else
+            note(region_.name + ": scalar '" + name +
+                 "' forwarded from producer region");
+        prog_.forwards.push_back(f);
+        return Operand::value(p);
+    }
+
+    /// Resolve a region index to its Region (which may still be the
+    /// in-construction region, not yet pushed into the program).
+    Region &
+    regionRef(int idx)
+    {
+        if (idx == regionIdx_ &&
+            idx >= static_cast<int>(prog_.regions.size()))
+            return region_;
+        return prog_.regions[idx];
+    }
+
+    /// Ensure a producer region's scalar has an output port.
+    void
+    materializeScalarOutput(ScalarProd &prod)
+    {
+        if (prod.port != dfg::kInvalidVertex)
+            return;
+        Region &r = regionRef(prod.region);
+        prod.port = r.dfg.addOutputPort(
+            "scalar_out", {Operand::value(prod.rootValue)},
+            prod.outputEvery, 64);
+    }
+
+    /// ------------------------------------------------------------
+    /// Statement -> effects
+    /// ------------------------------------------------------------
+
+    Effects
+    lowerStmts(const std::vector<StmtPtr> &stmts)
+    {
+        Effects eff;
+        for (const auto &sp : stmts) {
+            const Stmt &s = *sp;
+            switch (s.kind) {
+              case StmtKind::Store: {
+                StoreEff se;
+                se.stmt = &s;
+                se.array = s.array;
+                se.idxExpr = s.index;
+                se.isUpdate = s.isUpdate;
+                se.updateOp = s.updateOp;
+                if (s.index->kind == ExprKind::Scalar)
+                    se.compactScalar = s.index->name;
+                se.value = lowerExpr(s.value);
+                eff.stores.push_back(std::move(se));
+                break;
+              }
+              case StmtKind::Reduce: {
+                // Compaction counter increments pair with their store.
+                bool isCompactCounter = false;
+                for (const auto &st : eff.stores)
+                    isCompactCounter |= (st.compactScalar == s.scalar);
+                if (isCompactCounter)
+                    break;
+                ReduceEff re;
+                re.scalar = s.scalar;
+                re.op = s.reduceOp;
+                re.value = lowerExpr(s.rvalue);
+                regionReducedScalars_.insert(s.scalar);
+                eff.reduces.push_back(std::move(re));
+                break;
+              }
+              case StmtKind::If: {
+                std::vector<Operand> cond = lowerExpr(s.cond);
+                Effects t = lowerStmts(s.thenBody);
+                Effects f = lowerStmts(s.elseBody);
+                mergeBranchEffects(eff, cond, std::move(t), std::move(f));
+                break;
+              }
+              case StmtKind::LetScalar:
+                fail("let inside offloaded loop is unsupported");
+              default:
+                fail("unsupported statement inside offloaded loop");
+            }
+        }
+        return eff;
+    }
+
+    std::vector<Operand>
+    selectLanes(const std::vector<Operand> &cond,
+                const std::vector<Operand> &t,
+                const std::vector<Operand> &f)
+    {
+        bool uniform = uniformLanes(cond) && uniformLanes(t) &&
+                       uniformLanes(f);
+        int copies = uniform ? 1 : U_;
+        std::vector<Operand> res;
+        for (int l = 0; l < copies; ++l) {
+            VertexId v = region_.dfg.addInstruction(
+                OpCode::Select, {cond[l], t[l], f[l]});
+            res.push_back(Operand::value(v));
+        }
+        return uniform ? broadcast(res[0]) : res;
+    }
+
+    /// Control-to-data conversion (Fig. 6): merge branch effects with
+    /// selects on the condition.
+    void
+    mergeBranchEffects(Effects &out, const std::vector<Operand> &cond,
+                       Effects t, Effects f)
+    {
+        // Reductions: pair by scalar.
+        for (auto &rt : t.reduces) {
+            bool paired = false;
+            for (auto &rf : f.reduces) {
+                if (rf.scalar != rt.scalar)
+                    continue;
+                if (rf.op != rt.op)
+                    fail("if branches reduce '" + rt.scalar +
+                         "' with different ops");
+                ReduceEff m;
+                m.scalar = rt.scalar;
+                m.op = rt.op;
+                m.value = selectLanes(cond, rt.value, rf.value);
+                out.reduces.push_back(std::move(m));
+                rf.scalar.clear();  // consumed
+                paired = true;
+                break;
+            }
+            if (!paired) {
+                ReduceEff m;
+                m.scalar = rt.scalar;
+                m.op = rt.op;
+                m.value = selectLanes(
+                    cond, rt.value,
+                    broadcast(Operand::immediate(identityOf(rt.op))));
+                out.reduces.push_back(std::move(m));
+            }
+        }
+        for (auto &rf : f.reduces) {
+            if (rf.scalar.empty())
+                continue;
+            ReduceEff m;
+            m.scalar = rf.scalar;
+            m.op = rf.op;
+            m.value = selectLanes(
+                cond, broadcast(Operand::immediate(identityOf(rf.op))),
+                rf.value);
+            out.reduces.push_back(std::move(m));
+        }
+
+        // Stores: pair by (array, index form).
+        auto idxKey = [&](const StoreEff &se) {
+            auto a = affine(se.idxExpr);
+            return se.array + "#" +
+                   (a ? affineKey(*a) : exprToString(se.idxExpr));
+        };
+        for (auto &st : t.stores) {
+            bool paired = false;
+            for (auto &sf : f.stores) {
+                if (sf.array.empty() || idxKey(sf) != idxKey(st))
+                    continue;
+                if (sf.isUpdate != st.isUpdate ||
+                    (st.isUpdate && sf.updateOp != st.updateOp))
+                    fail("if branches update '" + st.array +
+                         "' inconsistently");
+                StoreEff m = st;
+                m.value = selectLanes(cond, st.value, sf.value);
+                out.stores.push_back(std::move(m));
+                sf.array.clear();
+                paired = true;
+                break;
+            }
+            if (!paired)
+                out.stores.push_back(
+                    lowerOneSidedStore(std::move(st), cond, true));
+        }
+        for (auto &sf : f.stores) {
+            if (sf.array.empty())
+                continue;
+            out.stores.push_back(
+                lowerOneSidedStore(std::move(sf), cond, false));
+        }
+    }
+
+    StoreEff
+    lowerOneSidedStore(StoreEff se, const std::vector<Operand> &cond,
+                       bool thenSide)
+    {
+        if (!se.compactScalar.empty()) {
+            // Conditional compaction (out[cnt++] = v when cond): gate
+            // each value with a predicated pass that only emits when
+            // the condition holds — needs stream-join hardware.
+            // Lanes would emit unevenly, so compaction (like merge
+            // loops) cannot vectorize.
+            if (U_ > 1)
+                fail("conditional compaction is not vectorizable");
+            if (!(hw_.streamJoin && hw_.dynamicPes &&
+                  opts_.enableStreamJoin)) {
+                region_.serialized = true;
+                region_.serialDependenceLatency =
+                    std::max(region_.serialDependenceLatency, 6);
+                note(region_.name + ": conditional compaction without "
+                     "stream-join hardware; serialized");
+            }
+            std::vector<Operand> gated;
+            for (int l = 0; l < U_; ++l) {
+                CtrlSpec g;
+                g.source = CtrlSpec::Source::Operand;
+                g.ctrlOperand = 1;
+                g.popMask[0] = 0xFF;
+                g.popMask[1] = 0xFF;
+                // cond is 0/1; emit only when taken on this side.
+                g.emitMask = thenSide ? 0b010 : 0b001;
+                VertexId v = region_.dfg.addPredicatedInstruction(
+                    OpCode::Pass, {se.value[l], cond[l]}, g,
+                    se.array + "_cgate" + std::to_string(l));
+                gated.push_back(Operand::value(v));
+            }
+            se.value = std::move(gated);
+            return se;
+        }
+        if (se.isUpdate) {
+            // Conditional update: apply the identity when not taken.
+            auto ident = broadcast(Operand::immediate(
+                identityOf(se.updateOp)));
+            se.value = thenSide ? selectLanes(cond, se.value, ident)
+                                : selectLanes(cond, ident, se.value);
+            return se;
+        }
+        // Conditional plain store: read-modify (keep the old value).
+        auto idxAff = affine(se.idxExpr);
+        if (!idxAff)
+            fail("conditional store to '" + se.array +
+                 "' needs an affine index");
+        auto &info = updates_[se.array];
+        if (!info.used)
+            info.idx = *idxAff;
+        VertexId p = updatePort(se.array, info);
+        std::vector<Operand> old;
+        for (int l = 0; l < U_; ++l)
+            old.push_back(Operand::value(p, l));
+        se.value = thenSide ? selectLanes(cond, se.value, old)
+                            : selectLanes(cond, old, se.value);
+        return se;
+    }
+
+    /// ------------------------------------------------------------
+    /// Effect materialization
+    /// ------------------------------------------------------------
+
+    void
+    emitReduces(const std::vector<ReduceEff> &reduces,
+                const std::vector<const Stmt *> &posts)
+    {
+        for (const auto &re : reduces) {
+            Value init = 0;
+            auto cit = scalarConsts_.find(re.scalar);
+            if (cit != scalarConsts_.end())
+                init = cit->second;
+            int64_t resetEvery = hasDim2_ ? firesPerGroup_ : 0;
+            // Per-lane accumulators.
+            std::vector<Operand> accs;
+            for (int l = 0; l < U_; ++l) {
+                VertexId a = region_.dfg.addAccumulator(
+                    re.op, re.value[l], init, resetEvery,
+                    re.scalar + "_acc" + std::to_string(l));
+                accs.push_back(Operand::value(a));
+            }
+            // Combine tree across lanes.
+            while (accs.size() > 1) {
+                std::vector<Operand> next;
+                for (size_t i = 0; i + 1 < accs.size(); i += 2) {
+                    VertexId v = region_.dfg.addInstruction(
+                        re.op, {accs[i], accs[i + 1]});
+                    next.push_back(Operand::value(v));
+                }
+                if (accs.size() % 2)
+                    next.push_back(accs.back());
+                accs = std::move(next);
+            }
+            int64_t outEvery = hasDim2_ ? firesPerGroup_ : -1;
+            ScalarProd prod;
+            prod.region = regionIdx_;
+            prod.port = dfg::kInvalidVertex;
+            prod.rootValue = accs[0].src;
+            prod.outputEvery = outEvery;
+
+            // Post-stores draining this scalar attach a write stream.
+            // The stored value may be an expression over the scalar
+            // (e.g. r[k] = sqrt(s)); it is computed on-fabric after the
+            // accumulator (bound through scalarLocal_).
+            const Stmt *post = nullptr;
+            for (const Stmt *p : posts) {
+                std::set<std::string> refs;
+                exprScalarRefs(p->value, refs);
+                if (refs.count(re.scalar))
+                    post = p;
+            }
+            if (post) {
+                // The stored value may be an expression over the
+                // scalar (e.g. sqrt(s)); compute it on-fabric and give
+                // the store its own output port, leaving the raw
+                // accumulator value available for forwards.
+                VertexId postRoot = prod.rootValue;
+                if (post->value->kind != ExprKind::Scalar) {
+                    scalarLocal_[re.scalar] = accs[0];
+                    std::vector<Operand> v = lowerExpr(post->value);
+                    scalarLocal_.erase(re.scalar);
+                    postRoot = v[0].src;
+                    DSA_ASSERT(postRoot != dfg::kInvalidVertex,
+                               "post-store expression folded to imm");
+                }
+                VertexId wrPort = region_.dfg.addOutputPort(
+                    post->array + "_post_out",
+                    {Operand::value(postRoot)}, outEvery, 64);
+                const ArrayDecl &decl = arrayDecl(post->array);
+                const ArrayLoc &loc = pl_.loc(post->array);
+                auto idxAff = affine(post->index);
+                if (!idxAff)
+                    fail("post-store index of '" + post->array +
+                         "' is not affine");
+                Stream wr;
+                wr.kind = StreamKind::LinearWrite;
+                wr.space = loc.space;
+                wr.name = post->array + "_wr";
+                wr.port = wrPort;
+                // One element per dim2 iteration (or per re-issue).
+                SplitAffine sp = splitAffine(*idxAff);
+                if (sp.strideInner != 0)
+                    fail("post-store index varies with the inner loop");
+                wr.pattern.baseBytes =
+                    loc.baseBytes + sp.base * decl.elemBytes;
+                wr.pattern.elemBytes = decl.elemBytes;
+                wr.pattern.stride1 = sp.strideDim2;
+                wr.pattern.len1 = hasDim2_ ? dim2Extent_ : 1;
+                for (const auto &[id, c] : sp.outerCoeffs)
+                    wr.reissueCoeffs[id] = c * decl.elemBytes;
+                region_.addStream(wr);
+            }
+            scalarProducers_[re.scalar] = prod;
+            // The scalar's value is now region-produced; its Let-bound
+            // constant (the accumulator init) no longer names it.
+            scalarConsts_.erase(re.scalar);
+        }
+    }
+
+    /// Output ports drain values; wrap immediate lanes in a Pass
+    /// instruction (a free-running constant generator).
+    void
+    materializeValues(std::vector<Operand> &vals)
+    {
+        for (auto &v : vals) {
+            if (!v.isImm())
+                continue;
+            VertexId p = region_.dfg.addInstruction(OpCode::Pass, {v});
+            v = Operand::value(p);
+        }
+    }
+
+    void
+    emitStores(const std::vector<StoreEff> &stores)
+    {
+        for (const auto &se : stores) {
+            if (!se.compactScalar.empty()) {
+                emitCompactionStore(se);
+                continue;
+            }
+            auto idxAff = affine(se.idxExpr);
+            if (idxAff) {
+                emitAffineStore(se, *idxAff);
+            } else {
+                emitIndirectStore(se);
+            }
+        }
+    }
+
+    void
+    emitAffineStore(const StoreEff &se, const AffineForm &idxAff)
+    {
+        const ArrayDecl &decl = arrayDecl(se.array);
+        const ArrayLoc &loc = pl_.loc(se.array);
+        std::vector<Operand> value = se.value;
+        materializeValues(value);
+
+        auto uit = updates_.find(se.array);
+        bool isUpd = uit != updates_.end() && uit->second.used;
+        if (se.isUpdate) {
+            // Explicit op=: combine old value with the increment.
+            auto &info = updates_[se.array];
+            if (!info.used)
+                info.idx = idxAff;
+            VertexId p = updatePort(se.array, info);
+            std::vector<Operand> combined;
+            for (int l = 0; l < U_; ++l) {
+                VertexId v = region_.dfg.addInstruction(
+                    se.updateOp, {Operand::value(p, l), value[l]});
+                combined.push_back(Operand::value(v));
+            }
+            value = combined;
+            isUpd = true;
+            uit = updates_.find(se.array);
+        }
+
+        VertexId out = region_.dfg.addOutputPort(
+            se.array + "_out", value, 1, decl.elemBytes * 8);
+
+        bool recurrence = isUpd && uit->second.recurrence;
+        if (recurrence) {
+            // Fig. 7(b): route dim2 iterations on-fabric.
+            int64_t perIter = innerExtent_;
+            Stream rec;
+            rec.kind = StreamKind::Recurrence;
+            rec.name = se.array + "_recur";
+            rec.srcPort = out;
+            rec.port = uit->second.inPort;
+            rec.recurrenceCount = perIter * (dim2Extent_ - 1);
+            region_.addStream(rec);
+
+            Stream wr;
+            wr.kind = StreamKind::LinearWrite;
+            wr.space = loc.space;
+            wr.name = se.array + "_wr";
+            wr.port = out;
+            fillLinear(wr, idxAff, decl.elemBytes, loc.baseBytes);
+            wr.pattern.len2 = 1;
+            wr.pattern.stride2 = 0;
+            wr.skipFirst = perIter * (dim2Extent_ - 1);
+            region_.addStream(wr);
+        } else {
+            Stream wr;
+            wr.kind = StreamKind::LinearWrite;
+            wr.space = loc.space;
+            wr.name = se.array + "_wr";
+            wr.port = out;
+            fillLinear(wr, idxAff, decl.elemBytes, loc.baseBytes);
+            region_.addStream(wr);
+        }
+    }
+
+    void
+    emitIndirectStore(const StoreEff &se)
+    {
+        const ArrayDecl &decl = arrayDecl(se.array);
+        const ArrayLoc &loc = pl_.loc(se.array);
+        auto ind = analyzeIndirect(se.idxExpr, k_.params);
+        if (!ind)
+            fail("store index of '" + se.array +
+                 "' is neither affine nor indirect");
+        const ArrayDecl &idxDecl = arrayDecl(ind->idxArray);
+        const ArrayLoc &idxLoc = pl_.loc(ind->idxArray);
+
+        std::vector<Operand> value = se.value;
+        materializeValues(value);
+        VertexId out = region_.dfg.addOutputPort(
+            se.array + "_out", value, 1, decl.elemBytes * 8);
+
+        Stream st;
+        st.kind = se.isUpdate ? StreamKind::AtomicUpdate
+                              : StreamKind::IndirectWrite;
+        st.space = loc.space;
+        st.name = se.array + (se.isUpdate ? "_atomic" : "_scatter");
+        st.valuePort = out;
+        st.port = out;
+        st.updateOp = se.updateOp;
+        st.pattern.baseBytes = loc.baseBytes + ind->offset * decl.elemBytes;
+        st.pattern.elemBytes = decl.elemBytes;
+        st.idxSpace = idxLoc.space;
+        st.idxElemBytes = idxDecl.elemBytes;
+        {
+            Stream tmp;
+            fillLinear(tmp, ind->idxAffine, idxDecl.elemBytes,
+                       idxLoc.baseBytes);
+            st.idxPattern = tmp.pattern;
+            st.idxReissueCoeffs = tmp.reissueCoeffs;
+            st.reissueLenCoeffs = tmp.reissueLenCoeffs;
+        }
+        bool supported = hw_.indirectMemory && opts_.enableIndirect &&
+                         (!se.isUpdate ||
+                          (hw_.atomicUpdate && opts_.enableIndirect));
+        st.scalarFallback = !supported;
+        if (!supported)
+            note(region_.name + ": indirect/atomic store to '" + se.array +
+                 "' falls back to scalar issue");
+        region_.addStream(st);
+    }
+
+    void
+    emitCompactionStore(const StoreEff &se)
+    {
+        const ArrayDecl &decl = arrayDecl(se.array);
+        const ArrayLoc &loc = pl_.loc(se.array);
+        std::vector<Operand> value = se.value;
+        materializeValues(value);
+        VertexId out = region_.dfg.addOutputPort(
+            se.array + "_compact_out", value, 1, decl.elemBytes * 8);
+        Stream wr;
+        wr.kind = StreamKind::LinearWrite;
+        wr.space = loc.space;
+        wr.name = se.array + "_compact_wr";
+        wr.port = out;
+        wr.pattern = LinearPattern::contiguous(loc.baseBytes, decl.length,
+                                               decl.elemBytes);
+        wr.openEnded = true;
+        region_.addStream(wr);
+        note(region_.name + ": compaction write to '" + se.array + "'");
+    }
+
+    /// ------------------------------------------------------------
+    /// Merge loops (stream-join, Fig. 8)
+    /// ------------------------------------------------------------
+
+    void
+    lowerMerge(const Stmt &s, const std::vector<const Stmt *> &posts)
+    {
+        if (U_ > 1)
+            fail("merge loops are not vectorizable");
+        const MergeLoopInfo &m = s.merge;
+        beginRegion(k_.name + "_join" + std::to_string(prog_.regions.size()));
+        regionOfStmt_[&s] = regionIdx_;
+        innerId_ = m.ivA;  // placeholder; merge regions have no affine dims
+        hasDim2_ = false;
+        regionOuter_ = loopStack_;
+        innerExtentAff_ = AffineForm{};
+        auto lenAff = affine(m.lenA);
+        if (!lenAff)
+            fail("merge loop length is not affine");
+        innerExtent_ = std::max<int64_t>(1, lenAff->base);
+        firesPerGroup_ = innerExtent_;
+
+        bool supported = hw_.streamJoin && hw_.dynamicPes &&
+                         opts_.enableStreamJoin;
+        region_.serialized = !supported;
+        if (!supported) {
+            region_.serialDependenceLatency = 8;
+            note(region_.name +
+                 ": no stream-join hardware; serialized on control core");
+        } else {
+            note(region_.name + ": stream-join transformation applied");
+        }
+
+        auto lenB = affine(m.lenB);
+        if (!lenB)
+            fail("merge loop length is not affine");
+
+        // Key streams + value streams (value arrays found in the body).
+        auto addSide = [&](const std::string &keys, const AffineForm &len,
+                           int iv) -> VertexId {
+            const ArrayDecl &decl = arrayDecl(keys);
+            const ArrayLoc &loc = pl_.loc(keys);
+            VertexId p = region_.dfg.addInputPort(keys + "_keys", 1,
+                                                  decl.elemBytes * 8);
+            Stream st;
+            st.kind = StreamKind::LinearRead;
+            st.space = loc.space;
+            st.name = keys + "_rd";
+            st.port = p;
+            st.pattern = LinearPattern::contiguous(loc.baseBytes, len.base,
+                                                   decl.elemBytes);
+            st.scalarFallback = region_.serialized;
+            for (const auto &[id, c] : len.coeffs)
+                st.reissueLenCoeffs[id] = c;
+            region_.addStream(st);
+            (void)iv;
+            return p;
+        };
+        VertexId kA = addSide(m.keysA, *lenAff, m.ivA);
+        VertexId kB = addSide(m.keysB, *lenB, m.ivB);
+
+        // The join unit: three-way compare with self stream-join ctrl.
+        CtrlSpec cmpCtrl;
+        cmpCtrl.source = CtrlSpec::Source::Self;
+        cmpCtrl.popMask[0] = 0b011;  // pop A on eq(0) or lt(1)
+        cmpCtrl.popMask[1] = 0b101;  // pop B on eq(0) or gt(2)
+        cmpCtrl.emitMask = 0b111;
+        VertexId cmp = region_.dfg.addPredicatedInstruction(
+            m.floatKeys ? OpCode::FCmp3 : OpCode::Cmp3,
+            {Operand::value(kA), Operand::value(kB)}, cmpCtrl, "join_cmp");
+
+        // Gates for value arrays indexed by ivA / ivB inside the body.
+        std::vector<const Stmt *> stores, reduces;
+        scanStores(s.matchBody, stores, reduces);
+        std::set<std::string> sideA, sideB;
+        auto collectLoads = [&](const ExprPtr &root) {
+            std::function<void(const ExprPtr &)> go =
+                [&](const ExprPtr &e) {
+                    if (!e)
+                        return;
+                    if (e->kind == ExprKind::Load) {
+                        auto a = affine(e->index);
+                        if (!a)
+                            fail("merge body load index not affine");
+                        if (a->coeff(m.ivA) == 1 && a->coeff(m.ivB) == 0)
+                            sideA.insert(e->array);
+                        else if (a->coeff(m.ivB) == 1 &&
+                                 a->coeff(m.ivA) == 0)
+                            sideB.insert(e->array);
+                        else
+                            fail("merge body load must index by one "
+                                 "pointer");
+                    }
+                    go(e->a);
+                    go(e->b);
+                    go(e->c);
+                    go(e->index);
+                };
+            go(root);
+        };
+        for (const Stmt *st : stores)
+            collectLoads(st->value);
+        for (const Stmt *st : reduces)
+            collectLoads(st->rvalue);
+
+        auto addGate = [&](const std::string &arr, bool isA) {
+            const ArrayDecl &decl = arrayDecl(arr);
+            const ArrayLoc &loc = pl_.loc(arr);
+            VertexId p = region_.dfg.addInputPort(arr + "_vals", 1,
+                                                  decl.elemBytes * 8);
+            Stream st;
+            st.kind = StreamKind::LinearRead;
+            st.space = loc.space;
+            st.name = arr + "_rd";
+            st.port = p;
+            const AffineForm &len = isA ? *lenAff : *lenB;
+            st.pattern = LinearPattern::contiguous(loc.baseBytes, len.base,
+                                                   decl.elemBytes);
+            st.scalarFallback = region_.serialized;
+            for (const auto &[id, c] : len.coeffs)
+                st.reissueLenCoeffs[id] = c;
+            region_.addStream(st);
+
+            CtrlSpec g;
+            g.source = CtrlSpec::Source::Operand;
+            g.ctrlOperand = 1;
+            g.popMask[0] = isA ? 0b011 : 0b101;  // pop with its key
+            g.popMask[1] = 0b111;                // always pop the ctl token
+            g.emitMask = 0b001;                  // emit on match only
+            VertexId gate = region_.dfg.addPredicatedInstruction(
+                OpCode::Pass, {Operand::value(p), Operand::value(cmp)}, g,
+                arr + "_gate");
+            mergeGates_[arr] = broadcast(Operand::value(gate));
+        };
+        for (const auto &arr : sideA)
+            addGate(arr, true);
+        for (const auto &arr : sideB)
+            addGate(arr, false);
+
+        // Lower the match body; gated values substitute the loads.
+        Effects eff = lowerStmts(s.matchBody);
+        emitReduces(eff.reduces, posts);
+        emitStores(eff.stores);
+        endRegion();
+    }
+};
+
+} // namespace
+
+LowerResult
+lowerKernel(const ir::KernelSource &kernel, const Placement &placement,
+            const HwFeatures &hw, const CompileOptions &opts, int unroll)
+{
+    Lowerer lw(kernel, placement, hw, opts, unroll);
+    return lw.run();
+}
+
+std::vector<CompiledVersion>
+compile(const ir::KernelSource &kernel, const Placement &placement,
+        const HwFeatures &hw, const CompileOptions &opts)
+{
+    std::vector<CompiledVersion> out;
+    for (int u : opts.unrollFactors) {
+        LowerResult r = lowerKernel(kernel, placement, hw, opts, u);
+        if (r.ok) {
+            out.push_back(std::move(r.version));
+        } else if (u == 1) {
+            DSA_FATAL("kernel '", kernel.name,
+                      "' failed to lower at unroll 1: ", r.error);
+        }
+    }
+    return out;
+}
+
+} // namespace dsa::compiler

@@ -1,0 +1,53 @@
+#include "compiler/placement.h"
+
+#include "base/logging.h"
+
+namespace dsa::compiler {
+
+namespace {
+
+int64_t
+alignUp(int64_t v, int64_t a)
+{
+    return (v + a - 1) / a * a;
+}
+
+} // namespace
+
+Placement
+Placement::autoLayout(const ir::KernelSource &kernel, const HwFeatures &hw)
+{
+    Placement p;
+    for (const auto &a : kernel.arrays) {
+        int64_t bytes = a.length * a.elemBytes;
+        ArrayLoc loc;
+        if (a.spadHint && hw.hasSpad &&
+            p.spadBytes_ + bytes <= hw.spadCapacityBytes) {
+            loc.space = dfg::MemSpace::Spad;
+            loc.baseBytes = p.spadBytes_;
+            p.spadBytes_ = alignUp(p.spadBytes_ + bytes, 16);
+        } else {
+            loc.space = dfg::MemSpace::Main;
+            loc.baseBytes = p.mainBytes_;
+            p.mainBytes_ = alignUp(p.mainBytes_ + bytes, 16);
+        }
+        p.locs_[a.name] = loc;
+    }
+    return p;
+}
+
+const ArrayLoc &
+Placement::loc(const std::string &array) const
+{
+    auto it = locs_.find(array);
+    DSA_ASSERT(it != locs_.end(), "array '", array, "' was never placed");
+    return it->second;
+}
+
+bool
+Placement::has(const std::string &array) const
+{
+    return locs_.count(array) > 0;
+}
+
+} // namespace dsa::compiler

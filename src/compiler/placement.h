@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Array placement: assigns each kernel array a base address in either
+ * the main-memory space or the scratchpad. Mirrors the paper's setup
+ * where the programmer/framework blocks data into the scratchpad and
+ * the compiler encodes accesses relative to fixed bases.
+ */
+
+#ifndef DSA_COMPILER_PLACEMENT_H
+#define DSA_COMPILER_PLACEMENT_H
+
+#include <map>
+#include <string>
+
+#include "compiler/features.h"
+#include "dfg/stream.h"
+#include "ir/stmt.h"
+
+namespace dsa::compiler {
+
+/** Where one array lives. */
+struct ArrayLoc
+{
+    dfg::MemSpace space = dfg::MemSpace::Main;
+    int64_t baseBytes = 0;
+};
+
+/** Placement of every kernel array. */
+class Placement
+{
+  public:
+    /**
+     * Lay out @p kernel's arrays: scratchpad-hinted arrays go to the
+     * scratchpad while capacity lasts (16-byte aligned), everything
+     * else to main memory.
+     */
+    static Placement autoLayout(const ir::KernelSource &kernel,
+                                const HwFeatures &hw);
+
+    const ArrayLoc &loc(const std::string &array) const;
+    bool has(const std::string &array) const;
+
+    /** Total bytes placed in each space. */
+    int64_t mainBytes() const { return mainBytes_; }
+    int64_t spadBytes() const { return spadBytes_; }
+
+  private:
+    std::map<std::string, ArrayLoc> locs_;
+    int64_t mainBytes_ = 0;
+    int64_t spadBytes_ = 0;
+};
+
+} // namespace dsa::compiler
+
+#endif // DSA_COMPILER_PLACEMENT_H

@@ -1,0 +1,139 @@
+#include "dfg/program.h"
+
+#include "base/logging.h"
+
+namespace dsa::dfg {
+
+int
+Region::addStream(Stream s)
+{
+    s.id = static_cast<int>(streams.size());
+    if (s.feedsInput()) {
+        DSA_ASSERT(dfg.vertex(s.port).kind == VertexKind::InputPort,
+                   "stream '", s.name, "' must feed an input port");
+    } else {
+        VertexId drained =
+            s.kind == StreamKind::LinearWrite ? s.port : s.valuePort;
+        DSA_ASSERT(dfg.vertex(drained).kind == VertexKind::OutputPort,
+                   "stream '", s.name, "' must drain an output port");
+    }
+    if (s.kind == StreamKind::Recurrence) {
+        DSA_ASSERT(dfg.vertex(s.srcPort).kind == VertexKind::OutputPort,
+                   "recurrence '", s.name, "' source must be output port");
+    }
+    streams.push_back(std::move(s));
+    return streams.back().id;
+}
+
+int64_t
+Region::reissues() const
+{
+    int64_t n = 1;
+    for (const auto &[id, extent] : outerLoops)
+        n *= std::max<int64_t>(1, extent);
+    return n;
+}
+
+int64_t
+Region::instancesEstimate() const
+{
+    // A dedicated fabric fires once per vector of inputs; estimate as
+    // the max elements fed to any input port divided by its lanes.
+    int64_t instances = 1;
+    for (const auto &s : streams) {
+        VertexId portV = s.port;
+        if (!s.feedsInput() && (s.kind == StreamKind::IndirectWrite ||
+                                s.kind == StreamKind::AtomicUpdate))
+            portV = s.valuePort;
+        const Vertex &port = dfg.vertex(portV);
+        int64_t fires = (s.numElements() + port.lanes - 1) /
+                        std::max(1, port.lanes);
+        instances = std::max(instances, fires);
+    }
+    return instances;
+}
+
+std::vector<std::string>
+Region::validate(const std::vector<VertexId> &externallyFed) const
+{
+    std::vector<std::string> problems = dfg.validate();
+    auto complain = [&](auto &&...args) {
+        problems.push_back(detail::fold(args...));
+    };
+
+    // Each input port needs exactly one primary feed; a recurrence may
+    // additionally feed a port that a primary stream initializes (the
+    // repetitive in-place-update idiom of Fig. 7(b)).
+    std::vector<int> primaryFeeds(dfg.numVertices(), 0);
+    std::vector<int> recurrenceFeeds(dfg.numVertices(), 0);
+    for (VertexId p : externallyFed)
+        if (p >= 0 && p < dfg.numVertices())
+            ++primaryFeeds[p];
+    for (const auto &s : streams) {
+        if (s.port < 0 || s.port >= dfg.numVertices()) {
+            complain("stream '", s.name, "' has bad port");
+            continue;
+        }
+        if (s.feedsInput()) {
+            if (s.kind == StreamKind::Recurrence)
+                ++recurrenceFeeds[s.port];
+            else
+                ++primaryFeeds[s.port];
+        }
+        if (s.kind == StreamKind::Const && s.constCount <= 0)
+            complain("const stream '", s.name, "' has no elements");
+    }
+    for (VertexId p : dfg.inputPorts()) {
+        if (primaryFeeds[p] + recurrenceFeeds[p] == 0)
+            complain("input port '", dfg.vertex(p).name,
+                     "' is fed by no stream");
+        if (primaryFeeds[p] > 1 || recurrenceFeeds[p] > 1)
+            complain("input port '", dfg.vertex(p).name,
+                     "' is fed by conflicting streams");
+    }
+    return problems;
+}
+
+int
+DecoupledProgram::numInstructions() const
+{
+    int n = 0;
+    for (const auto &r : regions)
+        n += r.dfg.numInstructions();
+    return n;
+}
+
+std::vector<std::string>
+DecoupledProgram::validate() const
+{
+    std::vector<std::string> problems;
+    std::vector<std::vector<VertexId>> fed(regions.size());
+    for (const auto &f : forwards)
+        if (f.dstRegion >= 0 && f.dstRegion < static_cast<int>(regions.size()))
+            fed[f.dstRegion].push_back(f.dstPort);
+    for (size_t i = 0; i < regions.size(); ++i) {
+        for (auto &p : regions[i].validate(fed[i]))
+            problems.push_back(regions[i].name + ": " + p);
+    }
+    for (const auto &f : forwards) {
+        bool ok = f.srcRegion >= 0 &&
+                  f.srcRegion < static_cast<int>(regions.size()) &&
+                  f.dstRegion >= 0 &&
+                  f.dstRegion < static_cast<int>(regions.size());
+        if (!ok) {
+            problems.push_back("forward references bad region");
+            continue;
+        }
+        const auto &src = regions[f.srcRegion].dfg;
+        const auto &dst = regions[f.dstRegion].dfg;
+        if (f.srcPort < 0 || f.srcPort >= src.numVertices() ||
+            src.vertex(f.srcPort).kind != VertexKind::OutputPort)
+            problems.push_back("forward source must be an output port");
+        if (f.dstPort < 0 || f.dstPort >= dst.numVertices() ||
+            dst.vertex(f.dstPort).kind != VertexKind::InputPort)
+            problems.push_back("forward target must be an input port");
+    }
+    return problems;
+}
+
+} // namespace dsa::dfg

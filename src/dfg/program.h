@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The decoupled program: the unit handed from the compiler to the
+ * scheduler, performance model, and simulator. One program corresponds
+ * to one `#pragma dsa config` scope and holds the concurrent offloaded
+ * regions within it, each a DFG plus its stream commands, plus any
+ * producer-consumer forwards the generic optimizations created (§IV-D).
+ */
+
+#ifndef DSA_DFG_PROGRAM_H
+#define DSA_DFG_PROGRAM_H
+
+#include <string>
+#include <vector>
+
+#include "dfg/dfg.h"
+#include "dfg/stream.h"
+
+namespace dsa::dfg {
+
+/** One offloaded region: computation DFG + decoupled memory streams. */
+struct Region
+{
+    std::string name;
+    Dfg dfg;
+    std::vector<Stream> streams;
+    /**
+     * Relative execution frequency of the region (the LLVM
+     * BlockFrequencyInfo analogue of §V-B), used by the performance
+     * model to weigh concurrent regions.
+     */
+    double execFreq = 1.0;
+    /**
+     * How many vectorized lanes this region was unrolled by; the
+     * compiler explores several values (§IV-E "Resource Allocation").
+     */
+    int unrollFactor = 1;
+    /**
+     * Set when a data-dependent idiom (e.g. a merge loop) could not be
+     * mapped spatially and executes with per-iteration serialization:
+     * each DFG instance depends on the previous one through the length
+     * of serialDependenceLatency (in instructions/cycles).
+     */
+    bool serialized = false;
+    int serialDependenceLatency = 0;
+    /**
+     * Enclosing (non-folded) loops, outermost first: the control core
+     * re-issues the region's streams once per iteration combination,
+     * shifting bases by each stream's reissueCoeffs. Patterns fold at
+     * most two loop dimensions; deeper nests re-issue.
+     */
+    std::vector<std::pair<int, int64_t>> outerLoops;
+    /**
+     * Memory-ordering fences between re-issues (an in-place update
+     * that did not fit the recurrence optimization): the fabric drains
+     * completely between consecutive re-issues.
+     */
+    bool drainBetweenReissues = false;
+
+    /** Product of outer-loop extents (1 if none). */
+    int64_t reissues() const;
+
+    /**
+     * Regions (indices) whose complete execution must precede this
+     * region's start: cross-region array dependences between disjoint
+     * loop nests (e.g. the two matrix products of 2mm). Enforced with
+     * a memory fence by the control core.
+     */
+    std::vector<int> dependsOn;
+    /**
+     * Configuration group: regions sharing a group coexist in one
+     * fabric bitstream; moving to a different group reconfigures the
+     * fabric (e.g. the stages of fft). Assigned by the compiler from
+     * the fabric's capacity.
+     */
+    int configGroup = 0;
+
+    /** Add a stream; assigns its id and validates the port binding. */
+    int addStream(Stream s);
+
+    /** Expected firings of the region's DFG (drives the perf model). */
+    int64_t instancesEstimate() const;
+
+    /**
+     * Structural checks over dfg + streams. Ports in @p externallyFed
+     * (targets of cross-region forwards) are exempt from the
+     * every-input-port-needs-a-stream rule.
+     */
+    std::vector<std::string>
+    validate(const std::vector<VertexId> &externallyFed = {}) const;
+};
+
+/**
+ * A producer-consumer forward (§IV-D): values leaving srcRegion's
+ * output port are routed directly to dstRegion's input port, avoiding
+ * a memory round-trip and a phase barrier.
+ */
+struct Forward
+{
+    int srcRegion = -1;
+    VertexId srcPort = kInvalidVertex;
+    int dstRegion = -1;
+    VertexId dstPort = kInvalidVertex;
+    /**
+     * Fallback when forwarding is disabled: the value round-trips
+     * through memory with a phase barrier (slower, modeled by the
+     * performance estimator and simulator).
+     */
+    bool viaMemory = false;
+};
+
+/**
+ * One issue of one region within a sequentially-phased program: the
+ * region index plus the values of its outer-loop induction variables.
+ */
+struct PhaseIssue
+{
+    int region = -1;
+    std::vector<std::pair<int, int64_t>> ivs;  ///< (loopId, value)
+};
+
+/** A full decoupled program (one config scope). */
+struct DecoupledProgram
+{
+    std::string name;
+    std::vector<Region> regions;
+    std::vector<Forward> forwards;
+
+    /**
+     * Sequentially-phased execution: regions carry cross-region array
+     * dependences under shared enclosing loops (qr/chol/fft-style), so
+     * the control core issues them strictly in program order, one
+     * issue at a time, following phaseScript. When false, regions run
+     * concurrently (subject to dependsOn / via-memory forwards).
+     */
+    bool sequential = false;
+    std::vector<PhaseIssue> phaseScript;
+
+    /** Total instruction count across regions. */
+    int numInstructions() const;
+
+    /** Structural checks over all regions and forwards. */
+    std::vector<std::string> validate() const;
+};
+
+} // namespace dsa::dfg
+
+#endif // DSA_DFG_PROGRAM_H

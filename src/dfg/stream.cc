@@ -1,0 +1,137 @@
+#include "dfg/stream.h"
+
+#include "base/logging.h"
+
+namespace dsa::dfg {
+
+const char *
+streamKindName(StreamKind kind)
+{
+    switch (kind) {
+      case StreamKind::LinearRead: return "linear_read";
+      case StreamKind::LinearWrite: return "linear_write";
+      case StreamKind::IndirectRead: return "indirect_read";
+      case StreamKind::IndirectWrite: return "indirect_write";
+      case StreamKind::AtomicUpdate: return "atomic_update";
+      case StreamKind::Const: return "const";
+      case StreamKind::Recurrence: return "recurrence";
+      case StreamKind::Iota: return "iota";
+    }
+    DSA_PANIC("bad stream kind");
+}
+
+int64_t
+LinearPattern::numElements() const
+{
+    int64_t total = 0;
+    for (int64_t i = 0; i < len2; ++i)
+        total += std::max<int64_t>(0, len1 + i * len1Delta);
+    return total;
+}
+
+std::vector<int64_t>
+LinearPattern::expandAddrs() const
+{
+    std::vector<int64_t> out;
+    out.reserve(static_cast<size_t>(numElements()));
+    for (int64_t i = 0; i < len2; ++i) {
+        int64_t inner_len = len1 + i * len1Delta;
+        int64_t row = baseBytes + (i * stride2 + i * start1Delta) * elemBytes;
+        for (int64_t j = 0; j < inner_len; ++j)
+            out.push_back(row + j * stride1 * elemBytes);
+    }
+    return out;
+}
+
+LinearPattern
+LinearPattern::contiguous(int64_t base_bytes, int64_t len, int elem_bytes)
+{
+    LinearPattern p;
+    p.baseBytes = base_bytes;
+    p.elemBytes = elem_bytes;
+    p.stride1 = 1;
+    p.len1 = len;
+    return p;
+}
+
+LinearPattern
+LinearPattern::strided1d(int64_t base_bytes, int64_t stride, int64_t len,
+                         int elem_bytes)
+{
+    LinearPattern p;
+    p.baseBytes = base_bytes;
+    p.elemBytes = elem_bytes;
+    p.stride1 = stride;
+    p.len1 = len;
+    return p;
+}
+
+bool
+Stream::feedsInput() const
+{
+    switch (kind) {
+      case StreamKind::LinearRead:
+      case StreamKind::IndirectRead:
+      case StreamKind::Const:
+      case StreamKind::Recurrence:
+      case StreamKind::Iota:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Stream::touchesMemory() const
+{
+    return kind != StreamKind::Const && kind != StreamKind::Recurrence &&
+           kind != StreamKind::Iota;
+}
+
+bool
+Stream::needsIndirect() const
+{
+    return kind == StreamKind::IndirectRead ||
+           kind == StreamKind::IndirectWrite ||
+           kind == StreamKind::AtomicUpdate;
+}
+
+bool
+Stream::needsAtomic() const
+{
+    return kind == StreamKind::AtomicUpdate;
+}
+
+int64_t
+Stream::numElements() const
+{
+    switch (kind) {
+      case StreamKind::Const:
+        return constCount;
+      case StreamKind::Recurrence:
+        return recurrenceCount;
+      case StreamKind::Iota:
+        return pattern.numElements();
+      case StreamKind::IndirectRead:
+      case StreamKind::IndirectWrite:
+      case StreamKind::AtomicUpdate:
+        return idxPattern.numElements();
+      default:
+        return pattern.numElements();
+    }
+}
+
+int64_t
+Stream::trafficBytes() const
+{
+    if (!touchesMemory())
+        return 0;
+    int64_t data = numElements() * pattern.elemBytes;
+    if (needsIndirect())
+        data += idxPattern.numElements() * idxElemBytes;
+    if (kind == StreamKind::AtomicUpdate)
+        data *= 2;  // read-modify-write at the banks
+    return data;
+}
+
+} // namespace dsa::dfg

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Coarse-grain memory streams (§III-A "Memories", §IV): the decoupled
+ * half of the decoupled dataflow representation. A stream describes a
+ * whole memory access pattern that a memory's stream engine executes
+ * autonomously, feeding or draining a DFG vector port.
+ *
+ * Supported patterns mirror the paper's two fixed controllers:
+ *  - linear:   inductive 2D affine (REVEL-style; triangular patterns via
+ *              a per-outer-iteration inner-length delta), and
+ *  - indirect: a[b[i]] gather/scatter plus banked atomic update
+ *              (SPU-style),
+ * plus non-memory streams: constants, and recurrences that route an
+ * output port back to an input port without touching memory.
+ */
+
+#ifndef DSA_DFG_STREAM_H
+#define DSA_DFG_STREAM_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dfg/dfg.h"
+
+namespace dsa::dfg {
+
+/** Which address space a stream touches. */
+enum class MemSpace : uint8_t { Main, Spad };
+
+enum class StreamKind : uint8_t {
+    LinearRead,     ///< memory -> input port
+    LinearWrite,    ///< output port -> memory
+    IndirectRead,   ///< a[b[i]] gather -> input port
+    IndirectWrite,  ///< scatter: a[b[i]] = v
+    AtomicUpdate,   ///< a[b[i]] op= v, computed at the memory banks
+    Const,          ///< immediate value repeated N times -> input port
+    Recurrence,     ///< output port -> input port (no memory traffic)
+    Iota            ///< affine value sequence -> input port (no memory)
+};
+// For Iota streams, `pattern` is reused with elemBytes == 1: the byte
+// "addresses" it enumerates ARE the data values delivered to the port.
+
+/** Human-readable stream-kind name. */
+const char *streamKindName(StreamKind kind);
+
+/**
+ * Inductive 2D affine pattern, in elements:
+ *   for i in [0, len2): for j in [0, len1 + i*len1Delta):
+ *     addr = base + (i*stride2 + start1Delta*i + j*stride1) * elemBytes
+ * len1Delta/start1Delta enable triangular patterns (e.g. cholesky/qr).
+ */
+struct LinearPattern
+{
+    int64_t baseBytes = 0;  ///< starting byte address
+    int elemBytes = 8;
+    int64_t stride1 = 1;    ///< inner stride (elements)
+    int64_t len1 = 1;       ///< inner trip count at i=0
+    int64_t len1Delta = 0;  ///< inner trip-count growth per outer iter
+    int64_t stride2 = 0;    ///< outer stride (elements)
+    int64_t start1Delta = 0;///< extra inner-start shift per outer iter
+    int64_t len2 = 1;       ///< outer trip count
+
+    /** Total elements produced by the pattern. */
+    int64_t numElements() const;
+
+    /** Materialize all byte addresses (tests / small patterns only). */
+    std::vector<int64_t> expandAddrs() const;
+
+    /** A flat 1D pattern. */
+    static LinearPattern contiguous(int64_t base_bytes, int64_t len,
+                                    int elem_bytes = 8);
+    /** A strided 1D pattern. */
+    static LinearPattern strided1d(int64_t base_bytes, int64_t stride,
+                                   int64_t len, int elem_bytes = 8);
+};
+
+/**
+ * One stream command. Reads feed an input port; writes drain an output
+ * port. Indirect streams additionally read their indices via a linear
+ * pattern (idxPattern) of idxElemBytes integers.
+ */
+struct Stream
+{
+    int id = -1;
+    StreamKind kind = StreamKind::LinearRead;
+    MemSpace space = MemSpace::Main;
+    std::string name;
+
+    /** DFG port this stream feeds (reads) or drains (writes). */
+    VertexId port = kInvalidVertex;
+
+    /**
+     * Modular-compilation fallback (§IV-C): the target hardware lacks
+     * the controller for this pattern, so the control core issues it
+     * element-by-element. Throughput is then bounded by the core's
+     * command rate instead of the stream engine.
+     */
+    bool scalarFallback = false;
+
+    /**
+     * Per-reissue base adjustment: when the region sits under
+     * non-folded enclosing loops, the stream's base address shifts by
+     * coeff bytes per iteration of each such loop (keyed by loop id).
+     * The control core applies these when re-issuing the stream.
+     */
+    std::map<int, int64_t> reissueCoeffs;
+    /** Same, for the index pattern of indirect streams. */
+    std::map<int, int64_t> idxReissueCoeffs;
+    /**
+     * Per-reissue inner-length adjustment (triangular loop nests whose
+     * inner trip count depends on an enclosing loop variable).
+     */
+    std::map<int, int64_t> reissueLenCoeffs;
+    /**
+     * Draining streams (writes, recurrences): skip this many elements
+     * produced by the port before starting to consume. Used to split
+     * one output port between a recurrence (first N·(M-1) elements)
+     * and the final memory write (last N) in the repetitive-update
+     * optimization (Fig. 7(b)).
+     */
+    int64_t skipFirst = 0;
+
+    /**
+     * Write streams only: the element count is an upper bound and the
+     * stream simply drains whatever the port produces (data-dependent
+     * compaction writes, e.g. re-sparsification).
+     */
+    bool openEnded = false;
+
+    /** Data access pattern (Linear*), or gather base for Indirect*. */
+    LinearPattern pattern;
+
+    /// @name Indirect-only fields
+    /// @{
+    /** Pattern for reading the index array b[]. */
+    LinearPattern idxPattern;
+    MemSpace idxSpace = MemSpace::Main;
+    int idxElemBytes = 8;
+    /** Atomic update operation (AtomicUpdate only). */
+    OpCode updateOp = OpCode::Add;
+    /** For IndirectWrite/AtomicUpdate: output port supplying values. */
+    VertexId valuePort = kInvalidVertex;
+    /// @}
+
+    /// @name Const-only fields
+    /// @{
+    Value constValue = 0;
+    int64_t constCount = 0;
+    /// @}
+
+    /// @name Recurrence-only fields
+    /// @{
+    /** Output port whose values are re-injected. */
+    VertexId srcPort = kInvalidVertex;
+    /** Elements to forward before the recurrence completes. */
+    int64_t recurrenceCount = 0;
+    /// @}
+
+    /** True for kinds that feed an input port. */
+    bool feedsInput() const;
+    /** True for kinds that consume memory bandwidth. */
+    bool touchesMemory() const;
+    /** Requires an indirect-capable memory controller. */
+    bool needsIndirect() const;
+    /** Requires banked atomic-update support. */
+    bool needsAtomic() const;
+
+    /** Number of data elements transferred. */
+    int64_t numElements() const;
+    /** Bytes of memory traffic (data + indices). */
+    int64_t trafficBytes() const;
+};
+
+} // namespace dsa::dfg
+
+#endif // DSA_DFG_STREAM_H

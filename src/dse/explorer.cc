@@ -1,0 +1,404 @@
+#include "dse/explorer.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+#include "model/host_model.h"
+#include "model/perf_model.h"
+#include "model/regression.h"
+
+namespace dsa::dse {
+
+using adg::Adg;
+using adg::AdgNode;
+using adg::NodeId;
+using adg::NodeKind;
+using adg::Scheduling;
+using adg::Sharing;
+using adg::SyncDir;
+
+Explorer::Explorer(std::vector<const workloads::Workload *> wls,
+                   DseOptions opts)
+    : workloads_(std::move(wls)), opts_(opts)
+{
+    DSA_ASSERT(!workloads_.empty(), "DSE needs at least one workload");
+    for (const auto *w : workloads_) {
+        auto golden = workloads::runGolden(*w);
+        hostCycles_.push_back(model::estimateHostCycles(golden.stats));
+    }
+}
+
+double
+Explorer::evaluateDesign(
+    const Adg &adg, std::map<std::pair<int, int>, mapper::Schedule> &scheds,
+    bool repair, double *perfOut, model::ComponentCost *costOut)
+{
+    auto features = compiler::HwFeatures::fromAdg(adg);
+    compiler::CompileOptions copts;
+    copts.unrollFactors = opts_.unrollFactors;
+
+    double logSum = 0;
+    for (size_t k = 0; k < workloads_.size(); ++k) {
+        const auto &w = *workloads_[k];
+        auto placement = compiler::Placement::autoLayout(w.kernel,
+                                                         features);
+        double bestCycles = 1e30;
+        for (int u : opts_.unrollFactors) {
+            auto lowered = compiler::lowerKernel(w.kernel, placement,
+                                                 features, copts, u);
+            if (!lowered.ok)
+                continue;
+            auto key = std::make_pair(static_cast<int>(k), u);
+            auto prev = scheds.find(key);
+            mapper::SchedOptions so;
+            // First-ever mapping gets the full budget; afterwards the
+            // per-step budget applies (repairing or re-discovering).
+            so.maxIters = prev == scheds.end() ? opts_.initSchedIters
+                                               : opts_.schedIters;
+            so.convergeIters = std::max(8, so.maxIters / 5);
+            so.seed = opts_.seed + k * 131 + u;
+            mapper::SpatialScheduler scheduler(lowered.version.program,
+                                               adg, so);
+            mapper::Schedule sched =
+                (repair && prev != scheds.end())
+                    ? scheduler.run(&prev->second)
+                    : scheduler.run();
+            auto est = model::estimatePerformance(lowered.version.program,
+                                                  sched, adg);
+            scheds[key] = sched;
+            if (est.legal)
+                bestCycles = std::min(bestCycles, est.cycles);
+        }
+        // A kernel that cannot map falls back to host execution
+        // (speedup 1x) — offload is simply declined.
+        double speedup = bestCycles < 1e29
+            ? hostCycles_[k] / bestCycles : 1.0;
+        speedup = std::max(speedup, 0.01);
+        logSum += std::log(speedup);
+    }
+    double perf = std::exp(logSum / static_cast<double>(workloads_.size()));
+    auto cost = model::AreaPowerModel::instance().fabric(adg);
+    if (perfOut)
+        *perfOut = perf;
+    if (costOut)
+        *costOut = cost;
+    return perf * perf / std::max(1e-6, cost.areaMm2);
+}
+
+void
+Explorer::pruneUnused(Adg &adg) const
+{
+    // Which opcodes/features can any kernel version possibly use?
+    auto features = compiler::HwFeatures::fromAdg(adg);
+    compiler::CompileOptions copts;
+    copts.unrollFactors = opts_.unrollFactors;
+    OpSet used;
+    bool needsJoin = false, needsIndirect = false, needsAtomic = false;
+    for (const auto *w : workloads_) {
+        auto placement = compiler::Placement::autoLayout(w->kernel,
+                                                         features);
+        for (int u : opts_.unrollFactors) {
+            auto lowered = compiler::lowerKernel(w->kernel, placement,
+                                                 features, copts, u);
+            if (!lowered.ok)
+                continue;
+            for (const auto &reg : lowered.version.program.regions) {
+                for (const auto &vx : reg.dfg.vertices()) {
+                    if (vx.kind != dfg::VertexKind::Instruction)
+                        continue;
+                    used.insert(vx.op);
+                    needsJoin |= vx.ctrl.active();
+                }
+                for (const auto &st : reg.streams) {
+                    needsIndirect |= st.needsIndirect();
+                    needsAtomic |= st.needsAtomic();
+                }
+            }
+        }
+    }
+    for (NodeId id : adg.aliveNodes(NodeKind::Pe)) {
+        auto &pe = adg.node(id).pe();
+        pe.ops = pe.ops & used;
+        if (pe.ops.empty())
+            pe.ops.insert(OpCode::Pass);
+        if (!needsJoin)
+            pe.streamJoin = false;
+    }
+    for (NodeId id : adg.aliveNodes(NodeKind::Memory)) {
+        auto &mem = adg.node(id).mem();
+        if (!needsIndirect)
+            mem.indirect = false;
+        if (!needsAtomic)
+            mem.atomicUpdate = false;
+    }
+}
+
+std::string
+Explorer::mutate(Adg &adg, Rng &rng) const
+{
+    auto pes = adg.aliveNodes(NodeKind::Pe);
+    auto switches = adg.aliveNodes(NodeKind::Switch);
+    auto syncs = adg.aliveNodes(NodeKind::Sync);
+    auto mems = adg.aliveNodes(NodeKind::Memory);
+
+    switch (rng.uniformInt(0, 13)) {
+      case 0: {  // add a PE near random switches
+        if (switches.size() < 2)
+            return "noop";
+        adg::PeProps props = adg.node(rng.pick(pes)).pe();
+        NodeId pe = adg.addPe(props);
+        int fan = 2 + static_cast<int>(rng.uniformInt(0, 2));
+        for (int i = 0; i < fan; ++i)
+            adg.connect(rng.pick(switches), pe);
+        adg.connect(pe, rng.pick(switches));
+        return "add pe";
+      }
+      case 1: {  // remove a PE
+        if (pes.size() <= 2)
+            return "noop";
+        adg.removeNode(rng.pick(pes));
+        return "remove pe";
+      }
+      case 2: {  // add a switch stitched into the network
+        if (switches.size() < 2)
+            return "noop";
+        adg::SwitchProps props = adg.node(rng.pick(switches)).sw();
+        NodeId sw = adg.addSwitch(props);
+        for (int i = 0; i < 2; ++i) {
+            adg.connect(rng.pick(switches), sw);
+            adg.connect(sw, rng.pick(switches));
+        }
+        return "add switch";
+      }
+      case 3: {  // remove a switch
+        if (switches.size() <= 4)
+            return "noop";
+        adg.removeNode(rng.pick(switches));
+        return "remove switch";
+      }
+      case 4: {  // add an edge (irregular connectivity)
+        std::vector<NodeId> srcs = switches;
+        for (NodeId p : pes)
+            srcs.push_back(p);
+        for (NodeId s : syncs)
+            if (adg.node(s).sync().dir == SyncDir::Input)
+                srcs.push_back(s);
+        std::vector<NodeId> dsts = switches;
+        for (NodeId p : pes)
+            dsts.push_back(p);
+        for (NodeId s : syncs)
+            if (adg.node(s).sync().dir == SyncDir::Output)
+                dsts.push_back(s);
+        NodeId a = rng.pick(srcs), b = rng.pick(dsts);
+        if (a == b || adg.findEdge(a, b) != adg::kInvalidEdge)
+            return "noop";
+        adg.connect(a, b);
+        return "add edge";
+      }
+      case 5: {  // remove an edge (not touching memories)
+        auto edges = adg.aliveEdges();
+        for (int tries = 0; tries < 8; ++tries) {
+            adg::EdgeId e = rng.pick(edges);
+            const auto &edge = adg.edge(e);
+            if (adg.node(edge.src).kind == NodeKind::Memory ||
+                adg.node(edge.dst).kind == NodeKind::Memory)
+                continue;
+            adg.removeEdge(e);
+            return "remove edge";
+        }
+        return "noop";
+      }
+      case 6: {  // toggle PE scheduling model
+        auto &pe = adg.node(rng.pick(pes)).pe();
+        if (pe.sched == Scheduling::Static) {
+            pe.sched = Scheduling::Dynamic;
+        } else {
+            pe.sched = Scheduling::Static;
+            pe.streamJoin = false;
+        }
+        return "toggle pe sched";
+      }
+      case 7: {  // toggle dedicated/shared
+        auto &pe = adg.node(rng.pick(pes)).pe();
+        if (pe.sharing == Sharing::Dedicated) {
+            pe.sharing = Sharing::Shared;
+            pe.maxInsts = 8;
+        } else {
+            pe.sharing = Sharing::Dedicated;
+            pe.maxInsts = 1;
+        }
+        return "toggle pe sharing";
+      }
+      case 8: {  // grow/shrink a PE's FU repertoire by one class
+        auto &pe = adg.node(rng.pick(pes)).pe();
+        auto cls = static_cast<FuClass>(
+            rng.uniformInt(0, kNumFuClasses - 1));
+        bool add = rng.chance(0.5);
+        for (int i = 0; i < kNumOpCodes; ++i) {
+            auto op = static_cast<OpCode>(i);
+            if (opInfo(op).fuClass != cls)
+                continue;
+            if (add)
+                pe.ops.insert(op);
+            else if (op != OpCode::Pass)
+                pe.ops.erase(op);
+        }
+        if (pe.ops.empty())
+            pe.ops.insert(OpCode::Pass);
+        return add ? "add fu class" : "remove fu class";
+      }
+      case 9: {  // delay-fifo depth
+        auto &pe = adg.node(rng.pick(pes)).pe();
+        pe.delayFifoDepth = rng.chance(0.5)
+            ? std::min(32, pe.delayFifoDepth * 2)
+            : std::max(2, pe.delayFifoDepth / 2);
+        return "resize delay fifo";
+      }
+      case 10: {  // sync element parameters
+        auto &sy = adg.node(rng.pick(syncs)).sync();
+        if (rng.chance(0.5))
+            sy.lanes = static_cast<int>(rng.uniformInt(1, 4)) * 4;
+        else
+            sy.depth = rng.chance(0.5) ? std::min(64, sy.depth * 2)
+                                       : std::max(2, sy.depth / 2);
+        return "resize sync";
+      }
+      case 11: {  // scratchpad parameters (explored per §V-D)
+        for (NodeId m : mems) {
+            auto &mem = adg.node(m).mem();
+            if (mem.kind != adg::MemKind::Scratchpad)
+                continue;
+            switch (rng.uniformInt(0, 3)) {
+              case 0:
+                mem.widthBytes = rng.chance(0.5)
+                    ? std::min(256, mem.widthBytes * 2)
+                    : std::max(16, mem.widthBytes / 2);
+                break;
+              case 1:
+                mem.numBanks = rng.chance(0.5)
+                    ? std::min(16, mem.numBanks * 2)
+                    : std::max(1, mem.numBanks / 2);
+                break;
+              case 2:
+                mem.capacityBytes = rng.chance(0.5)
+                    ? std::min<int64_t>(1 << 18, mem.capacityBytes * 2)
+                    : std::max<int64_t>(1 << 12, mem.capacityBytes / 2);
+                break;
+              default:
+                mem.numStreamEngines = rng.chance(0.5)
+                    ? std::min(24, mem.numStreamEngines + 2)
+                    : std::max(2, mem.numStreamEngines - 2);
+            }
+            return "tune scratchpad";
+        }
+        return "noop";
+      }
+      case 12: {  // insert or remove a delay element
+        auto delays = adg.aliveNodes(NodeKind::Delay);
+        if (!delays.empty() && rng.chance(0.5)) {
+            adg.removeNode(rng.pick(delays));
+            return "remove delay";
+        }
+        if (switches.size() < 2)
+            return "noop";
+        adg::DelayProps props;
+        props.depth = 4 << rng.uniformInt(0, 2);
+        NodeId d = adg.addDelay(props);
+        adg.connect(rng.pick(switches), d);
+        adg.connect(d, rng.pick(switches));
+        return "add delay";
+      }
+      default: {  // main-memory interface width (bandwidth share)
+        for (NodeId m : mems) {
+            auto &mem = adg.node(m).mem();
+            if (mem.kind != adg::MemKind::Main)
+                continue;
+            mem.widthBytes = rng.chance(0.5)
+                ? std::min(128, mem.widthBytes * 2)
+                : std::max(16, mem.widthBytes / 2);
+            return "tune main width";
+        }
+        return "noop";
+      }
+    }
+}
+
+DseResult
+Explorer::run(const Adg &initial)
+{
+    Rng rng(opts_.seed);
+    DseResult result;
+
+    Adg current = initial;
+    std::map<std::pair<int, int>, mapper::Schedule> schedules;
+
+    // Iteration 0-1: map onto the initial hardware, then trim features
+    // known to be unneeded (§VIII-B).
+    double perf = 0;
+    model::ComponentCost cost;
+    result.initialObjective =
+        evaluateDesign(current, schedules, false, &perf, &cost);
+    result.initialCost = cost;
+    result.history.push_back(
+        {0, cost.areaMm2, cost.powerMw, perf, result.initialObjective,
+         true});
+
+    pruneUnused(current);
+    double curObj = evaluateDesign(current, schedules, opts_.useRepair,
+                                   &perf, &cost);
+    result.history.push_back(
+        {1, cost.areaMm2, cost.powerMw, perf, curObj, true});
+
+    result.best = current;
+    result.bestObjective = curObj;
+    result.bestPerf = perf;
+    result.bestCost = cost;
+
+    int noImprove = 0;
+    for (int iter = 2; iter < opts_.maxIters; ++iter) {
+        if (noImprove >= opts_.noImproveExit)
+            break;
+        Adg candidate = current;
+        // "A random number of components are added or removed."
+        int nMut = 1 + static_cast<int>(rng.uniformInt(0, 2));
+        for (int m = 0; m < nMut; ++m)
+            mutate(candidate, rng);
+        if (!candidate.validate().empty()) {
+            ++noImprove;
+            continue;
+        }
+        auto candCost = model::AreaPowerModel::instance().fabric(candidate);
+        if (candCost.areaMm2 > opts_.areaBudgetMm2 ||
+            candCost.powerMw > opts_.powerBudgetMw) {
+            ++noImprove;
+            continue;
+        }
+
+        auto candSchedules = schedules;  // repair from current mapping
+        double candPerf = 0;
+        double candObj = evaluateDesign(candidate, candSchedules,
+                                        opts_.useRepair, &candPerf,
+                                        &candCost);
+        bool accepted = candObj > curObj;
+        result.history.push_back({iter, candCost.areaMm2,
+                                  candCost.powerMw, candPerf, candObj,
+                                  accepted});
+        if (accepted) {
+            current = std::move(candidate);
+            schedules = std::move(candSchedules);
+            curObj = candObj;
+            if (candObj > result.bestObjective) {
+                result.best = current;
+                result.bestObjective = candObj;
+                result.bestPerf = candPerf;
+                result.bestCost = candCost;
+            }
+            noImprove = 0;
+        } else {
+            ++noImprove;
+        }
+    }
+    return result;
+}
+
+} // namespace dsa::dse

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Automated design-space exploration (§V): iterative hardware/software
+ * co-design. Each step mutates the ADG (adding/removing components or
+ * connectivity, toggling ISA-level features) within a power/area
+ * budget, re-compiles every input kernel into its candidate versions,
+ * re-schedules them with the solution-repairing spatial scheduler
+ * (§V-A), estimates performance/power/area with the analytical models,
+ * and keeps the mutation when the objective (perf^2/mm^2) improves.
+ *
+ * Fixed during DSE per §V-D: the single main-memory interface and the
+ * single scratchpad (whose parameters ARE explored), the control core,
+ * and flopped switch outputs.
+ */
+
+#ifndef DSA_DSE_EXPLORER_H
+#define DSA_DSE_EXPLORER_H
+
+#include <map>
+#include <vector>
+
+#include "adg/adg.h"
+#include "base/rng.h"
+#include "compiler/compile.h"
+#include "mapper/scheduler.h"
+#include "model/cost.h"
+#include "workloads/workload.h"
+
+namespace dsa::dse {
+
+/** Exploration knobs. */
+struct DseOptions
+{
+    /** Total mutation steps attempted. */
+    int maxIters = 400;
+    /** Exit after this many steps without objective improvement
+     *  (the paper uses 750). */
+    int noImproveExit = 150;
+    uint64_t seed = 1;
+    /** Scheduling iterations per (re)mapping (the paper uses 200). */
+    int schedIters = 60;
+    /**
+     * Scheduling iterations for the *initial* mapping of each kernel
+     * version (before any previous schedule exists). The paper
+     * initializes mappings on the loose starting hardware; later DSE
+     * steps only repair (or, without repair, must re-discover the
+     * mapping within schedIters — the Fig. 11 contrast).
+     */
+    int initSchedIters = 2000;
+    /**
+     * Repair schedules across mutations (§V-A). When false, every
+     * step re-maps every version from scratch (the Fig. 11 baseline).
+     */
+    bool useRepair = true;
+    /** Hardware budget. */
+    double areaBudgetMm2 = 5.0;
+    double powerBudgetMw = 1500.0;
+    /** Vectorization degrees compiled per kernel (M versions, §V). */
+    std::vector<int> unrollFactors = {1, 4};
+};
+
+/** One step of the exploration trace (drives Fig. 14). */
+struct DseIterRecord
+{
+    int iter = 0;
+    double areaMm2 = 0;
+    double powerMw = 0;
+    double perf = 0;        ///< geomean speedup over the host model
+    double objective = 0;   ///< perf^2 / mm^2
+    bool accepted = false;
+};
+
+/** Exploration outcome. */
+struct DseResult
+{
+    adg::Adg best;
+    double bestObjective = 0;
+    double bestPerf = 0;
+    model::ComponentCost bestCost;
+    std::vector<DseIterRecord> history;
+    /** Objective of the initial hardware (for improvement ratios). */
+    double initialObjective = 0;
+    model::ComponentCost initialCost;
+};
+
+/** Hardware/software co-design explorer over a set of workloads. */
+class Explorer
+{
+  public:
+    Explorer(std::vector<const workloads::Workload *> workloads,
+             DseOptions opts = {});
+
+    /** Run the exploration from @p initial. */
+    DseResult run(const adg::Adg &initial);
+
+    /**
+     * Evaluate one design: compile + schedule every kernel version,
+     * pick each kernel's best, return the objective.
+     * @param schedules in/out per-(kernel,unroll) schedules for repair.
+     */
+    double evaluateDesign(
+        const adg::Adg &adg,
+        std::map<std::pair<int, int>, mapper::Schedule> &schedules,
+        bool repair, double *perfOut, model::ComponentCost *costOut);
+
+    /**
+     * Remove features no kernel can use (unneeded FU classes, unused
+     * indirect/atomic controllers, stream-join on designs without
+     * data-dependent idioms) — the paper's first-iterations trimming.
+     */
+    void pruneUnused(adg::Adg &adg) const;
+
+    /** Apply one random mutation; returns a description. */
+    std::string mutate(adg::Adg &adg, Rng &rng) const;
+
+  private:
+    std::vector<const workloads::Workload *> workloads_;
+    DseOptions opts_;
+    std::vector<double> hostCycles_;
+};
+
+} // namespace dsa::dse
+
+#endif // DSA_DSE_EXPLORER_H

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Configuration bitstream encoding (§VI): every spatial component has
+ * local registers holding its programmable state — routing tables for
+ * switches, opcodes/timing/tags for PEs, delays and ready-logic for
+ * synchronization elements. The encoder computes per-node bit budgets
+ * from the node's parameters and packs a schedule's configuration into
+ * addressed words (node id + payload) for delivery along the
+ * configuration paths.
+ */
+
+#ifndef DSA_HWGEN_BITSTREAM_H
+#define DSA_HWGEN_BITSTREAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adg/adg.h"
+#include "dfg/program.h"
+#include "mapper/schedule.h"
+
+namespace dsa::hwgen {
+
+/** Bits of configuration state one node holds. */
+int configBits(const adg::Adg &adg, adg::NodeId id);
+
+/** Total configuration bits of a fabric. */
+int64_t totalConfigBits(const adg::Adg &adg);
+
+/** One addressed configuration word. */
+struct ConfigWord
+{
+    adg::NodeId dest = adg::kInvalidNode;
+    uint64_t payload = 0;
+    int payloadBits = 0;
+};
+
+/** A complete fabric configuration (one config group's bitstream). */
+struct Bitstream
+{
+    std::vector<ConfigWord> words;
+
+    /** Total bits including per-word addressing overhead. */
+    int64_t totalBits(const adg::Adg &adg) const;
+};
+
+/**
+ * Encode the configuration for one config group of a scheduled
+ * program: switch routes, PE opcodes/ctrl, port assignments, delays.
+ */
+Bitstream encodeConfig(const adg::Adg &adg,
+                       const dfg::DecoupledProgram &prog,
+                       const mapper::Schedule &sched, int configGroup = 0);
+
+} // namespace dsa::hwgen
+
+#endif // DSA_HWGEN_BITSTREAM_H

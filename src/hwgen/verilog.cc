@@ -1,0 +1,263 @@
+#include "hwgen/verilog.h"
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "hwgen/bitstream.h"
+
+namespace dsa::hwgen {
+
+using adg::Adg;
+using adg::NodeId;
+using adg::NodeKind;
+
+namespace {
+
+/** Legalize a node name as a Verilog identifier. */
+std::string
+vname(const std::string &s)
+{
+    std::string out;
+    for (char c : s)
+        out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c
+                                                                  : '_');
+    return out;
+}
+
+void
+emitLeafModules(std::ostringstream &os)
+{
+    os << R"(// ---- Generated component library -------------------------------
+// Behavioral shells: each component latches its slice of the scan
+// chain into cfg and exposes a generic streaming datapath interface.
+
+module dsa_pe #(parameter WIDTH = 64, parameter CFG_BITS = 64,
+                parameter N_IN = 4) (
+    input  wire                      clk,
+    input  wire                      rst,
+    input  wire [N_IN*WIDTH-1:0]     in_data,
+    input  wire [N_IN-1:0]           in_valid,
+    output wire [N_IN-1:0]           in_ready,
+    output wire [WIDTH-1:0]          out_data,
+    output wire                      out_valid,
+    input  wire                      out_ready,
+    input  wire                      cfg_enable,
+    input  wire                      cfg_in,
+    output wire                      cfg_out
+);
+  reg [CFG_BITS-1:0] cfg;
+  always @(posedge clk)
+    if (cfg_enable) cfg <= {cfg[CFG_BITS-2:0], cfg_in};
+  assign cfg_out = cfg[CFG_BITS-1];
+  // Datapath elided in the shell; synthesis-cost proxies are provided
+  // by the analytical model.
+  assign out_data = in_data[WIDTH-1:0];
+  assign out_valid = &in_valid;
+  assign in_ready = {N_IN{out_ready}};
+endmodule
+
+module dsa_switch #(parameter WIDTH = 64, parameter CFG_BITS = 16,
+                    parameter N_IN = 4, parameter N_OUT = 4) (
+    input  wire                      clk,
+    input  wire                      rst,
+    input  wire [N_IN*WIDTH-1:0]     in_data,
+    input  wire [N_IN-1:0]           in_valid,
+    output wire [N_IN-1:0]           in_ready,
+    output reg  [N_OUT*WIDTH-1:0]    out_data,
+    output reg  [N_OUT-1:0]          out_valid,
+    input  wire [N_OUT-1:0]          out_ready,
+    input  wire                      cfg_enable,
+    input  wire                      cfg_in,
+    output wire                      cfg_out
+);
+  reg [CFG_BITS-1:0] cfg;
+  always @(posedge clk)
+    if (cfg_enable) cfg <= {cfg[CFG_BITS-2:0], cfg_in};
+  assign cfg_out = cfg[CFG_BITS-1];
+  integer i;
+  always @(posedge clk) begin  // flopped outputs (one pipeline stage)
+    for (i = 0; i < N_OUT; i = i + 1) begin
+      out_data[i*WIDTH +: WIDTH] <= in_data[(cfg[i*2 +: 2] % N_IN)*WIDTH +: WIDTH];
+      out_valid[i] <= in_valid[cfg[i*2 +: 2] % N_IN];
+    end
+  end
+  assign in_ready = {N_IN{|out_ready}};
+endmodule
+
+module dsa_sync #(parameter WIDTH = 64, parameter LANES = 4,
+                  parameter DEPTH = 8, parameter CFG_BITS = 16) (
+    input  wire                      clk,
+    input  wire                      rst,
+    input  wire [WIDTH-1:0]          in_data,
+    input  wire                      in_valid,
+    output wire                      in_ready,
+    output wire [LANES*WIDTH-1:0]    out_data,
+    output wire                      out_valid,
+    input  wire                      out_ready,
+    input  wire                      cfg_enable,
+    input  wire                      cfg_in,
+    output wire                      cfg_out
+);
+  reg [CFG_BITS-1:0] cfg;
+  always @(posedge clk)
+    if (cfg_enable) cfg <= {cfg[CFG_BITS-2:0], cfg_in};
+  assign cfg_out = cfg[CFG_BITS-1];
+  assign out_data = {LANES{in_data}};
+  assign out_valid = in_valid;
+  assign in_ready = out_ready;
+endmodule
+
+module dsa_delay #(parameter WIDTH = 64, parameter DEPTH = 8,
+                   parameter CFG_BITS = 8) (
+    input  wire             clk,
+    input  wire             rst,
+    input  wire [WIDTH-1:0] in_data,
+    output wire [WIDTH-1:0] out_data,
+    input  wire             cfg_enable,
+    input  wire             cfg_in,
+    output wire             cfg_out
+);
+  reg [CFG_BITS-1:0] cfg;
+  always @(posedge clk)
+    if (cfg_enable) cfg <= {cfg[CFG_BITS-2:0], cfg_in};
+  assign cfg_out = cfg[CFG_BITS-1];
+  reg [WIDTH-1:0] pipe [0:DEPTH-1];
+  integer i;
+  always @(posedge clk) begin
+    pipe[0] <= in_data;
+    for (i = 1; i < DEPTH; i = i + 1) pipe[i] <= pipe[i-1];
+  end
+  assign out_data = pipe[cfg % DEPTH];
+endmodule
+
+module dsa_memory #(parameter BYTES = 8192, parameter WIDTH_BYTES = 64,
+                    parameter ENGINES = 4, parameter CFG_BITS = 8) (
+    input  wire                         clk,
+    input  wire                         rst,
+    input  wire [ENGINES*64-1:0]        cmd,
+    input  wire [ENGINES-1:0]           cmd_valid,
+    output wire [WIDTH_BYTES*8-1:0]     rsp_data,
+    output wire                         rsp_valid,
+    input  wire                         cfg_enable,
+    input  wire                         cfg_in,
+    output wire                         cfg_out
+);
+  reg [CFG_BITS-1:0] cfg;
+  always @(posedge clk)
+    if (cfg_enable) cfg <= {cfg[CFG_BITS-2:0], cfg_in};
+  assign cfg_out = cfg[CFG_BITS-1];
+  assign rsp_data = {WIDTH_BYTES{8'h00}};
+  assign rsp_valid = |cmd_valid;
+endmodule
+
+)";
+}
+
+} // namespace
+
+std::string
+emitVerilog(const Adg &adg, const std::string &topName,
+            const ConfigPathSet &paths)
+{
+    std::ostringstream os;
+    os << "// Generated by DSAGEN hardware generator\n"
+       << "// nodes: " << adg.aliveNodes().size()
+       << ", edges: " << adg.aliveEdges().size()
+       << ", config bits: " << totalConfigBits(adg) << "\n\n";
+    emitLeafModules(os);
+
+    os << "module " << vname(topName) << " (\n"
+       << "    input  wire clk,\n"
+       << "    input  wire rst,\n";
+    for (size_t i = 0; i < paths.paths.size(); ++i)
+        os << "    input  wire cfg_in_" << i << ",\n"
+           << "    output wire cfg_out_" << i << ",\n";
+    os << "    input  wire cfg_enable\n);\n\n";
+
+    // One wire bundle per edge.
+    for (adg::EdgeId e : adg.aliveEdges()) {
+        const auto &edge = adg.edge(e);
+        os << "  wire [" << edge.widthBits - 1 << ":0] w" << e
+           << "_data;  // " << adg.node(edge.src).name << " -> "
+           << adg.node(edge.dst).name << "\n"
+           << "  wire w" << e << "_valid, w" << e << "_ready;\n";
+    }
+    os << "\n";
+
+    // Scan-chain wires along the configuration paths.
+    std::map<NodeId, std::pair<std::string, std::string>> cfgWires;
+    for (size_t p = 0; p < paths.paths.size(); ++p) {
+        const auto &path = paths.paths[p];
+        std::string prev = "cfg_in_" + std::to_string(p);
+        std::set<NodeId> seen;
+        for (NodeId n : path) {
+            if (seen.count(n))
+                continue;  // revisits only forward, no extra register
+            seen.insert(n);
+            std::string out =
+                "cfg_" + std::to_string(p) + "_" + std::to_string(n);
+            os << "  wire " << out << ";\n";
+            cfgWires[n] = {prev, out};
+            prev = out;
+        }
+        os << "  assign cfg_out_" << p << " = " << prev << ";\n";
+    }
+    os << "\n";
+
+    // Instances.
+    for (NodeId id : adg.aliveNodes()) {
+        const auto &n = adg.node(id);
+        const auto &cw = cfgWires.count(id)
+            ? cfgWires[id]
+            : std::make_pair(std::string("1'b0"), std::string());
+        int fanIn = std::max<size_t>(1, adg.inEdges(id).size());
+        int fanOut = std::max<size_t>(1, adg.outEdges(id).size());
+        int cfgBits = std::max(1, configBits(adg, id));
+        switch (n.kind) {
+          case NodeKind::Pe:
+            os << "  dsa_pe #(.WIDTH(" << n.pe().datapathBits
+               << "), .CFG_BITS(" << cfgBits << "), .N_IN(" << fanIn
+               << "))";
+            break;
+          case NodeKind::Switch:
+            os << "  dsa_switch #(.WIDTH(" << n.sw().datapathBits
+               << "), .CFG_BITS(" << cfgBits << "), .N_IN(" << fanIn
+               << "), .N_OUT(" << fanOut << "))";
+            break;
+          case NodeKind::Sync:
+            os << "  dsa_sync #(.WIDTH(" << n.sync().widthBits
+               << "), .LANES(" << n.sync().lanes << "), .DEPTH("
+               << n.sync().depth << "), .CFG_BITS(" << cfgBits << "))";
+            break;
+          case NodeKind::Delay:
+            os << "  dsa_delay #(.WIDTH(" << n.delay().widthBits
+               << "), .DEPTH(" << n.delay().depth << "), .CFG_BITS("
+               << cfgBits << "))";
+            break;
+          case NodeKind::Memory:
+            os << "  dsa_memory #(.BYTES("
+               << (n.mem().kind == adg::MemKind::Main
+                       ? 0 : n.mem().capacityBytes)
+               << "), .WIDTH_BYTES(" << n.mem().widthBytes
+               << "), .ENGINES(" << n.mem().numStreamEngines << "))";
+            break;
+        }
+        os << " u_" << vname(n.name) << " (\n"
+           << "    .clk(clk), .rst(rst),\n"
+           << "    .cfg_enable(cfg_enable), .cfg_in(" << cw.first
+           << "), .cfg_out(" << (cw.second.empty() ? "" : cw.second)
+           << ")";
+        os << "\n    /* data ports bound by edge ids:";
+        for (adg::EdgeId e : adg.inEdges(id))
+            os << " in:w" << e;
+        for (adg::EdgeId e : adg.outEdges(id))
+            os << " out:w" << e;
+        os << " */\n  );\n";
+    }
+    os << "\nendmodule\n";
+    return os.str();
+}
+
+} // namespace dsa::hwgen

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Structural Verilog emission (§VI): the hardware generator walks the
+ * ADG and emits one module instance per component with the fabric's
+ * point-to-point wiring, parameterized datapath widths, and the
+ * configuration-register scan chain following the generated
+ * configuration paths. (The Chisel backend of the paper is replaced
+ * by direct structural Verilog; see DESIGN.md §1.)
+ */
+
+#ifndef DSA_HWGEN_VERILOG_H
+#define DSA_HWGEN_VERILOG_H
+
+#include <string>
+
+#include "adg/adg.h"
+#include "hwgen/config_path.h"
+
+namespace dsa::hwgen {
+
+/**
+ * Emit synthesizable-style structural Verilog for @p adg.
+ * @param topName    name of the top module.
+ * @param paths      configuration paths wired as scan chains.
+ */
+std::string emitVerilog(const adg::Adg &adg, const std::string &topName,
+                        const ConfigPathSet &paths);
+
+} // namespace dsa::hwgen
+
+#endif // DSA_HWGEN_VERILOG_H

@@ -1,0 +1,143 @@
+#include "ir/affine.h"
+
+namespace dsa::ir {
+
+bool
+AffineForm::isConstant() const
+{
+    for (const auto &[id, c] : coeffs)
+        if (c != 0)
+            return false;
+    return true;
+}
+
+AffineForm
+AffineForm::operator+(const AffineForm &o) const
+{
+    AffineForm r = *this;
+    r.base += o.base;
+    for (const auto &[id, c] : o.coeffs)
+        r.coeffs[id] += c;
+    return r;
+}
+
+AffineForm
+AffineForm::operator-(const AffineForm &o) const
+{
+    AffineForm r = *this;
+    r.base -= o.base;
+    for (const auto &[id, c] : o.coeffs)
+        r.coeffs[id] -= c;
+    return r;
+}
+
+AffineForm
+AffineForm::scaled(int64_t k) const
+{
+    AffineForm r = *this;
+    r.base *= k;
+    for (auto &[id, c] : r.coeffs)
+        c *= k;
+    return r;
+}
+
+std::optional<AffineForm>
+analyzeAffine(const ExprPtr &e, const std::map<std::string, int64_t> &params)
+{
+    if (!e)
+        return std::nullopt;
+    switch (e->kind) {
+      case ExprKind::Const: {
+        AffineForm f;
+        f.base = static_cast<int64_t>(e->constVal);
+        return f;
+      }
+      case ExprKind::IterVar: {
+        AffineForm f;
+        f.coeffs[e->loopId] = 1;
+        return f;
+      }
+      case ExprKind::Param: {
+        auto it = params.find(e->name);
+        if (it == params.end())
+            return std::nullopt;
+        AffineForm f;
+        f.base = it->second;
+        return f;
+      }
+      case ExprKind::Scalar:
+      case ExprKind::Load:
+        return std::nullopt;
+      case ExprKind::Op: {
+        auto a = analyzeAffine(e->a, params);
+        if (!a)
+            return std::nullopt;
+        if (e->op == OpCode::Abs || e->op == OpCode::Pass)
+            return std::nullopt;  // abs of affine is not affine in general
+        auto b = analyzeAffine(e->b, params);
+        if (!b)
+            return std::nullopt;
+        switch (e->op) {
+          case OpCode::Add:
+            return *a + *b;
+          case OpCode::Sub:
+            return *a - *b;
+          case OpCode::Mul:
+            if (a->isConstant())
+                return b->scaled(a->base);
+            if (b->isConstant())
+                return a->scaled(b->base);
+            return std::nullopt;
+          case OpCode::Shl:
+            if (b->isConstant() && b->base >= 0 && b->base < 62)
+                return a->scaled(int64_t(1) << b->base);
+            return std::nullopt;
+          default:
+            return std::nullopt;
+        }
+      }
+    }
+    return std::nullopt;
+}
+
+std::optional<IndirectForm>
+analyzeIndirect(const ExprPtr &e,
+                const std::map<std::string, int64_t> &params)
+{
+    if (!e)
+        return std::nullopt;
+    // Direct form: b[affine]
+    if (e->kind == ExprKind::Load) {
+        auto idx = analyzeAffine(e->index, params);
+        if (!idx)
+            return std::nullopt;
+        IndirectForm f;
+        f.idxArray = e->array;
+        f.idxAffine = *idx;
+        return f;
+    }
+    // b[affine] + const  or  const + b[affine]
+    if (e->kind == ExprKind::Op &&
+        (e->op == OpCode::Add || e->op == OpCode::Sub)) {
+        auto tryPair = [&](const ExprPtr &loadSide,
+                           const ExprPtr &constSide,
+                           bool negate) -> std::optional<IndirectForm> {
+            auto f = analyzeIndirect(loadSide, params);
+            if (!f)
+                return std::nullopt;
+            auto c = analyzeAffine(constSide, params);
+            if (!c || !c->isConstant())
+                return std::nullopt;
+            f->offset += negate ? -c->base : c->base;
+            return f;
+        };
+        if (auto f = tryPair(e->a, e->b, e->op == OpCode::Sub))
+            return f;
+        if (e->op == OpCode::Add)
+            if (auto f = tryPair(e->b, e->a, false))
+                return f;
+    }
+    return std::nullopt;
+}
+
+} // namespace dsa::ir

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Affine (mini-SCEV) analysis over loop-nest IR index expressions —
+ * the stand-in for LLVM's scalar-evolution analysis that the paper's
+ * compiler uses to hoist memory accesses into stream intrinsics
+ * (§IV-C "Decoupling the Memory and Compute").
+ */
+
+#ifndef DSA_IR_AFFINE_H
+#define DSA_IR_AFFINE_H
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "ir/expr.h"
+#include "ir/stmt.h"
+
+namespace dsa::ir {
+
+/** base + sum_i coeff[loopId_i] * iv_i, in array elements. */
+struct AffineForm
+{
+    int64_t base = 0;
+    std::map<int, int64_t> coeffs;
+
+    int64_t coeff(int loop_id) const
+    {
+        auto it = coeffs.find(loop_id);
+        return it == coeffs.end() ? 0 : it->second;
+    }
+
+    /** True iff no induction variable appears (a loop-invariant index). */
+    bool isConstant() const;
+
+    AffineForm operator+(const AffineForm &o) const;
+    AffineForm operator-(const AffineForm &o) const;
+    /** Scale by a compile-time constant. */
+    AffineForm scaled(int64_t k) const;
+};
+
+/**
+ * Try to express @p e as an affine form over induction variables,
+ * resolving Param references through @p params.
+ * @return nullopt if the expression is not affine (e.g. contains a
+ *         load, a scalar variable, or a product of two ivs).
+ */
+std::optional<AffineForm>
+analyzeAffine(const ExprPtr &e, const std::map<std::string, int64_t> &params);
+
+/** Result of recognizing an indirect index `b[affine] (+ const)`. */
+struct IndirectForm
+{
+    std::string idxArray;      ///< the index array b
+    AffineForm idxAffine;      ///< affine index into b
+    int64_t offset = 0;        ///< constant added to the loaded index
+};
+
+/**
+ * Try to recognize @p e as an indirect index: a load from an index
+ * array at an affine position, optionally plus a constant (the a[b[i]]
+ * idiom of §IV-E "Indirect Memory Access").
+ */
+std::optional<IndirectForm>
+analyzeIndirect(const ExprPtr &e,
+                const std::map<std::string, int64_t> &params);
+
+} // namespace dsa::ir
+
+#endif // DSA_IR_AFFINE_H

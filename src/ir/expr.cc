@@ -1,0 +1,163 @@
+#include "ir/expr.h"
+
+#include <sstream>
+
+#include "base/logging.h"
+
+namespace dsa::ir {
+
+namespace {
+
+std::shared_ptr<Expr>
+mk(ExprKind kind)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = kind;
+    return e;
+}
+
+} // namespace
+
+ExprPtr
+intConst(int64_t v)
+{
+    auto e = mk(ExprKind::Const);
+    e->constVal = static_cast<Value>(v);
+    return e;
+}
+
+ExprPtr
+floatConst(double v)
+{
+    auto e = mk(ExprKind::Const);
+    e->constVal = valueFromF64(v);
+    return e;
+}
+
+ExprPtr
+iterVar(int loop_id)
+{
+    auto e = mk(ExprKind::IterVar);
+    e->loopId = loop_id;
+    return e;
+}
+
+ExprPtr
+param(const std::string &name)
+{
+    auto e = mk(ExprKind::Param);
+    e->name = name;
+    return e;
+}
+
+ExprPtr
+scalarRef(const std::string &name)
+{
+    auto e = mk(ExprKind::Scalar);
+    e->name = name;
+    return e;
+}
+
+ExprPtr
+load(const std::string &array, ExprPtr index)
+{
+    DSA_ASSERT(index, "load needs an index");
+    auto e = mk(ExprKind::Load);
+    e->array = array;
+    e->index = std::move(index);
+    return e;
+}
+
+ExprPtr
+unary(OpCode op, ExprPtr a)
+{
+    DSA_ASSERT(opInfo(op).numOperands == 1, "not a unary op");
+    auto e = mk(ExprKind::Op);
+    e->op = op;
+    e->a = std::move(a);
+    return e;
+}
+
+ExprPtr
+binary(OpCode op, ExprPtr a, ExprPtr b)
+{
+    DSA_ASSERT(opInfo(op).numOperands == 2, "not a binary op");
+    auto e = mk(ExprKind::Op);
+    e->op = op;
+    e->a = std::move(a);
+    e->b = std::move(b);
+    return e;
+}
+
+ExprPtr
+select(ExprPtr cond, ExprPtr ifTrue, ExprPtr ifFalse)
+{
+    auto e = mk(ExprKind::Op);
+    e->op = OpCode::Select;
+    e->a = std::move(cond);
+    e->b = std::move(ifTrue);
+    e->c = std::move(ifFalse);
+    return e;
+}
+
+ExprPtr operator+(ExprPtr a, ExprPtr b)
+{ return binary(OpCode::Add, std::move(a), std::move(b)); }
+ExprPtr operator-(ExprPtr a, ExprPtr b)
+{ return binary(OpCode::Sub, std::move(a), std::move(b)); }
+ExprPtr operator*(ExprPtr a, ExprPtr b)
+{ return binary(OpCode::Mul, std::move(a), std::move(b)); }
+
+int
+exprOpCount(const ExprPtr &e)
+{
+    if (!e)
+        return 0;
+    int n = e->kind == ExprKind::Op ? 1 : 0;
+    return n + exprOpCount(e->a) + exprOpCount(e->b) + exprOpCount(e->c) +
+           exprOpCount(e->index);
+}
+
+bool
+exprHasLoad(const ExprPtr &e)
+{
+    if (!e)
+        return false;
+    if (e->kind == ExprKind::Load)
+        return true;
+    return exprHasLoad(e->a) || exprHasLoad(e->b) || exprHasLoad(e->c) ||
+           exprHasLoad(e->index);
+}
+
+std::string
+exprToString(const ExprPtr &e)
+{
+    if (!e)
+        return "<null>";
+    std::ostringstream os;
+    switch (e->kind) {
+      case ExprKind::Const:
+        os << static_cast<int64_t>(e->constVal);
+        break;
+      case ExprKind::IterVar:
+        os << "i" << e->loopId;
+        break;
+      case ExprKind::Param:
+      case ExprKind::Scalar:
+        os << e->name;
+        break;
+      case ExprKind::Load:
+        os << e->array << "[" << exprToString(e->index) << "]";
+        break;
+      case ExprKind::Op:
+        os << opName(e->op) << "(" << exprToString(e->a);
+        if (e->b)
+            os << ", " << exprToString(e->b);
+        if (e->c)
+            os << ", " << exprToString(e->c);
+        os << ")";
+        break;
+    }
+    return os.str();
+}
+
+} // namespace dsa::ir

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Scalar expressions of the loop-nest IR — the input-program
+ * representation that substitutes for C-with-pragmas + LLVM in this
+ * reproduction (see DESIGN.md §1). Expressions are immutable shared
+ * trees over loop induction variables, kernel parameters, array loads,
+ * scalar variables, and arithmetic.
+ */
+
+#ifndef DSA_IR_EXPR_H
+#define DSA_IR_EXPR_H
+
+#include <memory>
+#include <string>
+
+#include "isa/opcode.h"
+
+namespace dsa::ir {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class ExprKind : uint8_t {
+    Const,     ///< integer or FP literal
+    IterVar,   ///< induction variable of an enclosing loop
+    Param,     ///< named kernel parameter (compile-time constant size)
+    Scalar,    ///< named scalar variable (Let/Reduce target)
+    Load,      ///< array[index]
+    Op         ///< arithmetic / comparison / select
+};
+
+/** One immutable expression node. */
+struct Expr
+{
+    ExprKind kind = ExprKind::Const;
+
+    /// Const
+    Value constVal = 0;
+
+    /// IterVar
+    int loopId = -1;
+
+    /// Param / Scalar
+    std::string name;
+
+    /// Load
+    std::string array;
+    ExprPtr index;
+
+    /// Op
+    OpCode op = OpCode::Add;
+    ExprPtr a, b, c;
+};
+
+/// @name Expression factories
+/// @{
+ExprPtr intConst(int64_t v);
+ExprPtr floatConst(double v);
+ExprPtr iterVar(int loop_id);
+ExprPtr param(const std::string &name);
+ExprPtr scalarRef(const std::string &name);
+ExprPtr load(const std::string &array, ExprPtr index);
+ExprPtr unary(OpCode op, ExprPtr a);
+ExprPtr binary(OpCode op, ExprPtr a, ExprPtr b);
+ExprPtr select(ExprPtr cond, ExprPtr ifTrue, ExprPtr ifFalse);
+
+/// Convenience arithmetic (integer ops).
+ExprPtr operator+(ExprPtr a, ExprPtr b);
+ExprPtr operator-(ExprPtr a, ExprPtr b);
+ExprPtr operator*(ExprPtr a, ExprPtr b);
+/// @}
+
+/** Number of Op nodes in the tree (host-model cost estimation). */
+int exprOpCount(const ExprPtr &e);
+
+/** True if the tree contains a Load (=> non-affine index). */
+bool exprHasLoad(const ExprPtr &e);
+
+/** Debug dump. */
+std::string exprToString(const ExprPtr &e);
+
+} // namespace dsa::ir
+
+#endif // DSA_IR_EXPR_H

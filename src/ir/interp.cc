@@ -1,0 +1,210 @@
+#include "ir/interp.h"
+
+#include "base/logging.h"
+
+namespace dsa::ir {
+
+ArrayStore::ArrayStore(const KernelSource &kernel)
+{
+    for (const auto &a : kernel.arrays)
+        arrays_[a.name].assign(static_cast<size_t>(a.length), 0);
+}
+
+bool
+ArrayStore::has(const std::string &name) const
+{
+    return arrays_.count(name) > 0;
+}
+
+std::vector<Value> &
+ArrayStore::data(const std::string &name)
+{
+    auto it = arrays_.find(name);
+    DSA_ASSERT(it != arrays_.end(), "no array '", name, "'");
+    return it->second;
+}
+
+const std::vector<Value> &
+ArrayStore::data(const std::string &name) const
+{
+    auto it = arrays_.find(name);
+    DSA_ASSERT(it != arrays_.end(), "no array '", name, "'");
+    return it->second;
+}
+
+Value
+ArrayStore::get(const std::string &name, int64_t idx) const
+{
+    const auto &v = data(name);
+    DSA_ASSERT(idx >= 0 && idx < static_cast<int64_t>(v.size()),
+               "load out of bounds: ", name, "[", idx, "] size ", v.size());
+    return v[static_cast<size_t>(idx)];
+}
+
+void
+ArrayStore::set(const std::string &name, int64_t idx, Value val)
+{
+    auto &v = data(name);
+    DSA_ASSERT(idx >= 0 && idx < static_cast<int64_t>(v.size()),
+               "store out of bounds: ", name, "[", idx, "] size ", v.size());
+    v[static_cast<size_t>(idx)] = val;
+}
+
+namespace {
+
+/** Mutable interpretation state. */
+struct Env
+{
+    const KernelSource &kernel;
+    ArrayStore &store;
+    InterpStats stats;
+    std::map<int, int64_t> ivs;
+    std::map<std::string, Value> scalars;
+};
+
+Value
+evalExpr(Env &env, const ExprPtr &e)
+{
+    DSA_ASSERT(e, "null expression");
+    switch (e->kind) {
+      case ExprKind::Const:
+        return e->constVal;
+      case ExprKind::IterVar: {
+        auto it = env.ivs.find(e->loopId);
+        DSA_ASSERT(it != env.ivs.end(), "unbound iter var i", e->loopId);
+        return static_cast<Value>(it->second);
+      }
+      case ExprKind::Param: {
+        auto it = env.kernel.params.find(e->name);
+        DSA_ASSERT(it != env.kernel.params.end(), "unbound param ",
+                   e->name);
+        return static_cast<Value>(it->second);
+      }
+      case ExprKind::Scalar: {
+        auto it = env.scalars.find(e->name);
+        DSA_ASSERT(it != env.scalars.end(), "unbound scalar ", e->name);
+        return it->second;
+      }
+      case ExprKind::Load: {
+        int64_t idx = static_cast<int64_t>(evalExpr(env, e->index));
+        ++env.stats.loads;
+        return env.store.get(e->array, idx);
+      }
+      case ExprKind::Op: {
+        Value a = evalExpr(env, e->a);
+        Value b = e->b ? evalExpr(env, e->b) : 0;
+        Value c = e->c ? evalExpr(env, e->c) : 0;
+        ++env.stats.arithOps;
+        DSA_ASSERT(e->op != OpCode::Acc && e->op != OpCode::FAcc,
+                   "accumulate is not an expression-level op");
+        return evalOp(e->op, a, b, c, nullptr);
+      }
+    }
+    DSA_PANIC("bad expr kind");
+}
+
+void execStmts(Env &env, const std::vector<StmtPtr> &stmts);
+
+void
+execStmt(Env &env, const Stmt &s)
+{
+    switch (s.kind) {
+      case StmtKind::Loop: {
+        int64_t extent = static_cast<int64_t>(evalExpr(env, s.extent));
+        for (int64_t i = 0; i < extent; ++i) {
+            env.ivs[s.loopId] = i;
+            ++env.stats.loopIters;
+            execStmts(env, s.body);
+        }
+        env.ivs.erase(s.loopId);
+        break;
+      }
+      case StmtKind::Store: {
+        int64_t idx = static_cast<int64_t>(evalExpr(env, s.index));
+        Value v = evalExpr(env, s.value);
+        if (s.isUpdate) {
+            Value old = env.store.get(s.array, idx);
+            ++env.stats.loads;
+            ++env.stats.arithOps;
+            v = evalOp(s.updateOp, old, v, 0, nullptr);
+        }
+        ++env.stats.stores;
+        env.store.set(s.array, idx, v);
+        break;
+      }
+      case StmtKind::Reduce: {
+        Value v = evalExpr(env, s.rvalue);
+        auto it = env.scalars.find(s.scalar);
+        DSA_ASSERT(it != env.scalars.end(), "reduce into unbound scalar ",
+                   s.scalar);
+        ++env.stats.arithOps;
+        it->second = evalOp(s.reduceOp, it->second, v, 0, nullptr);
+        break;
+      }
+      case StmtKind::LetScalar:
+        env.scalars[s.scalar] = evalExpr(env, s.rvalue);
+        break;
+      case StmtKind::If: {
+        Value c = evalExpr(env, s.cond);
+        ++env.stats.branches;
+        execStmts(env, c ? s.thenBody : s.elseBody);
+        break;
+      }
+      case StmtKind::MergeLoop: {
+        const auto &m = s.merge;
+        int64_t lenA = static_cast<int64_t>(evalExpr(env, m.lenA));
+        int64_t lenB = static_cast<int64_t>(evalExpr(env, m.lenB));
+        int64_t ia = 0, ib = 0;
+        while (ia < lenA && ib < lenB) {
+            Value ka = env.store.get(m.keysA, ia);
+            Value kb = env.store.get(m.keysB, ib);
+            env.stats.loads += 2;
+            ++env.stats.branches;
+            int cmp;
+            if (m.floatKeys) {
+                double fa = valueAsF64(ka), fb = valueAsF64(kb);
+                cmp = fa == fb ? 0 : (fa < fb ? 1 : 2);
+            } else {
+                auto sa = static_cast<int64_t>(ka);
+                auto sb = static_cast<int64_t>(kb);
+                cmp = sa == sb ? 0 : (sa < sb ? 1 : 2);
+            }
+            if (cmp == 1) {
+                ++ia;
+            } else if (cmp == 2) {
+                ++ib;
+            } else {
+                env.ivs[m.ivA] = ia;
+                env.ivs[m.ivB] = ib;
+                execStmts(env, s.matchBody);
+                env.ivs.erase(m.ivA);
+                env.ivs.erase(m.ivB);
+                ++ia;
+                ++ib;
+            }
+        }
+        break;
+      }
+    }
+}
+
+void
+execStmts(Env &env, const std::vector<StmtPtr> &stmts)
+{
+    for (const auto &s : stmts) {
+        DSA_ASSERT(s, "null statement");
+        execStmt(env, *s);
+    }
+}
+
+} // namespace
+
+InterpStats
+interpret(const KernelSource &kernel, ArrayStore &store)
+{
+    Env env{kernel, store, {}, {}, {}};
+    execStmts(env, kernel.body);
+    return env.stats;
+}
+
+} // namespace dsa::ir

@@ -1,0 +1,104 @@
+#include "ir/stmt.h"
+
+#include "base/logging.h"
+
+namespace dsa::ir {
+
+StmtPtr
+makeLoop(int loop_id, ExprPtr extent, std::vector<StmtPtr> body,
+         bool offload)
+{
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::Loop;
+    s->loopId = loop_id;
+    s->extent = std::move(extent);
+    s->body = std::move(body);
+    s->offload = offload;
+    return s;
+}
+
+StmtPtr
+makeStore(const std::string &array, ExprPtr index, ExprPtr value)
+{
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::Store;
+    s->array = array;
+    s->index = std::move(index);
+    s->value = std::move(value);
+    return s;
+}
+
+StmtPtr
+makeUpdate(const std::string &array, ExprPtr index, OpCode op,
+           ExprPtr value)
+{
+    auto s = makeStore(array, std::move(index), std::move(value));
+    s->isUpdate = true;
+    s->updateOp = op;
+    return s;
+}
+
+StmtPtr
+makeReduce(const std::string &scalar, OpCode op, ExprPtr value)
+{
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::Reduce;
+    s->scalar = scalar;
+    s->reduceOp = op;
+    s->rvalue = std::move(value);
+    return s;
+}
+
+StmtPtr
+makeLet(const std::string &scalar, ExprPtr value)
+{
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::LetScalar;
+    s->scalar = scalar;
+    s->rvalue = std::move(value);
+    return s;
+}
+
+StmtPtr
+makeIf(ExprPtr cond, std::vector<StmtPtr> then_body,
+       std::vector<StmtPtr> else_body)
+{
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::If;
+    s->cond = std::move(cond);
+    s->thenBody = std::move(then_body);
+    s->elseBody = std::move(else_body);
+    return s;
+}
+
+StmtPtr
+makeMergeLoop(MergeLoopInfo info, std::vector<StmtPtr> match_body)
+{
+    DSA_ASSERT(info.ivA >= 0 && info.ivB >= 0 && info.ivA != info.ivB,
+               "merge loop needs two distinct induction variables");
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::MergeLoop;
+    s->merge = std::move(info);
+    s->matchBody = std::move(match_body);
+    return s;
+}
+
+const ArrayDecl &
+KernelSource::arrayDecl(const std::string &name) const
+{
+    for (const auto &a : arrays)
+        if (a.name == name)
+            return a;
+    DSA_FATAL("kernel '", this->name, "' has no array '", name, "'");
+}
+
+bool
+KernelSource::hasArray(const std::string &name) const
+{
+    for (const auto &a : arrays)
+        if (a.name == name)
+            return true;
+    return false;
+}
+
+} // namespace dsa::ir

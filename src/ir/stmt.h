@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Statements and kernels of the loop-nest IR, including the three
+ * `#pragma dsa` annotations of §IV-B (offload / decouple / config) as
+ * statement flags, and the merge-loop construct whose decoupled
+ * lowering is the paper's stream-join transformation (Fig. 8).
+ */
+
+#ifndef DSA_IR_STMT_H
+#define DSA_IR_STMT_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/expr.h"
+
+namespace dsa::ir {
+
+struct Stmt;
+using StmtPtr = std::shared_ptr<Stmt>;
+
+enum class StmtKind : uint8_t {
+    Loop,       ///< for (iv = 0; iv < extent; ++iv) body
+    Store,      ///< array[index] = value   (or array[index] op= value)
+    Reduce,     ///< scalar op= value
+    LetScalar,  ///< scalar = value
+    If,         ///< if (cond) thenBody else elseBody
+    MergeLoop   ///< two-pointer sorted join (Fig. 8(a))
+};
+
+/**
+ * The two-pointer join idiom: advance through two sorted key arrays,
+ * executing @c matchBody when keys are equal. Induction variables
+ * ivA/ivB index the A-side and B-side arrays respectively.
+ */
+struct MergeLoopInfo
+{
+    std::string keysA, keysB;  ///< sorted key arrays
+    ExprPtr lenA, lenB;        ///< lengths
+    int ivA = -1, ivB = -1;    ///< loop ids for the two pointers
+    /** True when keys are floating point. */
+    bool floatKeys = false;
+};
+
+/** One statement. Fields used depend on @c kind (tagged struct). */
+struct Stmt
+{
+    StmtKind kind = StmtKind::Loop;
+
+    /// @name Loop
+    /// @{
+    int loopId = -1;
+    ExprPtr extent;            ///< trip count (loops are normalized)
+    std::vector<StmtPtr> body;
+    /** #pragma dsa offload on this loop. */
+    bool offload = false;
+    /// @}
+
+    /// @name Store
+    /// @{
+    std::string array;
+    ExprPtr index;
+    ExprPtr value;
+    /** True for `array[index] op= value`. */
+    bool isUpdate = false;
+    OpCode updateOp = OpCode::Add;
+    /// @}
+
+    /// @name Reduce / LetScalar
+    /// @{
+    std::string scalar;
+    OpCode reduceOp = OpCode::Add;
+    ExprPtr rvalue;
+    /// @}
+
+    /// @name If
+    /// @{
+    ExprPtr cond;
+    std::vector<StmtPtr> thenBody;
+    std::vector<StmtPtr> elseBody;
+    /// @}
+
+    /// @name MergeLoop
+    /// @{
+    MergeLoopInfo merge;
+    std::vector<StmtPtr> matchBody;  ///< executed when keys match
+    /// @}
+};
+
+/// @name Statement factories
+/// @{
+StmtPtr makeLoop(int loop_id, ExprPtr extent, std::vector<StmtPtr> body,
+                 bool offload = false);
+StmtPtr makeStore(const std::string &array, ExprPtr index, ExprPtr value);
+StmtPtr makeUpdate(const std::string &array, ExprPtr index, OpCode op,
+                   ExprPtr value);
+StmtPtr makeReduce(const std::string &scalar, OpCode op, ExprPtr value);
+StmtPtr makeLet(const std::string &scalar, ExprPtr value);
+StmtPtr makeIf(ExprPtr cond, std::vector<StmtPtr> then_body,
+               std::vector<StmtPtr> else_body = {});
+StmtPtr makeMergeLoop(MergeLoopInfo info, std::vector<StmtPtr> match_body);
+/// @}
+
+/** Array declaration: element size/type and (fixed) length. */
+struct ArrayDecl
+{
+    std::string name;
+    int64_t length = 0;    ///< elements
+    int elemBytes = 8;
+    bool isFloat = false;
+    /** Prefer placing this array in the scratchpad. */
+    bool spadHint = false;
+};
+
+/**
+ * A kernel: the unit annotated with `#pragma dsa config` — arrays,
+ * fixed size parameters, and a statement body whose offload-marked
+ * loops become the concurrent offloaded regions of one program.
+ */
+struct KernelSource
+{
+    std::string name;
+    std::vector<ArrayDecl> arrays;
+    std::map<std::string, int64_t> params;
+    std::vector<StmtPtr> body;
+    /** #pragma dsa decouple: no unknown aliasing anywhere in body. */
+    bool decouple = true;
+    /**
+     * Programmer-asserted region independence (an extension of the
+     * decouple pragma): cross-region array accesses never conflict
+     * across loop iterations, so offloaded regions may run
+     * concurrently/pipelined even when they touch the same arrays
+     * (the producer-consumer idiom of Fig. 7(a)).
+     */
+    bool assumeRegionIndependence = false;
+
+    const ArrayDecl &arrayDecl(const std::string &name) const;
+    bool hasArray(const std::string &name) const;
+};
+
+} // namespace dsa::ir
+
+#endif // DSA_IR_STMT_H

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Operation vocabulary shared by the dataflow IR (instructions), the
+ * ADG (functional-unit capability sets), the simulator (evaluation),
+ * and the power/area model (FU cost classes).
+ *
+ * DSAGEN only supports primitive power-of-two datatypes; the opcode set
+ * here covers the integer/floating operations needed by the paper's
+ * workloads (MachSuite, PolyBench, DSP, sparse kernels, dense/sparse NN).
+ */
+
+#ifndef DSA_ISA_OPCODE_H
+#define DSA_ISA_OPCODE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsa {
+
+/** All operations a processing element's functional units may support. */
+enum class OpCode : uint8_t {
+    // Integer arithmetic
+    Add, Sub, Mul, Div, Mod, Min, Max, Abs,
+    // Logic / shift
+    And, Or, Xor, Not, Shl, Shr,
+    // Comparison (produce 0/1)
+    CmpEQ, CmpNE, CmpLT, CmpLE, CmpGT, CmpGE,
+    // Data steering
+    Select,      ///< select(cond, a, b) — control converted to data
+    Pass,        ///< identity; used for routing-only hops
+    Acc,         ///< accumulating add with internal register
+    // Floating point (IEEE double semantics on 64b; float on 32b lanes)
+    FAdd, FSub, FMul, FDiv, FSqrt, FMin, FMax, FAcc,
+    FCmpLT, FCmpLE, FCmpEQ,
+    // NN activation helpers
+    Sigmoid, ReLU,
+    /**
+     * Three-way compares for stream-join control (§IV-E): produce
+     * 0 if a == b, 1 if a < b, 2 if a > b.
+     */
+    Cmp3, FCmp3,
+    NumOpCodes
+};
+
+constexpr int kNumOpCodes = static_cast<int>(OpCode::NumOpCodes);
+
+/** Coarse FU cost classes used by the power/area model. */
+enum class FuClass : uint8_t {
+    IntAlu,      ///< add/sub/logic/compare/select/pass
+    IntMul,      ///< multiply
+    IntDiv,      ///< divide/modulo
+    FpAdd,       ///< fp add/sub/compare/min/max/acc
+    FpMul,       ///< fp multiply
+    FpDiv,       ///< fp divide / sqrt
+    Special,     ///< sigmoid etc.
+    NumClasses
+};
+
+constexpr int kNumFuClasses = static_cast<int>(FuClass::NumClasses);
+
+/** Static per-opcode metadata. */
+struct OpInfo
+{
+    const char *name;    ///< mnemonic
+    int latency;         ///< pipeline latency in cycles
+    int numOperands;     ///< input arity
+    bool isFloat;        ///< operates on FP lanes
+    FuClass fuClass;     ///< cost class for the area/power model
+};
+
+/** Metadata lookup for @p op. */
+const OpInfo &opInfo(OpCode op);
+
+/** Mnemonic for @p op. */
+inline const char *opName(OpCode op) { return opInfo(op).name; }
+
+/** Parse a mnemonic; fatal on unknown name. */
+OpCode opFromName(const std::string &name);
+
+/**
+ * A set of opcodes, used to describe the capability of a PE.
+ * Backed by a 64-bit mask (kNumOpCodes < 64).
+ */
+class OpSet
+{
+  public:
+    OpSet() = default;
+
+    /** Construct from an explicit list. */
+    OpSet(std::initializer_list<OpCode> ops)
+    {
+        for (auto op : ops)
+            insert(op);
+    }
+
+    void insert(OpCode op) { bits_ |= bit(op); }
+    void erase(OpCode op) { bits_ &= ~bit(op); }
+    bool contains(OpCode op) const { return bits_ & bit(op); }
+    bool empty() const { return bits_ == 0; }
+
+    /** Number of opcodes in the set. */
+    int size() const { return __builtin_popcountll(bits_); }
+
+    /** Union. */
+    OpSet operator|(const OpSet &o) const { return OpSet(bits_ | o.bits_); }
+    OpSet &operator|=(const OpSet &o) { bits_ |= o.bits_; return *this; }
+    /** Intersection. */
+    OpSet operator&(const OpSet &o) const { return OpSet(bits_ & o.bits_); }
+    bool operator==(const OpSet &o) const { return bits_ == o.bits_; }
+
+    /** True iff every opcode in @p o is also in this set. */
+    bool covers(const OpSet &o) const { return (o.bits_ & ~bits_) == 0; }
+
+    /** All member opcodes, in enum order. */
+    std::vector<OpCode> toVector() const;
+
+    uint64_t raw() const { return bits_; }
+    static OpSet fromRaw(uint64_t raw) { return OpSet(raw); }
+
+    /** Every defined opcode. */
+    static OpSet all();
+    /** The integer subset (no FP, no special). */
+    static OpSet allInteger();
+    /** The floating-point subset. */
+    static OpSet allFloat();
+
+  private:
+    explicit OpSet(uint64_t bits) : bits_(bits) {}
+
+    static uint64_t bit(OpCode op) { return 1ull << static_cast<int>(op); }
+
+    uint64_t bits_ = 0;
+};
+
+/** Bit-pattern value flowing on a datapath (64-bit max width). */
+using Value = uint64_t;
+
+/** Reinterpret a value's low bits as a double. */
+double valueAsF64(Value v);
+/** Reinterpret a double as a raw 64-bit value. */
+Value valueFromF64(double d);
+
+/**
+ * Evaluate @p op on operands @p a, @p b, @p c (unused operands ignored)
+ * with an accumulator register @p acc (used by Acc/FAcc only).
+ */
+Value evalOp(OpCode op, Value a, Value b, Value c, Value *acc);
+
+} // namespace dsa
+
+#endif // DSA_ISA_OPCODE_H

@@ -1,0 +1,105 @@
+#include "mapper/schedule.h"
+
+#include "base/logging.h"
+
+namespace dsa::mapper {
+
+double
+Cost::scalar() const
+{
+    // Weights prioritize: completing the mapping, then eliminating
+    // overuse/violations, then throughput (II), then latency, then wire.
+    return 1e6 * unplaced + 1e3 * (overuse + violations) + 50.0 * maxIi +
+           1.0 * recurrenceLatency + 0.05 * wirelength;
+}
+
+Schedule
+Schedule::emptyFor(const dfg::DecoupledProgram &prog)
+{
+    Schedule s;
+    s.regions.resize(prog.regions.size());
+    for (size_t r = 0; r < prog.regions.size(); ++r) {
+        const auto &reg = prog.regions[r];
+        auto &rs = s.regions[r];
+        rs.serialized = reg.serialized;
+        rs.vertexMap.assign(reg.dfg.numVertices(), adg::kInvalidNode);
+        rs.streamMap.assign(reg.streams.size(), adg::kInvalidNode);
+        rs.vertexTime.assign(reg.dfg.numVertices(), 0);
+    }
+    return s;
+}
+
+int
+Schedule::stripDead(const adg::Adg &adg)
+{
+    int dropped = 0;
+    auto routeDead = [&](const Route &r) {
+        for (adg::EdgeId e : r)
+            if (!adg.edgeAlive(e))
+                return true;
+        return false;
+    };
+    for (auto &rs : regions) {
+        for (auto &n : rs.vertexMap) {
+            if (n != adg::kInvalidNode && !adg.nodeAlive(n)) {
+                n = adg::kInvalidNode;
+                ++dropped;
+            }
+        }
+        for (auto &n : rs.streamMap) {
+            if (n != adg::kInvalidNode && !adg.nodeAlive(n)) {
+                n = adg::kInvalidNode;
+                ++dropped;
+            }
+        }
+        for (auto it = rs.routes.begin(); it != rs.routes.end();) {
+            if (routeDead(it->second)) {
+                it = rs.routes.erase(it);
+                ++dropped;
+            } else {
+                ++it;
+            }
+        }
+        for (auto it = rs.recurrenceRoutes.begin();
+             it != rs.recurrenceRoutes.end();) {
+            if (routeDead(it->second)) {
+                it = rs.recurrenceRoutes.erase(it);
+                ++dropped;
+            } else {
+                ++it;
+            }
+        }
+    }
+    for (auto it = forwardRoutes.begin(); it != forwardRoutes.end();) {
+        if (routeDead(it->second)) {
+            it = forwardRoutes.erase(it);
+            ++dropped;
+        } else {
+            ++it;
+        }
+    }
+    return dropped;
+}
+
+int
+Schedule::countUnplaced(const dfg::DecoupledProgram &prog) const
+{
+    int n = 0;
+    for (size_t r = 0; r < regions.size(); ++r) {
+        const auto &rs = regions[r];
+        if (rs.serialized)
+            continue;
+        for (adg::NodeId id : rs.vertexMap)
+            if (id == adg::kInvalidNode)
+                ++n;
+        const auto &reg = prog.regions[r];
+        for (size_t i = 0; i < reg.streams.size(); ++i) {
+            const auto &st = reg.streams[i];
+            if (st.touchesMemory() && rs.streamMap[i] == adg::kInvalidNode)
+                ++n;
+        }
+    }
+    return n;
+}
+
+} // namespace dsa::mapper

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * A spatial schedule: the mapping of one decoupled program onto one
+ * ADG (§IV-C "Spatial Scheduling"): instructions/ports to PEs/sync
+ * elements, streams to memories, and value dependences to routed paths
+ * on the network, with static timing annotations.
+ *
+ * Schedules survive ADG mutation during DSE: stripDead() removes the
+ * assignments that referenced deleted hardware so the repairing
+ * scheduler (§V-A) can re-place only what was lost.
+ */
+
+#ifndef DSA_MAPPER_SCHEDULE_H
+#define DSA_MAPPER_SCHEDULE_H
+
+#include <map>
+#include <vector>
+
+#include "adg/adg.h"
+#include "dfg/program.h"
+
+namespace dsa::mapper {
+
+/** A routed path: the ADG edges from producer to consumer, in order. */
+using Route = std::vector<adg::EdgeId>;
+
+/** Cost breakdown of a schedule (the objective terms of §IV-C). */
+struct Cost
+{
+    /** Placement slots still empty (weighted heaviest). */
+    int unplaced = 0;
+    /** Resource overutilization (PE slots, link values, stream engines). */
+    int overuse = 0;
+    /** Execution-model protocol violations (§III-B rules). */
+    int violations = 0;
+    /** Max initiation interval over dedicated/shared PEs. */
+    int maxIi = 1;
+    /** Longest recurrence-path latency (cycles). */
+    int recurrenceLatency = 0;
+    /** Total routed edge count (tie-breaker). */
+    int wirelength = 0;
+
+    /** Weighted scalar objective (lower is better). */
+    double scalar() const;
+
+    /** Legal = complete and free of overuse/violations. */
+    bool legal() const
+    {
+        return unplaced == 0 && overuse == 0 && violations == 0;
+    }
+};
+
+/** Mapping state for one region of the program. */
+struct RegionSchedule
+{
+    /** Region is serialized onto the control core (not mapped). */
+    bool serialized = false;
+    /** By VertexId: assigned ADG node (PEs / sync elements). */
+    std::vector<adg::NodeId> vertexMap;
+    /** By stream id: assigned memory node (memory streams only). */
+    std::vector<adg::NodeId> streamMap;
+    /** Routed value edges: (consumer vertex, operand index) -> path. */
+    std::map<std::pair<dfg::VertexId, int>, Route> routes;
+    /** Recurrence streams: stream id -> out-sync .. in-sync path. */
+    std::map<int, Route> recurrenceRoutes;
+    /** Static arrival time per vertex (valid when fully placed). */
+    std::vector<int> vertexTime;
+};
+
+/** A complete (possibly partial/illegal) schedule. */
+struct Schedule
+{
+    std::vector<RegionSchedule> regions;
+    /** Producer-consumer forwards: forward index -> path. */
+    std::map<int, Route> forwardRoutes;
+    /** Cost of this schedule as last evaluated. */
+    Cost cost;
+
+    /** Initialize empty mapping state shaped like @p prog. */
+    static Schedule emptyFor(const dfg::DecoupledProgram &prog);
+
+    /**
+     * Repair support (§V-A): drop every assignment and route that
+     * references a node/edge no longer alive in @p adg.
+     * @return number of assignments dropped.
+     */
+    int stripDead(const adg::Adg &adg);
+
+    /** Count of unassigned placement slots (vertices + streams). */
+    int countUnplaced(const dfg::DecoupledProgram &prog) const;
+};
+
+} // namespace dsa::mapper
+
+#endif // DSA_MAPPER_SCHEDULE_H

@@ -1,0 +1,883 @@
+#include "mapper/scheduler.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "base/logging.h"
+
+namespace dsa::mapper {
+
+using adg::Adg;
+using adg::AdgNode;
+using adg::EdgeId;
+using adg::kInvalidNode;
+using adg::NodeId;
+using adg::NodeKind;
+using adg::Scheduling;
+using adg::Sharing;
+using adg::SyncDir;
+using dfg::Region;
+using dfg::Stream;
+using dfg::StreamKind;
+using dfg::Vertex;
+using dfg::VertexId;
+using dfg::VertexKind;
+
+SpatialScheduler::SpatialScheduler(const dfg::DecoupledProgram &prog,
+                                   const Adg &adg, SchedOptions opts)
+    : prog_(prog), adg_(adg), opts_(opts), rng_(opts.seed)
+{
+    buildSlots();
+    // Concurrency classes: stream engines are runtime-allocated (not
+    // config state), so regions that never execute simultaneously can
+    // reuse them. Sequentially-phased programs run one region at a
+    // time; otherwise regions at different depths of the dependence
+    // DAG never overlap.
+    regionClass_.assign(prog_.regions.size(), 0);
+    if (prog_.sequential) {
+        for (size_t r = 0; r < prog_.regions.size(); ++r)
+            regionClass_[r] = static_cast<int>(r);
+    } else {
+        for (size_t r = 0; r < prog_.regions.size(); ++r) {
+            int depth = 0;
+            for (int dep : prog_.regions[r].dependsOn)
+                depth = std::max(depth, regionClass_[dep] + 1);
+            regionClass_[r] = depth;
+        }
+    }
+}
+
+void
+SpatialScheduler::buildSlots()
+{
+    slots_.clear();
+    for (size_t r = 0; r < prog_.regions.size(); ++r) {
+        const Region &reg = prog_.regions[r];
+        if (reg.serialized)
+            continue;
+        for (VertexId v : reg.dfg.inputPorts())
+            slots_.push_back({static_cast<int>(r), false, v, -1});
+        for (VertexId v : reg.dfg.topoOrder())
+            if (reg.dfg.vertex(v).kind == VertexKind::Instruction)
+                slots_.push_back({static_cast<int>(r), false, v, -1});
+        for (VertexId v : reg.dfg.outputPorts())
+            slots_.push_back({static_cast<int>(r), false, v, -1});
+    }
+    for (size_t r = 0; r < prog_.regions.size(); ++r) {
+        const Region &reg = prog_.regions[r];
+        if (reg.serialized)
+            continue;
+        for (const Stream &st : reg.streams)
+            if (st.touchesMemory())
+                slots_.push_back({static_cast<int>(r), true,
+                                  dfg::kInvalidVertex, st.id});
+    }
+}
+
+bool
+SpatialScheduler::nodeIsDynamicPe(NodeId n) const
+{
+    if (n == kInvalidNode || !adg_.nodeAlive(n))
+        return false;
+    const AdgNode &node = adg_.node(n);
+    return node.kind == NodeKind::Pe &&
+           node.pe().sched == Scheduling::Dynamic;
+}
+
+bool
+SpatialScheduler::nodeIsStaticPe(NodeId n) const
+{
+    if (n == kInvalidNode || !adg_.nodeAlive(n))
+        return false;
+    const AdgNode &node = adg_.node(n);
+    return node.kind == NodeKind::Pe &&
+           node.pe().sched == Scheduling::Static;
+}
+
+std::vector<NodeId>
+SpatialScheduler::candidatesFor(const Slot &slot, const Schedule &s) const
+{
+    std::vector<NodeId> out;
+    const Region &reg = prog_.regions[slot.region];
+    if (slot.isStream) {
+        const Stream &st = reg.streams[slot.streamId];
+        // The stream binds to a memory adjacent to its port's sync.
+        VertexId portV =
+            (st.kind == StreamKind::IndirectWrite ||
+             st.kind == StreamKind::AtomicUpdate) ? st.valuePort : st.port;
+        NodeId sync = s.regions[slot.region].vertexMap[portV];
+        if (sync == kInvalidNode)
+            return out;
+        bool isRead = st.feedsInput();
+        for (NodeId m : adg_.aliveNodes(NodeKind::Memory)) {
+            const auto &mem = adg_.node(m).mem();
+            bool spaceOk =
+                (st.space == dfg::MemSpace::Main) ==
+                (mem.kind == adg::MemKind::Main);
+            if (!spaceOk)
+                continue;
+            if (!st.scalarFallback) {
+                if (st.needsIndirect() && !mem.indirect)
+                    continue;
+                if (st.needsAtomic() && !mem.atomicUpdate)
+                    continue;
+                if (!st.needsIndirect() && !mem.linear)
+                    continue;
+            }
+            EdgeId e = isRead ? adg_.findEdge(m, sync)
+                              : adg_.findEdge(sync, m);
+            if (e != adg::kInvalidEdge)
+                out.push_back(m);
+        }
+        return out;
+    }
+
+    const Vertex &v = reg.dfg.vertex(slot.vertex);
+    switch (v.kind) {
+      case VertexKind::InputPort:
+        for (NodeId n : adg_.aliveNodes(NodeKind::Sync)) {
+            const auto &sy = adg_.node(n).sync();
+            if (sy.dir == SyncDir::Input && sy.lanes >= v.lanes)
+                out.push_back(n);
+        }
+        break;
+      case VertexKind::OutputPort:
+        for (NodeId n : adg_.aliveNodes(NodeKind::Sync)) {
+            const auto &sy = adg_.node(n).sync();
+            if (sy.dir == SyncDir::Output && sy.lanes >= v.lanes)
+                out.push_back(n);
+        }
+        break;
+      case VertexKind::Instruction:
+        for (NodeId n : adg_.aliveNodes(NodeKind::Pe)) {
+            const auto &pe = adg_.node(n).pe();
+            if (!pe.ops.contains(v.op))
+                continue;
+            if (v.widthBits > pe.datapathBits)
+                continue;
+            if (v.ctrl.active() &&
+                (pe.sched != Scheduling::Dynamic || !pe.streamJoin))
+                continue;
+            if (pe.sharing == Sharing::Shared && !opts_.allowShared)
+                continue;
+            out.push_back(n);
+        }
+        break;
+    }
+    return out;
+}
+
+SpatialScheduler::EdgeUsage
+SpatialScheduler::edgeUsage(const Schedule &s, int group) const
+{
+    // Network routing is configuration state: only routes within one
+    // config group contend for the same wires.
+    EdgeUsage usage;
+    auto add = [&](const Route &r, const ValueKey &val) {
+        for (EdgeId e : r) {
+            auto &v = usage[e];
+            if (std::find(v.begin(), v.end(), val) == v.end())
+                v.push_back(val);
+        }
+    };
+    auto inGroup = [&](int region) {
+        return group < 0 || prog_.regions[region].configGroup == group;
+    };
+    for (size_t r = 0; r < s.regions.size(); ++r) {
+        if (!inGroup(static_cast<int>(r)))
+            continue;
+        const Region &reg = prog_.regions[r];
+        for (const auto &[key, route] : s.regions[r].routes) {
+            const Vertex &consumer = reg.dfg.vertex(key.first);
+            const auto &op = consumer.operands[key.second];
+            add(route, {static_cast<int>(r), op.src});
+        }
+        for (const auto &[sid, route] : s.regions[r].recurrenceRoutes)
+            add(route, {static_cast<int>(r), reg.streams[sid].srcPort});
+    }
+    for (const auto &[fi, route] : s.forwardRoutes) {
+        const auto &f = prog_.forwards[fi];
+        if (inGroup(f.srcRegion))
+            add(route, {f.srcRegion, f.srcPort});
+    }
+    return usage;
+}
+
+Route
+SpatialScheduler::dijkstra(NodeId from, NodeId to, bool dynFlow,
+                           const ValueKey &value,
+                           const EdgeUsage &usage) const
+{
+    // Usage-penalized shortest path allowing only protocol-compatible
+    // switches (and delay elements for static flows) as intermediates.
+    const double kInf = 1e18;
+    std::vector<double> dist(adg_.nodeIdBound(), kInf);
+    std::vector<EdgeId> via(adg_.nodeIdBound(), adg::kInvalidEdge);
+    using QE = std::pair<double, NodeId>;
+    std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+    dist[from] = 0;
+    pq.push({0, from});
+    auto passable = [&](NodeId n) {
+        if (n == to)
+            return true;
+        const AdgNode &node = adg_.node(n);
+        if (node.kind == NodeKind::Switch) {
+            if (dynFlow && node.sw().sched != Scheduling::Dynamic)
+                return false;
+            return true;
+        }
+        if (node.kind == NodeKind::Delay && !dynFlow)
+            return true;
+        // PEs forward values with a Pass instruction (e.g. through a
+        // reduction tree); this occupies an instruction slot, which
+        // the evaluator charges.
+        if (node.kind == NodeKind::Pe && node.pe().ops.contains(OpCode::Pass)) {
+            if (dynFlow && node.pe().sched != Scheduling::Dynamic)
+                return false;
+            if (!dynFlow && node.pe().sched == Scheduling::Dynamic)
+                return false;
+            return true;
+        }
+        return false;
+    };
+    while (!pq.empty()) {
+        auto [d, n] = pq.top();
+        pq.pop();
+        if (d > dist[n])
+            continue;
+        if (n == to)
+            break;
+        for (EdgeId e : adg_.outEdges(n)) {
+            const auto &edge = adg_.edge(e);
+            NodeId m = edge.dst;
+            if (!adg_.nodeAlive(m) || !passable(m))
+                continue;
+            double c = 1.0;
+            auto it = usage.find(e);
+            if (it != usage.end()) {
+                bool mine = std::find(it->second.begin(), it->second.end(),
+                                      value) != it->second.end();
+                c = mine ? 0.01 : 1.0 + 3.0 * it->second.size();
+            }
+            // Passing through a PE burns an instruction slot.
+            if (m != to && adg_.node(m).kind == NodeKind::Pe)
+                c += 2.0;
+            if (dist[n] + c < dist[m]) {
+                dist[m] = dist[n] + c;
+                via[m] = e;
+                pq.push({dist[m], m});
+            }
+        }
+    }
+    if (dist[to] >= kInf)
+        return {};
+    Route route;
+    NodeId cur = to;
+    while (cur != from) {
+        EdgeId e = via[cur];
+        DSA_ASSERT(e != adg::kInvalidEdge, "broken dijkstra backtrack");
+        route.push_back(e);
+        cur = adg_.edge(e).src;
+    }
+    std::reverse(route.begin(), route.end());
+    return route;
+}
+
+Route
+SpatialScheduler::routeValue(const Schedule &s, int region,
+                             VertexId producer, NodeId from,
+                             NodeId to) const
+{
+    bool dynFlow = nodeIsDynamicPe(from) || nodeIsDynamicPe(to);
+    int group = prog_.regions[region].configGroup;
+    return dijkstra(from, to, dynFlow, {region, producer},
+                    edgeUsage(s, group));
+}
+
+void
+SpatialScheduler::place(Schedule &s, const Slot &slot, NodeId node) const
+{
+    auto &rs = s.regions[slot.region];
+    if (slot.isStream) {
+        rs.streamMap[slot.streamId] = node;
+        return;
+    }
+    const Region &reg = prog_.regions[slot.region];
+    VertexId v = slot.vertex;
+    rs.vertexMap[v] = node;
+    const Vertex &vx = reg.dfg.vertex(v);
+    // Route operands from mapped producers.
+    for (size_t i = 0; i < vx.operands.size(); ++i) {
+        const auto &op = vx.operands[i];
+        if (op.isImm())
+            continue;
+        NodeId from = rs.vertexMap[op.src];
+        if (from == kInvalidNode)
+            continue;
+        Route r = routeValue(s, slot.region, op.src, from, node);
+        if (!r.empty())
+            rs.routes[{v, static_cast<int>(i)}] = std::move(r);
+    }
+    // Route to mapped consumers.
+    for (const auto &use : reg.dfg.uses(v)) {
+        NodeId to = rs.vertexMap[use.user];
+        if (to == kInvalidNode)
+            continue;
+        Route r = routeValue(s, slot.region, v, node, to);
+        if (!r.empty())
+            rs.routes[{use.user, use.operandIdx}] = std::move(r);
+    }
+}
+
+void
+SpatialScheduler::unplace(Schedule &s, const Slot &slot) const
+{
+    auto &rs = s.regions[slot.region];
+    if (slot.isStream) {
+        rs.streamMap[slot.streamId] = kInvalidNode;
+        return;
+    }
+    const Region &reg = prog_.regions[slot.region];
+    VertexId v = slot.vertex;
+    rs.vertexMap[v] = kInvalidNode;
+    // Routes into v.
+    for (auto it = rs.routes.begin(); it != rs.routes.end();) {
+        if (it->first.first == v)
+            it = rs.routes.erase(it);
+        else
+            ++it;
+    }
+    // Routes out of v.
+    for (const auto &use : reg.dfg.uses(v))
+        rs.routes.erase({use.user, use.operandIdx});
+    // Specials touching v.
+    for (auto it = rs.recurrenceRoutes.begin();
+         it != rs.recurrenceRoutes.end();) {
+        const Stream &st = reg.streams[it->first];
+        if (st.srcPort == v || st.port == v)
+            it = rs.recurrenceRoutes.erase(it);
+        else
+            ++it;
+    }
+    for (auto it = s.forwardRoutes.begin(); it != s.forwardRoutes.end();) {
+        const auto &f = prog_.forwards[it->first];
+        bool touches = (f.srcRegion == slot.region && f.srcPort == v) ||
+                       (f.dstRegion == slot.region && f.dstPort == v);
+        if (touches)
+            it = s.forwardRoutes.erase(it);
+        else
+            ++it;
+    }
+    // Streams bound through this port lose their binding.
+    if (reg.dfg.vertex(v).kind != VertexKind::Instruction) {
+        for (const Stream &st : reg.streams) {
+            if (!st.touchesMemory())
+                continue;
+            VertexId portV =
+                (st.kind == StreamKind::IndirectWrite ||
+                 st.kind == StreamKind::AtomicUpdate) ? st.valuePort
+                                                      : st.port;
+            if (portV == v)
+                rs.streamMap[st.id] = kInvalidNode;
+        }
+    }
+}
+
+void
+SpatialScheduler::routeSpecials(Schedule &s) const
+{
+    for (size_t r = 0; r < prog_.regions.size(); ++r) {
+        const Region &reg = prog_.regions[r];
+        auto &rs = s.regions[r];
+        if (rs.serialized)
+            continue;
+        for (const Stream &st : reg.streams) {
+            if (st.kind != StreamKind::Recurrence)
+                continue;
+            if (rs.recurrenceRoutes.count(st.id))
+                continue;
+            NodeId from = rs.vertexMap[st.srcPort];
+            NodeId to = rs.vertexMap[st.port];
+            if (from == kInvalidNode || to == kInvalidNode)
+                continue;
+            Route route = dijkstra(from, to, false,
+                                   {static_cast<int>(r), st.srcPort},
+                                   edgeUsage(s, reg.configGroup));
+            if (!route.empty())
+                rs.recurrenceRoutes[st.id] = std::move(route);
+        }
+    }
+    for (size_t fi = 0; fi < prog_.forwards.size(); ++fi) {
+        const auto &f = prog_.forwards[fi];
+        if (f.viaMemory || s.forwardRoutes.count(static_cast<int>(fi)))
+            continue;
+        NodeId from = s.regions[f.srcRegion].vertexMap[f.srcPort];
+        NodeId to = s.regions[f.dstRegion].vertexMap[f.dstPort];
+        if (from == kInvalidNode || to == kInvalidNode)
+            continue;
+        Route route = dijkstra(
+            from, to, false, {f.srcRegion, f.srcPort},
+            edgeUsage(s, prog_.regions[f.srcRegion].configGroup));
+        if (!route.empty())
+            s.forwardRoutes[static_cast<int>(fi)] = std::move(route);
+    }
+}
+
+Cost
+SpatialScheduler::evaluate(const Schedule &s) const
+{
+    Cost c;
+    c.unplaced = s.countUnplaced(prog_);
+
+    // Missing-but-needed routes count as unplaced work.
+    for (size_t r = 0; r < prog_.regions.size(); ++r) {
+        const Region &reg = prog_.regions[r];
+        const auto &rs = s.regions[r];
+        if (rs.serialized)
+            continue;
+        for (const auto &vx : reg.dfg.vertices()) {
+            if (rs.vertexMap[vx.id] == kInvalidNode)
+                continue;
+            for (size_t i = 0; i < vx.operands.size(); ++i) {
+                const auto &op = vx.operands[i];
+                if (op.isImm())
+                    continue;
+                if (rs.vertexMap[op.src] == kInvalidNode)
+                    continue;
+                if (!rs.routes.count({vx.id, static_cast<int>(i)}))
+                    ++c.unplaced;
+            }
+        }
+        for (const Stream &st : reg.streams) {
+            if (st.kind != StreamKind::Recurrence)
+                continue;
+            if (rs.vertexMap[st.srcPort] != kInvalidNode &&
+                rs.vertexMap[st.port] != kInvalidNode &&
+                !rs.recurrenceRoutes.count(st.id))
+                ++c.unplaced;
+        }
+    }
+    for (size_t fi = 0; fi < prog_.forwards.size(); ++fi) {
+        const auto &f = prog_.forwards[fi];
+        if (f.viaMemory)
+            continue;
+        if (s.regions[f.srcRegion].vertexMap[f.srcPort] != kInvalidNode &&
+            s.regions[f.dstRegion].vertexMap[f.dstPort] != kInvalidNode &&
+            !s.forwardRoutes.count(static_cast<int>(fi)))
+            ++c.unplaced;
+    }
+
+    // Edge congestion, per configuration group.
+    std::set<int> groups;
+    for (const auto &reg : prog_.regions)
+        groups.insert(reg.configGroup);
+    int linkIi = 1;
+    for (int g : groups) {
+        EdgeUsage usage = edgeUsage(s, g);
+        for (const auto &[e, vals] : usage) {
+            const auto &edge = adg_.edge(e);
+            auto endKind = [&](NodeId n) { return adg_.node(n).kind; };
+            bool busSide = endKind(edge.src) == NodeKind::Sync ||
+                           endKind(edge.src) == NodeKind::Memory ||
+                           endKind(edge.dst) == NodeKind::Sync ||
+                           endKind(edge.dst) == NodeKind::Memory;
+            // Flow-controlled (dynamic-switch) links may time-multiplex
+            // two values, at the cost of initiation interval.
+            auto dynSwitch = [&](NodeId n) {
+                return adg_.node(n).kind == NodeKind::Switch &&
+                       adg_.node(n).sw().sched == Scheduling::Dynamic;
+            };
+            int cap = busSide ? 4
+                : (dynSwitch(edge.src) || dynSwitch(edge.dst)) ? 2 : 1;
+            int used = static_cast<int>(vals.size());
+            if (!busSide && used > 1 && cap == 2)
+                linkIi = std::max(linkIi, used);
+            c.overuse += std::max<int>(0, used - cap);
+            c.wirelength += used;
+        }
+    }
+
+    // Node occupancy. Routes that tunnel through a PE occupy one of
+    // its instruction slots with a Pass (charged per distinct value).
+    std::map<std::pair<int, NodeId>, int> peInsts;
+    std::map<std::pair<int, NodeId>, int> syncPorts;
+    std::map<std::pair<int, NodeId>, int> memStreams;
+    std::map<std::pair<int, NodeId>, std::set<ValueKey>> passThrough;
+    for (size_t r = 0; r < prog_.regions.size(); ++r) {
+        const Region &reg = prog_.regions[r];
+        const auto &rs = s.regions[r];
+        if (rs.serialized)
+            continue;
+        int g = reg.configGroup;
+        auto walk = [&](const Route &route, const ValueKey &val) {
+            for (size_t i = 0; i + 1 < route.size(); ++i) {
+                NodeId mid = adg_.edge(route[i]).dst;
+                if (adg_.node(mid).kind == NodeKind::Pe)
+                    passThrough[{g, mid}].insert(val);
+            }
+        };
+        for (const auto &[key, route] : rs.routes) {
+            const Vertex &consumer = reg.dfg.vertex(key.first);
+            walk(route, {static_cast<int>(r),
+                         consumer.operands[key.second].src});
+        }
+        for (const auto &[sid, route] : rs.recurrenceRoutes)
+            walk(route, {static_cast<int>(r), reg.streams[sid].srcPort});
+    }
+    for (size_t r = 0; r < prog_.regions.size(); ++r) {
+        const Region &reg = prog_.regions[r];
+        const auto &rs = s.regions[r];
+        if (rs.serialized)
+            continue;
+        for (const auto &vx : reg.dfg.vertices()) {
+            NodeId n = rs.vertexMap[vx.id];
+            if (n == kInvalidNode)
+                continue;
+            int g = reg.configGroup;
+            if (vx.kind == VertexKind::Instruction)
+                ++peInsts[{g, n}];
+            else
+                syncPorts[{g, n}] += vx.lanes;  // lanes on the sync
+        }
+        for (const Stream &st : reg.streams) {
+            if (!st.touchesMemory())
+                continue;
+            NodeId m = rs.streamMap[st.id];
+            if (m != kInvalidNode)
+                ++memStreams[{regionClass_[r], m}];
+        }
+    }
+    for (const auto &[key, vals] : passThrough)
+        peInsts[key] += static_cast<int>(vals.size());
+    for (const auto &[key, cnt] : peInsts) {
+        const auto &pe = adg_.node(key.second).pe();
+        int cap = (pe.sharing == Sharing::Shared && opts_.allowShared)
+            ? pe.maxInsts : 1;
+        c.overuse += std::max(0, cnt - cap);
+    }
+    for (const auto &[key, cnt] : syncPorts) {
+        // A sync element subdivides its vector lanes among ports.
+        c.overuse += std::max(0, cnt - adg_.node(key.second).sync().lanes);
+    }
+    for (const auto &[key, cnt] : memStreams) {
+        const auto &mem = adg_.node(key.second).mem();
+        c.overuse += std::max(0, cnt - mem.numStreamEngines);
+    }
+
+    // Protocol violations: dynamic producer -> static consumer PE.
+    for (size_t r = 0; r < prog_.regions.size(); ++r) {
+        const Region &reg = prog_.regions[r];
+        const auto &rs = s.regions[r];
+        if (rs.serialized)
+            continue;
+        for (const auto &vx : reg.dfg.vertices()) {
+            if (vx.kind != VertexKind::Instruction)
+                continue;
+            NodeId n = rs.vertexMap[vx.id];
+            if (!nodeIsStaticPe(n))
+                continue;
+            for (const auto &op : vx.operands) {
+                if (op.isImm())
+                    continue;
+                if (nodeIsDynamicPe(rs.vertexMap[op.src]))
+                    ++c.violations;
+            }
+        }
+    }
+
+    // Timing, II, recurrence latency.
+    std::map<NodeId, int> peShortfall;
+    for (size_t r = 0; r < prog_.regions.size(); ++r) {
+        const Region &reg = prog_.regions[r];
+        auto &rs = const_cast<RegionSchedule &>(s.regions[r]);
+        if (rs.serialized)
+            continue;
+        rs.vertexTime.assign(reg.dfg.numVertices(), 0);
+        for (VertexId v : reg.dfg.topoOrder()) {
+            const Vertex &vx = reg.dfg.vertex(v);
+            if (vx.kind == VertexKind::InputPort) {
+                rs.vertexTime[v] = 0;
+                continue;
+            }
+            int maxArr = 0;
+            std::vector<int> arrivals;
+            for (size_t i = 0; i < vx.operands.size(); ++i) {
+                const auto &op = vx.operands[i];
+                if (op.isImm())
+                    continue;
+                int lat = 0;
+                auto it = rs.routes.find({v, static_cast<int>(i)});
+                if (it != rs.routes.end())
+                    lat = static_cast<int>(it->second.size());
+                int arr = rs.vertexTime[op.src] + lat;
+                arrivals.push_back(arr);
+                maxArr = std::max(maxArr, arr);
+            }
+            NodeId n = rs.vertexMap[v];
+            if (vx.kind == VertexKind::Instruction) {
+                // Static dedicated PEs must absorb operand skew in
+                // their delay FIFOs; the shortfall costs throughput.
+                if (nodeIsStaticPe(n)) {
+                    int depth = adg_.node(n).pe().delayFifoDepth;
+                    for (int arr : arrivals) {
+                        int need = maxArr - arr;
+                        if (need > depth)
+                            peShortfall[n] += need - depth;
+                    }
+                }
+                rs.vertexTime[v] = maxArr + opInfo(vx.op).latency;
+            } else {
+                rs.vertexTime[v] = maxArr;
+            }
+            if (vx.isAccumulate())
+                c.recurrenceLatency =
+                    std::max(c.recurrenceLatency, opInfo(vx.op).latency);
+        }
+        for (const auto &[sid, route] : rs.recurrenceRoutes) {
+            const Stream &st = reg.streams[sid];
+            c.recurrenceLatency = std::max(
+                c.recurrenceLatency,
+                rs.vertexTime[st.srcPort] + static_cast<int>(route.size()));
+        }
+    }
+    int maxIi = linkIi;
+    for (const auto &[key, cnt] : peInsts) {
+        const auto &pe = adg_.node(key.second).pe();
+        int ii = (pe.sharing == Sharing::Shared) ? cnt : 1;
+        auto it = peShortfall.find(key.second);
+        if (it != peShortfall.end())
+            ii += it->second;
+        maxIi = std::max(maxIi, ii);
+    }
+    c.maxIi = maxIi;
+    return c;
+}
+
+void
+SpatialScheduler::fillUnplaced(Schedule &s)
+{
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (const Slot &slot : slots_) {
+            auto &rs = s.regions[slot.region];
+            bool placed = slot.isStream
+                ? rs.streamMap[slot.streamId] != kInvalidNode
+                : rs.vertexMap[slot.vertex] != kInvalidNode;
+            if (placed)
+                continue;
+            auto cands = candidatesFor(slot, s);
+            if (cands.empty())
+                continue;
+            rng_.shuffle(cands);
+            double bestCost = 0;
+            NodeId bestNode = kInvalidNode;
+            int tried = 0;
+            for (NodeId cand : cands) {
+                place(s, slot, cand);
+                double cost = evaluate(s).scalar();
+                unplace(s, slot);
+                if (bestNode == kInvalidNode || cost < bestCost) {
+                    bestCost = cost;
+                    bestNode = cand;
+                }
+                // Cap the candidate scan to bound iteration time.
+                if (++tried >= 24)
+                    break;
+            }
+            place(s, slot, bestNode);
+            progress = true;
+        }
+        // Retry any missing routes between already-placed endpoints.
+        for (size_t r = 0; r < prog_.regions.size(); ++r) {
+            const Region &reg = prog_.regions[r];
+            auto &rs = s.regions[r];
+            if (rs.serialized)
+                continue;
+            for (const auto &vx : reg.dfg.vertices()) {
+                if (rs.vertexMap[vx.id] == kInvalidNode)
+                    continue;
+                for (size_t i = 0; i < vx.operands.size(); ++i) {
+                    const auto &op = vx.operands[i];
+                    if (op.isImm() ||
+                        rs.vertexMap[op.src] == kInvalidNode ||
+                        rs.routes.count({vx.id, static_cast<int>(i)}))
+                        continue;
+                    Route route = routeValue(s, static_cast<int>(r), op.src,
+                                             rs.vertexMap[op.src],
+                                             rs.vertexMap[vx.id]);
+                    if (!route.empty()) {
+                        rs.routes[{vx.id, static_cast<int>(i)}] =
+                            std::move(route);
+                        progress = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+std::vector<int>
+SpatialScheduler::hotSlots(const Schedule &s) const
+{
+    // Nodes and edges that are overused, and instructions involved in
+    // protocol violations, mark their slots as rip-up candidates.
+    std::set<NodeId> hotNodes;
+    std::set<EdgeId> hotEdges;
+    std::set<int> groups;
+    for (const auto &reg : prog_.regions)
+        groups.insert(reg.configGroup);
+    for (int g : groups) {
+        EdgeUsage usage = edgeUsage(s, g);
+        for (const auto &[e, vals] : usage)
+            if (static_cast<int>(vals.size()) > 1)
+                hotEdges.insert(e);
+    }
+    std::map<std::pair<int, NodeId>, int> peInsts;
+    for (size_t r = 0; r < prog_.regions.size(); ++r) {
+        const Region &reg = prog_.regions[r];
+        const auto &rs = s.regions[r];
+        if (rs.serialized)
+            continue;
+        for (const auto &vx : reg.dfg.vertices()) {
+            NodeId n = rs.vertexMap[vx.id];
+            if (n != kInvalidNode && vx.kind == VertexKind::Instruction)
+                ++peInsts[{reg.configGroup, n}];
+        }
+    }
+    for (const auto &[key, cnt] : peInsts) {
+        const auto &pe = adg_.node(key.second).pe();
+        int cap = (pe.sharing == Sharing::Shared && opts_.allowShared)
+            ? pe.maxInsts : 1;
+        if (cnt > cap)
+            hotNodes.insert(key.second);
+    }
+
+    std::vector<int> hot;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+        const Slot &sl = slots_[i];
+        if (sl.isStream)
+            continue;
+        const auto &rs = s.regions[sl.region];
+        NodeId n = rs.vertexMap[sl.vertex];
+        if (n == kInvalidNode)
+            continue;
+        bool isHot = hotNodes.count(n) > 0;
+        // Violating consumers (dynamic producer into static PE).
+        const Vertex &vx =
+            prog_.regions[sl.region].dfg.vertex(sl.vertex);
+        if (nodeIsStaticPe(n)) {
+            for (const auto &op : vx.operands)
+                if (!op.isImm() &&
+                    nodeIsDynamicPe(rs.vertexMap[op.src]))
+                    isHot = true;
+        }
+        if (!isHot) {
+            for (const auto &[key, route] : rs.routes) {
+                if (key.first != sl.vertex)
+                    continue;
+                for (EdgeId e : route)
+                    isHot |= hotEdges.count(e) > 0;
+            }
+        }
+        if (isHot)
+            hot.push_back(static_cast<int>(i));
+    }
+    return hot;
+}
+
+Schedule
+SpatialScheduler::run(const Schedule *initial)
+{
+    Schedule s;
+    if (initial && initial->regions.size() == prog_.regions.size()) {
+        s = *initial;
+        s.stripDead(adg_);
+        // Shape check: the program may have changed (different version).
+        bool shapeOk = true;
+        for (size_t r = 0; r < prog_.regions.size(); ++r)
+            shapeOk &= s.regions[r].vertexMap.size() ==
+                       static_cast<size_t>(prog_.regions[r].dfg
+                                               .numVertices());
+        if (!shapeOk) {
+            s = Schedule::emptyFor(prog_);
+        } else {
+            // Surviving nodes may have lost the *capability* a mapping
+            // relied on (a DSE mutation toggled scheduling, dropped an
+            // FU class, shrank a sync, removed a memory controller):
+            // evict assignments the node can no longer honor.
+            for (const Slot &slot : slots_) {
+                auto &rs = s.regions[slot.region];
+                adg::NodeId cur = slot.isStream
+                    ? rs.streamMap[slot.streamId]
+                    : rs.vertexMap[slot.vertex];
+                if (cur == kInvalidNode)
+                    continue;
+                auto cands = candidatesFor(slot, s);
+                if (std::find(cands.begin(), cands.end(), cur) ==
+                    cands.end())
+                    unplace(s, slot);
+            }
+        }
+    } else {
+        s = Schedule::emptyFor(prog_);
+    }
+
+    fillUnplaced(s);
+    routeSpecials(s);
+    s.cost = evaluate(s);
+    Schedule best = s;
+
+    int noImprove = 0;
+    std::vector<int> placedIdx;
+    for (int iter = 0; iter < opts_.maxIters; ++iter) {
+        if (best.cost.legal() && noImprove >= opts_.convergeIters)
+            break;
+        // Rip up one or two random placements and re-place greedily.
+        placedIdx.clear();
+        for (size_t i = 0; i < slots_.size(); ++i) {
+            const Slot &sl = slots_[i];
+            bool placed = sl.isStream
+                ? s.regions[sl.region].streamMap[sl.streamId] != kInvalidNode
+                : s.regions[sl.region].vertexMap[sl.vertex] != kInvalidNode;
+            if (placed)
+                placedIdx.push_back(static_cast<int>(i));
+        }
+        if (placedIdx.empty())
+            break;
+        // Bias rip-up toward slots implicated in overuse/violations;
+        // escalate to a large perturbation when the search stalls on
+        // an illegal schedule (simulated-annealing-style kick).
+        std::vector<int> hot = hotSlots(s);
+        int k = 1 + static_cast<int>(rng_.uniformInt(0, 1));
+        if (!best.cost.legal() && noImprove > 0 && noImprove % 25 == 0)
+            k = 3 + static_cast<int>(
+                    rng_.uniformInt(0, int64_t(placedIdx.size()) / 4));
+        for (int j = 0; j < k; ++j) {
+            const std::vector<int> &pool =
+                (!hot.empty() && rng_.chance(0.7)) ? hot : placedIdx;
+            unplace(s, slots_[static_cast<size_t>(rng_.pick(pool))]);
+        }
+        fillUnplaced(s);
+        routeSpecials(s);
+        s.cost = evaluate(s);
+        if (s.cost.scalar() < best.cost.scalar()) {
+            best = s;
+            noImprove = 0;
+        } else {
+            ++noImprove;
+        }
+    }
+    return best;
+}
+
+Schedule
+scheduleProgram(const dfg::DecoupledProgram &prog, const Adg &adg,
+                SchedOptions opts)
+{
+    SpatialScheduler sch(prog, adg, opts);
+    return sch.run();
+}
+
+} // namespace dsa::mapper

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The stochastic spatial scheduler (§IV-C, Algorithm 1): iteratively
+ * (re)places instructions, ports, and streams onto ADG resources,
+ * routing dependences with usage-penalized Dijkstra search, and
+ * minimizing a weighted objective of overutilization, initiation
+ * interval, and recurrence latency. Overuse is permitted during the
+ * search to escape local minima; a legal schedule has none.
+ *
+ * The same engine implements schedule *repair* for DSE (§V-A): seeded
+ * with a previous schedule whose dead assignments were stripped, it
+ * re-places only the missing pieces (and keeps improving the rest).
+ */
+
+#ifndef DSA_MAPPER_SCHEDULER_H
+#define DSA_MAPPER_SCHEDULER_H
+
+#include "adg/adg.h"
+#include "base/rng.h"
+#include "dfg/program.h"
+#include "mapper/schedule.h"
+
+namespace dsa::mapper {
+
+/** Scheduler knobs. */
+struct SchedOptions
+{
+    /** Outer unmap/re-place iterations (the paper uses 200 in DSE). */
+    int maxIters = 200;
+    /** Stop after this many iterations without improvement (legal). */
+    int convergeIters = 40;
+    uint64_t seed = 1;
+    /**
+     * Allow mapping multiple instructions onto shared PEs; disabled
+     * for the Fig. 12 "shared off" configurations.
+     */
+    bool allowShared = true;
+};
+
+/** Spatial scheduler for one program onto one ADG. */
+class SpatialScheduler
+{
+  public:
+    SpatialScheduler(const dfg::DecoupledProgram &prog, const adg::Adg &adg,
+                     SchedOptions opts = {});
+
+    /**
+     * Run Algorithm 1.
+     * @param initial  previous schedule to repair (nullptr = from
+     *                 scratch). Dead assignments are stripped first.
+     * @return the best schedule found, with cost filled in.
+     */
+    Schedule run(const Schedule *initial = nullptr);
+
+    /** Evaluate the full objective of a schedule. */
+    Cost evaluate(const Schedule &s) const;
+
+  private:
+    /** One placement decision: a DFG vertex or a memory stream. */
+    struct Slot
+    {
+        int region = -1;
+        bool isStream = false;
+        dfg::VertexId vertex = dfg::kInvalidVertex;
+        int streamId = -1;
+    };
+
+    void buildSlots();
+    std::vector<adg::NodeId> candidatesFor(const Slot &slot,
+                                           const Schedule &s) const;
+
+    /** Assign + route everything incident; returns false on failure. */
+    void place(Schedule &s, const Slot &slot, adg::NodeId node) const;
+    /** Remove assignment and incident routes. */
+    void unplace(Schedule &s, const Slot &slot) const;
+
+    /** Greedily place every unplaced slot (best candidate by cost). */
+    void fillUnplaced(Schedule &s);
+    /** Slots implicated in overuse/violations (targeted rip-up). */
+    std::vector<int> hotSlots(const Schedule &s) const;
+    /** Route forwards/recurrences whose endpoints are both mapped. */
+    void routeSpecials(Schedule &s) const;
+
+    using ValueKey = std::pair<int, dfg::VertexId>;
+    using EdgeUsage = std::map<adg::EdgeId, std::vector<ValueKey>>;
+
+    /** Edge usage of one configuration group (-1 = all groups). */
+    EdgeUsage edgeUsage(const Schedule &s, int group = -1) const;
+    Route dijkstra(adg::NodeId from, adg::NodeId to, bool dynFlow,
+                   const ValueKey &value, const EdgeUsage &usage) const;
+
+    /** Route one value dependence; empty on failure. */
+    Route routeValue(const Schedule &s, int region, dfg::VertexId producer,
+                     adg::NodeId from, adg::NodeId to) const;
+
+    bool nodeIsDynamicPe(adg::NodeId n) const;
+    bool nodeIsStaticPe(adg::NodeId n) const;
+
+    const dfg::DecoupledProgram &prog_;
+    const adg::Adg &adg_;
+    SchedOptions opts_;
+    mutable Rng rng_;
+    std::vector<Slot> slots_;
+    /** Concurrency class per region (stream-engine sharing). */
+    std::vector<int> regionClass_;
+};
+
+/**
+ * Convenience: schedule @p prog onto @p adg from scratch.
+ */
+Schedule scheduleProgram(const dfg::DecoupledProgram &prog,
+                         const adg::Adg &adg, SchedOptions opts = {});
+
+} // namespace dsa::mapper
+
+#endif // DSA_MAPPER_SCHEDULER_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Cost units shared by the synthesis oracle, the regression model,
+ * and the DSE objective: silicon area in mm^2 and power in mW,
+ * calibrated to a 28 nm-class process at 1 GHz (§VII).
+ */
+
+#ifndef DSA_MODEL_COST_H
+#define DSA_MODEL_COST_H
+
+namespace dsa::model {
+
+/** Area/power of one component or a whole fabric. */
+struct ComponentCost
+{
+    double areaMm2 = 0.0;
+    double powerMw = 0.0;
+
+    ComponentCost &
+    operator+=(const ComponentCost &o)
+    {
+        areaMm2 += o.areaMm2;
+        powerMw += o.powerMw;
+        return *this;
+    }
+
+    ComponentCost
+    operator+(const ComponentCost &o) const
+    {
+        ComponentCost r = *this;
+        r += o;
+        return r;
+    }
+
+    ComponentCost
+    scaled(double k) const
+    {
+        return {areaMm2 * k, powerMw * k};
+    }
+};
+
+} // namespace dsa::model
+
+#endif // DSA_MODEL_COST_H

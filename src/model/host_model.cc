@@ -1,0 +1,20 @@
+#include "model/host_model.h"
+
+#include <algorithm>
+
+namespace dsa::model {
+
+double
+estimateHostCycles(const ir::InterpStats &stats, const HostParams &p)
+{
+    double arith = static_cast<double>(stats.arithOps);
+    double mem = static_cast<double>(stats.loads + stats.stores);
+    double total = arith + mem + static_cast<double>(stats.branches);
+    double hostCycles = std::max({arith / p.aluPorts, mem / p.memPorts,
+                                  total / p.issueWidth}) +
+                        static_cast<double>(stats.branches) * p.branchCost;
+    // Convert host cycles to accelerator-clock cycles.
+    return hostCycles / p.clockRatio;
+}
+
+} // namespace dsa::model

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Host baseline model: a scalar out-of-order core executing the
+ * original (un-offloaded) kernel — the GCC -O3 / Xeon reference of
+ * §VII, driven by the IR interpreter's dynamic operation counts.
+ */
+
+#ifndef DSA_MODEL_HOST_MODEL_H
+#define DSA_MODEL_HOST_MODEL_H
+
+#include "ir/interp.h"
+
+namespace dsa::model {
+
+/** Host core parameters (defaults ~ a modern server core at 2.1 GHz,
+ *  cycle counts normalized to the accelerator's 1 GHz clock). */
+struct HostParams
+{
+    double issueWidth = 4.0;    ///< ops per cycle sustained
+    double aluPorts = 3.0;
+    double memPorts = 2.0;
+    double branchCost = 1.0;    ///< avg cycles per branch (mispredicts)
+    /** Host clock relative to the accelerator's (2.1 GHz / 1 GHz). */
+    double clockRatio = 2.1;
+};
+
+/**
+ * Estimate host execution time in *accelerator* cycles, so speedups
+ * compare directly against the simulator/performance model.
+ */
+double estimateHostCycles(const ir::InterpStats &stats,
+                          const HostParams &params = {});
+
+} // namespace dsa::model
+
+#endif // DSA_MODEL_HOST_MODEL_H

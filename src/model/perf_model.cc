@@ -1,0 +1,202 @@
+#include "model/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "base/logging.h"
+
+namespace dsa::model {
+
+using adg::Adg;
+using adg::NodeId;
+using dfg::Region;
+using dfg::Stream;
+using dfg::StreamKind;
+using dfg::VertexKind;
+
+namespace {
+
+/** Cycles a scalar-issued (fallback) stream costs per element. */
+constexpr double kScalarElementCycles = 4.0;
+
+} // namespace
+
+PerfEstimate
+estimatePerformance(const dfg::DecoupledProgram &prog,
+                    const mapper::Schedule &sched, const Adg &adg)
+{
+    PerfEstimate est;
+    est.legal = sched.cost.legal();
+    if (!est.legal) {
+        est.cycles = 1e30;
+        return est;
+    }
+    const auto &ctrl = adg.control();
+
+    // Phase ordering: sequential scripts, via-memory forwards, and
+    // region-level dependences all serialize region execution.
+    bool serialTotal = prog.sequential;
+    for (const auto &f : prog.forwards)
+        serialTotal |= f.viaMemory;
+    for (const auto &r : prog.regions)
+        serialTotal |= !r.dependsOn.empty();
+
+    double maxRegionCycles = 0;
+    double sumRegionCycles = 0;
+
+    for (size_t r = 0; r < prog.regions.size(); ++r) {
+        const Region &reg = prog.regions[r];
+        const auto &rs = sched.regions[r];
+        RegionPerf rp;
+        rp.instances = reg.instancesEstimate();
+        rp.reissues = reg.reissues();
+
+        if (reg.serialized) {
+            // Control-core execution: each logical iteration costs the
+            // serial dependence latency.
+            rp.iiEff = reg.serialDependenceLatency;
+            rp.activity = 1.0 / std::max(1, reg.serialDependenceLatency);
+            rp.cycles = static_cast<double>(rp.instances) * rp.reissues *
+                        std::max(1, reg.serialDependenceLatency);
+            est.regions.push_back(rp);
+            sumRegionCycles += rp.cycles;
+            maxRegionCycles = std::max(maxRegionCycles, rp.cycles);
+            est.dynInsts += static_cast<int64_t>(reg.dfg.numInstructions()) *
+                            rp.instances * rp.reissues;
+            continue;
+        }
+
+        // Dependence-limited II: the schedule's II plus accumulator
+        // feedback latency (a chain of dependent accumulations cannot
+        // fire faster than the accumulate op's latency).
+        int accLat = 1;
+        for (const auto &vx : reg.dfg.vertices())
+            if (vx.isAccumulate())
+                accLat = std::max(accLat, opInfo(vx.op).latency);
+        rp.iiEff = std::max<double>(sched.cost.maxIi, accLat);
+
+        // Pipeline-limited cycles per issue.
+        double cPipe = static_cast<double>(rp.instances) * rp.iiEff;
+
+        // Memory-bandwidth-limited cycles per issue.
+        std::map<NodeId, double> bytesPerMem;
+        std::map<NodeId, double> indirectElemsPerMem;
+        double cFallback = 0;
+        for (const Stream &st : reg.streams) {
+            if (!st.touchesMemory())
+                continue;
+            if (st.scalarFallback) {
+                cFallback += static_cast<double>(st.numElements()) *
+                             kScalarElementCycles / ctrl.cmdIssueIpc;
+                continue;
+            }
+            NodeId m = rs.streamMap[st.id];
+            if (m == adg::kInvalidNode)
+                continue;
+            bytesPerMem[m] += static_cast<double>(st.trafficBytes());
+            if (st.needsIndirect())
+                indirectElemsPerMem[m] +=
+                    static_cast<double>(st.numElements());
+        }
+        double cMem = 0;
+        for (const auto &[m, bytes] : bytesPerMem) {
+            const auto &mem = adg.node(m).mem();
+            cMem = std::max(cMem, bytes / std::max(1, mem.widthBytes));
+        }
+        for (const auto &[m, elems] : indirectElemsPerMem) {
+            const auto &mem = adg.node(m).mem();
+            // Banked gather: at most one random element per bank/cycle.
+            cMem = std::max(cMem, elems / std::max(1, mem.numBanks));
+        }
+
+        // Pipeline fill/drain: deepest arrival time in the schedule.
+        double drain = 0;
+        for (int t : rs.vertexTime)
+            drain = std::max(drain, static_cast<double>(t));
+
+        double cIssue = std::max({cPipe, cMem, cFallback});
+        rp.bwRatio = cIssue > 0 ? std::min(1.0, cPipe / std::max(cMem, 1e-9))
+                                : 1.0;
+        if (cMem <= 0)
+            rp.bwRatio = 1.0;
+        rp.activity = cIssue > 0 ? cPipe / cIssue / rp.iiEff : 1.0;
+
+        // Control-core command overhead per issue.
+        int memStreams = 0;
+        for (const Stream &st : reg.streams)
+            if (st.touchesMemory() || st.kind == StreamKind::Const ||
+                st.kind == StreamKind::Iota)
+                ++memStreams;
+        rp.cmdOverhead = memStreams / std::max(0.1, ctrl.cmdIssueIpc) +
+                         ctrl.cmdLatency;
+
+        if (reg.drainBetweenReissues || prog.sequential) {
+            // Sequential phases / fenced updates drain between issues.
+            rp.cycles = static_cast<double>(rp.reissues) *
+                        (cIssue + rp.cmdOverhead + drain);
+        } else {
+            // Re-issues overlap; command issue pipelines with compute.
+            rp.cycles = static_cast<double>(rp.reissues) *
+                            std::max(cIssue, rp.cmdOverhead) +
+                        drain + ctrl.cmdLatency;
+        }
+        est.regions.push_back(rp);
+        sumRegionCycles += rp.cycles;
+        maxRegionCycles = std::max(maxRegionCycles, rp.cycles);
+        est.dynInsts += static_cast<int64_t>(reg.dfg.numInstructions()) *
+                        rp.instances * rp.reissues;
+    }
+
+    if (prog.sequential) {
+        // Strict phase script: issues never overlap.
+        est.cycles = sumRegionCycles;
+    } else {
+        // Dependence DAG: a region starts when its dependences (and
+        // via-memory forward producers) complete; independent regions
+        // overlap. Regions are already in a valid topological order.
+        std::vector<double> completion(prog.regions.size(), 0.0);
+        double total = 0;
+        for (size_t r = 0; r < prog.regions.size(); ++r) {
+            double start = 0;
+            for (int dep : prog.regions[r].dependsOn)
+                start = std::max(start, completion[dep]);
+            for (const auto &f : prog.forwards)
+                if (f.viaMemory && f.dstRegion == static_cast<int>(r))
+                    start = std::max(start, completion[f.srcRegion]);
+            completion[r] = start + est.regions[r].cycles;
+            total = std::max(total, completion[r]);
+        }
+        est.cycles = total;
+    }
+    (void)serialTotal;
+    (void)maxRegionCycles;
+    (void)sumRegionCycles;
+
+    // Reconfiguration between config groups.
+    double reconfig = static_cast<double>(adg.aliveNodes().size()) * 48 /
+                      std::max(1, ctrl.configBitsPerCycle);
+    if (prog.sequential) {
+        int switches = 0;
+        int cur = prog.phaseScript.empty()
+            ? 0 : prog.regions[prog.phaseScript[0].region].configGroup;
+        for (const auto &e : prog.phaseScript) {
+            int g = prog.regions[e.region].configGroup;
+            if (g != cur) {
+                ++switches;
+                cur = g;
+            }
+        }
+        est.cycles += switches * reconfig;
+    } else {
+        int maxGroup = 0;
+        for (const auto &r : prog.regions)
+            maxGroup = std::max(maxGroup, r.configGroup);
+        est.cycles += maxGroup * reconfig;
+    }
+    est.cycles = std::max(est.cycles, 1.0);
+    est.ipc = static_cast<double>(est.dynInsts) / est.cycles;
+    return est;
+}
+
+} // namespace dsa::model

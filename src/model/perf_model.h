@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Analytical performance model (§V-B): IPC = #insts x activity ratio.
+ * The activity ratio is limited by (a) memory bandwidth — requested
+ * vs supplied bytes per cycle per memory, including banked indirect
+ * throughput, (b) dependences — accumulate/recurrence latency and the
+ * schedule's initiation interval, and (c) scalar-issued fallback
+ * streams throttled to the control core's rate. Region importance is
+ * weighted by execution frequency (instances x re-issues).
+ */
+
+#ifndef DSA_MODEL_PERF_MODEL_H
+#define DSA_MODEL_PERF_MODEL_H
+
+#include <vector>
+
+#include "adg/adg.h"
+#include "dfg/program.h"
+#include "mapper/schedule.h"
+
+namespace dsa::model {
+
+/** Per-region performance breakdown. */
+struct RegionPerf
+{
+    double cycles = 0;         ///< total cycles across re-issues
+    double iiEff = 1;          ///< effective initiation interval
+    double bwRatio = 1;        ///< bandwidth activity ratio (<=1)
+    double activity = 1;       ///< overall activity ratio (<=1)
+    int64_t instances = 0;     ///< DFG fires per issue
+    int64_t reissues = 1;
+    double cmdOverhead = 0;    ///< control-core stream-command cycles
+};
+
+/** Whole-program estimate. */
+struct PerfEstimate
+{
+    bool legal = false;        ///< schedule was legal
+    double cycles = 0;
+    double ipc = 0;
+    int64_t dynInsts = 0;
+    std::vector<RegionPerf> regions;
+};
+
+/**
+ * Estimate the performance of @p prog mapped by @p sched on @p adg.
+ * An illegal schedule yields legal=false and infinite cycles.
+ */
+PerfEstimate estimatePerformance(const dfg::DecoupledProgram &prog,
+                                 const mapper::Schedule &sched,
+                                 const adg::Adg &adg);
+
+} // namespace dsa::model
+
+#endif // DSA_MODEL_PERF_MODEL_H

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Technology-scaled area/power reference points for prior accelerators
+ * (Fig. 15 "Scaled" bars). As in the paper, these come from published
+ * numbers scaled to the 28 nm process; they are approximate anchors,
+ * not synthesis results (the paper itself notes this comparison "is
+ * not particularly accurate due to technology differences").
+ */
+
+#ifndef DSA_MODEL_REFERENCE_POINTS_H
+#define DSA_MODEL_REFERENCE_POINTS_H
+
+#include <string>
+#include <vector>
+
+#include "model/cost.h"
+
+namespace dsa::model {
+
+/** One published accelerator design point. */
+struct RefPoint
+{
+    std::string name;
+    ComponentCost cost;
+    /** Fixed-function domain-specific design (vs programmable). */
+    bool isDsa = false;
+};
+
+/** All reference points used by the Fig. 15 comparison. */
+const std::vector<RefPoint> &referencePoints();
+
+/** Lookup by name; fatal if missing. */
+const RefPoint &referencePoint(const std::string &name);
+
+} // namespace dsa::model
+
+#endif // DSA_MODEL_REFERENCE_POINTS_H

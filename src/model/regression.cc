@@ -1,0 +1,363 @@
+#include "model/regression.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+#include "base/rng.h"
+#include "model/synth_oracle.h"
+
+namespace dsa::model {
+
+using adg::Adg;
+using adg::AdgNode;
+using adg::DelayProps;
+using adg::MemKind;
+using adg::MemProps;
+using adg::NodeKind;
+using adg::PeProps;
+using adg::Scheduling;
+using adg::Sharing;
+using adg::SwitchProps;
+using adg::SyncProps;
+
+std::vector<double>
+leastSquares(const std::vector<std::vector<double>> &X,
+             const std::vector<double> &y, double lambda)
+{
+    DSA_ASSERT(!X.empty() && X.size() == y.size(), "bad regression data");
+    size_t n = X[0].size();
+    // Normal equations: (X'X + lambda I) w = X'y.
+    std::vector<std::vector<double>> A(n, std::vector<double>(n + 1, 0.0));
+    for (size_t r = 0; r < X.size(); ++r) {
+        DSA_ASSERT(X[r].size() == n, "ragged design matrix");
+        for (size_t i = 0; i < n; ++i) {
+            for (size_t j = 0; j < n; ++j)
+                A[i][j] += X[r][i] * X[r][j];
+            A[i][n] += X[r][i] * y[r];
+        }
+    }
+    for (size_t i = 0; i < n; ++i)
+        A[i][i] += lambda;
+    // Gaussian elimination with partial pivoting.
+    for (size_t col = 0; col < n; ++col) {
+        size_t piv = col;
+        for (size_t r = col + 1; r < n; ++r)
+            if (std::fabs(A[r][col]) > std::fabs(A[piv][col]))
+                piv = r;
+        std::swap(A[col], A[piv]);
+        double d = A[col][col];
+        if (std::fabs(d) < 1e-12)
+            continue;
+        for (size_t j = col; j <= n; ++j)
+            A[col][j] /= d;
+        for (size_t r = 0; r < n; ++r) {
+            if (r == col)
+                continue;
+            double f = A[r][col];
+            for (size_t j = col; j <= n; ++j)
+                A[r][j] -= f * A[col][j];
+        }
+    }
+    std::vector<double> w(n);
+    for (size_t i = 0; i < n; ++i)
+        w[i] = A[i][n];
+    return w;
+}
+
+namespace {
+
+double
+widthFactor(int bits)
+{
+    return std::pow(bits / 64.0, 1.05);
+}
+
+std::vector<double>
+peFeatures(const PeProps &p)
+{
+    double w = widthFactor(p.datapathBits);
+    bool cls[kNumFuClasses] = {};
+    for (OpCode op : p.ops.toVector())
+        cls[static_cast<int>(opInfo(op).fuClass)] = true;
+    std::vector<double> f;
+    f.push_back(1.0);
+    for (int i = 0; i < kNumFuClasses; ++i)
+        f.push_back(cls[i] ? w : 0.0);
+    bool dyn = p.sched == Scheduling::Dynamic;
+    f.push_back(dyn ? w : 0.0);
+    f.push_back(dyn ? static_cast<double>(std::max(1, p.maxInsts)) : 0.0);
+    f.push_back(p.sharing == Sharing::Shared
+                    ? static_cast<double>(p.maxInsts) : 0.0);
+    f.push_back(!dyn ? p.delayFifoDepth * (p.datapathBits / 64.0) : 0.0);
+    f.push_back(p.streamJoin ? 1.0 : 0.0);
+    f.push_back(p.regFileSize * w);
+    f.push_back(p.decomposable ? w : 0.0);
+    // Interaction: dynamic scheduling scales the FU-side cost.
+    int nCls = 0;
+    for (int i = 0; i < kNumFuClasses; ++i)
+        nCls += cls[i];
+    f.push_back(dyn ? nCls * w : 0.0);
+    f.push_back(p.decomposable ? nCls * w : 0.0);
+    f.push_back((dyn && p.decomposable) ? nCls * w : 0.0);
+    return f;
+}
+
+std::vector<double>
+switchFeatures(const SwitchProps &p, int fanIn, int fanOut)
+{
+    double w = p.datapathBits / 64.0;
+    bool dyn = p.sched == Scheduling::Dynamic;
+    std::vector<double> f;
+    f.push_back(1.0);
+    f.push_back(fanIn * fanOut * w);
+    f.push_back(fanOut * w);
+    f.push_back(dyn ? fanIn * fanOut * w : 0.0);
+    f.push_back(dyn ? fanOut * w : 0.0);
+    f.push_back(p.decomposable ? fanIn * fanOut * w : 0.0);
+    f.push_back((dyn && p.decomposable) ? fanIn * fanOut * w : 0.0);
+    f.push_back(static_cast<double>(p.maxRoutes));
+    return f;
+}
+
+std::vector<double>
+memFeatures(const MemProps &p)
+{
+    std::vector<double> f;
+    f.push_back(1.0);
+    f.push_back(p.kind == MemKind::Main ? 1.0 : 0.0);
+    f.push_back(p.kind == MemKind::Scratchpad
+                    ? static_cast<double>(p.capacityBytes) : 0.0);
+    f.push_back(static_cast<double>(p.numBanks));
+    f.push_back(static_cast<double>(p.numStreamEngines));
+    f.push_back(p.indirect ? 1.0 : 0.0);
+    f.push_back(p.atomicUpdate ? p.numBanks : 0.0);
+    f.push_back(static_cast<double>(p.widthBytes));
+    return f;
+}
+
+std::vector<double>
+syncFeatures(const SyncProps &p)
+{
+    return {1.0, static_cast<double>(p.depth) * p.lanes * p.widthBits};
+}
+
+std::vector<double>
+delayFeatures(const DelayProps &p)
+{
+    return {1.0, static_cast<double>(p.depth) * p.widthBits};
+}
+
+} // namespace
+
+AreaPowerModel
+AreaPowerModel::fit()
+{
+    AreaPowerModel m;
+    double errSum = 0;
+    int errCnt = 0;
+
+    auto fitKind = [&](auto sampler, auto featurizer, Lin &lin) {
+        std::vector<std::vector<double>> X;
+        std::vector<double> yA, yP;
+        sampler([&](const auto &props, ComponentCost cost,
+                    const std::vector<double> &feat) {
+            X.push_back(feat);
+            yA.push_back(cost.areaMm2);
+            yP.push_back(cost.powerMw);
+            (void)props;
+        });
+        lin.wArea = leastSquares(X, yA);
+        lin.wPower = leastSquares(X, yP);
+        for (size_t i = 0; i < X.size(); ++i) {
+            ComponentCost pred = lin.predict(X[i]);
+            if (yA[i] > 1e-9) {
+                errSum += std::fabs(pred.areaMm2 - yA[i]) / yA[i];
+                ++errCnt;
+            }
+        }
+        (void)featurizer;
+    };
+
+    // PE dataset: sweep scheduling, sharing, widths, op mixes.
+    fitKind(
+        [&](auto emit) {
+            OpSet mixes[] = {
+                OpSet{OpCode::Add, OpCode::Sub, OpCode::CmpLT,
+                      OpCode::Select, OpCode::Pass},
+                OpSet{OpCode::Add, OpCode::Mul, OpCode::Acc},
+                OpSet{OpCode::FAdd, OpCode::FMul, OpCode::FAcc},
+                OpSet::allInteger(),
+                OpSet::all(),
+                OpSet{OpCode::Mul, OpCode::FMul},
+                OpSet{OpCode::Add, OpCode::Div, OpCode::FSqrt},
+            };
+            for (const auto &ops : mixes) {
+                for (int bits : {16, 32, 64}) {
+                    for (int dyn = 0; dyn < 2; ++dyn) {
+                        for (int sh = 0; sh < 2; ++sh) {
+                            for (int depth : {2, 4, 8, 16}) {
+                                for (int dec = 0; dec < 2; ++dec) {
+                                    PeProps p;
+                                    p.ops = ops;
+                                    p.datapathBits = bits;
+                                    p.sched = dyn ? Scheduling::Dynamic
+                                                  : Scheduling::Static;
+                                    p.sharing = sh ? Sharing::Shared
+                                                   : Sharing::Dedicated;
+                                    p.maxInsts = sh ? 8 : 1;
+                                    p.delayFifoDepth = depth;
+                                    p.streamJoin = dyn;
+                                    p.decomposable = dec;
+                                    p.minLaneBits = dec ? 8 : bits;
+                                    AdgNode n;
+                                    n.kind = NodeKind::Pe;
+                                    n.props = p;
+                                    emit(p, synthComponent(n),
+                                         peFeatures(p));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        },
+        peFeatures, m.pe_);
+
+    // Switch dataset: sweep fan, width, protocol.
+    fitKind(
+        [&](auto emit) {
+            for (int fi : {2, 4, 6, 8, 10, 12}) {
+                for (int fo : {2, 4, 6, 8, 10, 12}) {
+                    for (int bits : {32, 64}) {
+                        for (int dyn = 0; dyn < 2; ++dyn) {
+                            for (int dec = 0; dec < 2; ++dec) {
+                                SwitchProps p;
+                                p.datapathBits = bits;
+                                p.sched = dyn ? Scheduling::Dynamic
+                                              : Scheduling::Static;
+                                p.decomposable = dec;
+                                p.minLaneBits = dec ? 8 : bits;
+                                emit(p, synthSwitchSample(p, fi, fo),
+                                     switchFeatures(p, fi, fo));
+                            }
+                        }
+                    }
+                }
+            }
+        },
+        [&](const SwitchProps &p) { return switchFeatures(p, 4, 4); },
+        m.sw_);
+
+    // Memory dataset.
+    fitKind(
+        [&](auto emit) {
+            for (int64_t cap : {4096, 16384, 65536}) {
+                for (int banks : {1, 4, 8}) {
+                    for (int eng : {2, 4, 8}) {
+                        for (int ind = 0; ind < 2; ++ind) {
+                            MemProps p;
+                            p.kind = MemKind::Scratchpad;
+                            p.capacityBytes = cap;
+                            p.numBanks = banks;
+                            p.numStreamEngines = eng;
+                            p.indirect = ind;
+                            p.atomicUpdate = ind;
+                            AdgNode n;
+                            n.kind = NodeKind::Memory;
+                            n.props = p;
+                            emit(p, synthComponent(n), memFeatures(p));
+                        }
+                    }
+                }
+            }
+            MemProps main;
+            main.kind = MemKind::Main;
+            main.numStreamEngines = 4;
+            AdgNode n;
+            n.kind = NodeKind::Memory;
+            n.props = main;
+            emit(main, synthComponent(n), memFeatures(main));
+        },
+        memFeatures, m.mem_);
+
+    // Sync dataset.
+    fitKind(
+        [&](auto emit) {
+            for (int depth : {2, 4, 8, 16, 32}) {
+                for (int lanes : {1, 2, 4, 8}) {
+                    SyncProps p;
+                    p.depth = depth;
+                    p.lanes = lanes;
+                    AdgNode n;
+                    n.kind = NodeKind::Sync;
+                    n.props = p;
+                    emit(p, synthComponent(n), syncFeatures(p));
+                }
+            }
+        },
+        syncFeatures, m.sync_);
+
+    // Delay dataset.
+    fitKind(
+        [&](auto emit) {
+            for (int depth : {2, 4, 8, 16, 32}) {
+                DelayProps p;
+                p.depth = depth;
+                AdgNode n;
+                n.kind = NodeKind::Delay;
+                n.props = p;
+                emit(p, synthComponent(n), delayFeatures(p));
+            }
+        },
+        delayFeatures, m.delay_);
+
+    m.validationError_ = errCnt ? errSum / errCnt : 0.0;
+    return m;
+}
+
+const AreaPowerModel &
+AreaPowerModel::instance()
+{
+    static const AreaPowerModel model = fit();
+    return model;
+}
+
+ComponentCost
+AreaPowerModel::node(const Adg &adg, adg::NodeId id) const
+{
+    const AdgNode &n = adg.node(id);
+    switch (n.kind) {
+      case NodeKind::Pe:
+        return pe_.predict(peFeatures(n.pe()));
+      case NodeKind::Switch: {
+        int fi = static_cast<int>(adg.inEdges(id).size());
+        int fo = static_cast<int>(adg.outEdges(id).size());
+        return sw_.predict(switchFeatures(n.sw(), std::max(fi, 1),
+                                          std::max(fo, 1)));
+      }
+      case NodeKind::Memory:
+        return mem_.predict(memFeatures(n.mem()));
+      case NodeKind::Sync:
+        return sync_.predict(syncFeatures(n.sync()));
+      case NodeKind::Delay:
+        return delay_.predict(delayFeatures(n.delay()));
+    }
+    DSA_PANIC("bad node kind");
+}
+
+ComponentCost
+AreaPowerModel::fabric(const Adg &adg) const
+{
+    ComponentCost total;
+    for (adg::NodeId id : adg.aliveNodes())
+        total += node(adg, id);
+    for (adg::EdgeId e : adg.aliveEdges()) {
+        double w = adg.edge(e).widthBits / 64.0;
+        total.areaMm2 += 40.0 * w / 1e6;
+        total.powerMw += 0.015 * w;
+    }
+    total += controlCoreCost();
+    return total;
+}
+
+} // namespace dsa::model

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Analytical power/area regression model (§V-C): per-component-type
+ * linear models fit by least squares against a sampled synthesis
+ * dataset (our synthesis oracle stands in for Synopsys DC; see
+ * DESIGN.md §1). The DSE uses this model because real synthesis is far
+ * too slow for the exploration loop.
+ *
+ * By construction the model predicts *standalone component* costs; it
+ * does not see the whole-fabric integration overhead, reproducing the
+ * estimated-vs-synthesized gap the paper reports in Fig. 15.
+ */
+
+#ifndef DSA_MODEL_REGRESSION_H
+#define DSA_MODEL_REGRESSION_H
+
+#include <vector>
+
+#include "adg/adg.h"
+#include "model/cost.h"
+
+namespace dsa::model {
+
+/**
+ * Ridge-regularized least squares: solve for w minimizing
+ * ||Xw - y||^2 + lambda ||w||^2.
+ */
+std::vector<double> leastSquares(const std::vector<std::vector<double>> &X,
+                                 const std::vector<double> &y,
+                                 double lambda = 1e-6);
+
+/** Per-kind linear area/power predictors. */
+class AreaPowerModel
+{
+  public:
+    /** Fit against the synthesis oracle's sampled dataset. */
+    static AreaPowerModel fit();
+
+    /** The process-wide fitted model (fit once, reused). */
+    static const AreaPowerModel &instance();
+
+    /** Predict one node (switch fan-in/out read from the graph). */
+    ComponentCost node(const adg::Adg &adg, adg::NodeId id) const;
+
+    /** Predict a whole fabric: node sum + wires + control core. */
+    ComponentCost fabric(const adg::Adg &adg) const;
+
+    /** Mean absolute relative error vs the oracle on held-out samples. */
+    double validationError() const { return validationError_; }
+
+  private:
+    struct Lin
+    {
+        std::vector<double> wArea;
+        std::vector<double> wPower;
+
+        ComponentCost
+        predict(const std::vector<double> &f) const
+        {
+            ComponentCost c;
+            for (size_t i = 0; i < f.size(); ++i) {
+                c.areaMm2 += wArea[i] * f[i];
+                c.powerMw += wPower[i] * f[i];
+            }
+            return c;
+        }
+    };
+
+    Lin pe_, sw_, mem_, sync_, delay_;
+    double validationError_ = 0.0;
+};
+
+} // namespace dsa::model
+
+#endif // DSA_MODEL_REGRESSION_H

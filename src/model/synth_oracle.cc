@@ -1,0 +1,274 @@
+#include "model/synth_oracle.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace dsa::model {
+
+using adg::AdgNode;
+using adg::MemKind;
+using adg::NodeKind;
+using adg::Scheduling;
+using adg::Sharing;
+
+namespace {
+
+constexpr double kUm2PerMm2 = 1e6;
+
+/** Deterministic +/-3% "process noise" keyed by a parameter hash. */
+double
+noise(uint64_t key)
+{
+    key ^= key >> 33;
+    key *= 0xff51afd7ed558ccdull;
+    key ^= key >> 33;
+    key *= 0xc4ceb9fe1a85ec53ull;
+    key ^= key >> 33;
+    double unit = static_cast<double>(key & 0xFFFF) / 65535.0;  // [0,1]
+    return 1.0 + (unit - 0.5) * 0.06;
+}
+
+/** Width scaling: cost grows slightly super-linearly with bitwidth. */
+double
+widthFactor(int bits)
+{
+    return std::pow(bits / 64.0, 1.05);
+}
+
+} // namespace
+
+ComponentCost
+fuClassCost(FuClass cls, int bits)
+{
+    // um^2 / mW at 64-bit.
+    double a = 0, p = 0;
+    switch (cls) {
+      case FuClass::IntAlu: a = 800;   p = 0.40; break;
+      case FuClass::IntMul: a = 5500;  p = 2.50; break;
+      case FuClass::IntDiv: a = 8000;  p = 3.00; break;
+      case FuClass::FpAdd:  a = 4200;  p = 2.00; break;
+      case FuClass::FpMul:  a = 7800;  p = 3.50; break;
+      case FuClass::FpDiv:  a = 14000; p = 5.00; break;
+      case FuClass::Special:a = 3000;  p = 1.50; break;
+      default: DSA_PANIC("bad fu class");
+    }
+    double w = widthFactor(bits);
+    return {a * w / kUm2PerMm2, p * w};
+}
+
+namespace {
+
+ComponentCost
+peCost(const AdgNode &n)
+{
+    const auto &pe = n.pe();
+    // One (multi-function) FU per required class; functions within a
+    // class share hardware (§V-C's multi-function FU optimization).
+    bool cls[kNumFuClasses] = {};
+    for (OpCode op : pe.ops.toVector())
+        cls[static_cast<int>(opInfo(op).fuClass)] = true;
+    ComponentCost fu;
+    for (int i = 0; i < kNumFuClasses; ++i)
+        if (cls[i])
+            fu += fuClassCost(static_cast<FuClass>(i), pe.datapathBits);
+    if (pe.decomposable)
+        fu = fu.scaled(1.15);  // lane-split muxing
+
+    double w = widthFactor(pe.datapathBits);
+    ComponentCost c;
+    c.areaMm2 = 600 * w / kUm2PerMm2;        // issue/control base
+    c.powerMw = 0.3 * w;
+    c += fu;
+    // Delay FIFOs on each of up to 3 inputs (static PEs).
+    if (pe.sched == Scheduling::Static) {
+        double fifo = 120.0 * pe.delayFifoDepth * (pe.datapathBits / 64.0);
+        c.areaMm2 += 3 * fifo / kUm2PerMm2;
+        c.powerMw += 3 * fifo * 0.0004;
+    } else {
+        // Dataflow firing: per-input operand buffers with presence
+        // tracking (instead of delay FIFOs) plus ready-check logic
+        // that scales with the instruction window.
+        double window = std::max(1, pe.maxInsts);
+        c.areaMm2 *= 1.35;
+        c.powerMw *= 1.40;
+        double opBuf = 140.0 * 6 * (pe.datapathBits / 64.0);
+        c.areaMm2 += 3 * opBuf / kUm2PerMm2;
+        c.powerMw += 3 * opBuf * 0.0005;
+        c.areaMm2 += 420.0 * window / kUm2PerMm2;
+        c.powerMw += 0.18 * window;
+        if (pe.streamJoin) {
+            c.areaMm2 += 800.0 / kUm2PerMm2;
+            c.powerMw += 0.35;
+        }
+    }
+    if (pe.sharing == Sharing::Shared) {
+        c.areaMm2 += 500.0 * pe.maxInsts / kUm2PerMm2;
+        c.powerMw += 0.22 * pe.maxInsts;
+    }
+    c.areaMm2 += 260.0 * pe.regFileSize * w / kUm2PerMm2;
+    c.powerMw += 0.10 * pe.regFileSize * w;
+    return c;
+}
+
+ComponentCost
+switchCost(const AdgNode &n, int fanIn, int fanOut)
+{
+    const auto &sw = n.sw();
+    double w = sw.datapathBits / 64.0;
+    fanIn = std::max(fanIn, 1);
+    fanOut = std::max(fanOut, 1);
+    ComponentCost c;
+    c.areaMm2 = (55.0 * fanIn * fanOut * w + 300.0 * w * fanOut) /
+                kUm2PerMm2;
+    c.powerMw = 0.018 * fanIn * fanOut * w + 0.10 * w * fanOut;
+    if (sw.sched == Scheduling::Dynamic)
+        c = c.scaled(1.6);  // credit/flow-control logic
+    if (sw.decomposable)
+        c = c.scaled(1.3);  // sub-word routing
+    if (sw.maxRoutes > 1) {
+        c.areaMm2 += 120.0 * sw.maxRoutes / kUm2PerMm2;
+        c.powerMw += 0.04 * sw.maxRoutes;
+    }
+    return c;
+}
+
+ComponentCost
+memCost(const AdgNode &n)
+{
+    const auto &m = n.mem();
+    ComponentCost c;
+    if (m.kind == MemKind::Main) {
+        // Interface + request queues only; DRAM is off-fabric.
+        c.areaMm2 = 20000.0 / kUm2PerMm2;
+        c.powerMw = 9.0;
+    } else {
+        c.areaMm2 = 1.0 * static_cast<double>(m.capacityBytes) / kUm2PerMm2;
+        c.powerMw = 0.0009 * static_cast<double>(m.capacityBytes);
+        c.areaMm2 += 800.0 * m.numBanks / kUm2PerMm2;
+        c.powerMw += 0.25 * m.numBanks;
+    }
+    c.areaMm2 += 2500.0 * m.numStreamEngines / kUm2PerMm2;
+    c.powerMw += 1.1 * m.numStreamEngines;
+    if (m.indirect) {
+        c.areaMm2 += 3500.0 / kUm2PerMm2;
+        c.powerMw += 1.6;
+    }
+    if (m.atomicUpdate) {
+        c.areaMm2 += 1500.0 * std::max(1, m.numBanks) / kUm2PerMm2;
+        c.powerMw += 0.7 * std::max(1, m.numBanks);
+    }
+    // Bandwidth-proportional wiring.
+    c.areaMm2 += 30.0 * m.widthBytes / kUm2PerMm2;
+    c.powerMw += 0.012 * m.widthBytes;
+    return c;
+}
+
+ComponentCost
+syncCost(const AdgNode &n)
+{
+    const auto &s = n.sync();
+    double bits = static_cast<double>(s.depth) * s.lanes * s.widthBits;
+    ComponentCost c;
+    c.areaMm2 = (0.9 * bits + 700.0) / kUm2PerMm2;
+    c.powerMw = 0.00035 * bits + 0.30;
+    return c;
+}
+
+ComponentCost
+delayCost(const AdgNode &n)
+{
+    const auto &d = n.delay();
+    double bits = static_cast<double>(d.depth) * d.widthBits;
+    ComponentCost c;
+    c.areaMm2 = (0.9 * bits + 250.0) / kUm2PerMm2;
+    c.powerMw = 0.00035 * bits + 0.10;
+    return c;
+}
+
+uint64_t
+nodeHash(const AdgNode &n)
+{
+    uint64_t h = static_cast<uint64_t>(n.kind) * 1315423911u;
+    switch (n.kind) {
+      case NodeKind::Pe:
+        h ^= n.pe().ops.raw() * 2654435761u + n.pe().datapathBits +
+             (n.pe().sched == Scheduling::Dynamic ? 77 : 0) +
+             (n.pe().sharing == Sharing::Shared ? n.pe().maxInsts : 0);
+        break;
+      case NodeKind::Switch:
+        h ^= n.sw().datapathBits * 31 + n.sw().maxRoutes;
+        break;
+      case NodeKind::Memory:
+        h ^= static_cast<uint64_t>(n.mem().capacityBytes) * 7 +
+             n.mem().numBanks;
+        break;
+      case NodeKind::Sync:
+        h ^= static_cast<uint64_t>(n.sync().depth) * 13 + n.sync().lanes;
+        break;
+      case NodeKind::Delay:
+        h ^= static_cast<uint64_t>(n.delay().depth) * 17;
+        break;
+    }
+    return h;
+}
+
+} // namespace
+
+ComponentCost
+synthSwitchSample(const adg::SwitchProps &props, int fanIn, int fanOut)
+{
+    adg::AdgNode n;
+    n.kind = NodeKind::Switch;
+    n.props = props;
+    return switchCost(n, fanIn, fanOut)
+        .scaled(noise(nodeHash(n) + fanIn * 131 + fanOut * 17));
+}
+
+ComponentCost
+synthComponent(const adg::AdgNode &node)
+{
+    ComponentCost c;
+    switch (node.kind) {
+      case NodeKind::Pe: c = peCost(node); break;
+      // Fan-in/out unknown standalone; assume the 4x4 sample point.
+      case NodeKind::Switch: c = switchCost(node, 4, 4); break;
+      case NodeKind::Memory: c = memCost(node); break;
+      case NodeKind::Sync: c = syncCost(node); break;
+      case NodeKind::Delay: c = delayCost(node); break;
+    }
+    return c.scaled(noise(nodeHash(node)));
+}
+
+ComponentCost
+controlCoreCost()
+{
+    // In-order RISC-V control core with stream-command unit.
+    return {0.052, 26.0};
+}
+
+ComponentCost
+synthFabric(const adg::Adg &adg, double integrationOverhead)
+{
+    ComponentCost total;
+    for (adg::NodeId id : adg.aliveNodes()) {
+        const AdgNode &n = adg.node(id);
+        if (n.kind == NodeKind::Switch) {
+            int fi = static_cast<int>(adg.inEdges(id).size());
+            int fo = static_cast<int>(adg.outEdges(id).size());
+            total += switchCost(n, fi, fo).scaled(noise(nodeHash(n)));
+        } else {
+            total += synthComponent(n);
+        }
+    }
+    // Wires: a small per-edge cost.
+    for (adg::EdgeId e : adg.aliveEdges()) {
+        double w = adg.edge(e).widthBits / 64.0;
+        total.areaMm2 += 40.0 * w / 1e6;
+        total.powerMw += 0.015 * w;
+    }
+    total += controlCoreCost();
+    return total.scaled(1.0 + integrationOverhead);
+}
+
+} // namespace dsa::model

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Synthetic synthesis oracle — the stand-in for the Synopsys DC + UMC
+ * 28 nm flow the paper uses to build its power/area dataset (§V-C,
+ * §VII; see DESIGN.md §1 for the substitution rationale).
+ *
+ * The oracle computes deterministic gate-level-style cost functions per
+ * component, with parameter interactions and a small deterministic
+ * "process noise" term, so that fitting a regression model against it
+ * reproduces the paper's methodology: the regression is accurate per
+ * component, while whole-fabric synthesis carries an extra integration
+ * overhead (timing-closure buffers etc.) that the model does not see —
+ * the 4–7% gap reported in Fig. 15.
+ */
+
+#ifndef DSA_MODEL_SYNTH_ORACLE_H
+#define DSA_MODEL_SYNTH_ORACLE_H
+
+#include "adg/adg.h"
+#include "model/cost.h"
+
+namespace dsa::model {
+
+/** Per-FU-class area (um^2) and power (mW) at 28 nm / 1 GHz. */
+ComponentCost fuClassCost(FuClass cls, int bits);
+
+/** "Synthesize" one component standalone. */
+ComponentCost synthComponent(const adg::AdgNode &node);
+
+/**
+ * "Synthesize" a switch sample with explicit fan-in/out (the dataset
+ * for the regression model sweeps port counts; §V-C).
+ */
+ComponentCost synthSwitchSample(const adg::SwitchProps &props, int fanIn,
+                                int fanOut);
+
+/** Control-core cost (fixed; §V-D: not explored by DSE). */
+ComponentCost controlCoreCost();
+
+/**
+ * "Synthesize" a whole fabric: component sum + control core, plus the
+ * integration overhead (default 5.5%) that whole-design timing closure
+ * adds over standalone component synthesis.
+ */
+ComponentCost synthFabric(const adg::Adg &adg,
+                          double integrationOverhead = 0.055);
+
+} // namespace dsa::model
+
+#endif // DSA_MODEL_SYNTH_ORACLE_H

@@ -1,0 +1,83 @@
+#include "sim/memory_image.h"
+
+#include "base/logging.h"
+
+namespace dsa::sim {
+
+void
+AddressSpace::ensure(int64_t bytes)
+{
+    if (bytes > static_cast<int64_t>(bytes_.size()))
+        bytes_.resize(static_cast<size_t>(bytes), 0);
+}
+
+Value
+AddressSpace::load(int64_t addr, int elemBytes) const
+{
+    DSA_ASSERT(addr >= 0 &&
+               addr + elemBytes <= static_cast<int64_t>(bytes_.size()),
+               "load out of bounds at ", addr, " (+", elemBytes, "), size ",
+               bytes_.size());
+    Value v = 0;
+    for (int i = elemBytes - 1; i >= 0; --i)
+        v = (v << 8) | bytes_[static_cast<size_t>(addr + i)];
+    return v;
+}
+
+void
+AddressSpace::store(int64_t addr, int elemBytes, Value v)
+{
+    DSA_ASSERT(addr >= 0 &&
+               addr + elemBytes <= static_cast<int64_t>(bytes_.size()),
+               "store out of bounds at ", addr, " (+", elemBytes,
+               "), size ", bytes_.size());
+    for (int i = 0; i < elemBytes; ++i) {
+        bytes_[static_cast<size_t>(addr + i)] = static_cast<uint8_t>(v);
+        v >>= 8;
+    }
+}
+
+MemImage
+MemImage::build(const ir::KernelSource &kernel, const ir::ArrayStore &store,
+                const compiler::Placement &placement)
+{
+    MemImage img;
+    for (const auto &decl : kernel.arrays) {
+        const auto &loc = placement.loc(decl.name);
+        AddressSpace &sp = img.space(loc.space);
+        sp.ensure(loc.baseBytes + decl.length * decl.elemBytes + 64);
+        const auto &data = store.data(decl.name);
+        for (int64_t i = 0; i < decl.length; ++i)
+            sp.store(loc.baseBytes + i * decl.elemBytes, decl.elemBytes,
+                     data[static_cast<size_t>(i)]);
+    }
+    // Headroom so zero-length spaces still exist.
+    img.main.ensure(64);
+    img.spad.ensure(64);
+    return img;
+}
+
+void
+MemImage::extract(const ir::KernelSource &kernel,
+                  const compiler::Placement &placement,
+                  ir::ArrayStore &store) const
+{
+    for (const auto &decl : kernel.arrays) {
+        const auto &loc = placement.loc(decl.name);
+        const AddressSpace &sp = space(loc.space);
+        auto &data = store.data(decl.name);
+        for (int64_t i = 0; i < decl.length; ++i) {
+            Value v = sp.load(loc.baseBytes + i * decl.elemBytes,
+                              decl.elemBytes);
+            // Sign-extend sub-word integers (floats are 8-byte).
+            if (decl.elemBytes < 8 && !decl.isFloat) {
+                int shift = 64 - decl.elemBytes * 8;
+                v = static_cast<Value>(
+                    (static_cast<int64_t>(v << shift)) >> shift);
+            }
+            data[static_cast<size_t>(i)] = v;
+        }
+    }
+}
+
+} // namespace dsa::sim

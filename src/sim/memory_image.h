@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Byte-addressable backing storage for simulation: a main-memory space
+ * and a scratchpad space, populated from a kernel's ArrayStore through
+ * its Placement, and extracted back after simulation for validation
+ * against the golden interpreter.
+ */
+
+#ifndef DSA_SIM_MEMORY_IMAGE_H
+#define DSA_SIM_MEMORY_IMAGE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/placement.h"
+#include "dfg/stream.h"
+#include "ir/interp.h"
+
+namespace dsa::sim {
+
+/** One flat byte-addressable space. */
+class AddressSpace
+{
+  public:
+    /** Grow to cover at least @p bytes. */
+    void ensure(int64_t bytes);
+
+    /** Load @p elemBytes little-endian bytes, zero-extended. */
+    Value load(int64_t addr, int elemBytes) const;
+    /** Store the low @p elemBytes bytes of @p v. */
+    void store(int64_t addr, int elemBytes, Value v);
+
+    int64_t size() const { return static_cast<int64_t>(bytes_.size()); }
+
+  private:
+    std::vector<uint8_t> bytes_;
+};
+
+/** Main + scratchpad contents for one program execution. */
+struct MemImage
+{
+    AddressSpace main;
+    AddressSpace spad;
+
+    AddressSpace &space(dfg::MemSpace s)
+    {
+        return s == dfg::MemSpace::Main ? main : spad;
+    }
+    const AddressSpace &space(dfg::MemSpace s) const
+    {
+        return s == dfg::MemSpace::Main ? main : spad;
+    }
+
+    /** Populate from @p store per @p placement. */
+    static MemImage build(const ir::KernelSource &kernel,
+                          const ir::ArrayStore &store,
+                          const compiler::Placement &placement);
+
+    /** Read array contents back into @p store. */
+    void extract(const ir::KernelSource &kernel,
+                 const compiler::Placement &placement,
+                 ir::ArrayStore &store) const;
+};
+
+} // namespace dsa::sim
+
+#endif // DSA_SIM_MEMORY_IMAGE_H

@@ -1,0 +1,47 @@
+#include "sim/report.h"
+
+#include <sstream>
+
+#include "base/table.h"
+
+namespace dsa::sim {
+
+std::string
+utilizationReport(const SimResult &result, const adg::Adg &adg)
+{
+    std::ostringstream os;
+    if (!result.ok) {
+        os << "simulation failed: " << result.error << "\n";
+        return os.str();
+    }
+    os << "cycles: " << result.cycles << "\n\n";
+
+    Table pes({"PE", "fires", "activity"});
+    for (const auto &[node, fires] : result.peFires) {
+        double act = result.cycles
+            ? static_cast<double>(fires) / result.cycles : 0;
+        pes.addRow({adg.node(node).name, std::to_string(fires),
+                    Table::fmt(100 * act, 1) + "%"});
+    }
+    os << pes.render() << "\n";
+
+    Table mems({"memory", "bytes", "avg B/cycle", "peak B/cycle"});
+    for (const auto &[node, bytes] : result.memBytes) {
+        const auto &m = adg.node(node).mem();
+        double avg = result.cycles
+            ? static_cast<double>(bytes) / result.cycles : 0;
+        mems.addRow({adg.node(node).name, std::to_string(bytes),
+                     Table::fmt(avg, 2), std::to_string(m.widthBytes)});
+    }
+    os << mems.render();
+
+    Table regions({"region", "fires", "end cycle"});
+    for (size_t r = 0; r < result.regions.size(); ++r)
+        regions.addRow({std::to_string(r),
+                        std::to_string(result.regions[r].fires),
+                        std::to_string(result.regions[r].endCycle)});
+    os << "\n" << regions.render();
+    return os.str();
+}
+
+} // namespace dsa::sim

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Post-simulation reporting: per-PE utilization, memory bandwidth, and
+ * region timing, rendered as the kind of analysis tables the paper's
+ * evaluation discusses (activity ratios, bandwidth bottlenecks).
+ */
+
+#ifndef DSA_SIM_REPORT_H
+#define DSA_SIM_REPORT_H
+
+#include <string>
+
+#include "sim/simulator.h"
+
+namespace dsa::sim {
+
+/** Render a utilization/bandwidth report for one simulation run. */
+std::string utilizationReport(const SimResult &result,
+                              const adg::Adg &adg);
+
+} // namespace dsa::sim
+
+#endif // DSA_SIM_REPORT_H

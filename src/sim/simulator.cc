@@ -1,0 +1,1232 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <climits>
+#include <deque>
+#include <map>
+
+#include "base/logging.h"
+
+namespace dsa::sim {
+
+using adg::Adg;
+using adg::NodeId;
+using adg::NodeKind;
+using adg::Sharing;
+using dfg::CtrlSpec;
+using dfg::LinearPattern;
+using dfg::Region;
+using dfg::Stream;
+using dfg::StreamKind;
+using dfg::Vertex;
+using dfg::VertexId;
+using dfg::VertexKind;
+
+namespace {
+
+/** A fixed-latency, bounded, in-order value pipe (a routed path). */
+struct Pipe
+{
+    int latency = 1;
+    int capacity = 8;
+    std::deque<std::pair<int64_t, Value>> q;
+
+    bool canPush() const { return static_cast<int>(q.size()) < capacity; }
+    void push(int64_t now, Value v) { q.emplace_back(now + latency, v); }
+    bool ready(int64_t now) const
+    {
+        return !q.empty() && q.front().first <= now;
+    }
+    Value front() const { return q.front().second; }
+    void pop() { q.pop_front(); }
+    bool empty() const { return q.empty(); }
+};
+
+struct StreamExec;
+struct PortSim;
+
+/** Where an output port's elements go. */
+struct OutSink
+{
+    enum class Kind { Write, Recurrence, Forward };
+    Kind kind = Kind::Write;
+    int64_t skip = 0;     ///< skip this many elements first
+    int64_t take = -1;    ///< then take this many (-1 = all)
+    int64_t seen = 0;
+    int64_t taken = 0;
+    StreamExec *write = nullptr;  ///< Write sink
+    PortSim *target = nullptr;    ///< Recurrence sink
+    /**
+     * Forward sink: values land in a persistent machine-level queue
+     * (surviving the consumer's per-issue port resets) and are moved
+     * into the consumer's port as it runs.
+     */
+    std::deque<Value> *fwdQueue = nullptr;
+
+    bool wants() const { return seen >= skip && (take < 0 || taken < take); }
+};
+
+/** Input port (sync element) simulation state. */
+struct PortSim
+{
+    int lanes = 1;
+    int64_t reuse = 1;
+    int capacity = 64;
+    std::deque<Value> buffer;
+    std::vector<Value> current;
+    int64_t reuseLeft = 0;
+    std::vector<std::vector<Pipe *>> lanePipes;
+    int64_t minPopInterval = 0;
+    int64_t lastPop = -1'000'000;
+    int64_t pops = 0;
+
+    bool
+    roomFor(int n) const
+    {
+        return static_cast<int>(buffer.size()) + n <= capacity;
+    }
+
+    void
+    deliver(Value v)
+    {
+        buffer.push_back(v);
+    }
+
+    bool
+    tryFire(int64_t now)
+    {
+        if (reuseLeft == 0) {
+            if (static_cast<int>(buffer.size()) < lanes)
+                return false;
+            current.assign(buffer.begin(), buffer.begin() + lanes);
+            buffer.erase(buffer.begin(), buffer.begin() + lanes);
+            reuseLeft = std::max<int64_t>(1, reuse);
+        }
+        if (now - lastPop < minPopInterval)
+            return false;
+        for (int l = 0; l < lanes; ++l)
+            for (Pipe *p : lanePipes[l])
+                if (!p->canPush())
+                    return false;
+        for (int l = 0; l < lanes; ++l)
+            for (Pipe *p : lanePipes[l])
+                p->push(now, current[static_cast<size_t>(l)]);
+        --reuseLeft;
+        lastPop = now;
+        ++pops;
+        return true;
+    }
+
+    void
+    resetForIssue()
+    {
+        buffer.clear();
+        current.clear();
+        reuseLeft = 0;
+    }
+};
+
+/** Output port simulation state. */
+struct OutPortSim
+{
+    int lanes = 1;
+    int64_t outputEvery = 1;
+    std::vector<Pipe *> lanePipes;
+    std::vector<OutSink> sinks;
+    int64_t fires = 0;
+    std::vector<Value> lastVec;
+    bool lastValid = false;
+    /** Source is an accumulator: its init value stands in when the
+     *  issue produced no elements (zero-trip reductions). */
+    bool hasFallback = false;
+    Value fallbackInit = 0;
+
+    bool
+    sinksAccept(int n) const
+    {
+        for (const OutSink &s : sinks) {
+            if (!s.wants())
+                continue;
+            // Writes are checked via their own buffer capacity and
+            // forwards buffer in an unbounded queue.
+            if (s.kind == OutSink::Kind::Recurrence && s.target &&
+                !s.target->roomFor(n))
+                return false;
+        }
+        return true;
+    }
+
+    void deliverElement(Value v);
+
+    bool tryFire(int64_t now);
+
+    void
+    resetForIssue()
+    {
+        fires = 0;
+        lastVec.clear();
+        lastValid = false;
+        for (OutSink &s : sinks) {
+            s.seen = 0;
+            s.taken = 0;
+        }
+    }
+};
+
+/** One stream's execution state for the current issue. */
+struct StreamExec
+{
+    const Stream *st = nullptr;
+    int regionIdx = -1;
+    // Pregenerated per-issue address (or value) sequences.
+    std::vector<int64_t> addrs;
+    std::vector<int64_t> idxAddrs;
+    size_t pos = 0;
+    PortSim *target = nullptr;       // reads
+    std::deque<Value> writeBuf;      // writes/atomics: values from port
+    int writeBufCap = 32;
+    int64_t nextReady = 0;           // scalar-fallback throttle
+    bool openDone = false;           // open-ended write finished
+
+    bool
+    readsDone() const
+    {
+        return pos >= addrs.size();
+    }
+
+    bool
+    done() const
+    {
+        switch (st->kind) {
+          case StreamKind::LinearWrite:
+          case StreamKind::IndirectWrite:
+          case StreamKind::AtomicUpdate:
+            return (pos >= addrs.size() && writeBuf.empty()) ||
+                   (st->openEnded && openDone && writeBuf.empty());
+          default:
+            return readsDone();
+        }
+    }
+};
+
+/** Instruction simulation state. */
+struct InstSim
+{
+    const Vertex *vx = nullptr;
+    std::vector<Pipe *> inPipes;  // null for immediates
+    std::vector<Value> imms;
+    std::vector<Pipe *> outPipes;
+    Value acc = 0;
+    int64_t fires = 0;
+    int64_t lastFire = -1'000'000;
+    NodeId pe = adg::kInvalidNode;
+
+    bool
+    operandsReady(int64_t now) const
+    {
+        for (size_t i = 0; i < inPipes.size(); ++i)
+            if (inPipes[i] && !inPipes[i]->ready(now))
+                return false;
+        return true;
+    }
+
+    Value
+    operandValue(size_t i) const
+    {
+        return inPipes[i] ? inPipes[i]->front() : imms[i];
+    }
+};
+
+void
+OutPortSim::deliverElement(Value v)
+{
+    for (OutSink &s : sinks) {
+        bool want = s.wants();
+        ++s.seen;
+        if (!want)
+            continue;
+        ++s.taken;
+        if (s.kind == OutSink::Kind::Write) {
+            s.write->writeBuf.push_back(v);
+        } else if (s.kind == OutSink::Kind::Forward) {
+            s.fwdQueue->push_back(v);
+        } else {
+            s.target->deliver(v);
+        }
+    }
+}
+
+bool
+OutPortSim::tryFire(int64_t now)
+{
+    for (Pipe *p : lanePipes)
+        if (!p->ready(now))
+            return false;
+    bool keep = outputEvery > 0 ? ((fires + 1) % outputEvery == 0)
+                                : false;
+    if (keep || outputEvery == -1) {
+        // Check write-sink buffer room.
+        for (const OutSink &s : sinks) {
+            if (s.kind == OutSink::Kind::Write && s.wants() &&
+                static_cast<int>(s.write->writeBuf.size()) + lanes >
+                    s.write->writeBufCap)
+                return false;
+        }
+        if (keep && !sinksAccept(lanes))
+            return false;
+    }
+    std::vector<Value> vec;
+    for (Pipe *p : lanePipes) {
+        vec.push_back(p->front());
+        p->pop();
+    }
+    ++fires;
+    if (outputEvery == -1) {
+        lastVec = vec;
+        lastValid = true;
+    } else if (keep) {
+        for (Value v : vec)
+            deliverElement(v);
+    }
+    return true;
+}
+
+/** Expand a pattern with reissue adjustments applied. */
+std::vector<int64_t>
+expandPattern(const LinearPattern &base, int64_t baseShift,
+              int64_t lenShift)
+{
+    LinearPattern p = base;
+    p.baseBytes += baseShift;
+    p.len1 += lenShift;
+    return p.expandAddrs();
+}
+
+/** Region issue/lifecycle state. */
+enum class RegionState {
+    WaitDep,      ///< waiting on via-memory producer regions
+    WaitCmd,      ///< control core issuing stream commands
+    Running,
+    Finalizing,   ///< last-value delivery + write drain
+    DoneIssue,
+    Complete
+};
+
+struct RegionSim
+{
+    const Region *reg = nullptr;
+    int idx = -1;
+    RegionState state = RegionState::WaitCmd;
+    int64_t stateUntil = 0;
+    // Re-issue enumeration over outer loops (outermost first).
+    std::vector<int64_t> outerIdx;
+    int64_t lastActivity = 0;
+    int quiesceWindow = 16;
+    int64_t endCycle = 0;
+
+    std::vector<PortSim> inPorts;      // by vertex id (sparse)
+    std::vector<OutPortSim> outPorts;  // by vertex id (sparse)
+    std::vector<InstSim> insts;
+    std::vector<std::unique_ptr<Pipe>> pipes;
+    std::vector<StreamExec> streams;   // by stream id
+    std::vector<int> waitOnRegions;    // region-level dependences
+    int64_t completedIssues = 0;
+
+    bool
+    allReadsDone() const
+    {
+        for (const StreamExec &se : streams) {
+            const Stream &st = *se.st;
+            if (st.kind == StreamKind::LinearRead ||
+                st.kind == StreamKind::IndirectRead ||
+                st.kind == StreamKind::Const || st.kind == StreamKind::Iota) {
+                if (!se.readsDone())
+                    return false;
+            }
+        }
+        return true;
+    }
+
+    bool
+    allWritesDone() const
+    {
+        for (const StreamExec &se : streams) {
+            const Stream &st = *se.st;
+            if (st.kind == StreamKind::LinearWrite ||
+                st.kind == StreamKind::IndirectWrite ||
+                st.kind == StreamKind::AtomicUpdate) {
+                if (!se.done())
+                    return false;
+            }
+        }
+        return true;
+    }
+};
+
+/** The whole-machine simulation. */
+class Machine
+{
+  public:
+    Machine(const dfg::DecoupledProgram &prog, const mapper::Schedule &sched,
+            const Adg &adg, MemImage &mem, const SimOptions &opts)
+        : prog_(prog), sched_(sched), adg_(adg), mem_(mem), opts_(opts)
+    {
+        build();
+    }
+
+    SimResult run();
+
+  private:
+    void build();
+    void buildRegion(int r);
+    void startIssue(RegionSim &rs, int64_t now,
+                    const std::map<int, int64_t> *ivsOverride = nullptr);
+    void finalizeIssue(RegionSim &rs, int64_t now);
+    bool advanceIssue(RegionSim &rs);
+    void tickStreams(int64_t now, bool &activity);
+    void tickRegion(RegionSim &rs, int64_t now, bool &activity);
+    void fireInstruction(RegionSim &rs, InstSim &is, int64_t now,
+                         bool &activity);
+
+    int64_t issueOverhead(const RegionSim &rs) const;
+    bool forwardsSatisfied(const RegionSim &rs) const;
+    bool seq_ = false;
+
+    const dfg::DecoupledProgram &prog_;
+    const mapper::Schedule &sched_;
+    const Adg &adg_;
+    MemImage &mem_;
+    SimOptions opts_;
+    std::vector<RegionSim> regions_;
+    /** Shared-PE arbitration: PE -> fired-this-cycle flag. */
+    std::map<NodeId, bool> peFired_;
+    /** Persistent forwarded-scalar queues (one per Forward). */
+    std::vector<std::deque<Value>> fwdQueues_;
+    /** Sequential phase-script cursor. */
+    size_t scriptPos_ = 0;
+    bool scriptEntryActive_ = false;
+    /** Outer-iv override for the script-selected issue. */
+    std::map<int, int64_t> scriptIvs_;
+    /** Currently-loaded configuration group. */
+    int activeGroup_ = 0;
+    /** Fabric unavailable until this cycle (reconfiguration). */
+    int64_t reconfigUntil_ = 0;
+    /** Cycles to load one configuration. */
+    int64_t reconfigCycles_ = 0;
+    /** Bytes moved per memory node (reporting). */
+    std::map<NodeId, int64_t> memBytes_;
+};
+
+int64_t
+Machine::issueOverhead(const RegionSim &rs) const
+{
+    const auto &ctrl = adg_.control();
+    int cmds = static_cast<int>(rs.reg->streams.size());
+    return static_cast<int64_t>(cmds / std::max(0.1, ctrl.cmdIssueIpc)) +
+           ctrl.cmdLatency;
+}
+
+bool
+Machine::forwardsSatisfied(const RegionSim &rs) const
+{
+    // A region may not retire its issue while an incoming forward's
+    // producer could still deliver values for it.
+    for (const auto &f : prog_.forwards) {
+        if (f.dstRegion != rs.idx)
+            continue;
+        const RegionSim &src = regions_[f.srcRegion];
+        bool done = src.state == RegionState::Complete ||
+                    (seq_ && src.completedIssues > rs.completedIssues);
+        if (!done)
+            return false;
+    }
+    return true;
+}
+
+void
+Machine::build()
+{
+    seq_ = prog_.sequential && !prog_.phaseScript.empty();
+    // Rough bitstream size: ~48 bits of config per component.
+    reconfigCycles_ = static_cast<int64_t>(adg_.aliveNodes().size()) * 48 /
+                      std::max(1, adg_.control().configBitsPerCycle);
+    regions_.resize(prog_.regions.size());
+    for (size_t r = 0; r < prog_.regions.size(); ++r)
+        buildRegion(static_cast<int>(r));
+
+    // Forwards: out-port sinks into persistent queues pumped into the
+    // destination region's port as it consumes.
+    fwdQueues_.resize(prog_.forwards.size());
+    for (size_t fi = 0; fi < prog_.forwards.size(); ++fi) {
+        const auto &f = prog_.forwards[fi];
+        RegionSim &src = regions_[f.srcRegion];
+        RegionSim &dst = regions_[f.dstRegion];
+        OutSink sink;
+        sink.kind = OutSink::Kind::Forward;
+        sink.fwdQueue = &fwdQueues_[fi];
+        src.outPorts[f.srcPort].sinks.push_back(sink);
+        if (f.viaMemory)
+            dst.waitOnRegions.push_back(f.srcRegion);
+    }
+    // Cross-region array dependences (disjoint nests): full ordering.
+    for (size_t r = 0; r < prog_.regions.size(); ++r)
+        for (int dep : prog_.regions[r].dependsOn)
+            regions_[r].waitOnRegions.push_back(dep);
+}
+
+void
+Machine::buildRegion(int r)
+{
+    const Region &reg = prog_.regions[r];
+    const auto &rsch = sched_.regions[r];
+    RegionSim &rs = regions_[r];
+    rs.reg = &reg;
+    rs.idx = r;
+    rs.inPorts.resize(reg.dfg.numVertices());
+    rs.outPorts.resize(reg.dfg.numVertices());
+    rs.streams.resize(reg.streams.size());
+    rs.outerIdx.assign(reg.outerLoops.size(), 0);
+
+    // Route length lookup.
+    auto routeLen = [&](VertexId consumer, int opIdx) -> int {
+        auto it = rsch.routes.find({consumer, opIdx});
+        if (it == rsch.routes.end())
+            return 1;
+        return std::max(1, static_cast<int>(it->second.size()));
+    };
+
+    // Instruction sims (indexed later through a map).
+    std::map<VertexId, size_t> instIdx;
+    for (const Vertex &vx : reg.dfg.vertices()) {
+        if (vx.kind != VertexKind::Instruction)
+            continue;
+        instIdx[vx.id] = rs.insts.size();
+        rs.insts.emplace_back();
+        InstSim &is = rs.insts.back();
+        is.vx = &vx;
+        is.acc = vx.accInit;
+        is.pe = reg.serialized ? adg::kInvalidNode : rsch.vertexMap[vx.id];
+    }
+
+    // Pipes for every value edge.
+    auto makePipe = [&](int latency) -> Pipe * {
+        rs.pipes.push_back(std::make_unique<Pipe>());
+        Pipe *p = rs.pipes.back().get();
+        p->latency = std::max(1, latency);
+        p->capacity = p->latency + 8;
+        return p;
+    };
+
+    for (const Vertex &vx : reg.dfg.vertices()) {
+        if (vx.kind == VertexKind::InputPort) {
+            PortSim &ps = rs.inPorts[vx.id];
+            ps.lanes = vx.lanes;
+            ps.reuse = vx.reuse;
+            ps.lanePipes.assign(vx.lanes, {});
+            ps.capacity = std::max(64, vx.lanes * 8);
+            if (reg.serialized)
+                ps.minPopInterval =
+                    std::max(1, reg.serialDependenceLatency);
+            continue;
+        }
+        // Instruction or output port: wire operand pipes.
+        std::vector<Pipe *> inPipes;
+        std::vector<Value> imms;
+        for (size_t i = 0; i < vx.operands.size(); ++i) {
+            const auto &op = vx.operands[i];
+            if (op.isImm()) {
+                inPipes.push_back(nullptr);
+                imms.push_back(op.imm);
+                continue;
+            }
+            const Vertex &src = reg.dfg.vertex(op.src);
+            int lat = routeLen(vx.id, static_cast<int>(i));
+            if (src.kind == VertexKind::Instruction)
+                lat += opInfo(src.op).latency;
+            Pipe *p = makePipe(lat);
+            inPipes.push_back(p);
+            imms.push_back(0);
+            if (src.kind == VertexKind::InputPort) {
+                rs.inPorts[op.src].lanePipes[op.srcLane].push_back(p);
+            } else {
+                rs.insts[instIdx[op.src]].outPipes.push_back(p);
+            }
+        }
+        if (vx.kind == VertexKind::Instruction) {
+            InstSim &is = rs.insts[instIdx[vx.id]];
+            is.inPipes = std::move(inPipes);
+            is.imms = std::move(imms);
+        } else {
+            OutPortSim &op = rs.outPorts[vx.id];
+            op.lanes = vx.lanes;
+            op.outputEvery = vx.outputEvery;
+            // Zero-trip reductions fall back to the accumulator's init.
+            if (vx.operands.size() == 1 && !vx.operands[0].isImm()) {
+                const Vertex &src = reg.dfg.vertex(vx.operands[0].src);
+                if (src.isAccumulate()) {
+                    op.hasFallback = true;
+                    op.fallbackInit = src.accInit;
+                }
+            }
+            op.lanePipes = std::move(inPipes);
+            DSA_ASSERT(std::none_of(op.lanePipes.begin(),
+                                    op.lanePipes.end(),
+                                    [](Pipe *p) { return !p; }),
+                       "output port with immediate operand");
+        }
+    }
+
+    // Streams.
+    for (const Stream &st : reg.streams) {
+        StreamExec &se = rs.streams[st.id];
+        se.st = &st;
+        se.regionIdx = r;
+        if (st.feedsInput() && st.kind != StreamKind::Recurrence)
+            se.target = &rs.inPorts[st.port];
+    }
+    // Attach write/recurrence sinks to output ports.
+    for (const Stream &st : reg.streams) {
+        StreamExec &se = rs.streams[st.id];
+        switch (st.kind) {
+          case StreamKind::LinearWrite: {
+            OutSink sink;
+            sink.kind = OutSink::Kind::Write;
+            sink.skip = st.skipFirst;
+            sink.write = &se;
+            rs.outPorts[st.port].sinks.push_back(sink);
+            break;
+          }
+          case StreamKind::IndirectWrite:
+          case StreamKind::AtomicUpdate: {
+            OutSink sink;
+            sink.kind = OutSink::Kind::Write;
+            sink.skip = st.skipFirst;
+            sink.write = &se;
+            rs.outPorts[st.valuePort].sinks.push_back(sink);
+            break;
+          }
+          case StreamKind::Recurrence: {
+            OutSink sink;
+            sink.kind = OutSink::Kind::Recurrence;
+            sink.skip = st.skipFirst;
+            sink.take = st.recurrenceCount;
+            sink.target = &rs.inPorts[st.port];
+            rs.outPorts[st.srcPort].sinks.push_back(sink);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+}
+
+void
+Machine::startIssue(RegionSim &rs, int64_t now,
+                    const std::map<int, int64_t> *ivsOverride)
+{
+    const Region &reg = *rs.reg;
+    // Outer-loop induction values for this issue.
+    std::map<int, int64_t> ivs;
+    if (ivsOverride) {
+        ivs = *ivsOverride;
+    } else {
+        for (size_t i = 0; i < reg.outerLoops.size(); ++i)
+            ivs[reg.outerLoops[i].first] = rs.outerIdx[i];
+    }
+
+    auto shifts = [&](const std::map<int, int64_t> &coeffs) {
+        int64_t s = 0;
+        for (const auto &[id, c] : coeffs) {
+            auto it = ivs.find(id);
+            if (it != ivs.end())
+                s += c * it->second;
+        }
+        return s;
+    };
+
+    for (StreamExec &se : rs.streams) {
+        const Stream &st = *se.st;
+        se.pos = 0;
+        se.writeBuf.clear();
+        se.openDone = false;
+        se.nextReady = now;
+        int64_t lenShift = shifts(st.reissueLenCoeffs);
+        switch (st.kind) {
+          case StreamKind::LinearRead:
+          case StreamKind::LinearWrite:
+            se.addrs = expandPattern(st.pattern,
+                                     shifts(st.reissueCoeffs), lenShift);
+            break;
+          case StreamKind::IndirectRead:
+          case StreamKind::IndirectWrite:
+          case StreamKind::AtomicUpdate:
+            se.idxAddrs = expandPattern(st.idxPattern,
+                                        shifts(st.idxReissueCoeffs),
+                                        lenShift);
+            se.addrs.assign(se.idxAddrs.size(), 0);  // filled at gather
+            break;
+          case StreamKind::Const:
+            se.addrs.assign(static_cast<size_t>(st.constCount), 0);
+            break;
+          case StreamKind::Iota:
+            se.addrs = expandPattern(st.pattern, 0, lenShift);
+            break;
+          case StreamKind::Recurrence:
+            // Handled through the out-port sink; nothing to enumerate.
+            se.addrs.clear();
+            break;
+        }
+    }
+    // Reset ports and accumulators for a fresh issue (but keep
+    // recurrence-fed data on non-first issues? — recurrences only
+    // exist within a single folded issue, so a full reset is right).
+    for (auto &ps : rs.inPorts)
+        ps.resetForIssue();
+    for (auto &op : rs.outPorts)
+        op.resetForIssue();
+    for (auto &is : rs.insts) {
+        is.acc = is.vx->accInit;
+        is.fires = 0;
+        // Flush stale pipe contents.
+        for (Pipe *p : is.outPipes)
+            p->q.clear();
+        for (Pipe *p : is.inPipes)
+            if (p)
+                p->q.clear();
+    }
+    rs.lastActivity = now;
+    rs.state = RegionState::Running;
+    // Quiescence window: longest pipe + margin.
+    int maxLat = 1;
+    for (const auto &p : rs.pipes)
+        maxLat = std::max(maxLat, p->latency);
+    rs.quiesceWindow = maxLat + 8;
+}
+
+void
+Machine::finalizeIssue(RegionSim &rs, int64_t now)
+{
+    // Deliver final values of last-only output ports.
+    for (auto &op : rs.outPorts) {
+        if (op.outputEvery == -1 && !op.lastValid && op.hasFallback &&
+            !op.lanePipes.empty()) {
+            op.lastVec.assign(static_cast<size_t>(op.lanes),
+                              op.fallbackInit);
+            op.lastValid = true;
+        }
+        if (op.outputEvery == -1 && op.lastValid) {
+            for (Value v : op.lastVec)
+                op.deliverElement(v);
+            op.lastValid = false;
+        }
+    }
+    // Open-ended writes learn their end.
+    for (StreamExec &se : rs.streams)
+        if (se.st->openEnded)
+            se.openDone = true;
+    rs.lastActivity = now;
+    rs.state = RegionState::Finalizing;
+}
+
+bool
+Machine::advanceIssue(RegionSim &rs)
+{
+    const Region &reg = *rs.reg;
+    for (int i = static_cast<int>(rs.outerIdx.size()) - 1; i >= 0; --i) {
+        if (++rs.outerIdx[i] < reg.outerLoops[i].second)
+            return true;
+        rs.outerIdx[i] = 0;
+    }
+    return false;
+}
+
+void
+Machine::tickStreams(int64_t now, bool &activity)
+{
+    // Per-memory bandwidth arbitration.
+    for (NodeId m : adg_.aliveNodes(NodeKind::Memory)) {
+        const auto &mem = adg_.node(m).mem();
+        int budget = mem.widthBytes;
+        const int startBudget = budget;
+        int bankBudget = std::max(1, mem.numBanks);
+        AddressSpace &space = mem_.space(
+            mem.kind == adg::MemKind::Main ? dfg::MemSpace::Main
+                                           : dfg::MemSpace::Spad);
+        for (RegionSim &rs : regions_) {
+            if (rs.state != RegionState::Running &&
+                rs.state != RegionState::Finalizing)
+                continue;
+            const auto &rsch = sched_.regions[rs.idx];
+            for (StreamExec &se : rs.streams) {
+                const Stream &st = *se.st;
+                if (!st.touchesMemory())
+                    continue;
+                bool mine = rs.reg->serialized
+                    ? (st.space == dfg::MemSpace::Main) ==
+                          (mem.kind == adg::MemKind::Main)
+                    : rsch.streamMap[st.id] == m;
+                if (!mine || budget <= 0)
+                    continue;
+                int elemB = st.pattern.elemBytes;
+                auto throttled = [&]() {
+                    if (!st.scalarFallback)
+                        return false;
+                    if (now < se.nextReady)
+                        return true;
+                    return false;
+                };
+                auto consumeThrottle = [&]() {
+                    if (st.scalarFallback)
+                        se.nextReady = now + opts_.scalarElementInterval;
+                };
+                switch (st.kind) {
+                  case StreamKind::LinearRead:
+                    while (!se.readsDone() && budget >= elemB &&
+                           se.target->roomFor(1) && !throttled()) {
+                        se.target->deliver(
+                            space.load(se.addrs[se.pos], elemB));
+                        ++se.pos;
+                        budget -= elemB;
+                        consumeThrottle();
+                        activity = true;
+                        if (st.scalarFallback)
+                            break;
+                    }
+                    break;
+                  case StreamKind::IndirectRead: {
+                    AddressSpace &idxSpace = mem_.space(st.idxSpace);
+                    while (!se.readsDone() &&
+                           budget >= elemB + st.idxElemBytes &&
+                           bankBudget > 0 && se.target->roomFor(1) &&
+                           !throttled()) {
+                        int64_t idxV = static_cast<int64_t>(idxSpace.load(
+                            se.idxAddrs[se.pos], st.idxElemBytes));
+                        int64_t addr =
+                            st.pattern.baseBytes + idxV * elemB;
+                        se.target->deliver(space.load(addr, elemB));
+                        ++se.pos;
+                        budget -= elemB + st.idxElemBytes;
+                        --bankBudget;
+                        consumeThrottle();
+                        activity = true;
+                        if (st.scalarFallback)
+                            break;
+                    }
+                    break;
+                  }
+                  case StreamKind::LinearWrite:
+                    while (!se.writeBuf.empty() && budget >= elemB &&
+                           se.pos < se.addrs.size() && !throttled()) {
+                        space.store(se.addrs[se.pos], elemB,
+                                    se.writeBuf.front());
+                        se.writeBuf.pop_front();
+                        ++se.pos;
+                        budget -= elemB;
+                        consumeThrottle();
+                        activity = true;
+                        if (st.scalarFallback)
+                            break;
+                    }
+                    break;
+                  case StreamKind::IndirectWrite:
+                  case StreamKind::AtomicUpdate: {
+                    AddressSpace &idxSpace = mem_.space(st.idxSpace);
+                    bool atomic = st.kind == StreamKind::AtomicUpdate;
+                    int cost = elemB + st.idxElemBytes +
+                               (atomic ? elemB : 0);
+                    while (!se.writeBuf.empty() && budget >= cost &&
+                           bankBudget > 0 && se.pos < se.addrs.size() &&
+                           !throttled()) {
+                        int64_t idxV = static_cast<int64_t>(idxSpace.load(
+                            se.idxAddrs[se.pos], st.idxElemBytes));
+                        int64_t addr =
+                            st.pattern.baseBytes + idxV * elemB;
+                        Value v = se.writeBuf.front();
+                        se.writeBuf.pop_front();
+                        if (atomic) {
+                            Value old = space.load(addr, elemB);
+                            v = evalOp(st.updateOp, old, v, 0, nullptr);
+                        }
+                        space.store(addr, elemB, v);
+                        ++se.pos;
+                        budget -= cost;
+                        --bankBudget;
+                        consumeThrottle();
+                        activity = true;
+                        if (st.scalarFallback)
+                            break;
+                    }
+                    break;
+                  }
+                  default:
+                    break;
+                }
+            }
+        }
+        memBytes_[m] += startBudget - budget;
+    }
+
+    // Memory-less generators: const / iota.
+    for (RegionSim &rs : regions_) {
+        if (rs.state != RegionState::Running)
+            continue;
+        for (StreamExec &se : rs.streams) {
+            const Stream &st = *se.st;
+            if (st.kind == StreamKind::Const) {
+                while (!se.readsDone() && se.target->roomFor(1)) {
+                    se.target->deliver(st.constValue);
+                    ++se.pos;
+                    activity = true;
+                }
+            } else if (st.kind == StreamKind::Iota) {
+                int pushed = 0;
+                while (!se.readsDone() && se.target->roomFor(1) &&
+                       pushed < 8) {
+                    se.target->deliver(
+                        static_cast<Value>(se.addrs[se.pos]));
+                    ++se.pos;
+                    ++pushed;
+                    activity = true;
+                }
+            }
+        }
+    }
+}
+
+void
+Machine::fireInstruction(RegionSim &rs, InstSim &is, int64_t now,
+                         bool &activity)
+{
+    const Vertex &vx = *is.vx;
+    if (!is.operandsReady(now))
+        return;
+    // Accumulators feed their own register back: the next firing must
+    // wait for the op's latency (limits FP-accumulate chains to II=L).
+    if (vx.isAccumulate() &&
+        now - is.lastFire < opInfo(vx.op).latency)
+        return;
+    for (Pipe *p : is.outPipes)
+        if (!p->canPush())
+            return;
+
+    // Shared-PE arbitration: one fire per shared PE per cycle.
+    if (is.pe != adg::kInvalidNode) {
+        const auto &pe = adg_.node(is.pe).pe();
+        if (pe.sharing == Sharing::Shared) {
+            auto &fired = peFired_[is.pe];
+            if (fired)
+                return;
+            fired = true;
+        }
+    }
+
+    is.lastFire = now;
+    Value result;
+    bool emit = true;
+    if (vx.ctrl.active()) {
+        // Stream-join control.
+        Value a = is.operandValue(0);
+        Value b = vx.operands.size() > 1 ? is.operandValue(1) : 0;
+        Value cval = vx.operands.size() > 2 ? is.operandValue(2) : 0;
+        // Natural-arity computation (extra ctrl operand excluded).
+        int arity = opInfo(vx.op).numOperands;
+        result = evalOp(vx.op, a, arity >= 2 ? b : 0,
+                        arity >= 3 ? cval : 0,
+                        vx.isAccumulate() ? &is.acc : nullptr);
+        int ctl;
+        if (vx.ctrl.source == CtrlSpec::Source::Self) {
+            ctl = static_cast<int>(result & 7);
+        } else {
+            ctl = static_cast<int>(
+                is.operandValue(
+                    static_cast<size_t>(vx.ctrl.ctrlOperand)) & 7);
+        }
+        emit = vx.ctrl.emits(ctl);
+        for (size_t i = 0; i < is.inPipes.size(); ++i) {
+            if (!is.inPipes[i])
+                continue;
+            if (vx.ctrl.pops(static_cast<int>(i), ctl))
+                is.inPipes[i]->pop();
+        }
+    } else if (vx.selfAcc) {
+        Value v = is.operandValue(0);
+        is.acc = evalOp(vx.op, is.acc, v, 0, nullptr);
+        result = is.acc;
+        for (Pipe *p : is.inPipes)
+            if (p)
+                p->pop();
+        ++is.fires;
+        if (vx.accResetEvery > 0 && is.fires % vx.accResetEvery == 0) {
+            // Reset after this result was produced.
+            for (Pipe *out : is.outPipes)
+                out->push(now, result);
+            is.acc = vx.accInit;
+            rs.lastActivity = now;
+            activity = true;
+            return;
+        }
+        for (Pipe *out : is.outPipes)
+            out->push(now, result);
+        rs.lastActivity = now;
+        activity = true;
+        return;
+    } else {
+        Value a = is.operandValue(0);
+        Value b = vx.operands.size() > 1 ? is.operandValue(1) : 0;
+        Value cc = vx.operands.size() > 2 ? is.operandValue(2) : 0;
+        result = evalOp(vx.op, a, b, cc,
+                        vx.isAccumulate() ? &is.acc : nullptr);
+        for (Pipe *p : is.inPipes)
+            if (p)
+                p->pop();
+    }
+    ++is.fires;
+    if (emit)
+        for (Pipe *out : is.outPipes)
+            out->push(now, result);
+    rs.lastActivity = now;
+    activity = true;
+}
+
+void
+Machine::tickRegion(RegionSim &rs, int64_t now, bool &activity)
+{
+    switch (rs.state) {
+      case RegionState::WaitDep: {
+        if (prog_.regions[rs.idx].configGroup != activeGroup_)
+            return;  // fabric holds a different configuration
+        bool ready = true;
+        for (int dep : rs.waitOnRegions)
+            ready &= regions_[dep].state == RegionState::Complete;
+        if (ready) {
+            rs.state = RegionState::WaitCmd;
+            rs.stateUntil = now + issueOverhead(rs);
+        }
+        return;
+      }
+      case RegionState::WaitCmd:
+        if (prog_.regions[rs.idx].configGroup != activeGroup_)
+            return;
+        if (now >= rs.stateUntil && now >= reconfigUntil_)
+            startIssue(rs, now, seq_ ? &scriptIvs_ : nullptr);
+        return;
+      case RegionState::Complete:
+      case RegionState::DoneIssue:
+        return;
+      case RegionState::Running:
+      case RegionState::Finalizing:
+        break;
+    }
+
+    for (auto &ps : rs.inPorts) {
+        if (ps.lanePipes.empty())
+            continue;  // not a real input port
+        if (ps.tryFire(now)) {  // one vector per port per cycle
+            rs.lastActivity = now;
+            activity = true;
+        }
+    }
+    for (auto &is : rs.insts)
+        fireInstruction(rs, is, now, activity);
+    for (auto &op : rs.outPorts) {
+        if (op.lanePipes.empty())
+            continue;  // not a real output port
+        if (op.tryFire(now)) {
+            rs.lastActivity = now;
+            activity = true;
+        }
+    }
+
+    if (rs.state == RegionState::Running) {
+        if (rs.allReadsDone() && forwardsSatisfied(rs) &&
+            now - rs.lastActivity > rs.quiesceWindow)
+            finalizeIssue(rs, now);
+    } else if (rs.state == RegionState::Finalizing) {
+        if (rs.allWritesDone() || now - rs.lastActivity >
+                                      4 * rs.quiesceWindow + 64) {
+            // Move to the next issue (or complete).
+            ++rs.completedIssues;
+            if (seq_) {
+                // The phase-script controller schedules the next issue.
+                rs.state = RegionState::DoneIssue;
+                rs.endCycle = now;
+            } else if (advanceIssue(rs)) {
+                rs.state = RegionState::WaitCmd;
+                int64_t overhead = rs.reg->drainBetweenReissues
+                    ? issueOverhead(rs)
+                    : std::max<int64_t>(1, issueOverhead(rs) / 4);
+                rs.stateUntil = now + overhead;
+            } else {
+                rs.state = RegionState::Complete;
+                rs.endCycle = now;
+            }
+        }
+    }
+}
+
+SimResult
+Machine::run()
+{
+    SimResult res;
+    if (seq_) {
+        // The phase-script controller activates one issue at a time.
+        for (RegionSim &rs : regions_)
+            rs.state = RegionState::DoneIssue;
+    } else {
+        // Regions with cross-region dependences wait; others start.
+        for (RegionSim &rs : regions_) {
+            if (!rs.waitOnRegions.empty()) {
+                rs.state = RegionState::WaitDep;
+            } else {
+                rs.state = RegionState::WaitCmd;
+                rs.stateUntil = issueOverhead(rs);
+            }
+        }
+    }
+
+    // DSA_SIM_TRACE=1 dumps periodic machine state (debugging aid).
+    bool trace = std::getenv("DSA_SIM_TRACE") != nullptr;
+    int64_t now = 0;
+    for (; now < opts_.maxCycles; ++now) {
+        bool activity = false;
+        peFired_.clear();
+
+        // Sequential phase-script controller.
+        if (seq_) {
+            if (scriptEntryActive_) {
+                RegionSim &cur =
+                    regions_[prog_.phaseScript[scriptPos_].region];
+                if (cur.state == RegionState::DoneIssue) {
+                    scriptEntryActive_ = false;
+                    ++scriptPos_;
+                }
+            }
+            if (!scriptEntryActive_ &&
+                scriptPos_ < prog_.phaseScript.size()) {
+                const auto &e = prog_.phaseScript[scriptPos_];
+                RegionSim &rs = regions_[e.region];
+                scriptIvs_.clear();
+                for (const auto &[id, v] : e.ivs)
+                    scriptIvs_[id] = v;
+                int g = prog_.regions[e.region].configGroup;
+                if (g != activeGroup_) {
+                    activeGroup_ = g;
+                    reconfigUntil_ = now + reconfigCycles_;
+                }
+                rs.state = RegionState::WaitCmd;
+                rs.stateUntil = now + issueOverhead(rs);
+                scriptEntryActive_ = true;
+            }
+        } else {
+            // Advance the configuration when the active group retires.
+            bool groupDone = true;
+            bool anyLater = false;
+            int nextGroup = INT_MAX;
+            for (RegionSim &rs : regions_) {
+                int g = prog_.regions[rs.idx].configGroup;
+                if (g == activeGroup_ &&
+                    rs.state != RegionState::Complete)
+                    groupDone = false;
+                if (g > activeGroup_ &&
+                    rs.state != RegionState::Complete) {
+                    anyLater = true;
+                    nextGroup = std::min(nextGroup, g);
+                }
+            }
+            if (groupDone && anyLater) {
+                activeGroup_ = nextGroup;
+                reconfigUntil_ = now + reconfigCycles_;
+            }
+        }
+
+        // Pump forwarded scalars into starving consumer ports.
+        for (size_t fi = 0; fi < prog_.forwards.size(); ++fi) {
+            auto &q = fwdQueues_[fi];
+            if (q.empty())
+                continue;
+            const auto &f = prog_.forwards[fi];
+            RegionSim &dst = regions_[f.dstRegion];
+            if (dst.state != RegionState::Running &&
+                dst.state != RegionState::Finalizing)
+                continue;
+            PortSim &port = dst.inPorts[f.dstPort];
+            if (port.buffer.empty() && port.reuseLeft == 0) {
+                port.deliver(q.front());
+                q.pop_front();
+                dst.lastActivity = now;
+                activity = true;
+            }
+        }
+
+        tickStreams(now, activity);
+        for (RegionSim &rs : regions_)
+            tickRegion(rs, now, activity);
+
+        if (trace && now % 64 == 0) {
+            for (RegionSim &rs : regions_) {
+                std::fprintf(stderr,
+                             "[sim %lld] region %d state=%d lastAct=%lld",
+                             static_cast<long long>(now), rs.idx,
+                             static_cast<int>(rs.state),
+                             static_cast<long long>(rs.lastActivity));
+                for (const StreamExec &se : rs.streams)
+                    std::fprintf(stderr, " s%d:%zu/%zu(wb=%zu)",
+                                 se.st->id, se.pos, se.addrs.size(),
+                                 se.writeBuf.size());
+                for (size_t v = 0; v < rs.inPorts.size(); ++v)
+                    if (!rs.inPorts[v].lanePipes.empty())
+                        std::fprintf(stderr, " p%zu:buf=%zu pops=%lld",
+                                     v, rs.inPorts[v].buffer.size(),
+                                     static_cast<long long>(
+                                         rs.inPorts[v].pops));
+                for (const InstSim &is : rs.insts)
+                    std::fprintf(stderr, " i%d:fires=%lld", is.vx->id,
+                                 static_cast<long long>(is.fires));
+                std::fprintf(stderr, "\n");
+            }
+        }
+
+        bool allDone;
+        if (seq_) {
+            allDone = scriptPos_ >= prog_.phaseScript.size() &&
+                      !scriptEntryActive_;
+        } else {
+            allDone = true;
+            for (RegionSim &rs : regions_)
+                allDone &= rs.state == RegionState::Complete;
+        }
+        if (allDone)
+            break;
+    }
+    if (now >= opts_.maxCycles) {
+        res.ok = false;
+        res.error = "simulation exceeded cycle limit";
+        return res;
+    }
+    res.ok = true;
+    res.cycles = now;
+    for (RegionSim &rs : regions_) {
+        RegionSimStats st;
+        st.endCycle = rs.endCycle;
+        for (const auto &ps : rs.inPorts)
+            st.fires = std::max(st.fires, ps.pops);
+        res.regions.push_back(st);
+        for (const InstSim &is : rs.insts)
+            if (is.pe != adg::kInvalidNode)
+                res.peFires[is.pe] += is.fires;
+    }
+    res.memBytes = memBytes_;
+    return res;
+}
+
+} // namespace
+
+SimResult
+simulate(const dfg::DecoupledProgram &prog, const mapper::Schedule &sched,
+         const Adg &adg, MemImage &mem, const SimOptions &opts)
+{
+    Machine m(prog, sched, adg, mem, opts);
+    return m.run();
+}
+
+} // namespace dsa::sim

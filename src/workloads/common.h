@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared expression-building shorthand for workload kernel definitions.
+ */
+
+#ifndef DSA_WORKLOADS_COMMON_H
+#define DSA_WORKLOADS_COMMON_H
+
+#include "ir/expr.h"
+
+namespace dsa::workloads {
+
+using ir::ExprPtr;
+
+/// Terse expression constructors used by the kernel builders.
+inline ExprPtr C(int64_t v) { return ir::intConst(v); }
+inline ExprPtr F(double v) { return ir::floatConst(v); }
+inline ExprPtr IV(int loop) { return ir::iterVar(loop); }
+inline ExprPtr P(const std::string &n) { return ir::param(n); }
+inline ExprPtr S(const std::string &n) { return ir::scalarRef(n); }
+inline ExprPtr
+L(const std::string &arr, ExprPtr idx)
+{
+    return ir::load(arr, std::move(idx));
+}
+
+inline ExprPtr
+fadd(ExprPtr a, ExprPtr b)
+{
+    return ir::binary(OpCode::FAdd, std::move(a), std::move(b));
+}
+inline ExprPtr
+fsub(ExprPtr a, ExprPtr b)
+{
+    return ir::binary(OpCode::FSub, std::move(a), std::move(b));
+}
+inline ExprPtr
+fmul(ExprPtr a, ExprPtr b)
+{
+    return ir::binary(OpCode::FMul, std::move(a), std::move(b));
+}
+inline ExprPtr
+fdiv(ExprPtr a, ExprPtr b)
+{
+    return ir::binary(OpCode::FDiv, std::move(a), std::move(b));
+}
+inline ExprPtr
+fmax2(ExprPtr a, ExprPtr b)
+{
+    return ir::binary(OpCode::FMax, std::move(a), std::move(b));
+}
+inline ExprPtr fsqrt(ExprPtr a) { return ir::unary(OpCode::FSqrt, std::move(a)); }
+inline ExprPtr frelu(ExprPtr a) { return ir::unary(OpCode::ReLU, std::move(a)); }
+inline ExprPtr fsigmoid(ExprPtr a) { return ir::unary(OpCode::Sigmoid, std::move(a)); }
+
+} // namespace dsa::workloads
+
+#endif // DSA_WORKLOADS_COMMON_H

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * DSP workloads targeted by REVEL [92]: qr (modified Gram-Schmidt),
+ * chol (Cholesky-Crout), and fft (radix-2 Stockham, 2^10 points).
+ * All three have cross-region dependences under shared loops, so the
+ * compiler phases them sequentially; qr/chol additionally exercise the
+ * inductive (triangular) linear streams.
+ */
+
+#include "workloads/suites.h"
+
+#include <cmath>
+
+#include "workloads/common.h"
+
+namespace dsa::workloads {
+
+using namespace dsa::ir;
+
+namespace {
+
+/** qr: modified Gram-Schmidt on a 32x32 matrix (A -> Q, R). */
+Workload
+makeQr()
+{
+    constexpr int64_t n = 32;
+    Workload w;
+    w.name = "qr";
+    w.suite = "Dsp";
+    w.fig10Target = "revel";
+    KernelSource &k = w.kernel;
+    k.name = "qr";
+    k.params = {{"n", n}};
+    k.arrays = {
+        {"a", n * n, 8, true, false},
+        {"q", n * n, 8, true, false},
+        {"r", n * n, 8, true, false},
+    };
+    // Column k norm.
+    auto colK = L("a", IV(1) * P("n") + IV(0));
+    // Loop ids: 0=k, 1=i (norm), 2=i (normalize), 3=j (trailing cols),
+    // 4=i (projection dot), 5=i (update).
+    std::vector<StmtPtr> body = {
+        makeLet("s", F(0.0)),
+        makeLoop(1, P("n"), {makeReduce("s", OpCode::FAdd,
+                                        fmul(colK, colK))},
+                 /*offload=*/true),
+        makeStore("r", IV(0) * P("n") + IV(0), fsqrt(S("s"))),
+        makeLoop(2, P("n"),
+                 {makeStore("q", IV(2) * P("n") + IV(0),
+                            fdiv(L("a", IV(2) * P("n") + IV(0)),
+                                 fsqrt(S("s"))))},
+                 /*offload=*/true),
+        makeLoop(
+            3, P("n") - IV(0) - C(1),
+            {
+                makeLet("d", F(0.0)),
+                makeLoop(4, P("n"),
+                         {makeReduce(
+                             "d", OpCode::FAdd,
+                             fmul(L("q", IV(4) * P("n") + IV(0)),
+                                  L("a", IV(4) * P("n") + IV(0) + C(1) +
+                                             IV(3))))},
+                         /*offload=*/true),
+                makeStore("r", IV(0) * P("n") + IV(0) + C(1) + IV(3),
+                          S("d")),
+                makeLoop(5, P("n"),
+                         {makeStore(
+                             "a", IV(5) * P("n") + IV(0) + C(1) + IV(3),
+                             fsub(L("a",
+                                    IV(5) * P("n") + IV(0) + C(1) + IV(3)),
+                                  fmul(S("d"),
+                                       L("q", IV(5) * P("n") + IV(0)))))},
+                         /*offload=*/true),
+            }),
+    };
+    k.body = {makeLoop(0, P("n"), body)};
+    w.outputs = {"q", "r"};
+    w.tolerance = 1e-6;
+    w.init = [](ArrayStore &st, Rng &rng) {
+        // Diagonally-dominant input keeps the factorization stable.
+        for (int64_t i = 0; i < n; ++i)
+            for (int64_t j = 0; j < n; ++j)
+                st.data("a")[i * n + j] = valueFromF64(
+                    rng.uniformReal(-1.0, 1.0) + (i == j ? 4.0 : 0.0));
+    };
+    return w;
+}
+
+/** chol: Cholesky-Crout factorization of a 32x32 SPD matrix. */
+Workload
+makeChol()
+{
+    constexpr int64_t n = 32;
+    Workload w;
+    w.name = "chol";
+    w.suite = "Dsp";
+    w.fig10Target = "revel";
+    KernelSource &k = w.kernel;
+    k.name = "chol";
+    k.params = {{"n", n}};
+    k.arrays = {
+        {"a", n * n, 8, true, false},
+        {"lo", n * n, 8, true, false},
+    };
+    // Loop ids: 0=j (column), 1=k (diag dot), 2=z (diag store),
+    // 3=i (rows below), 4=k (row dot), 5=z2 (row store).
+    auto diagTerm = fmul(L("lo", IV(0) * P("n") + IV(1)),
+                         L("lo", IV(0) * P("n") + IV(1)));
+    auto rowTerm =
+        fmul(L("lo", (IV(0) + C(1) + IV(3)) * P("n") + IV(4)),
+             L("lo", IV(0) * P("n") + IV(4)));
+    std::vector<StmtPtr> body = {
+        makeLet("s", F(0.0)),
+        makeLoop(1, IV(0), {makeReduce("s", OpCode::FAdd, diagTerm)},
+                 /*offload=*/true),
+        makeLoop(2, C(1),
+                 {makeStore("lo", IV(0) * P("n") + IV(0),
+                            fsqrt(fsub(L("a", IV(0) * P("n") + IV(0)),
+                                       S("s"))))},
+                 /*offload=*/true),
+        makeLoop(
+            3, P("n") - IV(0) - C(1),
+            {
+                makeLet("t", F(0.0)),
+                makeLoop(4, IV(0),
+                         {makeReduce("t", OpCode::FAdd, rowTerm)},
+                         /*offload=*/true),
+                makeLoop(5, C(1),
+                         {makeStore(
+                             "lo", (IV(0) + C(1) + IV(3)) * P("n") + IV(0),
+                             fdiv(fsub(L("a", (IV(0) + C(1) + IV(3)) *
+                                                  P("n") +
+                                              IV(0)),
+                                       S("t")),
+                                  L("lo", IV(0) * P("n") + IV(0))))},
+                         /*offload=*/true),
+            }),
+    };
+    k.body = {makeLoop(0, P("n"), body)};
+    w.outputs = {"lo"};
+    w.tolerance = 1e-6;
+    w.init = [](ArrayStore &st, Rng &rng) {
+        // SPD input: M = B B^T + n I.
+        std::vector<double> b(n * n);
+        for (auto &v : b)
+            v = rng.uniformReal(-1.0, 1.0);
+        for (int64_t i = 0; i < n; ++i)
+            for (int64_t j = 0; j < n; ++j) {
+                double s = i == j ? static_cast<double>(n) : 0.0;
+                for (int64_t t = 0; t < n; ++t)
+                    s += b[i * n + t] * b[j * n + t];
+                st.data("a")[i * n + j] = valueFromF64(s);
+            }
+    };
+    return w;
+}
+
+/** fft: radix-2 Stockham autosort, 2^10 complex points. */
+Workload
+makeFft()
+{
+    constexpr int64_t n = 1 << 10;
+    constexpr int stages = 10;
+    Workload w;
+    w.name = "fft";
+    w.suite = "Dsp";
+    w.fig10Target = "revel";
+    KernelSource &k = w.kernel;
+    k.name = "fft";
+    k.params = {{"n", n}};
+    k.arrays = {
+        {"xr", n, 8, true, false}, {"xi", n, 8, true, false},
+        {"yr", n, 8, true, false}, {"yi", n, 8, true, false},
+        {"twr", n, 8, true, false}, {"twi", n, 8, true, false},
+    };
+    // Stage s: l = n/2^(s+1) twiddle groups, m = 2^s butterflies each.
+    //   src[k + j*m], src[k + j*m + l*m]  ->  dst[k + 2*j*m] (sum),
+    //   dst[k + 2*j*m + m] ((c0 - c1) * w_j), twiddles at twOff + j.
+    // The j loop is offloaded (its extent l shrinks with the stage);
+    // the k loop re-issues. Ping-pong x <-> y between stages.
+    int64_t twOff = 0;
+    for (int s = 0; s < stages; ++s) {
+        int64_t m = int64_t(1) << s;
+        int64_t l = n / (2 * m);
+        const char *sr = (s % 2 == 0) ? "xr" : "yr";
+        const char *si = (s % 2 == 0) ? "xi" : "yi";
+        const char *dr = (s % 2 == 0) ? "yr" : "xr";
+        const char *di = (s % 2 == 0) ? "yi" : "xi";
+        int loopK = 100 + s * 2;      // outer: k in [0, m)
+        int loopJ = 100 + s * 2 + 1;  // offloaded: j in [0, l)
+        auto e0r = L(sr, IV(loopK) + IV(loopJ) * C(m));
+        auto e0i = L(si, IV(loopK) + IV(loopJ) * C(m));
+        auto e1r = L(sr, IV(loopK) + IV(loopJ) * C(m) + C(l * m));
+        auto e1i = L(si, IV(loopK) + IV(loopJ) * C(m) + C(l * m));
+        auto wr = L("twr", C(twOff) + IV(loopJ));
+        auto wi = L("twi", C(twOff) + IV(loopJ));
+        auto difr = fsub(e0r, e1r);
+        auto difi = fsub(e0i, e1i);
+        std::vector<StmtPtr> body = {
+            makeStore(dr, IV(loopK) + IV(loopJ) * C(2 * m),
+                      fadd(e0r, e1r)),
+            makeStore(di, IV(loopK) + IV(loopJ) * C(2 * m),
+                      fadd(e0i, e1i)),
+            makeStore(dr, IV(loopK) + IV(loopJ) * C(2 * m) + C(m),
+                      fsub(fmul(difr, wr), fmul(difi, wi))),
+            makeStore(di, IV(loopK) + IV(loopJ) * C(2 * m) + C(m),
+                      fadd(fmul(difr, wi), fmul(difi, wr))),
+        };
+        k.body.push_back(makeLoop(
+            loopK, C(m), {makeLoop(loopJ, C(l), body, /*offload=*/true)}));
+        twOff += l;
+    }
+    w.outputs = {"xr", "xi"};
+    w.tolerance = 1e-7;
+    w.init = [](ArrayStore &st, Rng &rng) {
+        for (int64_t i = 0; i < n; ++i) {
+            st.data("xr")[i] = valueFromF64(rng.uniformReal(-1.0, 1.0));
+            st.data("xi")[i] = valueFromF64(rng.uniformReal(-1.0, 1.0));
+        }
+        // Per-stage twiddles W_j = exp(-2 pi i j / (2 l)).
+        int64_t off = 0;
+        for (int s = 0; s < stages; ++s) {
+            int64_t m = int64_t(1) << s;
+            int64_t l = n / (2 * m);
+            for (int64_t j = 0; j < l; ++j) {
+                double ang = -2.0 * M_PI * static_cast<double>(j) /
+                             static_cast<double>(2 * l);
+                st.data("twr")[off + j] = valueFromF64(std::cos(ang));
+                st.data("twi")[off + j] = valueFromF64(std::sin(ang));
+            }
+            off += l;
+        }
+    };
+    return w;
+}
+
+/** fir: 16-tap finite impulse response filter over 2048 samples. */
+Workload
+makeFir()
+{
+    constexpr int64_t n = 2048;
+    constexpr int64_t taps = 16;
+    Workload w;
+    w.name = "fir";
+    w.suite = "Dsp";
+    w.fig10Target = "revel";
+    KernelSource &k = w.kernel;
+    k.name = "fir";
+    k.params = {{"n", n}, {"t", taps}};
+    k.arrays = {
+        {"xin", n + taps, 8, true, false},
+        {"h", taps, 8, true, false},
+        {"yout", n, 8, true, false},
+    };
+    // Loop 0 (outer, folded as dim2): output sample; loop 1: tap.
+    k.body = {makeLoop(
+        0, P("n"),
+        {
+            makeLet("s", F(0.0)),
+            makeLoop(1, P("t"),
+                     {makeReduce("s", OpCode::FAdd,
+                                 fmul(L("h", IV(1)),
+                                      L("xin", IV(0) + IV(1))))},
+                     /*offload=*/true),
+            makeStore("yout", IV(0), S("s")),
+        })};
+    w.outputs = {"yout"};
+    w.tolerance = 1e-8;
+    w.init = [](ArrayStore &st, Rng &rng) {
+        for (int64_t i = 0; i < n + taps; ++i)
+            st.data("xin")[i] = valueFromF64(rng.uniformReal(-1.0, 1.0));
+        for (int64_t i = 0; i < taps; ++i)
+            st.data("h")[i] = valueFromF64(rng.uniformReal(-0.5, 0.5));
+    };
+    return w;
+}
+
+/** solver: forward substitution L x = b on a 64x64 lower triangle. */
+Workload
+makeSolver()
+{
+    constexpr int64_t n = 64;
+    Workload w;
+    w.name = "solver";
+    w.suite = "Dsp";
+    w.fig10Target = "revel";
+    KernelSource &k = w.kernel;
+    k.name = "solver";
+    k.params = {{"n", n}};
+    k.arrays = {
+        {"lmat", n * n, 8, true, false},
+        {"b", n, 8, true, false},
+        {"x", n, 8, true, false},
+    };
+    // Loop 0: row; loop 1: triangular dot against solved prefix;
+    // loop 2: single-trip store region (divide by the diagonal).
+    k.body = {makeLoop(
+        0, P("n"),
+        {
+            makeLet("s", F(0.0)),
+            makeLoop(1, IV(0),
+                     {makeReduce("s", OpCode::FAdd,
+                                 fmul(L("lmat", IV(0) * P("n") + IV(1)),
+                                      L("x", IV(1))))},
+                     /*offload=*/true),
+            makeLoop(2, C(1),
+                     {makeStore("x", IV(0),
+                                fdiv(fsub(L("b", IV(0)), S("s")),
+                                     L("lmat",
+                                       IV(0) * P("n") + IV(0))))},
+                     /*offload=*/true),
+        })};
+    w.outputs = {"x"};
+    w.tolerance = 1e-6;
+    w.init = [](ArrayStore &st, Rng &rng) {
+        // Well-conditioned lower-triangular system.
+        for (int64_t i = 0; i < n; ++i) {
+            for (int64_t j = 0; j < i; ++j)
+                st.data("lmat")[i * n + j] =
+                    valueFromF64(rng.uniformReal(-0.5, 0.5));
+            st.data("lmat")[i * n + i] =
+                valueFromF64(rng.uniformReal(2.0, 4.0));
+            st.data("b")[i] = valueFromF64(rng.uniformReal(-1.0, 1.0));
+        }
+    };
+    return w;
+}
+
+} // namespace
+
+void
+addDsp(std::vector<Workload> &out)
+{
+    out.push_back(makeQr());
+    out.push_back(makeChol());
+    out.push_back(makeFft());
+    out.push_back(makeFir());
+    out.push_back(makeSolver());
+}
+
+} // namespace dsa::workloads

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Extra (non-Table-I) workloads: the producer-consumer idiom of
+ * Fig. 7(a) — a row dot-product forwarded straight into a row update,
+ * pipelining the two offloaded regions without a memory round-trip —
+ * and the repetitive in-place update of Fig. 7(b).
+ */
+
+#include "workloads/suites.h"
+
+#include "workloads/common.h"
+
+namespace dsa::workloads {
+
+using namespace dsa::ir;
+
+namespace {
+
+/** Fig. 7(a): v = a_row . b; a_row -= v * b (per row). */
+Workload
+makeProducerConsumer()
+{
+    constexpr int64_t n = 64;
+    Workload w;
+    w.name = "prodcons";
+    w.suite = "Extra";
+    w.fig10Target = "softbrain";
+    KernelSource &k = w.kernel;
+    k.name = "prodcons";
+    k.params = {{"n", n}};
+    // Rows are independent: assert it so the compiler may pipeline.
+    k.assumeRegionIndependence = true;
+    k.arrays = {
+        {"a", n * n, 8, true, false},
+        {"b", n, 8, true, false},
+    };
+    k.body = {
+        makeLoop(0, P("n"),
+                 {
+                     makeLet("v", F(0.0)),
+                     makeLoop(1, P("n"),
+                              {makeReduce("v", OpCode::FAdd,
+                                          fmul(L("a", IV(0) * P("n") +
+                                                          IV(1)),
+                                               L("b", IV(1))))},
+                              /*offload=*/true),
+                     makeLoop(2, P("n"),
+                              {makeStore("a", IV(0) * P("n") + IV(2),
+                                         fsub(L("a", IV(0) * P("n") +
+                                                         IV(2)),
+                                              fmul(S("v"),
+                                                   L("b", IV(2)))))},
+                              /*offload=*/true),
+                 }),
+    };
+    w.outputs = {"a"};
+    w.tolerance = 1e-8;
+    w.init = [](ArrayStore &st, Rng &rng) {
+        for (int64_t i = 0; i < n * n; ++i)
+            st.data("a")[i] = valueFromF64(rng.uniformReal(-1.0, 1.0));
+        for (int64_t i = 0; i < n; ++i)
+            st.data("b")[i] = valueFromF64(rng.uniformReal(-1.0, 1.0));
+    };
+    return w;
+}
+
+/** Fig. 7(b): c[j] += a[i] * b[j] — repetitive in-place update. */
+Workload
+makeRepUpdate()
+{
+    constexpr int64_t n = 128;  // outer
+    constexpr int64_t m = 64;   // updated row, fits the sync buffers
+    Workload w;
+    w.name = "repupdate";
+    w.suite = "Extra";
+    w.fig10Target = "softbrain";
+    KernelSource &k = w.kernel;
+    k.name = "repupdate";
+    k.params = {{"n", n}, {"m", m}};
+    k.arrays = {
+        {"a", n, 8, true, false},
+        {"b", m, 8, true, false},
+        {"c", m, 8, true, false},
+    };
+    k.body = {
+        makeLoop(0, P("n"),
+                 {makeLoop(1, P("m"),
+                           {makeUpdate("c", IV(1), OpCode::FAdd,
+                                       fmul(L("a", IV(0)), L("b", IV(1))))},
+                           /*offload=*/true)}),
+    };
+    w.outputs = {"c"};
+    w.tolerance = 1e-8;
+    w.init = [](ArrayStore &st, Rng &rng) {
+        for (int64_t i = 0; i < n; ++i)
+            st.data("a")[i] = valueFromF64(rng.uniformReal(-1.0, 1.0));
+        for (int64_t i = 0; i < m; ++i)
+            st.data("b")[i] = valueFromF64(rng.uniformReal(-1.0, 1.0));
+    };
+    return w;
+}
+
+} // namespace
+
+void
+addExtra(std::vector<Workload> &out)
+{
+    out.push_back(makeProducerConsumer());
+    out.push_back(makeRepUpdate());
+}
+
+} // namespace dsa::workloads

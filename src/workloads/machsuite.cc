@@ -1,0 +1,280 @@
+/**
+ * @file
+ * MachSuite [79] kernels at the Table-I data sizes: md (knn forces),
+ * spmv crs/ellpack, mm, stencil-2d, stencil-3d.
+ */
+
+#include "workloads/suites.h"
+
+#include "workloads/common.h"
+
+namespace dsa::workloads {
+
+using namespace dsa::ir;
+
+namespace {
+
+/** md: Lennard-Jones forces over a 16-neighbor list, 128 atoms. */
+Workload
+makeMd()
+{
+    constexpr int64_t nAtoms = 128;
+    constexpr int64_t nNeigh = 16;
+    Workload w;
+    w.name = "md";
+    w.suite = "MachSuite";
+    w.fig10Target = "spu";  // indirect access needs SPU-style memory
+    KernelSource &k = w.kernel;
+    k.name = "md";
+    k.params = {{"n", nAtoms}, {"m", nNeigh}};
+    k.arrays = {
+        {"x", nAtoms, 8, true, true}, {"y", nAtoms, 8, true, true},
+        {"z", nAtoms, 8, true, true},
+        {"nl", nAtoms * nNeigh, 8, false, false},
+        {"fx", nAtoms, 8, true, false}, {"fy", nAtoms, 8, true, false},
+        {"fz", nAtoms, 8, true, false},
+    };
+    // Neighbor index and per-axis deltas; shared subtrees are memoized
+    // by the lowering, so build each expression once.
+    auto nbr = L("nl", IV(0) * P("m") + IV(1));
+    auto dx = fsub(L("x", IV(0)), L("x", nbr));
+    auto dy = fsub(L("y", IV(0)), L("y", nbr));
+    auto dz = fsub(L("z", IV(0)), L("z", nbr));
+    auto r2 = fadd(fadd(fmul(dx, dx), fmul(dy, dy)), fmul(dz, dz));
+    auto r2inv = fdiv(F(1.0), r2);
+    auto r6inv = fmul(fmul(r2inv, r2inv), r2inv);
+    auto potential = fmul(r6inv, fsub(fmul(F(1.5), r6inv), F(2.0)));
+    auto force = fmul(r2inv, potential);
+    std::vector<StmtPtr> inner = {
+        makeReduce("fxv", OpCode::FAdd, fmul(force, dx)),
+        makeReduce("fyv", OpCode::FAdd, fmul(force, dy)),
+        makeReduce("fzv", OpCode::FAdd, fmul(force, dz)),
+    };
+    k.body = {
+        makeLoop(0, P("n"),
+                 {
+                     makeLet("fxv", F(0.0)),
+                     makeLet("fyv", F(0.0)),
+                     makeLet("fzv", F(0.0)),
+                     makeLoop(1, P("m"), inner, /*offload=*/true),
+                     makeStore("fx", IV(0), S("fxv")),
+                     makeStore("fy", IV(0), S("fyv")),
+                     makeStore("fz", IV(0), S("fzv")),
+                 }),
+    };
+    w.outputs = {"fx", "fy", "fz"};
+    w.tolerance = 1e-9;
+    w.init = [](ArrayStore &st, Rng &rng) {
+        for (int64_t i = 0; i < nAtoms; ++i) {
+            st.data("x")[i] = valueFromF64(rng.uniformReal(0.0, 10.0));
+            st.data("y")[i] = valueFromF64(rng.uniformReal(0.0, 10.0));
+            st.data("z")[i] = valueFromF64(rng.uniformReal(0.0, 10.0));
+        }
+        for (int64_t i = 0; i < nAtoms; ++i)
+            for (int64_t j = 0; j < nNeigh; ++j) {
+                // Never self-reference (avoids r2 == 0).
+                int64_t nbr_idx =
+                    (i + 1 + rng.uniformInt(0, nAtoms - 2)) % nAtoms;
+                st.data("nl")[i * nNeigh + j] =
+                    static_cast<Value>(nbr_idx);
+            }
+    };
+    return w;
+}
+
+/** spmv with fixed row degree: y = A*x in CRS-like layout. */
+Workload
+makeSpmv(const std::string &name, bool columnMajor)
+{
+    constexpr int64_t rows = 464;
+    constexpr int64_t nnz = 4;
+    Workload w;
+    w.name = name;
+    w.suite = "MachSuite";
+    w.fig10Target = "spu";
+    KernelSource &k = w.kernel;
+    k.name = name;
+    k.params = {{"n", rows}, {"d", nnz}};
+    k.arrays = {
+        {"vals", rows * nnz, 8, true, false},
+        {"cols", rows * nnz, 8, false, false},
+        {"x", rows, 8, true, true},
+        {"yv", rows, 8, true, false},
+    };
+    // crs: vals[i*d + j] ; ellpack: vals[j*n + i].
+    ExprPtr idx = columnMajor ? IV(1) * P("n") + IV(0)
+                              : IV(0) * P("d") + IV(1);
+    ExprPtr idx2 = columnMajor ? IV(1) * P("n") + IV(0)
+                               : IV(0) * P("d") + IV(1);
+    auto term = fmul(L("vals", idx), L("x", L("cols", idx2)));
+    k.body = {
+        makeLoop(0, P("n"),
+                 {
+                     makeLet("v", F(0.0)),
+                     makeLoop(1, P("d"),
+                              {makeReduce("v", OpCode::FAdd, term)},
+                              /*offload=*/true),
+                     makeStore("yv", IV(0), S("v")),
+                 }),
+    };
+    w.outputs = {"yv"};
+    w.init = [](ArrayStore &st, Rng &rng) {
+        for (int64_t i = 0; i < rows * nnz; ++i) {
+            st.data("vals")[i] = valueFromF64(rng.uniformReal(-1.0, 1.0));
+            st.data("cols")[i] =
+                static_cast<Value>(rng.uniformInt(0, rows - 1));
+        }
+        for (int64_t i = 0; i < rows; ++i)
+            st.data("x")[i] = valueFromF64(rng.uniformReal(-1.0, 1.0));
+    };
+    return w;
+}
+
+/** Dense 64^3 matrix multiply. */
+Workload
+makeMm()
+{
+    constexpr int64_t n = 64;
+    Workload w;
+    w.name = "mm";
+    w.suite = "MachSuite";
+    w.fig10Target = "softbrain";
+    KernelSource &k = w.kernel;
+    k.name = "mm";
+    k.params = {{"n", n}};
+    k.arrays = {
+        {"a", n * n, 8, true, false},
+        {"b", n * n, 8, true, false},
+        {"c", n * n, 8, true, false},
+    };
+    auto term = fmul(L("a", IV(0) * P("n") + IV(2)),
+                     L("b", IV(2) * P("n") + IV(1)));
+    k.body = {
+        makeLoop(0, P("n"),
+                 {makeLoop(1, P("n"),
+                           {
+                               makeLet("v", F(0.0)),
+                               makeLoop(2, P("n"),
+                                        {makeReduce("v", OpCode::FAdd,
+                                                    term)},
+                                        /*offload=*/true),
+                               makeStore("c", IV(0) * P("n") + IV(1),
+                                         S("v")),
+                           })}),
+    };
+    w.outputs = {"c"};
+    w.tolerance = 1e-7;
+    w.init = [](ArrayStore &st, Rng &rng) {
+        for (int64_t i = 0; i < n * n; ++i) {
+            st.data("a")[i] = valueFromF64(rng.uniformReal(-1.0, 1.0));
+            st.data("b")[i] = valueFromF64(rng.uniformReal(-1.0, 1.0));
+        }
+    };
+    return w;
+}
+
+/** stencil-2d: 3x3 filter over a 130x130 grid. */
+Workload
+makeStencil2d()
+{
+    constexpr int64_t dim = 130;
+    constexpr int64_t out = dim - 2;
+    Workload w;
+    w.name = "stencil-2d";
+    w.suite = "MachSuite";
+    w.fig10Target = "softbrain";
+    KernelSource &k = w.kernel;
+    k.name = "stencil2d";
+    k.params = {{"n", dim}, {"m", out}};
+    k.arrays = {
+        {"img", dim * dim, 8, true, false},
+        {"filt", 9, 8, true, false},
+        {"sol", out * out, 8, true, false},
+    };
+    ExprPtr sum = F(0.0);
+    for (int kr = 0; kr < 3; ++kr)
+        for (int kc = 0; kc < 3; ++kc) {
+            auto tap = fmul(L("filt", C(kr * 3 + kc)),
+                            L("img", (IV(0) + C(kr)) * P("n") + IV(1) +
+                                         C(kc)));
+            sum = fadd(sum, tap);
+        }
+    k.body = {
+        makeLoop(0, P("m"),
+                 {makeLoop(1, P("m"),
+                           {makeStore("sol", IV(0) * P("m") + IV(1), sum)},
+                           /*offload=*/true)}),
+    };
+    w.outputs = {"sol"};
+    w.init = [](ArrayStore &st, Rng &rng) {
+        for (int64_t i = 0; i < dim * dim; ++i)
+            st.data("img")[i] = valueFromF64(rng.uniformReal(0.0, 1.0));
+        for (int64_t i = 0; i < 9; ++i)
+            st.data("filt")[i] = valueFromF64(rng.uniformReal(-1.0, 1.0));
+    };
+    return w;
+}
+
+/** stencil-3d: 7-point stencil over a 32x32x16 grid. */
+Workload
+makeStencil3d()
+{
+    constexpr int64_t nx = 32, ny = 32, nz = 16;
+    Workload w;
+    w.name = "stencil-3d";
+    w.suite = "MachSuite";
+    w.fig10Target = "softbrain";
+    KernelSource &k = w.kernel;
+    k.name = "stencil3d";
+    k.params = {{"nx", nx}, {"ny", ny}, {"nz", nz},
+                {"ix", nx - 2}, {"iy", ny - 2}, {"iz", nz - 2}};
+    int64_t cells = nx * ny * nz;
+    k.arrays = {
+        {"grid", cells, 8, true, false},
+        {"outg", cells, 8, true, false},
+    };
+    // Linearized (i,j,l) with i slowest; interior points offset by +1.
+    auto at = [&](int di, int dj, int dl) {
+        return L("grid", (IV(0) + C(1 + di)) * P("ny") * P("nz") +
+                             (IV(1) + C(1 + dj)) * P("nz") + IV(2) +
+                             C(1 + dl));
+    };
+    auto sum = fadd(fadd(fadd(at(-1, 0, 0), at(1, 0, 0)),
+                         fadd(at(0, -1, 0), at(0, 1, 0))),
+                    fadd(at(0, 0, -1), at(0, 0, 1)));
+    auto val = fsub(fmul(F(0.75), at(0, 0, 0)), fmul(F(0.125), sum));
+    k.body = {
+        makeLoop(0, P("ix"),
+                 {makeLoop(1, P("iy"),
+                           {makeLoop(2, P("iz"),
+                                     {makeStore("outg",
+                                                (IV(0) + C(1)) * P("ny") *
+                                                        P("nz") +
+                                                    (IV(1) + C(1)) *
+                                                        P("nz") +
+                                                    IV(2) + C(1),
+                                                val)},
+                                     /*offload=*/true)})}),
+    };
+    w.outputs = {"outg"};
+    w.init = [cells](ArrayStore &st, Rng &rng) {
+        for (int64_t i = 0; i < cells; ++i)
+            st.data("grid")[i] = valueFromF64(rng.uniformReal(0.0, 1.0));
+    };
+    return w;
+}
+
+} // namespace
+
+void
+addMachsuite(std::vector<Workload> &out)
+{
+    out.push_back(makeMd());
+    out.push_back(makeSpmv("crs", false));
+    out.push_back(makeSpmv("ellpack", true));
+    out.push_back(makeMm());
+    out.push_back(makeStencil2d());
+    out.push_back(makeStencil3d());
+}
+
+} // namespace dsa::workloads

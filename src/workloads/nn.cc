@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Neural-network workload sets of §VIII-B:
+ *  - DenseNN: convolution, max-pooling, and classifier (FC+sigmoid)
+ *    kernels with regular access and control (DianNao's domain);
+ *  - SparseCNN: outer-product sparse multiply with accumulation into a
+ *    dense scratch followed by re-sparsification (SCNN's dataflow).
+ */
+
+#include "workloads/suites.h"
+
+#include "workloads/common.h"
+
+namespace dsa::workloads {
+
+using namespace dsa::ir;
+
+namespace {
+
+/** conv: 8 output channels, 3x3 filters over a 34x34 input plane. */
+Workload
+makeConv()
+{
+    constexpr int64_t inDim = 34;
+    constexpr int64_t outDim = 32;
+    constexpr int64_t ch = 8;
+    Workload w;
+    w.name = "conv";
+    w.suite = "DenseNN";
+    w.fig10Target = "maeri";
+    KernelSource &k = w.kernel;
+    k.name = "conv";
+    k.params = {{"in", inDim}, {"out", outDim}, {"ch", ch}};
+    k.arrays = {
+        {"img", inDim * inDim, 8, true, false},
+        {"wts", ch * 9, 8, true, false},
+        {"act", ch * outDim * outDim, 8, true, false},
+    };
+    ExprPtr sum = F(0.0);
+    for (int t = 0; t < 9; ++t) {
+        auto tap = fmul(L("wts", IV(0) * C(9) + C(t)),
+                        L("img", (IV(1) + C(t / 3)) * P("in") + IV(2) +
+                                     C(t % 3)));
+        sum = fadd(sum, tap);
+    }
+    k.body = {
+        makeLoop(0, P("ch"),
+                 {makeLoop(1, P("out"),
+                           {makeLoop(2, P("out"),
+                                     {makeStore(
+                                         "act",
+                                         IV(0) * P("out") * P("out") +
+                                             IV(1) * P("out") + IV(2),
+                                         frelu(sum))},
+                                     /*offload=*/true)})}),
+    };
+    w.outputs = {"act"};
+    w.tolerance = 1e-8;
+    w.init = [](ArrayStore &st, Rng &rng) {
+        for (int64_t i = 0; i < inDim * inDim; ++i)
+            st.data("img")[i] = valueFromF64(rng.uniformReal(0.0, 1.0));
+        for (int64_t i = 0; i < ch * 9; ++i)
+            st.data("wts")[i] = valueFromF64(rng.uniformReal(-0.5, 0.5));
+    };
+    return w;
+}
+
+/** pool: 2x2 max-pooling over 8 channels of 32x32. */
+Workload
+makePool()
+{
+    constexpr int64_t inDim = 32;
+    constexpr int64_t outDim = 16;
+    constexpr int64_t ch = 8;
+    Workload w;
+    w.name = "pool";
+    w.suite = "DenseNN";
+    w.fig10Target = "maeri";
+    KernelSource &k = w.kernel;
+    k.name = "pool";
+    k.params = {{"in", inDim}, {"out", outDim}, {"ch", ch}};
+    k.arrays = {
+        {"act", ch * inDim * inDim, 8, true, false},
+        {"pooled", ch * outDim * outDim, 8, true, false},
+    };
+    auto at = [&](int dr, int dc) {
+        return L("act", IV(0) * P("in") * P("in") +
+                            (IV(1) * C(2) + C(dr)) * P("in") +
+                            IV(2) * C(2) + C(dc));
+    };
+    auto m = fmax2(fmax2(at(0, 0), at(0, 1)), fmax2(at(1, 0), at(1, 1)));
+    k.body = {
+        makeLoop(0, P("ch"),
+                 {makeLoop(1, P("out"),
+                           {makeLoop(2, P("out"),
+                                     {makeStore(
+                                         "pooled",
+                                         IV(0) * P("out") * P("out") +
+                                             IV(1) * P("out") + IV(2),
+                                         m)},
+                                     /*offload=*/true)})}),
+    };
+    w.outputs = {"pooled"};
+    w.init = [](ArrayStore &st, Rng &rng) {
+        for (int64_t i = 0; i < ch * inDim * inDim; ++i)
+            st.data("act")[i] = valueFromF64(rng.uniformReal(-1.0, 1.0));
+    };
+    return w;
+}
+
+/** classifier: 64-way fully-connected layer with sigmoid. */
+Workload
+makeClassifier()
+{
+    constexpr int64_t nin = 256;
+    constexpr int64_t nout = 64;
+    Workload w;
+    w.name = "classifier";
+    w.suite = "DenseNN";
+    w.fig10Target = "maeri";
+    KernelSource &k = w.kernel;
+    k.name = "classifier";
+    k.params = {{"ni", nin}, {"no", nout}};
+    k.arrays = {
+        {"wts", nout * nin, 8, true, false},
+        {"vin", nin, 8, true, false},
+        {"vout", nout, 8, true, false},
+    };
+    auto term = fmul(L("wts", IV(0) * P("ni") + IV(1)), L("vin", IV(1)));
+    k.body = {
+        makeLoop(0, P("no"),
+                 {
+                     makeLet("s", F(0.0)),
+                     makeLoop(1, P("ni"),
+                              {makeReduce("s", OpCode::FAdd, term)},
+                              /*offload=*/true),
+                     makeStore("vout", IV(0), fsigmoid(S("s"))),
+                 }),
+    };
+    w.outputs = {"vout"};
+    w.tolerance = 1e-8;
+    w.init = [](ArrayStore &st, Rng &rng) {
+        for (int64_t i = 0; i < nout * nin; ++i)
+            st.data("wts")[i] = valueFromF64(rng.uniformReal(-0.3, 0.3));
+        for (int64_t i = 0; i < nin; ++i)
+            st.data("vin")[i] = valueFromF64(rng.uniformReal(0.0, 1.0));
+    };
+    return w;
+}
+
+/**
+ * sparse-cnn: SCNN-style outer-product of a sparse weight vector and a
+ * sparse activation vector; products scatter-accumulate into a dense
+ * partial-sum buffer (banked atomic updates), which is then
+ * re-sparsified with a conditional compaction write.
+ */
+Workload
+makeSparseCnn()
+{
+    constexpr int64_t nW = 64;
+    constexpr int64_t nA = 256;
+    constexpr int64_t dense = nW * 4 + nA * 4;  // output coord range
+    Workload w;
+    w.name = "sparse-cnn";
+    w.suite = "SparseCNN";
+    w.fig10Target = "spu";
+    KernelSource &k = w.kernel;
+    k.name = "sparsecnn";
+    k.params = {{"nw", nW}, {"na", nA}, {"d", dense}};
+    k.arrays = {
+        {"wv", nW, 8, true, false},  {"wi", nW, 8, false, false},
+        {"av", nA, 8, true, false},  {"ai", nA, 8, false, false},
+        {"pairidx", nW * nA, 8, false, false},
+        {"pairval", nW * nA, 8, true, false},
+        {"psum", dense, 8, true, true},
+        {"outv", dense, 8, true, false},
+        {"outi", dense, 8, false, false},
+    };
+    // Phase 1: cartesian product of coordinates and values.
+    k.body.push_back(makeLoop(
+        0, P("nw"),
+        {makeLoop(1, P("na"),
+                  {
+                      makeStore("pairidx", IV(0) * P("na") + IV(1),
+                                binary(OpCode::Add,
+                                       binary(OpCode::Mul, L("wi", IV(0)),
+                                              C(4)),
+                                       binary(OpCode::Mul, L("ai", IV(1)),
+                                              C(4)))),
+                      makeStore("pairval", IV(0) * P("na") + IV(1),
+                                fmul(L("wv", IV(0)), L("av", IV(1)))),
+                  },
+                  /*offload=*/true)}));
+    // Phase 2: scatter-accumulate into the dense buffer.
+    k.body.push_back(makeLoop(
+        2, P("nw") * P("na"),
+        {makeUpdate("psum", L("pairidx", IV(2)), OpCode::FAdd,
+                    L("pairval", IV(2)))},
+        /*offload=*/true));
+    // Phase 3: re-sparsify (compact non-zero coordinates).
+    k.body.push_back(makeLet("cnt", C(0)));
+    k.body.push_back(makeLoop(
+        3, P("d"),
+        {makeIf(binary(OpCode::CmpNE, L("psum", IV(3)), C(0)),
+                {
+                    makeStore("outv", S("cnt"), L("psum", IV(3))),
+                    makeStore("outi", S("cnt"), IV(3)),
+                    makeReduce("cnt", OpCode::Add, C(1)),
+                })},
+        /*offload=*/true));
+    w.outputs = {"psum", "outv", "outi"};
+    w.tolerance = 1e-9;
+    w.init = [](ArrayStore &st, Rng &rng) {
+        // Sorted sparse coordinates; wi in [0, nW*...), ai likewise so
+        // combined coordinates stay within the dense range.
+        auto coords = [&](const char *arr, int64_t count, int64_t range) {
+            int64_t step = std::max<int64_t>(1, range / count);
+            int64_t cur = 0;
+            for (int64_t i = 0; i < count; ++i) {
+                st.data(arr)[i] = static_cast<Value>(cur);
+                cur += 1 + rng.uniformInt(0, step - 1);
+                if (cur >= range)
+                    cur = range - 1;
+            }
+        };
+        coords("wi", nW, nW);
+        coords("ai", nA, nA);
+        for (int64_t i = 0; i < nW; ++i)
+            st.data("wv")[i] = valueFromF64(rng.uniformReal(0.5, 1.5));
+        for (int64_t i = 0; i < nA; ++i)
+            st.data("av")[i] = valueFromF64(rng.uniformReal(0.5, 1.5));
+    };
+    return w;
+}
+
+} // namespace
+
+void
+addDenseNn(std::vector<Workload> &out)
+{
+    out.push_back(makeConv());
+    out.push_back(makePool());
+    out.push_back(makeClassifier());
+}
+
+void
+addSparseCnn(std::vector<Workload> &out)
+{
+    out.push_back(makeSparseCnn());
+}
+
+} // namespace dsa::workloads

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * PolyBench [77] kernels at Table-I sizes: mm (32^3), 2mm, 3mm.
+ * The chained products exercise region-level dependences between
+ * disjoint loop nests (fenced, but each product still pipelines).
+ */
+
+#include "workloads/suites.h"
+
+#include "workloads/common.h"
+
+namespace dsa::workloads {
+
+using namespace dsa::ir;
+
+namespace {
+
+constexpr int64_t kN = 32;
+
+/** Append c = a x b (n^3, f64) to a kernel body with loop-id base. */
+void
+appendMm(KernelSource &k, const std::string &a, const std::string &b,
+         const std::string &c, int loopBase)
+{
+    auto term = fmul(L(a, IV(loopBase) * P("n") + IV(loopBase + 2)),
+                     L(b, IV(loopBase + 2) * P("n") + IV(loopBase + 1)));
+    k.body.push_back(makeLoop(
+        loopBase, P("n"),
+        {makeLoop(
+            loopBase + 1, P("n"),
+            {
+                makeLet("v" + std::to_string(loopBase), F(0.0)),
+                makeLoop(loopBase + 2, P("n"),
+                         {makeReduce("v" + std::to_string(loopBase),
+                                     OpCode::FAdd, term)},
+                         /*offload=*/true),
+                makeStore(c, IV(loopBase) * P("n") + IV(loopBase + 1),
+                          S("v" + std::to_string(loopBase))),
+            })}));
+}
+
+void
+addMatrix(KernelSource &k, const std::string &name)
+{
+    k.arrays.push_back({name, kN * kN, 8, true, false});
+}
+
+void
+initMatrix(ArrayStore &st, Rng &rng, const std::string &name)
+{
+    for (int64_t i = 0; i < kN * kN; ++i)
+        st.data(name)[i] = valueFromF64(rng.uniformReal(-1.0, 1.0));
+}
+
+Workload
+makePolyMm(int chain)
+{
+    Workload w;
+    w.name = chain == 1 ? "p-mm" : (chain == 2 ? "2mm" : "3mm");
+    w.suite = "PolyBench";
+    w.fig10Target = "softbrain";
+    KernelSource &k = w.kernel;
+    k.name = w.name == "p-mm" ? "pmm" : w.name;
+    k.params = {{"n", kN}};
+    if (chain == 1) {
+        addMatrix(k, "a");
+        addMatrix(k, "b");
+        addMatrix(k, "c");
+        appendMm(k, "a", "b", "c", 0);
+        w.outputs = {"c"};
+        w.init = [](ArrayStore &st, Rng &rng) {
+            initMatrix(st, rng, "a");
+            initMatrix(st, rng, "b");
+        };
+    } else if (chain == 2) {
+        // d = (a x b) x c
+        for (const char *m : {"a", "b", "c", "tmp", "d"})
+            addMatrix(k, m);
+        appendMm(k, "a", "b", "tmp", 0);
+        appendMm(k, "tmp", "c", "d", 10);
+        w.outputs = {"d"};
+        w.init = [](ArrayStore &st, Rng &rng) {
+            initMatrix(st, rng, "a");
+            initMatrix(st, rng, "b");
+            initMatrix(st, rng, "c");
+        };
+    } else {
+        // g = (a x b) x (c x d)
+        for (const char *m : {"a", "b", "c", "d", "e", "f", "g"})
+            addMatrix(k, m);
+        appendMm(k, "a", "b", "e", 0);
+        appendMm(k, "c", "d", "f", 10);
+        appendMm(k, "e", "f", "g", 20);
+        w.outputs = {"g"};
+        w.init = [](ArrayStore &st, Rng &rng) {
+            initMatrix(st, rng, "a");
+            initMatrix(st, rng, "b");
+            initMatrix(st, rng, "c");
+            initMatrix(st, rng, "d");
+        };
+    }
+    w.tolerance = 1e-7;
+    return w;
+}
+
+} // namespace
+
+void
+addPolybench(std::vector<Workload> &out)
+{
+    out.push_back(makePolyMm(1));
+    out.push_back(makePolyMm(2));
+    out.push_back(makePolyMm(3));
+}
+
+} // namespace dsa::workloads

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Sparse-suite microbenchmarks from the SPU [20] workloads: histogram
+ * (indirect atomic update) and join (sorted two-pointer merge).
+ */
+
+#include "workloads/suites.h"
+
+#include <set>
+
+#include "workloads/common.h"
+
+namespace dsa::workloads {
+
+using namespace dsa::ir;
+
+namespace {
+
+/** histogram: hist[key[i]] += 1 over 2^16 keys into 2^10 bins. */
+Workload
+makeHistogram()
+{
+    constexpr int64_t nKeys = 1 << 16;
+    constexpr int64_t nBins = 1 << 10;
+    Workload w;
+    w.name = "histogram";
+    w.suite = "Sparse";
+    w.fig10Target = "spu";
+    KernelSource &k = w.kernel;
+    k.name = "histogram";
+    k.params = {{"n", nKeys}, {"bins", nBins}};
+    k.arrays = {
+        {"keys", nKeys, 8, false, false},
+        {"hist", nBins, 8, false, true},
+    };
+    k.body = {
+        makeLoop(0, P("n"),
+                 {makeUpdate("hist", L("keys", IV(0)), OpCode::Add, C(1))},
+                 /*offload=*/true),
+    };
+    w.outputs = {"hist"};
+    w.tolerance = 0;
+    w.init = [](ArrayStore &st, Rng &rng) {
+        for (int64_t i = 0; i < nKeys; ++i)
+            st.data("keys")[i] =
+                static_cast<Value>(rng.uniformInt(0, nBins - 1));
+    };
+    return w;
+}
+
+/** join: sorted inner join of two 768-key tables, dot of values. */
+Workload
+makeJoin()
+{
+    constexpr int64_t len = 768;
+    Workload w;
+    w.name = "join";
+    w.suite = "Sparse";
+    w.fig10Target = "spu";
+    KernelSource &k = w.kernel;
+    k.name = "join";
+    k.params = {{"n", len}};
+    k.arrays = {
+        {"ka", len, 8, false, false}, {"va", len, 8, true, false},
+        {"kb", len, 8, false, false}, {"vb", len, 8, true, false},
+        {"outr", 1, 8, true, false},
+    };
+    MergeLoopInfo m;
+    m.keysA = "ka";
+    m.keysB = "kb";
+    m.lenA = P("n");
+    m.lenB = P("n");
+    m.ivA = 10;
+    m.ivB = 11;
+    k.body = {
+        makeLet("acc", F(0.0)),
+        makeMergeLoop(m, {makeReduce("acc", OpCode::FAdd,
+                                     fmul(L("va", IV(10)),
+                                          L("vb", IV(11))))}),
+        makeStore("outr", C(0), S("acc")),
+    };
+    w.outputs = {"outr"};
+    w.init = [](ArrayStore &st, Rng &rng) {
+        // Sorted distinct keys with ~50% overlap between tables.
+        auto gen = [&](const char *keys, const char *vals) {
+            std::set<int64_t> s;
+            while (static_cast<int64_t>(s.size()) < len)
+                s.insert(rng.uniformInt(0, len * 3));
+            int64_t i = 0;
+            for (int64_t key : s)
+                st.data(keys)[i++] = static_cast<Value>(key);
+            for (int64_t j = 0; j < len; ++j)
+                st.data(vals)[j] =
+                    valueFromF64(rng.uniformReal(-1.0, 1.0));
+        };
+        gen("ka", "va");
+        gen("kb", "vb");
+    };
+    return w;
+}
+
+} // namespace
+
+void
+addSparse(std::vector<Workload> &out)
+{
+    out.push_back(makeHistogram());
+    out.push_back(makeJoin());
+}
+
+} // namespace dsa::workloads

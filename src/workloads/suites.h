@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Internal: per-suite workload registration functions.
+ */
+
+#ifndef DSA_WORKLOADS_SUITES_H
+#define DSA_WORKLOADS_SUITES_H
+
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace dsa::workloads {
+
+void addMachsuite(std::vector<Workload> &out);
+void addSparse(std::vector<Workload> &out);
+void addDsp(std::vector<Workload> &out);
+void addPolybench(std::vector<Workload> &out);
+void addDenseNn(std::vector<Workload> &out);
+void addSparseCnn(std::vector<Workload> &out);
+void addExtra(std::vector<Workload> &out);
+
+} // namespace dsa::workloads
+
+#endif // DSA_WORKLOADS_SUITES_H

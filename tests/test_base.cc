@@ -1,0 +1,118 @@
+/** @file Unit tests for base utilities (table, strings, bits, rng). */
+
+#include <gtest/gtest.h>
+
+#include "base/bits.h"
+#include "base/rng.h"
+#include "base/strings.h"
+#include "base/table.h"
+
+namespace dsa {
+namespace {
+
+TEST(Bits, IsPow2)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_TRUE(isPow2(64));
+    EXPECT_TRUE(isPow2(1ull << 40));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_FALSE(isPow2(6));
+    EXPECT_FALSE(isPow2(63));
+}
+
+TEST(Bits, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0);
+    EXPECT_EQ(log2Ceil(2), 1);
+    EXPECT_EQ(log2Ceil(3), 2);
+    EXPECT_EQ(log2Ceil(4), 2);
+    EXPECT_EQ(log2Ceil(5), 3);
+    EXPECT_EQ(log2Ceil(1024), 10);
+    EXPECT_EQ(log2Ceil(1025), 11);
+}
+
+TEST(Bits, Log2Floor)
+{
+    EXPECT_EQ(log2Floor(1), 0);
+    EXPECT_EQ(log2Floor(2), 1);
+    EXPECT_EQ(log2Floor(3), 1);
+    EXPECT_EQ(log2Floor(1024), 10);
+    EXPECT_EQ(log2Floor(2047), 10);
+}
+
+TEST(Bits, NextPow2AndDivCeil)
+{
+    EXPECT_EQ(nextPow2(1), 1u);
+    EXPECT_EQ(nextPow2(3), 4u);
+    EXPECT_EQ(nextPow2(64), 64u);
+    EXPECT_EQ(nextPow2(65), 128u);
+    EXPECT_EQ(divCeil(7, 2), 4);
+    EXPECT_EQ(divCeil(8, 2), 4);
+    EXPECT_EQ(divCeil(1, 8), 1);
+}
+
+TEST(Strings, SplitTrimJoin)
+{
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(trim("  hi \n"), "hi");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_TRUE(startsWith("node 3", "node"));
+    EXPECT_FALSE(startsWith("no", "node"));
+    EXPECT_EQ(join({"x", "y", "z"}, ","), "x,y,z");
+    EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Table, RenderAligned)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "12345"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("| alpha |"), std::string::npos);
+    EXPECT_NE(out.find("| 12345 |"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+    EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformInt(0, 1000), b.uniformInt(0, 1000));
+}
+
+TEST(Rng, UniformBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = r.uniformInt(3, 9);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 9);
+        double d = r.uniformReal(0.5, 1.5);
+        EXPECT_GE(d, 0.5);
+        EXPECT_LT(d, 1.5);
+    }
+}
+
+TEST(Rng, PickAndShuffle)
+{
+    Rng r(11);
+    std::vector<int> v{1, 2, 3, 4, 5};
+    for (int i = 0; i < 50; ++i) {
+        int p = r.pick(v);
+        EXPECT_GE(p, 1);
+        EXPECT_LE(p, 5);
+    }
+    auto copy = v;
+    r.shuffle(copy);
+    std::sort(copy.begin(), copy.end());
+    EXPECT_EQ(copy, v);
+}
+
+} // namespace
+} // namespace dsa

@@ -1,0 +1,162 @@
+/** @file Tests for control-program codegen, DFG text format, reports. */
+
+#include <gtest/gtest.h>
+
+#include "adg/prebuilt.h"
+#include "compiler/codegen.h"
+#include "compiler/compile.h"
+#include "dfg/dfg_text.h"
+#include "mapper/scheduler.h"
+#include "sim/report.h"
+#include "sim/simulator.h"
+#include "workloads/workload.h"
+
+namespace dsa {
+namespace {
+
+struct Compiled
+{
+    dfg::DecoupledProgram prog;
+    mapper::Schedule sched;
+    adg::Adg hw;
+};
+
+Compiled
+compileOn(const std::string &workload, adg::Adg hw, int iters = 500)
+{
+    Compiled c;
+    c.hw = std::move(hw);
+    auto features = compiler::HwFeatures::fromAdg(c.hw);
+    const auto &w = workloads::workload(workload);
+    auto placement = compiler::Placement::autoLayout(w.kernel, features);
+    auto r = compiler::lowerKernel(w.kernel, placement, features, {}, 1);
+    EXPECT_TRUE(r.ok) << r.error;
+    c.prog = r.version.program;
+    c.sched = mapper::scheduleProgram(c.prog, c.hw,
+                                      {.maxIters = iters, .seed = 3});
+    return c;
+}
+
+TEST(Codegen, EmitsStreamCommands)
+{
+    auto c = compileOn("crs", adg::buildSpu(5, 5));
+    compiler::CommandStats stats;
+    std::string listing =
+        compiler::emitControlProgram(c.prog, c.sched, c.hw, &stats);
+    EXPECT_NE(listing.find("SS_CONFIG"), std::string::npos);
+    EXPECT_NE(listing.find("SS_LINEAR_WRITE"), std::string::npos);
+    EXPECT_NE(listing.find("SS_IND_READ"), std::string::npos);
+    EXPECT_NE(listing.find("SS_WAIT_ALL"), std::string::npos);
+    EXPECT_GE(stats.streamCommands, 3);
+    EXPECT_GE(stats.configCommands, 1);
+    EXPECT_GE(stats.barrierCommands, 1);
+}
+
+TEST(Codegen, SequentialProgramEmitsScript)
+{
+    auto c = compileOn("chol", adg::buildRevel(), 900);
+    compiler::CommandStats stats;
+    std::string listing =
+        compiler::emitControlProgram(c.prog, c.sched, c.hw, &stats);
+    EXPECT_NE(listing.find("issue_script"), std::string::npos);
+    EXPECT_NE(listing.find("CALL region_"), std::string::npos);
+    EXPECT_GT(stats.loopInstructions, 100);
+}
+
+TEST(Codegen, LoopAnnotationsForReissues)
+{
+    auto c = compileOn("mm", adg::buildSoftbrain());
+    std::string listing =
+        compiler::emitControlProgram(c.prog, c.sched, c.hw);
+    EXPECT_NE(listing.find("LOOP i0 in [0, 64)"), std::string::npos);
+}
+
+TEST(DfgText, RoundTripLoweredRegion)
+{
+    auto c = compileOn("classifier", adg::buildSoftbrain());
+    const auto &reg = c.prog.regions[0];
+    std::string text = dfg::regionToText(reg);
+    EXPECT_NE(text.find("input"), std::string::npos);
+    EXPECT_NE(text.find("output"), std::string::npos);
+    EXPECT_NE(text.find("acc"), std::string::npos);
+
+    dfg::Region parsed = dfg::regionFromText(text);
+    EXPECT_EQ(parsed.dfg.numInstructions(), reg.dfg.numInstructions());
+    EXPECT_EQ(parsed.dfg.inputPorts().size(),
+              reg.dfg.inputPorts().size());
+    EXPECT_EQ(parsed.dfg.outputPorts().size(),
+              reg.dfg.outputPorts().size());
+    EXPECT_EQ(parsed.streams.size(), reg.streams.size());
+    // Serialization is stable (fixed point after one round trip).
+    EXPECT_EQ(dfg::regionToText(parsed), text);
+}
+
+TEST(DfgText, HandAuthoredGraph)
+{
+    const char *text = R"(
+# doubler
+input a lanes=2 width=64
+m0 = mul a.0, #3
+m1 = mul a.1, #3
+s = add m0, m1
+acc0 = add s acc init=0 reset=4
+output o = acc0 every=4
+stream linear_read port=a space=main base=0 elem=8 stride=1 len=8
+stream linear_write port=o space=main base=128 elem=8 stride=1 len=2
+)";
+    dfg::Region reg = dfg::regionFromText(text);
+    EXPECT_TRUE(reg.validate().empty()) << reg.validate().front();
+    EXPECT_EQ(reg.dfg.numInstructions(), 4);
+    bool hasAcc = false;
+    for (const auto &vx : reg.dfg.vertices())
+        hasAcc |= vx.selfAcc && vx.accResetEvery == 4;
+    EXPECT_TRUE(hasAcc);
+}
+
+TEST(DfgText, JoinControlSurvivesRoundTrip)
+{
+    auto c = compileOn("join", adg::buildSpu(5, 5));
+    const auto &reg = c.prog.regions[0];
+    std::string text = dfg::regionToText(reg);
+    EXPECT_NE(text.find("ctrl=self"), std::string::npos);
+    dfg::Region parsed = dfg::regionFromText(text);
+    int ctrlCount = 0, parsedCtrl = 0;
+    for (const auto &vx : reg.dfg.vertices())
+        ctrlCount += vx.ctrl.active();
+    for (const auto &vx : parsed.dfg.vertices()) {
+        if (!vx.ctrl.active())
+            continue;
+        ++parsedCtrl;
+        // Masks preserved.
+        bool found = false;
+        for (const auto &orig : reg.dfg.vertices())
+            if (orig.name == vx.name) {
+                found = true;
+                EXPECT_EQ(orig.ctrl.emitMask, vx.ctrl.emitMask);
+                EXPECT_EQ(orig.ctrl.popMask[0], vx.ctrl.popMask[0]);
+            }
+        EXPECT_TRUE(found);
+    }
+    EXPECT_EQ(ctrlCount, parsedCtrl);
+}
+
+TEST(Report, UtilizationTables)
+{
+    auto c = compileOn("crs", adg::buildSpu(5, 5));
+    ASSERT_TRUE(c.sched.cost.legal());
+    const auto &w = workloads::workload("crs");
+    auto golden = workloads::runGolden(w);
+    auto features = compiler::HwFeatures::fromAdg(c.hw);
+    auto placement = compiler::Placement::autoLayout(w.kernel, features);
+    auto img = sim::MemImage::build(w.kernel, golden.initial, placement);
+    auto res = sim::simulate(c.prog, c.sched, c.hw, img);
+    ASSERT_TRUE(res.ok);
+    EXPECT_FALSE(res.peFires.empty());
+    EXPECT_FALSE(res.memBytes.empty());
+    std::string report = sim::utilizationReport(res, c.hw);
+    EXPECT_NE(report.find("cycles:"), std::string::npos);
+    EXPECT_NE(report.find("B/cycle"), std::string::npos);
+}
+
+} // namespace
+} // namespace dsa

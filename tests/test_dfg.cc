@@ -1,0 +1,278 @@
+/** @file Unit tests for the decoupled dataflow IR (DFG + streams). */
+
+#include <gtest/gtest.h>
+
+#include "dfg/program.h"
+
+namespace dsa::dfg {
+namespace {
+
+TEST(Dfg, BuildAndTopo)
+{
+    Dfg d("t");
+    VertexId a = d.addInputPort("a", 1);
+    VertexId b = d.addInputPort("b", 1);
+    VertexId m = d.addInstruction(OpCode::Mul,
+                                  {Operand::value(a), Operand::value(b)});
+    VertexId o = d.addOutputPort("o", {Operand::value(m)});
+    EXPECT_EQ(d.numInstructions(), 1);
+    EXPECT_EQ(d.inputPorts().size(), 2u);
+    EXPECT_EQ(d.outputPorts().size(), 1u);
+    auto order = d.topoOrder();
+    ASSERT_EQ(order.size(), 4u);
+    // Producers come before consumers.
+    auto pos = [&](VertexId v) {
+        return std::find(order.begin(), order.end(), v) - order.begin();
+    };
+    EXPECT_LT(pos(a), pos(m));
+    EXPECT_LT(pos(b), pos(m));
+    EXPECT_LT(pos(m), pos(o));
+    EXPECT_TRUE(d.validate().empty());
+}
+
+TEST(Dfg, UsesTracking)
+{
+    Dfg d("t");
+    VertexId a = d.addInputPort("a", 1);
+    VertexId x = d.addInstruction(OpCode::Add, {Operand::value(a),
+                                                Operand::immediate(1)});
+    VertexId y = d.addInstruction(OpCode::Mul, {Operand::value(a),
+                                                Operand::value(x)});
+    auto uses = d.uses(a);
+    ASSERT_EQ(uses.size(), 2u);
+    EXPECT_EQ(d.uses(x).size(), 1u);
+    EXPECT_EQ(d.uses(x)[0].user, y);
+    EXPECT_EQ(d.uses(x)[0].operandIdx, 1);
+}
+
+TEST(Dfg, LaneValidation)
+{
+    Dfg d("t");
+    VertexId a = d.addInputPort("a", 2);
+    d.addInstruction(OpCode::Add, {Operand::value(a, 0),
+                                   Operand::value(a, 1)});
+    EXPECT_TRUE(d.validate().empty());
+    // Lane out of range is flagged.
+    d.addInstruction(OpCode::Add, {Operand::value(a, 3),
+                                   Operand::immediate(0)});
+    EXPECT_FALSE(d.validate().empty());
+}
+
+TEST(Dfg, AccumulatorVertex)
+{
+    Dfg d("t");
+    VertexId a = d.addInputPort("a", 1);
+    VertexId acc = d.addAccumulator(OpCode::FAdd, Operand::value(a),
+                                    valueFromF64(0.0), 8);
+    EXPECT_TRUE(d.vertex(acc).isAccumulate());
+    EXPECT_EQ(d.vertex(acc).accResetEvery, 8);
+    EXPECT_EQ(d.longestRecurrence(), opInfo(OpCode::FAdd).latency);
+}
+
+TEST(Dfg, PredicatedInstructionArity)
+{
+    Dfg d("t");
+    VertexId a = d.addInputPort("a", 1);
+    VertexId c = d.addInputPort("c", 1);
+    CtrlSpec ctl;
+    ctl.source = CtrlSpec::Source::Operand;
+    ctl.ctrlOperand = 1;
+    ctl.emitMask = 0b001;
+    VertexId g = d.addPredicatedInstruction(
+        OpCode::Pass, {Operand::value(a), Operand::value(c)}, ctl);
+    EXPECT_TRUE(d.vertex(g).needsDynamicPe());
+    EXPECT_TRUE(d.validate().empty());
+}
+
+TEST(CtrlSpec, MaskSemantics)
+{
+    CtrlSpec c;
+    c.source = CtrlSpec::Source::Self;
+    c.popMask[0] = 0b011;
+    c.popMask[1] = 0b101;
+    c.emitMask = 0b001;
+    EXPECT_TRUE(c.pops(0, 0));
+    EXPECT_TRUE(c.pops(0, 1));
+    EXPECT_FALSE(c.pops(0, 2));
+    EXPECT_TRUE(c.pops(1, 2));
+    EXPECT_FALSE(c.pops(1, 1));
+    EXPECT_TRUE(c.emits(0));
+    EXPECT_FALSE(c.emits(1));
+}
+
+TEST(LinearPattern, Expansion1d)
+{
+    auto p = LinearPattern::strided1d(/*base=*/100, /*stride=*/2,
+                                      /*len=*/4, /*elem=*/8);
+    EXPECT_EQ(p.numElements(), 4);
+    auto addrs = p.expandAddrs();
+    ASSERT_EQ(addrs.size(), 4u);
+    EXPECT_EQ(addrs[0], 100);
+    EXPECT_EQ(addrs[1], 116);
+    EXPECT_EQ(addrs[3], 148);
+}
+
+TEST(LinearPattern, Expansion2d)
+{
+    LinearPattern p;
+    p.baseBytes = 0;
+    p.elemBytes = 8;
+    p.stride1 = 1;
+    p.len1 = 3;
+    p.stride2 = 10;
+    p.len2 = 2;
+    auto addrs = p.expandAddrs();
+    ASSERT_EQ(addrs.size(), 6u);
+    EXPECT_EQ(addrs[0], 0);
+    EXPECT_EQ(addrs[2], 16);
+    EXPECT_EQ(addrs[3], 80);  // second row at 10 elements * 8B
+    EXPECT_EQ(addrs[5], 96);
+}
+
+TEST(LinearPattern, TriangularViaLenDelta)
+{
+    LinearPattern p;
+    p.elemBytes = 8;
+    p.stride1 = 1;
+    p.len1 = 1;
+    p.len1Delta = 1;  // rows of growing length: 1, 2, 3
+    p.stride2 = 4;
+    p.len2 = 3;
+    EXPECT_EQ(p.numElements(), 6);
+    auto addrs = p.expandAddrs();
+    EXPECT_EQ(addrs.size(), 6u);
+}
+
+/** Parameterized stream element/traffic counting. */
+class StreamCount
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(StreamCount, ElementsAndTraffic)
+{
+    auto [len1, len2] = GetParam();
+    Stream s;
+    s.kind = StreamKind::LinearRead;
+    s.pattern.elemBytes = 8;
+    s.pattern.len1 = len1;
+    s.pattern.len2 = len2;
+    EXPECT_EQ(s.numElements(), int64_t(len1) * len2);
+    EXPECT_EQ(s.trafficBytes(), int64_t(len1) * len2 * 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StreamCount,
+                         ::testing::Combine(::testing::Values(1, 7, 64),
+                                            ::testing::Values(1, 5)));
+
+TEST(Stream, IndirectCountsIndexTraffic)
+{
+    Stream s;
+    s.kind = StreamKind::IndirectRead;
+    s.pattern.elemBytes = 8;
+    s.idxPattern.len1 = 10;
+    s.idxElemBytes = 4;
+    EXPECT_EQ(s.numElements(), 10);
+    EXPECT_EQ(s.trafficBytes(), 10 * 8 + 10 * 4);
+    EXPECT_TRUE(s.needsIndirect());
+    EXPECT_FALSE(s.needsAtomic());
+}
+
+TEST(Stream, AtomicDoublesDataTraffic)
+{
+    Stream s;
+    s.kind = StreamKind::AtomicUpdate;
+    s.pattern.elemBytes = 8;
+    s.idxPattern.len1 = 10;
+    s.idxElemBytes = 8;
+    EXPECT_TRUE(s.needsAtomic());
+    EXPECT_EQ(s.trafficBytes(), (10 * 8 + 10 * 8) * 2);
+}
+
+TEST(Stream, NonMemoryKinds)
+{
+    Stream c;
+    c.kind = StreamKind::Const;
+    c.constCount = 5;
+    EXPECT_FALSE(c.touchesMemory());
+    EXPECT_EQ(c.numElements(), 5);
+    EXPECT_EQ(c.trafficBytes(), 0);
+
+    Stream r;
+    r.kind = StreamKind::Recurrence;
+    r.recurrenceCount = 12;
+    EXPECT_EQ(r.numElements(), 12);
+    EXPECT_TRUE(r.feedsInput());
+}
+
+TEST(Region, ValidateStreamBindings)
+{
+    Region reg;
+    reg.name = "r";
+    VertexId in = reg.dfg.addInputPort("in", 1);
+    VertexId inst = reg.dfg.addInstruction(
+        OpCode::Add, {Operand::value(in), Operand::immediate(1)});
+    reg.dfg.addOutputPort("out", {Operand::value(inst)});
+    // Input port with no stream is a problem.
+    EXPECT_FALSE(reg.validate().empty());
+    Stream s;
+    s.kind = StreamKind::LinearRead;
+    s.port = in;
+    s.pattern.len1 = 4;
+    reg.addStream(s);
+    EXPECT_TRUE(reg.validate().empty());
+}
+
+TEST(Region, InstancesEstimate)
+{
+    Region reg;
+    VertexId in = reg.dfg.addInputPort("in", 4);  // 4 lanes
+    reg.dfg.addOutputPort(
+        "o", {Operand::value(in, 0), Operand::value(in, 1),
+              Operand::value(in, 2), Operand::value(in, 3)});
+    Stream s;
+    s.kind = StreamKind::LinearRead;
+    s.port = in;
+    s.pattern.len1 = 64;
+    reg.addStream(s);
+    EXPECT_EQ(reg.instancesEstimate(), 16);  // 64 elements / 4 lanes
+}
+
+TEST(Program, ForwardValidation)
+{
+    DecoupledProgram p;
+    p.regions.resize(2);
+    auto &r0 = p.regions[0];
+    VertexId i0 = r0.dfg.addInputPort("x", 1);
+    VertexId a0 = r0.dfg.addAccumulator(OpCode::Add, Operand::value(i0));
+    VertexId o0 = r0.dfg.addOutputPort("s", {Operand::value(a0)}, -1);
+    Stream s0;
+    s0.kind = StreamKind::LinearRead;
+    s0.port = i0;
+    s0.pattern.len1 = 8;
+    r0.addStream(s0);
+
+    auto &r1 = p.regions[1];
+    VertexId i1 = r1.dfg.addInputPort("fwd", 1);
+    VertexId m1 = r1.dfg.addInstruction(
+        OpCode::Mul, {Operand::value(i1), Operand::immediate(2)});
+    VertexId o1 = r1.dfg.addOutputPort("y", {Operand::value(m1)});
+    Stream w1;
+    w1.kind = StreamKind::LinearWrite;
+    w1.port = o1;
+    w1.pattern.len1 = 8;
+    r1.addStream(w1);
+
+    Forward f;
+    f.srcRegion = 0;
+    f.srcPort = o0;
+    f.dstRegion = 1;
+    f.dstPort = i1;
+    p.forwards.push_back(f);
+    EXPECT_TRUE(p.validate().empty()) << p.validate().front();
+
+    // A broken forward is caught.
+    p.forwards[0].dstPort = o1;
+    EXPECT_FALSE(p.validate().empty());
+}
+
+} // namespace
+} // namespace dsa::dfg

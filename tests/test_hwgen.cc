@@ -1,0 +1,137 @@
+/** @file Hardware generator tests: bitstream, config paths, Verilog. */
+
+#include <gtest/gtest.h>
+
+#include "adg/builders.h"
+#include "adg/prebuilt.h"
+#include "dse/explorer.h"
+#include "compiler/compile.h"
+#include "hwgen/bitstream.h"
+#include "hwgen/config_path.h"
+#include "hwgen/verilog.h"
+#include "mapper/scheduler.h"
+#include "workloads/workload.h"
+
+namespace dsa::hwgen {
+namespace {
+
+TEST(Bitstream, ConfigBitsPositiveForEveryNode)
+{
+    adg::Adg g = adg::buildDseInitial();
+    for (adg::NodeId id : g.aliveNodes())
+        EXPECT_GT(configBits(g, id), 0) << g.node(id).name;
+    EXPECT_GT(totalConfigBits(g), 1000);
+}
+
+TEST(Bitstream, SharedPeHoldsMoreConfig)
+{
+    adg::Adg g;
+    adg::PeProps p;
+    p.ops = OpSet::allInteger();
+    adg::NodeId a = g.addPe(p);
+    p.sharing = adg::Sharing::Shared;
+    p.maxInsts = 8;
+    adg::NodeId b = g.addPe(p);
+    EXPECT_GT(configBits(g, b), configBits(g, a));
+}
+
+TEST(Bitstream, EncodeScheduledProgram)
+{
+    adg::Adg hw = adg::buildSoftbrain();
+    auto features = compiler::HwFeatures::fromAdg(hw);
+    const auto &w = workloads::workload("crs");
+    auto placement = compiler::Placement::autoLayout(w.kernel, features);
+    auto r = compiler::lowerKernel(w.kernel, placement, features, {}, 1);
+    ASSERT_TRUE(r.ok);
+    auto sched = mapper::scheduleProgram(r.version.program, hw,
+                                         {.maxIters = 300, .seed = 3});
+    ASSERT_TRUE(sched.cost.legal());
+    auto bs = encodeConfig(hw, r.version.program, sched);
+    EXPECT_GT(bs.words.size(), 4u);
+    EXPECT_GT(bs.totalBits(hw), 0);
+    for (const auto &word : bs.words)
+        EXPECT_TRUE(hw.nodeAlive(word.dest));
+}
+
+TEST(ConfigPath, CoversAndConnects)
+{
+    adg::Adg g = adg::buildSoftbrain(4, 4);
+    for (int p : {1, 3, 6}) {
+        auto set = generateConfigPaths(g, p);
+        EXPECT_EQ(set.paths.size(), static_cast<size_t>(p));
+        EXPECT_EQ(validateConfigPaths(g, set), "") << p << " paths";
+    }
+}
+
+/** Fig. 13 property: path length within 2.2x of the ceil(n/p) ideal. */
+class PathSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PathSweep, NearIdealLength)
+{
+    auto [meshDim, numPaths] = GetParam();
+    adg::MeshConfig cfg;
+    cfg.rows = meshDim;
+    cfg.cols = meshDim;
+    adg::Adg g = buildMesh(cfg);
+    auto set = generateConfigPaths(g, numPaths, 300, 7);
+    ASSERT_EQ(validateConfigPaths(g, set), "");
+    int n = static_cast<int>(g.aliveNodes().size());
+    int ideal = (n + numPaths - 1) / numPaths;
+    EXPECT_LE(set.maxLength(), static_cast<int>(2.2 * ideal) + 3)
+        << "mesh " << meshDim << "x" << meshDim << ", " << numPaths
+        << " paths: " << set.maxLength() << " vs ideal " << ideal;
+    EXPECT_GE(set.maxLength(), ideal);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Meshes, PathSweep,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5),
+                       ::testing::Values(3, 6, 9)));
+
+TEST(ConfigPath, MorePathsShortenLongest)
+{
+    adg::Adg g = adg::buildSoftbrain(5, 5);
+    auto p3 = generateConfigPaths(g, 3, 300, 7);
+    auto p9 = generateConfigPaths(g, 9, 300, 7);
+    EXPECT_LT(p9.maxLength(), p3.maxLength());
+}
+
+TEST(ConfigPath, SurvivesIrregularMutatedGraphs)
+{
+    // DSE-mutated designs have irregular connectivity; paths must
+    // still cover every node.
+    dse::DseOptions opts;
+    opts.maxIters = 40;
+    opts.noImproveExit = 40;
+    opts.schedIters = 20;
+    opts.initSchedIters = 300;
+    opts.unrollFactors = {1};
+    dse::Explorer ex(workloads::suiteWorkloads("PolyBench"), opts);
+    adg::Adg g = ex.run(adg::buildDseInitial()).best;
+    auto set = generateConfigPaths(g, 4, 300, 9);
+    EXPECT_EQ(validateConfigPaths(g, set), "");
+}
+
+TEST(Verilog, EmitsModulesAndScanChain)
+{
+    adg::Adg g = adg::buildSoftbrain(3, 3);
+    auto paths = generateConfigPaths(g, 2);
+    std::string v = emitVerilog(g, "softbrain_3x3", paths);
+    EXPECT_NE(v.find("module softbrain_3x3"), std::string::npos);
+    EXPECT_NE(v.find("module dsa_pe"), std::string::npos);
+    EXPECT_NE(v.find("module dsa_switch"), std::string::npos);
+    EXPECT_NE(v.find("cfg_in_0"), std::string::npos);
+    EXPECT_NE(v.find("cfg_out_1"), std::string::npos);
+    // One instance per live node.
+    size_t count = 0, pos = 0;
+    while ((pos = v.find("\n  dsa_", pos)) != std::string::npos) {
+        ++count;
+        ++pos;
+    }
+    EXPECT_EQ(count, g.aliveNodes().size());
+    EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+} // namespace
+} // namespace dsa::hwgen

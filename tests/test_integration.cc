@@ -1,0 +1,176 @@
+/**
+ * @file
+ * End-to-end integration: for each workload, compile -> spatially
+ * schedule -> simulate cycle-by-cycle on the full-capability DSE seed
+ * fabric, and validate every output array against the golden
+ * interpreter. Also cross-checks the analytical performance model
+ * against simulated cycles on the well-behaved kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "adg/prebuilt.h"
+#include "compiler/compile.h"
+#include "mapper/scheduler.h"
+#include "model/perf_model.h"
+#include "sim/simulator.h"
+#include "workloads/workload.h"
+
+namespace dsa {
+namespace {
+
+struct EndToEnd
+{
+    bool ok = false;
+    std::string error;
+    double estCycles = 0;
+    int64_t simCycles = 0;
+};
+
+EndToEnd
+runEndToEnd(const workloads::Workload &w, const adg::Adg &hw, int unroll,
+            int schedIters)
+{
+    EndToEnd r;
+    auto golden = workloads::runGolden(w);
+    auto features = compiler::HwFeatures::fromAdg(hw);
+    auto placement = compiler::Placement::autoLayout(w.kernel, features);
+    auto lowered = compiler::lowerKernel(w.kernel, placement, features,
+                                         {}, unroll);
+    if (!lowered.ok) {
+        r.error = "lower: " + lowered.error;
+        return r;
+    }
+    const auto &prog = lowered.version.program;
+    auto sched = mapper::scheduleProgram(
+        prog, hw, {.maxIters = schedIters, .seed = 5});
+    if (!sched.cost.legal()) {
+        r.error = "schedule illegal: unplaced=" +
+                  std::to_string(sched.cost.unplaced) + " overuse=" +
+                  std::to_string(sched.cost.overuse) + " violations=" +
+                  std::to_string(sched.cost.violations);
+        return r;
+    }
+    auto est = model::estimatePerformance(prog, sched, hw);
+    r.estCycles = est.cycles;
+
+    auto img = sim::MemImage::build(w.kernel, golden.initial, placement);
+    sim::SimOptions opts;
+    opts.maxCycles = 50'000'000;
+    auto sim = sim::simulate(prog, sched, hw, img, opts);
+    if (!sim.ok) {
+        r.error = "sim: " + sim.error;
+        return r;
+    }
+    r.simCycles = sim.cycles;
+    ir::ArrayStore out = golden.initial;
+    img.extract(w.kernel, placement, out);
+    std::string mismatch = workloads::checkOutputs(w, golden.final, out);
+    if (!mismatch.empty()) {
+        r.error = "output mismatch: " + mismatch;
+        return r;
+    }
+    r.ok = true;
+    return r;
+}
+
+struct Case
+{
+    const char *name;
+    int schedIters;
+};
+
+class WorkloadEndToEnd : public ::testing::TestWithParam<Case> {};
+
+TEST_P(WorkloadEndToEnd, SimulatesCorrectlyOnDseSeed)
+{
+    const auto &w = workloads::workload(GetParam().name);
+    auto r = runEndToEnd(w, adg::buildDseInitial(), 1,
+                         GetParam().schedIters);
+    ASSERT_TRUE(r.ok) << w.name << ": " << r.error;
+    EXPECT_GT(r.simCycles, 0);
+}
+
+// Scheduling effort scales with how tight the kernel maps onto the
+// 5x4 mixed-protocol seed fabric.
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadEndToEnd,
+    ::testing::Values(Case{"crs", 400}, Case{"ellpack", 400},
+                      Case{"mm", 400}, Case{"histogram", 300},
+                      Case{"join", 500}, Case{"qr", 600},
+                      Case{"chol", 600}, Case{"fft", 800},
+                      Case{"p-mm", 400}, Case{"2mm", 500},
+                      Case{"3mm", 500}, Case{"pool", 500},
+                      Case{"classifier", 400}, Case{"sparse-cnn", 700},
+                      Case{"prodcons", 400}, Case{"repupdate", 400},
+                      Case{"stencil-3d", 900}, Case{"conv", 1500},
+                      Case{"md", 2500}, Case{"stencil-2d", 2500},
+                      Case{"fir", 400}, Case{"solver", 600}),
+    [](const auto &info) {
+        std::string n = info.param.name;
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+TEST(Integration, UnrolledMmCorrectOnSoftbrain)
+{
+    const auto &w = workloads::workload("p-mm");
+    auto r = runEndToEnd(w, adg::buildSoftbrain(), 4, 500);
+    ASSERT_TRUE(r.ok) << r.error;
+}
+
+TEST(Integration, JoinCorrectOnSpu)
+{
+    const auto &w = workloads::workload("join");
+    auto r = runEndToEnd(w, adg::buildSpu(), 1, 500);
+    ASSERT_TRUE(r.ok) << r.error;
+}
+
+TEST(Integration, JoinSerializedFallbackCorrectOnSoftbrain)
+{
+    // No stream-join hardware: the merge runs serialized on the
+    // control core but still produces the right answer, much slower.
+    const auto &w = workloads::workload("join");
+    auto soft = runEndToEnd(w, adg::buildSoftbrain(), 1, 500);
+    ASSERT_TRUE(soft.ok) << soft.error;
+    auto spu = runEndToEnd(w, adg::buildSpu(), 1, 500);
+    ASSERT_TRUE(spu.ok) << spu.error;
+    EXPECT_GT(soft.simCycles, 2 * spu.simCycles);
+}
+
+TEST(Integration, HistogramFallbackCorrectWithoutAtomics)
+{
+    const auto &w = workloads::workload("histogram");
+    auto soft = runEndToEnd(w, adg::buildSoftbrain(), 1, 400);
+    ASSERT_TRUE(soft.ok) << soft.error;
+    auto spu = runEndToEnd(w, adg::buildSpu(), 1, 400);
+    ASSERT_TRUE(spu.ok) << spu.error;
+    EXPECT_GT(soft.simCycles, spu.simCycles);
+}
+
+TEST(Integration, ModelTracksSimulatorWithinBounds)
+{
+    // The paper reports 7% mean / 30% max model error; our substrate
+    // is coarser — require geomean within 2x and each within 3x.
+    double logSum = 0;
+    int count = 0;
+    for (const char *name : {"crs", "mm", "histogram", "classifier",
+                             "p-mm", "repupdate"}) {
+        const auto &w = workloads::workload(name);
+        auto r = runEndToEnd(w, adg::buildDseInitial(), 1, 400);
+        ASSERT_TRUE(r.ok) << name << ": " << r.error;
+        double ratio = r.estCycles / static_cast<double>(r.simCycles);
+        EXPECT_GT(ratio, 1.0 / 3.0) << name;
+        EXPECT_LT(ratio, 3.0) << name;
+        logSum += std::log(ratio);
+        ++count;
+    }
+    double geo = std::exp(logSum / count);
+    EXPECT_GT(geo, 0.5);
+    EXPECT_LT(geo, 2.0);
+}
+
+} // namespace
+} // namespace dsa

@@ -1,0 +1,247 @@
+/** @file Unit tests for the loop-nest IR: interpreter + affine analysis. */
+
+#include <gtest/gtest.h>
+
+#include "ir/affine.h"
+#include "ir/interp.h"
+
+namespace dsa::ir {
+namespace {
+
+KernelSource
+vecAddKernel(int64_t n)
+{
+    KernelSource k;
+    k.name = "vecadd";
+    k.params["n"] = n;
+    k.arrays = {{"a", n, 8, false, false},
+                {"b", n, 8, false, false},
+                {"c", n, 8, false, false}};
+    k.body = {makeLoop(
+        0, param("n"),
+        {makeStore("c", iterVar(0),
+                   binary(OpCode::Add, load("a", iterVar(0)),
+                          load("b", iterVar(0))))},
+        true)};
+    return k;
+}
+
+TEST(Interp, VectorAdd)
+{
+    auto k = vecAddKernel(16);
+    ArrayStore st(k);
+    for (int i = 0; i < 16; ++i) {
+        st.data("a")[i] = i;
+        st.data("b")[i] = 100 - i;
+    }
+    auto stats = interpret(k, st);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(st.data("c")[i], 100u);
+    EXPECT_EQ(stats.loads, 32);
+    EXPECT_EQ(stats.stores, 16);
+    EXPECT_EQ(stats.loopIters, 16);
+}
+
+TEST(Interp, ReductionAndScalars)
+{
+    KernelSource k;
+    k.name = "dot";
+    k.params["n"] = 8;
+    k.arrays = {{"a", 8, 8, false, false}, {"out", 1, 8, false, false}};
+    k.body = {
+        makeLet("s", intConst(5)),
+        makeLoop(0, param("n"),
+                 {makeReduce("s", OpCode::Add, load("a", iterVar(0)))},
+                 true),
+        makeStore("out", intConst(0), scalarRef("s")),
+    };
+    ArrayStore st(k);
+    for (int i = 0; i < 8; ++i)
+        st.data("a")[i] = 2;
+    interpret(k, st);
+    EXPECT_EQ(st.data("out")[0], 21u);  // 5 + 8*2
+}
+
+TEST(Interp, IfElseBranches)
+{
+    KernelSource k;
+    k.name = "clip";
+    k.params["n"] = 6;
+    k.arrays = {{"a", 6, 8, false, false}, {"b", 6, 8, false, false}};
+    k.body = {makeLoop(
+        0, param("n"),
+        {makeIf(binary(OpCode::CmpLT, load("a", iterVar(0)), intConst(3)),
+                {makeStore("b", iterVar(0), intConst(111))},
+                {makeStore("b", iterVar(0), intConst(222))})},
+        true)};
+    ArrayStore st(k);
+    for (int i = 0; i < 6; ++i)
+        st.data("a")[i] = i;
+    auto stats = interpret(k, st);
+    for (int i = 0; i < 6; ++i)
+        EXPECT_EQ(st.data("b")[i], i < 3 ? 111u : 222u);
+    EXPECT_EQ(stats.branches, 6);
+}
+
+TEST(Interp, UpdateStore)
+{
+    KernelSource k;
+    k.name = "hist";
+    k.params["n"] = 10;
+    k.arrays = {{"key", 10, 8, false, false},
+                {"h", 4, 8, false, false}};
+    k.body = {makeLoop(0, param("n"),
+                       {makeUpdate("h", load("key", iterVar(0)),
+                                   OpCode::Add, intConst(1))},
+                       true)};
+    ArrayStore st(k);
+    int64_t keys[10] = {0, 1, 2, 3, 0, 1, 2, 0, 1, 0};
+    for (int i = 0; i < 10; ++i)
+        st.data("key")[i] = static_cast<Value>(keys[i]);
+    interpret(k, st);
+    EXPECT_EQ(st.data("h")[0], 4u);
+    EXPECT_EQ(st.data("h")[1], 3u);
+    EXPECT_EQ(st.data("h")[2], 2u);
+    EXPECT_EQ(st.data("h")[3], 1u);
+}
+
+TEST(Interp, MergeLoopInnerJoin)
+{
+    KernelSource k;
+    k.name = "join";
+    k.params["n"] = 4;
+    k.arrays = {{"ka", 4, 8, false, false}, {"va", 4, 8, true, false},
+                {"kb", 4, 8, false, false}, {"vb", 4, 8, true, false},
+                {"out", 1, 8, true, false}};
+    MergeLoopInfo m;
+    m.keysA = "ka";
+    m.keysB = "kb";
+    m.lenA = param("n");
+    m.lenB = param("n");
+    m.ivA = 5;
+    m.ivB = 6;
+    k.body = {
+        makeLet("acc", floatConst(0.0)),
+        makeMergeLoop(m, {makeReduce(
+                             "acc", OpCode::FAdd,
+                             binary(OpCode::FMul, load("va", iterVar(5)),
+                                    load("vb", iterVar(6))))}),
+        makeStore("out", intConst(0), scalarRef("acc")),
+    };
+    ArrayStore st(k);
+    int64_t ka[4] = {1, 3, 5, 7}, kb[4] = {2, 3, 5, 9};
+    for (int i = 0; i < 4; ++i) {
+        st.data("ka")[i] = static_cast<Value>(ka[i]);
+        st.data("kb")[i] = static_cast<Value>(kb[i]);
+        st.data("va")[i] = valueFromF64(i + 1.0);
+        st.data("vb")[i] = valueFromF64(10.0 * (i + 1));
+    }
+    interpret(k, st);
+    // Matches at keys 3 (va[1]*vb[1]) and 5 (va[2]*vb[2]).
+    EXPECT_DOUBLE_EQ(valueAsF64(st.data("out")[0]),
+                     2.0 * 20.0 + 3.0 * 30.0);
+}
+
+TEST(Affine, BasicForms)
+{
+    std::map<std::string, int64_t> params{{"n", 10}};
+    auto f = analyzeAffine(
+        binary(OpCode::Add,
+               binary(OpCode::Mul, iterVar(0), param("n")), iterVar(1)),
+        params);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->base, 0);
+    EXPECT_EQ(f->coeff(0), 10);
+    EXPECT_EQ(f->coeff(1), 1);
+
+    auto g = analyzeAffine(
+        binary(OpCode::Sub, intConst(5),
+               binary(OpCode::Mul, intConst(2), iterVar(3))),
+        params);
+    ASSERT_TRUE(g.has_value());
+    EXPECT_EQ(g->base, 5);
+    EXPECT_EQ(g->coeff(3), -2);
+}
+
+TEST(Affine, ShiftAsScale)
+{
+    std::map<std::string, int64_t> params;
+    auto f = analyzeAffine(binary(OpCode::Shl, iterVar(0), intConst(3)),
+                           params);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->coeff(0), 8);
+}
+
+TEST(Affine, RejectsNonAffine)
+{
+    std::map<std::string, int64_t> params;
+    EXPECT_FALSE(analyzeAffine(
+        binary(OpCode::Mul, iterVar(0), iterVar(1)), params));
+    EXPECT_FALSE(analyzeAffine(load("b", iterVar(0)), params));
+    EXPECT_FALSE(analyzeAffine(scalarRef("x"), params));
+    EXPECT_FALSE(analyzeAffine(param("unknown"), params));
+}
+
+TEST(Affine, IndirectRecognition)
+{
+    std::map<std::string, int64_t> params{{"d", 4}};
+    // b[i*d + j] + 2
+    auto idx = binary(
+        OpCode::Add,
+        load("b", binary(OpCode::Add,
+                         binary(OpCode::Mul, iterVar(0), param("d")),
+                         iterVar(1))),
+        intConst(2));
+    auto f = analyzeIndirect(idx, params);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->idxArray, "b");
+    EXPECT_EQ(f->offset, 2);
+    EXPECT_EQ(f->idxAffine.coeff(0), 4);
+    EXPECT_EQ(f->idxAffine.coeff(1), 1);
+
+    // Plain affine is NOT indirect.
+    EXPECT_FALSE(analyzeIndirect(iterVar(0), params));
+}
+
+/** Parameterized sweep: affine evaluation matches interpretation. */
+class AffineSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(AffineSweep, FormulaMatchesDirectEval)
+{
+    auto [a, b, c] = GetParam();
+    std::map<std::string, int64_t> params{{"n", 7}};
+    // expr = a*i0 + b*i1 + c + n
+    auto expr = binary(
+        OpCode::Add,
+        binary(OpCode::Add,
+               binary(OpCode::Mul, intConst(a), iterVar(0)),
+               binary(OpCode::Mul, intConst(b), iterVar(1))),
+        binary(OpCode::Add, intConst(c), param("n")));
+    auto f = analyzeAffine(expr, params);
+    ASSERT_TRUE(f.has_value());
+    for (int64_t i0 = 0; i0 < 3; ++i0)
+        for (int64_t i1 = 0; i1 < 3; ++i1) {
+            int64_t expect = a * i0 + b * i1 + c + 7;
+            int64_t got = f->base + f->coeff(0) * i0 + f->coeff(1) * i1;
+            EXPECT_EQ(got, expect);
+        }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Coeffs, AffineSweep,
+    ::testing::Combine(::testing::Values(-2, 0, 3),
+                       ::testing::Values(-1, 1, 5),
+                       ::testing::Values(0, 9)));
+
+TEST(Expr, Helpers)
+{
+    auto e = binary(OpCode::Mul, load("a", iterVar(0)), intConst(2));
+    EXPECT_TRUE(exprHasLoad(e));
+    EXPECT_FALSE(exprHasLoad(iterVar(0)));
+    EXPECT_EQ(exprOpCount(e), 1);
+    EXPECT_NE(exprToString(e).find("a[i0]"), std::string::npos);
+}
+
+} // namespace
+} // namespace dsa::ir

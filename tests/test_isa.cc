@@ -1,0 +1,156 @@
+/** @file Unit tests for the opcode vocabulary and evaluator. */
+
+#include <gtest/gtest.h>
+
+#include "isa/opcode.h"
+
+namespace dsa {
+namespace {
+
+TEST(OpInfo, MetadataConsistent)
+{
+    for (int i = 0; i < kNumOpCodes; ++i) {
+        auto op = static_cast<OpCode>(i);
+        const OpInfo &info = opInfo(op);
+        EXPECT_GT(info.latency, 0) << info.name;
+        EXPECT_GE(info.numOperands, 1) << info.name;
+        EXPECT_LE(info.numOperands, 3) << info.name;
+        EXPECT_EQ(opFromName(info.name), op);
+    }
+}
+
+TEST(OpSet, BasicOps)
+{
+    OpSet s{OpCode::Add, OpCode::Mul};
+    EXPECT_TRUE(s.contains(OpCode::Add));
+    EXPECT_FALSE(s.contains(OpCode::Div));
+    EXPECT_EQ(s.size(), 2);
+    s.insert(OpCode::Div);
+    EXPECT_EQ(s.size(), 3);
+    s.erase(OpCode::Div);
+    EXPECT_EQ(s.size(), 2);
+
+    OpSet t{OpCode::Add};
+    EXPECT_TRUE(s.covers(t));
+    EXPECT_FALSE(t.covers(s));
+    EXPECT_EQ((s & t).size(), 1);
+    EXPECT_EQ((s | t).size(), 2);
+}
+
+TEST(OpSet, AllPartitions)
+{
+    OpSet all = OpSet::all();
+    OpSet ints = OpSet::allInteger();
+    OpSet fps = OpSet::allFloat();
+    EXPECT_EQ(all.size(), kNumOpCodes);
+    EXPECT_EQ(ints.size() + fps.size(), kNumOpCodes);
+    EXPECT_TRUE(all.covers(ints));
+    EXPECT_TRUE(all.covers(fps));
+    EXPECT_EQ((ints & fps).size(), 0);
+    EXPECT_EQ(OpSet::fromRaw(all.raw()).size(), all.size());
+}
+
+TEST(EvalOp, IntegerArithmetic)
+{
+    auto u = [](int64_t v) { return static_cast<Value>(v); };
+    EXPECT_EQ(evalOp(OpCode::Add, u(3), u(4), 0, nullptr), u(7));
+    EXPECT_EQ(evalOp(OpCode::Sub, u(3), u(5), 0, nullptr), u(-2));
+    EXPECT_EQ(evalOp(OpCode::Mul, u(-3), u(4), 0, nullptr), u(-12));
+    EXPECT_EQ(evalOp(OpCode::Div, u(7), u(2), 0, nullptr), u(3));
+    EXPECT_EQ(evalOp(OpCode::Div, u(7), u(0), 0, nullptr), u(0));
+    EXPECT_EQ(evalOp(OpCode::Mod, u(7), u(3), 0, nullptr), u(1));
+    EXPECT_EQ(evalOp(OpCode::Min, u(-3), u(2), 0, nullptr), u(-3));
+    EXPECT_EQ(evalOp(OpCode::Max, u(-3), u(2), 0, nullptr), u(2));
+    EXPECT_EQ(evalOp(OpCode::Abs, u(-3), 0, 0, nullptr), u(3));
+}
+
+TEST(EvalOp, Comparisons)
+{
+    auto u = [](int64_t v) { return static_cast<Value>(v); };
+    EXPECT_EQ(evalOp(OpCode::CmpLT, u(-1), u(1), 0, nullptr), 1u);
+    EXPECT_EQ(evalOp(OpCode::CmpGE, u(-1), u(1), 0, nullptr), 0u);
+    EXPECT_EQ(evalOp(OpCode::CmpEQ, u(5), u(5), 0, nullptr), 1u);
+    EXPECT_EQ(evalOp(OpCode::Cmp3, u(2), u(2), 0, nullptr), 0u);
+    EXPECT_EQ(evalOp(OpCode::Cmp3, u(1), u(2), 0, nullptr), 1u);
+    EXPECT_EQ(evalOp(OpCode::Cmp3, u(3), u(2), 0, nullptr), 2u);
+}
+
+TEST(EvalOp, Select)
+{
+    EXPECT_EQ(evalOp(OpCode::Select, 1, 10, 20, nullptr), 10u);
+    EXPECT_EQ(evalOp(OpCode::Select, 0, 10, 20, nullptr), 20u);
+}
+
+TEST(EvalOp, FloatRoundTrip)
+{
+    Value a = valueFromF64(1.5), b = valueFromF64(2.25);
+    EXPECT_DOUBLE_EQ(valueAsF64(evalOp(OpCode::FAdd, a, b, 0, nullptr)),
+                     3.75);
+    EXPECT_DOUBLE_EQ(valueAsF64(evalOp(OpCode::FMul, a, b, 0, nullptr)),
+                     3.375);
+    EXPECT_DOUBLE_EQ(valueAsF64(evalOp(OpCode::FSub, a, b, 0, nullptr)),
+                     -0.75);
+    EXPECT_DOUBLE_EQ(
+        valueAsF64(evalOp(OpCode::FSqrt, valueFromF64(9.0), 0, 0,
+                          nullptr)),
+        3.0);
+    EXPECT_EQ(evalOp(OpCode::FCmp3, a, b, 0, nullptr), 1u);
+    EXPECT_EQ(evalOp(OpCode::FCmp3, b, a, 0, nullptr), 2u);
+    EXPECT_EQ(evalOp(OpCode::FCmp3, a, a, 0, nullptr), 0u);
+}
+
+TEST(EvalOp, Accumulate)
+{
+    Value acc = 0;
+    evalOp(OpCode::Acc, 5, 0, 0, &acc);
+    evalOp(OpCode::Acc, 7, 0, 0, &acc);
+    EXPECT_EQ(acc, 12u);
+
+    Value facc = valueFromF64(0.0);
+    evalOp(OpCode::FAcc, valueFromF64(1.5), 0, 0, &facc);
+    evalOp(OpCode::FAcc, valueFromF64(2.0), 0, 0, &facc);
+    EXPECT_DOUBLE_EQ(valueAsF64(facc), 3.5);
+}
+
+TEST(EvalOp, ActivationFunctions)
+{
+    EXPECT_DOUBLE_EQ(
+        valueAsF64(evalOp(OpCode::ReLU, valueFromF64(-2.0), 0, 0,
+                          nullptr)),
+        0.0);
+    EXPECT_DOUBLE_EQ(
+        valueAsF64(evalOp(OpCode::ReLU, valueFromF64(2.0), 0, 0,
+                          nullptr)),
+        2.0);
+    double sig = valueAsF64(
+        evalOp(OpCode::Sigmoid, valueFromF64(0.0), 0, 0, nullptr));
+    EXPECT_NEAR(sig, 0.5, 1e-12);
+}
+
+/** Property sweep: Cmp3 is consistent with CmpLT/CmpEQ for all pairs. */
+class Cmp3Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Cmp3Property, MatchesPairwiseCompares)
+{
+    int64_t a = GetParam();
+    for (int64_t b = -4; b <= 4; ++b) {
+        Value c3 = evalOp(OpCode::Cmp3, static_cast<Value>(a),
+                          static_cast<Value>(b), 0, nullptr);
+        Value lt = evalOp(OpCode::CmpLT, static_cast<Value>(a),
+                          static_cast<Value>(b), 0, nullptr);
+        Value eq = evalOp(OpCode::CmpEQ, static_cast<Value>(a),
+                          static_cast<Value>(b), 0, nullptr);
+        if (eq)
+            EXPECT_EQ(c3, 0u);
+        else if (lt)
+            EXPECT_EQ(c3, 1u);
+        else
+            EXPECT_EQ(c3, 2u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Cmp3Property,
+                         ::testing::Range(-4, 5));
+
+} // namespace
+} // namespace dsa

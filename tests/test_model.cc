@@ -1,0 +1,223 @@
+/** @file Unit tests for the cost models (oracle, regression, perf, host). */
+
+#include <gtest/gtest.h>
+
+#include "adg/prebuilt.h"
+#include "compiler/compile.h"
+#include "mapper/scheduler.h"
+#include "model/host_model.h"
+#include "model/perf_model.h"
+#include "model/reference_points.h"
+#include "model/regression.h"
+#include "model/synth_oracle.h"
+#include "workloads/workload.h"
+
+namespace dsa::model {
+namespace {
+
+TEST(SynthOracle, Deterministic)
+{
+    adg::Adg g = adg::buildSoftbrain();
+    auto a = synthFabric(g);
+    auto b = synthFabric(g);
+    EXPECT_DOUBLE_EQ(a.areaMm2, b.areaMm2);
+    EXPECT_DOUBLE_EQ(a.powerMw, b.powerMw);
+    EXPECT_GT(a.areaMm2, 0.05);
+    EXPECT_LT(a.areaMm2, 10.0);
+    EXPECT_GT(a.powerMw, 10.0);
+}
+
+TEST(SynthOracle, DynamicCostsMoreThanStatic)
+{
+    adg::AdgNode a, b;
+    a.kind = adg::NodeKind::Pe;
+    adg::PeProps p;
+    p.ops = OpSet{OpCode::Add, OpCode::Mul};
+    a.props = p;
+    p.sched = adg::Scheduling::Dynamic;
+    b.kind = adg::NodeKind::Pe;
+    b.props = p;
+    EXPECT_GT(synthComponent(b).areaMm2, synthComponent(a).areaMm2);
+    EXPECT_GT(synthComponent(b).powerMw, synthComponent(a).powerMw);
+}
+
+TEST(SynthOracle, FpCostsMoreThanInt)
+{
+    adg::AdgNode a, b;
+    a.kind = b.kind = adg::NodeKind::Pe;
+    adg::PeProps pa, pb;
+    pa.ops = OpSet{OpCode::Add};
+    pb.ops = OpSet{OpCode::FMul};
+    a.props = pa;
+    b.props = pb;
+    EXPECT_GT(synthComponent(b).areaMm2, synthComponent(a).areaMm2);
+}
+
+TEST(SynthOracle, SharedPaysInstructionBuffer)
+{
+    adg::AdgNode a, b;
+    a.kind = b.kind = adg::NodeKind::Pe;
+    adg::PeProps p;
+    p.ops = OpSet{OpCode::Add};
+    a.props = p;
+    p.sharing = adg::Sharing::Shared;
+    p.maxInsts = 16;
+    b.props = p;
+    EXPECT_GT(synthComponent(b).areaMm2, synthComponent(a).areaMm2);
+}
+
+TEST(Regression, LeastSquaresRecoversLinear)
+{
+    // y = 2 + 3x.
+    std::vector<std::vector<double>> X;
+    std::vector<double> y;
+    for (int i = 0; i < 10; ++i) {
+        X.push_back({1.0, static_cast<double>(i)});
+        y.push_back(2.0 + 3.0 * i);
+    }
+    auto w = leastSquares(X, y);
+    ASSERT_EQ(w.size(), 2u);
+    EXPECT_NEAR(w[0], 2.0, 1e-6);
+    EXPECT_NEAR(w[1], 3.0, 1e-6);
+}
+
+TEST(Regression, ComponentFitIsAccurate)
+{
+    const auto &m = AreaPowerModel::instance();
+    // Mean relative error on the training set is small (within the
+    // oracle's noise + model bias); the paper reports a few percent.
+    EXPECT_LT(m.validationError(), 0.12);
+}
+
+TEST(Regression, EstimateBelowSynthesisForWholeFabric)
+{
+    // The regression does not see the whole-fabric integration
+    // overhead, so it under-estimates by roughly that margin — the
+    // 4-7% gap of Fig. 15.
+    const auto &m = AreaPowerModel::instance();
+    for (auto build : {adg::buildSoftbrain, adg::buildSpu}) {
+        adg::Adg g = build(4, 4);
+        double est = m.fabric(g).areaMm2;
+        double synth = synthFabric(g).areaMm2;
+        EXPECT_LT(est, synth);
+        double gap = (synth - est) / synth;
+        EXPECT_GT(gap, 0.01);
+        EXPECT_LT(gap, 0.15);
+    }
+}
+
+TEST(Regression, MonotoneInFabricSize)
+{
+    const auto &m = AreaPowerModel::instance();
+    double a3 = m.fabric(adg::buildSoftbrain(3, 3)).areaMm2;
+    double a5 = m.fabric(adg::buildSoftbrain(5, 5)).areaMm2;
+    EXPECT_GT(a5, a3);
+}
+
+TEST(ReferencePoints, AllPresent)
+{
+    EXPECT_GE(referencePoints().size(), 5u);
+    EXPECT_GT(referencePoint("DianNao").cost.areaMm2, 0);
+    EXPECT_TRUE(referencePoint("SCNN").isDsa);
+    EXPECT_FALSE(referencePoint("Softbrain").isDsa);
+}
+
+TEST(HostModel, ScalesWithWork)
+{
+    ir::InterpStats small{100, 50, 50, 10, 10};
+    ir::InterpStats big{1000, 500, 500, 100, 100};
+    EXPECT_GT(estimateHostCycles(big), estimateHostCycles(small) * 5);
+}
+
+TEST(PerfModel, IllegalScheduleIsInfinite)
+{
+    adg::Adg hw = adg::buildSoftbrain();
+    auto features = compiler::HwFeatures::fromAdg(hw);
+    const auto &w = workloads::workload("crs");
+    auto placement = compiler::Placement::autoLayout(w.kernel, features);
+    auto r = compiler::lowerKernel(w.kernel, placement, features, {}, 1);
+    ASSERT_TRUE(r.ok);
+    auto empty = mapper::Schedule::emptyFor(r.version.program);
+    empty.cost.unplaced = 1;  // not legal
+    auto est = estimatePerformance(r.version.program, empty, hw);
+    EXPECT_FALSE(est.legal);
+    EXPECT_GT(est.cycles, 1e20);
+}
+
+TEST(PerfModel, TracksSimulatorOnClassifier)
+{
+    adg::Adg hw = adg::buildSoftbrain();
+    auto features = compiler::HwFeatures::fromAdg(hw);
+    const auto &w = workloads::workload("classifier");
+    auto placement = compiler::Placement::autoLayout(w.kernel, features);
+    auto r = compiler::lowerKernel(w.kernel, placement, features, {}, 1);
+    ASSERT_TRUE(r.ok);
+    auto sched = mapper::scheduleProgram(r.version.program, hw,
+                                         {.maxIters = 300, .seed = 5});
+    ASSERT_TRUE(sched.cost.legal());
+    auto est = estimatePerformance(r.version.program, sched, hw);
+    EXPECT_TRUE(est.legal);
+    EXPECT_GT(est.cycles, 1000);
+    EXPECT_GT(est.ipc, 0.0);
+    EXPECT_EQ(est.regions.size(), 1u);
+}
+
+TEST(PerfModel, UnrollingImprovesEstimate)
+{
+    adg::Adg hw = adg::buildSoftbrain();
+    auto features = compiler::HwFeatures::fromAdg(hw);
+    const auto &w = workloads::workload("classifier");
+    auto placement = compiler::Placement::autoLayout(w.kernel, features);
+    double cycles1 = 0, cycles4 = 0;
+    for (int u : {1, 4}) {
+        auto r = compiler::lowerKernel(w.kernel, placement, features, {},
+                                       u);
+        ASSERT_TRUE(r.ok);
+        auto sched = mapper::scheduleProgram(
+            r.version.program, hw, {.maxIters = 300, .seed = 5});
+        ASSERT_TRUE(sched.cost.legal()) << "u=" << u;
+        auto est = estimatePerformance(r.version.program, sched, hw);
+        (u == 1 ? cycles1 : cycles4) = est.cycles;
+    }
+    EXPECT_LT(cycles4, cycles1);
+}
+
+TEST(PerfModel, BandwidthBoundKernelIsBandwidthLimited)
+{
+    // A wide elementwise kernel (8 lanes, 4 streams of 8B) wants 32B
+    // per lane-group cycle: beyond the 64B/cycle memory interface.
+    using namespace ir;
+    constexpr int64_t n = 1024;
+    KernelSource k;
+    k.name = "triad";
+    k.params["n"] = n;
+    k.arrays = {{"a", n, 8, false, false},
+                {"b", n, 8, false, false},
+                {"cc", n, 8, false, false},
+                {"d", n, 8, false, false}};
+    k.body = {makeLoop(
+        0, param("n"),
+        {makeStore("d", iterVar(0),
+                   binary(OpCode::Add,
+                          binary(OpCode::Add, load("a", iterVar(0)),
+                                 load("b", iterVar(0))),
+                          load("cc", iterVar(0))))},
+        true)};
+    adg::Adg hw = adg::buildSoftbrain();
+    // Starve the memory interface so bandwidth is the limiter.
+    for (adg::NodeId id : hw.aliveNodes(adg::NodeKind::Memory))
+        hw.node(id).mem().widthBytes = 16;
+    auto features = compiler::HwFeatures::fromAdg(hw);
+    auto placement = compiler::Placement::autoLayout(k, features);
+    auto r = compiler::lowerKernel(k, placement, features, {}, 4);
+    ASSERT_TRUE(r.ok) << r.error;
+    auto sched = mapper::scheduleProgram(r.version.program, hw,
+                                         {.maxIters = 800, .seed = 5});
+    ASSERT_TRUE(sched.cost.legal());
+    auto est = estimatePerformance(r.version.program, sched, hw);
+    EXPECT_LT(est.regions[0].bwRatio, 1.0);
+    EXPECT_LT(est.regions[0].activity, 1.0);
+}
+
+} // namespace
+} // namespace dsa::model

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Cross-cutting property tests: algebraic invariants checked over
+ * parameter sweeps (patterns vs reference loops, serialization fixed
+ * points, reduction identities, cost-model monotonicity).
+ */
+
+#include <gtest/gtest.h>
+
+#include "adg/prebuilt.h"
+#include "base/rng.h"
+#include "dfg/stream.h"
+#include "mapper/schedule.h"
+#include "model/regression.h"
+#include "model/synth_oracle.h"
+
+namespace dsa {
+namespace {
+
+/** LinearPattern::expandAddrs equals the reference double loop. */
+class PatternSweep
+    : public ::testing::TestWithParam<
+          std::tuple<int, int, int, int, int>> {};
+
+TEST_P(PatternSweep, MatchesReferenceLoop)
+{
+    auto [stride1, len1, stride2, len2, delta] = GetParam();
+    dfg::LinearPattern p;
+    p.baseBytes = 1000;
+    p.elemBytes = 8;
+    p.stride1 = stride1;
+    p.len1 = len1;
+    p.stride2 = stride2;
+    p.len2 = len2;
+    p.len1Delta = delta;
+    std::vector<int64_t> expect;
+    for (int64_t i = 0; i < len2; ++i) {
+        int64_t inner = len1 + i * delta;
+        for (int64_t j = 0; j < inner; ++j)
+            expect.push_back(1000 + (i * stride2 + j * stride1) * 8);
+    }
+    EXPECT_EQ(p.expandAddrs(), expect);
+    EXPECT_EQ(p.numElements(), static_cast<int64_t>(expect.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PatternSweep,
+    ::testing::Combine(::testing::Values(1, 3, 0),   // stride1
+                       ::testing::Values(1, 5),      // len1
+                       ::testing::Values(0, 7),      // stride2
+                       ::testing::Values(1, 4),      // len2
+                       ::testing::Values(0, 1)));    // len1Delta
+
+/** ADG serialization is a fixed point for every prebuilt target. */
+class AdgRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdgRoundTrip, TextFixedPoint)
+{
+    adg::Adg g;
+    switch (GetParam()) {
+      case 0: g = adg::buildSoftbrain(); break;
+      case 1: g = adg::buildMaeri(); break;
+      case 2: g = adg::buildTriggered(); break;
+      case 3: g = adg::buildSpu(); break;
+      case 4: g = adg::buildRevel(); break;
+      case 5: g = adg::buildDianNaoLike(); break;
+      default: g = adg::buildDseInitial(); break;
+    }
+    std::string once = g.toText();
+    std::string twice = adg::Adg::fromText(once).toText();
+    EXPECT_EQ(once, twice);
+    // Dot rendering covers every live node.
+    std::string dot = g.toDot();
+    for (adg::NodeId id : g.aliveNodes())
+        EXPECT_NE(dot.find(g.node(id).name), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrebuilt, AdgRoundTrip,
+                         ::testing::Range(0, 7));
+
+/** op(identity, x) == x for every reduction op the compiler uses. */
+TEST(ReductionIdentity, LeftIdentityHolds)
+{
+    struct Case
+    {
+        OpCode op;
+        Value identity;
+    };
+    Case cases[] = {
+        {OpCode::Add, 0},
+        {OpCode::FAdd, valueFromF64(0.0)},
+        {OpCode::Max, static_cast<Value>(INT64_MIN)},
+        {OpCode::Min, static_cast<Value>(INT64_MAX)},
+        {OpCode::FMax, valueFromF64(-1e300)},
+        {OpCode::FMin, valueFromF64(1e300)},
+        {OpCode::Mul, 1},
+        {OpCode::FMul, valueFromF64(1.0)},
+    };
+    Rng rng(5);
+    for (const auto &c : cases) {
+        for (int i = 0; i < 32; ++i) {
+            Value x = opInfo(c.op).isFloat
+                ? valueFromF64(rng.uniformReal(-100, 100))
+                : static_cast<Value>(rng.uniformInt(-1000, 1000));
+            Value r = evalOp(c.op, c.identity, x, 0, nullptr);
+            if (opInfo(c.op).isFloat)
+                EXPECT_DOUBLE_EQ(valueAsF64(r), valueAsF64(x))
+                    << opName(c.op);
+            else
+                EXPECT_EQ(r, x) << opName(c.op);
+        }
+    }
+}
+
+/** The schedule objective is ordered by severity class. */
+TEST(CostOrdering, SeverityDominance)
+{
+    mapper::Cost unplaced;
+    unplaced.unplaced = 1;
+    mapper::Cost overused;
+    overused.overuse = 50;
+    mapper::Cost slow;
+    slow.maxIi = 16;
+    slow.recurrenceLatency = 100;
+    slow.wirelength = 500;
+    // One unplaced vertex outweighs any amount of overuse we see in
+    // practice, which outweighs throughput terms.
+    EXPECT_GT(unplaced.scalar(), overused.scalar());
+    EXPECT_GT(overused.scalar(), slow.scalar());
+    EXPECT_FALSE(unplaced.legal());
+    EXPECT_FALSE(overused.legal());
+    EXPECT_TRUE(slow.legal());
+}
+
+/** OpSet algebra: covers/union/intersection are consistent. */
+TEST(OpSetAlgebra, RandomizedProperties)
+{
+    Rng rng(11);
+    for (int trial = 0; trial < 200; ++trial) {
+        OpSet a, b;
+        for (int i = 0; i < kNumOpCodes; ++i) {
+            if (rng.chance(0.4))
+                a.insert(static_cast<OpCode>(i));
+            if (rng.chance(0.4))
+                b.insert(static_cast<OpCode>(i));
+        }
+        OpSet u = a | b;
+        OpSet n = a & b;
+        EXPECT_TRUE(u.covers(a));
+        EXPECT_TRUE(u.covers(b));
+        EXPECT_TRUE(a.covers(n));
+        EXPECT_TRUE(b.covers(n));
+        EXPECT_EQ(u.size() + n.size(), a.size() + b.size());
+        EXPECT_EQ(OpSet::fromRaw(a.raw()), a);
+    }
+}
+
+/** Synthesis oracle: area grows monotonically with capability. */
+TEST(OracleMonotone, MoreCapabilityCostsMore)
+{
+    auto peArea = [](OpSet ops, bool dyn, bool shared) {
+        adg::AdgNode n;
+        n.kind = adg::NodeKind::Pe;
+        adg::PeProps p;
+        p.ops = ops;
+        p.sched = dyn ? adg::Scheduling::Dynamic : adg::Scheduling::Static;
+        p.sharing = shared ? adg::Sharing::Shared
+                           : adg::Sharing::Dedicated;
+        p.maxInsts = shared ? 8 : 1;
+        n.props = p;
+        return model::synthComponent(n).areaMm2;
+    };
+    OpSet small{OpCode::Add};
+    OpSet big = OpSet::all();
+    // Noise is +/-3%; capability differences far exceed it.
+    EXPECT_GT(peArea(big, false, false), peArea(small, false, false));
+    EXPECT_GT(peArea(small, true, false), peArea(small, false, false));
+    EXPECT_GT(peArea(small, false, true), peArea(small, false, false));
+}
+
+/** Regression model predictions are non-negative on sane inputs. */
+TEST(RegressionSanity, NonNegativePredictions)
+{
+    const auto &m = model::AreaPowerModel::instance();
+    for (auto build : {adg::buildSoftbrain, adg::buildSpu,
+                       adg::buildTriggered, adg::buildRevel}) {
+        adg::Adg g = build(4, 4);
+        for (adg::NodeId id : g.aliveNodes()) {
+            auto c = m.node(g, id);
+            EXPECT_GE(c.areaMm2, 0.0) << g.node(id).name;
+            EXPECT_GE(c.powerMw, 0.0) << g.node(id).name;
+        }
+    }
+}
+
+/** Stream traffic is consistent with element counts across kinds. */
+TEST(StreamTraffic, ScalesWithElements)
+{
+    Rng rng(3);
+    for (int trial = 0; trial < 100; ++trial) {
+        dfg::Stream s;
+        s.kind = dfg::StreamKind::LinearRead;
+        s.pattern.elemBytes = 8;
+        s.pattern.len1 = rng.uniformInt(1, 64);
+        s.pattern.len2 = rng.uniformInt(1, 8);
+        EXPECT_EQ(s.trafficBytes(), s.numElements() * 8);
+        s.kind = dfg::StreamKind::IndirectRead;
+        s.idxPattern.len1 = s.pattern.len1;
+        s.idxPattern.len2 = s.pattern.len2;
+        s.idxElemBytes = 4;
+        EXPECT_EQ(s.trafficBytes(), s.numElements() * (8 + 4));
+    }
+}
+
+} // namespace
+} // namespace dsa

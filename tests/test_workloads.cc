@@ -1,0 +1,227 @@
+/** @file Workload registry + golden-model tests (incl. FFT vs DFT). */
+
+#include <cmath>
+#include <complex>
+#include <gtest/gtest.h>
+
+#include "workloads/workload.h"
+
+namespace dsa::workloads {
+namespace {
+
+TEST(Registry, TableOneCoverage)
+{
+    // Every Table-I kernel is present.
+    for (const char *name :
+         {"md", "crs", "ellpack", "mm", "stencil-2d", "stencil-3d",
+          "histogram", "join", "qr", "chol", "fft", "p-mm", "2mm", "3mm"})
+        EXPECT_NO_FATAL_FAILURE(workload(name)) << name;
+    EXPECT_EQ(suiteWorkloads("MachSuite").size(), 6u);
+    EXPECT_EQ(suiteWorkloads("Sparse").size(), 2u);
+    EXPECT_EQ(suiteWorkloads("Dsp").size(), 5u);
+    EXPECT_EQ(suiteWorkloads("PolyBench").size(), 3u);
+    EXPECT_EQ(suiteWorkloads("DenseNN").size(), 3u);
+    EXPECT_EQ(suiteWorkloads("SparseCNN").size(), 1u);
+}
+
+TEST(Golden, DeterministicAcrossRuns)
+{
+    auto a = runGolden(workload("mm"), 5);
+    auto b = runGolden(workload("mm"), 5);
+    EXPECT_EQ(a.final.data("c"), b.final.data("c"));
+    auto c = runGolden(workload("mm"), 6);
+    EXPECT_NE(a.final.data("c"), c.final.data("c"));
+}
+
+TEST(Golden, CheckOutputsCatchesMismatch)
+{
+    const auto &w = workload("crs");
+    auto run = runGolden(w);
+    EXPECT_EQ(checkOutputs(w, run.final, run.final), "");
+    auto bad = run.final;
+    bad.data("yv")[3] = valueFromF64(123456.0);
+    EXPECT_NE(checkOutputs(w, run.final, bad), "");
+}
+
+TEST(Golden, AllWorkloadsInterpretCleanly)
+{
+    for (const auto &w : allWorkloads()) {
+        auto run = runGolden(w);
+        EXPECT_GT(run.stats.arithOps, 0) << w.name;
+        // Outputs must not all be zero (the kernel did something).
+        bool nonzero = false;
+        for (const auto &name : w.outputs)
+            for (Value v : run.final.data(name))
+                nonzero |= v != 0;
+        EXPECT_TRUE(nonzero) << w.name;
+    }
+}
+
+TEST(Golden, MmMatchesNaiveReference)
+{
+    const auto &w = workload("p-mm");
+    auto run = runGolden(w);
+    int64_t n = w.kernel.params.at("n");
+    for (int64_t i = 0; i < n; i += 7) {
+        for (int64_t j = 0; j < n; j += 5) {
+            double acc = 0;
+            for (int64_t t = 0; t < n; ++t)
+                acc += valueAsF64(run.initial.data("a")[i * n + t]) *
+                       valueAsF64(run.initial.data("b")[t * n + j]);
+            EXPECT_NEAR(valueAsF64(run.final.data("c")[i * n + j]), acc,
+                        1e-9);
+        }
+    }
+}
+
+TEST(Golden, FftMatchesDft)
+{
+    // The Stockham kernel must compute an actual DFT, not merely be
+    // self-consistent with the interpreter.
+    const auto &w = workload("fft");
+    auto run = runGolden(w);
+    int64_t n = w.kernel.params.at("n");
+    for (int64_t kk : {0L, 1L, 7L, 100L, 511L}) {
+        std::complex<double> acc(0, 0);
+        for (int64_t t = 0; t < n; ++t) {
+            double xr = valueAsF64(run.initial.data("xr")[t]);
+            double xi = valueAsF64(run.initial.data("xi")[t]);
+            double ang = -2.0 * M_PI * static_cast<double>(kk * t) /
+                         static_cast<double>(n);
+            acc += std::complex<double>(xr, xi) *
+                   std::polar(1.0, ang);
+        }
+        EXPECT_NEAR(valueAsF64(run.final.data("xr")[kk]), acc.real(),
+                    1e-6 * n)
+            << "bin " << kk;
+        EXPECT_NEAR(valueAsF64(run.final.data("xi")[kk]), acc.imag(),
+                    1e-6 * n)
+            << "bin " << kk;
+    }
+}
+
+TEST(Golden, QrReconstructsA)
+{
+    const auto &w = workload("qr");
+    auto run = runGolden(w);
+    int64_t n = w.kernel.params.at("n");
+    // Q R should equal the original A (sampled entries).
+    for (int64_t i = 0; i < n; i += 9) {
+        for (int64_t j = 0; j < n; j += 7) {
+            double acc = 0;
+            for (int64_t t = 0; t < n; ++t)
+                acc += valueAsF64(run.final.data("q")[i * n + t]) *
+                       valueAsF64(run.final.data("r")[t * n + j]);
+            EXPECT_NEAR(valueAsF64(run.initial.data("a")[i * n + j]), acc,
+                        1e-6);
+        }
+    }
+    // Q columns are orthonormal (sampled pairs).
+    for (int64_t c1 : {0L, 5L}) {
+        for (int64_t c2 : {0L, 5L, 17L}) {
+            double dot = 0;
+            for (int64_t t = 0; t < n; ++t)
+                dot += valueAsF64(run.final.data("q")[t * n + c1]) *
+                       valueAsF64(run.final.data("q")[t * n + c2]);
+            EXPECT_NEAR(dot, c1 == c2 ? 1.0 : 0.0, 1e-8);
+        }
+    }
+}
+
+TEST(Golden, CholFactorizationCorrect)
+{
+    const auto &w = workload("chol");
+    auto run = runGolden(w);
+    int64_t n = w.kernel.params.at("n");
+    // L L^T == A on sampled entries (lower triangle).
+    for (int64_t i = 0; i < n; i += 6) {
+        for (int64_t j = 0; j <= i; j += 5) {
+            double acc = 0;
+            for (int64_t t = 0; t <= std::min(i, j); ++t)
+                acc += valueAsF64(run.final.data("lo")[i * n + t]) *
+                       valueAsF64(run.final.data("lo")[j * n + t]);
+            EXPECT_NEAR(valueAsF64(run.initial.data("a")[i * n + j]), acc,
+                        1e-6 * n);
+        }
+    }
+}
+
+TEST(Golden, SolverSatisfiesSystem)
+{
+    const auto &w = workload("solver");
+    auto run = runGolden(w);
+    int64_t n = w.kernel.params.at("n");
+    for (int64_t i = 0; i < n; i += 5) {
+        double acc = 0;
+        for (int64_t j = 0; j <= i; ++j)
+            acc += valueAsF64(run.initial.data("lmat")[i * n + j]) *
+                   valueAsF64(run.final.data("x")[j]);
+        EXPECT_NEAR(acc, valueAsF64(run.initial.data("b")[i]), 1e-8);
+    }
+}
+
+TEST(Golden, FirMatchesDirectConvolution)
+{
+    const auto &w = workload("fir");
+    auto run = runGolden(w);
+    int64_t taps = w.kernel.params.at("t");
+    for (int64_t i : {0L, 17L, 900L, 2047L}) {
+        double acc = 0;
+        for (int64_t t = 0; t < taps; ++t)
+            acc += valueAsF64(run.initial.data("h")[t]) *
+                   valueAsF64(run.initial.data("xin")[i + t]);
+        EXPECT_NEAR(valueAsF64(run.final.data("yout")[i]), acc, 1e-9);
+    }
+}
+
+TEST(Golden, HistogramCountsSumToN)
+{
+    const auto &w = workload("histogram");
+    auto run = runGolden(w);
+    int64_t total = 0;
+    for (Value v : run.final.data("hist"))
+        total += static_cast<int64_t>(v);
+    EXPECT_EQ(total, w.kernel.params.at("n"));
+}
+
+TEST(Golden, JoinKeysSortedAndOverlap)
+{
+    const auto &w = workload("join");
+    auto run = runGolden(w);
+    const auto &ka = run.initial.data("ka");
+    for (size_t i = 1; i < ka.size(); ++i)
+        EXPECT_LT(static_cast<int64_t>(ka[i - 1]),
+                  static_cast<int64_t>(ka[i]));
+    // There is at least one match (result nonzero with overwhelming
+    // probability given ~50% overlap).
+    EXPECT_NE(valueAsF64(run.final.data("outr")[0]), 0.0);
+}
+
+TEST(Golden, SparseCnnCompactionConsistent)
+{
+    const auto &w = workload("sparse-cnn");
+    auto run = runGolden(w);
+    // Every compacted entry matches the dense buffer.
+    const auto &outv = run.final.data("outv");
+    const auto &outi = run.final.data("outi");
+    const auto &psum = run.final.data("psum");
+    int64_t nonzeros = 0;
+    for (Value v : psum)
+        nonzeros += v != 0;
+    ASSERT_GT(nonzeros, 0);
+    for (int64_t i = 0; i < nonzeros; ++i) {
+        int64_t coord = static_cast<int64_t>(outi[i]);
+        EXPECT_EQ(outv[i], psum[coord]) << "entry " << i;
+    }
+}
+
+TEST(Golden, StencilInteriorOnly)
+{
+    const auto &w = workload("stencil-3d");
+    auto run = runGolden(w);
+    // Boundary of the output grid stays zero.
+    EXPECT_EQ(run.final.data("outg")[0], 0u);
+}
+
+} // namespace
+} // namespace dsa::workloads

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * `dsagen` — command-line driver over the whole framework:
+ *
+ *   dsagen list-workloads               registered kernels
+ *   dsagen list-targets                 prebuilt accelerators
+ *   dsagen show-adg <target>            print an ADG (textual format)
+ *   dsagen compile <workload> <target> [unroll]
+ *                                       lower + print DFGs and the
+ *                                       control program
+ *   dsagen run <workload> <target> [unroll]
+ *                                       full pipeline + utilization
+ *                                       report + output validation
+ *   dsagen dse <suite> [iters]          explore, save the best design
+ *   dsagen hwgen <target|file.adg> [out.v]
+ *                                       config paths + Verilog
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "adg/prebuilt.h"
+#include "base/table.h"
+#include "compiler/codegen.h"
+#include "compiler/compile.h"
+#include "dfg/dfg_text.h"
+#include "dse/explorer.h"
+#include "hwgen/bitstream.h"
+#include "hwgen/config_path.h"
+#include "hwgen/verilog.h"
+#include "mapper/scheduler.h"
+#include "model/host_model.h"
+#include "model/perf_model.h"
+#include "model/regression.h"
+#include "sim/report.h"
+#include "sim/simulator.h"
+#include "workloads/workload.h"
+
+using namespace dsa;
+
+namespace {
+
+adg::Adg
+loadTarget(const std::string &name)
+{
+    std::ifstream file(name);
+    if (file.good()) {
+        std::stringstream ss;
+        ss << file.rdbuf();
+        return adg::Adg::fromText(ss.str());
+    }
+    if (name == "softbrain")
+        return adg::buildSoftbrain();
+    if (name == "maeri")
+        return adg::buildMaeri();
+    if (name == "triggered")
+        return adg::buildTriggered();
+    if (name == "spu")
+        return adg::buildSpu(5, 5);
+    if (name == "revel")
+        return adg::buildRevel();
+    if (name == "dse_initial")
+        return adg::buildDseInitial();
+    if (name == "diannao")
+        return adg::buildDianNaoLike();
+    DSA_FATAL("unknown target '", name,
+              "' (and no such ADG file exists)");
+}
+
+int
+cmdListWorkloads()
+{
+    Table t({"workload", "suite", "outputs", "fig10 target"});
+    for (const auto &w : workloads::allWorkloads()) {
+        std::string outs;
+        for (const auto &o : w.outputs)
+            outs += (outs.empty() ? "" : ",") + o;
+        t.addRow({w.name, w.suite, outs, w.fig10Target});
+    }
+    t.print();
+    return 0;
+}
+
+int
+cmdListTargets()
+{
+    Table t({"target", "PEs", "dynamic", "shared", "switches",
+             "indirect mem", "area (mm^2, est.)"});
+    for (const char *name : {"softbrain", "maeri", "triggered", "spu",
+                             "revel", "diannao", "dse_initial"}) {
+        adg::Adg g = loadTarget(name);
+        auto st = g.stats();
+        bool indirect = false;
+        for (adg::NodeId id : g.aliveNodes(adg::NodeKind::Memory))
+            indirect |= g.node(id).mem().indirect;
+        t.addRow({name, std::to_string(st.numPes),
+                  std::to_string(st.numDynamicPes),
+                  std::to_string(st.numSharedPes),
+                  std::to_string(st.numSwitches),
+                  indirect ? "yes" : "no",
+                  Table::fmt(model::AreaPowerModel::instance()
+                                 .fabric(g)
+                                 .areaMm2,
+                             3)});
+    }
+    t.print();
+    return 0;
+}
+
+struct CompiledBundle
+{
+    adg::Adg hw;
+    compiler::Placement placement{};
+    dfg::DecoupledProgram prog;
+    workloads::GoldenRun golden;
+    const workloads::Workload *w = nullptr;
+    bool ok = false;
+};
+
+CompiledBundle
+compileBundle(const std::string &workload, const std::string &target,
+              int unroll)
+{
+    CompiledBundle b;
+    b.w = &workloads::workload(workload);
+    b.hw = loadTarget(target);
+    b.golden = workloads::runGolden(*b.w);
+    auto features = compiler::HwFeatures::fromAdg(b.hw);
+    b.placement = compiler::Placement::autoLayout(b.w->kernel, features);
+    auto r = compiler::lowerKernel(b.w->kernel, b.placement, features, {},
+                                   unroll);
+    if (!r.ok) {
+        std::fprintf(stderr, "lowering failed: %s\n", r.error.c_str());
+        return b;
+    }
+    b.prog = r.version.program;
+    b.ok = true;
+    for (const auto &note : r.version.notes)
+        std::printf("note: %s\n", note.c_str());
+    return b;
+}
+
+int
+cmdCompile(const std::string &workload, const std::string &target,
+           int unroll)
+{
+    auto b = compileBundle(workload, target, unroll);
+    if (!b.ok)
+        return 1;
+    for (const auto &reg : b.prog.regions) {
+        std::printf("\n%s%s\n", dfg::regionToText(reg).c_str(),
+                    reg.serialized ? "# (serialized on control core)\n"
+                                   : "");
+    }
+    auto sched = mapper::scheduleProgram(b.prog, b.hw,
+                                         {.maxIters = 1500, .seed = 7});
+    std::printf("schedule: %s (overuse=%d, violations=%d, II=%d)\n",
+                sched.cost.legal() ? "legal" : "ILLEGAL",
+                sched.cost.overuse, sched.cost.violations,
+                sched.cost.maxIi);
+    compiler::CommandStats stats;
+    std::printf("\n%s", compiler::emitControlProgram(b.prog, sched, b.hw,
+                                                     &stats)
+                            .c_str());
+    std::printf("\n(%d config, %d stream, %d barrier commands)\n",
+                stats.configCommands, stats.streamCommands,
+                stats.barrierCommands);
+    return sched.cost.legal() ? 0 : 1;
+}
+
+int
+cmdRun(const std::string &workload, const std::string &target, int unroll)
+{
+    auto b = compileBundle(workload, target, unroll);
+    if (!b.ok)
+        return 1;
+    auto sched = mapper::scheduleProgram(b.prog, b.hw,
+                                         {.maxIters = 2500, .seed = 7});
+    if (!sched.cost.legal()) {
+        std::fprintf(stderr, "schedule illegal (overuse=%d viol=%d)\n",
+                     sched.cost.overuse, sched.cost.violations);
+        return 1;
+    }
+    auto est = model::estimatePerformance(b.prog, sched, b.hw);
+    auto img = sim::MemImage::build(b.w->kernel, b.golden.initial,
+                                    b.placement);
+    auto res = sim::simulate(b.prog, sched, b.hw, img);
+    if (!res.ok) {
+        std::fprintf(stderr, "simulation failed: %s\n",
+                     res.error.c_str());
+        return 1;
+    }
+    ir::ArrayStore out = b.golden.initial;
+    img.extract(b.w->kernel, b.placement, out);
+    std::string mismatch =
+        workloads::checkOutputs(*b.w, b.golden.final, out);
+    std::printf("estimated cycles: %.0f\n", est.cycles);
+    std::printf("%s", sim::utilizationReport(res, b.hw).c_str());
+    double host = model::estimateHostCycles(b.golden.stats);
+    std::printf("\nspeedup vs host model: %.2fx\n",
+                host / static_cast<double>(res.cycles));
+    std::printf("output check: %s\n",
+                mismatch.empty() ? "PASS" : mismatch.c_str());
+    return mismatch.empty() ? 0 : 1;
+}
+
+int
+cmdDse(const std::string &suite, int iters)
+{
+    auto set = workloads::suiteWorkloads(suite);
+    if (set.empty()) {
+        std::fprintf(stderr, "unknown suite '%s'\n", suite.c_str());
+        return 1;
+    }
+    dse::DseOptions opts;
+    opts.maxIters = iters;
+    opts.noImproveExit = iters;
+    opts.schedIters = 40;
+    opts.unrollFactors = {1, 4};
+    dse::Explorer ex(set, opts);
+    auto res = ex.run(adg::buildDseInitial());
+    std::printf("objective %.3f -> %.3f (%.1fx), area %.3f -> %.3f "
+                "mm^2\n",
+                res.initialObjective, res.bestObjective,
+                res.bestObjective / std::max(1e-9, res.initialObjective),
+                res.initialCost.areaMm2, res.bestCost.areaMm2);
+    std::string path = "dsagen_" + suite + ".adg";
+    std::ofstream out(path);
+    out << res.best.toText();
+    std::printf("design saved to %s\n", path.c_str());
+    return 0;
+}
+
+int
+cmdHwgen(const std::string &target, const std::string &outPath)
+{
+    adg::Adg hw = loadTarget(target);
+    auto paths = hwgen::generateConfigPaths(hw, 4, 300, 3);
+    std::string problem = hwgen::validateConfigPaths(hw, paths);
+    if (!problem.empty()) {
+        std::fprintf(stderr, "config paths invalid: %s\n",
+                     problem.c_str());
+        return 1;
+    }
+    std::printf("config: %lld bits over %zu paths (longest %d hops)\n",
+                static_cast<long long>(hwgen::totalConfigBits(hw)),
+                paths.paths.size(), paths.maxLength());
+    std::ofstream out(outPath);
+    out << hwgen::emitVerilog(hw, "dsagen_fabric", paths);
+    std::printf("Verilog written to %s\n", outPath.c_str());
+    return 0;
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: dsagen <command> [...]\n"
+        "  list-workloads | list-targets | show-adg <target>\n"
+        "  compile <workload> <target> [unroll]\n"
+        "  run <workload> <target> [unroll]\n"
+        "  dse <suite> [iters]\n"
+        "  hwgen <target|file.adg> [out.v]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    std::string cmd = argv[1];
+    if (cmd == "list-workloads")
+        return cmdListWorkloads();
+    if (cmd == "list-targets")
+        return cmdListTargets();
+    if (cmd == "show-adg" && argc >= 3) {
+        std::printf("%s", loadTarget(argv[2]).toText().c_str());
+        return 0;
+    }
+    if (cmd == "compile" && argc >= 4)
+        return cmdCompile(argv[2], argv[3],
+                          argc >= 5 ? std::atoi(argv[4]) : 1);
+    if (cmd == "run" && argc >= 4)
+        return cmdRun(argv[2], argv[3],
+                      argc >= 5 ? std::atoi(argv[4]) : 1);
+    if (cmd == "dse" && argc >= 3)
+        return cmdDse(argv[2], argc >= 4 ? std::atoi(argv[3]) : 200);
+    if (cmd == "hwgen" && argc >= 3)
+        return cmdHwgen(argv[2], argc >= 4 ? argv[3] : "generated.v");
+    usage();
+    return 2;
+}
