@@ -8,18 +8,32 @@
  * initial hardware.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 #include "base/table.h"
+#include "base/thread_pool.h"
 #include "bench/bench_common.h"
 #include "dse/explorer.h"
 
 using namespace dsa;
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("== Fig. 14: Automated Design Space Exploration ==\n");
+    // fig14_dse [threads] [batch]: evaluation parallelism. The
+    // explored designs and the whole accepted-design trace are
+    // identical for any thread count (per-task hashed seeds +
+    // fixed-order reductions); only wall-clock changes.
+    int threads = argc > 1 ? std::atoi(argv[1]) : 1;
+    int batch = argc > 2 ? std::atoi(argv[2]) : 1;
+    if (threads <= 0)
+        threads = ThreadPool::hardwareThreads();
+
+    std::printf("== Fig. 14: Automated Design Space Exploration "
+                "(%d threads, batch %d) ==\n",
+                threads, batch);
     struct Run
     {
         const char *label;
@@ -29,7 +43,7 @@ main()
                   {"DSAGEN_DenseNN", "DenseNN"},
                   {"DSAGEN_SparseCNN", "SparseCNN"}};
 
-    double areaSaveSum = 0, objGainSum = 0;
+    double areaSaveSum = 0, objGainSum = 0, secondsTotal = 0;
     for (const auto &run : runs) {
         dse::DseOptions opts;
         opts.maxIters = 400;
@@ -37,8 +51,16 @@ main()
         opts.schedIters = 40;
         opts.unrollFactors = {1, 4};
         opts.seed = 97;
+        opts.threads = threads;
+        opts.candidateBatch = batch;
         dse::Explorer ex(workloads::suiteWorkloads(run.suite), opts);
+        auto t0 = std::chrono::steady_clock::now();
         auto res = ex.run(adg::buildDseInitial());
+        double seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        secondsTotal += seconds;
 
         std::printf("\n-- %s (%s workloads) --\n", run.label, run.suite);
         Table t({"iteration", "area (mm^2)", "power (mW)", "perf",
@@ -61,11 +83,12 @@ main()
         objGainSum += objGain;
         std::printf("%s: area %.3f -> %.3f mm^2 (%.0f%% saved), "
                     "power %.1f -> %.1f mW, objective %.3f -> %.3f "
-                    "(%.1fx)\n",
+                    "(%.1fx), %.1f s wall\n",
                     run.label, res.initialCost.areaMm2,
                     res.bestCost.areaMm2, 100 * areaSave,
                     res.initialCost.powerMw, res.bestCost.powerMw,
-                    res.initialObjective, res.bestObjective, objGain);
+                    res.initialObjective, res.bestObjective, objGain,
+                    seconds);
 
         // Persist the explored design for the Fig. 15 comparison.
         std::string path =
@@ -79,7 +102,8 @@ main()
         }
     }
     std::printf("\nmean area saved: %.0f%% (paper: 42%%), "
-                "mean objective gain: %.1fx (paper: ~12x)\n",
-                100 * areaSaveSum / 3, objGainSum / 3);
+                "mean objective gain: %.1fx (paper: ~12x), "
+                "total DSE wall-clock %.1f s\n",
+                100 * areaSaveSum / 3, objGainSum / 3, secondsTotal);
     return 0;
 }

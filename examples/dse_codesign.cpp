@@ -6,8 +6,10 @@
  * explorer settled on — which features survived pruning, what the
  * fabric looks like, and how much area/power the specialization saved.
  *
- * Usage: dse_codesign [suite] [iterations]
+ * Usage: dse_codesign [suite] [iterations] [threads]
  *   suite: MachSuite | Sparse | Dsp | PolyBench | DenseNN | SparseCNN
+ *   threads: parallel candidate evaluation (0 = all cores); the
+ *   explored design is identical for any thread count.
  */
 
 #include <cstdio>
@@ -15,6 +17,7 @@
 
 #include "adg/prebuilt.h"
 #include "base/table.h"
+#include "base/thread_pool.h"
 #include "dse/explorer.h"
 #include "model/regression.h"
 
@@ -25,6 +28,9 @@ main(int argc, char **argv)
 {
     std::string suite = argc > 1 ? argv[1] : "DenseNN";
     int iters = argc > 2 ? std::atoi(argv[2]) : 250;
+    int threads = argc > 3 ? std::atoi(argv[3]) : 1;
+    if (threads <= 0)
+        threads = ThreadPool::hardwareThreads();
 
     auto set = workloads::suiteWorkloads(suite);
     if (set.empty()) {
@@ -41,6 +47,7 @@ main(int argc, char **argv)
     opts.schedIters = 40;
     opts.unrollFactors = {1, 4};
     opts.seed = 7;
+    opts.threads = threads;
     dse::Explorer explorer(set, opts);
     auto res = explorer.run(adg::buildDseInitial());
 

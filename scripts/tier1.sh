@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full correctness suite on a normal build,
+# then the concurrency tests again under ThreadSanitizer (the
+# -DDSA_SANITIZE=thread configuration) so data races in the parallel
+# DSE paths fail the build, not a user's exploration.
+#
+# Usage: scripts/tier1.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+echo "== tier-1: build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo
+echo "== tier-1: concurrency tests under ThreadSanitizer =="
+cmake -B build-tsan -S . -DDSA_SANITIZE=thread \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-tsan -j "$JOBS" --target test_concurrency test_base
+TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan --output-on-failure \
+          -R 'test_concurrency|test_base'
+
+echo
+echo "tier-1 OK"

@@ -19,6 +19,36 @@
 
 namespace dsa {
 
+/**
+ * splitmix64 (Steele/Lea/Flood) finalizer: a cheap, high-quality
+ * 64-bit mixing function. Used to derive independent per-task seeds
+ * from (base seed, task coordinates) so that parallel workers get
+ * uncorrelated, order-independent random streams.
+ */
+inline uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Hash a base seed with up to two task coordinates into a fresh seed.
+ * Unlike additive schemes (seed + a*P + b), distinct (a, b) pairs
+ * cannot collide in practice and the resulting streams are
+ * uncorrelated across coordinates.
+ */
+inline uint64_t
+mixSeed(uint64_t seed, uint64_t a, uint64_t b = 0)
+{
+    uint64_t h = splitmix64(seed);
+    h = splitmix64(h ^ (a + 0x9e3779b97f4a7c15ull));
+    h = splitmix64(h ^ (b + 0xc2b2ae3d27d4eb4full));
+    return h;
+}
+
 /** A seeded pseudo-random generator with convenience draws. */
 class Rng
 {

@@ -1,0 +1,150 @@
+#include "base/thread_pool.h"
+
+#include <algorithm>
+
+namespace dsa {
+
+namespace {
+
+/** Set while a thread is executing pool tasks (nested-call detection). */
+thread_local bool tlsInsideWorker = false;
+
+} // namespace
+
+/**
+ * Per-parallelFor state. Heap-allocated and reference-counted so a
+ * straggling worker that wakes late still holds the job it was woken
+ * for: its index counter is already exhausted, so it exits without
+ * ever touching a newer job's counters or callable.
+ */
+struct ThreadPool::Job
+{
+    const std::function<void(size_t)> *fn = nullptr;
+    size_t n = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> left{0};
+
+    std::mutex mu;
+    std::condition_variable doneCv;
+    bool done = false;
+    std::exception_ptr firstError;
+
+    void
+    runShare()
+    {
+        for (;;) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                (*fn)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(mu);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
+            if (left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                std::lock_guard<std::mutex> lk(mu);
+                done = true;
+                doneCv.notify_all();
+            }
+        }
+    }
+};
+
+ThreadPool::ThreadPool(int threads)
+    : threads_(std::max(1, threads))
+{
+    // The calling thread participates in every job via Job::runShare,
+    // so only threads_-1 dedicated workers are needed.
+    workers_.reserve(static_cast<size_t>(threads_ - 1));
+    for (int i = 1; i < threads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+int
+ThreadPool::hardwareThreads()
+{
+    return static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    // Inline paths: a degenerate pool, a single task (so any nested
+    // parallelFor inside it can still use the pool), or a call made
+    // from a worker thread (nested parallelism stays serial — the
+    // outermost level owns the pool; running inline avoids deadlock).
+    if (threads_ == 1 || n == 1 || tlsInsideWorker) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->n = n;
+    job->left.store(n, std::memory_order_relaxed);
+
+    // One job at a time; concurrent issuing callers queue here.
+    std::lock_guard<std::mutex> issue(issueMu_);
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        job_ = job;
+        ++jobId_;
+    }
+    wake_.notify_all();
+
+    // The issuing thread works too (threads_ == total working width).
+    tlsInsideWorker = true;
+    job->runShare();
+    tlsInsideWorker = false;
+
+    {
+        std::unique_lock<std::mutex> lk(job->mu);
+        job->doneCv.wait(lk, [&] { return job->done; });
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        job_.reset();
+    }
+    if (job->firstError)
+        std::rethrow_exception(job->firstError);
+}
+
+void
+ThreadPool::workerLoop()
+{
+    tlsInsideWorker = true;
+    uint64_t seenJob = 0;
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            wake_.wait(lk, [&] {
+                return stop_ || (job_ && jobId_ != seenJob);
+            });
+            if (stop_)
+                return;
+            seenJob = jobId_;
+            job = job_;
+        }
+        job->runShare();
+    }
+}
+
+} // namespace dsa

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A fixed-size thread pool for deterministic data parallelism.
+ *
+ * The framework's parallel consumers (the DSE candidate evaluator)
+ * need *reproducible* results: every task derives its random stream
+ * from a seed hashed out of its index, never from execution order.
+ * The pool therefore exposes exactly one primitive — parallelFor over
+ * a dense index space — and no futures, no work stealing, no task
+ * dependencies. Tasks must be order-independent; given that, results
+ * are bit-identical for any thread count, including 1.
+ *
+ * Re-entrancy: a parallelFor issued from inside a worker (e.g. a
+ * per-candidate evaluation that itself fans out over a kernel grid)
+ * runs inline on the calling worker instead of deadlocking on the
+ * pool's own queue.
+ */
+
+#ifndef DSA_BASE_THREAD_POOL_H
+#define DSA_BASE_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dsa {
+
+/** Fixed-size pool; degenerates to inline execution at 1 thread. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count; clamped to >= 1. With 1 thread no
+     *        workers are spawned and parallelFor runs inline.
+     */
+    explicit ThreadPool(int threads = 1);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Run fn(i) for every i in [0, n) and block until all complete.
+     * Indices are claimed atomically in roughly ascending order; fn
+     * must not depend on inter-task ordering. The first exception
+     * thrown by any task is rethrown here (remaining tasks still run).
+     * Calls from inside a pool worker execute inline and serially.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+    /** Configured worker count (>= 1). */
+    int threads() const { return threads_; }
+
+    /** std::thread::hardware_concurrency with a floor of 1. */
+    static int hardwareThreads();
+
+  private:
+    struct Job;
+
+    void workerLoop();
+
+    int threads_ = 1;
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;                ///< guards job_/jobId_/stop_
+    std::condition_variable wake_; ///< workers wait for a job
+    std::mutex issueMu_;           ///< serializes concurrent jobs
+
+    std::shared_ptr<Job> job_;     ///< current job (null when idle)
+    uint64_t jobId_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace dsa
+
+#endif // DSA_BASE_THREAD_POOL_H

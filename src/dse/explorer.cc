@@ -1,6 +1,7 @@
 #include "dse/explorer.h"
 
 #include <cmath>
+#include <utility>
 
 #include "base/logging.h"
 #include "model/host_model.h"
@@ -26,53 +27,105 @@ Explorer::Explorer(std::vector<const workloads::Workload *> wls,
         auto golden = workloads::runGolden(*w);
         hostCycles_.push_back(model::estimateHostCycles(golden.stats));
     }
+    // Warm the process-wide singletons (area/power fit, workload
+    // registry) serially so pool workers only ever read them.
+    model::AreaPowerModel::instance();
+    pool_ = std::make_unique<ThreadPool>(opts_.threads);
 }
 
 double
-Explorer::evaluateDesign(
-    const Adg &adg, std::map<std::pair<int, int>, mapper::Schedule> &scheds,
-    bool repair, double *perfOut, model::ComponentCost *costOut)
+Explorer::evaluateDesign(const Adg &adg, ScheduleCache &scheds,
+                         bool repair, double *perfOut,
+                         model::ComponentCost *costOut)
 {
     auto features = compiler::HwFeatures::fromAdg(adg);
     compiler::CompileOptions copts;
     copts.unrollFactors = opts_.unrollFactors;
 
+    // The (kernel, unroll) grid as a flat, order-independent task
+    // list. Each task compiles, schedules, and estimates on its own;
+    // the repair cache is read-only during the fan-out and updated in
+    // task order afterwards, so any thread count produces the same
+    // result as serial execution.
+    struct Task
+    {
+        int k = 0;
+        int u = 1;
+    };
+    struct TaskOut
+    {
+        bool lowered = false;
+        bool legal = false;
+        double cycles = 1e30;
+        mapper::Schedule sched;
+    };
+    std::vector<Task> tasks;
+    for (size_t k = 0; k < workloads_.size(); ++k)
+        for (int u : opts_.unrollFactors)
+            tasks.push_back({static_cast<int>(k), u});
+    std::vector<TaskOut> outs(tasks.size());
+
+    pool_->parallelFor(tasks.size(), [&](size_t t) {
+        const Task &task = tasks[t];
+        const auto &w = *workloads_[static_cast<size_t>(task.k)];
+        auto placement =
+            compiler::Placement::autoLayout(w.kernel, features);
+        auto lowered = compiler::lowerKernel(w.kernel, placement,
+                                             features, copts, task.u);
+        if (!lowered.ok)
+            return;
+        auto key = std::make_pair(task.k, task.u);
+        auto prev = scheds.find(key);
+        mapper::SchedOptions so;
+        // First-ever mapping gets the full budget; afterwards the
+        // per-step budget applies (repairing or re-discovering).
+        so.maxIters = prev == scheds.end() ? opts_.initSchedIters
+                                           : opts_.schedIters;
+        so.convergeIters = std::max(8, so.maxIters / 5);
+        // Hash, don't add: additive seeds collide across (k, u) pairs
+        // and correlate the per-kernel scheduler streams.
+        so.seed = mixSeed(opts_.seed, static_cast<uint64_t>(task.k),
+                          static_cast<uint64_t>(task.u));
+        mapper::SpatialScheduler scheduler(lowered.version.program, adg,
+                                           so);
+        const mapper::Schedule *seedSched =
+            (repair && prev != scheds.end() && prev->second.hasLegal)
+                ? &prev->second.sched
+                : nullptr;
+        TaskOut &out = outs[t];
+        out.sched = scheduler.run(seedSched);
+        auto est = model::estimatePerformance(lowered.version.program,
+                                              out.sched, adg);
+        out.lowered = true;
+        out.legal = est.legal;
+        out.cycles = est.cycles;
+    });
+
+    // Deterministic serial reduction, in task order.
+    std::vector<double> bestCycles(workloads_.size(), 1e30);
+    for (size_t t = 0; t < tasks.size(); ++t) {
+        TaskOut &out = outs[t];
+        if (!out.lowered)
+            continue;
+        auto key = std::make_pair(tasks[t].k, tasks[t].u);
+        auto &entry = scheds[key];
+        if (out.legal) {
+            entry.sched = std::move(out.sched);
+            entry.hasLegal = true;
+            auto &best = bestCycles[static_cast<size_t>(tasks[t].k)];
+            best = std::min(best, out.cycles);
+        }
+        // An illegal result only marks the version as attempted; the
+        // previous legal schedule (if any) stays as the repair seed so
+        // one bad step cannot poison later repairs.
+    }
+
     double logSum = 0;
     for (size_t k = 0; k < workloads_.size(); ++k) {
-        const auto &w = *workloads_[k];
-        auto placement = compiler::Placement::autoLayout(w.kernel,
-                                                         features);
-        double bestCycles = 1e30;
-        for (int u : opts_.unrollFactors) {
-            auto lowered = compiler::lowerKernel(w.kernel, placement,
-                                                 features, copts, u);
-            if (!lowered.ok)
-                continue;
-            auto key = std::make_pair(static_cast<int>(k), u);
-            auto prev = scheds.find(key);
-            mapper::SchedOptions so;
-            // First-ever mapping gets the full budget; afterwards the
-            // per-step budget applies (repairing or re-discovering).
-            so.maxIters = prev == scheds.end() ? opts_.initSchedIters
-                                               : opts_.schedIters;
-            so.convergeIters = std::max(8, so.maxIters / 5);
-            so.seed = opts_.seed + k * 131 + u;
-            mapper::SpatialScheduler scheduler(lowered.version.program,
-                                               adg, so);
-            mapper::Schedule sched =
-                (repair && prev != scheds.end())
-                    ? scheduler.run(&prev->second)
-                    : scheduler.run();
-            auto est = model::estimatePerformance(lowered.version.program,
-                                                  sched, adg);
-            scheds[key] = sched;
-            if (est.legal)
-                bestCycles = std::min(bestCycles, est.cycles);
-        }
         // A kernel that cannot map falls back to host execution
         // (speedup 1x) — offload is simply declined.
-        double speedup = bestCycles < 1e29
-            ? hostCycles_[k] / bestCycles : 1.0;
+        double speedup = bestCycles[k] < 1e29
+            ? hostCycles_[k] / bestCycles[k] : 1.0;
         speedup = std::max(speedup, 0.01);
         logSum += std::log(speedup);
     }
@@ -330,7 +383,7 @@ Explorer::run(const Adg &initial)
     DseResult result;
 
     Adg current = initial;
-    std::map<std::pair<int, int>, mapper::Schedule> schedules;
+    ScheduleCache schedules;
 
     // Iteration 0-1: map onto the initial hardware, then trim features
     // known to be unneeded (§VIII-B).
@@ -354,48 +407,111 @@ Explorer::run(const Adg &initial)
     result.bestPerf = perf;
     result.bestCost = cost;
 
+    // Candidates cheaply rejected before evaluation (structurally
+    // invalid or over budget) must not trip the no-improvement exit —
+    // they carry no evidence about the objective landscape. They get
+    // their own consecutive-rejection cap to bound runtime instead.
     int noImprove = 0;
-    for (int iter = 2; iter < opts_.maxIters; ++iter) {
+    int infeasibleStreak = 0;
+    int iter = 2;
+    while (iter < opts_.maxIters) {
         if (noImprove >= opts_.noImproveExit)
             break;
-        Adg candidate = current;
-        // "A random number of components are added or removed."
-        int nMut = 1 + static_cast<int>(rng.uniformInt(0, 2));
-        for (int m = 0; m < nMut; ++m)
-            mutate(candidate, rng);
-        if (!candidate.validate().empty()) {
-            ++noImprove;
-            continue;
+        if (infeasibleStreak >= opts_.infeasibleExit)
+            break;
+
+        // Draw a batch of mutants serially from the exploration RNG
+        // (so the random stream is independent of batch/thread
+        // configuration up to batching of the draw order).
+        int batch = std::min(std::max(1, opts_.candidateBatch),
+                             opts_.maxIters - iter);
+        struct Candidate
+        {
+            Adg adg;
+            int iter = 0;
+            bool feasible = false;
+            model::ComponentCost cost;
+            // Filled by evaluation:
+            ScheduleCache cache;
+            double perf = 0;
+            double objective = 0;
+        };
+        std::vector<Candidate> cands;
+        cands.reserve(static_cast<size_t>(batch));
+        for (int b = 0; b < batch; ++b) {
+            Candidate c;
+            c.adg = current;
+            c.iter = iter + b;
+            // "A random number of components are added or removed."
+            int nMut = 1 + static_cast<int>(rng.uniformInt(0, 2));
+            for (int m = 0; m < nMut; ++m)
+                mutate(c.adg, rng);
+            if (c.adg.validate().empty()) {
+                c.cost =
+                    model::AreaPowerModel::instance().fabric(c.adg);
+                c.feasible = c.cost.areaMm2 <= opts_.areaBudgetMm2 &&
+                             c.cost.powerMw <= opts_.powerBudgetMw;
+            }
+            cands.push_back(std::move(c));
         }
-        auto candCost = model::AreaPowerModel::instance().fabric(candidate);
-        if (candCost.areaMm2 > opts_.areaBudgetMm2 ||
-            candCost.powerMw > opts_.powerBudgetMw) {
-            ++noImprove;
-            continue;
+        iter += batch;
+
+        std::vector<size_t> evalIdx;
+        for (size_t i = 0; i < cands.size(); ++i)
+            if (cands[i].feasible)
+                evalIdx.push_back(i);
+
+        // Evaluate the feasible mutants. With batch=1 this call runs
+        // inline and the *grid* fans out instead; with batch>1 the
+        // candidates fan out and each grid runs inline on its worker.
+        pool_->parallelFor(evalIdx.size(), [&](size_t e) {
+            Candidate &c = cands[evalIdx[e]];
+            c.cache = schedules;  // repair from the current mapping
+            c.objective = evaluateDesign(c.adg, c.cache, opts_.useRepair,
+                                         &c.perf, &c.cost);
+        });
+
+        // Deterministic selection: best improving candidate, first in
+        // draw order on ties.
+        int bestIdx = -1;
+        for (size_t i = 0; i < cands.size(); ++i) {
+            const Candidate &c = cands[i];
+            if (!c.feasible)
+                continue;
+            if (c.objective > curObj &&
+                (bestIdx < 0 ||
+                 c.objective > cands[static_cast<size_t>(bestIdx)]
+                                   .objective))
+                bestIdx = static_cast<int>(i);
         }
 
-        auto candSchedules = schedules;  // repair from current mapping
-        double candPerf = 0;
-        double candObj = evaluateDesign(candidate, candSchedules,
-                                        opts_.useRepair, &candPerf,
-                                        &candCost);
-        bool accepted = candObj > curObj;
-        result.history.push_back({iter, candCost.areaMm2,
-                                  candCost.powerMw, candPerf, candObj,
-                                  accepted});
-        if (accepted) {
-            current = std::move(candidate);
-            schedules = std::move(candSchedules);
-            curObj = candObj;
-            if (candObj > result.bestObjective) {
+        int evaluated = 0;
+        for (size_t i = 0; i < cands.size(); ++i) {
+            Candidate &c = cands[i];
+            if (!c.feasible) {
+                ++infeasibleStreak;
+                continue;
+            }
+            infeasibleStreak = 0;
+            ++evaluated;
+            result.history.push_back(
+                {c.iter, c.cost.areaMm2, c.cost.powerMw, c.perf,
+                 c.objective, static_cast<int>(i) == bestIdx});
+        }
+        if (bestIdx >= 0) {
+            Candidate &c = cands[static_cast<size_t>(bestIdx)];
+            current = std::move(c.adg);
+            schedules = std::move(c.cache);
+            curObj = c.objective;
+            if (c.objective > result.bestObjective) {
                 result.best = current;
-                result.bestObjective = candObj;
-                result.bestPerf = candPerf;
-                result.bestCost = candCost;
+                result.bestObjective = c.objective;
+                result.bestPerf = c.perf;
+                result.bestCost = c.cost;
             }
             noImprove = 0;
         } else {
-            ++noImprove;
+            noImprove += evaluated;
         }
     }
     return result;

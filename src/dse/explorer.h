@@ -8,6 +8,16 @@
  * (§V-A), estimates performance/power/area with the analytical models,
  * and keeps the mutation when the objective (perf^2/mm^2) improves.
  *
+ * Evaluation is parallel on two axes, both deterministic for any
+ * thread count (per-task seeds are hashed from task coordinates, and
+ * reductions run in fixed task order):
+ *   - within one design, the (kernel, unroll) grid fans out over the
+ *     explorer's thread pool;
+ *   - across designs, a batch of candidateBatch mutants per step is
+ *     evaluated concurrently and the best improving one accepted.
+ * With threads=1 and candidateBatch=1 the exploration reproduces the
+ * serial trace exactly.
+ *
  * Fixed during DSE per §V-D: the single main-memory interface and the
  * single scratchpad (whose parameters ARE explored), the control core,
  * and flopped switch outputs.
@@ -17,10 +27,12 @@
 #define DSA_DSE_EXPLORER_H
 
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "adg/adg.h"
 #include "base/rng.h"
+#include "base/thread_pool.h"
 #include "compiler/compile.h"
 #include "mapper/scheduler.h"
 #include "model/cost.h"
@@ -33,9 +45,15 @@ struct DseOptions
 {
     /** Total mutation steps attempted. */
     int maxIters = 400;
-    /** Exit after this many steps without objective improvement
-     *  (the paper uses 750). */
+    /** Exit after this many *fully evaluated* candidates in a row
+     *  fail to improve the objective (the paper uses 750). Candidates
+     *  rejected before evaluation (structurally invalid or over
+     *  budget) do not count — see infeasibleExit. */
     int noImproveExit = 150;
+    /** Separate exit: this many *consecutive* mutations rejected
+     *  before evaluation (invalid or over budget) abandons the run,
+     *  bounding runtime when the budget pins the explorer. */
+    int infeasibleExit = 300;
     uint64_t seed = 1;
     /** Scheduling iterations per (re)mapping (the paper uses 200). */
     int schedIters = 60;
@@ -57,6 +75,20 @@ struct DseOptions
     double powerBudgetMw = 1500.0;
     /** Vectorization degrees compiled per kernel (M versions, §V). */
     std::vector<int> unrollFactors = {1, 4};
+    /**
+     * Worker threads for candidate evaluation (1 = serial). Results
+     * are bit-identical for any value: every (kernel, unroll) task
+     * seeds its scheduler from splitmix64(seed, kernel, unroll) and
+     * reductions run in fixed task order.
+     */
+    int threads = 1;
+    /**
+     * Mutated candidates evaluated per step. Each batch member is
+     * mutated from the same current design (mutations drawn serially
+     * from the exploration RNG); the best improving member is
+     * accepted. 1 reproduces the serial greedy trace.
+     */
+    int candidateBatch = 1;
 };
 
 /** One step of the exploration trace (drives Fig. 14). */
@@ -83,6 +115,24 @@ struct DseResult
     model::ComponentCost initialCost;
 };
 
+/**
+ * Per-(kernel, unroll) repair cache. Only *legal* schedules are kept
+ * as repair seeds: an entry whose last attempt was illegal keeps its
+ * previous legal schedule (if any) so repair can restart from the
+ * best known mapping instead of being poisoned by a broken one. An
+ * entry with no legal schedule yet only marks the version as
+ * attempted (so it gets the per-step budget, not the initial one) and
+ * makes repair restart from scratch.
+ */
+struct ScheduleCacheEntry
+{
+    /** Last *legal* schedule for this version (valid iff hasLegal). */
+    mapper::Schedule sched;
+    bool hasLegal = false;
+};
+
+using ScheduleCache = std::map<std::pair<int, int>, ScheduleCacheEntry>;
+
 /** Hardware/software co-design explorer over a set of workloads. */
 class Explorer
 {
@@ -95,13 +145,15 @@ class Explorer
 
     /**
      * Evaluate one design: compile + schedule every kernel version,
-     * pick each kernel's best, return the objective.
-     * @param schedules in/out per-(kernel,unroll) schedules for repair.
+     * pick each kernel's best, return the objective. The (kernel,
+     * unroll) grid is evaluated on the thread pool; the cache is only
+     * read during the parallel phase and updated in a deterministic
+     * serial reduction afterwards.
+     * @param schedules in/out per-(kernel,unroll) repair cache.
      */
-    double evaluateDesign(
-        const adg::Adg &adg,
-        std::map<std::pair<int, int>, mapper::Schedule> &schedules,
-        bool repair, double *perfOut, model::ComponentCost *costOut);
+    double evaluateDesign(const adg::Adg &adg, ScheduleCache &schedules,
+                          bool repair, double *perfOut,
+                          model::ComponentCost *costOut);
 
     /**
      * Remove features no kernel can use (unneeded FU classes, unused
@@ -117,6 +169,9 @@ class Explorer
     std::vector<const workloads::Workload *> workloads_;
     DseOptions opts_;
     std::vector<double> hostCycles_;
+    /** Shared pool for grid and batch evaluation (nested calls run
+     *  inline on the worker, so the two axes compose safely). */
+    std::unique_ptr<ThreadPool> pool_;
 };
 
 } // namespace dsa::dse

@@ -1,11 +1,16 @@
-/** @file Unit tests for base utilities (table, strings, bits, rng). */
+/** @file Unit tests for base utilities (table, strings, bits, rng,
+ *  thread pool). */
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
 
 #include "base/bits.h"
 #include "base/rng.h"
 #include "base/strings.h"
 #include "base/table.h"
+#include "base/thread_pool.h"
 
 namespace dsa {
 namespace {
@@ -112,6 +117,105 @@ TEST(Rng, PickAndShuffle)
     r.shuffle(copy);
     std::sort(copy.begin(), copy.end());
     EXPECT_EQ(copy, v);
+}
+
+TEST(Rng, Splitmix64KnownValues)
+{
+    // Reference values from the splitmix64 test vector (seed 0
+    // produces this well-known first output).
+    EXPECT_EQ(splitmix64(0), 0xe220a8397b1dcdafull);
+    EXPECT_NE(splitmix64(1), splitmix64(2));
+}
+
+TEST(Rng, MixSeedAvoidsAdditiveCollisions)
+{
+    // The old additive scheme seed + k*131 + u collides, e.g.
+    // (k=0,u=131) vs (k=1,u=0). The hash mix must not.
+    std::set<uint64_t> seen;
+    for (uint64_t k = 0; k < 64; ++k)
+        for (uint64_t u = 0; u < 200; ++u)
+            seen.insert(mixSeed(1, k, u));
+    EXPECT_EQ(seen.size(), 64u * 200u);
+}
+
+TEST(Rng, MixSeedDecorrelatesStreams)
+{
+    // Streams seeded from adjacent coordinates must differ from the
+    // first draw.
+    Rng a(mixSeed(7, 3, 1)), b(mixSeed(7, 3, 2)), c(mixSeed(7, 4, 1));
+    bool allEqual = true;
+    for (int i = 0; i < 8; ++i) {
+        int64_t va = a.uniformInt(0, 1 << 30);
+        int64_t vb = b.uniformInt(0, 1 << 30);
+        int64_t vc = c.uniformInt(0, 1 << 30);
+        allEqual &= va == vb && vb == vc;
+    }
+    EXPECT_FALSE(allEqual);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    for (int threads : {1, 2, 4, 8}) {
+        ThreadPool pool(threads);
+        std::vector<std::atomic<int>> hits(1000);
+        pool.parallelFor(hits.size(),
+                         [&](size_t i) { hits[i].fetch_add(1); });
+        for (const auto &h : hits)
+            EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ThreadPool, ReusableAcrossJobs)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<long> sum{0};
+        pool.parallelFor(64, [&](size_t i) {
+            sum.fetch_add(static_cast<long>(i));
+        });
+        EXPECT_EQ(sum.load(), 64 * 63 / 2);
+    }
+}
+
+TEST(ThreadPool, NestedCallsRunInline)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(8 * 16);
+    pool.parallelFor(8, [&](size_t outer) {
+        // Inner call from a worker must execute inline, serially,
+        // without deadlocking on the pool's own queue.
+        pool.parallelFor(16, [&](size_t inner) {
+            hits[outer * 16 + inner].fetch_add(1);
+        });
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesFirstException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(100,
+                                  [&](size_t i) {
+                                      if (i == 37)
+                                          throw std::runtime_error("x");
+                                  }),
+                 std::runtime_error);
+    // Pool must stay usable after an exceptional job.
+    std::atomic<int> n{0};
+    pool.parallelFor(10, [&](size_t) { n.fetch_add(1); });
+    EXPECT_EQ(n.load(), 10);
+}
+
+TEST(ThreadPool, EmptyAndSingleJobs)
+{
+    ThreadPool pool(3);
+    pool.parallelFor(0, [&](size_t) { FAIL() << "must not run"; });
+    std::atomic<int> n{0};
+    pool.parallelFor(1, [&](size_t) { n.fetch_add(1); });
+    EXPECT_EQ(n.load(), 1);
+    EXPECT_EQ(pool.threads(), 3);
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1);
 }
 
 } // namespace

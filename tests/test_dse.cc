@@ -91,6 +91,144 @@ TEST(Explorer, MutationsPreserveValidity)
     EXPECT_GT(validCount, 150);
 }
 
+void
+expectSameHistory(const DseResult &a, const DseResult &b)
+{
+    ASSERT_EQ(a.history.size(), b.history.size());
+    for (size_t i = 0; i < a.history.size(); ++i) {
+        EXPECT_EQ(a.history[i].iter, b.history[i].iter);
+        EXPECT_EQ(a.history[i].accepted, b.history[i].accepted);
+        EXPECT_DOUBLE_EQ(a.history[i].areaMm2, b.history[i].areaMm2);
+        EXPECT_DOUBLE_EQ(a.history[i].powerMw, b.history[i].powerMw);
+        EXPECT_DOUBLE_EQ(a.history[i].perf, b.history[i].perf);
+        EXPECT_DOUBLE_EQ(a.history[i].objective,
+                         b.history[i].objective);
+    }
+}
+
+DseOptions
+tinyOpts()
+{
+    DseOptions o = fastOpts();
+    o.maxIters = 24;
+    o.noImproveExit = 24;
+    o.schedIters = 20;
+    o.initSchedIters = 300;
+    return o;
+}
+
+TEST(Explorer, HistoryTraceDeterministicAcrossRuns)
+{
+    Explorer a(workloads::suiteWorkloads("PolyBench"), tinyOpts());
+    Explorer b(workloads::suiteWorkloads("PolyBench"), tinyOpts());
+    auto ra = a.run(adg::buildDseInitial());
+    auto rb = b.run(adg::buildDseInitial());
+    expectSameHistory(ra, rb);
+    EXPECT_EQ(ra.best.toText(), rb.best.toText());
+}
+
+TEST(Explorer, SerialAndParallelTracesIdentical)
+{
+    auto serial = tinyOpts();
+    auto parallel = tinyOpts();
+    serial.threads = 1;
+    parallel.threads = 4;
+    Explorer a(workloads::suiteWorkloads("PolyBench"), serial);
+    Explorer b(workloads::suiteWorkloads("PolyBench"), parallel);
+    auto ra = a.run(adg::buildDseInitial());
+    auto rb = b.run(adg::buildDseInitial());
+    // Bit-identical: per-task seeds are hashed from (seed, kernel,
+    // unroll) and all reductions run in fixed task order, so thread
+    // count must not change a single trace entry.
+    expectSameHistory(ra, rb);
+    EXPECT_DOUBLE_EQ(ra.bestObjective, rb.bestObjective);
+    EXPECT_EQ(ra.best.toText(), rb.best.toText());
+}
+
+TEST(Explorer, BatchedExplorationDeterministic)
+{
+    auto opts = tinyOpts();
+    opts.candidateBatch = 3;
+    opts.threads = 3;
+    Explorer a(workloads::suiteWorkloads("PolyBench"), opts);
+    Explorer b(workloads::suiteWorkloads("PolyBench"), opts);
+    auto ra = a.run(adg::buildDseInitial());
+    auto rb = b.run(adg::buildDseInitial());
+    expectSameHistory(ra, rb);
+    EXPECT_EQ(ra.best.toText(), rb.best.toText());
+    EXPECT_GT(ra.bestObjective, 0.0);
+}
+
+TEST(Explorer, RepairCacheOnlyStoresLegalSchedules)
+{
+    // Starve the scheduler so some versions come back illegal; the
+    // cache must never expose an illegal schedule as a repair seed.
+    auto opts = fastOpts();
+    opts.initSchedIters = 1;
+    opts.schedIters = 1;
+    Explorer ex(workloads::suiteWorkloads("MachSuite"), opts);
+    ScheduleCache cache;
+    ex.evaluateDesign(adg::buildDseInitial(), cache, true, nullptr,
+                      nullptr);
+    ASSERT_FALSE(cache.empty());
+    bool sawIllegalAttempt = false;
+    for (const auto &[key, entry] : cache) {
+        if (entry.hasLegal)
+            EXPECT_TRUE(entry.sched.cost.legal());
+        else
+            sawIllegalAttempt = true;
+    }
+    // With a 1-iteration budget at least one hard kernel fails to
+    // map; its entry is tagged attempted-but-illegal, not poisoned.
+    EXPECT_TRUE(sawIllegalAttempt);
+}
+
+TEST(Explorer, IllegalStepKeepsPreviousLegalSeed)
+{
+    auto set = workloads::suiteWorkloads("PolyBench");
+    Explorer ex(set, fastOpts());
+    ScheduleCache cache;
+    adg::Adg g = adg::buildDseInitial();
+    ex.evaluateDesign(g, cache, true, nullptr, nullptr);
+    std::vector<std::pair<int, int>> legalKeys;
+    for (const auto &[key, entry] : cache)
+        if (entry.hasLegal)
+            legalKeys.push_back(key);
+    ASSERT_FALSE(legalKeys.empty());
+
+    // Perturb the hardware hard (drop half the PEs) and re-evaluate
+    // with a starved 1-iteration budget: repairs that come back
+    // illegal must not evict the previously cached legal seeds.
+    auto pes = g.aliveNodes(adg::NodeKind::Pe);
+    for (size_t i = 0; i + 2 < pes.size(); i += 2)
+        g.removeNode(pes[i]);
+    auto starved = fastOpts();
+    starved.initSchedIters = 1;
+    starved.schedIters = 1;
+    Explorer ex2(set, starved);
+    ex2.evaluateDesign(g, cache, true, nullptr, nullptr);
+    for (const auto &key : legalKeys) {
+        EXPECT_TRUE(cache[key].hasLegal);
+        EXPECT_TRUE(cache[key].sched.cost.legal());
+    }
+}
+
+TEST(Explorer, InfeasibleStreakBoundsRuntime)
+{
+    // A budget nothing can meet: every mutation is rejected before
+    // evaluation. The run must still terminate (via infeasibleExit,
+    // not noImproveExit, which infeasible candidates no longer trip)
+    // and record no candidate evaluations.
+    auto opts = fastOpts();
+    opts.maxIters = 100000;
+    opts.noImproveExit = 100000;
+    opts.infeasibleExit = 40;
+    opts.areaBudgetMm2 = 1e-4;
+    Explorer ex(workloads::suiteWorkloads("PolyBench"), opts);
+    auto res = ex.run(adg::buildDseInitial());
+    EXPECT_EQ(res.history.size(), 2u);  // only the two seed records
+}
+
 TEST(Explorer, DeterministicWithSeed)
 {
     Explorer a(workloads::suiteWorkloads("PolyBench"), fastOpts());

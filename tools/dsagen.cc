@@ -11,7 +11,10 @@
  *   dsagen run <workload> <target> [unroll]
  *                                       full pipeline + utilization
  *                                       report + output validation
- *   dsagen dse <suite> [iters]          explore, save the best design
+ *   dsagen dse <suite> [iters] [threads] [batch]
+ *                                       explore (optionally in
+ *                                       parallel), save the best
+ *                                       design
  *   dsagen hwgen <target|file.adg> [out.v]
  *                                       config paths + Verilog
  */
@@ -23,6 +26,7 @@
 
 #include "adg/prebuilt.h"
 #include "base/table.h"
+#include "base/thread_pool.h"
 #include "compiler/codegen.h"
 #include "compiler/compile.h"
 #include "dfg/dfg_text.h"
@@ -207,7 +211,7 @@ cmdRun(const std::string &workload, const std::string &target, int unroll)
 }
 
 int
-cmdDse(const std::string &suite, int iters)
+cmdDse(const std::string &suite, int iters, int threads, int batch)
 {
     auto set = workloads::suiteWorkloads(suite);
     if (set.empty()) {
@@ -219,6 +223,11 @@ cmdDse(const std::string &suite, int iters)
     opts.noImproveExit = iters;
     opts.schedIters = 40;
     opts.unrollFactors = {1, 4};
+    opts.threads = threads > 0 ? threads : ThreadPool::hardwareThreads();
+    opts.candidateBatch = std::max(1, batch);
+    std::printf("exploring %s: %d iterations, %d threads, batch %d\n",
+                suite.c_str(), iters, opts.threads,
+                opts.candidateBatch);
     dse::Explorer ex(set, opts);
     auto res = ex.run(adg::buildDseInitial());
     std::printf("objective %.3f -> %.3f (%.1fx), area %.3f -> %.3f "
@@ -262,7 +271,9 @@ usage()
         "  list-workloads | list-targets | show-adg <target>\n"
         "  compile <workload> <target> [unroll]\n"
         "  run <workload> <target> [unroll]\n"
-        "  dse <suite> [iters]\n"
+        "  dse <suite> [iters] [threads] [batch]\n"
+        "      threads: evaluation workers (0 = all cores); results\n"
+        "      are identical for any thread count\n"
         "  hwgen <target|file.adg> [out.v]\n");
 }
 
@@ -291,7 +302,9 @@ main(int argc, char **argv)
         return cmdRun(argv[2], argv[3],
                       argc >= 5 ? std::atoi(argv[4]) : 1);
     if (cmd == "dse" && argc >= 3)
-        return cmdDse(argv[2], argc >= 4 ? std::atoi(argv[3]) : 200);
+        return cmdDse(argv[2], argc >= 4 ? std::atoi(argv[3]) : 200,
+                      argc >= 5 ? std::atoi(argv[4]) : 1,
+                      argc >= 6 ? std::atoi(argv[5]) : 1);
     if (cmd == "hwgen" && argc >= 3)
         return cmdHwgen(argv[2], argc >= 4 ? argv[3] : "generated.v");
     usage();
