@@ -3,6 +3,14 @@
  * Micro-benchmarks (google-benchmark): spatial-scheduler throughput —
  * from-scratch mapping vs repair after an incremental hardware change
  * (the mechanism that makes each DSE step cheap, §V-A).
+ *
+ * The `...Reference` variants run with `SchedOptions::incremental`
+ * off, i.e. global usage/occupancy state recomputed from the schedule
+ * at every use point — the historical hot-loop behavior — so the
+ * speedup of the incremental bookkeeping is measurable in one binary.
+ *
+ * Emits machine-readable results via the standard google-benchmark
+ * flags; `scripts/bench_sched.sh` stores them as BENCH_scheduler.json.
  */
 
 #include <benchmark/benchmark.h>
@@ -35,19 +43,22 @@ struct Fixture
 
 void
 BM_ScheduleFromScratch(benchmark::State &state,
-                       const std::string &workload)
+                       const std::string &workload, bool incremental)
 {
     Fixture f(workload);
     uint64_t seed = 1;
     for (auto _ : state) {
         auto s = mapper::scheduleProgram(f.prog, f.hw,
-                                         {.maxIters = 100, .seed = seed++});
+                                         {.maxIters = 100,
+                                          .seed = seed++,
+                                          .incremental = incremental});
         benchmark::DoNotOptimize(s.cost.scalar());
     }
 }
 
 void
-BM_ScheduleRepair(benchmark::State &state, const std::string &workload)
+BM_ScheduleRepair(benchmark::State &state, const std::string &workload,
+                  bool incremental)
 {
     Fixture f(workload);
     // Remove one PE so the repair has real (but small) work to do.
@@ -60,7 +71,9 @@ BM_ScheduleRepair(benchmark::State &state, const std::string &workload)
         mutated.removeNode(victim);
     for (auto _ : state) {
         mapper::SpatialScheduler sch(f.prog, mutated,
-                                     {.maxIters = 100, .seed = 5});
+                                     {.maxIters = 100,
+                                      .seed = 5,
+                                      .incremental = incremental});
         auto s = sch.run(&f.seed);
         benchmark::DoNotOptimize(s.cost.scalar());
     }
@@ -68,17 +81,26 @@ BM_ScheduleRepair(benchmark::State &state, const std::string &workload)
 
 } // namespace
 
-BENCHMARK_CAPTURE(BM_ScheduleFromScratch, crs, std::string("crs"))
+BENCHMARK_CAPTURE(BM_ScheduleFromScratch, crs, std::string("crs"), true)
     ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_ScheduleFromScratch, mm, std::string("mm"))
+BENCHMARK_CAPTURE(BM_ScheduleFromScratch, mm, std::string("mm"), true)
     ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_ScheduleFromScratch, conv, std::string("conv"))
+BENCHMARK_CAPTURE(BM_ScheduleFromScratch, conv, std::string("conv"), true)
     ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_ScheduleRepair, crs, std::string("crs"))
+BENCHMARK_CAPTURE(BM_ScheduleRepair, crs, std::string("crs"), true)
     ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_ScheduleRepair, mm, std::string("mm"))
+BENCHMARK_CAPTURE(BM_ScheduleRepair, mm, std::string("mm"), true)
     ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_ScheduleRepair, conv, std::string("conv"))
+BENCHMARK_CAPTURE(BM_ScheduleRepair, conv, std::string("conv"), true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ScheduleFromScratch, crs_reference,
+                  std::string("crs"), false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ScheduleFromScratch, conv_reference,
+                  std::string("conv"), false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ScheduleRepair, conv_reference, std::string("conv"),
+                  false)
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Run the spatial-scheduler micro-benchmarks and store machine-readable
+# results in BENCH_scheduler.json (google-benchmark JSON format).
+#
+# The binary benchmarks the incremental hot path next to `*_reference`
+# variants that recompute bookkeeping from scratch at every use point,
+# so the JSON carries its own before/after comparison.
+#
+# Usage: scripts/bench_sched.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+OUT="${BENCH_SCHED_OUT:-BENCH_scheduler.json}"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" --target micro_scheduler
+
+./build/bench/micro_scheduler \
+    --benchmark_out="$OUT" \
+    --benchmark_out_format=json
+
+echo "wrote $OUT"

@@ -2,7 +2,11 @@
 # Tier-1 verification: the full correctness suite on a normal build,
 # then the concurrency tests again under ThreadSanitizer (the
 # -DDSA_SANITIZE=thread configuration) so data races in the parallel
-# DSE paths fail the build, not a user's exploration.
+# DSE paths fail the build, not a user's exploration. The scheduler's
+# incremental-bookkeeping tests (which enable the checkIncremental
+# oracle cross-check internally) run under TSan as well, since the
+# mutable tracker state is exactly what the parallel DSE must never
+# share across threads.
 #
 # Usage: scripts/tier1.sh [jobs]
 set -euo pipefail
@@ -16,13 +20,14 @@ cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
 echo
-echo "== tier-1: concurrency tests under ThreadSanitizer =="
+echo "== tier-1: concurrency + incremental-scheduler tests under ThreadSanitizer =="
 cmake -B build-tsan -S . -DDSA_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build build-tsan -j "$JOBS" --target test_concurrency test_base
+cmake --build build-tsan -j "$JOBS" \
+      --target test_concurrency test_base test_scheduler_incremental
 TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure \
-          -R 'test_concurrency|test_base'
+          -R 'test_concurrency|test_base|test_scheduler_incremental'
 
 echo
 echo "tier-1 OK"

@@ -46,6 +46,7 @@ SpatialScheduler::SpatialScheduler(const dfg::DecoupledProgram &prog,
             regionClass_[r] = depth;
         }
     }
+    buildStaticTables();
 }
 
 void
@@ -73,6 +74,80 @@ SpatialScheduler::buildSlots()
                 slots_.push_back({static_cast<int>(r), true,
                                   dfg::kInvalidVertex, st.id});
     }
+}
+
+void
+SpatialScheduler::buildStaticTables()
+{
+    // Distinct config groups + a dense index per region.
+    configGroups_.clear();
+    for (const auto &reg : prog_.regions)
+        configGroups_.push_back(reg.configGroup);
+    std::sort(configGroups_.begin(), configGroups_.end());
+    configGroups_.erase(
+        std::unique(configGroups_.begin(), configGroups_.end()),
+        configGroups_.end());
+    regionGroupIdx_.resize(prog_.regions.size());
+    for (size_t r = 0; r < prog_.regions.size(); ++r)
+        regionGroupIdx_[r] = static_cast<int>(
+            std::lower_bound(configGroups_.begin(), configGroups_.end(),
+                             prog_.regions[r].configGroup) -
+            configGroups_.begin());
+    numClasses_ = 1;
+    for (int c : regionClass_)
+        numClasses_ = std::max(numClasses_, c + 1);
+
+    // Per-edge capacity and link-II participation (hardware is fixed
+    // for the scheduler's lifetime; DSE builds a fresh scheduler per
+    // candidate ADG).
+    edgeCap_.assign(adg_.edgeIdBound(), 1);
+    edgeLinkIi_.assign(adg_.edgeIdBound(), 0);
+    auto dynSwitch = [&](NodeId n) {
+        return adg_.node(n).kind == NodeKind::Switch &&
+               adg_.node(n).sw().sched == Scheduling::Dynamic;
+    };
+    for (EdgeId e : adg_.aliveEdges()) {
+        const auto &edge = adg_.edge(e);
+        auto endKind = [&](NodeId n) { return adg_.node(n).kind; };
+        bool busSide = endKind(edge.src) == NodeKind::Sync ||
+                       endKind(edge.src) == NodeKind::Memory ||
+                       endKind(edge.dst) == NodeKind::Sync ||
+                       endKind(edge.dst) == NodeKind::Memory;
+        // Flow-controlled (dynamic-switch) links may time-multiplex
+        // two values, at the cost of initiation interval.
+        int cap = busSide ? 4
+            : (dynSwitch(edge.src) || dynSwitch(edge.dst)) ? 2 : 1;
+        edgeCap_[e] = cap;
+        edgeLinkIi_[e] = !busSide && cap == 2;
+    }
+
+    peCap_.assign(adg_.nodeIdBound(), 1);
+    peShared_.assign(adg_.nodeIdBound(), 0);
+    syncCap_.assign(adg_.nodeIdBound(), 0);
+    memCap_.assign(adg_.nodeIdBound(), 0);
+    for (NodeId n : adg_.aliveNodes(NodeKind::Pe)) {
+        const auto &pe = adg_.node(n).pe();
+        peShared_[n] = pe.sharing == Sharing::Shared;
+        peCap_[n] = (peShared_[n] && opts_.allowShared) ? pe.maxInsts : 1;
+    }
+    for (NodeId n : adg_.aliveNodes(NodeKind::Sync))
+        syncCap_[n] = adg_.node(n).sync().lanes;
+    for (NodeId n : adg_.aliveNodes(NodeKind::Memory))
+        memCap_[n] = adg_.node(n).mem().numStreamEngines;
+
+    tracker_.init(prog_, adg_, regionGroupIdx_,
+                  static_cast<int>(configGroups_.size()), regionClass_,
+                  numClasses_);
+    timing_.assign(prog_.regions.size(), {});
+    timingDirty_.assign(prog_.regions.size(), 1);
+    nodeShortfall_.assign(adg_.nodeIdBound(), 0);
+
+    dist_.assign(adg_.nodeIdBound(), 0.0);
+    via_.assign(adg_.nodeIdBound(), adg::kInvalidEdge);
+    nodeStamp_.assign(adg_.nodeIdBound(), 0);
+    shortfallScratch_.assign(adg_.nodeIdBound(), 0);
+    shortfallAdj_.assign(adg_.nodeIdBound(), 0);
+    adjStamp_.assign(adg_.nodeIdBound(), 0);
 }
 
 bool
@@ -168,55 +243,36 @@ SpatialScheduler::candidatesFor(const Slot &slot, const Schedule &s) const
     return out;
 }
 
-SpatialScheduler::EdgeUsage
-SpatialScheduler::edgeUsage(const Schedule &s, int group) const
-{
-    // Network routing is configuration state: only routes within one
-    // config group contend for the same wires.
-    EdgeUsage usage;
-    auto add = [&](const Route &r, const ValueKey &val) {
-        for (EdgeId e : r) {
-            auto &v = usage[e];
-            if (std::find(v.begin(), v.end(), val) == v.end())
-                v.push_back(val);
-        }
-    };
-    auto inGroup = [&](int region) {
-        return group < 0 || prog_.regions[region].configGroup == group;
-    };
-    for (size_t r = 0; r < s.regions.size(); ++r) {
-        if (!inGroup(static_cast<int>(r)))
-            continue;
-        const Region &reg = prog_.regions[r];
-        for (const auto &[key, route] : s.regions[r].routes) {
-            const Vertex &consumer = reg.dfg.vertex(key.first);
-            const auto &op = consumer.operands[key.second];
-            add(route, {static_cast<int>(r), op.src});
-        }
-        for (const auto &[sid, route] : s.regions[r].recurrenceRoutes)
-            add(route, {static_cast<int>(r), reg.streams[sid].srcPort});
-    }
-    for (const auto &[fi, route] : s.forwardRoutes) {
-        const auto &f = prog_.forwards[fi];
-        if (inGroup(f.srcRegion))
-            add(route, {f.srcRegion, f.srcPort});
-    }
-    return usage;
-}
-
 Route
-SpatialScheduler::dijkstra(NodeId from, NodeId to, bool dynFlow,
-                           const ValueKey &value,
-                           const EdgeUsage &usage) const
+SpatialScheduler::dijkstra(const Schedule &s, NodeId from, NodeId to,
+                           bool dynFlow, const ValueKey &value,
+                           int group) const
 {
+    // Reference mode recomputes usage from the schedule at every use
+    // point, exactly like the historical edgeUsage() rebuild.
+    if (!opts_.incremental)
+        tracker_.rebuild(s);
+
     // Usage-penalized shortest path allowing only protocol-compatible
     // switches (and delay elements for static flows) as intermediates.
+    // dist_/via_ are epoch-stamped: a slot is live only if its stamp
+    // matches the current epoch, so no O(nodes) clear per call.
     const double kInf = 1e18;
-    std::vector<double> dist(adg_.nodeIdBound(), kInf);
-    std::vector<EdgeId> via(adg_.nodeIdBound(), adg::kInvalidEdge);
+    if (++dijkstraEpoch_ == 0) {
+        std::fill(nodeStamp_.begin(), nodeStamp_.end(), 0);
+        dijkstraEpoch_ = 1;
+    }
+    auto touch = [&](NodeId n) {
+        if (nodeStamp_[n] != dijkstraEpoch_) {
+            nodeStamp_[n] = dijkstraEpoch_;
+            dist_[n] = kInf;
+            via_[n] = adg::kInvalidEdge;
+        }
+    };
     using QE = std::pair<double, NodeId>;
     std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
-    dist[from] = 0;
+    touch(from);
+    dist_[from] = 0;
     pq.push({0, from});
     auto passable = [&](NodeId n) {
         if (n == to)
@@ -244,7 +300,7 @@ SpatialScheduler::dijkstra(NodeId from, NodeId to, bool dynFlow,
     while (!pq.empty()) {
         auto [d, n] = pq.top();
         pq.pop();
-        if (d > dist[n])
+        if (d > dist_[n])
             continue;
         if (n == to)
             break;
@@ -253,29 +309,29 @@ SpatialScheduler::dijkstra(NodeId from, NodeId to, bool dynFlow,
             NodeId m = edge.dst;
             if (!adg_.nodeAlive(m) || !passable(m))
                 continue;
-            double c = 1.0;
-            auto it = usage.find(e);
-            if (it != usage.end()) {
-                bool mine = std::find(it->second.begin(), it->second.end(),
-                                      value) != it->second.end();
-                c = mine ? 0.01 : 1.0 + 3.0 * it->second.size();
-            }
+            double c = opts_.routeBaseCost;
+            int used = tracker_.distinctOnEdge(group, e);
+            if (used > 0)
+                c = tracker_.valueOnEdge(group, e, value)
+                    ? opts_.routeReuseCost
+                    : opts_.routeBaseCost + opts_.routeCongestSlope * used;
             // Passing through a PE burns an instruction slot.
             if (m != to && adg_.node(m).kind == NodeKind::Pe)
-                c += 2.0;
-            if (dist[n] + c < dist[m]) {
-                dist[m] = dist[n] + c;
-                via[m] = e;
-                pq.push({dist[m], m});
+                c += opts_.routePePassCost;
+            touch(m);
+            if (dist_[n] + c < dist_[m]) {
+                dist_[m] = dist_[n] + c;
+                via_[m] = e;
+                pq.push({dist_[m], m});
             }
         }
     }
-    if (dist[to] >= kInf)
+    if (nodeStamp_[to] != dijkstraEpoch_ || dist_[to] >= kInf)
         return {};
     Route route;
     NodeId cur = to;
     while (cur != from) {
-        EdgeId e = via[cur];
+        EdgeId e = via_[cur];
         DSA_ASSERT(e != adg::kInvalidEdge, "broken dijkstra backtrack");
         route.push_back(e);
         cur = adg_.edge(e).src;
@@ -290,9 +346,61 @@ SpatialScheduler::routeValue(const Schedule &s, int region,
                              NodeId to) const
 {
     bool dynFlow = nodeIsDynamicPe(from) || nodeIsDynamicPe(to);
-    int group = prog_.regions[region].configGroup;
-    return dijkstra(from, to, dynFlow, {region, producer},
-                    edgeUsage(s, group));
+    return dijkstra(s, from, to, dynFlow, {region, producer},
+                    regionGroupIdx_[region]);
+}
+
+void
+SpatialScheduler::setValueRoute(Schedule &s, int region,
+                                std::pair<VertexId, int> key,
+                                Route route) const
+{
+    auto &rs = s.regions[region];
+    auto it = rs.routes.find(key);
+    if (opts_.incremental) {
+        const Region &reg = prog_.regions[region];
+        ValueKey val{region,
+                     reg.dfg.vertex(key.first).operands[key.second].src};
+        if (it != rs.routes.end())
+            tracker_.removeRoute(region, val, it->second, true);
+        tracker_.addRoute(region, val, route, true);
+        timingDirty_[region] = 1;
+    }
+    if (it != rs.routes.end())
+        it->second = std::move(route);
+    else
+        rs.routes.emplace(key, std::move(route));
+}
+
+void
+SpatialScheduler::setRecurrenceRoute(Schedule &s, int region, int sid,
+                                     Route route) const
+{
+    auto &rs = s.regions[region];
+    DSA_ASSERT(!rs.recurrenceRoutes.count(sid),
+               "recurrence route already present for stream ", sid);
+    if (opts_.incremental) {
+        tracker_.addRoute(
+            region, {region, prog_.regions[region].streams[sid].srcPort},
+            route, true);
+        timingDirty_[region] = 1;
+    }
+    rs.recurrenceRoutes.emplace(sid, std::move(route));
+}
+
+void
+SpatialScheduler::setForwardRoute(Schedule &s, int fi, Route route) const
+{
+    DSA_ASSERT(!s.forwardRoutes.count(fi),
+               "forward route already present for forward ", fi);
+    if (opts_.incremental) {
+        // Forwards charge the source region's group and never affect
+        // region-local timing.
+        const auto &f = prog_.forwards[fi];
+        tracker_.addRoute(f.srcRegion, {f.srcRegion, f.srcPort}, route,
+                          false);
+    }
+    s.forwardRoutes.emplace(fi, std::move(route));
 }
 
 void
@@ -301,12 +409,21 @@ SpatialScheduler::place(Schedule &s, const Slot &slot, NodeId node) const
     auto &rs = s.regions[slot.region];
     if (slot.isStream) {
         rs.streamMap[slot.streamId] = node;
+        if (opts_.incremental && node != kInvalidNode)
+            tracker_.bindStream(slot.region, node, +1);
         return;
     }
     const Region &reg = prog_.regions[slot.region];
     VertexId v = slot.vertex;
     rs.vertexMap[v] = node;
     const Vertex &vx = reg.dfg.vertex(v);
+    if (opts_.incremental) {
+        if (vx.kind == VertexKind::Instruction)
+            tracker_.mapInstruction(slot.region, node, +1);
+        else
+            tracker_.mapPort(slot.region, node, vx.lanes, +1);
+        timingDirty_[slot.region] = 1;
+    }
     // Route operands from mapped producers.
     for (size_t i = 0; i < vx.operands.size(); ++i) {
         const auto &op = vx.operands[i];
@@ -317,7 +434,8 @@ SpatialScheduler::place(Schedule &s, const Slot &slot, NodeId node) const
             continue;
         Route r = routeValue(s, slot.region, op.src, from, node);
         if (!r.empty())
-            rs.routes[{v, static_cast<int>(i)}] = std::move(r);
+            setValueRoute(s, slot.region, {v, static_cast<int>(i)},
+                          std::move(r));
     }
     // Route to mapped consumers.
     for (const auto &use : reg.dfg.uses(v)) {
@@ -326,7 +444,8 @@ SpatialScheduler::place(Schedule &s, const Slot &slot, NodeId node) const
             continue;
         Route r = routeValue(s, slot.region, v, node, to);
         if (!r.empty())
-            rs.routes[{use.user, use.operandIdx}] = std::move(r);
+            setValueRoute(s, slot.region, {use.user, use.operandIdx},
+                          std::move(r));
     }
 }
 
@@ -334,43 +453,81 @@ void
 SpatialScheduler::unplace(Schedule &s, const Slot &slot) const
 {
     auto &rs = s.regions[slot.region];
+    const bool inc = opts_.incremental;
     if (slot.isStream) {
+        NodeId old = rs.streamMap[slot.streamId];
         rs.streamMap[slot.streamId] = kInvalidNode;
+        if (inc && old != kInvalidNode)
+            tracker_.bindStream(slot.region, old, -1);
         return;
     }
     const Region &reg = prog_.regions[slot.region];
     VertexId v = slot.vertex;
+    const Vertex &vx = reg.dfg.vertex(v);
+    NodeId old = rs.vertexMap[v];
     rs.vertexMap[v] = kInvalidNode;
+    if (inc) {
+        if (old != kInvalidNode) {
+            if (vx.kind == VertexKind::Instruction)
+                tracker_.mapInstruction(slot.region, old, -1);
+            else
+                tracker_.mapPort(slot.region, old, vx.lanes, -1);
+        }
+        timingDirty_[slot.region] = 1;
+    }
     // Routes into v.
     for (auto it = rs.routes.begin(); it != rs.routes.end();) {
-        if (it->first.first == v)
+        if (it->first.first == v) {
+            if (inc)
+                tracker_.removeRoute(
+                    slot.region,
+                    {slot.region, vx.operands[it->first.second].src},
+                    it->second, true);
             it = rs.routes.erase(it);
-        else
+        } else {
             ++it;
+        }
     }
     // Routes out of v.
-    for (const auto &use : reg.dfg.uses(v))
-        rs.routes.erase({use.user, use.operandIdx});
+    for (const auto &use : reg.dfg.uses(v)) {
+        auto it = rs.routes.find({use.user, use.operandIdx});
+        if (it == rs.routes.end())
+            continue;
+        if (inc)
+            tracker_.removeRoute(slot.region, {slot.region, v}, it->second,
+                                 true);
+        rs.routes.erase(it);
+    }
     // Specials touching v.
     for (auto it = rs.recurrenceRoutes.begin();
          it != rs.recurrenceRoutes.end();) {
         const Stream &st = reg.streams[it->first];
-        if (st.srcPort == v || st.port == v)
+        if (st.srcPort == v || st.port == v) {
+            if (inc)
+                tracker_.removeRoute(slot.region,
+                                     {slot.region, st.srcPort}, it->second,
+                                     true);
             it = rs.recurrenceRoutes.erase(it);
-        else
+        } else {
             ++it;
+        }
     }
     for (auto it = s.forwardRoutes.begin(); it != s.forwardRoutes.end();) {
         const auto &f = prog_.forwards[it->first];
         bool touches = (f.srcRegion == slot.region && f.srcPort == v) ||
                        (f.dstRegion == slot.region && f.dstPort == v);
-        if (touches)
+        if (touches) {
+            if (inc)
+                tracker_.removeRoute(f.srcRegion,
+                                     {f.srcRegion, f.srcPort}, it->second,
+                                     false);
             it = s.forwardRoutes.erase(it);
-        else
+        } else {
             ++it;
+        }
     }
     // Streams bound through this port lose their binding.
-    if (reg.dfg.vertex(v).kind != VertexKind::Instruction) {
+    if (vx.kind != VertexKind::Instruction) {
         for (const Stream &st : reg.streams) {
             if (!st.touchesMemory())
                 continue;
@@ -378,8 +535,11 @@ SpatialScheduler::unplace(Schedule &s, const Slot &slot) const
                 (st.kind == StreamKind::IndirectWrite ||
                  st.kind == StreamKind::AtomicUpdate) ? st.valuePort
                                                       : st.port;
-            if (portV == v)
-                rs.streamMap[st.id] = kInvalidNode;
+            if (portV != v)
+                continue;
+            if (inc && rs.streamMap[st.id] != kInvalidNode)
+                tracker_.bindStream(slot.region, rs.streamMap[st.id], -1);
+            rs.streamMap[st.id] = kInvalidNode;
         }
     }
 }
@@ -401,11 +561,12 @@ SpatialScheduler::routeSpecials(Schedule &s) const
             NodeId to = rs.vertexMap[st.port];
             if (from == kInvalidNode || to == kInvalidNode)
                 continue;
-            Route route = dijkstra(from, to, false,
+            Route route = dijkstra(s, from, to, false,
                                    {static_cast<int>(r), st.srcPort},
-                                   edgeUsage(s, reg.configGroup));
+                                   regionGroupIdx_[r]);
             if (!route.empty())
-                rs.recurrenceRoutes[st.id] = std::move(route);
+                setRecurrenceRoute(s, static_cast<int>(r), st.id,
+                                   std::move(route));
         }
     }
     for (size_t fi = 0; fi < prog_.forwards.size(); ++fi) {
@@ -416,16 +577,85 @@ SpatialScheduler::routeSpecials(Schedule &s) const
         NodeId to = s.regions[f.dstRegion].vertexMap[f.dstPort];
         if (from == kInvalidNode || to == kInvalidNode)
             continue;
-        Route route = dijkstra(
-            from, to, false, {f.srcRegion, f.srcPort},
-            edgeUsage(s, prog_.regions[f.srcRegion].configGroup));
+        Route route = dijkstra(s, from, to, false, {f.srcRegion, f.srcPort},
+                               regionGroupIdx_[f.srcRegion]);
         if (!route.empty())
-            s.forwardRoutes[static_cast<int>(fi)] = std::move(route);
+            setForwardRoute(s, static_cast<int>(fi), std::move(route));
     }
 }
 
+SpatialScheduler::RegionTiming
+SpatialScheduler::computeRegionTiming(const Schedule &s, size_t r,
+                                      std::vector<int> &vertexTime,
+                                      std::vector<int> &shortfallScratch,
+                                      std::vector<int> &arrivalScratch) const
+{
+    RegionTiming out;
+    const Region &reg = prog_.regions[r];
+    const auto &rs = s.regions[r];
+    std::vector<NodeId> touched;
+    vertexTime.assign(reg.dfg.numVertices(), 0);
+    for (VertexId v : reg.dfg.topoOrder()) {
+        const Vertex &vx = reg.dfg.vertex(v);
+        if (vx.kind == VertexKind::InputPort) {
+            vertexTime[v] = 0;
+            continue;
+        }
+        int maxArr = 0;
+        arrivalScratch.clear();
+        for (size_t i = 0; i < vx.operands.size(); ++i) {
+            const auto &op = vx.operands[i];
+            if (op.isImm())
+                continue;
+            int lat = 0;
+            auto it = rs.routes.find({v, static_cast<int>(i)});
+            if (it != rs.routes.end())
+                lat = static_cast<int>(it->second.size());
+            int arr = vertexTime[op.src] + lat;
+            arrivalScratch.push_back(arr);
+            maxArr = std::max(maxArr, arr);
+        }
+        NodeId n = rs.vertexMap[v];
+        if (vx.kind == VertexKind::Instruction) {
+            // Static dedicated PEs must absorb operand skew in
+            // their delay FIFOs; the shortfall costs throughput.
+            if (nodeIsStaticPe(n)) {
+                int depth = adg_.node(n).pe().delayFifoDepth;
+                for (int arr : arrivalScratch) {
+                    int need = maxArr - arr;
+                    if (need > depth) {
+                        if (shortfallScratch[n] == 0)
+                            touched.push_back(n);
+                        shortfallScratch[n] += need - depth;
+                    }
+                }
+            }
+            vertexTime[v] = maxArr + opInfo(vx.op).latency;
+        } else {
+            vertexTime[v] = maxArr;
+        }
+        if (vx.isAccumulate())
+            out.recLat = std::max(out.recLat, opInfo(vx.op).latency);
+    }
+    for (const auto &[sid, route] : rs.recurrenceRoutes) {
+        const Stream &st = reg.streams[sid];
+        out.recLat = std::max(
+            out.recLat,
+            vertexTime[st.srcPort] + static_cast<int>(route.size()));
+    }
+    out.shortfall.reserve(touched.size());
+    for (NodeId n : touched) {
+        out.shortfall.push_back({n, shortfallScratch[n]});
+        shortfallScratch[n] = 0;
+    }
+    return out;
+}
+
 Cost
-SpatialScheduler::evaluate(const Schedule &s) const
+SpatialScheduler::assemble(const Schedule &s, const UsageTracker &t,
+                           const std::vector<RegionTiming> &timing,
+                           const std::vector<int> &nodeShortfall,
+                           int *linkIiOut) const
 {
     Cost c;
     c.unplaced = s.countUnplaced(prog_);
@@ -468,102 +698,29 @@ SpatialScheduler::evaluate(const Schedule &s) const
             ++c.unplaced;
     }
 
-    // Edge congestion, per configuration group.
-    std::set<int> groups;
-    for (const auto &reg : prog_.regions)
-        groups.insert(reg.configGroup);
+    // Edge congestion, per configuration group (routes only contend
+    // for wires within one config group).
     int linkIi = 1;
-    for (int g : groups) {
-        EdgeUsage usage = edgeUsage(s, g);
-        for (const auto &[e, vals] : usage) {
-            const auto &edge = adg_.edge(e);
-            auto endKind = [&](NodeId n) { return adg_.node(n).kind; };
-            bool busSide = endKind(edge.src) == NodeKind::Sync ||
-                           endKind(edge.src) == NodeKind::Memory ||
-                           endKind(edge.dst) == NodeKind::Sync ||
-                           endKind(edge.dst) == NodeKind::Memory;
-            // Flow-controlled (dynamic-switch) links may time-multiplex
-            // two values, at the cost of initiation interval.
-            auto dynSwitch = [&](NodeId n) {
-                return adg_.node(n).kind == NodeKind::Switch &&
-                       adg_.node(n).sw().sched == Scheduling::Dynamic;
-            };
-            int cap = busSide ? 4
-                : (dynSwitch(edge.src) || dynSwitch(edge.dst)) ? 2 : 1;
-            int used = static_cast<int>(vals.size());
-            if (!busSide && used > 1 && cap == 2)
-                linkIi = std::max(linkIi, used);
-            c.overuse += std::max<int>(0, used - cap);
-            c.wirelength += used;
-        }
+    for (const auto &[g, e] : t.activeEdges()) {
+        int used = t.distinctOnEdge(g, e);
+        if (edgeLinkIi_[e] && used > 1)
+            linkIi = std::max(linkIi, used);
+        c.overuse += std::max(0, used - edgeCap_[e]);
+        c.wirelength += used;
     }
 
     // Node occupancy. Routes that tunnel through a PE occupy one of
     // its instruction slots with a Pass (charged per distinct value).
-    std::map<std::pair<int, NodeId>, int> peInsts;
-    std::map<std::pair<int, NodeId>, int> syncPorts;
-    std::map<std::pair<int, NodeId>, int> memStreams;
-    std::map<std::pair<int, NodeId>, std::set<ValueKey>> passThrough;
-    for (size_t r = 0; r < prog_.regions.size(); ++r) {
-        const Region &reg = prog_.regions[r];
-        const auto &rs = s.regions[r];
-        if (rs.serialized)
-            continue;
-        int g = reg.configGroup;
-        auto walk = [&](const Route &route, const ValueKey &val) {
-            for (size_t i = 0; i + 1 < route.size(); ++i) {
-                NodeId mid = adg_.edge(route[i]).dst;
-                if (adg_.node(mid).kind == NodeKind::Pe)
-                    passThrough[{g, mid}].insert(val);
-            }
-        };
-        for (const auto &[key, route] : rs.routes) {
-            const Vertex &consumer = reg.dfg.vertex(key.first);
-            walk(route, {static_cast<int>(r),
-                         consumer.operands[key.second].src});
-        }
-        for (const auto &[sid, route] : rs.recurrenceRoutes)
-            walk(route, {static_cast<int>(r), reg.streams[sid].srcPort});
+    for (const auto &[g, n] : t.activePes()) {
+        int cnt = t.peInstCount(g, n) + t.pePassDistinct(g, n);
+        c.overuse += std::max(0, cnt - peCap_[n]);
     }
-    for (size_t r = 0; r < prog_.regions.size(); ++r) {
-        const Region &reg = prog_.regions[r];
-        const auto &rs = s.regions[r];
-        if (rs.serialized)
-            continue;
-        for (const auto &vx : reg.dfg.vertices()) {
-            NodeId n = rs.vertexMap[vx.id];
-            if (n == kInvalidNode)
-                continue;
-            int g = reg.configGroup;
-            if (vx.kind == VertexKind::Instruction)
-                ++peInsts[{g, n}];
-            else
-                syncPorts[{g, n}] += vx.lanes;  // lanes on the sync
-        }
-        for (const Stream &st : reg.streams) {
-            if (!st.touchesMemory())
-                continue;
-            NodeId m = rs.streamMap[st.id];
-            if (m != kInvalidNode)
-                ++memStreams[{regionClass_[r], m}];
-        }
-    }
-    for (const auto &[key, vals] : passThrough)
-        peInsts[key] += static_cast<int>(vals.size());
-    for (const auto &[key, cnt] : peInsts) {
-        const auto &pe = adg_.node(key.second).pe();
-        int cap = (pe.sharing == Sharing::Shared && opts_.allowShared)
-            ? pe.maxInsts : 1;
-        c.overuse += std::max(0, cnt - cap);
-    }
-    for (const auto &[key, cnt] : syncPorts) {
+    for (const auto &[g, n] : t.activeSyncs()) {
         // A sync element subdivides its vector lanes among ports.
-        c.overuse += std::max(0, cnt - adg_.node(key.second).sync().lanes);
+        c.overuse += std::max(0, t.syncLaneCount(g, n) - syncCap_[n]);
     }
-    for (const auto &[key, cnt] : memStreams) {
-        const auto &mem = adg_.node(key.second).mem();
-        c.overuse += std::max(0, cnt - mem.numStreamEngines);
-    }
+    for (const auto &[cls, n] : t.activeMems())
+        c.overuse += std::max(0, t.memStreamCount(cls, n) - memCap_[n]);
 
     // Protocol violations: dynamic producer -> static consumer PE.
     for (size_t r = 0; r < prog_.regions.size(); ++r) {
@@ -586,72 +743,298 @@ SpatialScheduler::evaluate(const Schedule &s) const
         }
     }
 
-    // Timing, II, recurrence latency.
-    std::map<NodeId, int> peShortfall;
-    for (size_t r = 0; r < prog_.regions.size(); ++r) {
-        const Region &reg = prog_.regions[r];
-        auto &rs = const_cast<RegionSchedule &>(s.regions[r]);
-        if (rs.serialized)
-            continue;
-        rs.vertexTime.assign(reg.dfg.numVertices(), 0);
-        for (VertexId v : reg.dfg.topoOrder()) {
-            const Vertex &vx = reg.dfg.vertex(v);
-            if (vx.kind == VertexKind::InputPort) {
-                rs.vertexTime[v] = 0;
-                continue;
-            }
-            int maxArr = 0;
-            std::vector<int> arrivals;
-            for (size_t i = 0; i < vx.operands.size(); ++i) {
-                const auto &op = vx.operands[i];
-                if (op.isImm())
-                    continue;
-                int lat = 0;
-                auto it = rs.routes.find({v, static_cast<int>(i)});
-                if (it != rs.routes.end())
-                    lat = static_cast<int>(it->second.size());
-                int arr = rs.vertexTime[op.src] + lat;
-                arrivals.push_back(arr);
-                maxArr = std::max(maxArr, arr);
-            }
-            NodeId n = rs.vertexMap[v];
-            if (vx.kind == VertexKind::Instruction) {
-                // Static dedicated PEs must absorb operand skew in
-                // their delay FIFOs; the shortfall costs throughput.
-                if (nodeIsStaticPe(n)) {
-                    int depth = adg_.node(n).pe().delayFifoDepth;
-                    for (int arr : arrivals) {
-                        int need = maxArr - arr;
-                        if (need > depth)
-                            peShortfall[n] += need - depth;
-                    }
-                }
-                rs.vertexTime[v] = maxArr + opInfo(vx.op).latency;
-            } else {
-                rs.vertexTime[v] = maxArr;
-            }
-            if (vx.isAccumulate())
-                c.recurrenceLatency =
-                    std::max(c.recurrenceLatency, opInfo(vx.op).latency);
-        }
-        for (const auto &[sid, route] : rs.recurrenceRoutes) {
-            const Stream &st = reg.streams[sid];
-            c.recurrenceLatency = std::max(
-                c.recurrenceLatency,
-                rs.vertexTime[st.srcPort] + static_cast<int>(route.size()));
-        }
-    }
+    // II and recurrence latency from the per-region timing summaries.
+    for (const auto &rt : timing)
+        c.recurrenceLatency = std::max(c.recurrenceLatency, rt.recLat);
     int maxIi = linkIi;
-    for (const auto &[key, cnt] : peInsts) {
-        const auto &pe = adg_.node(key.second).pe();
-        int ii = (pe.sharing == Sharing::Shared) ? cnt : 1;
-        auto it = peShortfall.find(key.second);
-        if (it != peShortfall.end())
-            ii += it->second;
+    for (const auto &[g, n] : t.activePes()) {
+        int cnt = t.peInstCount(g, n) + t.pePassDistinct(g, n);
+        int ii = (peShared_[n] ? cnt : 1) + nodeShortfall[n];
         maxIi = std::max(maxIi, ii);
     }
     c.maxIi = maxIi;
+    if (linkIiOut)
+        *linkIiOut = linkIi;
     return c;
+}
+
+Cost
+SpatialScheduler::evaluate(const Schedule &s) const
+{
+    // From-scratch oracle: local tracker + local scratch, so this stays
+    // re-entrant and independent of the scheduler's internal state.
+    UsageTracker t;
+    t.init(prog_, adg_, regionGroupIdx_,
+           static_cast<int>(configGroups_.size()), regionClass_,
+           numClasses_);
+    t.rebuild(s);
+    std::vector<RegionTiming> timing(prog_.regions.size());
+    std::vector<int> nodeShortfall(adg_.nodeIdBound(), 0);
+    std::vector<int> shortfallScratch(adg_.nodeIdBound(), 0);
+    std::vector<int> arrivalScratch;
+    for (size_t r = 0; r < prog_.regions.size(); ++r) {
+        // vertexTime is a derived annotation on the schedule; writing
+        // it from the const evaluator is the historical behavior.
+        auto &rs = const_cast<RegionSchedule &>(s.regions[r]);
+        if (rs.serialized)
+            continue;
+        timing[r] = computeRegionTiming(s, r, rs.vertexTime,
+                                        shortfallScratch, arrivalScratch);
+        for (const auto &[n, sh] : timing[r].shortfall)
+            nodeShortfall[n] += sh;
+    }
+    return assemble(s, t, timing, nodeShortfall, nullptr);
+}
+
+void
+SpatialScheduler::bindTo(const Schedule &s) const
+{
+    tracker_.rebuild(s);
+    timing_.assign(prog_.regions.size(), {});
+    timingDirty_.assign(prog_.regions.size(), 1);
+    std::fill(nodeShortfall_.begin(), nodeShortfall_.end(), 0);
+}
+
+void
+SpatialScheduler::refreshTiming(const Schedule &s) const
+{
+    for (size_t r = 0; r < prog_.regions.size(); ++r) {
+        if (!timingDirty_[r])
+            continue;
+        timingDirty_[r] = 0;
+        for (const auto &[n, sh] : timing_[r].shortfall)
+            nodeShortfall_[n] -= sh;
+        auto &rs = const_cast<RegionSchedule &>(s.regions[r]);
+        if (rs.serialized) {
+            timing_[r] = {};
+            continue;
+        }
+        timing_[r] = computeRegionTiming(s, r, rs.vertexTime,
+                                         shortfallScratch_, arrivalScratch_);
+        for (const auto &[n, sh] : timing_[r].shortfall)
+            nodeShortfall_[n] += sh;
+    }
+}
+
+void
+SpatialScheduler::verifyTracker(const Schedule &s) const
+{
+    UsageTracker fresh;
+    fresh.init(prog_, adg_, regionGroupIdx_,
+               static_cast<int>(configGroups_.size()), regionClass_,
+               numClasses_);
+    fresh.rebuild(s);
+    std::string why;
+    DSA_ASSERT(tracker_.equals(fresh, &why), "tracker drift: ", why);
+}
+
+Cost
+SpatialScheduler::evaluateTracked(const Schedule &s) const
+{
+    refreshTiming(s);
+    Cost c = assemble(s, tracker_, timing_, nodeShortfall_, nullptr);
+    if (opts_.checkIncremental) {
+        verifyTracker(s);
+        Cost full = evaluate(s);
+        DSA_ASSERT(c.unplaced == full.unplaced &&
+                       c.overuse == full.overuse &&
+                       c.violations == full.violations &&
+                       c.maxIi == full.maxIi &&
+                       c.recurrenceLatency == full.recurrenceLatency &&
+                       c.wirelength == full.wirelength,
+                   "tracked evaluation diverged from oracle: tracked=(",
+                   c.unplaced, ",", c.overuse, ",", c.violations, ",",
+                   c.maxIi, ",", c.recurrenceLatency, ",", c.wirelength,
+                   ") oracle=(", full.unplaced, ",", full.overuse, ",",
+                   full.violations, ",", full.maxIi, ",",
+                   full.recurrenceLatency, ",", full.wirelength, ")");
+    }
+    return c;
+}
+
+SpatialScheduler::ProbeBase
+SpatialScheduler::makeProbeBase(const Schedule &s, const Slot &slot) const
+{
+    refreshTiming(s);
+    ProbeBase b;
+    b.cost = assemble(s, tracker_, timing_, nodeShortfall_, &b.linkIi);
+    for (size_t r = 0; r < timing_.size(); ++r)
+        if (static_cast<int>(r) != slot.region)
+            b.recLatOther = std::max(b.recLatOther, timing_[r].recLat);
+    return b;
+}
+
+double
+SpatialScheduler::probeCandidate(Schedule &s, const Slot &slot,
+                                 NodeId cand, const ProbeBase &base) const
+{
+    // Exact delta evaluation: place the candidate, price only what
+    // changed (the tracker journals first-touch prior state), then
+    // unplace. Must return exactly evaluate(s).scalar() of the placed
+    // schedule -- candidate ordering decisions depend on it.
+    tracker_.beginProbe();
+    place(s, slot, cand);
+
+    Cost c = base.cost;
+    --c.unplaced; // the slot itself
+    int linkIi = base.linkIi;
+    const Region &reg = prog_.regions[slot.region];
+    const auto &rs = s.regions[slot.region];
+
+    if (slot.isStream) {
+        // Streams add no routes: only memory occupancy changes.
+        int now = tracker_.memStreamCount(regionClass_[slot.region], cand);
+        c.overuse += std::max(0, now - memCap_[cand]) -
+                     std::max(0, now - 1 - memCap_[cand]);
+    } else {
+        VertexId v = slot.vertex;
+        const Vertex &vx = reg.dfg.vertex(v);
+
+        // Newly-complete dependence pairs whose route failed (or is
+        // deferred to routeSpecials) count as unplaced work. All pairs
+        // touching v were incomplete before the probe.
+        for (size_t i = 0; i < vx.operands.size(); ++i) {
+            const auto &op = vx.operands[i];
+            if (op.isImm())
+                continue;
+            if (rs.vertexMap[op.src] == kInvalidNode)
+                continue;
+            if (!rs.routes.count({v, static_cast<int>(i)}))
+                ++c.unplaced;
+        }
+        for (const auto &use : reg.dfg.uses(v)) {
+            if (rs.vertexMap[use.user] == kInvalidNode)
+                continue;
+            if (!rs.routes.count({use.user, use.operandIdx}))
+                ++c.unplaced;
+        }
+        for (const Stream &st : reg.streams) {
+            if (st.kind != StreamKind::Recurrence)
+                continue;
+            if (st.srcPort != v && st.port != v)
+                continue;
+            if (rs.vertexMap[st.srcPort] != kInvalidNode &&
+                rs.vertexMap[st.port] != kInvalidNode &&
+                !rs.recurrenceRoutes.count(st.id))
+                ++c.unplaced;
+        }
+        for (size_t fi = 0; fi < prog_.forwards.size(); ++fi) {
+            const auto &f = prog_.forwards[fi];
+            if (f.viaMemory)
+                continue;
+            bool touches =
+                (f.srcRegion == slot.region && f.srcPort == v) ||
+                (f.dstRegion == slot.region && f.dstPort == v);
+            if (!touches)
+                continue;
+            if (s.regions[f.srcRegion].vertexMap[f.srcPort] !=
+                    kInvalidNode &&
+                s.regions[f.dstRegion].vertexMap[f.dstPort] !=
+                    kInvalidNode &&
+                !s.forwardRoutes.count(static_cast<int>(fi)))
+                ++c.unplaced;
+        }
+
+        if (vx.kind == VertexKind::Instruction) {
+            // New protocol violations are exactly those involving v.
+            if (nodeIsStaticPe(cand)) {
+                for (const auto &op : vx.operands)
+                    if (!op.isImm() &&
+                        nodeIsDynamicPe(rs.vertexMap[op.src]))
+                        ++c.violations;
+            }
+            if (nodeIsDynamicPe(cand)) {
+                for (const auto &use : reg.dfg.uses(v)) {
+                    const Vertex &uv = reg.dfg.vertex(use.user);
+                    if (uv.kind == VertexKind::Instruction &&
+                        nodeIsStaticPe(rs.vertexMap[use.user]))
+                        ++c.violations;
+                }
+            }
+        } else {
+            int g = tracker_.groupOf(slot.region);
+            int now = tracker_.syncLaneCount(g, cand);
+            c.overuse += std::max(0, now - syncCap_[cand]) -
+                         std::max(0, now - vx.lanes - syncCap_[cand]);
+        }
+    }
+
+    // Edge / PE deltas from the probe journal. A probe only adds
+    // routes, so per-entry usage only grows and link II stays a max.
+    for (const auto &t : tracker_.touchedEdges()) {
+        int used = tracker_.distinctOnEdge(t.group, t.edge);
+        int cap = edgeCap_[t.edge];
+        c.overuse += std::max(0, used - cap) -
+                     std::max(0, t.oldDistinct - cap);
+        c.wirelength += used - t.oldDistinct;
+        if (edgeLinkIi_[t.edge] && used > 1)
+            linkIi = std::max(linkIi, used);
+    }
+    for (const auto &t : tracker_.touchedPes()) {
+        int cnt = tracker_.peInstCount(t.group, t.node) +
+                  tracker_.pePassDistinct(t.group, t.node);
+        c.overuse += std::max(0, cnt - peCap_[t.node]) -
+                     std::max(0, t.oldInst + t.oldPass - peCap_[t.node]);
+    }
+
+    if (slot.isStream) {
+        // No timing change: II and recurrence latency keep their
+        // baseline values (no edge/PE entries were touched either).
+        c.maxIi = base.cost.maxIi;
+    } else {
+        // Timing of the slot's region changed; other regions did not.
+        RegionTiming rt =
+            computeRegionTiming(s, static_cast<size_t>(slot.region),
+                                vertexTimeScratch_, shortfallScratch_,
+                                arrivalScratch_);
+        c.recurrenceLatency = std::max(base.recLatOther, rt.recLat);
+        if (++adjEpoch_ == 0) {
+            std::fill(adjStamp_.begin(), adjStamp_.end(), 0);
+            adjEpoch_ = 1;
+        }
+        auto bump = [&](NodeId n, int d) {
+            if (adjStamp_[n] != adjEpoch_) {
+                adjStamp_[n] = adjEpoch_;
+                shortfallAdj_[n] = 0;
+            }
+            shortfallAdj_[n] += d;
+        };
+        for (const auto &[n, sh] : timing_[slot.region].shortfall)
+            bump(n, -sh);
+        for (const auto &[n, sh] : rt.shortfall)
+            bump(n, +sh);
+        int maxIi = linkIi;
+        for (const auto &[g, n] : tracker_.activePes()) {
+            int cnt = tracker_.peInstCount(g, n) +
+                      tracker_.pePassDistinct(g, n);
+            int adj =
+                adjStamp_[n] == adjEpoch_ ? shortfallAdj_[n] : 0;
+            int ii = (peShared_[n] ? cnt : 1) + nodeShortfall_[n] + adj;
+            maxIi = std::max(maxIi, ii);
+        }
+        c.maxIi = maxIi;
+    }
+
+    if (opts_.checkIncremental) {
+        verifyTracker(s);
+        Cost full = evaluate(s);
+        DSA_ASSERT(c.unplaced == full.unplaced &&
+                       c.overuse == full.overuse &&
+                       c.violations == full.violations &&
+                       c.maxIi == full.maxIi &&
+                       c.recurrenceLatency == full.recurrenceLatency &&
+                       c.wirelength == full.wirelength,
+                   "probe delta diverged from oracle: delta=(", c.unplaced,
+                   ",", c.overuse, ",", c.violations, ",", c.maxIi, ",",
+                   c.recurrenceLatency, ",", c.wirelength, ") oracle=(",
+                   full.unplaced, ",", full.overuse, ",", full.violations,
+                   ",", full.maxIi, ",", full.recurrenceLatency, ",",
+                   full.wirelength, ")");
+    }
+
+    unplace(s, slot);
+    tracker_.endProbe();
+    return c.scalar();
 }
 
 void
@@ -674,17 +1057,30 @@ SpatialScheduler::fillUnplaced(Schedule &s)
             double bestCost = 0;
             NodeId bestNode = kInvalidNode;
             int tried = 0;
-            for (NodeId cand : cands) {
-                place(s, slot, cand);
-                double cost = evaluate(s).scalar();
-                unplace(s, slot);
-                if (bestNode == kInvalidNode || cost < bestCost) {
-                    bestCost = cost;
-                    bestNode = cand;
+            if (opts_.incremental) {
+                ProbeBase base = makeProbeBase(s, slot);
+                for (NodeId cand : cands) {
+                    double cost = probeCandidate(s, slot, cand, base);
+                    if (bestNode == kInvalidNode || cost < bestCost) {
+                        bestCost = cost;
+                        bestNode = cand;
+                    }
+                    // Cap the candidate scan to bound iteration time.
+                    if (++tried >= opts_.candidateScanCap)
+                        break;
                 }
-                // Cap the candidate scan to bound iteration time.
-                if (++tried >= 24)
-                    break;
+            } else {
+                for (NodeId cand : cands) {
+                    place(s, slot, cand);
+                    double cost = evaluate(s).scalar();
+                    unplace(s, slot);
+                    if (bestNode == kInvalidNode || cost < bestCost) {
+                        bestCost = cost;
+                        bestNode = cand;
+                    }
+                    if (++tried >= opts_.candidateScanCap)
+                        break;
+                }
             }
             place(s, slot, bestNode);
             progress = true;
@@ -708,8 +1104,9 @@ SpatialScheduler::fillUnplaced(Schedule &s)
                                              rs.vertexMap[op.src],
                                              rs.vertexMap[vx.id]);
                     if (!route.empty()) {
-                        rs.routes[{vx.id, static_cast<int>(i)}] =
-                            std::move(route);
+                        setValueRoute(s, static_cast<int>(r),
+                                      {vx.id, static_cast<int>(i)},
+                                      std::move(route));
                         progress = true;
                     }
                 }
@@ -723,36 +1120,19 @@ SpatialScheduler::hotSlots(const Schedule &s) const
 {
     // Nodes and edges that are overused, and instructions involved in
     // protocol violations, mark their slots as rip-up candidates.
-    std::set<NodeId> hotNodes;
-    std::set<EdgeId> hotEdges;
-    std::set<int> groups;
-    for (const auto &reg : prog_.regions)
-        groups.insert(reg.configGroup);
-    for (int g : groups) {
-        EdgeUsage usage = edgeUsage(s, g);
-        for (const auto &[e, vals] : usage)
-            if (static_cast<int>(vals.size()) > 1)
-                hotEdges.insert(e);
-    }
-    std::map<std::pair<int, NodeId>, int> peInsts;
-    for (size_t r = 0; r < prog_.regions.size(); ++r) {
-        const Region &reg = prog_.regions[r];
-        const auto &rs = s.regions[r];
-        if (rs.serialized)
-            continue;
-        for (const auto &vx : reg.dfg.vertices()) {
-            NodeId n = rs.vertexMap[vx.id];
-            if (n != kInvalidNode && vx.kind == VertexKind::Instruction)
-                ++peInsts[{reg.configGroup, n}];
-        }
-    }
-    for (const auto &[key, cnt] : peInsts) {
-        const auto &pe = adg_.node(key.second).pe();
-        int cap = (pe.sharing == Sharing::Shared && opts_.allowShared)
-            ? pe.maxInsts : 1;
-        if (cnt > cap)
-            hotNodes.insert(key.second);
-    }
+    if (!opts_.incremental)
+        tracker_.rebuild(s);
+    std::vector<char> hotEdge(adg_.edgeIdBound(), 0);
+    std::vector<char> hotNode(adg_.nodeIdBound(), 0);
+    // Only genuinely overused edges seed rip-up: bus-side edges carry
+    // up to 4 values and dynamic-switch edges time-multiplex 2, so
+    // usage above 1 alone is legal sharing, not congestion.
+    for (const auto &[g, e] : tracker_.activeEdges())
+        if (tracker_.distinctOnEdge(g, e) > edgeCap_[e])
+            hotEdge[e] = 1;
+    for (const auto &[g, n] : tracker_.activePes())
+        if (tracker_.peInstCount(g, n) > peCap_[n])
+            hotNode[n] = 1;
 
     std::vector<int> hot;
     for (size_t i = 0; i < slots_.size(); ++i) {
@@ -763,7 +1143,7 @@ SpatialScheduler::hotSlots(const Schedule &s) const
         NodeId n = rs.vertexMap[sl.vertex];
         if (n == kInvalidNode)
             continue;
-        bool isHot = hotNodes.count(n) > 0;
+        bool isHot = hotNode[n];
         // Violating consumers (dynamic producer into static PE).
         const Vertex &vx =
             prog_.regions[sl.region].dfg.vertex(sl.vertex);
@@ -778,7 +1158,7 @@ SpatialScheduler::hotSlots(const Schedule &s) const
                 if (key.first != sl.vertex)
                     continue;
                 for (EdgeId e : route)
-                    isHot |= hotEdges.count(e) > 0;
+                    isHot |= hotEdge[e] != 0;
             }
         }
         if (isHot)
@@ -791,6 +1171,7 @@ Schedule
 SpatialScheduler::run(const Schedule *initial)
 {
     Schedule s;
+    bool evict = false;
     if (initial && initial->regions.size() == prog_.regions.size()) {
         s = *initial;
         s.stripDead(adg_);
@@ -800,33 +1181,42 @@ SpatialScheduler::run(const Schedule *initial)
             shapeOk &= s.regions[r].vertexMap.size() ==
                        static_cast<size_t>(prog_.regions[r].dfg
                                                .numVertices());
-        if (!shapeOk) {
+        if (!shapeOk)
             s = Schedule::emptyFor(prog_);
-        } else {
-            // Surviving nodes may have lost the *capability* a mapping
-            // relied on (a DSE mutation toggled scheduling, dropped an
-            // FU class, shrank a sync, removed a memory controller):
-            // evict assignments the node can no longer honor.
-            for (const Slot &slot : slots_) {
-                auto &rs = s.regions[slot.region];
-                adg::NodeId cur = slot.isStream
-                    ? rs.streamMap[slot.streamId]
-                    : rs.vertexMap[slot.vertex];
-                if (cur == kInvalidNode)
-                    continue;
-                auto cands = candidatesFor(slot, s);
-                if (std::find(cands.begin(), cands.end(), cur) ==
-                    cands.end())
-                    unplace(s, slot);
-            }
-        }
+        else
+            evict = true;
     } else {
         s = Schedule::emptyFor(prog_);
     }
+    // Bind the tracker to the seed before any mutation: unplace() keeps
+    // it in sync from here on.
+    if (opts_.incremental)
+        bindTo(s);
+    if (evict) {
+        // Surviving nodes may have lost the *capability* a mapping
+        // relied on (a DSE mutation toggled scheduling, dropped an
+        // FU class, shrank a sync, removed a memory controller):
+        // evict assignments the node can no longer honor.
+        for (const Slot &slot : slots_) {
+            auto &rs = s.regions[slot.region];
+            adg::NodeId cur = slot.isStream
+                ? rs.streamMap[slot.streamId]
+                : rs.vertexMap[slot.vertex];
+            if (cur == kInvalidNode)
+                continue;
+            auto cands = candidatesFor(slot, s);
+            if (std::find(cands.begin(), cands.end(), cur) == cands.end())
+                unplace(s, slot);
+        }
+    }
+
+    auto evalCurrent = [&]() {
+        return opts_.incremental ? evaluateTracked(s) : evaluate(s);
+    };
 
     fillUnplaced(s);
     routeSpecials(s);
-    s.cost = evaluate(s);
+    s.cost = evalCurrent();
     Schedule best = s;
 
     int noImprove = 0;
@@ -861,7 +1251,7 @@ SpatialScheduler::run(const Schedule *initial)
         }
         fillUnplaced(s);
         routeSpecials(s);
-        s.cost = evaluate(s);
+        s.cost = evalCurrent();
         if (s.cost.scalar() < best.cost.scalar()) {
             best = s;
             noImprove = 0;

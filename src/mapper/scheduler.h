@@ -10,6 +10,18 @@
  * The same engine implements schedule *repair* for DSE (§V-A): seeded
  * with a previous schedule whose dead assignments were stripped, it
  * re-places only the missing pieces (and keeps improving the rest).
+ *
+ * Hot-loop bookkeeping is *incremental*: a UsageTracker (flat arrays
+ * indexed by config group × EdgeId/NodeId) is maintained by the
+ * place/unplace/route hooks instead of rebuilt per evaluation, routing
+ * reads edge penalties straight from it with epoch-stamped reusable
+ * Dijkstra scratch, and the greedy candidate scan prices each probe
+ * with an exact delta against a per-slot baseline (VPR-style
+ * incremental cost evaluation). `evaluate()` remains the from-scratch
+ * oracle; `SchedOptions::checkIncremental` cross-checks every fast-path
+ * result against it. The tracker lives in the scheduler — Schedules
+ * stay plain values the DSE can copy freely; `run()` rebuilds tracker
+ * state from whatever schedule it is seeded with.
  */
 
 #ifndef DSA_MAPPER_SCHEDULER_H
@@ -19,6 +31,7 @@
 #include "base/rng.h"
 #include "dfg/program.h"
 #include "mapper/schedule.h"
+#include "mapper/usage_tracker.h"
 
 namespace dsa::mapper {
 
@@ -35,6 +48,36 @@ struct SchedOptions
      * for the Fig. 12 "shared off" configurations.
      */
     bool allowShared = true;
+
+    /// @name Greedy-fill / routing cost knobs (ablation sweeps)
+    /// @{
+    /** Candidates probed per unplaced slot before settling. */
+    int candidateScanCap = 24;
+    /** Dijkstra cost of re-traversing an edge this value already uses. */
+    double routeReuseCost = 0.01;
+    /** Dijkstra base cost of an unused edge. */
+    double routeBaseCost = 1.0;
+    /** Congestion slope: edge cost = base + slope * values-on-edge. */
+    double routeCongestSlope = 3.0;
+    /** Extra cost for tunneling through a PE (burns a Pass slot). */
+    double routePePassCost = 2.0;
+    /// @}
+
+    /// @name Incremental-evaluation controls
+    /// @{
+    /**
+     * Use tracker-maintained state and delta probes in the hot loop.
+     * Off = recompute everything from the schedule at each use point
+     * (slow reference mode; results are bit-identical either way).
+     */
+    bool incremental = true;
+    /**
+     * Debug oracle: assert, at every fast-path evaluation, that the
+     * incrementally-maintained tracker equals a from-scratch rebuild
+     * and that delta probe costs equal full `evaluate()` costs.
+     */
+    bool checkIncremental = false;
+    /// @}
 };
 
 /** Spatial scheduler for one program onto one ADG. */
@@ -52,7 +95,11 @@ class SpatialScheduler
      */
     Schedule run(const Schedule *initial = nullptr);
 
-    /** Evaluate the full objective of a schedule. */
+    /**
+     * Evaluate the full objective of a schedule from scratch (the
+     * oracle the incremental paths are checked against). Works on any
+     * schedule, independent of the scheduler's internal tracker.
+     */
     Cost evaluate(const Schedule &s) const;
 
   private:
@@ -65,7 +112,26 @@ class SpatialScheduler
         int streamId = -1;
     };
 
+    /** Timing summary of one region (cached between mutations). */
+    struct RegionTiming
+    {
+        /** Contribution to Cost::recurrenceLatency. */
+        int recLat = 0;
+        /** Static-PE delay-FIFO shortfall, per hosting node. */
+        std::vector<std::pair<adg::NodeId, int>> shortfall;
+    };
+
+    /** Per-slot baseline for exact delta probes. */
+    struct ProbeBase
+    {
+        Cost cost;
+        int linkIi = 1;
+        /** Max recurrence latency over regions != the slot's. */
+        int recLatOther = 0;
+    };
+
     void buildSlots();
+    void buildStaticTables();
     std::vector<adg::NodeId> candidatesFor(const Slot &slot,
                                            const Schedule &s) const;
 
@@ -81,17 +147,57 @@ class SpatialScheduler
     /** Route forwards/recurrences whose endpoints are both mapped. */
     void routeSpecials(Schedule &s) const;
 
-    using ValueKey = std::pair<int, dfg::VertexId>;
-    using EdgeUsage = std::map<adg::EdgeId, std::vector<ValueKey>>;
+    /// @name Tracker-synchronized schedule mutation
+    /// @{
+    void setValueRoute(Schedule &s, int region,
+                       std::pair<dfg::VertexId, int> key, Route route) const;
+    void setRecurrenceRoute(Schedule &s, int region, int sid,
+                            Route route) const;
+    void setForwardRoute(Schedule &s, int fi, Route route) const;
+    /// @}
 
-    /** Edge usage of one configuration group (-1 = all groups). */
-    EdgeUsage edgeUsage(const Schedule &s, int group = -1) const;
-    Route dijkstra(adg::NodeId from, adg::NodeId to, bool dynFlow,
-                   const ValueKey &value, const EdgeUsage &usage) const;
+    Route dijkstra(const Schedule &s, adg::NodeId from, adg::NodeId to,
+                   bool dynFlow, const ValueKey &value, int group) const;
 
     /** Route one value dependence; empty on failure. */
     Route routeValue(const Schedule &s, int region, dfg::VertexId producer,
                      adg::NodeId from, adg::NodeId to) const;
+
+    /// @name Cost assembly (shared by oracle and incremental paths)
+    /// @{
+    /**
+     * Recompute one region's vertex times, recurrence latency, and
+     * static-PE delay shortfall. Scratch buffers are passed in so the
+     * public `evaluate()` oracle can use locals and stay re-entrant
+     * while the hot path reuses member scratch without allocation.
+     * @p shortfallScratch must be nodeIdBound-sized and all-zero; it
+     * is restored to all-zero before returning.
+     */
+    RegionTiming computeRegionTiming(const Schedule &s, size_t r,
+                                     std::vector<int> &vertexTime,
+                                     std::vector<int> &shortfallScratch,
+                                     std::vector<int> &arrivalScratch) const;
+    Cost assemble(const Schedule &s, const UsageTracker &t,
+                  const std::vector<RegionTiming> &timing,
+                  const std::vector<int> &nodeShortfall,
+                  int *linkIiOut) const;
+    /// @}
+
+    /// @name Incremental fast path
+    /// @{
+    /** Rebuild tracker + timing caches from @p s (run() entry). */
+    void bindTo(const Schedule &s) const;
+    /** Recompute timing for regions dirtied since the last refresh. */
+    void refreshTiming(const Schedule &s) const;
+    /** Tracker-backed evaluation of the tracked schedule. */
+    Cost evaluateTracked(const Schedule &s) const;
+    ProbeBase makeProbeBase(const Schedule &s, const Slot &slot) const;
+    /** Exact candidate cost via place -> delta -> unplace. */
+    double probeCandidate(Schedule &s, const Slot &slot, adg::NodeId cand,
+                          const ProbeBase &base) const;
+    /** checkIncremental: assert tracker equals a fresh rebuild. */
+    void verifyTracker(const Schedule &s) const;
+    /// @}
 
     bool nodeIsDynamicPe(adg::NodeId n) const;
     bool nodeIsStaticPe(adg::NodeId n) const;
@@ -103,6 +209,45 @@ class SpatialScheduler
     std::vector<Slot> slots_;
     /** Concurrency class per region (stream-engine sharing). */
     std::vector<int> regionClass_;
+
+    /** Distinct config groups, ascending (hoisted from evaluate()). */
+    std::vector<int> configGroups_;
+    /** Dense config-group index per region. */
+    std::vector<int> regionGroupIdx_;
+    int numClasses_ = 0;
+
+    /// @name Static per-ADG tables (hardware is fixed per scheduler)
+    /// @{
+    std::vector<int> edgeCap_;
+    /** Edge participates in link-II accounting (dyn-switch, non-bus). */
+    std::vector<char> edgeLinkIi_;
+    std::vector<int> peCap_;
+    std::vector<char> peShared_;
+    std::vector<int> syncCap_;
+    std::vector<int> memCap_;
+    /// @}
+
+    /** Incrementally-maintained usage/occupancy state. */
+    mutable UsageTracker tracker_;
+    /** Cached per-region timing + dirty bits. */
+    mutable std::vector<RegionTiming> timing_;
+    mutable std::vector<char> timingDirty_;
+    /** Static-PE delay shortfall summed across regions, per node. */
+    mutable std::vector<int> nodeShortfall_;
+
+    /// @name Reusable scratch (epoch-stamped; no per-call allocation)
+    /// @{
+    mutable std::vector<double> dist_;
+    mutable std::vector<adg::EdgeId> via_;
+    mutable std::vector<uint32_t> nodeStamp_;
+    mutable uint32_t dijkstraEpoch_ = 0;
+    mutable std::vector<int> shortfallScratch_;
+    mutable std::vector<int> arrivalScratch_;
+    mutable std::vector<int> vertexTimeScratch_;
+    mutable std::vector<int> shortfallAdj_;
+    mutable std::vector<uint32_t> adjStamp_;
+    mutable uint32_t adjEpoch_ = 0;
+    /// @}
 };
 
 /**

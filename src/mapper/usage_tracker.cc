@@ -1,0 +1,421 @@
+#include "mapper/usage_tracker.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace dsa::mapper {
+
+using adg::EdgeId;
+using adg::kInvalidNode;
+using adg::NodeId;
+using adg::NodeKind;
+
+void
+UsageTracker::init(const dfg::DecoupledProgram &prog, const adg::Adg &adg,
+                   const std::vector<int> &regionGroupIdx, int numGroups,
+                   const std::vector<int> &regionClass, int numClasses)
+{
+    prog_ = &prog;
+    adg_ = &adg;
+    regionGroupIdx_ = regionGroupIdx;
+    regionClass_ = regionClass;
+    numGroups_ = numGroups;
+    numClasses_ = numClasses;
+    edgeBound_ = adg.edgeIdBound();
+    nodeBound_ = adg.nodeIdBound();
+
+    size_t ge = static_cast<size_t>(numGroups_) *
+                static_cast<size_t>(edgeBound_);
+    size_t gn = static_cast<size_t>(numGroups_) *
+                static_cast<size_t>(nodeBound_);
+    size_t cn = static_cast<size_t>(numClasses_) *
+                static_cast<size_t>(nodeBound_);
+    edgeVals_.assign(ge, {});
+    peInst_.assign(gn, 0);
+    pePass_.assign(gn, {});
+    syncLanes_.assign(gn, 0);
+    memCnt_.assign(cn, 0);
+    activeEdges_.clear();
+    activeEdgePos_.assign(ge, -1);
+    activePes_.clear();
+    activePePos_.assign(gn, -1);
+    activeSyncs_.clear();
+    activeSyncPos_.assign(gn, -1);
+    activeMems_.clear();
+    activeMemPos_.assign(cn, -1);
+    edgeTouchStamp_.assign(ge, 0);
+    peTouchStamp_.assign(gn, 0);
+    journaling_ = false;
+    probeEpoch_ = 0;
+}
+
+template <typename Id>
+void
+UsageTracker::activate(std::vector<std::pair<int, Id>> &list,
+                       std::vector<int> &pos, size_t flat, int group, Id id)
+{
+    if (pos[flat] >= 0)
+        return;
+    pos[flat] = static_cast<int>(list.size());
+    list.push_back({group, id});
+}
+
+template <typename Id>
+void
+UsageTracker::deactivate(std::vector<std::pair<int, Id>> &list,
+                         std::vector<int> &pos, size_t flat)
+{
+    int p = pos[flat];
+    if (p < 0)
+        return;
+    auto moved = list.back();
+    list[static_cast<size_t>(p)] = moved;
+    list.pop_back();
+    pos[flat] = -1;
+    if (static_cast<size_t>(p) < list.size()) {
+        // Re-home the entry that filled the hole.
+        size_t movedFlat = (&pos == &activeEdgePos_)
+            ? flatE(moved.first, moved.second)
+            : (&pos == &activeMemPos_) ? flatC(moved.first, moved.second)
+                                       : flatN(moved.first, moved.second);
+        pos[movedFlat] = p;
+    }
+}
+
+void
+UsageTracker::journalEdge(int group, EdgeId e)
+{
+    if (!journaling_)
+        return;
+    size_t f = flatE(group, e);
+    if (edgeTouchStamp_[f] == probeEpoch_)
+        return;
+    edgeTouchStamp_[f] = probeEpoch_;
+    jEdges_.push_back({group, e, static_cast<int>(edgeVals_[f].size())});
+}
+
+void
+UsageTracker::journalPe(int group, NodeId n)
+{
+    if (!journaling_)
+        return;
+    size_t f = flatN(group, n);
+    if (peTouchStamp_[f] == probeEpoch_)
+        return;
+    peTouchStamp_[f] = probeEpoch_;
+    jPes_.push_back({group, n, peInst_[f],
+                     static_cast<int>(pePass_[f].size())});
+}
+
+void
+UsageTracker::addValue(int group, EdgeId e, const ValueKey &val)
+{
+    journalEdge(group, e);
+    size_t f = flatE(group, e);
+    auto &vals = edgeVals_[f];
+    for (auto &vc : vals) {
+        if (vc.val == val) {
+            ++vc.count;
+            return;
+        }
+    }
+    vals.push_back({val, 1});
+    if (vals.size() == 1)
+        activate(activeEdges_, activeEdgePos_, f, group, e);
+}
+
+void
+UsageTracker::removeValue(int group, EdgeId e, const ValueKey &val)
+{
+    journalEdge(group, e);
+    size_t f = flatE(group, e);
+    auto &vals = edgeVals_[f];
+    for (size_t i = 0; i < vals.size(); ++i) {
+        if (vals[i].val != val)
+            continue;
+        if (--vals[i].count == 0) {
+            vals[i] = vals.back();
+            vals.pop_back();
+            if (vals.empty())
+                deactivate(activeEdges_, activeEdgePos_, f);
+        }
+        return;
+    }
+    DSA_PANIC("UsageTracker: removing value absent from edge ", e);
+}
+
+void
+UsageTracker::addPass(int group, NodeId n, const ValueKey &val)
+{
+    journalPe(group, n);
+    size_t f = flatN(group, n);
+    auto &vals = pePass_[f];
+    for (auto &vc : vals) {
+        if (vc.val == val) {
+            ++vc.count;
+            return;
+        }
+    }
+    vals.push_back({val, 1});
+    if (vals.size() == 1 && peInst_[f] == 0)
+        activate(activePes_, activePePos_, f, group, n);
+}
+
+void
+UsageTracker::removePass(int group, NodeId n, const ValueKey &val)
+{
+    journalPe(group, n);
+    size_t f = flatN(group, n);
+    auto &vals = pePass_[f];
+    for (size_t i = 0; i < vals.size(); ++i) {
+        if (vals[i].val != val)
+            continue;
+        if (--vals[i].count == 0) {
+            vals[i] = vals.back();
+            vals.pop_back();
+            if (vals.empty() && peInst_[f] == 0)
+                deactivate(activePes_, activePePos_, f);
+        }
+        return;
+    }
+    DSA_PANIC("UsageTracker: removing pass-through absent from node ", n);
+}
+
+bool
+UsageTracker::valueOnEdge(int group, EdgeId e, const ValueKey &val) const
+{
+    const auto &vals = edgeVals_[flatE(group, e)];
+    for (const auto &vc : vals)
+        if (vc.val == val)
+            return true;
+    return false;
+}
+
+void
+UsageTracker::addRoute(int region, const ValueKey &val, const Route &r,
+                       bool countPassThrough)
+{
+    int g = regionGroupIdx_[region];
+    for (EdgeId e : r)
+        addValue(g, e, val);
+    if (!countPassThrough)
+        return;
+    for (size_t i = 0; i + 1 < r.size(); ++i) {
+        NodeId mid = adg_->edge(r[i]).dst;
+        if (adg_->node(mid).kind == NodeKind::Pe)
+            addPass(g, mid, val);
+    }
+}
+
+void
+UsageTracker::removeRoute(int region, const ValueKey &val, const Route &r,
+                          bool countPassThrough)
+{
+    int g = regionGroupIdx_[region];
+    for (EdgeId e : r)
+        removeValue(g, e, val);
+    if (!countPassThrough)
+        return;
+    for (size_t i = 0; i + 1 < r.size(); ++i) {
+        NodeId mid = adg_->edge(r[i]).dst;
+        if (adg_->node(mid).kind == NodeKind::Pe)
+            removePass(g, mid, val);
+    }
+}
+
+void
+UsageTracker::mapInstruction(int region, NodeId n, int delta)
+{
+    int g = regionGroupIdx_[region];
+    journalPe(g, n);
+    size_t f = flatN(g, n);
+    int before = peInst_[f];
+    peInst_[f] += delta;
+    DSA_ASSERT(peInst_[f] >= 0, "negative instruction count on PE ", n);
+    if (before == 0 && peInst_[f] > 0 && pePass_[f].empty())
+        activate(activePes_, activePePos_, f, g, n);
+    else if (before > 0 && peInst_[f] == 0 && pePass_[f].empty())
+        deactivate(activePes_, activePePos_, f);
+}
+
+void
+UsageTracker::mapPort(int region, NodeId n, int lanes, int delta)
+{
+    int g = regionGroupIdx_[region];
+    size_t f = flatN(g, n);
+    int before = syncLanes_[f];
+    syncLanes_[f] += lanes * delta;
+    DSA_ASSERT(syncLanes_[f] >= 0, "negative lane count on sync ", n);
+    if (before == 0 && syncLanes_[f] > 0)
+        activate(activeSyncs_, activeSyncPos_, f, g, n);
+    else if (before > 0 && syncLanes_[f] == 0)
+        deactivate(activeSyncs_, activeSyncPos_, f);
+}
+
+void
+UsageTracker::bindStream(int region, NodeId n, int delta)
+{
+    int cls = regionClass_[region];
+    size_t f = flatC(cls, n);
+    int before = memCnt_[f];
+    memCnt_[f] += delta;
+    DSA_ASSERT(memCnt_[f] >= 0, "negative stream count on memory ", n);
+    if (before == 0 && memCnt_[f] > 0)
+        activate(activeMems_, activeMemPos_, f, cls, n);
+    else if (before > 0 && memCnt_[f] == 0)
+        deactivate(activeMems_, activeMemPos_, f);
+}
+
+void
+UsageTracker::rebuild(const Schedule &s)
+{
+    DSA_ASSERT(prog_, "UsageTracker used before init()");
+    // Cheaper than re-init: drain the active lists (touches only what
+    // is populated) rather than reassigning every flat array.
+    while (!activeEdges_.empty()) {
+        auto [g, e] = activeEdges_.back();
+        size_t f = flatE(g, e);
+        edgeVals_[f].clear();
+        deactivate(activeEdges_, activeEdgePos_, f);
+    }
+    while (!activePes_.empty()) {
+        auto [g, n] = activePes_.back();
+        size_t f = flatN(g, n);
+        peInst_[f] = 0;
+        pePass_[f].clear();
+        deactivate(activePes_, activePePos_, f);
+    }
+    while (!activeSyncs_.empty()) {
+        auto [g, n] = activeSyncs_.back();
+        size_t f = flatN(g, n);
+        syncLanes_[f] = 0;
+        deactivate(activeSyncs_, activeSyncPos_, f);
+    }
+    while (!activeMems_.empty()) {
+        auto [cls, n] = activeMems_.back();
+        size_t f = flatC(cls, n);
+        memCnt_[f] = 0;
+        deactivate(activeMems_, activeMemPos_, f);
+    }
+
+    for (size_t r = 0; r < s.regions.size(); ++r) {
+        const auto &reg = prog_->regions[r];
+        const auto &rs = s.regions[r];
+        int ri = static_cast<int>(r);
+        // Routes (edge usage unconditionally; pass-through skips
+        // serialized regions, mirroring the evaluator's historical
+        // behavior — serialized regions carry no routes in practice).
+        for (const auto &[key, route] : rs.routes) {
+            const auto &consumer = reg.dfg.vertex(key.first);
+            addRoute(ri, {ri, consumer.operands[key.second].src}, route,
+                     !rs.serialized);
+        }
+        for (const auto &[sid, route] : rs.recurrenceRoutes)
+            addRoute(ri, {ri, reg.streams[sid].srcPort}, route,
+                     !rs.serialized);
+        if (rs.serialized)
+            continue;
+        // Occupancy.
+        for (const auto &vx : reg.dfg.vertices()) {
+            NodeId n = rs.vertexMap[vx.id];
+            if (n == kInvalidNode)
+                continue;
+            if (vx.kind == dfg::VertexKind::Instruction)
+                mapInstruction(ri, n, +1);
+            else
+                mapPort(ri, n, vx.lanes, +1);
+        }
+        for (const auto &st : reg.streams) {
+            if (!st.touchesMemory())
+                continue;
+            NodeId m = rs.streamMap[st.id];
+            if (m != kInvalidNode)
+                bindStream(ri, m, +1);
+        }
+    }
+    // Cross-region forwards count against the source region's group
+    // and never charge pass-through slots (historical behavior).
+    for (const auto &[fi, route] : s.forwardRoutes) {
+        const auto &f = prog_->forwards[fi];
+        addRoute(f.srcRegion, {f.srcRegion, f.srcPort}, route, false);
+    }
+}
+
+void
+UsageTracker::beginProbe()
+{
+    DSA_ASSERT(!journaling_, "nested UsageTracker probes");
+    journaling_ = true;
+    ++probeEpoch_;
+    jEdges_.clear();
+    jPes_.clear();
+}
+
+void
+UsageTracker::endProbe()
+{
+    journaling_ = false;
+}
+
+namespace {
+
+std::vector<UsageTracker::ValCount>
+sorted(std::vector<UsageTracker::ValCount> v)
+{
+    std::sort(v.begin(), v.end(), [](const auto &a, const auto &b) {
+        return a.val < b.val;
+    });
+    return v;
+}
+
+} // namespace
+
+bool
+UsageTracker::equals(const UsageTracker &other, std::string *why) const
+{
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+    if (edgeVals_.size() != other.edgeVals_.size() ||
+        peInst_.size() != other.peInst_.size() ||
+        memCnt_.size() != other.memCnt_.size())
+        return fail("tracker shape mismatch");
+    for (size_t f = 0; f < edgeVals_.size(); ++f) {
+        auto a = sorted(edgeVals_[f]);
+        auto b = sorted(other.edgeVals_[f]);
+        if (a.size() != b.size())
+            return fail("edge distinct-count mismatch at flat " +
+                        std::to_string(f));
+        for (size_t i = 0; i < a.size(); ++i)
+            if (a[i].val != b[i].val || a[i].count != b[i].count)
+                return fail("edge value/refcount mismatch at flat " +
+                            std::to_string(f));
+    }
+    for (size_t f = 0; f < peInst_.size(); ++f) {
+        if (peInst_[f] != other.peInst_[f])
+            return fail("PE instruction-count mismatch at flat " +
+                        std::to_string(f));
+        auto a = sorted(pePass_[f]);
+        auto b = sorted(other.pePass_[f]);
+        if (a.size() != b.size())
+            return fail("PE pass-through mismatch at flat " +
+                        std::to_string(f));
+        for (size_t i = 0; i < a.size(); ++i)
+            if (a[i].val != b[i].val || a[i].count != b[i].count)
+                return fail("PE pass-through refcount mismatch at flat " +
+                            std::to_string(f));
+        if (syncLanes_[f] != other.syncLanes_[f])
+            return fail("sync lane-count mismatch at flat " +
+                        std::to_string(f));
+    }
+    for (size_t f = 0; f < memCnt_.size(); ++f)
+        if (memCnt_[f] != other.memCnt_[f])
+            return fail("memory stream-count mismatch at flat " +
+                        std::to_string(f));
+    return true;
+}
+
+} // namespace dsa::mapper
