@@ -30,4 +30,16 @@ TSAN_OPTIONS="halt_on_error=1" \
           -R 'test_concurrency|test_base|test_scheduler_incremental'
 
 echo
+echo "== tier-1: robustness/fault-injection tests under ASan+UBSan =="
+# The crash-safety paths (checkpoint serialization, watchdog aborts,
+# exception propagation out of pool workers) juggle partially-built
+# state by design; run them with address + undefined-behavior checking
+# so a leak or UB on an abort path fails here, not in a resumed run.
+cmake -B build-asan -S . -DDSA_SANITIZE=address,undefined \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-asan -j "$JOBS" --target test_robustness
+ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-asan --output-on-failure -R 'test_robustness'
+
+echo
 echo "tier-1 OK"

@@ -6,6 +6,7 @@
 
 #include "base/bits.h"
 #include "base/logging.h"
+#include "base/status.h"
 #include "base/strings.h"
 
 namespace dsa::adg {
@@ -31,7 +32,11 @@ nodeKindFromName(const std::string &name)
     if (name == "mem") return NodeKind::Memory;
     if (name == "sync") return NodeKind::Sync;
     if (name == "delay") return NodeKind::Delay;
-    DSA_FATAL("unknown node kind '", name, "'");
+    // Thrown, not fatal: mangled ADG text can come from a corrupt
+    // checkpoint, which must surface as a Status, not kill the run.
+    throw StatusException(Status::invalidArgument(
+        "unknown node kind '" + name + "' " +
+        suggestName(name, {"pe", "switch", "mem", "sync", "delay"})));
 }
 
 const char *
@@ -45,7 +50,9 @@ schedulingFromName(const std::string &name)
 {
     if (name == "static") return Scheduling::Static;
     if (name == "dynamic") return Scheduling::Dynamic;
-    DSA_FATAL("unknown scheduling '", name, "'");
+    throw StatusException(Status::invalidArgument(
+        "unknown scheduling '" + name + "' " +
+        suggestName(name, {"static", "dynamic"})));
 }
 
 const char *
@@ -59,7 +66,9 @@ sharingFromName(const std::string &name)
 {
     if (name == "dedicated") return Sharing::Dedicated;
     if (name == "shared") return Sharing::Shared;
-    DSA_FATAL("unknown sharing '", name, "'");
+    throw StatusException(Status::invalidArgument(
+        "unknown sharing '" + name + "' " +
+        suggestName(name, {"dedicated", "shared"})));
 }
 
 NodeId

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Cooperative wall-clock watchdogs.
+ *
+ * A Deadline is a point in wall-clock time that long-running loops
+ * (the DSE step loop, the scheduler's annealing loop, the simulator's
+ * cycle loop) poll between units of work. Nothing is preempted: a loop
+ * that observes an expired deadline stops at the next safe point and
+ * reports Status::deadlineExceeded, so a pathological candidate is
+ * recorded as infeasible instead of hanging a pool worker.
+ *
+ * The default-constructed Deadline never expires and costs no clock
+ * read to poll, so instrumented loops are free when watchdogs are off
+ * — which also keeps default runs bit-identical to pre-watchdog
+ * behavior.
+ */
+
+#ifndef DSA_BASE_DEADLINE_H
+#define DSA_BASE_DEADLINE_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace dsa {
+
+/** A wall-clock budget; default is unlimited. */
+class Deadline
+{
+  public:
+    /** Unlimited: never expires. */
+    Deadline() = default;
+
+    /** Explicitly unlimited (reads better at call sites). */
+    static Deadline never() { return {}; }
+
+    /** Expires @p ms milliseconds from now (clamped to >= 0). */
+    static Deadline
+    afterMs(int64_t ms)
+    {
+        Deadline d;
+        d.limited_ = true;
+        d.at_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(ms < 0 ? 0 : ms);
+        return d;
+    }
+
+    bool unlimited() const { return !limited_; }
+
+    bool
+    expired() const
+    {
+        return limited_ && std::chrono::steady_clock::now() >= at_;
+    }
+
+    /** Milliseconds left (0 if expired); INT64_MAX when unlimited. */
+    int64_t
+    remainingMs() const
+    {
+        if (!limited_)
+            return INT64_MAX;
+        auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            at_ - std::chrono::steady_clock::now());
+        return left.count() < 0 ? 0 : left.count();
+    }
+
+  private:
+    bool limited_ = false;
+    std::chrono::steady_clock::time_point at_{};
+};
+
+} // namespace dsa
+
+#endif // DSA_BASE_DEADLINE_H

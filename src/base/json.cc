@@ -1,0 +1,435 @@
+#include "base/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dsa::json {
+
+Value
+Value::boolean(bool b)
+{
+    Value v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+Value
+Value::number(int64_t n)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(n));
+    return numberRaw(buf);
+}
+
+Value
+Value::number(double d)
+{
+    // 17 significant digits round-trip any finite IEEE-754 double
+    // exactly; non-finite values have no JSON spelling, use null-ish 0.
+    char buf[40];
+    if (d != d || d == 1.0 / 0.0 || d == -1.0 / 0.0)
+        std::snprintf(buf, sizeof buf, "0");
+    else
+        std::snprintf(buf, sizeof buf, "%.17g", d);
+    return numberRaw(buf);
+}
+
+Value
+Value::numberRaw(std::string raw)
+{
+    Value v;
+    v.kind_ = Kind::Number;
+    v.scalar_ = std::move(raw);
+    return v;
+}
+
+Value
+Value::str(std::string s)
+{
+    Value v;
+    v.kind_ = Kind::String;
+    v.scalar_ = std::move(s);
+    return v;
+}
+
+Value
+Value::array()
+{
+    Value v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+Value
+Value::object()
+{
+    Value v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+bool
+Value::asBool() const
+{
+    DSA_ASSERT(kind_ == Kind::Bool, "json: not a bool");
+    return bool_;
+}
+
+int64_t
+Value::asInt64() const
+{
+    DSA_ASSERT(kind_ == Kind::Number, "json: not a number");
+    return std::strtoll(scalar_.c_str(), nullptr, 10);
+}
+
+double
+Value::asDouble() const
+{
+    DSA_ASSERT(kind_ == Kind::Number, "json: not a number");
+    return std::strtod(scalar_.c_str(), nullptr);
+}
+
+const std::string &
+Value::asString() const
+{
+    DSA_ASSERT(kind_ == Kind::String, "json: not a string");
+    return scalar_;
+}
+
+const Value &
+Value::at(size_t i) const
+{
+    DSA_ASSERT(kind_ == Kind::Array && i < arr_.size(),
+               "json: bad array access ", i, " of ", arr_.size());
+    return arr_[i];
+}
+
+void
+Value::push(Value v)
+{
+    DSA_ASSERT(kind_ == Kind::Array, "json: push on non-array");
+    arr_.push_back(std::move(v));
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    for (const auto &[k, v] : obj_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+void
+Value::set(const std::string &key, Value v)
+{
+    DSA_ASSERT(kind_ == Kind::Object, "json: set on non-object");
+    for (auto &[k, old] : obj_) {
+        if (k == key) {
+            old = std::move(v);
+            return;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+}
+
+std::string
+quote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+Value::dump() const
+{
+    switch (kind_) {
+      case Kind::Null:
+        return "null";
+      case Kind::Bool:
+        return bool_ ? "true" : "false";
+      case Kind::Number:
+        return scalar_;
+      case Kind::String:
+        return quote(scalar_);
+      case Kind::Array: {
+        std::string out = "[";
+        for (size_t i = 0; i < arr_.size(); ++i) {
+            if (i)
+                out += ',';
+            out += arr_[i].dump();
+        }
+        return out + "]";
+      }
+      case Kind::Object: {
+        std::string out = "{";
+        for (size_t i = 0; i < obj_.size(); ++i) {
+            if (i)
+                out += ',';
+            out += quote(obj_[i].first);
+            out += ':';
+            out += obj_[i].second.dump();
+        }
+        return out + "}";
+      }
+    }
+    return "null";
+}
+
+namespace {
+
+/** Recursive-descent parser over a raw byte range. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s_(text) {}
+
+    Result<Value>
+    run()
+    {
+        skipWs();
+        Value v;
+        Status st = parseValue(v, 0);
+        if (!st.ok())
+            return st;
+        skipWs();
+        if (pos_ != s_.size())
+            return err("trailing characters");
+        return v;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 128;
+
+    Status
+    err(const std::string &what) const
+    {
+        return Status::dataLoss("json parse error at offset " +
+                                std::to_string(pos_) + ": " + what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t n = std::strlen(word);
+        if (s_.compare(pos_, n, word) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    Status
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return err("expected string");
+        out.clear();
+        while (pos_ < s_.size()) {
+            char c = s_[pos_++];
+            if (c == '"')
+                return {};
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size())
+                break;
+            char e = s_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > s_.size())
+                    return err("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = s_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return err("bad \\u escape digit");
+                }
+                // UTF-8 encode (checkpoints are ASCII in practice).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                return err("bad escape character");
+            }
+        }
+        return err("unterminated string");
+    }
+
+    Status
+    parseValue(Value &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return err("nesting too deep");
+        skipWs();
+        if (pos_ >= s_.size())
+            return err("unexpected end of input");
+        char c = s_[pos_];
+        if (c == '{') {
+            ++pos_;
+            out = Value::object();
+            skipWs();
+            if (consume('}'))
+                return {};
+            for (;;) {
+                skipWs();
+                std::string key;
+                Status st = parseString(key);
+                if (!st.ok())
+                    return st;
+                skipWs();
+                if (!consume(':'))
+                    return err("expected ':'");
+                Value member;
+                st = parseValue(member, depth + 1);
+                if (!st.ok())
+                    return st;
+                out.set(key, std::move(member));
+                skipWs();
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return {};
+                return err("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            out = Value::array();
+            skipWs();
+            if (consume(']'))
+                return {};
+            for (;;) {
+                Value item;
+                Status st = parseValue(item, depth + 1);
+                if (!st.ok())
+                    return st;
+                out.push(std::move(item));
+                skipWs();
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return {};
+                return err("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            std::string str;
+            Status st = parseString(str);
+            if (!st.ok())
+                return st;
+            out = Value::str(std::move(str));
+            return {};
+        }
+        if (literal("true")) {
+            out = Value::boolean(true);
+            return {};
+        }
+        if (literal("false")) {
+            out = Value::boolean(false);
+            return {};
+        }
+        if (literal("null")) {
+            out = Value::null();
+            return {};
+        }
+        if (c == '-' || (c >= '0' && c <= '9')) {
+            size_t start = pos_;
+            if (consume('-')) {
+            }
+            while (pos_ < s_.size() &&
+                   (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                    s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                    s_[pos_] == '+' || s_[pos_] == '-'))
+                ++pos_;
+            std::string raw = s_.substr(start, pos_ - start);
+            // Validate with strtod: the whole token must parse.
+            const char *cstr = raw.c_str();
+            char *end = nullptr;
+            std::strtod(cstr, &end);
+            if (end != cstr + raw.size())
+                return err("malformed number '" + raw + "'");
+            out = Value::numberRaw(std::move(raw));
+            return {};
+        }
+        return err(std::string("unexpected character '") + c + "'");
+    }
+
+    const std::string &s_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+Result<Value>
+parse(const std::string &text)
+{
+    return Parser(text).run();
+}
+
+} // namespace dsa::json

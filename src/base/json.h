@@ -1,0 +1,100 @@
+/**
+ * @file
+ * A minimal JSON value, writer, and parser.
+ *
+ * Built for the DSE checkpoint format (and other persisted state):
+ *  - numbers keep their *source text*, so int64 values survive exactly
+ *    and doubles written with 17 significant digits round-trip
+ *    bit-identically — a checkpointed objective resumes to the same
+ *    bits the uninterrupted run would have carried;
+ *  - parsing returns Result<Value> with an offset-tagged
+ *    Status::dataLoss instead of crashing, so a truncated or corrupt
+ *    checkpoint is a clean, reportable error;
+ *  - objects preserve insertion order (stable, diffable files).
+ */
+
+#ifndef DSA_BASE_JSON_H
+#define DSA_BASE_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+
+namespace dsa::json {
+
+/** One JSON value (null / bool / number / string / array / object). */
+class Value
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Value() = default;
+
+    /// @name Constructors
+    /// @{
+    static Value null() { return {}; }
+    static Value boolean(bool b);
+    static Value number(int64_t v);
+    static Value number(double v);
+    /** A number from already-formatted text (parser use). */
+    static Value numberRaw(std::string raw);
+    static Value str(std::string s);
+    static Value array();
+    static Value object();
+    /// @}
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+
+    /// @name Scalar access (panics on kind mismatch — check first)
+    /// @{
+    bool asBool() const;
+    int64_t asInt64() const;
+    double asDouble() const;
+    const std::string &asString() const;
+    /// @}
+
+    /// @name Array access
+    /// @{
+    size_t size() const { return arr_.size(); }
+    const Value &at(size_t i) const;
+    void push(Value v);
+    const std::vector<Value> &items() const { return arr_; }
+    /// @}
+
+    /// @name Object access
+    /// @{
+    /** Member lookup; nullptr when absent (or not an object). */
+    const Value *find(const std::string &key) const;
+    void set(const std::string &key, Value v);
+    const std::vector<std::pair<std::string, Value>> &members() const
+    {
+        return obj_;
+    }
+    /// @}
+
+    /** Serialize (compact; deterministic member order). */
+    std::string dump() const;
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    std::string scalar_;  ///< number raw text or string payload
+    std::vector<Value> arr_;
+    std::vector<std::pair<std::string, Value>> obj_;
+};
+
+/** Parse @p text; Status::dataLoss (with offset) on malformed input. */
+Result<Value> parse(const std::string &text);
+
+/** Escape @p s as a JSON string literal, quotes included. */
+std::string quote(const std::string &s);
+
+} // namespace dsa::json
+
+#endif // DSA_BASE_JSON_H

@@ -12,7 +12,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <locale>
 #include <random>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "base/logging.h"
@@ -107,6 +110,34 @@ class Rng
 
     /** Fork a child generator (e.g. one per DSE worker). */
     Rng fork() { return Rng(engine_()); }
+
+    /**
+     * Serialize the exact engine state (checkpointing). The textual
+     * form round-trips bit-identically through loadState, so a resumed
+     * exploration draws the same stream an uninterrupted run would.
+     */
+    std::string
+    saveState() const
+    {
+        std::ostringstream os;
+        os.imbue(std::locale::classic());
+        os << engine_;
+        return os.str();
+    }
+
+    /** Restore a state from saveState(); false on malformed input. */
+    bool
+    loadState(const std::string &state)
+    {
+        std::istringstream is(state);
+        is.imbue(std::locale::classic());
+        std::mt19937_64 restored;
+        is >> restored;
+        if (is.fail())
+            return false;
+        engine_ = restored;
+        return true;
+    }
 
     std::mt19937_64 &engine() { return engine_; }
 

@@ -1,0 +1,49 @@
+#include "base/status.h"
+
+namespace dsa {
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "ok";
+      case StatusCode::InvalidArgument: return "invalid-argument";
+      case StatusCode::NotFound: return "not-found";
+      case StatusCode::DeadlineExceeded: return "deadline-exceeded";
+      case StatusCode::ResourceExhausted: return "resource-exhausted";
+      case StatusCode::Deadlock: return "deadlock";
+      case StatusCode::DataLoss: return "data-loss";
+      case StatusCode::FailedPrecondition: return "failed-precondition";
+      case StatusCode::Internal: return "internal";
+    }
+    return "unknown";
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "ok";
+    std::string out = statusCodeName(code_);
+    if (!message_.empty()) {
+        out += ": ";
+        out += message_;
+    }
+    return out;
+}
+
+Status
+Status::fromCurrentException()
+{
+    try {
+        throw;
+    } catch (const StatusException &e) {
+        return e.status();
+    } catch (const std::exception &e) {
+        return Status::internal(e.what());
+    } catch (...) {
+        return Status::internal("unknown exception");
+    }
+}
+
+} // namespace dsa

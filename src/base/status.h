@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Structured error propagation for library-level entry points.
+ *
+ * The framework distinguishes three failure regimes:
+ *  - DSA_PANIC / DSA_ASSERT: framework bugs; abort with a core dump.
+ *  - DSA_FATAL: unrecoverable *user* errors at the CLI boundary
+ *    (unknown names, malformed files given on the command line).
+ *  - Status / Result<T>: everything a long-running caller must be able
+ *    to survive — a bad DSE candidate, a timed-out schedule, a
+ *    deadlocked simulation, a corrupt checkpoint. Library entry points
+ *    on the compile -> schedule -> simulate -> evaluate path report
+ *    these as values instead of killing the process, so one
+ *    pathological candidate cannot sink an hours-long exploration.
+ *
+ * StatusException carries a Status across stack frames that cannot
+ * return one (e.g. thread-pool workers); the catching boundary
+ * converts it back with Status::fromCurrentException().
+ */
+
+#ifndef DSA_BASE_STATUS_H
+#define DSA_BASE_STATUS_H
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "base/logging.h"
+
+namespace dsa {
+
+/** Coarse error taxonomy (inspired by absl::StatusCode). */
+enum class StatusCode {
+    Ok = 0,
+    InvalidArgument,    ///< malformed input or parameters
+    NotFound,           ///< named entity does not exist
+    DeadlineExceeded,   ///< a wall-clock watchdog fired
+    ResourceExhausted,  ///< a cycle/iteration budget ran out
+    Deadlock,           ///< forward progress provably stopped
+    DataLoss,           ///< corrupt or truncated persisted state
+    FailedPrecondition, ///< operation invalid in the current state
+    Internal,           ///< unexpected library failure (escaped exception)
+};
+
+/** Human-readable code name ("ok", "deadline-exceeded", ...). */
+const char *statusCodeName(StatusCode code);
+
+/** An error code plus a human-readable message; default is OK. */
+class Status
+{
+  public:
+    Status() = default;
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    bool ok() const { return code_ == StatusCode::Ok; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "deadline-exceeded: scheduler timed out" (or "ok"). */
+    std::string toString() const;
+
+    /// @name Factory helpers, one per code
+    /// @{
+    static Status invalidArgument(std::string m)
+    {
+        return {StatusCode::InvalidArgument, std::move(m)};
+    }
+    static Status notFound(std::string m)
+    {
+        return {StatusCode::NotFound, std::move(m)};
+    }
+    static Status deadlineExceeded(std::string m)
+    {
+        return {StatusCode::DeadlineExceeded, std::move(m)};
+    }
+    static Status resourceExhausted(std::string m)
+    {
+        return {StatusCode::ResourceExhausted, std::move(m)};
+    }
+    static Status deadlock(std::string m)
+    {
+        return {StatusCode::Deadlock, std::move(m)};
+    }
+    static Status dataLoss(std::string m)
+    {
+        return {StatusCode::DataLoss, std::move(m)};
+    }
+    static Status failedPrecondition(std::string m)
+    {
+        return {StatusCode::FailedPrecondition, std::move(m)};
+    }
+    static Status internal(std::string m)
+    {
+        return {StatusCode::Internal, std::move(m)};
+    }
+    /// @}
+
+    /**
+     * Convert the in-flight exception (from a catch(...) block) into a
+     * Status: StatusException keeps its payload, std::exception maps
+     * to Internal with what(), anything else to a generic Internal.
+     */
+    static Status fromCurrentException();
+
+  private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+};
+
+/** Throwable Status wrapper for frames that cannot return one. */
+class StatusException : public std::runtime_error
+{
+  public:
+    explicit StatusException(Status status)
+        : std::runtime_error(status.toString()), status_(std::move(status))
+    {
+    }
+
+    const Status &status() const { return status_; }
+
+  private:
+    Status status_;
+};
+
+/**
+ * A Status or a value of type T. Accessing the value of an error
+ * Result is a framework bug (panics); check ok() first.
+ */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value) : value_(std::move(value)) {}
+    Result(Status status) : status_(std::move(status))
+    {
+        DSA_ASSERT(!status_.ok(), "Result built from OK status needs a value");
+    }
+
+    bool ok() const { return status_.ok(); }
+    const Status &status() const { return status_; }
+
+    const T &
+    value() const
+    {
+        DSA_ASSERT(ok(), "Result::value on error: ", status_.toString());
+        return value_;
+    }
+
+    T &
+    value()
+    {
+        DSA_ASSERT(ok(), "Result::value on error: ", status_.toString());
+        return value_;
+    }
+
+    const T &operator*() const { return value(); }
+    T &operator*() { return value(); }
+    const T *operator->() const { return &value(); }
+    T *operator->() { return &value(); }
+
+  private:
+    Status status_;
+    T value_{};
+};
+
+} // namespace dsa
+
+#endif // DSA_BASE_STATUS_H

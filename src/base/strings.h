@@ -24,6 +24,18 @@ bool startsWith(const std::string &s, const std::string &prefix);
 std::string join(const std::vector<std::string> &parts,
                  const std::string &sep);
 
+/** Levenshtein edit distance between @p a and @p b. */
+size_t editDistance(const std::string &a, const std::string &b);
+
+/**
+ * Suffix for unknown-name errors: the nearest valid name by edit
+ * distance (when close enough to be a plausible typo) plus the valid
+ * list, e.g. "; did you mean 'fadd'? (valid: add, fadd, ...)". The
+ * list is elided past 24 entries.
+ */
+std::string suggestName(const std::string &name,
+                        const std::vector<std::string> &valid);
+
 } // namespace dsa
 
 #endif // DSA_BASE_STRINGS_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Crash-safe DSE checkpointing.
+ *
+ * A checkpoint is a single JSON file holding everything `Explorer`
+ * needs to continue a run bit-identically: the workload list (for
+ * validation), the exploration options, and the full DseRunState —
+ * current/best ADGs (embedded as ADG text), the repair cache including
+ * attempted-but-illegal markers (they select the per-step scheduling
+ * budget), the iteration trace, and the exploration RNG's stream
+ * position. Doubles are written with 17 significant digits and int64s
+ * as raw decimal text, so every number round-trips exactly.
+ *
+ * Writes are atomic (write `<path>.tmp`, then rename): a crash — even
+ * kill -9 — mid-write leaves the previous checkpoint intact. Loads
+ * never crash: truncated or corrupt files come back as a structured
+ * Status (DataLoss / InvalidArgument) naming what was wrong.
+ */
+
+#ifndef DSA_DSE_CHECKPOINT_H
+#define DSA_DSE_CHECKPOINT_H
+
+#include <string>
+#include <vector>
+
+#include "base/json.h"
+#include "base/status.h"
+#include "dse/explorer.h"
+
+namespace dsa::dse {
+
+/** Current checkpoint file format version. */
+inline constexpr int kCheckpointVersion = 1;
+
+/** Everything a checkpoint file holds. */
+struct DseCheckpoint
+{
+    /** Kernel names the run was exploring, in evaluation order. The
+     *  resumer must pass the same workloads (checked by the CLI). */
+    std::vector<std::string> workloadNames;
+    /** Options the run was started with. Test-only knobs
+     *  (haltAfterCheckpoints, evalFaultHook) are not serialized. */
+    DseOptions options;
+    /** Resumable loop state (see DseRunState). */
+    DseRunState state;
+};
+
+/** Serialize a checkpoint to its JSON document. */
+json::Value checkpointToJson(const std::vector<std::string> &workloadNames,
+                             const DseOptions &opts,
+                             const DseRunState &state);
+
+/** Rebuild a checkpoint from a parsed document; DataLoss on corrupt. */
+Result<DseCheckpoint> checkpointFromJson(const json::Value &doc);
+
+/**
+ * Atomically write a checkpoint file: serialize to `<path>.tmp`, then
+ * rename over @p path so readers never observe a torn file.
+ */
+Status saveCheckpoint(const std::vector<std::string> &workloadNames,
+                      const DseOptions &opts, const DseRunState &state,
+                      const std::string &path);
+
+/** Read + parse + validate a checkpoint file. */
+Result<DseCheckpoint> loadCheckpoint(const std::string &path);
+
+} // namespace dsa::dse
+
+#endif // DSA_DSE_CHECKPOINT_H

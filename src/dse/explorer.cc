@@ -1,9 +1,11 @@
 #include "dse/explorer.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
 #include "base/logging.h"
+#include "dse/checkpoint.h"
 #include "model/host_model.h"
 #include "model/perf_model.h"
 #include "model/regression.h"
@@ -33,10 +35,20 @@ Explorer::Explorer(std::vector<const workloads::Workload *> wls,
     pool_ = std::make_unique<ThreadPool>(opts_.threads);
 }
 
+std::vector<std::string>
+Explorer::workloadNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(workloads_.size());
+    for (const auto *w : workloads_)
+        names.push_back(w->name);
+    return names;
+}
+
 double
 Explorer::evaluateDesign(const Adg &adg, ScheduleCache &scheds,
                          bool repair, double *perfOut,
-                         model::ComponentCost *costOut)
+                         model::ComponentCost *costOut, Status *statusOut)
 {
     auto features = compiler::HwFeatures::fromAdg(adg);
     compiler::CompileOptions copts;
@@ -58,6 +70,7 @@ Explorer::evaluateDesign(const Adg &adg, ScheduleCache &scheds,
         bool legal = false;
         double cycles = 1e30;
         mapper::Schedule sched;
+        Status status;
     };
     std::vector<Task> tasks;
     for (size_t k = 0; k < workloads_.size(); ++k)
@@ -65,46 +78,75 @@ Explorer::evaluateDesign(const Adg &adg, ScheduleCache &scheds,
             tasks.push_back({static_cast<int>(k), u});
     std::vector<TaskOut> outs(tasks.size());
 
+    // One wall-clock cap for this whole design evaluation (unlimited
+    // when candidateTimeMs is 0, so polling stays free). Once expired,
+    // every remaining scheduler run cuts out immediately, so one
+    // pathological candidate costs at most the cap.
+    Deadline candDeadline = opts_.candidateTimeMs > 0
+        ? Deadline::afterMs(opts_.candidateTimeMs)
+        : Deadline::never();
+
     pool_->parallelFor(tasks.size(), [&](size_t t) {
         const Task &task = tasks[t];
-        const auto &w = *workloads_[static_cast<size_t>(task.k)];
-        auto placement =
-            compiler::Placement::autoLayout(w.kernel, features);
-        auto lowered = compiler::lowerKernel(w.kernel, placement,
-                                             features, copts, task.u);
-        if (!lowered.ok)
-            return;
-        auto key = std::make_pair(task.k, task.u);
-        auto prev = scheds.find(key);
-        mapper::SchedOptions so;
-        // First-ever mapping gets the full budget; afterwards the
-        // per-step budget applies (repairing or re-discovering).
-        so.maxIters = prev == scheds.end() ? opts_.initSchedIters
-                                           : opts_.schedIters;
-        so.convergeIters = std::max(8, so.maxIters / 5);
-        // Hash, don't add: additive seeds collide across (k, u) pairs
-        // and correlate the per-kernel scheduler streams.
-        so.seed = mixSeed(opts_.seed, static_cast<uint64_t>(task.k),
-                          static_cast<uint64_t>(task.u));
-        mapper::SpatialScheduler scheduler(lowered.version.program, adg,
-                                           so);
-        const mapper::Schedule *seedSched =
-            (repair && prev != scheds.end() && prev->second.hasLegal)
-                ? &prev->second.sched
-                : nullptr;
         TaskOut &out = outs[t];
-        out.sched = scheduler.run(seedSched);
-        auto est = model::estimatePerformance(lowered.version.program,
-                                              out.sched, adg);
-        out.lowered = true;
-        out.legal = est.legal;
-        out.cycles = est.cycles;
+        // Workers convert everything — fault-hook throws, compiler
+        // StatusExceptions, scheduler timeouts — into out.status so
+        // exceptions never tear down the pool or the exploration.
+        try {
+            if (opts_.evalFaultHook)
+                opts_.evalFaultHook(task.k, task.u);
+            const auto &w = *workloads_[static_cast<size_t>(task.k)];
+            auto placement =
+                compiler::Placement::autoLayout(w.kernel, features);
+            auto lowered = compiler::lowerKernel(w.kernel, placement,
+                                                 features, copts, task.u);
+            if (!lowered.ok)
+                return;
+            auto key = std::make_pair(task.k, task.u);
+            auto prev = scheds.find(key);
+            mapper::SchedOptions so;
+            // First-ever mapping gets the full budget; afterwards the
+            // per-step budget applies (repairing or re-discovering).
+            so.maxIters = prev == scheds.end() ? opts_.initSchedIters
+                                               : opts_.schedIters;
+            so.convergeIters = std::max(8, so.maxIters / 5);
+            // Hash, don't add: additive seeds collide across (k, u) pairs
+            // and correlate the per-kernel scheduler streams.
+            so.seed = mixSeed(opts_.seed, static_cast<uint64_t>(task.k),
+                              static_cast<uint64_t>(task.u));
+            so.deadline = candDeadline;
+            mapper::SpatialScheduler scheduler(lowered.version.program, adg,
+                                               so);
+            const mapper::Schedule *seedSched =
+                (repair && prev != scheds.end() && prev->second.hasLegal)
+                    ? &prev->second.sched
+                    : nullptr;
+            out.sched = scheduler.run(seedSched);
+            if (!scheduler.lastRunStatus().ok()) {
+                // Timed out: the schedule is best-effort garbage; report
+                // the timeout and contribute nothing to the cache.
+                out.status = scheduler.lastRunStatus();
+                return;
+            }
+            auto est = model::estimatePerformance(lowered.version.program,
+                                                  out.sched, adg);
+            out.lowered = true;
+            out.legal = est.legal;
+            out.cycles = est.cycles;
+        } catch (...) {
+            out.status = Status::fromCurrentException();
+            out.lowered = false;
+        }
     });
 
     // Deterministic serial reduction, in task order.
+    if (statusOut)
+        *statusOut = Status();
     std::vector<double> bestCycles(workloads_.size(), 1e30);
     for (size_t t = 0; t < tasks.size(); ++t) {
         TaskOut &out = outs[t];
+        if (statusOut && statusOut->ok() && !out.status.ok())
+            *statusOut = out.status;
         if (!out.lowered)
             continue;
         auto key = std::make_pair(tasks[t].k, tasks[t].u);
@@ -379,52 +421,118 @@ Explorer::mutate(Adg &adg, Rng &rng) const
 DseResult
 Explorer::run(const Adg &initial)
 {
-    Rng rng(opts_.seed);
-    DseResult result;
+    DseRunState st;
+    st.rng = Rng(opts_.seed);
+    st.current = initial;
 
-    Adg current = initial;
-    ScheduleCache schedules;
+    // Everything from here on reports errors as DseResult::status: a
+    // worker exception, a corrupt workload, a compiler fault — none of
+    // them may tear down an hours-long exploration process.
+    try {
+        // Iteration 0-1: map onto the initial hardware, then trim
+        // features known to be unneeded (§VIII-B).
+        double perf = 0;
+        model::ComponentCost cost;
+        Status evalStatus;
+        DseResult &result = st.result;
+        result.initialObjective = evaluateDesign(
+            st.current, st.schedules, false, &perf, &cost, &evalStatus);
+        if (!evalStatus.ok()) {
+            // The initial design must evaluate; without it there is no
+            // baseline to explore from.
+            result.status = evalStatus;
+            result.stopReason = "error";
+            return result;
+        }
+        result.initialCost = cost;
+        result.history.push_back(
+            {0, cost.areaMm2, cost.powerMw, perf, result.initialObjective,
+             true});
 
-    // Iteration 0-1: map onto the initial hardware, then trim features
-    // known to be unneeded (§VIII-B).
-    double perf = 0;
-    model::ComponentCost cost;
-    result.initialObjective =
-        evaluateDesign(current, schedules, false, &perf, &cost);
-    result.initialCost = cost;
-    result.history.push_back(
-        {0, cost.areaMm2, cost.powerMw, perf, result.initialObjective,
-         true});
+        pruneUnused(st.current);
+        st.curObj = evaluateDesign(st.current, st.schedules,
+                                   opts_.useRepair, &perf, &cost,
+                                   &evalStatus);
+        if (!evalStatus.ok()) {
+            result.status = evalStatus;
+            result.stopReason = "error";
+            return result;
+        }
+        result.history.push_back(
+            {1, cost.areaMm2, cost.powerMw, perf, st.curObj, true});
 
-    pruneUnused(current);
-    double curObj = evaluateDesign(current, schedules, opts_.useRepair,
-                                   &perf, &cost);
-    result.history.push_back(
-        {1, cost.areaMm2, cost.powerMw, perf, curObj, true});
+        result.best = st.current;
+        result.bestObjective = st.curObj;
+        result.bestPerf = perf;
+        result.bestCost = cost;
 
-    result.best = current;
-    result.bestObjective = curObj;
-    result.bestPerf = perf;
-    result.bestCost = cost;
+        return runLoop(st);
+    } catch (...) {
+        st.result.status = Status::fromCurrentException();
+        st.result.stopReason = "error";
+        return st.result;
+    }
+}
+
+DseResult
+Explorer::resume(DseRunState state)
+{
+    try {
+        return runLoop(state);
+    } catch (...) {
+        state.result.status = Status::fromCurrentException();
+        state.result.stopReason = "error";
+        return state.result;
+    }
+}
+
+void
+Explorer::writeCheckpoint(DseRunState &st)
+{
+    // Count the write *before* serializing so the file records itself;
+    // a resumed run continues the numbering.
+    ++st.result.checkpointsWritten;
+    Status s = saveCheckpoint(workloadNames(), opts_, st,
+                              opts_.checkpointPath);
+    if (!s.ok())
+        DSA_WARN("dse checkpoint to '", opts_.checkpointPath,
+                 "' failed: ", s.toString());
+}
+
+DseResult
+Explorer::runLoop(DseRunState &st)
+{
+    DseResult &result = st.result;
+    Deadline wall = opts_.wallBudgetMs > 0
+        ? Deadline::afterMs(opts_.wallBudgetMs)
+        : Deadline::never();
 
     // Candidates cheaply rejected before evaluation (structurally
     // invalid or over budget) must not trip the no-improvement exit —
     // they carry no evidence about the objective landscape. They get
     // their own consecutive-rejection cap to bound runtime instead.
-    int noImprove = 0;
-    int infeasibleStreak = 0;
-    int iter = 2;
-    while (iter < opts_.maxIters) {
-        if (noImprove >= opts_.noImproveExit)
+    result.stopReason = "max-iters";
+    while (st.iter < opts_.maxIters) {
+        if (st.noImprove >= opts_.noImproveExit) {
+            result.stopReason = "no-improve";
             break;
-        if (infeasibleStreak >= opts_.infeasibleExit)
+        }
+        if (st.infeasibleStreak >= opts_.infeasibleExit) {
+            result.stopReason = "infeasible";
             break;
+        }
+        if (wall.expired()) {
+            // The whole-run watchdog: stop cleanly with the best design
+            // so far; the final checkpoint below makes this resumable.
+            result.stopReason = "wall-clock";
+            break;
+        }
 
         // Draw a batch of mutants serially from the exploration RNG
         // (so the random stream is independent of batch/thread
         // configuration up to batching of the draw order).
         int batch = std::min(std::max(1, opts_.candidateBatch),
-                             opts_.maxIters - iter);
+                             opts_.maxIters - st.iter);
         struct Candidate
         {
             Adg adg;
@@ -435,17 +543,18 @@ Explorer::run(const Adg &initial)
             ScheduleCache cache;
             double perf = 0;
             double objective = 0;
+            Status evalStatus;
         };
         std::vector<Candidate> cands;
         cands.reserve(static_cast<size_t>(batch));
         for (int b = 0; b < batch; ++b) {
             Candidate c;
-            c.adg = current;
-            c.iter = iter + b;
+            c.adg = st.current;
+            c.iter = st.iter + b;
             // "A random number of components are added or removed."
-            int nMut = 1 + static_cast<int>(rng.uniformInt(0, 2));
+            int nMut = 1 + static_cast<int>(st.rng.uniformInt(0, 2));
             for (int m = 0; m < nMut; ++m)
-                mutate(c.adg, rng);
+                mutate(c.adg, st.rng);
             if (c.adg.validate().empty()) {
                 c.cost =
                     model::AreaPowerModel::instance().fabric(c.adg);
@@ -454,7 +563,7 @@ Explorer::run(const Adg &initial)
             }
             cands.push_back(std::move(c));
         }
-        iter += batch;
+        st.iter += batch;
 
         std::vector<size_t> evalIdx;
         for (size_t i = 0; i < cands.size(); ++i)
@@ -466,19 +575,20 @@ Explorer::run(const Adg &initial)
         // candidates fan out and each grid runs inline on its worker.
         pool_->parallelFor(evalIdx.size(), [&](size_t e) {
             Candidate &c = cands[evalIdx[e]];
-            c.cache = schedules;  // repair from the current mapping
+            c.cache = st.schedules;  // repair from the current mapping
             c.objective = evaluateDesign(c.adg, c.cache, opts_.useRepair,
-                                         &c.perf, &c.cost);
+                                         &c.perf, &c.cost, &c.evalStatus);
         });
 
         // Deterministic selection: best improving candidate, first in
-        // draw order on ties.
+        // draw order on ties. Candidates that errored or timed out are
+        // never selectable — their objective is untrustworthy.
         int bestIdx = -1;
         for (size_t i = 0; i < cands.size(); ++i) {
             const Candidate &c = cands[i];
-            if (!c.feasible)
+            if (!c.feasible || !c.evalStatus.ok())
                 continue;
-            if (c.objective > curObj &&
+            if (c.objective > st.curObj &&
                 (bestIdx < 0 ||
                  c.objective > cands[static_cast<size_t>(bestIdx)]
                                    .objective))
@@ -489,10 +599,20 @@ Explorer::run(const Adg &initial)
         for (size_t i = 0; i < cands.size(); ++i) {
             Candidate &c = cands[i];
             if (!c.feasible) {
-                ++infeasibleStreak;
+                ++st.infeasibleStreak;
                 continue;
             }
-            infeasibleStreak = 0;
+            if (!c.evalStatus.ok()) {
+                // Lost to an evaluation error or timeout: record it as
+                // infeasible (bounded by infeasibleExit), remember the
+                // first cause, and keep exploring.
+                ++st.infeasibleStreak;
+                ++result.evalFailures;
+                if (result.status.ok())
+                    result.status = c.evalStatus;
+                continue;
+            }
+            st.infeasibleStreak = 0;
             ++evaluated;
             result.history.push_back(
                 {c.iter, c.cost.areaMm2, c.cost.powerMw, c.perf,
@@ -500,20 +620,42 @@ Explorer::run(const Adg &initial)
         }
         if (bestIdx >= 0) {
             Candidate &c = cands[static_cast<size_t>(bestIdx)];
-            current = std::move(c.adg);
-            schedules = std::move(c.cache);
-            curObj = c.objective;
+            st.current = std::move(c.adg);
+            st.schedules = std::move(c.cache);
+            st.curObj = c.objective;
             if (c.objective > result.bestObjective) {
-                result.best = current;
+                result.best = st.current;
                 result.bestObjective = c.objective;
                 result.bestPerf = c.perf;
                 result.bestCost = c.cost;
             }
-            noImprove = 0;
+            st.noImprove = 0;
+
+            // Checkpoint cadence counts *accepted* steps: those are the
+            // expensive-to-lose state changes (rejected steps only
+            // advance the RNG, which the checkpoint also captures).
+            ++st.acceptedSinceCkpt;
+            if (!opts_.checkpointPath.empty() &&
+                st.acceptedSinceCkpt >= opts_.checkpointEvery) {
+                st.acceptedSinceCkpt = 0;
+                writeCheckpoint(st);
+                if (opts_.haltAfterCheckpoints > 0 &&
+                    result.checkpointsWritten >=
+                        opts_.haltAfterCheckpoints) {
+                    // Test knob: emulate a crash right after the write.
+                    result.stopReason = "halted";
+                    return result;
+                }
+            }
         } else {
-            noImprove += evaluated;
+            st.noImprove += evaluated;
         }
     }
+
+    // Final checkpoint so a finished (or wall-clock-stopped) run leaves
+    // a consistent file behind; resuming it is a no-op continuation.
+    if (!opts_.checkpointPath.empty())
+        writeCheckpoint(st);
     return result;
 }
 

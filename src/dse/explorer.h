@@ -26,12 +26,16 @@
 #ifndef DSA_DSE_EXPLORER_H
 #define DSA_DSE_EXPLORER_H
 
+#include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "adg/adg.h"
+#include "base/deadline.h"
 #include "base/rng.h"
+#include "base/status.h"
 #include "base/thread_pool.h"
 #include "compiler/compile.h"
 #include "mapper/scheduler.h"
@@ -89,6 +93,51 @@ struct DseOptions
      * accepted. 1 reproduces the serial greedy trace.
      */
     int candidateBatch = 1;
+
+    /// @name Fault tolerance: checkpoints & watchdogs
+    /// @{
+    /**
+     * When non-empty, the explorer atomically serializes its full
+     * resumable state (current/best ADG, objective, iteration trace,
+     * RNG stream position, repair-cache schedules) to this JSON file
+     * via write-temp-then-rename, every checkpointEvery accepted
+     * steps and at run end. `dsagen dse --resume <file>` (or
+     * Explorer::resume) continues bit-identically with what the
+     * uninterrupted run would have produced.
+     */
+    std::string checkpointPath;
+    /** Accepted steps between checkpoint writes. */
+    int checkpointEvery = 10;
+    /**
+     * Wall-clock budget for the whole run (0 = unlimited). Checked
+     * between steps; on expiry the run stops cleanly with the best
+     * design so far (stopReason "wall-clock") and, if checkpointing
+     * is on, a final checkpoint to resume from.
+     */
+    int64_t wallBudgetMs = 0;
+    /**
+     * Per-candidate evaluation cap (0 = unlimited), enforced
+     * cooperatively inside the scheduler's annealing loop. A
+     * timed-out candidate is recorded as infeasible (counting toward
+     * infeasibleExit) instead of hanging a pool worker. Note:
+     * wall-clock caps trade bit-exact reproducibility for bounded
+     * runtime — which candidates time out depends on machine load.
+     */
+    int64_t candidateTimeMs = 0;
+    /**
+     * Test knob: simulate a crash by returning (stopReason "halted")
+     * immediately after this many checkpoint writes (0 = off). The
+     * returned partial result mirrors what a kill -9 at that moment
+     * would leave on disk.
+     */
+    int haltAfterCheckpoints = 0;
+    /**
+     * Test-only fault injection: invoked on the worker thread for
+     * every (kernel, unroll) evaluation task; may throw or sleep.
+     * Not serialized into checkpoints.
+     */
+    std::function<void(int kernel, int unroll)> evalFaultHook;
+    /// @}
 };
 
 /** One step of the exploration trace (drives Fig. 14). */
@@ -113,6 +162,22 @@ struct DseResult
     /** Objective of the initial hardware (for improvement ratios). */
     double initialObjective = 0;
     model::ComponentCost initialCost;
+
+    /**
+     * First evaluation error encountered (OK when none). Worker
+     * exceptions and per-candidate timeouts surface here as Status;
+     * the affected candidates are recorded as infeasible and the run
+     * continues (or, if nothing can evaluate, exits cleanly through
+     * the infeasibleExit cap).
+     */
+    Status status;
+    /** Candidates lost to evaluation errors or timeouts. */
+    int evalFailures = 0;
+    /** Checkpoints written during this run. */
+    int checkpointsWritten = 0;
+    /** Why the run stopped: "max-iters", "no-improve", "infeasible",
+     *  "wall-clock", "halted", or "error". */
+    std::string stopReason;
 };
 
 /**
@@ -133,6 +198,26 @@ struct ScheduleCacheEntry
 
 using ScheduleCache = std::map<std::pair<int, int>, ScheduleCacheEntry>;
 
+/**
+ * Complete resumable exploration state: everything the main loop reads
+ * or writes between steps. Serialized verbatim into checkpoints (see
+ * dse/checkpoint.h); because the loop is deterministic given this
+ * state, resuming from any checkpoint reproduces the uninterrupted
+ * run bit-identically.
+ */
+struct DseRunState
+{
+    adg::Adg current;          ///< design being mutated
+    double curObj = 0;         ///< its objective
+    ScheduleCache schedules;   ///< repair cache (incl. attempted markers)
+    int iter = 2;              ///< next iteration index (0/1 = initial)
+    int noImprove = 0;
+    int infeasibleStreak = 0;
+    int acceptedSinceCkpt = 0; ///< accepted steps since last checkpoint
+    Rng rng{1};                ///< exploration RNG (stream position)
+    DseResult result;          ///< best-so-far + trace, grown in place
+};
+
 /** Hardware/software co-design explorer over a set of workloads. */
 class Explorer
 {
@@ -144,16 +229,33 @@ class Explorer
     DseResult run(const adg::Adg &initial);
 
     /**
+     * Continue a checkpointed exploration. @p state must come from a
+     * checkpoint taken with the same workloads and deterministic
+     * options (seed, budgets, batch, threads may differ only in count,
+     * not in the RNG draws they imply — loadCheckpoint restores the
+     * saved options to guarantee this). Produces bit-identical results
+     * to the uninterrupted run.
+     */
+    DseResult resume(DseRunState state);
+
+    /** Kernel names, in evaluation order (checkpoint validation). */
+    std::vector<std::string> workloadNames() const;
+
+    /**
      * Evaluate one design: compile + schedule every kernel version,
      * pick each kernel's best, return the objective. The (kernel,
      * unroll) grid is evaluated on the thread pool; the cache is only
      * read during the parallel phase and updated in a deterministic
      * serial reduction afterwards.
      * @param schedules in/out per-(kernel,unroll) repair cache.
+     * @param statusOut when non-null, receives OK or the first task
+     *        error (worker exception / candidate timeout) in task
+     *        order; errored tasks contribute no schedule and score 0.
      */
     double evaluateDesign(const adg::Adg &adg, ScheduleCache &schedules,
                           bool repair, double *perfOut,
-                          model::ComponentCost *costOut);
+                          model::ComponentCost *costOut,
+                          Status *statusOut = nullptr);
 
     /**
      * Remove features no kernel can use (unneeded FU classes, unused
@@ -166,6 +268,11 @@ class Explorer
     std::string mutate(adg::Adg &adg, Rng &rng) const;
 
   private:
+    /** Main exploration loop, shared by run() and resume(). */
+    DseResult runLoop(DseRunState &st);
+    /** Write a checkpoint of @p st (warn, don't fail, on error). */
+    void writeCheckpoint(DseRunState &st);
+
     std::vector<const workloads::Workload *> workloads_;
     DseOptions opts_;
     std::vector<double> hostCycles_;

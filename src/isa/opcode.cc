@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "base/logging.h"
+#include "base/strings.h"
 
 namespace dsa {
 
@@ -67,7 +68,11 @@ opFromName(const std::string &name)
     for (int i = 0; i < kNumOpCodes; ++i)
         if (name == kOpTable[i].name)
             return static_cast<OpCode>(i);
-    DSA_FATAL("unknown opcode name '", name, "'");
+    std::vector<std::string> valid;
+    for (int i = 0; i < kNumOpCodes; ++i)
+        valid.push_back(kOpTable[i].name);
+    DSA_FATAL("unknown opcode name '", name, "' ",
+              suggestName(name, valid));
 }
 
 std::vector<OpCode>

@@ -1044,6 +1044,10 @@ SpatialScheduler::fillUnplaced(Schedule &s)
     while (progress) {
         progress = false;
         for (const Slot &slot : slots_) {
+            // Bail between placements when the watchdog fires; the
+            // remaining slots stay unplaced (cost reports them).
+            if (opts_.deadline.expired())
+                return;
             auto &rs = s.regions[slot.region];
             bool placed = slot.isStream
                 ? rs.streamMap[slot.streamId] != kInvalidNode
@@ -1170,6 +1174,7 @@ SpatialScheduler::hotSlots(const Schedule &s) const
 Schedule
 SpatialScheduler::run(const Schedule *initial)
 {
+    lastStatus_ = Status();
     Schedule s;
     bool evict = false;
     if (initial && initial->regions.size() == prog_.regions.size()) {
@@ -1222,6 +1227,12 @@ SpatialScheduler::run(const Schedule *initial)
     int noImprove = 0;
     std::vector<int> placedIdx;
     for (int iter = 0; iter < opts_.maxIters; ++iter) {
+        if (opts_.deadline.expired()) {
+            lastStatus_ = Status::deadlineExceeded(
+                "scheduler timed out after " + std::to_string(iter) +
+                " of " + std::to_string(opts_.maxIters) + " iterations");
+            break;
+        }
         if (best.cost.legal() && noImprove >= opts_.convergeIters)
             break;
         // Rip up one or two random placements and re-place greedily.

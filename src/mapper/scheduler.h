@@ -28,7 +28,9 @@
 #define DSA_MAPPER_SCHEDULER_H
 
 #include "adg/adg.h"
+#include "base/deadline.h"
 #include "base/rng.h"
+#include "base/status.h"
 #include "dfg/program.h"
 #include "mapper/schedule.h"
 #include "mapper/usage_tracker.h"
@@ -78,6 +80,17 @@ struct SchedOptions
      */
     bool checkIncremental = false;
     /// @}
+
+    /**
+     * Cooperative wall-clock watchdog (default: unlimited). Checked
+     * between annealing iterations and between greedy-fill placements;
+     * on expiry run() returns the best schedule found so far and
+     * lastRunStatus() reports DeadlineExceeded, so the DSE can record
+     * a pathological candidate as infeasible instead of hanging a pool
+     * worker. With the default unlimited deadline the checks are free
+     * and results are unchanged.
+     */
+    Deadline deadline;
 };
 
 /** Spatial scheduler for one program onto one ADG. */
@@ -101,6 +114,13 @@ class SpatialScheduler
      * schedule, independent of the scheduler's internal tracker.
      */
     Cost evaluate(const Schedule &s) const;
+
+    /**
+     * Outcome of the last run(): OK, or DeadlineExceeded when the
+     * SchedOptions::deadline watchdog cut the search short (the
+     * returned schedule is then best-effort and usually illegal).
+     */
+    const Status &lastRunStatus() const { return lastStatus_; }
 
   private:
     /** One placement decision: a DFG vertex or a memory stream. */
@@ -205,6 +225,7 @@ class SpatialScheduler
     const dfg::DecoupledProgram &prog_;
     const adg::Adg &adg_;
     SchedOptions opts_;
+    Status lastStatus_;
     mutable Rng rng_;
     std::vector<Slot> slots_;
     /** Concurrency class per region (stream-engine sharing). */

@@ -1,6 +1,7 @@
 #include "model/reference_points.h"
 
 #include "base/logging.h"
+#include "base/strings.h"
 
 namespace dsa::model {
 
@@ -34,7 +35,11 @@ referencePoint(const std::string &name)
     for (const auto &p : referencePoints())
         if (p.name == name)
             return p;
-    DSA_FATAL("unknown reference point '", name, "'");
+    std::vector<std::string> valid;
+    for (const auto &p : referencePoints())
+        valid.push_back(p.name);
+    DSA_FATAL("unknown reference point '", name, "' ",
+              suggestName(name, valid));
 }
 
 } // namespace dsa::model

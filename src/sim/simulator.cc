@@ -4,6 +4,7 @@
 #include <climits>
 #include <deque>
 #include <map>
+#include <sstream>
 
 #include "base/logging.h"
 
@@ -312,6 +313,20 @@ enum class RegionState {
     Complete
 };
 
+const char *
+regionStateName(RegionState st)
+{
+    switch (st) {
+      case RegionState::WaitDep: return "wait-dep";
+      case RegionState::WaitCmd: return "wait-cmd";
+      case RegionState::Running: return "running";
+      case RegionState::Finalizing: return "finalizing";
+      case RegionState::DoneIssue: return "done-issue";
+      case RegionState::Complete: return "complete";
+    }
+    return "?";
+}
+
 struct RegionSim
 {
     const Region *reg = nullptr;
@@ -390,6 +405,12 @@ class Machine
 
     int64_t issueOverhead(const RegionSim &rs) const;
     bool forwardsSatisfied(const RegionSim &rs) const;
+    /** Region retired everything it will ever run. */
+    bool regionDone(const RegionSim &rs) const;
+    /** Fill per-region/PE/memory stats (success and abort paths). */
+    void fillStats(SimResult &res, int64_t now) const;
+    /** Diagnostic naming stalled regions, ports, FIFO occupancies. */
+    std::string stallDiagnostic(int64_t now, int64_t lastProgress) const;
     bool seq_ = false;
 
     const dfg::DecoupledProgram &prog_;
@@ -1087,9 +1108,18 @@ Machine::run()
     // DSA_SIM_TRACE=1 dumps periodic machine state (debugging aid).
     bool trace = std::getenv("DSA_SIM_TRACE") != nullptr;
     int64_t now = 0;
+    // Deadlock watchdog: progress = any activity (port/instruction/
+    // stream fire) or any controller/region state change this cycle.
+    int64_t lastProgress = 0;
+    std::vector<RegionState> prevStates(regions_.size());
     for (; now < opts_.maxCycles; ++now) {
         bool activity = false;
         peFired_.clear();
+        for (size_t r = 0; r < regions_.size(); ++r)
+            prevStates[r] = regions_[r].state;
+        size_t prevScriptPos = scriptPos_;
+        bool prevScriptEntry = scriptEntryActive_;
+        int prevGroup = activeGroup_;
 
         // Sequential phase-script controller.
         if (seq_) {
@@ -1197,26 +1227,122 @@ Machine::run()
         }
         if (allDone)
             break;
+
+        bool progress = activity || scriptPos_ != prevScriptPos ||
+                        scriptEntryActive_ != prevScriptEntry ||
+                        activeGroup_ != prevGroup;
+        for (size_t r = 0; !progress && r < regions_.size(); ++r)
+            progress = regions_[r].state != prevStates[r];
+        if (progress)
+            lastProgress = now;
+        else if (opts_.progressWindow > 0 &&
+                 now - lastProgress >= opts_.progressWindow) {
+            res.ok = false;
+            res.error = stallDiagnostic(now, lastProgress);
+            res.status = Status::deadlock(res.error);
+            fillStats(res, now);
+            return res;
+        }
+        // Wall-clock watchdog, polled every 8192 cycles.
+        if ((now & 0x1FFF) == 0 && opts_.deadline.expired()) {
+            res.ok = false;
+            res.error = "simulation wall-clock budget exhausted at cycle " +
+                        std::to_string(now);
+            res.status = Status::deadlineExceeded(res.error);
+            fillStats(res, now);
+            return res;
+        }
     }
     if (now >= opts_.maxCycles) {
         res.ok = false;
-        res.error = "simulation exceeded cycle limit";
+        res.error = "simulation exceeded cycle limit (" +
+                    std::to_string(opts_.maxCycles) + " cycles)";
+        res.status = Status::resourceExhausted(res.error);
+        fillStats(res, now);
         return res;
     }
     res.ok = true;
+    fillStats(res, now);
+    return res;
+}
+
+bool
+Machine::regionDone(const RegionSim &rs) const
+{
+    // In sequential (phase-script) mode regions rest in DoneIssue
+    // between issues and at the end of the script.
+    return rs.state == RegionState::Complete ||
+           (seq_ && rs.state == RegionState::DoneIssue);
+}
+
+void
+Machine::fillStats(SimResult &res, int64_t now) const
+{
     res.cycles = now;
-    for (RegionSim &rs : regions_) {
+    res.regions.clear();
+    res.peFires.clear();
+    for (const RegionSim &rs : regions_) {
         RegionSimStats st;
-        st.endCycle = rs.endCycle;
+        st.complete = regionDone(rs);
+        st.state = regionStateName(rs.state);
+        st.endCycle = st.complete ? rs.endCycle : now;
         for (const auto &ps : rs.inPorts)
             st.fires = std::max(st.fires, ps.pops);
-        res.regions.push_back(st);
+        res.regions.push_back(std::move(st));
         for (const InstSim &is : rs.insts)
             if (is.pe != adg::kInvalidNode)
                 res.peFires[is.pe] += is.fires;
     }
     res.memBytes = memBytes_;
-    return res;
+}
+
+std::string
+Machine::stallDiagnostic(int64_t now, int64_t lastProgress) const
+{
+    std::ostringstream os;
+    os << "simulation deadlock: no progress for " << (now - lastProgress)
+       << " cycles (at cycle " << now << ", config group " << activeGroup_
+       << ")";
+    if (seq_)
+        os << ", phase script at entry " << scriptPos_ << "/"
+           << prog_.phaseScript.size();
+    os << "; stalled regions:";
+    for (const RegionSim &rs : regions_) {
+        if (regionDone(rs))
+            continue;
+        os << " region " << rs.idx << " [" << regionStateName(rs.state)
+           << "]";
+        if (!rs.waitOnRegions.empty()) {
+            os << " waits-on{";
+            for (size_t i = 0; i < rs.waitOnRegions.size(); ++i)
+                os << (i ? "," : "") << rs.waitOnRegions[i];
+            os << "}";
+        }
+        for (const StreamExec &se : rs.streams) {
+            if (se.done())
+                continue;
+            os << " stream" << se.st->id << "=" << se.pos << "/"
+               << se.addrs.size();
+            if (!se.writeBuf.empty())
+                os << "(writeBuf " << se.writeBuf.size() << "/"
+                   << se.writeBufCap << ")";
+        }
+        for (size_t v = 0; v < rs.inPorts.size(); ++v) {
+            const PortSim &ps = rs.inPorts[v];
+            if (ps.lanePipes.empty())
+                continue;
+            os << " in-port" << v << "{buf " << ps.buffer.size() << "/"
+               << ps.capacity << ", pops " << ps.pops << "}";
+        }
+        for (size_t v = 0; v < rs.outPorts.size(); ++v) {
+            const OutPortSim &op = rs.outPorts[v];
+            if (op.lanePipes.empty())
+                continue;
+            os << " out-port" << v << "{fires " << op.fires << "}";
+        }
+        os << ";";
+    }
+    return os.str();
 }
 
 } // namespace

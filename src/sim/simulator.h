@@ -24,6 +24,8 @@
 #include <vector>
 
 #include "adg/adg.h"
+#include "base/deadline.h"
+#include "base/status.h"
 #include "dfg/program.h"
 #include "mapper/schedule.h"
 #include "sim/memory_image.h"
@@ -37,13 +39,34 @@ struct SimOptions
     int64_t maxCycles = 200'000'000;
     /** Cycles per element for scalar-issued fallback streams. */
     int scalarElementInterval = 4;
+    /**
+     * Deadlock watchdog: abort when no global progress — no port
+     * fire, instruction fire, stream element, or region state change
+     * anywhere in the machine — happens for this many consecutive
+     * cycles. The error names the stalled regions, their ports, and
+     * FIFO occupancies, instead of silently burning maxCycles. Must
+     * stay well above legitimate quiet spells (quiesce windows,
+     * command issue, reconfiguration — all well under 10^4 cycles);
+     * 0 disables the check.
+     */
+    int64_t progressWindow = 1'000'000;
+    /**
+     * Cooperative wall-clock cap (default: unlimited), polled every
+     * few thousand cycles; on expiry the run aborts with
+     * DeadlineExceeded and partial stats.
+     */
+    Deadline deadline;
 };
 
 /** Per-region outcome. */
 struct RegionSimStats
 {
     int64_t fires = 0;       ///< input-vector pops (DFG instances)
-    int64_t endCycle = 0;    ///< completion time
+    int64_t endCycle = 0;    ///< completion time (last cycle on abort)
+    bool complete = false;   ///< region retired all issues
+    /** Lifecycle state at the end of the run ("complete", "running",
+     *  "wait-dep", ... — diagnostic on aborted runs). */
+    std::string state;
 };
 
 /** Whole-run outcome. */
@@ -51,7 +74,12 @@ struct SimResult
 {
     bool ok = false;
     std::string error;
+    /** Structured abort reason: ResourceExhausted (cycle limit),
+     *  Deadlock (progress window), DeadlineExceeded (wall clock). */
+    Status status;
     int64_t cycles = 0;
+    /** Per-region stats; populated on aborts too (partial, with the
+     *  abort-time state) so failures are diagnosable. */
     std::vector<RegionSimStats> regions;
     /** Firing counts per PE (utilization reporting). */
     std::map<adg::NodeId, int64_t> peFires;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "base/logging.h"
+#include "base/strings.h"
 #include "workloads/suites.h"
 
 namespace dsa::workloads {
@@ -30,7 +31,10 @@ workload(const std::string &name)
     for (const auto &w : allWorkloads())
         if (w.name == name)
             return w;
-    DSA_FATAL("unknown workload '", name, "'");
+    std::vector<std::string> valid;
+    for (const auto &w : allWorkloads())
+        valid.push_back(w.name);
+    DSA_FATAL("unknown workload '", name, "' ", suggestName(name, valid));
 }
 
 std::vector<const Workload *>

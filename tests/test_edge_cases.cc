@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "adg/prebuilt.h"
+#include "base/status.h"
 #include "dfg/dfg_text.h"
 #include "hwgen/config_path.h"
 #include "hwgen/verilog.h"
@@ -23,8 +24,17 @@ TEST(AdgErrors, RejectsMalformedText)
 {
     EXPECT_EXIT(adg::Adg::fromText("adg v2\n"),
                 ExitedWithCode(1), "unsupported ADG version");
-    EXPECT_EXIT(adg::Adg::fromText("adg v1\nnode 0 bogus\n"),
-                ExitedWithCode(1), "unknown node kind");
+    // Enum-name lookups throw (recoverable — checkpoint loading must
+    // survive mangled ADG text) with a did-you-mean suggestion.
+    try {
+        adg::Adg::fromText("adg v1\nnode 0 bogus\n");
+        FAIL() << "malformed node kind was accepted";
+    } catch (const StatusException &e) {
+        EXPECT_EQ(e.status().code(), StatusCode::InvalidArgument);
+        EXPECT_NE(e.status().message().find("unknown node kind"),
+                  std::string::npos);
+        EXPECT_NE(e.status().message().find("valid:"), std::string::npos);
+    }
     EXPECT_EXIT(
         adg::Adg::fromText("adg v1\nfrobnicate 1 2 3\n"),
         ExitedWithCode(1), "unknown ADG line");

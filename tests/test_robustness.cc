@@ -1,0 +1,569 @@
+/**
+ * @file
+ * Fault-injection tests for the crash-safety layer: structured Status
+ * propagation out of worker threads, cooperative watchdogs in the
+ * scheduler and simulator, simulator deadlock diagnostics, and DSE
+ * checkpoint/resume (including bit-identical equivalence with an
+ * uninterrupted run and clean rejection of corrupt checkpoint files).
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "adg/prebuilt.h"
+#include "base/json.h"
+#include "base/rng.h"
+#include "base/status.h"
+#include "base/strings.h"
+#include "compiler/compile.h"
+#include "dse/checkpoint.h"
+#include "dse/explorer.h"
+#include "mapper/scheduler.h"
+#include "sim/simulator.h"
+#include "workloads/workload.h"
+
+namespace dsa {
+namespace {
+
+using namespace dsa::ir;
+
+/** Unique-ish temp file in the test working directory. */
+std::string
+tmpPath(const std::string &tag)
+{
+    return "robustness_" + tag + ".ckpt.json";
+}
+
+std::string
+readAll(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+// ---------------------------------------------------------------------
+// Status / Result plumbing
+// ---------------------------------------------------------------------
+
+TEST(Status, CodesAndToString)
+{
+    Status ok;
+    EXPECT_TRUE(ok.ok());
+    EXPECT_EQ(ok.toString(), "ok");
+    Status dl = Status::deadlock("stuck");
+    EXPECT_FALSE(dl.ok());
+    EXPECT_EQ(dl.code(), StatusCode::Deadlock);
+    EXPECT_NE(dl.toString().find("stuck"), std::string::npos);
+}
+
+TEST(Status, FromCurrentExceptionPreservesPayload)
+{
+    try {
+        throw StatusException(Status::dataLoss("truncated"));
+    } catch (...) {
+        Status s = Status::fromCurrentException();
+        EXPECT_EQ(s.code(), StatusCode::DataLoss);
+        EXPECT_EQ(s.message(), "truncated");
+    }
+    try {
+        throw std::runtime_error("boom");
+    } catch (...) {
+        Status s = Status::fromCurrentException();
+        EXPECT_EQ(s.code(), StatusCode::Internal);
+        EXPECT_NE(s.message().find("boom"), std::string::npos);
+    }
+}
+
+TEST(Status, SuggestNameProposesNearMiss)
+{
+    std::string s = suggestName("sofbrain", {"softbrain", "maeri", "spu"});
+    EXPECT_NE(s.find("softbrain"), std::string::npos);
+    EXPECT_NE(s.find("valid:"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// JSON exactness (the checkpoint substrate)
+// ---------------------------------------------------------------------
+
+TEST(Json, DoublesRoundTripBitExact)
+{
+    double vals[] = {0.1, 1.0 / 3.0, 6.763421159278947e-2, 1e300,
+                     -2.2250738585072014e-308};
+    for (double v : vals) {
+        json::Value doc = json::Value::object();
+        doc.set("x", json::Value::number(v));
+        auto parsed = json::parse(doc.dump());
+        ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+        double back = parsed.value().find("x")->asDouble();
+        EXPECT_EQ(v, back);  // exact, not approximate
+    }
+}
+
+TEST(Json, ParseErrorsAreStructured)
+{
+    for (const char *bad :
+         {"", "{", "{\"a\":}", "[1,2", "{\"a\":1 \"b\":2}", "nul"}) {
+        auto parsed = json::parse(bad);
+        EXPECT_FALSE(parsed.ok()) << bad;
+        EXPECT_EQ(parsed.status().code(), StatusCode::DataLoss);
+        EXPECT_NE(parsed.status().message().find("offset"),
+                  std::string::npos);
+    }
+}
+
+TEST(Rng, StateRoundTripContinuesStream)
+{
+    Rng a(42);
+    (void)a.uniformInt(0, 1000);
+    (void)a.uniformReal();
+    std::string saved = a.saveState();
+    Rng b(7);
+    ASSERT_TRUE(b.loadState(saved));
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(a.uniformInt(0, 1 << 30), b.uniformInt(0, 1 << 30));
+    EXPECT_FALSE(b.loadState("not an engine state"));
+}
+
+// ---------------------------------------------------------------------
+// Scheduler watchdog
+// ---------------------------------------------------------------------
+
+struct LoweredWorkload
+{
+    adg::Adg hw;
+    dfg::DecoupledProgram prog;
+};
+
+LoweredWorkload
+lowerMm()
+{
+    LoweredWorkload lw;
+    lw.hw = adg::buildSoftbrain();
+    auto features = compiler::HwFeatures::fromAdg(lw.hw);
+    const auto &w = workloads::workload("mm");
+    auto placement = compiler::Placement::autoLayout(w.kernel, features);
+    auto lowered =
+        compiler::lowerKernel(w.kernel, placement, features, {}, 1);
+    EXPECT_TRUE(lowered.ok) << lowered.error;
+    lw.prog = lowered.version.program;
+    return lw;
+}
+
+TEST(SchedulerDeadline, ExpiredDeadlineStopsRunWithStatus)
+{
+    auto lw = lowerMm();
+    mapper::SchedOptions so;
+    so.maxIters = 100000;
+    so.deadline = Deadline::afterMs(0);  // already expired
+    mapper::SpatialScheduler sched(lw.prog, lw.hw, so);
+    (void)sched.run();
+    EXPECT_EQ(sched.lastRunStatus().code(), StatusCode::DeadlineExceeded);
+    EXPECT_NE(sched.lastRunStatus().message().find("timed out"),
+              std::string::npos);
+}
+
+TEST(SchedulerDeadline, UnlimitedDeadlineLeavesResultsUnchanged)
+{
+    auto lw = lowerMm();
+    mapper::SchedOptions so;
+    so.maxIters = 300;
+    so.seed = 11;
+    mapper::SpatialScheduler a(lw.prog, lw.hw, so);
+    auto sa = a.run();
+    EXPECT_TRUE(a.lastRunStatus().ok());
+    so.deadline = Deadline::afterMs(10LL * 60 * 1000);  // far future
+    mapper::SpatialScheduler b(lw.prog, lw.hw, so);
+    auto sb = b.run();
+    // A non-binding watchdog must not perturb the search trace.
+    EXPECT_EQ(sa.cost.scalar(), sb.cost.scalar());
+}
+
+// ---------------------------------------------------------------------
+// Simulator deadlock detection + partial stats
+// ---------------------------------------------------------------------
+
+/** Elementwise-add kernel lowered + scheduled on softbrain. */
+struct SimSetup
+{
+    adg::Adg hw;
+    KernelSource k;
+    dfg::DecoupledProgram prog;
+    mapper::Schedule sched;
+    std::unique_ptr<sim::MemImage> img;
+};
+
+SimSetup
+makeSimSetup()
+{
+    SimSetup s;
+    s.hw = adg::buildSoftbrain();
+    constexpr int64_t n = 32;
+    s.k.name = "vadd";
+    s.k.params["n"] = n;
+    s.k.arrays = {{"a", n, 8, false, false},
+                  {"b", n, 8, false, false},
+                  {"c", n, 8, false, false}};
+    s.k.body = {makeLoop(
+        0, param("n"),
+        {makeStore("c", iterVar(0),
+                   binary(OpCode::Add, load("a", iterVar(0)),
+                          load("b", iterVar(0))))},
+        true)};
+    ArrayStore st(s.k);
+    for (int64_t i = 0; i < n; ++i) {
+        st.data("a")[i] = static_cast<Value>(i);
+        st.data("b")[i] = static_cast<Value>(i * 3);
+    }
+    auto features = compiler::HwFeatures::fromAdg(s.hw);
+    auto placement = compiler::Placement::autoLayout(s.k, features);
+    auto lowered =
+        compiler::lowerKernel(s.k, placement, features, {}, 1);
+    EXPECT_TRUE(lowered.ok) << lowered.error;
+    s.prog = lowered.version.program;
+    s.sched = mapper::scheduleProgram(s.prog, s.hw,
+                                      {.maxIters = 400, .seed = 13});
+    EXPECT_TRUE(s.sched.cost.legal());
+    s.img = std::make_unique<sim::MemImage>(
+        sim::MemImage::build(s.k, st, placement));
+    return s;
+}
+
+TEST(SimDeadlock, SelfDependencyDetectedWithDiagnostic)
+{
+    auto s = makeSimSetup();
+    // Inject an impossible dependence: region 0 waits on itself, so it
+    // can never leave WaitDep — a true deadlock the cycle loop would
+    // otherwise spin on until maxCycles.
+    dfg::DecoupledProgram broken = s.prog;
+    ASSERT_FALSE(broken.regions.empty());
+    broken.regions[0].dependsOn.push_back(0);
+    sim::SimOptions opts;
+    opts.maxCycles = 50'000'000;
+    opts.progressWindow = 2'000;  // tight window; nothing ever moves
+    auto res = sim::simulate(broken, s.sched, s.hw, *s.img, opts);
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.status.code(), StatusCode::Deadlock);
+    // The diagnostic names the stalled region, its lifecycle state, and
+    // what it is waiting on.
+    EXPECT_NE(res.error.find("simulation deadlock"), std::string::npos);
+    EXPECT_NE(res.error.find("region 0"), std::string::npos);
+    EXPECT_NE(res.error.find("wait-dep"), std::string::npos);
+    EXPECT_NE(res.error.find("waits-on{0}"), std::string::npos);
+    // Detection fires within the progress window, not at maxCycles.
+    EXPECT_LT(res.cycles, 100'000);
+}
+
+TEST(SimDeadlock, PartialStatsPopulatedOnAbort)
+{
+    auto s = makeSimSetup();
+    dfg::DecoupledProgram broken = s.prog;
+    broken.regions[0].dependsOn.push_back(0);
+    sim::SimOptions opts;
+    opts.progressWindow = 2'000;
+    auto res = sim::simulate(broken, s.sched, s.hw, *s.img, opts);
+    ASSERT_FALSE(res.ok);
+    ASSERT_EQ(res.regions.size(), broken.regions.size());
+    EXPECT_FALSE(res.regions[0].complete);
+    EXPECT_EQ(res.regions[0].state, "wait-dep");
+    EXPECT_EQ(res.regions[0].fires, 0);
+    EXPECT_EQ(res.regions[0].endCycle, res.cycles);
+}
+
+TEST(SimDeadlock, HealthySimUnaffectedByWatchdog)
+{
+    auto s = makeSimSetup();
+    sim::SimOptions watched;
+    watched.progressWindow = 50'000;
+    watched.deadline = Deadline::afterMs(10LL * 60 * 1000);
+    auto res = sim::simulate(s.prog, s.sched, s.hw, *s.img, watched);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_TRUE(res.status.ok());
+    ASSERT_FALSE(res.regions.empty());
+    EXPECT_TRUE(res.regions[0].complete);
+    EXPECT_EQ(res.regions[0].state, "complete");
+}
+
+TEST(SimDeadlock, WallClockBudgetAborts)
+{
+    auto s = makeSimSetup();
+    dfg::DecoupledProgram broken = s.prog;
+    broken.regions[0].dependsOn.push_back(0);
+    sim::SimOptions opts;
+    opts.progressWindow = 0;  // deadlock check off: wall clock only
+    opts.maxCycles = 50'000'000;
+    opts.deadline = Deadline::afterMs(0);
+    auto res = sim::simulate(broken, s.sched, s.hw, *s.img, opts);
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.status.code(), StatusCode::DeadlineExceeded);
+    EXPECT_LT(res.cycles, 50'000'000);
+}
+
+// ---------------------------------------------------------------------
+// DSE fault injection
+// ---------------------------------------------------------------------
+
+dse::DseOptions
+tinyDse()
+{
+    dse::DseOptions o;
+    o.maxIters = 24;
+    o.noImproveExit = 24;
+    o.infeasibleExit = 40;
+    o.schedIters = 20;
+    o.initSchedIters = 300;
+    o.unrollFactors = {1, 4};
+    o.seed = 3;
+    return o;
+}
+
+TEST(DseFaults, WorkerExceptionAtInitialEvalFailsCleanly)
+{
+    auto opts = tinyDse();
+    opts.evalFaultHook = [](int, int) {
+        throw std::runtime_error("injected worker fault");
+    };
+    dse::Explorer ex(workloads::suiteWorkloads("PolyBench"), opts);
+    auto res = ex.run(adg::buildDseInitial());
+    EXPECT_EQ(res.stopReason, "error");
+    EXPECT_EQ(res.status.code(), StatusCode::Internal);
+    EXPECT_NE(res.status.message().find("injected worker fault"),
+              std::string::npos);
+}
+
+TEST(DseFaults, MidRunWorkerExceptionsRecordedAsInfeasible)
+{
+    auto set = workloads::suiteWorkloads("PolyBench");
+    auto opts = tinyDse();
+    size_t tasksPerEval = set.size() * opts.unrollFactors.size();
+    // Let the two seed evaluations pass, then fail every task.
+    auto calls = std::make_shared<std::atomic<size_t>>(0);
+    opts.evalFaultHook = [calls, tasksPerEval](int, int) {
+        if (calls->fetch_add(1) >= 2 * tasksPerEval)
+            throw StatusException(Status::internal("mid-run fault"));
+    };
+    dse::Explorer ex(set, opts);
+    auto res = ex.run(adg::buildDseInitial());
+    // The run survives: the seed records exist, every faulted candidate
+    // counts as infeasible, and the first cause is reported.
+    EXPECT_GE(res.history.size(), 2u);
+    EXPECT_GT(res.evalFailures, 0);
+    EXPECT_EQ(res.status.code(), StatusCode::Internal);
+    EXPECT_NE(res.stopReason, "error");
+    EXPECT_GT(res.bestObjective, 0.0);
+}
+
+TEST(DseFaults, CandidateTimeCapSurfacesAsDeadlineExceeded)
+{
+    auto opts = tinyDse();
+    opts.initSchedIters = 2'000'000;  // would run for minutes...
+    opts.candidateTimeMs = 1;         // ...but is capped per candidate
+    dse::Explorer ex(workloads::suiteWorkloads("PolyBench"), opts);
+    auto res = ex.run(adg::buildDseInitial());
+    // The initial evaluation itself times out: clean error, no hang.
+    EXPECT_EQ(res.stopReason, "error");
+    EXPECT_EQ(res.status.code(), StatusCode::DeadlineExceeded);
+}
+
+TEST(DseFaults, WallBudgetStopsRunCleanly)
+{
+    auto opts = tinyDse();
+    opts.maxIters = 100000;
+    opts.noImproveExit = 100000;
+    opts.wallBudgetMs = 1;  // expires before the first mutation step
+    dse::Explorer ex(workloads::suiteWorkloads("PolyBench"), opts);
+    auto res = ex.run(adg::buildDseInitial());
+    EXPECT_EQ(res.stopReason, "wall-clock");
+    EXPECT_TRUE(res.status.ok());
+    // The two seed evaluations, plus at most the one step that may
+    // already be in flight when the budget expires (checked at loop
+    // top) — nowhere near the 100000-iteration configured horizon.
+    EXPECT_GE(res.history.size(), 2u);
+    EXPECT_LE(res.history.size(), 4u);
+    EXPECT_GT(res.bestObjective, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint files: round trip + corruption
+// ---------------------------------------------------------------------
+
+TEST(Checkpoint, SaveLoadRoundTripIsExact)
+{
+    auto set = workloads::suiteWorkloads("PolyBench");
+    auto opts = tinyDse();
+    opts.checkpointPath = tmpPath("roundtrip");
+    opts.checkpointEvery = 1;
+    dse::Explorer ex(set, opts);
+    auto res = ex.run(adg::buildDseInitial());
+    ASSERT_GT(res.checkpointsWritten, 0);
+
+    auto loaded = dse::loadCheckpoint(opts.checkpointPath);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+    const dse::DseCheckpoint &ck = loaded.value();
+    ASSERT_EQ(ck.workloadNames.size(), set.size());
+    EXPECT_EQ(ck.workloadNames.front(), set.front()->name);
+    EXPECT_EQ(ck.options.maxIters, opts.maxIters);
+    EXPECT_EQ(ck.options.seed, opts.seed);
+    EXPECT_EQ(ck.state.result.best.toText(), res.best.toText());
+    // Serializing the loaded checkpoint again reproduces the file
+    // byte-for-byte: every double and int64 survived exactly.
+    std::string again =
+        dse::checkpointToJson(ck.workloadNames, ck.options, ck.state)
+            .dump() +
+        "\n";
+    EXPECT_EQ(readAll(opts.checkpointPath), again);
+    std::remove(opts.checkpointPath.c_str());
+}
+
+TEST(Checkpoint, CorruptFilesRejectedWithCleanStatus)
+{
+    auto missing = dse::loadCheckpoint("no_such_checkpoint.json");
+    EXPECT_FALSE(missing.ok());
+    EXPECT_EQ(missing.status().code(), StatusCode::NotFound);
+
+    std::string path = tmpPath("corrupt");
+    auto writeFile = [&](const std::string &text) {
+        std::ofstream out(path, std::ios::trunc);
+        out << text;
+    };
+
+    writeFile("{\"format\": \"dsagen-dse-che");  // truncated mid-token
+    auto truncated = dse::loadCheckpoint(path);
+    EXPECT_FALSE(truncated.ok());
+    EXPECT_EQ(truncated.status().code(), StatusCode::DataLoss);
+
+    writeFile("{\"format\": \"something-else\", \"version\": 1}");
+    auto wrongFormat = dse::loadCheckpoint(path);
+    EXPECT_FALSE(wrongFormat.ok());
+    EXPECT_EQ(wrongFormat.status().code(), StatusCode::InvalidArgument);
+
+    writeFile("{\"format\": \"dsagen-dse-checkpoint\", \"version\": 99}");
+    auto wrongVersion = dse::loadCheckpoint(path);
+    EXPECT_FALSE(wrongVersion.ok());
+    EXPECT_EQ(wrongVersion.status().code(), StatusCode::InvalidArgument);
+
+    writeFile("{\"format\": \"dsagen-dse-checkpoint\", \"version\": 1, "
+              "\"workloads\": [\"mm\"], \"options\": {}, \"state\": {}}");
+    auto missingFields = dse::loadCheckpoint(path);
+    EXPECT_FALSE(missingFields.ok());
+    EXPECT_EQ(missingFields.status().code(), StatusCode::DataLoss);
+    EXPECT_NE(missingFields.status().message().find("missing field"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// The acceptance test: crash mid-run, resume, get identical results
+// ---------------------------------------------------------------------
+
+void
+expectSameHistory(const dse::DseResult &a, const dse::DseResult &b)
+{
+    ASSERT_EQ(a.history.size(), b.history.size());
+    for (size_t i = 0; i < a.history.size(); ++i) {
+        EXPECT_EQ(a.history[i].iter, b.history[i].iter);
+        EXPECT_EQ(a.history[i].accepted, b.history[i].accepted);
+        EXPECT_DOUBLE_EQ(a.history[i].areaMm2, b.history[i].areaMm2);
+        EXPECT_DOUBLE_EQ(a.history[i].powerMw, b.history[i].powerMw);
+        EXPECT_DOUBLE_EQ(a.history[i].perf, b.history[i].perf);
+        EXPECT_DOUBLE_EQ(a.history[i].objective, b.history[i].objective);
+    }
+}
+
+TEST(CheckpointResume, CrashedRunResumesBitIdentically)
+{
+    auto set = workloads::suiteWorkloads("PolyBench");
+
+    // Reference: the uninterrupted run (checkpointing on, same cadence,
+    // so the checkpoint writes themselves cannot be a behavior fork).
+    auto refOpts = tinyDse();
+    refOpts.checkpointPath = tmpPath("ref");
+    refOpts.checkpointEvery = 1;
+    dse::Explorer ref(set, refOpts);
+    auto refRes = ref.run(adg::buildDseInitial());
+    // At least one periodic (acceptance-triggered) write plus the final
+    // one; otherwise the crash below would have nothing to recover.
+    ASSERT_GT(refRes.checkpointsWritten, 1);
+
+    // "Crash" after the first checkpoint write: the run returns with
+    // only the first checkpoint on disk — exactly the state a kill -9
+    // at that moment would leave behind.
+    auto crashOpts = refOpts;
+    crashOpts.checkpointPath = tmpPath("crash");
+    crashOpts.haltAfterCheckpoints = 1;
+    dse::Explorer crashed(set, crashOpts);
+    auto crashRes = crashed.run(adg::buildDseInitial());
+    EXPECT_EQ(crashRes.stopReason, "halted");
+    EXPECT_LT(crashRes.history.size(), refRes.history.size());
+
+    // Resume from the survivor file with a *fresh* Explorer (no state
+    // outlives the "crash" except the checkpoint itself).
+    auto loaded = dse::loadCheckpoint(crashOpts.checkpointPath);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+    dse::DseCheckpoint ck = std::move(loaded.value());
+    ck.options.haltAfterCheckpoints = 0;  // test knob; not serialized
+    dse::Explorer resumed(set, ck.options);
+    auto resRes = resumed.resume(std::move(ck.state));
+
+    // Bit-identical to the uninterrupted run: same trace, same design,
+    // same objective bits, same stop reason, same checkpoint count.
+    expectSameHistory(refRes, resRes);
+    EXPECT_EQ(refRes.best.toText(), resRes.best.toText());
+    EXPECT_DOUBLE_EQ(refRes.bestObjective, resRes.bestObjective);
+    EXPECT_DOUBLE_EQ(refRes.bestPerf, resRes.bestPerf);
+    EXPECT_EQ(refRes.stopReason, resRes.stopReason);
+    EXPECT_EQ(refRes.checkpointsWritten, resRes.checkpointsWritten);
+
+    // And the final checkpoints of both runs are byte-identical up to
+    // the recorded checkpointPath option itself.
+    std::string a = readAll(refOpts.checkpointPath);
+    std::string b = readAll(crashOpts.checkpointPath);
+    size_t pa = a.find(tmpPath("ref"));
+    size_t pb = b.find(tmpPath("crash"));
+    ASSERT_NE(pa, std::string::npos);
+    ASSERT_NE(pb, std::string::npos);
+    a.replace(pa, tmpPath("ref").size(), "X");
+    b.replace(pb, tmpPath("crash").size(), "X");
+    EXPECT_EQ(a, b);
+    std::remove(refOpts.checkpointPath.c_str());
+    std::remove(crashOpts.checkpointPath.c_str());
+}
+
+TEST(CheckpointResume, ThreadCountMayChangeAcrossResume)
+{
+    auto set = workloads::suiteWorkloads("PolyBench");
+    auto refOpts = tinyDse();
+    refOpts.checkpointPath = tmpPath("threads_ref");
+    refOpts.checkpointEvery = 1;
+    dse::Explorer ref(set, refOpts);
+    auto refRes = ref.run(adg::buildDseInitial());
+
+    auto crashOpts = refOpts;
+    crashOpts.checkpointPath = tmpPath("threads_crash");
+    crashOpts.haltAfterCheckpoints = 1;
+    dse::Explorer crashed(set, crashOpts);
+    (void)crashed.run(adg::buildDseInitial());
+
+    auto loaded = dse::loadCheckpoint(crashOpts.checkpointPath);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+    dse::DseCheckpoint ck = std::move(loaded.value());
+    ck.options.haltAfterCheckpoints = 0;
+    ck.options.threads = 4;  // resume parallel; the trace is invariant
+    dse::Explorer resumed(set, ck.options);
+    auto resRes = resumed.resume(std::move(ck.state));
+    expectSameHistory(refRes, resRes);
+    EXPECT_EQ(refRes.best.toText(), resRes.best.toText());
+    std::remove(refOpts.checkpointPath.c_str());
+    std::remove(crashOpts.checkpointPath.c_str());
+}
+
+} // namespace
+} // namespace dsa

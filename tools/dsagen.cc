@@ -19,17 +19,21 @@
  *                                       config paths + Verilog
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "adg/prebuilt.h"
+#include "base/status.h"
+#include "base/strings.h"
 #include "base/table.h"
 #include "base/thread_pool.h"
 #include "compiler/codegen.h"
 #include "compiler/compile.h"
 #include "dfg/dfg_text.h"
+#include "dse/checkpoint.h"
 #include "dse/explorer.h"
 #include "hwgen/bitstream.h"
 #include "hwgen/config_path.h"
@@ -70,7 +74,9 @@ loadTarget(const std::string &name)
     if (name == "diannao")
         return adg::buildDianNaoLike();
     DSA_FATAL("unknown target '", name,
-              "' (and no such ADG file exists)");
+              "' (and no such ADG file exists) ",
+              suggestName(name, {"softbrain", "maeri", "triggered", "spu",
+                                 "revel", "dse_initial", "diannao"}));
 }
 
 int
@@ -211,14 +217,116 @@ cmdRun(const std::string &workload, const std::string &target, int unroll)
 }
 
 int
-cmdDse(const std::string &suite, int iters, int threads, int batch)
+finishDse(const dse::DseResult &res, const std::string &savePath)
 {
+    std::printf("objective %.3f -> %.3f (%.1fx), area %.3f -> %.3f "
+                "mm^2\n",
+                res.initialObjective, res.bestObjective,
+                res.bestObjective / std::max(1e-9, res.initialObjective),
+                res.initialCost.areaMm2, res.bestCost.areaMm2);
+    std::printf("stopped: %s (%d eval failures", res.stopReason.c_str(),
+                res.evalFailures);
+    if (res.checkpointsWritten > 0)
+        std::printf(", %d checkpoints", res.checkpointsWritten);
+    std::printf(")\n");
+    if (!res.status.ok())
+        std::fprintf(stderr, "first evaluation error: %s\n",
+                     res.status.toString().c_str());
+    std::ofstream out(savePath);
+    out << res.best.toText();
+    std::printf("design saved to %s\n", savePath.c_str());
+    return res.stopReason == "error" ? 1 : 0;
+}
+
+int
+cmdDse(int argc, char **argv)
+{
+    // Positional: <suite> [iters] [threads] [batch]. Flags may appear
+    // anywhere after the command.
+    std::vector<std::string> pos;
+    std::string resumePath;
+    dse::DseOptions flags;
+    int threadsArg = -1;
+    for (int i = 0; i < argc; ++i) {
+        std::string a = argv[i];
+        auto intArg = [&](const char *what) -> int64_t {
+            if (i + 1 >= argc)
+                DSA_FATAL("flag ", what, " needs a value");
+            return std::atoll(argv[++i]);
+        };
+        if (a == "--resume") {
+            if (i + 1 >= argc)
+                DSA_FATAL("flag --resume needs a checkpoint path");
+            resumePath = argv[++i];
+        } else if (a == "--checkpoint") {
+            if (i + 1 >= argc)
+                DSA_FATAL("flag --checkpoint needs a path");
+            flags.checkpointPath = argv[++i];
+        } else if (a == "--checkpoint-every") {
+            flags.checkpointEvery =
+                std::max<int>(1, static_cast<int>(intArg(a.c_str())));
+        } else if (a == "--wall-budget-ms") {
+            flags.wallBudgetMs = intArg(a.c_str());
+        } else if (a == "--candidate-time-ms") {
+            flags.candidateTimeMs = intArg(a.c_str());
+        } else if (a == "--threads") {
+            threadsArg = static_cast<int>(intArg(a.c_str()));
+        } else if (!a.empty() && a[0] == '-') {
+            DSA_FATAL("unknown dse flag '", a, "'");
+        } else {
+            pos.push_back(a);
+        }
+    }
+
+    if (!resumePath.empty()) {
+        // Continue a checkpointed run. The checkpoint restores the
+        // options the run was started with (so the RNG draws line up);
+        // only the worker-thread count — which never changes results —
+        // may be overridden.
+        auto loaded = dse::loadCheckpoint(resumePath);
+        if (!loaded.ok()) {
+            std::fprintf(stderr, "%s\n",
+                         loaded.status().toString().c_str());
+            return 1;
+        }
+        dse::DseCheckpoint ck = std::move(loaded.value());
+        std::vector<const workloads::Workload *> set;
+        for (const auto &n : ck.workloadNames)
+            set.push_back(&workloads::workload(n));
+        if (threadsArg > 0)
+            ck.options.threads = threadsArg;
+        std::printf("resuming %s: iteration %d of %d, %d threads\n",
+                    resumePath.c_str(), ck.state.iter,
+                    ck.options.maxIters, ck.options.threads);
+        dse::Explorer ex(set, ck.options);
+        auto res = ex.resume(std::move(ck.state));
+        return finishDse(res, resumePath + ".best.adg");
+    }
+
+    if (pos.empty()) {
+        std::fprintf(stderr,
+                     "dse needs a suite (or --resume <checkpoint>)\n");
+        return 2;
+    }
+    const std::string &suite = pos[0];
+    int iters = pos.size() > 1 ? std::atoi(pos[1].c_str()) : 200;
+    int threads = pos.size() > 2 ? std::atoi(pos[2].c_str()) : 1;
+    int batch = pos.size() > 3 ? std::atoi(pos[3].c_str()) : 1;
+    if (threadsArg > 0)
+        threads = threadsArg;
+
     auto set = workloads::suiteWorkloads(suite);
     if (set.empty()) {
-        std::fprintf(stderr, "unknown suite '%s'\n", suite.c_str());
+        std::vector<std::string> suites;
+        for (const auto &w : workloads::allWorkloads())
+            if (std::find(suites.begin(), suites.end(), w.suite) ==
+                suites.end())
+                suites.push_back(w.suite);
+        std::fprintf(stderr, "unknown suite '%s' %s\n", suite.c_str(),
+                     suggestName(suite, suites).c_str());
         return 1;
     }
-    dse::DseOptions opts;
+    dse::DseOptions opts = flags;
     opts.maxIters = iters;
     opts.noImproveExit = iters;
     opts.schedIters = 40;
@@ -228,18 +336,12 @@ cmdDse(const std::string &suite, int iters, int threads, int batch)
     std::printf("exploring %s: %d iterations, %d threads, batch %d\n",
                 suite.c_str(), iters, opts.threads,
                 opts.candidateBatch);
+    if (!opts.checkpointPath.empty())
+        std::printf("checkpointing to %s every %d accepted steps\n",
+                    opts.checkpointPath.c_str(), opts.checkpointEvery);
     dse::Explorer ex(set, opts);
     auto res = ex.run(adg::buildDseInitial());
-    std::printf("objective %.3f -> %.3f (%.1fx), area %.3f -> %.3f "
-                "mm^2\n",
-                res.initialObjective, res.bestObjective,
-                res.bestObjective / std::max(1e-9, res.initialObjective),
-                res.initialCost.areaMm2, res.bestCost.areaMm2);
-    std::string path = "dsagen_" + suite + ".adg";
-    std::ofstream out(path);
-    out << res.best.toText();
-    std::printf("design saved to %s\n", path.c_str());
-    return 0;
+    return finishDse(res, "dsagen_" + suite + ".adg");
 }
 
 int
@@ -274,6 +376,12 @@ usage()
         "  dse <suite> [iters] [threads] [batch]\n"
         "      threads: evaluation workers (0 = all cores); results\n"
         "      are identical for any thread count\n"
+        "      --checkpoint <file>      crash-safe state snapshots\n"
+        "      --checkpoint-every <n>   accepted steps per snapshot\n"
+        "      --wall-budget-ms <ms>    whole-run wall-clock cap\n"
+        "      --candidate-time-ms <ms> per-candidate evaluation cap\n"
+        "  dse --resume <checkpoint> [--threads <n>]\n"
+        "      continue a checkpointed run bit-identically\n"
         "  hwgen <target|file.adg> [out.v]\n");
 }
 
@@ -281,7 +389,7 @@ usage()
 
 int
 main(int argc, char **argv)
-{
+try {
     if (argc < 2) {
         usage();
         return 2;
@@ -302,11 +410,14 @@ main(int argc, char **argv)
         return cmdRun(argv[2], argv[3],
                       argc >= 5 ? std::atoi(argv[4]) : 1);
     if (cmd == "dse" && argc >= 3)
-        return cmdDse(argv[2], argc >= 4 ? std::atoi(argv[3]) : 200,
-                      argc >= 5 ? std::atoi(argv[4]) : 1,
-                      argc >= 6 ? std::atoi(argv[5]) : 1);
+        return cmdDse(argc - 2, argv + 2);
     if (cmd == "hwgen" && argc >= 3)
         return cmdHwgen(argv[2], argc >= 4 ? argv[3] : "generated.v");
     usage();
     return 2;
+} catch (const StatusException &e) {
+    // The CLI boundary: library errors (bad names in ADG files, corrupt
+    // inputs) surface as StatusExceptions and exit cleanly here.
+    std::fprintf(stderr, "dsagen: %s\n", e.status().toString().c_str());
+    return 1;
 }
