@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Run the cycle-level-simulator micro-benchmarks and store
+# machine-readable results in BENCH_simulator.json (google-benchmark
+# JSON format).
+#
+# The binary benchmarks every fixture twice — `*_sparse` (the
+# event-driven fast path) and `*_dense` (the original cycle-by-cycle
+# oracle loop) — so the JSON carries its own before/after comparison,
+# like BENCH_scheduler.json does for the scheduler. The `cmdheavy_*`
+# and `fallback_*` fixtures are the quiet-spell-heavy configurations
+# where idle-cycle skipping pays off most.
+#
+# Usage: scripts/bench_sim.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+OUT="${BENCH_SIM_OUT:-BENCH_simulator.json}"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" --target micro_simulator
+
+./build/bench/micro_simulator \
+    --benchmark_out="$OUT" \
+    --benchmark_out_format=json
+
+echo "wrote $OUT"

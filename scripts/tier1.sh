@@ -30,16 +30,24 @@ TSAN_OPTIONS="halt_on_error=1" \
           -R 'test_concurrency|test_base|test_scheduler_incremental'
 
 echo
-echo "== tier-1: robustness/fault-injection tests under ASan+UBSan =="
+echo "== tier-1: robustness + sparse-simulator tests under ASan+UBSan =="
 # The crash-safety paths (checkpoint serialization, watchdog aborts,
 # exception propagation out of pool workers) juggle partially-built
 # state by design; run them with address + undefined-behavior checking
 # so a leak or UB on an abort path fails here, not in a resumed run.
+# The sparse-vs-dense equivalence suite runs here too: the event-driven
+# fast path's flat hot-state (epoch-stamped arrays, build-time memory
+# plans, persistent forward queues) is exactly the kind of manually
+# indexed bookkeeping where an off-by-one reads out of bounds instead
+# of failing a test. It runs in both loop modes (test_sim_sparse and
+# its _dense ctest variant, which flips the DSA_SIM_SPARSE default).
 cmake -B build-asan -S . -DDSA_SANITIZE=address,undefined \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build build-asan -j "$JOBS" --target test_robustness
+cmake --build build-asan -j "$JOBS" --target test_robustness \
+      test_sim_sparse
 ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir build-asan --output-on-failure -R 'test_robustness'
+    ctest --test-dir build-asan --output-on-failure \
+          -R 'test_robustness|test_sim_sparse'
 
 echo
 echo "tier-1 OK"

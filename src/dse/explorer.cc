@@ -1,6 +1,7 @@
 #include "dse/explorer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <utility>
 
@@ -656,7 +657,67 @@ Explorer::runLoop(DseRunState &st)
     // a consistent file behind; resuming it is a no-op continuation.
     if (!opts_.checkpointPath.empty())
         writeCheckpoint(st);
+    if (opts_.simValidateBest)
+        validateBest(result);
     return result;
+}
+
+void
+Explorer::validateBest(DseResult &result)
+{
+    auto features = compiler::HwFeatures::fromAdg(result.best);
+    for (const auto *w : workloads_) {
+        auto golden = workloads::runGolden(*w);
+        auto placement =
+            compiler::Placement::autoLayout(w->kernel, features);
+        auto lowered =
+            compiler::lowerKernel(w->kernel, placement, features, {}, 1);
+        if (!lowered.ok)
+            continue;
+        const auto &prog = lowered.version.program;
+        auto sched = mapper::scheduleProgram(
+            prog, result.best,
+            {.maxIters = opts_.initSchedIters, .seed = opts_.seed});
+        if (!sched.cost.legal())
+            continue;
+
+        auto denseImg =
+            sim::MemImage::build(w->kernel, golden.initial, placement);
+        auto sparseImg =
+            sim::MemImage::build(w->kernel, golden.initial, placement);
+        sim::SimOptions denseOpts = opts_.sim;
+        denseOpts.sparse = false;
+        denseOpts.checkSparse = false;
+        sim::SimOptions sparseOpts = opts_.sim;
+        sparseOpts.sparse = true;
+        sparseOpts.checkSparse = false;
+
+        auto t0 = std::chrono::steady_clock::now();
+        auto denseRes =
+            sim::simulate(prog, sched, result.best, denseImg, denseOpts);
+        auto t1 = std::chrono::steady_clock::now();
+        auto sparseRes = sim::simulate(prog, sched, result.best,
+                                       sparseImg, sparseOpts);
+        auto t2 = std::chrono::steady_clock::now();
+
+        bool identical =
+            denseRes.ok == sparseRes.ok &&
+            denseRes.status.code() == sparseRes.status.code() &&
+            denseRes.error == sparseRes.error &&
+            denseRes.cycles == sparseRes.cycles &&
+            denseRes.peFires == sparseRes.peFires &&
+            denseRes.memBytes == sparseRes.memBytes &&
+            denseImg.main.bytes() == sparseImg.main.bytes() &&
+            denseImg.spad.bytes() == sparseImg.spad.bytes();
+        if (!identical && result.status.ok())
+            result.status = Status::internal(
+                "sparse/dense simulator divergence on workload '" +
+                w->name + "' of the best design");
+        double denseS = std::chrono::duration<double>(t1 - t0).count();
+        double sparseS = std::chrono::duration<double>(t2 - t1).count();
+        result.simSpeedups[w->name] =
+            sparseS > 0 ? denseS / sparseS : 0.0;
+    }
 }
 
 } // namespace dsa::dse

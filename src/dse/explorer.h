@@ -40,6 +40,7 @@
 #include "compiler/compile.h"
 #include "mapper/scheduler.h"
 #include "model/cost.h"
+#include "sim/simulator.h"
 #include "workloads/workload.h"
 
 namespace dsa::dse {
@@ -138,6 +139,25 @@ struct DseOptions
      */
     std::function<void(int kernel, int unroll)> evalFaultHook;
     /// @}
+
+    /// @name Post-run simulator validation
+    /// @{
+    /**
+     * After the exploration loop, run the cycle-level simulator on
+     * the best design for every workload twice — once with the
+     * event-driven fast path and once with the dense oracle loop —
+     * cross-check the two results bit-exactly, and record the
+     * per-workload wall-clock speedup in DseResult::simSpeedups. A
+     * divergence surfaces as an Internal DseResult::status. Off by
+     * default (it adds a full simulation pass to the run). Not
+     * serialized into checkpoints.
+     */
+    bool simValidateBest = false;
+    /** Simulator knobs for the validation runs (the sparse /
+     *  checkSparse fields are overridden per run). Not serialized
+     *  into checkpoints. */
+    sim::SimOptions sim;
+    /// @}
 };
 
 /** One step of the exploration trace (drives Fig. 14). */
@@ -178,6 +198,9 @@ struct DseResult
     /** Why the run stopped: "max-iters", "no-improve", "infeasible",
      *  "wall-clock", "halted", or "error". */
     std::string stopReason;
+    /** Per-workload dense/sparse simulator wall-clock speedup on the
+     *  best design (populated when DseOptions::simValidateBest). */
+    std::map<std::string, double> simSpeedups;
 };
 
 /**
@@ -270,6 +293,9 @@ class Explorer
   private:
     /** Main exploration loop, shared by run() and resume(). */
     DseResult runLoop(DseRunState &st);
+    /** Post-run sparse-vs-dense simulator cross-check of the best
+     *  design (DseOptions::simValidateBest). */
+    void validateBest(DseResult &result);
     /** Write a checkpoint of @p st (warn, don't fail, on error). */
     void writeCheckpoint(DseRunState &st);
 

@@ -32,6 +32,10 @@ class AddressSpace
 
     int64_t size() const { return static_cast<int64_t>(bytes_.size()); }
 
+    /** Raw contents (byte-exact equivalence checks in tests and the
+     *  simulator's sparse-vs-dense cross-check mode). */
+    const std::vector<uint8_t> &bytes() const { return bytes_; }
+
   private:
     std::vector<uint8_t> bytes_;
 };

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <climits>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <deque>
 #include <map>
 #include <sstream>
@@ -46,6 +49,37 @@ struct Pipe
 struct StreamExec;
 struct PortSim;
 
+/**
+ * A persistent forwarded-scalar channel. The queue survives the
+ * consumer's per-issue port resets; a machine-level non-empty counter
+ * lets the per-cycle pump skip the forward scan entirely while every
+ * channel is drained (the common state).
+ */
+struct FwdQueue
+{
+    std::deque<Value> q;
+    int *nonEmptyCount = nullptr;
+
+    void
+    push(Value v)
+    {
+        if (q.empty() && nonEmptyCount)
+            ++*nonEmptyCount;
+        q.push_back(v);
+    }
+
+    void
+    pop()
+    {
+        q.pop_front();
+        if (q.empty() && nonEmptyCount)
+            --*nonEmptyCount;
+    }
+
+    Value front() const { return q.front(); }
+    bool empty() const { return q.empty(); }
+};
+
 /** Where an output port's elements go. */
 struct OutSink
 {
@@ -62,7 +96,7 @@ struct OutSink
      * (surviving the consumer's per-issue port resets) and are moved
      * into the consumer's port as it runs.
      */
-    std::deque<Value> *fwdQueue = nullptr;
+    FwdQueue *fwdQueue = nullptr;
 
     bool wants() const { return seen >= skip && (take < 0 || taken < take); }
 };
@@ -188,6 +222,8 @@ struct StreamExec
     int writeBufCap = 32;
     int64_t nextReady = 0;           // scalar-fallback throttle
     bool openDone = false;           // open-ended write finished
+    /** Index space, resolved once at build (indirect kinds only). */
+    AddressSpace *idxSpace = nullptr;
 
     bool
     readsDone() const
@@ -221,6 +257,9 @@ struct InstSim
     int64_t fires = 0;
     int64_t lastFire = -1'000'000;
     NodeId pe = adg::kInvalidNode;
+    /** PE is temporally shared (resolved at build; saves a node lookup
+     *  on every fire attempt). */
+    bool sharedPe = false;
 
     bool
     operandsReady(int64_t now) const
@@ -250,7 +289,7 @@ OutPortSim::deliverElement(Value v)
         if (s.kind == OutSink::Kind::Write) {
             s.write->writeBuf.push_back(v);
         } else if (s.kind == OutSink::Kind::Forward) {
-            s.fwdQueue->push_back(v);
+            s.fwdQueue->push(v);
         } else {
             s.target->deliver(v);
         }
@@ -347,6 +386,20 @@ struct RegionSim
     std::vector<int> waitOnRegions;    // region-level dependences
     int64_t completedIssues = 0;
 
+    /// @name Build-time hot-loop caches (contents never change after
+    /// Machine::build; both the dense oracle and the sparse fast path
+    /// iterate these instead of re-filtering per cycle)
+    /// @{
+    std::vector<int> realInPorts;      ///< vertex ids with lane pipes
+    std::vector<int> realOutPorts;     ///< vertex ids with lane pipes
+    std::vector<int> genStreams;       ///< Const/Iota stream ids
+    std::vector<int> fallbackStreams;  ///< scalar-fallback stream ids
+    std::vector<int> throttledPorts;   ///< in-port ids, minPopInterval>0
+    /** (instruction index, op latency) of accumulate instructions —
+     *  the only instructions whose firing is gated on a future time. */
+    std::vector<std::pair<int, int>> accInsts;
+    /// @}
+
     bool
     allReadsDone() const
     {
@@ -402,6 +455,35 @@ class Machine
     void tickRegion(RegionSim &rs, int64_t now, bool &activity);
     void fireInstruction(RegionSim &rs, InstSim &is, int64_t now,
                          bool &activity);
+    /** Phase-script / configuration-group controller; true when any
+     *  controller state (script cursor, active group) moved. */
+    bool tickSequencer(int64_t now);
+    /** Move forwarded scalars into starving consumer ports. */
+    void pumpForwards(int64_t now, bool &activity);
+    /** Whole program retired? */
+    bool allDone() const;
+    /** Periodic DSA_SIM_TRACE state dump. */
+    void traceDump(int64_t now) const;
+
+    /** The original dense time-stepped loop (the oracle). */
+    SimResult runDense();
+    /** Event-driven loop: active-set ticking + idle-cycle skipping. */
+    SimResult runSparse();
+    /**
+     * Earliest future cycle (> @p now) at which anything *time-gated*
+     * can change: command-issue/reconfiguration deadlines, routed-path
+     * arrivals, pop-interval and accumulate-latency throttles,
+     * scalar-fallback stream throttles, quiesce/drain windows. Every
+     * other transition is driven by same-cycle activity, so a cycle
+     * with no progress and no event before this time stays idle.
+     * INT64_MAX when nothing is pending (a true deadlock).
+     */
+    int64_t nextEventTime(int64_t now) const;
+    /** Record a region lifecycle transition (keeps the sparse loop's
+     *  progress flag and active-region list in sync). */
+    void setState(RegionSim &rs, RegionState st);
+    /** Regions not yet retired (ascending), rebuilt when stale. */
+    void refreshActiveRegions();
 
     int64_t issueOverhead(const RegionSim &rs) const;
     bool forwardsSatisfied(const RegionSim &rs) const;
@@ -413,16 +495,33 @@ class Machine
     std::string stallDiagnostic(int64_t now, int64_t lastProgress) const;
     bool seq_ = false;
 
+    /** Per-memory-node plan: space pointer, bandwidth parameters, and
+     *  the (region, stream) pairs bound to it, all resolved at build
+     *  so the per-cycle arbitration never re-derives them. */
+    struct MemPlan
+    {
+        NodeId node = adg::kInvalidNode;
+        AddressSpace *space = nullptr;
+        int widthBytes = 0;
+        int numBanks = 1;
+        int64_t bytes = 0;  ///< moved so far (reporting)
+        /** (region index, stream id), in dense scan order. */
+        std::vector<std::pair<int, int>> streams;
+    };
+
     const dfg::DecoupledProgram &prog_;
     const mapper::Schedule &sched_;
     const Adg &adg_;
     MemImage &mem_;
     SimOptions opts_;
     std::vector<RegionSim> regions_;
-    /** Shared-PE arbitration: PE -> fired-this-cycle flag. */
-    std::map<NodeId, bool> peFired_;
+    /** Shared-PE arbitration: cycle of the PE's last fire, indexed by
+     *  NodeId (epoch-stamped; nothing to clear per cycle). */
+    std::vector<int64_t> peFiredCycle_;
     /** Persistent forwarded-scalar queues (one per Forward). */
-    std::vector<std::deque<Value>> fwdQueues_;
+    std::vector<FwdQueue> fwdQueues_;
+    /** Forward queues currently holding values (pump gate). */
+    int fwdNonEmpty_ = 0;
     /** Sequential phase-script cursor. */
     size_t scriptPos_ = 0;
     bool scriptEntryActive_ = false;
@@ -434,8 +533,14 @@ class Machine
     int64_t reconfigUntil_ = 0;
     /** Cycles to load one configuration. */
     int64_t reconfigCycles_ = 0;
-    /** Bytes moved per memory node (reporting). */
-    std::map<NodeId, int64_t> memBytes_;
+    /** Memory plans in aliveNodes(Memory) order. */
+    std::vector<MemPlan> memPlans_;
+    /** Any region changed lifecycle state this cycle (sparse-loop
+     *  progress detection; the dense oracle keeps its snapshot). */
+    bool stateChanged_ = false;
+    /** Regions in {WaitDep, WaitCmd, Running, Finalizing}. */
+    std::vector<int> activeRegions_;
+    bool activeDirty_ = true;
 };
 
 int64_t
@@ -469,8 +574,12 @@ Machine::build()
 {
     seq_ = prog_.sequential && !prog_.phaseScript.empty();
     // Rough bitstream size: ~48 bits of config per component.
-    reconfigCycles_ = static_cast<int64_t>(adg_.aliveNodes().size()) * 48 /
-                      std::max(1, adg_.control().configBitsPerCycle);
+    int64_t aliveCount = 0;
+    for (NodeId id = 0; id < adg_.nodeIdBound(); ++id)
+        if (adg_.nodeAlive(id))
+            ++aliveCount;
+    reconfigCycles_ =
+        aliveCount * 48 / std::max(1, adg_.control().configBitsPerCycle);
     regions_.resize(prog_.regions.size());
     for (size_t r = 0; r < prog_.regions.size(); ++r)
         buildRegion(static_cast<int>(r));
@@ -478,6 +587,8 @@ Machine::build()
     // Forwards: out-port sinks into persistent queues pumped into the
     // destination region's port as it consumes.
     fwdQueues_.resize(prog_.forwards.size());
+    for (FwdQueue &fq : fwdQueues_)
+        fq.nonEmptyCount = &fwdNonEmpty_;
     for (size_t fi = 0; fi < prog_.forwards.size(); ++fi) {
         const auto &f = prog_.forwards[fi];
         RegionSim &src = regions_[f.srcRegion];
@@ -493,6 +604,73 @@ Machine::build()
     for (size_t r = 0; r < prog_.regions.size(); ++r)
         for (int dep : prog_.regions[r].dependsOn)
             regions_[r].waitOnRegions.push_back(dep);
+
+    // Flat PE-fire stamps (epoch = cycle number; nothing to clear).
+    peFiredCycle_.assign(static_cast<size_t>(adg_.nodeIdBound()), -1);
+
+    // Per-region hot-loop caches: everything the per-cycle code would
+    // otherwise re-derive by filtering (which ports are real, which
+    // streams are generators / scalar-fallback, which instructions are
+    // latency-gated accumulators).
+    for (RegionSim &rs : regions_) {
+        for (size_t v = 0; v < rs.inPorts.size(); ++v) {
+            if (rs.inPorts[v].lanePipes.empty())
+                continue;
+            rs.realInPorts.push_back(static_cast<int>(v));
+            if (rs.inPorts[v].minPopInterval > 0)
+                rs.throttledPorts.push_back(static_cast<int>(v));
+        }
+        for (size_t v = 0; v < rs.outPorts.size(); ++v)
+            if (!rs.outPorts[v].lanePipes.empty())
+                rs.realOutPorts.push_back(static_cast<int>(v));
+        for (size_t i = 0; i < rs.insts.size(); ++i)
+            if (rs.insts[i].vx->isAccumulate())
+                rs.accInsts.emplace_back(
+                    static_cast<int>(i),
+                    opInfo(rs.insts[i].vx->op).latency);
+        for (StreamExec &se : rs.streams) {
+            const Stream &st = *se.st;
+            if (st.kind == StreamKind::Const ||
+                st.kind == StreamKind::Iota)
+                rs.genStreams.push_back(st.id);
+            if (st.scalarFallback)
+                rs.fallbackStreams.push_back(st.id);
+            if (st.kind == StreamKind::IndirectRead ||
+                st.kind == StreamKind::IndirectWrite ||
+                st.kind == StreamKind::AtomicUpdate)
+                se.idxSpace = &mem_.space(st.idxSpace);
+        }
+    }
+
+    // Memory plans: per alive memory node, the streams it serves in
+    // the same scan order as the naive alive-memories x regions x
+    // streams sweep, with the stream->memory binding ("mine") already
+    // decided — so per-cycle arbitration outcomes are identical.
+    for (NodeId m : adg_.aliveNodes(NodeKind::Memory)) {
+        const auto &mem = adg_.node(m).mem();
+        MemPlan plan;
+        plan.node = m;
+        plan.widthBytes = mem.widthBytes;
+        plan.numBanks = std::max(1, mem.numBanks);
+        plan.space = &mem_.space(mem.kind == adg::MemKind::Main
+                                     ? dfg::MemSpace::Main
+                                     : dfg::MemSpace::Spad);
+        for (RegionSim &rs : regions_) {
+            const auto &rsch = sched_.regions[rs.idx];
+            for (StreamExec &se : rs.streams) {
+                const Stream &st = *se.st;
+                if (!st.touchesMemory())
+                    continue;
+                bool mine = rs.reg->serialized
+                    ? (st.space == dfg::MemSpace::Main) ==
+                          (mem.kind == adg::MemKind::Main)
+                    : rsch.streamMap[st.id] == m;
+                if (mine)
+                    plan.streams.emplace_back(rs.idx, st.id);
+            }
+        }
+        memPlans_.push_back(std::move(plan));
+    }
 }
 
 void
@@ -516,6 +694,20 @@ Machine::buildRegion(int r)
         return std::max(1, static_cast<int>(it->second.size()));
     };
 
+    // Size the per-region pools once (pipes hand out stable pointers,
+    // so reserving is about allocation churn, not correctness).
+    size_t numInsts = 0;
+    size_t numEdges = 0;
+    for (const Vertex &vx : reg.dfg.vertices()) {
+        if (vx.kind == VertexKind::Instruction)
+            ++numInsts;
+        for (const auto &op : vx.operands)
+            if (!op.isImm())
+                ++numEdges;
+    }
+    rs.insts.reserve(numInsts);
+    rs.pipes.reserve(numEdges);
+
     // Instruction sims (indexed later through a map).
     std::map<VertexId, size_t> instIdx;
     for (const Vertex &vx : reg.dfg.vertices()) {
@@ -527,6 +719,8 @@ Machine::buildRegion(int r)
         is.vx = &vx;
         is.acc = vx.accInit;
         is.pe = reg.serialized ? adg::kInvalidNode : rsch.vertexMap[vx.id];
+        is.sharedPe = is.pe != adg::kInvalidNode &&
+                      adg_.node(is.pe).pe().sharing == Sharing::Shared;
     }
 
     // Pipes for every value edge.
@@ -639,6 +833,14 @@ Machine::buildRegion(int r)
             break;
         }
     }
+
+    // Quiescence window: longest pipe + margin. The pipe set is fixed
+    // after build, so this is a per-region constant (used to be
+    // recomputed on every issue).
+    int maxLat = 1;
+    for (const auto &p : rs.pipes)
+        maxLat = std::max(maxLat, p->latency);
+    rs.quiesceWindow = maxLat + 8;
 }
 
 void
@@ -716,12 +918,7 @@ Machine::startIssue(RegionSim &rs, int64_t now,
                 p->q.clear();
     }
     rs.lastActivity = now;
-    rs.state = RegionState::Running;
-    // Quiescence window: longest pipe + margin.
-    int maxLat = 1;
-    for (const auto &p : rs.pipes)
-        maxLat = std::max(maxLat, p->latency);
-    rs.quiesceWindow = maxLat + 8;
+    setState(rs, RegionState::Running);
 }
 
 void
@@ -746,7 +943,7 @@ Machine::finalizeIssue(RegionSim &rs, int64_t now)
         if (se.st->openEnded)
             se.openDone = true;
     rs.lastActivity = now;
-    rs.state = RegionState::Finalizing;
+    setState(rs, RegionState::Finalizing);
 }
 
 bool
@@ -764,134 +961,129 @@ Machine::advanceIssue(RegionSim &rs)
 void
 Machine::tickStreams(int64_t now, bool &activity)
 {
-    // Per-memory bandwidth arbitration.
-    for (NodeId m : adg_.aliveNodes(NodeKind::Memory)) {
-        const auto &mem = adg_.node(m).mem();
-        int budget = mem.widthBytes;
+    // Per-memory bandwidth arbitration over build-time plans. The plan
+    // lists each memory's streams in the naive sweep's scan order with
+    // the stream->memory binding already decided, so the arbitration
+    // outcome (who gets the bytes) is identical to the original
+    // alive-memories x regions x streams triple loop.
+    for (MemPlan &mp : memPlans_) {
+        int budget = mp.widthBytes;
         const int startBudget = budget;
-        int bankBudget = std::max(1, mem.numBanks);
-        AddressSpace &space = mem_.space(
-            mem.kind == adg::MemKind::Main ? dfg::MemSpace::Main
-                                           : dfg::MemSpace::Spad);
-        for (RegionSim &rs : regions_) {
+        int bankBudget = mp.numBanks;
+        AddressSpace &space = *mp.space;
+        for (const auto &[ri, sid] : mp.streams) {
+            if (budget <= 0)
+                break;  // never recovers within a cycle
+            RegionSim &rs = regions_[ri];
             if (rs.state != RegionState::Running &&
                 rs.state != RegionState::Finalizing)
                 continue;
-            const auto &rsch = sched_.regions[rs.idx];
-            for (StreamExec &se : rs.streams) {
-                const Stream &st = *se.st;
-                if (!st.touchesMemory())
-                    continue;
-                bool mine = rs.reg->serialized
-                    ? (st.space == dfg::MemSpace::Main) ==
-                          (mem.kind == adg::MemKind::Main)
-                    : rsch.streamMap[st.id] == m;
-                if (!mine || budget <= 0)
-                    continue;
-                int elemB = st.pattern.elemBytes;
-                auto throttled = [&]() {
-                    if (!st.scalarFallback)
-                        return false;
-                    if (now < se.nextReady)
-                        return true;
+            StreamExec &se = rs.streams[sid];
+            const Stream &st = *se.st;
+            int elemB = st.pattern.elemBytes;
+            auto throttled = [&]() {
+                if (!st.scalarFallback)
                     return false;
-                };
-                auto consumeThrottle = [&]() {
+                if (now < se.nextReady)
+                    return true;
+                return false;
+            };
+            auto consumeThrottle = [&]() {
+                if (st.scalarFallback)
+                    se.nextReady = now + opts_.scalarElementInterval;
+            };
+            switch (st.kind) {
+              case StreamKind::LinearRead:
+                while (!se.readsDone() && budget >= elemB &&
+                       se.target->roomFor(1) && !throttled()) {
+                    se.target->deliver(
+                        space.load(se.addrs[se.pos], elemB));
+                    ++se.pos;
+                    budget -= elemB;
+                    consumeThrottle();
+                    activity = true;
                     if (st.scalarFallback)
-                        se.nextReady = now + opts_.scalarElementInterval;
-                };
-                switch (st.kind) {
-                  case StreamKind::LinearRead:
-                    while (!se.readsDone() && budget >= elemB &&
-                           se.target->roomFor(1) && !throttled()) {
-                        se.target->deliver(
-                            space.load(se.addrs[se.pos], elemB));
-                        ++se.pos;
-                        budget -= elemB;
-                        consumeThrottle();
-                        activity = true;
-                        if (st.scalarFallback)
-                            break;
-                    }
-                    break;
-                  case StreamKind::IndirectRead: {
-                    AddressSpace &idxSpace = mem_.space(st.idxSpace);
-                    while (!se.readsDone() &&
-                           budget >= elemB + st.idxElemBytes &&
-                           bankBudget > 0 && se.target->roomFor(1) &&
-                           !throttled()) {
-                        int64_t idxV = static_cast<int64_t>(idxSpace.load(
-                            se.idxAddrs[se.pos], st.idxElemBytes));
-                        int64_t addr =
-                            st.pattern.baseBytes + idxV * elemB;
-                        se.target->deliver(space.load(addr, elemB));
-                        ++se.pos;
-                        budget -= elemB + st.idxElemBytes;
-                        --bankBudget;
-                        consumeThrottle();
-                        activity = true;
-                        if (st.scalarFallback)
-                            break;
-                    }
-                    break;
-                  }
-                  case StreamKind::LinearWrite:
-                    while (!se.writeBuf.empty() && budget >= elemB &&
-                           se.pos < se.addrs.size() && !throttled()) {
-                        space.store(se.addrs[se.pos], elemB,
-                                    se.writeBuf.front());
-                        se.writeBuf.pop_front();
-                        ++se.pos;
-                        budget -= elemB;
-                        consumeThrottle();
-                        activity = true;
-                        if (st.scalarFallback)
-                            break;
-                    }
-                    break;
-                  case StreamKind::IndirectWrite:
-                  case StreamKind::AtomicUpdate: {
-                    AddressSpace &idxSpace = mem_.space(st.idxSpace);
-                    bool atomic = st.kind == StreamKind::AtomicUpdate;
-                    int cost = elemB + st.idxElemBytes +
-                               (atomic ? elemB : 0);
-                    while (!se.writeBuf.empty() && budget >= cost &&
-                           bankBudget > 0 && se.pos < se.addrs.size() &&
-                           !throttled()) {
-                        int64_t idxV = static_cast<int64_t>(idxSpace.load(
-                            se.idxAddrs[se.pos], st.idxElemBytes));
-                        int64_t addr =
-                            st.pattern.baseBytes + idxV * elemB;
-                        Value v = se.writeBuf.front();
-                        se.writeBuf.pop_front();
-                        if (atomic) {
-                            Value old = space.load(addr, elemB);
-                            v = evalOp(st.updateOp, old, v, 0, nullptr);
-                        }
-                        space.store(addr, elemB, v);
-                        ++se.pos;
-                        budget -= cost;
-                        --bankBudget;
-                        consumeThrottle();
-                        activity = true;
-                        if (st.scalarFallback)
-                            break;
-                    }
-                    break;
-                  }
-                  default:
-                    break;
+                        break;
                 }
+                break;
+              case StreamKind::IndirectRead: {
+                AddressSpace &idxSpace = *se.idxSpace;
+                while (!se.readsDone() &&
+                       budget >= elemB + st.idxElemBytes &&
+                       bankBudget > 0 && se.target->roomFor(1) &&
+                       !throttled()) {
+                    int64_t idxV = static_cast<int64_t>(idxSpace.load(
+                        se.idxAddrs[se.pos], st.idxElemBytes));
+                    int64_t addr =
+                        st.pattern.baseBytes + idxV * elemB;
+                    se.target->deliver(space.load(addr, elemB));
+                    ++se.pos;
+                    budget -= elemB + st.idxElemBytes;
+                    --bankBudget;
+                    consumeThrottle();
+                    activity = true;
+                    if (st.scalarFallback)
+                        break;
+                }
+                break;
+              }
+              case StreamKind::LinearWrite:
+                while (!se.writeBuf.empty() && budget >= elemB &&
+                       se.pos < se.addrs.size() && !throttled()) {
+                    space.store(se.addrs[se.pos], elemB,
+                                se.writeBuf.front());
+                    se.writeBuf.pop_front();
+                    ++se.pos;
+                    budget -= elemB;
+                    consumeThrottle();
+                    activity = true;
+                    if (st.scalarFallback)
+                        break;
+                }
+                break;
+              case StreamKind::IndirectWrite:
+              case StreamKind::AtomicUpdate: {
+                AddressSpace &idxSpace = *se.idxSpace;
+                bool atomic = st.kind == StreamKind::AtomicUpdate;
+                int cost = elemB + st.idxElemBytes +
+                           (atomic ? elemB : 0);
+                while (!se.writeBuf.empty() && budget >= cost &&
+                       bankBudget > 0 && se.pos < se.addrs.size() &&
+                       !throttled()) {
+                    int64_t idxV = static_cast<int64_t>(idxSpace.load(
+                        se.idxAddrs[se.pos], st.idxElemBytes));
+                    int64_t addr =
+                        st.pattern.baseBytes + idxV * elemB;
+                    Value v = se.writeBuf.front();
+                    se.writeBuf.pop_front();
+                    if (atomic) {
+                        Value old = space.load(addr, elemB);
+                        v = evalOp(st.updateOp, old, v, 0, nullptr);
+                    }
+                    space.store(addr, elemB, v);
+                    ++se.pos;
+                    budget -= cost;
+                    --bankBudget;
+                    consumeThrottle();
+                    activity = true;
+                    if (st.scalarFallback)
+                        break;
+                }
+                break;
+              }
+              default:
+                break;
             }
         }
-        memBytes_[m] += startBudget - budget;
+        mp.bytes += startBudget - budget;
     }
 
     // Memory-less generators: const / iota.
     for (RegionSim &rs : regions_) {
-        if (rs.state != RegionState::Running)
+        if (rs.genStreams.empty() || rs.state != RegionState::Running)
             continue;
-        for (StreamExec &se : rs.streams) {
+        for (int sid : rs.genStreams) {
+            StreamExec &se = rs.streams[sid];
             const Stream &st = *se.st;
             if (st.kind == StreamKind::Const) {
                 while (!se.readsDone() && se.target->roomFor(1)) {
@@ -899,7 +1091,7 @@ Machine::tickStreams(int64_t now, bool &activity)
                     ++se.pos;
                     activity = true;
                 }
-            } else if (st.kind == StreamKind::Iota) {
+            } else {
                 int pushed = 0;
                 while (!se.readsDone() && se.target->roomFor(1) &&
                        pushed < 8) {
@@ -930,15 +1122,14 @@ Machine::fireInstruction(RegionSim &rs, InstSim &is, int64_t now,
         if (!p->canPush())
             return;
 
-    // Shared-PE arbitration: one fire per shared PE per cycle.
-    if (is.pe != adg::kInvalidNode) {
-        const auto &pe = adg_.node(is.pe).pe();
-        if (pe.sharing == Sharing::Shared) {
-            auto &fired = peFired_[is.pe];
-            if (fired)
-                return;
-            fired = true;
-        }
+    // Shared-PE arbitration: one fire per shared PE per cycle. The
+    // stamp array is epoch-keyed by cycle, so there is no per-cycle
+    // clearing (and no map lookup).
+    if (is.sharedPe) {
+        int64_t &stamp = peFiredCycle_[static_cast<size_t>(is.pe)];
+        if (stamp == now)
+            return;
+        stamp = now;
     }
 
     is.lastFire = now;
@@ -1020,7 +1211,7 @@ Machine::tickRegion(RegionSim &rs, int64_t now, bool &activity)
         for (int dep : rs.waitOnRegions)
             ready &= regions_[dep].state == RegionState::Complete;
         if (ready) {
-            rs.state = RegionState::WaitCmd;
+            setState(rs, RegionState::WaitCmd);
             rs.stateUntil = now + issueOverhead(rs);
         }
         return;
@@ -1039,20 +1230,16 @@ Machine::tickRegion(RegionSim &rs, int64_t now, bool &activity)
         break;
     }
 
-    for (auto &ps : rs.inPorts) {
-        if (ps.lanePipes.empty())
-            continue;  // not a real input port
-        if (ps.tryFire(now)) {  // one vector per port per cycle
+    for (int v : rs.realInPorts) {
+        if (rs.inPorts[v].tryFire(now)) {  // one vector per port/cycle
             rs.lastActivity = now;
             activity = true;
         }
     }
     for (auto &is : rs.insts)
         fireInstruction(rs, is, now, activity);
-    for (auto &op : rs.outPorts) {
-        if (op.lanePipes.empty())
-            continue;  // not a real output port
-        if (op.tryFire(now)) {
+    for (int v : rs.realOutPorts) {
+        if (rs.outPorts[v].tryFire(now)) {
             rs.lastActivity = now;
             activity = true;
         }
@@ -1069,44 +1256,205 @@ Machine::tickRegion(RegionSim &rs, int64_t now, bool &activity)
             ++rs.completedIssues;
             if (seq_) {
                 // The phase-script controller schedules the next issue.
-                rs.state = RegionState::DoneIssue;
+                setState(rs, RegionState::DoneIssue);
                 rs.endCycle = now;
             } else if (advanceIssue(rs)) {
-                rs.state = RegionState::WaitCmd;
+                setState(rs, RegionState::WaitCmd);
                 int64_t overhead = rs.reg->drainBetweenReissues
                     ? issueOverhead(rs)
                     : std::max<int64_t>(1, issueOverhead(rs) / 4);
                 rs.stateUntil = now + overhead;
             } else {
-                rs.state = RegionState::Complete;
+                setState(rs, RegionState::Complete);
                 rs.endCycle = now;
             }
         }
     }
 }
 
+void
+Machine::setState(RegionSim &rs, RegionState st)
+{
+    rs.state = st;
+    stateChanged_ = true;
+    activeDirty_ = true;
+}
+
+void
+Machine::refreshActiveRegions()
+{
+    activeRegions_.clear();
+    for (const RegionSim &rs : regions_)
+        if (rs.state != RegionState::Complete &&
+            rs.state != RegionState::DoneIssue)
+            activeRegions_.push_back(rs.idx);
+    activeDirty_ = false;
+}
+
+bool
+Machine::tickSequencer(int64_t now)
+{
+    size_t prevScriptPos = scriptPos_;
+    bool prevScriptEntry = scriptEntryActive_;
+    int prevGroup = activeGroup_;
+
+    if (seq_) {
+        // Sequential phase-script controller.
+        if (scriptEntryActive_) {
+            RegionSim &cur =
+                regions_[prog_.phaseScript[scriptPos_].region];
+            if (cur.state == RegionState::DoneIssue) {
+                scriptEntryActive_ = false;
+                ++scriptPos_;
+            }
+        }
+        if (!scriptEntryActive_ &&
+            scriptPos_ < prog_.phaseScript.size()) {
+            const auto &e = prog_.phaseScript[scriptPos_];
+            RegionSim &rs = regions_[e.region];
+            scriptIvs_.clear();
+            for (const auto &[id, v] : e.ivs)
+                scriptIvs_[id] = v;
+            int g = prog_.regions[e.region].configGroup;
+            if (g != activeGroup_) {
+                activeGroup_ = g;
+                reconfigUntil_ = now + reconfigCycles_;
+            }
+            setState(rs, RegionState::WaitCmd);
+            rs.stateUntil = now + issueOverhead(rs);
+            scriptEntryActive_ = true;
+        }
+    } else {
+        // Advance the configuration when the active group retires.
+        bool groupDone = true;
+        bool anyLater = false;
+        int nextGroup = INT_MAX;
+        for (RegionSim &rs : regions_) {
+            int g = prog_.regions[rs.idx].configGroup;
+            if (g == activeGroup_ &&
+                rs.state != RegionState::Complete)
+                groupDone = false;
+            if (g > activeGroup_ &&
+                rs.state != RegionState::Complete) {
+                anyLater = true;
+                nextGroup = std::min(nextGroup, g);
+            }
+        }
+        if (groupDone && anyLater) {
+            activeGroup_ = nextGroup;
+            reconfigUntil_ = now + reconfigCycles_;
+        }
+    }
+
+    return scriptPos_ != prevScriptPos ||
+           scriptEntryActive_ != prevScriptEntry ||
+           activeGroup_ != prevGroup;
+}
+
+void
+Machine::pumpForwards(int64_t now, bool &activity)
+{
+    // Pump forwarded scalars into starving consumer ports. The counter
+    // gate makes this free while every channel is drained (the common
+    // state between producer bursts).
+    if (fwdNonEmpty_ == 0)
+        return;
+    for (size_t fi = 0; fi < prog_.forwards.size(); ++fi) {
+        FwdQueue &q = fwdQueues_[fi];
+        if (q.empty())
+            continue;
+        const auto &f = prog_.forwards[fi];
+        RegionSim &dst = regions_[f.dstRegion];
+        if (dst.state != RegionState::Running &&
+            dst.state != RegionState::Finalizing)
+            continue;
+        PortSim &port = dst.inPorts[f.dstPort];
+        // Refill an idle staging buffer up to one vector's worth of
+        // lanes — no further. The queue must outlive the consumer's
+        // issues: anything still buffered in the port when an issue
+        // retires is destroyed by resetForIssue(), so batching to port
+        // *capacity* here would lose elements at issue boundaries, and
+        // topping up while `reuseLeft > 0` would race the reuse
+        // expiry. One vector per cycle matches the port's own fire
+        // cadence exactly (and degenerates to the historical
+        // one-element-per-cycle delivery for scalar ports).
+        while (!q.empty() && port.reuseLeft == 0 &&
+               static_cast<int>(port.buffer.size()) < port.lanes) {
+            port.deliver(q.front());
+            q.pop();
+            dst.lastActivity = now;
+            activity = true;
+        }
+    }
+}
+
+bool
+Machine::allDone() const
+{
+    if (seq_)
+        return scriptPos_ >= prog_.phaseScript.size() &&
+               !scriptEntryActive_;
+    for (const RegionSim &rs : regions_)
+        if (rs.state != RegionState::Complete)
+            return false;
+    return true;
+}
+
+void
+Machine::traceDump(int64_t now) const
+{
+    // DSA_SIM_TRACE=1 dumps periodic machine state (debugging aid).
+    static const bool trace = std::getenv("DSA_SIM_TRACE") != nullptr;
+    if (!trace || now % 64 != 0)
+        return;
+    for (const RegionSim &rs : regions_) {
+        std::fprintf(stderr,
+                     "[sim %lld] region %d state=%d lastAct=%lld",
+                     static_cast<long long>(now), rs.idx,
+                     static_cast<int>(rs.state),
+                     static_cast<long long>(rs.lastActivity));
+        for (const StreamExec &se : rs.streams)
+            std::fprintf(stderr, " s%d:%zu/%zu(wb=%zu)",
+                         se.st->id, se.pos, se.addrs.size(),
+                         se.writeBuf.size());
+        for (size_t v = 0; v < rs.inPorts.size(); ++v)
+            if (!rs.inPorts[v].lanePipes.empty())
+                std::fprintf(stderr, " p%zu:buf=%zu pops=%lld",
+                             v, rs.inPorts[v].buffer.size(),
+                             static_cast<long long>(
+                                 rs.inPorts[v].pops));
+        for (const InstSim &is : rs.insts)
+            std::fprintf(stderr, " i%d:fires=%lld", is.vx->id,
+                         static_cast<long long>(is.fires));
+        std::fprintf(stderr, "\n");
+    }
+}
+
 SimResult
 Machine::run()
 {
-    SimResult res;
     if (seq_) {
         // The phase-script controller activates one issue at a time.
         for (RegionSim &rs : regions_)
-            rs.state = RegionState::DoneIssue;
+            setState(rs, RegionState::DoneIssue);
     } else {
         // Regions with cross-region dependences wait; others start.
         for (RegionSim &rs : regions_) {
             if (!rs.waitOnRegions.empty()) {
-                rs.state = RegionState::WaitDep;
+                setState(rs, RegionState::WaitDep);
             } else {
-                rs.state = RegionState::WaitCmd;
+                setState(rs, RegionState::WaitCmd);
                 rs.stateUntil = issueOverhead(rs);
             }
         }
     }
+    return opts_.sparse ? runSparse() : runDense();
+}
 
-    // DSA_SIM_TRACE=1 dumps periodic machine state (debugging aid).
-    bool trace = std::getenv("DSA_SIM_TRACE") != nullptr;
+SimResult
+Machine::runDense()
+{
+    SimResult res;
     int64_t now = 0;
     // Deadlock watchdog: progress = any activity (port/instruction/
     // stream fire) or any controller/region state change this cycle.
@@ -1114,123 +1462,21 @@ Machine::run()
     std::vector<RegionState> prevStates(regions_.size());
     for (; now < opts_.maxCycles; ++now) {
         bool activity = false;
-        peFired_.clear();
         for (size_t r = 0; r < regions_.size(); ++r)
             prevStates[r] = regions_[r].state;
-        size_t prevScriptPos = scriptPos_;
-        bool prevScriptEntry = scriptEntryActive_;
-        int prevGroup = activeGroup_;
 
-        // Sequential phase-script controller.
-        if (seq_) {
-            if (scriptEntryActive_) {
-                RegionSim &cur =
-                    regions_[prog_.phaseScript[scriptPos_].region];
-                if (cur.state == RegionState::DoneIssue) {
-                    scriptEntryActive_ = false;
-                    ++scriptPos_;
-                }
-            }
-            if (!scriptEntryActive_ &&
-                scriptPos_ < prog_.phaseScript.size()) {
-                const auto &e = prog_.phaseScript[scriptPos_];
-                RegionSim &rs = regions_[e.region];
-                scriptIvs_.clear();
-                for (const auto &[id, v] : e.ivs)
-                    scriptIvs_[id] = v;
-                int g = prog_.regions[e.region].configGroup;
-                if (g != activeGroup_) {
-                    activeGroup_ = g;
-                    reconfigUntil_ = now + reconfigCycles_;
-                }
-                rs.state = RegionState::WaitCmd;
-                rs.stateUntil = now + issueOverhead(rs);
-                scriptEntryActive_ = true;
-            }
-        } else {
-            // Advance the configuration when the active group retires.
-            bool groupDone = true;
-            bool anyLater = false;
-            int nextGroup = INT_MAX;
-            for (RegionSim &rs : regions_) {
-                int g = prog_.regions[rs.idx].configGroup;
-                if (g == activeGroup_ &&
-                    rs.state != RegionState::Complete)
-                    groupDone = false;
-                if (g > activeGroup_ &&
-                    rs.state != RegionState::Complete) {
-                    anyLater = true;
-                    nextGroup = std::min(nextGroup, g);
-                }
-            }
-            if (groupDone && anyLater) {
-                activeGroup_ = nextGroup;
-                reconfigUntil_ = now + reconfigCycles_;
-            }
-        }
-
-        // Pump forwarded scalars into starving consumer ports.
-        for (size_t fi = 0; fi < prog_.forwards.size(); ++fi) {
-            auto &q = fwdQueues_[fi];
-            if (q.empty())
-                continue;
-            const auto &f = prog_.forwards[fi];
-            RegionSim &dst = regions_[f.dstRegion];
-            if (dst.state != RegionState::Running &&
-                dst.state != RegionState::Finalizing)
-                continue;
-            PortSim &port = dst.inPorts[f.dstPort];
-            if (port.buffer.empty() && port.reuseLeft == 0) {
-                port.deliver(q.front());
-                q.pop_front();
-                dst.lastActivity = now;
-                activity = true;
-            }
-        }
-
+        bool ctrlMoved = tickSequencer(now);
+        pumpForwards(now, activity);
         tickStreams(now, activity);
         for (RegionSim &rs : regions_)
             tickRegion(rs, now, activity);
 
-        if (trace && now % 64 == 0) {
-            for (RegionSim &rs : regions_) {
-                std::fprintf(stderr,
-                             "[sim %lld] region %d state=%d lastAct=%lld",
-                             static_cast<long long>(now), rs.idx,
-                             static_cast<int>(rs.state),
-                             static_cast<long long>(rs.lastActivity));
-                for (const StreamExec &se : rs.streams)
-                    std::fprintf(stderr, " s%d:%zu/%zu(wb=%zu)",
-                                 se.st->id, se.pos, se.addrs.size(),
-                                 se.writeBuf.size());
-                for (size_t v = 0; v < rs.inPorts.size(); ++v)
-                    if (!rs.inPorts[v].lanePipes.empty())
-                        std::fprintf(stderr, " p%zu:buf=%zu pops=%lld",
-                                     v, rs.inPorts[v].buffer.size(),
-                                     static_cast<long long>(
-                                         rs.inPorts[v].pops));
-                for (const InstSim &is : rs.insts)
-                    std::fprintf(stderr, " i%d:fires=%lld", is.vx->id,
-                                 static_cast<long long>(is.fires));
-                std::fprintf(stderr, "\n");
-            }
-        }
+        traceDump(now);
 
-        bool allDone;
-        if (seq_) {
-            allDone = scriptPos_ >= prog_.phaseScript.size() &&
-                      !scriptEntryActive_;
-        } else {
-            allDone = true;
-            for (RegionSim &rs : regions_)
-                allDone &= rs.state == RegionState::Complete;
-        }
-        if (allDone)
+        if (allDone())
             break;
 
-        bool progress = activity || scriptPos_ != prevScriptPos ||
-                        scriptEntryActive_ != prevScriptEntry ||
-                        activeGroup_ != prevGroup;
+        bool progress = activity || ctrlMoved;
         for (size_t r = 0; !progress && r < regions_.size(); ++r)
             progress = regions_[r].state != prevStates[r];
         if (progress)
@@ -1252,6 +1498,141 @@ Machine::run()
             fillStats(res, now);
             return res;
         }
+    }
+    if (now >= opts_.maxCycles) {
+        res.ok = false;
+        res.error = "simulation exceeded cycle limit (" +
+                    std::to_string(opts_.maxCycles) + " cycles)";
+        res.status = Status::resourceExhausted(res.error);
+        fillStats(res, now);
+        return res;
+    }
+    res.ok = true;
+    fillStats(res, now);
+    return res;
+}
+
+int64_t
+Machine::nextEventTime(int64_t now) const
+{
+    int64_t next = INT64_MAX;
+    auto consider = [&](int64_t t) {
+        if (t > now && t < next)
+            next = t;
+    };
+    for (int r : activeRegions_) {
+        const RegionSim &rs = regions_[r];
+        switch (rs.state) {
+          case RegionState::WaitDep:
+            // Released by a dependee completing or by a configuration
+            // switch — both are progress events on the cycle they
+            // happen, so the cycle after is always processed.
+            break;
+          case RegionState::WaitCmd:
+            if (prog_.regions[rs.idx].configGroup == activeGroup_)
+                consider(std::max(rs.stateUntil, reconfigUntil_));
+            break;
+          case RegionState::Running:
+          case RegionState::Finalizing:
+            // Quiesce / drain windows measured from last activity.
+            if (rs.state == RegionState::Running)
+                consider(rs.lastActivity + rs.quiesceWindow + 1);
+            else
+                consider(rs.lastActivity + 4 * rs.quiesceWindow + 64 +
+                         1);
+            // In-flight routed values (front = earliest arrival).
+            for (const auto &p : rs.pipes)
+                if (!p->q.empty())
+                    consider(p->q.front().first);
+            // Pop-interval throttles (serialized regions).
+            for (int v : rs.throttledPorts) {
+                const PortSim &ps = rs.inPorts[v];
+                consider(ps.lastPop + ps.minPopInterval);
+            }
+            // Accumulator-latency fire gates.
+            for (const auto &[i, lat] : rs.accInsts)
+                consider(rs.insts[i].lastFire + lat);
+            // Scalar-fallback stream throttles.
+            for (int sid : rs.fallbackStreams) {
+                const StreamExec &se = rs.streams[sid];
+                if (!se.done())
+                    consider(se.nextReady);
+            }
+            break;
+          case RegionState::DoneIssue:
+          case RegionState::Complete:
+            break;  // not in the active list (defensive)
+        }
+    }
+    return next;
+}
+
+SimResult
+Machine::runSparse()
+{
+    SimResult res;
+    int64_t now = 0;
+    int64_t lastProgress = 0;
+    const bool deadlineLimited = !opts_.deadline.unlimited();
+    while (now < opts_.maxCycles) {
+        bool activity = false;
+        stateChanged_ = false;
+
+        bool ctrlMoved = tickSequencer(now);
+        // Refresh after the sequencer: in phase-script mode it is what
+        // re-activates DoneIssue regions.
+        if (activeDirty_)
+            refreshActiveRegions();
+        pumpForwards(now, activity);
+        tickStreams(now, activity);
+        for (int r : activeRegions_)
+            tickRegion(regions_[r], now, activity);
+
+        traceDump(now);
+
+        if (allDone())
+            break;
+
+        // setState fires exactly on the transitions the dense loop's
+        // before/after snapshot detects (no tick re-enters a state it
+        // left within one cycle), so `progress` matches the oracle.
+        bool progress = activity || ctrlMoved || stateChanged_;
+        if (progress)
+            lastProgress = now;
+        else if (opts_.progressWindow > 0 &&
+                 now - lastProgress >= opts_.progressWindow) {
+            res.ok = false;
+            res.error = stallDiagnostic(now, lastProgress);
+            res.status = Status::deadlock(res.error);
+            fillStats(res, now);
+            return res;
+        }
+        if ((now & 0x1FFF) == 0 && opts_.deadline.expired()) {
+            res.ok = false;
+            res.error = "simulation wall-clock budget exhausted at cycle " +
+                        std::to_string(now);
+            res.status = Status::deadlineExceeded(res.error);
+            fillStats(res, now);
+            return res;
+        }
+
+        if (progress) {
+            ++now;
+            continue;
+        }
+        // Idle cycle: every skipped cycle would also be idle (state is
+        // frozen and no time gate opens before the next event), so
+        // jump straight to the earliest cycle anything can move,
+        // clamped so the watchdogs fire on exactly the same cycle the
+        // dense loop would fire them on.
+        int64_t target = nextEventTime(now);
+        if (opts_.progressWindow > 0)
+            target = std::min(target,
+                              lastProgress + opts_.progressWindow);
+        if (deadlineLimited)
+            target = std::min(target, ((now >> 13) + 1) << 13);
+        target = std::min(target, opts_.maxCycles);
+        now = std::max(now + 1, target);
     }
     if (now >= opts_.maxCycles) {
         res.ok = false;
@@ -1293,7 +1674,11 @@ Machine::fillStats(SimResult &res, int64_t now) const
             if (is.pe != adg::kInvalidNode)
                 res.peFires[is.pe] += is.fires;
     }
-    res.memBytes = memBytes_;
+    // One entry per alive memory node, zeros included (the plans cover
+    // exactly the nodes the per-cycle accounting used to touch).
+    res.memBytes.clear();
+    for (const MemPlan &mp : memPlans_)
+        res.memBytes[mp.node] = mp.bytes;
 }
 
 std::string
@@ -1345,12 +1730,89 @@ Machine::stallDiagnostic(int64_t now, int64_t lastProgress) const
     return os.str();
 }
 
+/** First field that differs between two runs ("" when bit-identical). */
+std::string
+firstDivergence(const SimResult &dense, const SimResult &sparse,
+                const MemImage &denseMem, const MemImage &sparseMem)
+{
+    auto num = [](int64_t v) { return std::to_string(v); };
+    if (dense.ok != sparse.ok)
+        return "ok: dense=" + num(dense.ok) + " sparse=" + num(sparse.ok);
+    if (dense.status.code() != sparse.status.code())
+        return "status: dense=" + dense.status.toString() +
+               " sparse=" + sparse.status.toString();
+    if (dense.error != sparse.error)
+        return "error text: dense=\"" + dense.error + "\" sparse=\"" +
+               sparse.error + "\"";
+    if (dense.cycles != sparse.cycles)
+        return "cycles: dense=" + num(dense.cycles) +
+               " sparse=" + num(sparse.cycles);
+    if (dense.regions.size() != sparse.regions.size())
+        return "region count";
+    for (size_t r = 0; r < dense.regions.size(); ++r) {
+        const RegionSimStats &a = dense.regions[r];
+        const RegionSimStats &b = sparse.regions[r];
+        if (a.fires != b.fires || a.endCycle != b.endCycle ||
+            a.complete != b.complete || a.state != b.state)
+            return "region " + std::to_string(r) + " stats: dense " +
+                   a.state + "/fires=" + num(a.fires) +
+                   "/end=" + num(a.endCycle) + ", sparse " + b.state +
+                   "/fires=" + num(b.fires) + "/end=" + num(b.endCycle);
+    }
+    if (dense.peFires != sparse.peFires)
+        return "peFires map";
+    if (dense.memBytes != sparse.memBytes)
+        return "memBytes map";
+    if (denseMem.main.bytes() != sparseMem.main.bytes())
+        return "main memory contents";
+    if (denseMem.spad.bytes() != sparseMem.spad.bytes())
+        return "scratchpad contents";
+    return "";
+}
+
 } // namespace
+
+bool
+sparseDefault()
+{
+    static const bool sparse = [] {
+        const char *env = std::getenv("DSA_SIM_SPARSE");
+        return !(env && std::strcmp(env, "0") == 0);
+    }();
+    return sparse;
+}
 
 SimResult
 simulate(const dfg::DecoupledProgram &prog, const mapper::Schedule &sched,
          const Adg &adg, MemImage &mem, const SimOptions &opts)
 {
+    if (opts.checkSparse) {
+        // Oracle cross-check: dense runs on a throwaway copy of the
+        // memory image, sparse on the real one, and any divergence in
+        // result or memory contents turns into an Internal error.
+        MemImage denseMem = mem;
+        SimOptions denseOpts = opts;
+        denseOpts.sparse = false;
+        denseOpts.checkSparse = false;
+        Machine dm(prog, sched, adg, denseMem, denseOpts);
+        SimResult denseRes = dm.run();
+
+        SimOptions sparseOpts = opts;
+        sparseOpts.sparse = true;
+        sparseOpts.checkSparse = false;
+        Machine sm(prog, sched, adg, mem, sparseOpts);
+        SimResult sparseRes = sm.run();
+
+        std::string diff =
+            firstDivergence(denseRes, sparseRes, denseMem, mem);
+        if (!diff.empty()) {
+            sparseRes.ok = false;
+            sparseRes.error =
+                "sparse/dense simulator divergence: " + diff;
+            sparseRes.status = Status::internal(sparseRes.error);
+        }
+        return sparseRes;
+    }
     Machine m(prog, sched, adg, mem, opts);
     return m.run();
 }

@@ -32,6 +32,14 @@
 
 namespace dsa::sim {
 
+/**
+ * Default for SimOptions::sparse: true unless the environment variable
+ * DSA_SIM_SPARSE is set to "0" (read once per process). CI uses the
+ * override to run the whole behavioral suite against the dense oracle
+ * loop so that path cannot rot.
+ */
+bool sparseDefault();
+
 /** Simulation knobs. */
 struct SimOptions
 {
@@ -56,6 +64,30 @@ struct SimOptions
      * DeadlineExceeded and partial stats.
      */
     Deadline deadline;
+    /**
+     * Event-driven fast path: tick only regions/streams/forwards with
+     * live work, and when a whole cycle produces no activity and no
+     * state transition, jump time straight to the next event (stream
+     * throttles, pipe arrivals, command-issue and reconfiguration
+     * deadlines, quiesce windows, the progress-watchdog horizon)
+     * instead of burning empty iterations. Produces bit-identical
+     * SimResult and byte-identical MemImage to the dense loop on every
+     * path, including aborts (enforced by tests/test_sim_sparse.cc);
+     * the only intentional divergence is *which wall cycle* a
+     * wall-clock deadline is noticed on, which is nondeterministic in
+     * either mode. Default-on (see sparseDefault()).
+     */
+    bool sparse = sparseDefault();
+    /**
+     * Cross-check mode: run the dense oracle on a copy of the memory
+     * image and the sparse loop on the real one, compare SimResult
+     * bit-exactly and both address spaces byte-exactly, and return an
+     * Internal error describing the first divergence (the sparse
+     * result otherwise). Do not combine with a limited deadline — the
+     * two runs may legitimately notice wall-clock expiry at different
+     * cycles.
+     */
+    bool checkSparse = false;
 };
 
 /** Per-region outcome. */

@@ -181,7 +181,8 @@ cmdCompile(const std::string &workload, const std::string &target,
 }
 
 int
-cmdRun(const std::string &workload, const std::string &target, int unroll)
+cmdRun(const std::string &workload, const std::string &target, int unroll,
+       const sim::SimOptions &simOpts)
 {
     auto b = compileBundle(workload, target, unroll);
     if (!b.ok)
@@ -196,7 +197,7 @@ cmdRun(const std::string &workload, const std::string &target, int unroll)
     auto est = model::estimatePerformance(b.prog, sched, b.hw);
     auto img = sim::MemImage::build(b.w->kernel, b.golden.initial,
                                     b.placement);
-    auto res = sim::simulate(b.prog, sched, b.hw, img);
+    auto res = sim::simulate(b.prog, sched, b.hw, img, simOpts);
     if (!res.ok) {
         std::fprintf(stderr, "simulation failed: %s\n",
                      res.error.c_str());
@@ -232,6 +233,13 @@ finishDse(const dse::DseResult &res, const std::string &savePath)
     if (!res.status.ok())
         std::fprintf(stderr, "first evaluation error: %s\n",
                      res.status.toString().c_str());
+    if (!res.simSpeedups.empty()) {
+        std::printf(
+            "simulator validation on best design (sparse==dense, "
+            "wall-clock dense/sparse):\n");
+        for (const auto &[name, sx] : res.simSpeedups)
+            std::printf("  %-12s %.2fx\n", name.c_str(), sx);
+    }
     std::ofstream out(savePath);
     out << res.best.toText();
     std::printf("design saved to %s\n", savePath.c_str());
@@ -271,6 +279,8 @@ cmdDse(int argc, char **argv)
             flags.candidateTimeMs = intArg(a.c_str());
         } else if (a == "--threads") {
             threadsArg = static_cast<int>(intArg(a.c_str()));
+        } else if (a == "--validate-sim") {
+            flags.simValidateBest = true;
         } else if (!a.empty() && a[0] == '-') {
             DSA_FATAL("unknown dse flag '", a, "'");
         } else {
@@ -295,6 +305,10 @@ cmdDse(int argc, char **argv)
             set.push_back(&workloads::workload(n));
         if (threadsArg > 0)
             ck.options.threads = threadsArg;
+        // Like --threads, post-run validation never touches the RNG
+        // stream, so it is safe to enable on a resumed run.
+        if (flags.simValidateBest)
+            ck.options.simValidateBest = true;
         std::printf("resuming %s: iteration %d of %d, %d threads\n",
                     resumePath.c_str(), ck.state.iter,
                     ck.options.maxIters, ck.options.threads);
@@ -372,7 +386,11 @@ usage()
         "usage: dsagen <command> [...]\n"
         "  list-workloads | list-targets | show-adg <target>\n"
         "  compile <workload> <target> [unroll]\n"
-        "  run <workload> <target> [unroll]\n"
+        "  run <workload> <target> [unroll] [--dense-sim]\n"
+        "      [--check-sparse]\n"
+        "      --dense-sim     use the dense oracle simulator loop\n"
+        "                      (DSA_SIM_SPARSE=0 flips the default)\n"
+        "      --check-sparse  run both loops and cross-check them\n"
         "  dse <suite> [iters] [threads] [batch]\n"
         "      threads: evaluation workers (0 = all cores); results\n"
         "      are identical for any thread count\n"
@@ -380,7 +398,9 @@ usage()
         "      --checkpoint-every <n>   accepted steps per snapshot\n"
         "      --wall-budget-ms <ms>    whole-run wall-clock cap\n"
         "      --candidate-time-ms <ms> per-candidate evaluation cap\n"
-        "  dse --resume <checkpoint> [--threads <n>]\n"
+        "      --validate-sim           cross-check sparse vs dense\n"
+        "                               simulation of the best design\n"
+        "  dse --resume <checkpoint> [--threads <n>] [--validate-sim]\n"
         "      continue a checkpointed run bit-identically\n"
         "  hwgen <target|file.adg> [out.v]\n");
 }
@@ -406,9 +426,20 @@ try {
     if (cmd == "compile" && argc >= 4)
         return cmdCompile(argv[2], argv[3],
                           argc >= 5 ? std::atoi(argv[4]) : 1);
-    if (cmd == "run" && argc >= 4)
-        return cmdRun(argv[2], argv[3],
-                      argc >= 5 ? std::atoi(argv[4]) : 1);
+    if (cmd == "run" && argc >= 4) {
+        int unroll = 1;
+        sim::SimOptions simOpts;
+        for (int i = 4; i < argc; ++i) {
+            std::string a = argv[i];
+            if (a == "--dense-sim")
+                simOpts.sparse = false;
+            else if (a == "--check-sparse")
+                simOpts.checkSparse = true;
+            else
+                unroll = std::atoi(a.c_str());
+        }
+        return cmdRun(argv[2], argv[3], unroll, simOpts);
+    }
     if (cmd == "dse" && argc >= 3)
         return cmdDse(argc - 2, argv + 2);
     if (cmd == "hwgen" && argc >= 3)
