@@ -1,0 +1,209 @@
+/**
+ * @file
+ * DSE evaluation-memoization micro-benchmark: runs the same
+ * exploration three times per suite —
+ *   1. "uncached": every cache disabled (always-recompute baseline);
+ *   2. "cached": eval cache + compile cache + cost memo + batch dedup
+ *      enabled, cold (measures forward-run caching and shows there is
+ *      no cache-cold regression);
+ *   3. "replay": the identical exploration again, warm-started from
+ *      the eval cache the cold cached run persisted through its
+ *      checkpoint — every evaluation hits, so the replay skips all
+ *      compile + schedule work (the "resume does not re-pay" path).
+ * All three must produce bit-identical results; the harness aborts on
+ * any divergence. Reports candidates/second plus per-cache hit rates
+ * as JSON (written by scripts/bench_dse.sh into BENCH_dse.json).
+ *
+ * Usage: micro_dse [out.json] [iters] [batch] [threads] [schedIters]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "adg/prebuilt.h"
+#include "base/thread_pool.h"
+#include "dse/checkpoint.h"
+#include "dse/explorer.h"
+#include "workloads/workload.h"
+
+using namespace dsa;
+
+namespace {
+
+struct Timed
+{
+    dse::DseResult res;
+    double seconds = 0;
+    double candidatesPerSec = 0;
+};
+
+Timed
+timedRun(const char *suite, const dse::DseOptions &opts,
+         std::shared_ptr<dse::EvalCache> warm = nullptr)
+{
+    dse::Explorer ex(workloads::suiteWorkloads(suite), opts);
+    auto t0 = std::chrono::steady_clock::now();
+    Timed t;
+    t.res = ex.run(adg::buildDseInitial(), std::move(warm));
+    t.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    // Every history record is one candidate evaluation outcome (the
+    // two seed evaluations included) — the unit of work the caches
+    // accelerate.
+    t.candidatesPerSec =
+        static_cast<double>(t.res.history.size()) / t.seconds;
+    return t;
+}
+
+double
+rate(uint64_t hits, uint64_t misses)
+{
+    uint64_t total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total)
+                 : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string outPath = argc > 1 ? argv[1] : "BENCH_dse.json";
+    int iters = argc > 2 ? std::atoi(argv[2]) : 60;
+    int batch = argc > 3 ? std::atoi(argv[3]) : 6;
+    int threads = argc > 4 ? std::atoi(argv[4]) : 0;
+    int schedIters = argc > 5 ? std::atoi(argv[5]) : 40;
+    if (threads <= 0)
+        threads = ThreadPool::hardwareThreads();
+
+    const char *suites[] = {"PolyBench", "Dsp"};
+
+    std::string json = "{\n  \"benchmarks\": [\n";
+    bool first = true;
+    for (const char *suite : suites) {
+        dse::DseOptions base;
+        base.maxIters = iters;
+        base.noImproveExit = iters;
+        base.schedIters = schedIters;
+        base.unrollFactors = {1, 4};
+        base.seed = 7;
+        base.threads = threads;
+        base.candidateBatch = batch;
+
+        dse::DseOptions cold = base;
+        cold.evalCache = false;
+        cold.compileCache = false;
+        cold.costMemo = false;
+        cold.dedupBatch = false;
+
+        // The cold cached run checkpoints so its eval cache persists;
+        // the replay run warm-starts from what the checkpoint holds.
+        std::string ckPath =
+            std::string("bench_dse_") + suite + ".ckpt.json";
+        dse::DseOptions cachedOpts = base;
+        cachedOpts.checkpointPath = ckPath;
+        cachedOpts.checkpointEvery = 1000000;  // final write only
+
+        std::printf("== %s: %d iters, batch %d, %d threads ==\n", suite,
+                    iters, batch, threads);
+        Timed uncached = timedRun(suite, cold);
+        std::printf("  uncached: %.1fs, %.2f candidates/s\n",
+                    uncached.seconds, uncached.candidatesPerSec);
+        Timed cached = timedRun(suite, cachedOpts);
+        const dse::DseCacheStats &cs = cached.res.cacheStats;
+        std::printf("  cached:   %.1fs, %.2f candidates/s (%.2fx)\n",
+                    cached.seconds, cached.candidatesPerSec,
+                    cached.candidatesPerSec / uncached.candidatesPerSec);
+        std::printf("  eval %.0f%% hit, placement %.0f%%, lowering "
+                    "%.0f%%, cost %.0f%%, dedup-collapsed %llu\n",
+                    100 * rate(cs.evalHits, cs.evalMisses),
+                    100 * rate(cs.placementHits, cs.placementMisses),
+                    100 * rate(cs.lowerHits, cs.lowerMisses),
+                    100 * rate(cs.costHits, cs.costMisses),
+                    static_cast<unsigned long long>(cs.dedupCollapsed));
+
+        auto loaded = dse::loadCheckpoint(ckPath);
+        if (!loaded.ok() || !loaded.value().state.evalCache) {
+            std::fprintf(stderr, "FATAL: no persisted eval cache in %s\n",
+                         ckPath.c_str());
+            return 1;
+        }
+        Timed replay =
+            timedRun(suite, base, loaded.value().state.evalCache);
+        const dse::DseCacheStats &rs = replay.res.cacheStats;
+        std::printf("  replay:   %.1fs, %.2f candidates/s (%.2fx), "
+                    "eval %.0f%% hit\n",
+                    replay.seconds, replay.candidatesPerSec,
+                    replay.candidatesPerSec / uncached.candidatesPerSec,
+                    100 * rate(rs.evalHits, rs.evalMisses));
+        std::remove(ckPath.c_str());
+
+        // The caches must not change a single bit of the outcome;
+        // a mismatch invalidates the whole benchmark.
+        bool identical =
+            cached.res.best.toText() == uncached.res.best.toText() &&
+            cached.res.bestObjective == uncached.res.bestObjective &&
+            cached.res.history.size() == uncached.res.history.size() &&
+            replay.res.best.toText() == uncached.res.best.toText() &&
+            replay.res.bestObjective == uncached.res.bestObjective &&
+            replay.res.history.size() == uncached.res.history.size();
+        if (!identical) {
+            std::fprintf(stderr,
+                         "FATAL: cached/replay and uncached runs "
+                         "diverged on %s\n",
+                         suite);
+            return 1;
+        }
+
+        char buf[2048];
+        std::snprintf(
+            buf, sizeof buf,
+            "%s    {\n"
+            "      \"suite\": \"%s\",\n"
+            "      \"iters\": %d,\n"
+            "      \"batch\": %d,\n"
+            "      \"threads\": %d,\n"
+            "      \"candidates\": %zu,\n"
+            "      \"identical_results\": true,\n"
+            "      \"uncached\": {\"seconds\": %.3f, "
+            "\"candidates_per_sec\": %.3f},\n"
+            "      \"cached\": {\"seconds\": %.3f, "
+            "\"candidates_per_sec\": %.3f,\n"
+            "        \"eval_hit_rate\": %.4f, \"placement_hit_rate\": "
+            "%.4f,\n"
+            "        \"lower_hit_rate\": %.4f, \"cost_hit_rate\": %.4f,\n"
+            "        \"eval_entries\": %llu, \"dedup_collapsed\": %llu},\n"
+            "      \"replay\": {\"seconds\": %.3f, "
+            "\"candidates_per_sec\": %.3f,\n"
+            "        \"eval_hit_rate\": %.4f},\n"
+            "      \"cached_speedup\": %.3f,\n"
+            "      \"replay_speedup\": %.3f\n"
+            "    }",
+            first ? "" : ",\n", suite, iters, batch, threads,
+            cached.res.history.size(), uncached.seconds,
+            uncached.candidatesPerSec, cached.seconds,
+            cached.candidatesPerSec, rate(cs.evalHits, cs.evalMisses),
+            rate(cs.placementHits, cs.placementMisses),
+            rate(cs.lowerHits, cs.lowerMisses),
+            rate(cs.costHits, cs.costMisses),
+            static_cast<unsigned long long>(cs.evalEntries),
+            static_cast<unsigned long long>(cs.dedupCollapsed),
+            replay.seconds, replay.candidatesPerSec,
+            rate(rs.evalHits, rs.evalMisses),
+            cached.candidatesPerSec / uncached.candidatesPerSec,
+            replay.candidatesPerSec / uncached.candidatesPerSec);
+        json += buf;
+        first = false;
+    }
+    json += "\n  ]\n}\n";
+
+    std::ofstream out(outPath);
+    out << json;
+    std::printf("wrote %s\n", outPath.c_str());
+    return 0;
+}

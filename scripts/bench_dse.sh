@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Run the DSE evaluation-memoization benchmark and store
+# machine-readable results in BENCH_dse.json.
+#
+# The binary runs each suite's exploration twice — caches disabled
+# (always-recompute baseline) vs the eval cache + compile cache + cost
+# memo + batch dedup — asserts the two produce bit-identical results,
+# and records candidates/second and per-cache hit rates, so the JSON
+# carries its own before/after comparison.
+#
+# Usage: scripts/bench_dse.sh [jobs] [iters] [batch] [threads]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+ITERS="${2:-60}"
+BATCH="${3:-6}"
+THREADS="${4:-0}"
+OUT="${BENCH_DSE_OUT:-BENCH_dse.json}"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" --target micro_dse
+
+./build/bench/micro_dse "$OUT" "$ITERS" "$BATCH" "$THREADS"
+
+echo "wrote $OUT"

@@ -21,13 +21,17 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 
 echo
 echo "== tier-1: concurrency + incremental-scheduler tests under ThreadSanitizer =="
+# test_dse_cache runs under TSan too: the sharded eval/compile/cost
+# caches are read and written concurrently by pool workers, and their
+# bit-identity guarantees are only as good as their synchronization.
 cmake -B build-tsan -S . -DDSA_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j "$JOBS" \
-      --target test_concurrency test_base test_scheduler_incremental
+      --target test_concurrency test_base test_scheduler_incremental \
+      test_dse_cache
 TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure \
-          -R 'test_concurrency|test_base|test_scheduler_incremental'
+          -R 'test_concurrency|test_base|test_scheduler_incremental|test_dse_cache'
 
 echo
 echo "== tier-1: robustness + sparse-simulator tests under ASan+UBSan =="

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Deterministic hashing helpers built on the splitmix64 finalizer.
+ *
+ * Every cache key in the framework (canonical ADG fingerprints, the
+ * DSE eval/compile caches, the cost-model flyweight table) is built
+ * from these combinators, so keys are identical across runs, machines,
+ * and thread counts — a requirement for the bit-identical-resume and
+ * cached-vs-uncached equivalence guarantees. None of this is
+ * cryptographic; collisions are handled (or made astronomically
+ * unlikely by 128-bit widths) at each use site.
+ */
+
+#ifndef DSA_BASE_HASHING_H
+#define DSA_BASE_HASHING_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "base/rng.h"
+
+namespace dsa {
+
+/** Order-dependent combine: fold @p v into the running hash @p h. */
+inline uint64_t
+hashCombine(uint64_t h, uint64_t v)
+{
+    // Distinct from plain xor so (a, b) and (b, a) differ, and from
+    // addition so runs of equal values don't telescope.
+    return splitmix64(h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2)));
+}
+
+/** Combine a double by its exact bit pattern (no rounding). */
+inline uint64_t
+hashCombine(uint64_t h, double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    return hashCombine(h, bits);
+}
+
+/** Combine a string byte-exactly (length-prefixed, so "ab"+"c" != "a"+"bc"). */
+inline uint64_t
+hashCombine(uint64_t h, const std::string &s)
+{
+    h = hashCombine(h, static_cast<uint64_t>(s.size()));
+    for (unsigned char c : s)
+        h = hashCombine(h, static_cast<uint64_t>(c));
+    return h;
+}
+
+/**
+ * Order-independent accumulator: commutative fold of element hashes.
+ * Used where a multiset of neighbour labels must hash the same
+ * regardless of traversal order (the WL fingerprint refinement).
+ * Elements must already be well-mixed (pass them through splitmix64).
+ */
+struct UnorderedHash
+{
+    // The xor and sum lanes are kept separate — interleaving them on
+    // one word would make the fold order-dependent (xor and addition
+    // do not commute with each other). Each lane alone is commutative;
+    // together they also keep multisets with duplicated labels
+    // distinct (xor alone cancels pairs, sums alone telescope).
+    uint64_t xorAcc = 0;
+    uint64_t sumAcc = 0;
+    uint64_t count = 0;
+
+    void
+    add(uint64_t mixed)
+    {
+        xorAcc ^= splitmix64(mixed);
+        sumAcc += mixed * 0x9e3779b97f4a7c15ull;
+        ++count;
+    }
+
+    uint64_t
+    finish(uint64_t salt) const
+    {
+        uint64_t h = splitmix64(salt);
+        h = hashCombine(h, xorAcc);
+        h = hashCombine(h, sumAcc);
+        h = hashCombine(h, count);
+        return h;
+    }
+};
+
+} // namespace dsa
+
+#endif // DSA_BASE_HASHING_H

@@ -1,0 +1,142 @@
+#include "compiler/compile_cache.h"
+
+#include <cstdio>
+#include <functional>
+#include <utility>
+
+#include "base/hashing.h"
+
+namespace dsa::compiler {
+
+uint64_t
+fingerprintFeatures(const HwFeatures &hw)
+{
+    uint64_t h = 0x68772d6665617473ull; // "hw-feats"
+    h = hashCombine(h, static_cast<uint64_t>(hw.streamJoin));
+    h = hashCombine(h, static_cast<uint64_t>(hw.dynamicPes));
+    h = hashCombine(h, static_cast<uint64_t>(hw.sharedPes));
+    h = hashCombine(h, static_cast<uint64_t>(hw.indirectMemory));
+    h = hashCombine(h, static_cast<uint64_t>(hw.atomicUpdate));
+    h = hashCombine(h, static_cast<uint64_t>(hw.hasSpad));
+    h = hashCombine(h, static_cast<uint64_t>(hw.spadCapacityBytes));
+    h = hashCombine(h, static_cast<uint64_t>(hw.numPes));
+    h = hashCombine(h, static_cast<uint64_t>(hw.numDynamicPes));
+    h = hashCombine(h, hw.ops.raw());
+    h = hashCombine(h, static_cast<uint64_t>(hw.maxInputLanes));
+    h = hashCombine(h, static_cast<uint64_t>(hw.maxOutputLanes));
+    h = hashCombine(h, static_cast<uint64_t>(hw.totalInputLanes));
+    h = hashCombine(h, static_cast<uint64_t>(hw.totalOutputLanes));
+    h = hashCombine(h, static_cast<uint64_t>(hw.syncBufferEntries));
+    return h;
+}
+
+uint64_t
+fingerprintOptions(const CompileOptions &opts)
+{
+    uint64_t h = 0x636f2d6f70747321ull; // "co-opts!"
+    h = hashCombine(h, static_cast<uint64_t>(opts.unrollFactors.size()));
+    for (int u : opts.unrollFactors)
+        h = hashCombine(h, static_cast<uint64_t>(u));
+    h = hashCombine(h, static_cast<uint64_t>(opts.enableStreamJoin));
+    h = hashCombine(h, static_cast<uint64_t>(opts.enableIndirect));
+    h = hashCombine(h, static_cast<uint64_t>(opts.enableShared));
+    h = hashCombine(h, static_cast<uint64_t>(opts.enableProducerConsumer));
+    h = hashCombine(h, static_cast<uint64_t>(opts.enableRepetitiveUpdate));
+    return h;
+}
+
+namespace {
+
+// Keys are exact strings (kernel name + hex fingerprints), not a
+// folded 64-bit hash: a silent key collision would hand a candidate
+// the wrong program, so the map compares full keys.
+std::string
+placementKey(const std::string &kernelName, uint64_t featuresFp)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "#%016llx",
+                  static_cast<unsigned long long>(featuresFp));
+    return kernelName + buf;
+}
+
+std::string
+lowerKey(const std::string &kernelName, uint64_t featuresFp, uint64_t optsFp,
+         int unroll)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "#%016llx#%016llx#%d",
+                  static_cast<unsigned long long>(featuresFp),
+                  static_cast<unsigned long long>(optsFp), unroll);
+    return kernelName + buf;
+}
+
+} // namespace
+
+CompileCache::Shard &
+CompileCache::shardFor(const std::string &key)
+{
+    return shards_[std::hash<std::string>{}(key) % kShards];
+}
+
+std::shared_ptr<const Placement>
+CompileCache::placementFor(const std::string &kernelName,
+                           const ir::KernelSource &kernel,
+                           const HwFeatures &hw, uint64_t featuresFp)
+{
+    std::string key = placementKey(kernelName, featuresFp);
+    Shard &shard = shardFor(key);
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.placements.find(key);
+        if (it != shard.placements.end()) {
+            placementHits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+    // Compute outside the lock: autoLayout is pure in (kernel, hw), so
+    // a concurrent duplicate compute yields an identical value.
+    placementMisses_.fetch_add(1, std::memory_order_relaxed);
+    auto fresh =
+        std::make_shared<const Placement>(Placement::autoLayout(kernel, hw));
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [it, inserted] = shard.placements.emplace(std::move(key), fresh);
+    return inserted ? fresh : it->second;
+}
+
+std::shared_ptr<const LowerResult>
+CompileCache::lowerFor(const std::string &kernelName,
+                       const ir::KernelSource &kernel,
+                       const Placement &placement, const HwFeatures &hw,
+                       const CompileOptions &opts, int unroll,
+                       uint64_t featuresFp, uint64_t optsFp)
+{
+    std::string key = lowerKey(kernelName, featuresFp, optsFp, unroll);
+    Shard &shard = shardFor(key);
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.lowered.find(key);
+        if (it != shard.lowered.end()) {
+            lowerHits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+    lowerMisses_.fetch_add(1, std::memory_order_relaxed);
+    auto fresh = std::make_shared<const LowerResult>(
+        lowerKernel(kernel, placement, hw, opts, unroll));
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [it, inserted] = shard.lowered.emplace(std::move(key), fresh);
+    return inserted ? fresh : it->second;
+}
+
+CompileCacheStats
+CompileCache::stats() const
+{
+    CompileCacheStats s;
+    s.placementHits = placementHits_.load(std::memory_order_relaxed);
+    s.placementMisses = placementMisses_.load(std::memory_order_relaxed);
+    s.lowerHits = lowerHits_.load(std::memory_order_relaxed);
+    s.lowerMisses = lowerMisses_.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace dsa::compiler

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Cross-candidate compile cache for DSE.
+ *
+ * Lowering a kernel depends on the target only through its HwFeatures
+ * summary — not the concrete graph — so the hundreds of candidates per
+ * DSE run that share features (most link/FIFO/topology mutations leave
+ * HwFeatures untouched) can reuse lowered programs verbatim. Likewise
+ * Placement::autoLayout depends only on (kernel, features).
+ *
+ * The cache keys placements by (features fingerprint, kernel) and
+ * lowered programs by (features fingerprint, compile-options
+ * fingerprint, kernel, unroll). Values are shared immutable
+ * `shared_ptr<const ...>`; the maps are sharded with per-shard mutexes
+ * so concurrent pool workers mostly touch disjoint shards. Both
+ * `autoLayout` and `lowerKernel` are pure functions of the key, so a
+ * racy double-compute returns identical values — first insert wins and
+ * the loser's copy is dropped, keeping results independent of timing.
+ */
+
+#ifndef DSA_COMPILER_COMPILE_CACHE_H
+#define DSA_COMPILER_COMPILE_CACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "compiler/compile.h"
+#include "compiler/features.h"
+#include "compiler/placement.h"
+#include "ir/stmt.h"
+
+namespace dsa::compiler {
+
+/** Fingerprint of every HwFeatures field (order-dependent fold). */
+uint64_t fingerprintFeatures(const HwFeatures &hw);
+
+/** Fingerprint of every CompileOptions field. */
+uint64_t fingerprintOptions(const CompileOptions &opts);
+
+/** Hit/miss counters (a racy duplicate compute counts as a miss). */
+struct CompileCacheStats
+{
+    uint64_t placementHits = 0;
+    uint64_t placementMisses = 0;
+    uint64_t lowerHits = 0;
+    uint64_t lowerMisses = 0;
+};
+
+class CompileCache
+{
+  public:
+    /**
+     * Placement for (@p kernelName, @p featuresFp), computed via
+     * Placement::autoLayout on miss. @p kernelName must uniquely name
+     * @p kernel for the cache's lifetime (workload names do).
+     */
+    std::shared_ptr<const Placement>
+    placementFor(const std::string &kernelName,
+                 const ir::KernelSource &kernel, const HwFeatures &hw,
+                 uint64_t featuresFp);
+
+    /**
+     * Lowered program for (@p kernelName, @p unroll) under
+     * (@p featuresFp, @p optsFp), computed via lowerKernel on miss.
+     * Failed lowerings (ok = false) are cached too: a feature set that
+     * cannot lower a version cannot lower it for any candidate.
+     */
+    std::shared_ptr<const LowerResult>
+    lowerFor(const std::string &kernelName, const ir::KernelSource &kernel,
+             const Placement &placement, const HwFeatures &hw,
+             const CompileOptions &opts, int unroll, uint64_t featuresFp,
+             uint64_t optsFp);
+
+    CompileCacheStats stats() const;
+
+  private:
+    static constexpr size_t kShards = 16;
+    struct Shard
+    {
+        std::mutex mu;
+        std::unordered_map<std::string, std::shared_ptr<const Placement>>
+            placements;
+        std::unordered_map<std::string, std::shared_ptr<const LowerResult>>
+            lowered;
+    };
+    Shard &shardFor(const std::string &key);
+
+    Shard shards_[kShards];
+    std::atomic<uint64_t> placementHits_{0};
+    std::atomic<uint64_t> placementMisses_{0};
+    std::atomic<uint64_t> lowerHits_{0};
+    std::atomic<uint64_t> lowerMisses_{0};
+};
+
+} // namespace dsa::compiler
+
+#endif // DSA_COMPILER_COMPILE_CACHE_H

@@ -151,7 +151,50 @@ optionsToJson(const DseOptions &o)
             Value::number(static_cast<int64_t>(o.checkpointEvery)));
     doc.set("wallBudgetMs", Value::number(o.wallBudgetMs));
     doc.set("candidateTimeMs", Value::number(o.candidateTimeMs));
+    doc.set("evalCache", Value::boolean(o.evalCache));
+    doc.set("compileCache", Value::boolean(o.compileCache));
+    doc.set("costMemo", Value::boolean(o.costMemo));
+    doc.set("dedupBatch", Value::boolean(o.dedupBatch));
+    doc.set("checkCostOracle", Value::boolean(o.checkCostOracle));
     return doc;
+}
+
+std::string
+u64ToText(uint64_t v)
+{
+    return std::to_string(v);
+}
+
+Value
+evalCacheToJson(const EvalCache &cache)
+{
+    // sortedEntries() is ordered by key, so the same cache contents
+    // always serialize to the same bytes — checkpoint files stay
+    // comparable across runs, thread counts, and resumes.
+    Value arr = Value::array();
+    for (const auto &[key, entry] : cache.sortedEntries()) {
+        Value ej = Value::object();
+        ej.set("fpHi", Value::str(u64ToText(key.structural.hi)));
+        ej.set("fpLo", Value::str(u64ToText(key.structural.lo)));
+        ej.set("lab", Value::str(u64ToText(key.labeling)));
+        ej.set("ctx", Value::str(u64ToText(key.context)));
+        ej.set("objective", Value::number(entry->objective));
+        ej.set("perf", Value::number(entry->perf));
+        ej.set("cost", costToJson(entry->cost));
+        Value tasks = Value::array();
+        for (const auto &t : entry->tasks) {
+            Value tj = Value::object();
+            tj.set("lowered", Value::boolean(t.lowered));
+            tj.set("legal", Value::boolean(t.legal));
+            tj.set("cycles", Value::number(t.cycles));
+            if (t.legal)
+                tj.set("sched", scheduleToJson(t.sched));
+            tasks.push(std::move(tj));
+        }
+        ej.set("tasks", std::move(tasks));
+        arr.push(std::move(ej));
+    }
+    return arr;
 }
 
 // ---------------------------------------------------------------------
@@ -206,6 +249,42 @@ struct Reader
     {
         const Value *v = field(obj, key, Value::Kind::Bool, what);
         return v && v->asBool();
+    }
+
+    /** Like getBool, but a *missing* field yields @p dflt — used for
+     *  fields added after version 1 shipped, so old checkpoints still
+     *  load. A present-but-mistyped field is still an error. */
+    bool
+    getBoolOr(const Value &obj, const char *key, bool dflt, const char *what)
+    {
+        if (!err.ok() || !obj.isObject())
+            return dflt;
+        const Value *v = obj.find(key);
+        if (!v)
+            return dflt;
+        if (v->kind() != Value::Kind::Bool) {
+            err = Status::dataLoss(std::string(what) + " field '" + key +
+                                   "' has the wrong type");
+            return dflt;
+        }
+        return v->asBool();
+    }
+
+    /** Full-range uint64 stored as a decimal string (see seed). */
+    uint64_t
+    getU64(const Value &obj, const char *key, const char *what)
+    {
+        std::string text = getString(obj, key, what);
+        if (!err.ok())
+            return 0;
+        char *end = nullptr;
+        uint64_t v = std::strtoull(text.c_str(), &end, 10);
+        if (!end || end == text.c_str() || *end != '\0') {
+            err = Status::dataLoss(std::string(what) + " field '" + key +
+                                   "' is not a decimal integer");
+            return 0;
+        }
+        return v;
     }
 
     std::string
@@ -489,7 +568,65 @@ optionsFromJson(Reader &rd, const Value &doc)
         static_cast<int>(rd.getInt(doc, "checkpointEvery", "options"));
     o.wallBudgetMs = rd.getInt(doc, "wallBudgetMs", "options");
     o.candidateTimeMs = rd.getInt(doc, "candidateTimeMs", "options");
+    // Memoization toggles postdate the first version-1 checkpoints;
+    // missing fields fall back to the defaults (results are identical
+    // with the caches on or off, so the fallback is safe).
+    o.evalCache = rd.getBoolOr(doc, "evalCache", o.evalCache, "options");
+    o.compileCache =
+        rd.getBoolOr(doc, "compileCache", o.compileCache, "options");
+    o.costMemo = rd.getBoolOr(doc, "costMemo", o.costMemo, "options");
+    o.dedupBatch = rd.getBoolOr(doc, "dedupBatch", o.dedupBatch, "options");
+    o.checkCostOracle =
+        rd.getBoolOr(doc, "checkCostOracle", o.checkCostOracle, "options");
     return o;
+}
+
+std::shared_ptr<EvalCache>
+evalCacheFromJson(Reader &rd, const Value &arr)
+{
+    auto cache = std::make_shared<EvalCache>();
+    for (size_t i = 0; i < arr.size(); ++i) {
+        const Value *ej = rd.elem(arr, i, Value::Kind::Object, "eval cache");
+        if (!ej)
+            break;
+        EvalKey key;
+        key.structural.hi = rd.getU64(*ej, "fpHi", "eval cache entry");
+        key.structural.lo = rd.getU64(*ej, "fpLo", "eval cache entry");
+        key.labeling = rd.getU64(*ej, "lab", "eval cache entry");
+        key.context = rd.getU64(*ej, "ctx", "eval cache entry");
+        EvalCacheEntry entry;
+        entry.objective = rd.getDouble(*ej, "objective", "eval cache entry");
+        entry.perf = rd.getDouble(*ej, "perf", "eval cache entry");
+        entry.cost = costFromJson(rd, *ej, "cost", "eval cache entry");
+        const Value *tasks =
+            rd.field(*ej, "tasks", Value::Kind::Array, "eval cache entry");
+        if (!tasks)
+            break;
+        for (size_t j = 0; j < tasks->size(); ++j) {
+            const Value *tj =
+                rd.elem(*tasks, j, Value::Kind::Object, "eval cache task");
+            if (!tj)
+                break;
+            EvalTaskOutcome t;
+            t.lowered = rd.getBool(*tj, "lowered", "eval cache task");
+            t.legal = rd.getBool(*tj, "legal", "eval cache task");
+            t.cycles = rd.getDouble(*tj, "cycles", "eval cache task");
+            if (rd.err.ok() && t.legal) {
+                const Value *sj = rd.field(*tj, "sched", Value::Kind::Object,
+                                           "eval cache task");
+                if (sj)
+                    t.sched = scheduleFromJson(rd, *sj);
+            }
+            if (!rd.err.ok())
+                break;
+            entry.tasks.push_back(std::move(t));
+        }
+        if (!rd.err.ok())
+            break;
+        cache->restore(key,
+                       std::make_shared<EvalCacheEntry>(std::move(entry)));
+    }
+    return cache;
 }
 
 } // namespace
@@ -529,6 +666,8 @@ checkpointToJson(const std::vector<std::string> &workloadNames,
     }
     st.set("schedules", std::move(cache));
     st.set("result", resultToJson(state.result));
+    if (state.evalCache)
+        st.set("evalCache", evalCacheToJson(*state.evalCache));
     doc.set("state", std::move(st));
     return doc;
 }
@@ -611,6 +750,19 @@ checkpointFromJson(const Value &doc)
             rd.field(*st, "result", Value::Kind::Object, "state");
         if (res)
             ck.state.result = resultFromJson(rd, *res);
+        // Optional: absent in checkpoints written with the eval cache
+        // disabled (or by older builds). A fresh cache is equivalent —
+        // only warm-up cost differs, never results.
+        if (rd.err.ok() && st->isObject()) {
+            const Value *ec = st->find("evalCache");
+            if (ec) {
+                if (ec->kind() != Value::Kind::Array)
+                    rd.err = Status::dataLoss(
+                        "state field 'evalCache' has the wrong type");
+                else
+                    ck.state.evalCache = evalCacheFromJson(rd, *ec);
+            }
+        }
     }
 
     if (!rd.err.ok())

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <utility>
 
+#include "base/hashing.h"
 #include "base/logging.h"
 #include "dse/checkpoint.h"
 #include "model/host_model.h"
@@ -34,6 +35,83 @@ Explorer::Explorer(std::vector<const workloads::Workload *> wls,
     // registry) serially so pool workers only ever read them.
     model::AreaPowerModel::instance();
     pool_ = std::make_unique<ThreadPool>(opts_.threads);
+    if (opts_.compileCache)
+        compileCache_ = std::make_unique<compiler::CompileCache>();
+
+    // Everything evaluateDesign reads besides (design, repair cache,
+    // repair flag). Two Explorers with different workloads or shaping
+    // options must never share eval-cache entries.
+    uint64_t sig = 0x6473652d63747874ull; // "dse-ctxt"
+    sig = hashCombine(sig, static_cast<uint64_t>(workloads_.size()));
+    for (const auto *w : workloads_)
+        sig = hashCombine(sig, w->name);
+    sig = hashCombine(sig, static_cast<uint64_t>(opts_.unrollFactors.size()));
+    for (int u : opts_.unrollFactors)
+        sig = hashCombine(sig, static_cast<uint64_t>(u));
+    sig = hashCombine(sig, opts_.seed);
+    sig = hashCombine(sig, static_cast<uint64_t>(opts_.schedIters));
+    sig = hashCombine(sig, static_cast<uint64_t>(opts_.initSchedIters));
+    sig = hashCombine(sig, static_cast<uint64_t>(opts_.useRepair));
+    sig = hashCombine(sig, static_cast<uint64_t>(opts_.candidateTimeMs));
+    workloadSig_ = sig;
+}
+
+EvalKey
+Explorer::makeEvalKey(const Adg &adg, const ScheduleCache &scheds,
+                      bool repair) const
+{
+    adg::AdgKey k = adg::canonicalKey(adg);
+    uint64_t ctx = workloadSig_;
+    ctx = hashCombine(ctx, hashScheduleCache(scheds));
+    ctx = hashCombine(ctx, static_cast<uint64_t>(repair));
+    return {k.structural, k.labeling, ctx};
+}
+
+model::ComponentCost
+Explorer::priceFabric(const Adg &adg, bool tryIncremental)
+{
+    const auto &model = model::AreaPowerModel::instance();
+    model::ComponentCost cost;
+    if (!opts_.costMemo)
+        cost = model.fabric(adg);
+    else if (tryIncremental && pricer_.bound())
+        cost = pricer_.price(adg);
+    else
+        cost = model::fabricMemo(model, adg, costMemo_);
+    if (opts_.checkCostOracle && opts_.costMemo) {
+        model::ComponentCost oracle = model.fabric(adg);
+        DSA_ASSERT(cost.areaMm2 == oracle.areaMm2 &&
+                       cost.powerMw == oracle.powerMw,
+                   "memoized fabric cost diverged from the oracle: (",
+                   cost.areaMm2, ", ", cost.powerMw, ") vs (", oracle.areaMm2,
+                   ", ", oracle.powerMw, ")");
+    }
+    return cost;
+}
+
+void
+Explorer::recordCacheStats(DseRunState &st)
+{
+    DseCacheStats cs;
+    if (st.evalCache) {
+        EvalCacheStats s = st.evalCache->stats();
+        cs.evalHits = s.hits;
+        cs.evalMisses = s.misses;
+        cs.evalInserts = s.inserts;
+        cs.evalEntries = st.evalCache->size();
+    }
+    if (compileCache_) {
+        compiler::CompileCacheStats s = compileCache_->stats();
+        cs.placementHits = s.placementHits;
+        cs.placementMisses = s.placementMisses;
+        cs.lowerHits = s.lowerHits;
+        cs.lowerMisses = s.lowerMisses;
+    }
+    model::CostMemoStats ms = costMemo_.stats();
+    cs.costHits = ms.hits;
+    cs.costMisses = ms.misses;
+    cs.dedupCollapsed = dedupCollapsed_;
+    st.result.cacheStats = cs;
 }
 
 std::vector<std::string>
@@ -49,12 +127,10 @@ Explorer::workloadNames() const
 double
 Explorer::evaluateDesign(const Adg &adg, ScheduleCache &scheds,
                          bool repair, double *perfOut,
-                         model::ComponentCost *costOut, Status *statusOut)
+                         model::ComponentCost *costOut, Status *statusOut,
+                         EvalCache *cache,
+                         const model::ComponentCost *knownCost)
 {
-    auto features = compiler::HwFeatures::fromAdg(adg);
-    compiler::CompileOptions copts;
-    copts.unrollFactors = opts_.unrollFactors;
-
     // The (kernel, unroll) grid as a flat, order-independent task
     // list. Each task compiles, schedules, and estimates on its own;
     // the repair cache is read-only during the fan-out and updated in
@@ -77,6 +153,58 @@ Explorer::evaluateDesign(const Adg &adg, ScheduleCache &scheds,
     for (size_t k = 0; k < workloads_.size(); ++k)
         for (int u : opts_.unrollFactors)
             tasks.push_back({static_cast<int>(k), u});
+
+    // Memo lookup before any compile work. A hit replays the stored
+    // per-task outcomes through the same reduction the live path runs
+    // below, so the caller's repair cache ends up in the exact state a
+    // recomputation would leave it in. Entries exist only for
+    // fault-free evaluations, so a hit is unconditionally OK.
+    EvalKey key;
+    if (cache) {
+        key = makeEvalKey(adg, scheds, repair);
+        if (auto hit = cache->find(key)) {
+            DSA_ASSERT(hit->tasks.size() == tasks.size(),
+                       "eval-cache entry has the wrong task count");
+            for (size_t t = 0; t < tasks.size(); ++t) {
+                const EvalTaskOutcome &out = hit->tasks[t];
+                if (!out.lowered)
+                    continue;
+                auto &entry = scheds[{tasks[t].k, tasks[t].u}];
+                if (out.legal) {
+                    entry.sched = out.sched;
+                    entry.hasLegal = true;
+                }
+            }
+            if (statusOut)
+                *statusOut = Status();
+            if (perfOut)
+                *perfOut = hit->perf;
+            if (costOut)
+                *costOut = hit->cost;
+            return hit->objective;
+        }
+    }
+
+    auto features = compiler::HwFeatures::fromAdg(adg);
+    compiler::CompileOptions copts;
+    copts.unrollFactors = opts_.unrollFactors;
+    uint64_t featuresFp = compiler::fingerprintFeatures(features);
+    uint64_t coptsFp = compiler::fingerprintOptions(copts);
+
+    // Placements depend only on (kernel, features): compute once per
+    // kernel per design — not once per (kernel, unroll) task — and
+    // share across candidates through the compile cache when enabled.
+    std::vector<std::shared_ptr<const compiler::Placement>> placements(
+        workloads_.size());
+    for (size_t k = 0; k < workloads_.size(); ++k) {
+        const auto &w = *workloads_[k];
+        placements[k] = compileCache_
+            ? compileCache_->placementFor(w.name, w.kernel, features,
+                                          featuresFp)
+            : std::make_shared<const compiler::Placement>(
+                  compiler::Placement::autoLayout(w.kernel, features));
+    }
+
     std::vector<TaskOut> outs(tasks.size());
 
     // One wall-clock cap for this whole design evaluation (unlimited
@@ -97,11 +225,20 @@ Explorer::evaluateDesign(const Adg &adg, ScheduleCache &scheds,
             if (opts_.evalFaultHook)
                 opts_.evalFaultHook(task.k, task.u);
             const auto &w = *workloads_[static_cast<size_t>(task.k)];
-            auto placement =
-                compiler::Placement::autoLayout(w.kernel, features);
-            auto lowered = compiler::lowerKernel(w.kernel, placement,
-                                                 features, copts, task.u);
-            if (!lowered.ok)
+            const compiler::Placement &placement =
+                *placements[static_cast<size_t>(task.k)];
+            // Lowering depends on the graph only through HwFeatures,
+            // so candidates sharing features reuse lowered programs
+            // (shared immutable values, keyed by features + options).
+            std::shared_ptr<const compiler::LowerResult> lowered =
+                compileCache_
+                    ? compileCache_->lowerFor(w.name, w.kernel, placement,
+                                              features, copts, task.u,
+                                              featuresFp, coptsFp)
+                    : std::make_shared<const compiler::LowerResult>(
+                          compiler::lowerKernel(w.kernel, placement,
+                                                features, copts, task.u));
+            if (!lowered->ok)
                 return;
             auto key = std::make_pair(task.k, task.u);
             auto prev = scheds.find(key);
@@ -116,8 +253,8 @@ Explorer::evaluateDesign(const Adg &adg, ScheduleCache &scheds,
             so.seed = mixSeed(opts_.seed, static_cast<uint64_t>(task.k),
                               static_cast<uint64_t>(task.u));
             so.deadline = candDeadline;
-            mapper::SpatialScheduler scheduler(lowered.version.program, adg,
-                                               so);
+            mapper::SpatialScheduler scheduler(lowered->version.program,
+                                               adg, so);
             const mapper::Schedule *seedSched =
                 (repair && prev != scheds.end() && prev->second.hasLegal)
                     ? &prev->second.sched
@@ -129,7 +266,7 @@ Explorer::evaluateDesign(const Adg &adg, ScheduleCache &scheds,
                 out.status = scheduler.lastRunStatus();
                 return;
             }
-            auto est = model::estimatePerformance(lowered.version.program,
+            auto est = model::estimatePerformance(lowered->version.program,
                                                   out.sched, adg);
             out.lowered = true;
             out.legal = est.legal;
@@ -141,15 +278,26 @@ Explorer::evaluateDesign(const Adg &adg, ScheduleCache &scheds,
     });
 
     // Deterministic serial reduction, in task order.
-    if (statusOut)
-        *statusOut = Status();
+    Status evalStatus;
     std::vector<double> bestCycles(workloads_.size(), 1e30);
+    std::vector<EvalTaskOutcome> recorded;
+    if (cache)
+        recorded.resize(tasks.size());
     for (size_t t = 0; t < tasks.size(); ++t) {
         TaskOut &out = outs[t];
-        if (statusOut && statusOut->ok() && !out.status.ok())
-            *statusOut = out.status;
+        if (evalStatus.ok() && !out.status.ok())
+            evalStatus = out.status;
         if (!out.lowered)
             continue;
+        if (cache) {
+            // Snapshot before the move below; the memoized outcome
+            // must replay this exact reduction on a future hit.
+            recorded[t].lowered = true;
+            recorded[t].legal = out.legal;
+            recorded[t].cycles = out.cycles;
+            if (out.legal)
+                recorded[t].sched = out.sched;
+        }
         auto key = std::make_pair(tasks[t].k, tasks[t].u);
         auto &entry = scheds[key];
         if (out.legal) {
@@ -162,6 +310,8 @@ Explorer::evaluateDesign(const Adg &adg, ScheduleCache &scheds,
         // previous legal schedule (if any) stays as the repair seed so
         // one bad step cannot poison later repairs.
     }
+    if (statusOut)
+        *statusOut = evalStatus;
 
     double logSum = 0;
     for (size_t k = 0; k < workloads_.size(); ++k) {
@@ -173,12 +323,25 @@ Explorer::evaluateDesign(const Adg &adg, ScheduleCache &scheds,
         logSum += std::log(speedup);
     }
     double perf = std::exp(logSum / static_cast<double>(workloads_.size()));
-    auto cost = model::AreaPowerModel::instance().fabric(adg);
+    auto cost = knownCost ? *knownCost : priceFabric(adg, false);
+    double objective = perf * perf / std::max(1e-6, cost.areaMm2);
+
+    // Memoize fault-free evaluations only: a timed-out or faulted
+    // sweep is not a function of the key and must be retried live.
+    if (cache && evalStatus.ok()) {
+        auto entry = std::make_shared<EvalCacheEntry>();
+        entry->objective = objective;
+        entry->perf = perf;
+        entry->cost = cost;
+        entry->tasks = std::move(recorded);
+        cache->insert(key, std::move(entry));
+    }
+
     if (perfOut)
         *perfOut = perf;
     if (costOut)
         *costOut = cost;
-    return perf * perf / std::max(1e-6, cost.areaMm2);
+    return objective;
 }
 
 void
@@ -188,17 +351,29 @@ Explorer::pruneUnused(Adg &adg) const
     auto features = compiler::HwFeatures::fromAdg(adg);
     compiler::CompileOptions copts;
     copts.unrollFactors = opts_.unrollFactors;
+    uint64_t featuresFp = compiler::fingerprintFeatures(features);
+    uint64_t coptsFp = compiler::fingerprintOptions(copts);
     OpSet used;
     bool needsJoin = false, needsIndirect = false, needsAtomic = false;
     for (const auto *w : workloads_) {
-        auto placement = compiler::Placement::autoLayout(w->kernel,
-                                                         features);
+        std::shared_ptr<const compiler::Placement> placement =
+            compileCache_
+                ? compileCache_->placementFor(w->name, w->kernel, features,
+                                              featuresFp)
+                : std::make_shared<const compiler::Placement>(
+                      compiler::Placement::autoLayout(w->kernel, features));
         for (int u : opts_.unrollFactors) {
-            auto lowered = compiler::lowerKernel(w->kernel, placement,
-                                                 features, copts, u);
-            if (!lowered.ok)
+            std::shared_ptr<const compiler::LowerResult> lowered =
+                compileCache_
+                    ? compileCache_->lowerFor(w->name, w->kernel,
+                                              *placement, features, copts,
+                                              u, featuresFp, coptsFp)
+                    : std::make_shared<const compiler::LowerResult>(
+                          compiler::lowerKernel(w->kernel, *placement,
+                                                features, copts, u));
+            if (!lowered->ok)
                 continue;
-            for (const auto &reg : lowered.version.program.regions) {
+            for (const auto &reg : lowered->version.program.regions) {
                 for (const auto &vx : reg.dfg.vertices()) {
                     if (vx.kind != dfg::VertexKind::Instruction)
                         continue;
@@ -420,11 +595,14 @@ Explorer::mutate(Adg &adg, Rng &rng) const
 }
 
 DseResult
-Explorer::run(const Adg &initial)
+Explorer::run(const Adg &initial, std::shared_ptr<EvalCache> warmCache)
 {
     DseRunState st;
     st.rng = Rng(opts_.seed);
     st.current = initial;
+    if (opts_.evalCache)
+        st.evalCache =
+            warmCache ? std::move(warmCache) : std::make_shared<EvalCache>();
 
     // Everything from here on reports errors as DseResult::status: a
     // worker exception, a corrupt workload, a compiler fault — none of
@@ -437,12 +615,14 @@ Explorer::run(const Adg &initial)
         Status evalStatus;
         DseResult &result = st.result;
         result.initialObjective = evaluateDesign(
-            st.current, st.schedules, false, &perf, &cost, &evalStatus);
+            st.current, st.schedules, false, &perf, &cost, &evalStatus,
+            st.evalCache.get());
         if (!evalStatus.ok()) {
             // The initial design must evaluate; without it there is no
             // baseline to explore from.
             result.status = evalStatus;
             result.stopReason = "error";
+            recordCacheStats(st);
             return result;
         }
         result.initialCost = cost;
@@ -453,10 +633,11 @@ Explorer::run(const Adg &initial)
         pruneUnused(st.current);
         st.curObj = evaluateDesign(st.current, st.schedules,
                                    opts_.useRepair, &perf, &cost,
-                                   &evalStatus);
+                                   &evalStatus, st.evalCache.get());
         if (!evalStatus.ok()) {
             result.status = evalStatus;
             result.stopReason = "error";
+            recordCacheStats(st);
             return result;
         }
         result.history.push_back(
@@ -471,6 +652,7 @@ Explorer::run(const Adg &initial)
     } catch (...) {
         st.result.status = Status::fromCurrentException();
         st.result.stopReason = "error";
+        recordCacheStats(st);
         return st.result;
     }
 }
@@ -483,6 +665,7 @@ Explorer::resume(DseRunState state)
     } catch (...) {
         state.result.status = Status::fromCurrentException();
         state.result.stopReason = "error";
+        recordCacheStats(state);
         return state.result;
     }
 }
@@ -507,6 +690,18 @@ Explorer::runLoop(DseRunState &st)
     Deadline wall = opts_.wallBudgetMs > 0
         ? Deadline::afterMs(opts_.wallBudgetMs)
         : Deadline::never();
+
+    // Resume of a pre-cache checkpoint (or a run() that raced an
+    // option change): make sure the cache exists iff enabled.
+    if (opts_.evalCache && !st.evalCache)
+        st.evalCache = std::make_shared<EvalCache>();
+    EvalCache *evalCache = opts_.evalCache ? st.evalCache.get() : nullptr;
+
+    // The incremental pricer is parent-relative: (re)bind it to the
+    // design the batch mutates from, here and on every accepted step.
+    if (opts_.costMemo)
+        pricer_.bind(st.current, model::AreaPowerModel::instance(),
+                     costMemo_);
 
     // Candidates cheaply rejected before evaluation (structurally
     // invalid or over budget) must not trip the no-improvement exit —
@@ -557,8 +752,11 @@ Explorer::runLoop(DseRunState &st)
             for (int m = 0; m < nMut; ++m)
                 mutate(c.adg, st.rng);
             if (c.adg.validate().empty()) {
-                c.cost =
-                    model::AreaPowerModel::instance().fabric(c.adg);
+                // Candidates differ from st.current by 1-3 mutations:
+                // price them against the bound parent (re-predicting
+                // only changed components) instead of walking the
+                // whole fabric. Bit-identical to fabric() either way.
+                c.cost = priceFabric(c.adg, /*tryIncremental=*/true);
                 c.feasible = c.cost.areaMm2 <= opts_.areaBudgetMm2 &&
                              c.cost.powerMw <= opts_.powerBudgetMw;
             }
@@ -566,20 +764,56 @@ Explorer::runLoop(DseRunState &st)
         }
         st.iter += batch;
 
+        // Identical mutants in one batch (noop mutations, coincident
+        // draws, add/remove round-trips) would evaluate to identical
+        // results — evaluateDesign is a pure function of (live graph,
+        // incoming repair cache, options), and every batch member
+        // starts from the same st.schedules. Collapse them onto the
+        // first occurrence (keeping draw order deterministic) and copy
+        // the leader's outcome afterwards.
         std::vector<size_t> evalIdx;
-        for (size_t i = 0; i < cands.size(); ++i)
-            if (cands[i].feasible)
-                evalIdx.push_back(i);
+        std::vector<std::pair<size_t, size_t>> dups; // (copy, leader)
+        if (opts_.dedupBatch && batch > 1) {
+            std::map<adg::AdgKey, size_t> seen;
+            for (size_t i = 0; i < cands.size(); ++i) {
+                if (!cands[i].feasible)
+                    continue;
+                auto [it, fresh] =
+                    seen.emplace(adg::canonicalKey(cands[i].adg), i);
+                if (fresh)
+                    evalIdx.push_back(i);
+                else
+                    dups.push_back({i, it->second});
+            }
+        } else {
+            for (size_t i = 0; i < cands.size(); ++i)
+                if (cands[i].feasible)
+                    evalIdx.push_back(i);
+        }
 
         // Evaluate the feasible mutants. With batch=1 this call runs
         // inline and the *grid* fans out instead; with batch>1 the
         // candidates fan out and each grid runs inline on its worker.
+        // Cache note: deduped leaders have pairwise-distinct keys and
+        // the pre-batch cache state is fixed, so concurrent lookups
+        // and inserts are deterministic, not just race-safe.
         pool_->parallelFor(evalIdx.size(), [&](size_t e) {
             Candidate &c = cands[evalIdx[e]];
             c.cache = st.schedules;  // repair from the current mapping
             c.objective = evaluateDesign(c.adg, c.cache, opts_.useRepair,
-                                         &c.perf, &c.cost, &c.evalStatus);
+                                         &c.perf, &c.cost, &c.evalStatus,
+                                         evalCache, &c.cost);
         });
+        for (auto [copy, leader] : dups) {
+            Candidate &c = cands[copy];
+            const Candidate &l = cands[leader];
+            c.cache = l.cache;
+            c.perf = l.perf;
+            c.objective = l.objective;
+            c.cost = l.cost;
+            c.evalStatus = l.evalStatus;
+            ++dedupCollapsed_;
+        }
 
         // Deterministic selection: best improving candidate, first in
         // draw order on ties. Candidates that errored or timed out are
@@ -624,6 +858,9 @@ Explorer::runLoop(DseRunState &st)
             st.current = std::move(c.adg);
             st.schedules = std::move(c.cache);
             st.curObj = c.objective;
+            if (opts_.costMemo)
+                pricer_.bind(st.current,
+                             model::AreaPowerModel::instance(), costMemo_);
             if (c.objective > result.bestObjective) {
                 result.best = st.current;
                 result.bestObjective = c.objective;
@@ -645,6 +882,7 @@ Explorer::runLoop(DseRunState &st)
                         opts_.haltAfterCheckpoints) {
                     // Test knob: emulate a crash right after the write.
                     result.stopReason = "halted";
+                    recordCacheStats(st);
                     return result;
                 }
             }
@@ -659,6 +897,7 @@ Explorer::runLoop(DseRunState &st)
         writeCheckpoint(st);
     if (opts_.simValidateBest)
         validateBest(result);
+    recordCacheStats(st);
     return result;
 }
 

@@ -38,8 +38,11 @@
 #include "base/status.h"
 #include "base/thread_pool.h"
 #include "compiler/compile.h"
+#include "compiler/compile_cache.h"
+#include "dse/eval_cache.h"
 #include "mapper/scheduler.h"
 #include "model/cost.h"
+#include "model/cost_cache.h"
 #include "sim/simulator.h"
 #include "workloads/workload.h"
 
@@ -140,6 +143,49 @@ struct DseOptions
     std::function<void(int kernel, int unroll)> evalFaultHook;
     /// @}
 
+    /// @name Evaluation memoization
+    /// All four fast paths preserve bit-identical exploration results
+    /// (same best design, objective trajectory, checkpoints, and
+    /// resume behaviour); the flags exist for benchmarking the caches
+    /// against the always-recompute baseline and for the equivalence
+    /// tests that enforce that guarantee.
+    /// @{
+    /**
+     * Memoize whole evaluateDesign outcomes by (canonical ADG
+     * fingerprint, labeling hash, evaluation-context hash); revisited
+     * designs replay the stored per-task outcomes instead of
+     * re-running compile + schedule + estimate. Persisted through
+     * checkpoints so a resumed run does not re-pay warm-up.
+     */
+    bool evalCache = true;
+    /**
+     * Share Placement::autoLayout and lowerKernel results across
+     * candidates keyed by (HwFeatures fingerprint, kernel, unroll) —
+     * most mutations do not change HwFeatures. Process-local (not
+     * checkpointed; rebuilt on demand after resume).
+     */
+    bool compileCache = true;
+    /**
+     * Memoize per-component area/power by parameter signature and
+     * price mutated candidates against the parent design instead of
+     * walking + re-predicting the whole fabric. Totals re-sum in the
+     * oracle's exact order, so they are bit-identical to fabric().
+     */
+    bool costMemo = true;
+    /**
+     * Collapse batch mutants with identical (structural, labeling)
+     * keys to one evaluation; duplicates copy the leader's outcome.
+     * Selection order stays deterministic (draw order).
+     */
+    bool dedupBatch = true;
+    /**
+     * Checked oracle: recompute every memoized/incremental fabric
+     * cost with the full AreaPowerModel::fabric() walk and assert
+     * exact equality (debug/property-test knob; expensive).
+     */
+    bool checkCostOracle = false;
+    /// @}
+
     /// @name Post-run simulator validation
     /// @{
     /**
@@ -169,6 +215,28 @@ struct DseIterRecord
     double perf = 0;        ///< geomean speedup over the host model
     double objective = 0;   ///< perf^2 / mm^2
     bool accepted = false;
+};
+
+/**
+ * Cache activity of one run (process-level observability; not part of
+ * the resumable state and not serialized into checkpoints — a resumed
+ * process starts its own counters).
+ */
+struct DseCacheStats
+{
+    uint64_t evalHits = 0;
+    uint64_t evalMisses = 0;
+    uint64_t evalInserts = 0;
+    /** Entries in the eval cache at run end (incl. restored ones). */
+    uint64_t evalEntries = 0;
+    uint64_t placementHits = 0;
+    uint64_t placementMisses = 0;
+    uint64_t lowerHits = 0;
+    uint64_t lowerMisses = 0;
+    uint64_t costHits = 0;
+    uint64_t costMisses = 0;
+    /** Batch mutants collapsed onto an identical leader. */
+    uint64_t dedupCollapsed = 0;
 };
 
 /** Exploration outcome. */
@@ -201,25 +269,9 @@ struct DseResult
     /** Per-workload dense/sparse simulator wall-clock speedup on the
      *  best design (populated when DseOptions::simValidateBest). */
     std::map<std::string, double> simSpeedups;
+    /** Cache hit/miss/insert counters (see DseCacheStats). */
+    DseCacheStats cacheStats;
 };
-
-/**
- * Per-(kernel, unroll) repair cache. Only *legal* schedules are kept
- * as repair seeds: an entry whose last attempt was illegal keeps its
- * previous legal schedule (if any) so repair can restart from the
- * best known mapping instead of being poisoned by a broken one. An
- * entry with no legal schedule yet only marks the version as
- * attempted (so it gets the per-step budget, not the initial one) and
- * makes repair restart from scratch.
- */
-struct ScheduleCacheEntry
-{
-    /** Last *legal* schedule for this version (valid iff hasLegal). */
-    mapper::Schedule sched;
-    bool hasLegal = false;
-};
-
-using ScheduleCache = std::map<std::pair<int, int>, ScheduleCacheEntry>;
 
 /**
  * Complete resumable exploration state: everything the main loop reads
@@ -239,6 +291,13 @@ struct DseRunState
     int acceptedSinceCkpt = 0; ///< accepted steps since last checkpoint
     Rng rng{1};                ///< exploration RNG (stream position)
     DseResult result;          ///< best-so-far + trace, grown in place
+    /**
+     * Design-level evaluation cache (null when DseOptions::evalCache
+     * is off). Entries are pure functions of their key, so the cache
+     * never influences results — only how often they are recomputed —
+     * but it *is* part of the checkpoint so resume keeps its warm-up.
+     */
+    std::shared_ptr<EvalCache> evalCache;
 };
 
 /** Hardware/software co-design explorer over a set of workloads. */
@@ -248,8 +307,17 @@ class Explorer
     Explorer(std::vector<const workloads::Workload *> workloads,
              DseOptions opts = {});
 
-    /** Run the exploration from @p initial. */
-    DseResult run(const adg::Adg &initial);
+    /**
+     * Run the exploration from @p initial. @p warmCache optionally
+     * seeds the evaluation cache with entries from an earlier run
+     * (e.g. restored from a checkpoint via DseRunState::evalCache):
+     * a deterministic replay of a completed exploration then hits on
+     * every evaluation and skips all compile + schedule work, without
+     * changing a single bit of the produced trace. Ignored when
+     * DseOptions::evalCache is off.
+     */
+    DseResult run(const adg::Adg &initial,
+                  std::shared_ptr<EvalCache> warmCache = nullptr);
 
     /**
      * Continue a checkpointed exploration. @p state must come from a
@@ -274,11 +342,19 @@ class Explorer
      * @param statusOut when non-null, receives OK or the first task
      *        error (worker exception / candidate timeout) in task
      *        order; errored tasks contribute no schedule and score 0.
+     * @param cache when non-null, consulted before the fan-out (a hit
+     *        replays the stored per-task outcomes through the same
+     *        serial reduction) and updated after fault-free
+     *        evaluations.
+     * @param knownCost when non-null, the already-priced fabric cost
+     *        of @p adg (skips recomputation; must equal fabric(adg)).
      */
     double evaluateDesign(const adg::Adg &adg, ScheduleCache &schedules,
                           bool repair, double *perfOut,
                           model::ComponentCost *costOut,
-                          Status *statusOut = nullptr);
+                          Status *statusOut = nullptr,
+                          EvalCache *cache = nullptr,
+                          const model::ComponentCost *knownCost = nullptr);
 
     /**
      * Remove features no kernel can use (unneeded FU classes, unused
@@ -290,6 +366,14 @@ class Explorer
     /** Apply one random mutation; returns a description. */
     std::string mutate(adg::Adg &adg, Rng &rng) const;
 
+    /**
+     * Eval-cache key of evaluating @p adg against @p schedules: the
+     * design's canonical key plus a context hash of the repair-cache
+     * content, the repair flag, and the evaluation-shaping options.
+     */
+    EvalKey makeEvalKey(const adg::Adg &adg, const ScheduleCache &schedules,
+                        bool repair) const;
+
   private:
     /** Main exploration loop, shared by run() and resume(). */
     DseResult runLoop(DseRunState &st);
@@ -298,6 +382,12 @@ class Explorer
     void validateBest(DseResult &result);
     /** Write a checkpoint of @p st (warn, don't fail, on error). */
     void writeCheckpoint(DseRunState &st);
+    /** Fabric cost of @p adg through the enabled fast path, with the
+     *  optional checked-oracle cross-check. */
+    model::ComponentCost priceFabric(const adg::Adg &adg,
+                                     bool tryIncremental);
+    /** Snapshot all cache counters into @p st's result. */
+    void recordCacheStats(DseRunState &st);
 
     std::vector<const workloads::Workload *> workloads_;
     DseOptions opts_;
@@ -305,6 +395,16 @@ class Explorer
     /** Shared pool for grid and batch evaluation (nested calls run
      *  inline on the worker, so the two axes compose safely). */
     std::unique_ptr<ThreadPool> pool_;
+    /** Context-hash component covering workloads + eval options. */
+    uint64_t workloadSig_ = 0;
+    /** Placement/lowering cache (null when opts_.compileCache off). */
+    std::unique_ptr<compiler::CompileCache> compileCache_;
+    /** Per-component cost flyweight table (used when opts_.costMemo). */
+    model::ComponentCostMemo costMemo_;
+    /** Parent-relative fabric pricer, rebound on every accepted step. */
+    model::IncrementalFabricCost pricer_;
+    /** Batch mutants collapsed by dedup (for DseCacheStats). */
+    uint64_t dedupCollapsed_ = 0;
 };
 
 } // namespace dsa::dse

@@ -1,0 +1,135 @@
+#include "model/cost_cache.h"
+
+#include "adg/fingerprint.h"
+#include "base/hashing.h"
+#include "base/logging.h"
+#include "model/synth_oracle.h"
+
+namespace dsa::model {
+
+namespace {
+
+/**
+ * Flyweight signature of one component: kind + parameters, plus
+ * fan-in/out for switches, whose predictor reads the degrees. Node
+ * identity deliberately excluded — that is the point of the table.
+ */
+uint64_t
+componentSignature(const adg::Adg &adg, adg::NodeId id)
+{
+    const adg::AdgNode &n = adg.node(id);
+    uint64_t h = adg::nodeParamHash(n);
+    if (n.kind == adg::NodeKind::Switch) {
+        h = hashCombine(h, static_cast<uint64_t>(adg.inEdges(id).size()));
+        h = hashCombine(h, static_cast<uint64_t>(adg.outEdges(id).size()));
+    }
+    return h;
+}
+
+} // namespace
+
+ComponentCost
+ComponentCostMemo::nodeCost(const adg::Adg &adg, adg::NodeId id,
+                            const AreaPowerModel &model)
+{
+    uint64_t sig = componentSignature(adg, id);
+    Shard &shard = shards_[sig % kShards];
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.costs.find(sig);
+        if (it != shard.costs.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+    // Predict outside the lock; the predictor is deterministic, so a
+    // racy duplicate compute inserts the identical doubles.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    ComponentCost c = model.node(adg, id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.costs.emplace(sig, c);
+    return c;
+}
+
+CostMemoStats
+ComponentCostMemo::stats() const
+{
+    CostMemoStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    return s;
+}
+
+ComponentCost
+fabricMemo(const AreaPowerModel &model, const adg::Adg &adg,
+           ComponentCostMemo &memo)
+{
+    // Mirror AreaPowerModel::fabric() term for term and in order —
+    // float addition is order-sensitive, and the totals must be
+    // bit-identical to the oracle's.
+    ComponentCost total;
+    for (adg::NodeId id : adg.aliveNodes())
+        total += memo.nodeCost(adg, id, model);
+    for (adg::EdgeId e : adg.aliveEdges()) {
+        double w = adg.edge(e).widthBits / 64.0;
+        total.areaMm2 += 40.0 * w / 1e6;
+        total.powerMw += 0.015 * w;
+    }
+    total += controlCoreCost();
+    return total;
+}
+
+void
+IncrementalFabricCost::bind(const adg::Adg &parent,
+                            const AreaPowerModel &model,
+                            ComponentCostMemo &memo)
+{
+    model_ = &model;
+    memo_ = &memo;
+    parent_ = parent;
+    parentAlive_.assign(static_cast<size_t>(parent.nodeIdBound()), 0);
+    parentNodeCost_.assign(static_cast<size_t>(parent.nodeIdBound()), {});
+    for (adg::NodeId id : parent.aliveNodes()) {
+        parentAlive_[static_cast<size_t>(id)] = 1;
+        parentNodeCost_[static_cast<size_t>(id)] =
+            memo.nodeCost(parent, id, model);
+    }
+    bound_ = true;
+}
+
+ComponentCost
+IncrementalFabricCost::price(const adg::Adg &child) const
+{
+    DSA_ASSERT(bound_, "price() before bind()");
+    // Same canonical walk as fabric(); only the per-node cost *lookup*
+    // is incremental. A node is reusable when it exists live in the
+    // parent with identical parameters (and, for switches, identical
+    // degrees — the predictor reads them). IDs are never reused within
+    // one Adg lineage, so an ID match really is the same component.
+    ComponentCost total;
+    for (adg::NodeId id : child.aliveNodes()) {
+        const auto idx = static_cast<size_t>(id);
+        const adg::AdgNode &cn = child.node(id);
+        bool reusable = idx < parentAlive_.size() && parentAlive_[idx];
+        if (reusable) {
+            const adg::AdgNode &pn = parent_.node(id);
+            reusable = pn.kind == cn.kind && pn.props == cn.props &&
+                       (cn.kind != adg::NodeKind::Switch ||
+                        (parent_.inEdges(id).size() ==
+                             child.inEdges(id).size() &&
+                         parent_.outEdges(id).size() ==
+                             child.outEdges(id).size()));
+        }
+        total += reusable ? parentNodeCost_[idx]
+                          : memo_->nodeCost(child, id, *model_);
+    }
+    for (adg::EdgeId e : child.aliveEdges()) {
+        double w = child.edge(e).widthBits / 64.0;
+        total.areaMm2 += 40.0 * w / 1e6;
+        total.powerMw += 0.015 * w;
+    }
+    total += controlCoreCost();
+    return total;
+}
+
+} // namespace dsa::model

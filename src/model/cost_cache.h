@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Memoized and incremental area/power costing for DSE.
+ *
+ * `AreaPowerModel::node()` rebuilds a feature vector and runs the
+ * linear predictor on every call, and `fabric()` walks every component
+ * of every candidate — although a DSE step changes at most a handful
+ * of components and the distinct parameter signatures across a whole
+ * run number in the dozens. Two fast paths exploit that:
+ *
+ *  - `ComponentCostMemo` is a flyweight table mapping a component's
+ *    parameter signature (kind + props, plus fan-in/out for switches,
+ *    whose predictor reads degrees) to its exact predicted cost.
+ *
+ *  - `IncrementalFabricCost` prices a mutated child against a bound
+ *    parent design: per-node costs are reused for nodes whose
+ *    signature is unchanged and re-predicted only for changed ones.
+ *
+ * Bit-identity: both paths *re-sum in exactly `fabric()`'s order*
+ * (live nodes ascending, then live edges, then the control core)
+ * rather than adjusting the parent total by a delta — floating-point
+ * addition is not associative, so a true ± delta would drift from the
+ * oracle by ulps and break the cached-vs-uncached equivalence
+ * guarantee. The memoized values themselves are exact (a cached
+ * predict() output is the same double the oracle would produce), so
+ * every total is bit-identical to `AreaPowerModel::fabric()`. The
+ * full walk stays available as a checked oracle behind
+ * `DseOptions::checkCostOracle`.
+ */
+
+#ifndef DSA_MODEL_COST_CACHE_H
+#define DSA_MODEL_COST_CACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "adg/adg.h"
+#include "model/cost.h"
+#include "model/regression.h"
+
+namespace dsa::model {
+
+/** Hit/miss counters for the flyweight table. */
+struct CostMemoStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+};
+
+/**
+ * Flyweight table: parameter signature -> exact predicted cost.
+ * Sharded + mutex-striped so concurrent feasibility checks on pool
+ * workers can share one table. predict() is deterministic, so a racy
+ * duplicate compute inserts the identical value.
+ */
+class ComponentCostMemo
+{
+  public:
+    /** Cost of node @p id of @p adg, memoized by parameter signature. */
+    ComponentCost nodeCost(const adg::Adg &adg, adg::NodeId id,
+                           const AreaPowerModel &model);
+
+    CostMemoStats stats() const;
+
+  private:
+    static constexpr size_t kShards = 16;
+    struct Shard
+    {
+        std::mutex mu;
+        std::unordered_map<uint64_t, ComponentCost> costs;
+    };
+    Shard shards_[kShards];
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+};
+
+/**
+ * Full-fabric cost through the memo, bit-identical to
+ * `model.fabric(adg)` (same summation order, exact memoized terms).
+ */
+ComponentCost fabricMemo(const AreaPowerModel &model, const adg::Adg &adg,
+                         ComponentCostMemo &memo);
+
+/**
+ * Parent-relative pricer: bind() snapshots a design's per-node costs;
+ * price() then costs a mutated child, re-predicting only nodes whose
+ * parameter signature differs from the parent's (O(changed) predictor
+ * calls, O(V+E) exact re-summation).
+ */
+class IncrementalFabricCost
+{
+  public:
+    /** Snapshot @p parent (copied; later graph mutation is safe). */
+    void bind(const adg::Adg &parent, const AreaPowerModel &model,
+              ComponentCostMemo &memo);
+
+    bool bound() const { return bound_; }
+
+    /** Exact fabric cost of @p child (see class comment). */
+    ComponentCost price(const adg::Adg &child) const;
+
+  private:
+    bool bound_ = false;
+    const AreaPowerModel *model_ = nullptr;
+    ComponentCostMemo *memo_ = nullptr;
+    adg::Adg parent_;
+    /** Parent per-node cost, indexed by NodeId (live nodes only). */
+    std::vector<ComponentCost> parentNodeCost_;
+    std::vector<char> parentAlive_;
+};
+
+} // namespace dsa::model
+
+#endif // DSA_MODEL_COST_CACHE_H

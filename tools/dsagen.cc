@@ -233,6 +233,36 @@ finishDse(const dse::DseResult &res, const std::string &savePath)
     if (!res.status.ok())
         std::fprintf(stderr, "first evaluation error: %s\n",
                      res.status.toString().c_str());
+    const dse::DseCacheStats &cs = res.cacheStats;
+    if (cs.evalHits + cs.evalMisses + cs.placementHits + cs.placementMisses +
+            cs.lowerHits + cs.lowerMisses + cs.costHits + cs.costMisses >
+        0) {
+        auto pct = [](uint64_t hits, uint64_t misses) {
+            uint64_t total = hits + misses;
+            return total ? 100.0 * static_cast<double>(hits) /
+                               static_cast<double>(total)
+                         : 0.0;
+        };
+        std::printf("eval cache: %llu hits / %llu misses (%.0f%%, %llu "
+                    "entries)\n",
+                    static_cast<unsigned long long>(cs.evalHits),
+                    static_cast<unsigned long long>(cs.evalMisses),
+                    pct(cs.evalHits, cs.evalMisses),
+                    static_cast<unsigned long long>(cs.evalEntries));
+        std::printf("compile cache: placement %llu/%llu hits, lowering "
+                    "%llu/%llu hits\n",
+                    static_cast<unsigned long long>(cs.placementHits),
+                    static_cast<unsigned long long>(cs.placementHits +
+                                                    cs.placementMisses),
+                    static_cast<unsigned long long>(cs.lowerHits),
+                    static_cast<unsigned long long>(cs.lowerHits +
+                                                    cs.lowerMisses));
+        std::printf("cost memo: %llu hits / %llu misses; batch duplicates "
+                    "collapsed: %llu\n",
+                    static_cast<unsigned long long>(cs.costHits),
+                    static_cast<unsigned long long>(cs.costMisses),
+                    static_cast<unsigned long long>(cs.dedupCollapsed));
+    }
     if (!res.simSpeedups.empty()) {
         std::printf(
             "simulator validation on best design (sparse==dense, "
@@ -255,6 +285,11 @@ cmdDse(int argc, char **argv)
     std::string resumePath;
     dse::DseOptions flags;
     int threadsArg = -1;
+    // Cache toggles: -1 = not given, 0/1 = forced. Tracked separately
+    // so a resumed run only overrides what the user actually asked
+    // for (the caches never change results, so overriding is safe).
+    int evalCacheArg = -1, compileCacheArg = -1, costMemoArg = -1,
+        dedupArg = -1, checkOracleArg = -1;
     for (int i = 0; i < argc; ++i) {
         std::string a = argv[i];
         auto intArg = [&](const char *what) -> int64_t {
@@ -281,12 +316,37 @@ cmdDse(int argc, char **argv)
             threadsArg = static_cast<int>(intArg(a.c_str()));
         } else if (a == "--validate-sim") {
             flags.simValidateBest = true;
+        } else if (a == "--no-eval-cache") {
+            evalCacheArg = 0;
+        } else if (a == "--no-compile-cache") {
+            compileCacheArg = 0;
+        } else if (a == "--no-cost-memo") {
+            costMemoArg = 0;
+        } else if (a == "--no-dedup") {
+            dedupArg = 0;
+        } else if (a == "--no-caches") {
+            evalCacheArg = compileCacheArg = costMemoArg = dedupArg = 0;
+        } else if (a == "--check-cost-oracle") {
+            checkOracleArg = 1;
         } else if (!a.empty() && a[0] == '-') {
             DSA_FATAL("unknown dse flag '", a, "'");
         } else {
             pos.push_back(a);
         }
     }
+    auto applyCacheFlags = [&](dse::DseOptions &o) {
+        if (evalCacheArg >= 0)
+            o.evalCache = evalCacheArg != 0;
+        if (compileCacheArg >= 0)
+            o.compileCache = compileCacheArg != 0;
+        if (costMemoArg >= 0)
+            o.costMemo = costMemoArg != 0;
+        if (dedupArg >= 0)
+            o.dedupBatch = dedupArg != 0;
+        if (checkOracleArg >= 0)
+            o.checkCostOracle = checkOracleArg != 0;
+    };
+    applyCacheFlags(flags);
 
     if (!resumePath.empty()) {
         // Continue a checkpointed run. The checkpoint restores the
@@ -306,9 +366,12 @@ cmdDse(int argc, char **argv)
         if (threadsArg > 0)
             ck.options.threads = threadsArg;
         // Like --threads, post-run validation never touches the RNG
-        // stream, so it is safe to enable on a resumed run.
+        // stream, so it is safe to enable on a resumed run. The same
+        // holds for the memoization toggles: they only change how much
+        // work is re-done, never what the run computes.
         if (flags.simValidateBest)
             ck.options.simValidateBest = true;
+        applyCacheFlags(ck.options);
         std::printf("resuming %s: iteration %d of %d, %d threads\n",
                     resumePath.c_str(), ck.state.iter,
                     ck.options.maxIters, ck.options.threads);
@@ -400,8 +463,16 @@ usage()
         "      --candidate-time-ms <ms> per-candidate evaluation cap\n"
         "      --validate-sim           cross-check sparse vs dense\n"
         "                               simulation of the best design\n"
+        "      --no-eval-cache          disable design-level eval cache\n"
+        "      --no-compile-cache       disable placement/lowering cache\n"
+        "      --no-cost-memo           disable area/power memoization\n"
+        "      --no-dedup               disable batch deduplication\n"
+        "      --no-caches              all four of the above\n"
+        "      --check-cost-oracle      verify memoized costs against\n"
+        "                               the full model on every query\n"
         "  dse --resume <checkpoint> [--threads <n>] [--validate-sim]\n"
-        "      continue a checkpointed run bit-identically\n"
+        "      continue a checkpointed run bit-identically; cache\n"
+        "      toggles may also be overridden on resume\n"
         "  hwgen <target|file.adg> [out.v]\n");
 }
 
