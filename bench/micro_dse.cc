@@ -14,6 +14,13 @@
  * any divergence. Reports candidates/second plus per-cache hit rates
  * as JSON (written by scripts/bench_dse.sh into BENCH_dse.json).
  *
+ * A fourth and fifth run per suite exercise the multi-objective mode:
+ * the same exploration with --pareto semantics at 1 thread and at N
+ * threads. The two fronts must be bit-identical (the harness aborts on
+ * a nondeterministic front); the JSON records the front size, final
+ * hypervolume, the hypervolume-vs-candidates curve, and whether some
+ * front point dominates (or matches) the scalar run's best design.
+ *
  * Usage: micro_dse [out.json] [iters] [batch] [threads] [schedIters]
  */
 
@@ -160,7 +167,63 @@ main(int argc, char **argv)
             return 1;
         }
 
-        char buf[2048];
+        // Multi-objective mode: serial and parallel runs must grow the
+        // exact same front (hypervolume acceptance updates the archive
+        // strictly serially, so thread count may change nothing).
+        dse::DseOptions ps = base;
+        ps.pareto = true;
+        ps.paretoFrontSize = 16;
+        ps.threads = 1;
+        Timed pSerial = timedRun(suite, ps);
+        ps.threads = threads;
+        Timed pPar = timedRun(suite, ps);
+        bool sameFront =
+            pSerial.res.front.size() == pPar.res.front.size() &&
+            pSerial.res.frontHypervolume == pPar.res.frontHypervolume;
+        for (size_t i = 0; sameFront && i < pSerial.res.front.size();
+             ++i) {
+            const dse::ParetoRecord &a = pSerial.res.front[i];
+            const dse::ParetoRecord &b = pPar.res.front[i];
+            sameFront = a.perf == b.perf && a.areaMm2 == b.areaMm2 &&
+                        a.powerMw == b.powerMw &&
+                        a.objective == b.objective && a.iter == b.iter;
+        }
+        if (!sameFront) {
+            std::fprintf(stderr,
+                         "FATAL: pareto front nondeterministic across "
+                         "thread counts on %s\n",
+                         suite);
+            return 1;
+        }
+        std::printf("  pareto:   %.1fs serial / %.1fs parallel, "
+                    "%zu-point front, hypervolume %.3f\n",
+                    pSerial.seconds, pPar.seconds,
+                    pPar.res.front.size(), pPar.res.frontHypervolume);
+
+        // Hypervolume-vs-candidates: one [evaluated-candidates, hv]
+        // sample per hypervolume change (the curve is a step function,
+        // so only the steps carry information).
+        std::string curve;
+        double lastHv = -1;
+        size_t nCands = 0;
+        for (const auto &h : pPar.res.history) {
+            ++nCands;
+            if (h.hypervolume == lastHv)
+                continue;
+            char pb[96];
+            std::snprintf(pb, sizeof pb, "%s[%zu, %.6f]",
+                          curve.empty() ? "" : ", ", nCands,
+                          h.hypervolume);
+            curve += pb;
+            lastHv = h.hypervolume;
+        }
+        bool dominatesScalar = false;
+        for (const auto &p : pPar.res.front)
+            dominatesScalar |= p.perf >= cached.res.bestPerf &&
+                               p.areaMm2 <= cached.res.bestCost.areaMm2 &&
+                               p.powerMw <= cached.res.bestCost.powerMw;
+
+        char buf[8192];  // roomy: the hv curve rides along as a %s
         std::snprintf(
             buf, sizeof buf,
             "%s    {\n"
@@ -182,7 +245,13 @@ main(int argc, char **argv)
             "\"candidates_per_sec\": %.3f,\n"
             "        \"eval_hit_rate\": %.4f},\n"
             "      \"cached_speedup\": %.3f,\n"
-            "      \"replay_speedup\": %.3f\n"
+            "      \"replay_speedup\": %.3f,\n"
+            "      \"pareto\": {\"serial_seconds\": %.3f, "
+            "\"parallel_seconds\": %.3f,\n"
+            "        \"front_size\": %zu, \"hypervolume\": %.6f,\n"
+            "        \"identical_across_threads\": true,\n"
+            "        \"dominates_scalar\": %s,\n"
+            "        \"hv_vs_candidates\": [%s]}\n"
             "    }",
             first ? "" : ",\n", suite, iters, batch, threads,
             cached.res.history.size(), uncached.seconds,
@@ -196,7 +265,10 @@ main(int argc, char **argv)
             replay.seconds, replay.candidatesPerSec,
             rate(rs.evalHits, rs.evalMisses),
             cached.candidatesPerSec / uncached.candidatesPerSec,
-            replay.candidatesPerSec / uncached.candidatesPerSec);
+            replay.candidatesPerSec / uncached.candidatesPerSec,
+            pSerial.seconds, pPar.seconds, pPar.res.front.size(),
+            pPar.res.frontHypervolume, dominatesScalar ? "true" : "false",
+            curve.c_str());
         json += buf;
         first = false;
     }

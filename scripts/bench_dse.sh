@@ -6,7 +6,10 @@
 # (always-recompute baseline) vs the eval cache + compile cache + cost
 # memo + batch dedup — asserts the two produce bit-identical results,
 # and records candidates/second and per-cache hit rates, so the JSON
-# carries its own before/after comparison.
+# carries its own before/after comparison. It then repeats the
+# exploration in multi-objective (--pareto) mode at 1 and N threads,
+# aborts if the two fronts differ in any bit, and records the front
+# size, final hypervolume, and the hypervolume-vs-candidates curve.
 #
 # Usage: scripts/bench_dse.sh [jobs] [iters] [batch] [threads]
 set -euo pipefail

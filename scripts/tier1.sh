@@ -24,14 +24,17 @@ echo "== tier-1: concurrency + incremental-scheduler tests under ThreadSanitizer
 # test_dse_cache runs under TSan too: the sharded eval/compile/cost
 # caches are read and written concurrently by pool workers, and their
 # bit-identity guarantees are only as good as their synchronization.
+# test_dse_pareto joins them because the Pareto front's thread-count
+# bit-identity depends on front updates staying strictly serial while
+# candidate evaluation fans out.
 cmake -B build-tsan -S . -DDSA_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j "$JOBS" \
       --target test_concurrency test_base test_scheduler_incremental \
-      test_dse_cache
+      test_dse_cache test_dse_pareto
 TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure \
-          -R 'test_concurrency|test_base|test_scheduler_incremental|test_dse_cache'
+          -R 'test_concurrency|test_base|test_scheduler_incremental|test_dse_cache|test_dse_pareto'
 
 echo
 echo "== tier-1: robustness + sparse-simulator tests under ASan+UBSan =="

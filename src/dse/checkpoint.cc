@@ -112,6 +112,7 @@ resultToJson(const DseResult &r)
         entry.push(Value::number(h.perf));
         entry.push(Value::number(h.objective));
         entry.push(Value::boolean(h.accepted));
+        entry.push(Value::number(h.hypervolume));
         hist.push(std::move(entry));
     }
     doc.set("history", std::move(hist));
@@ -156,6 +157,34 @@ optionsToJson(const DseOptions &o)
     doc.set("costMemo", Value::boolean(o.costMemo));
     doc.set("dedupBatch", Value::boolean(o.dedupBatch));
     doc.set("checkCostOracle", Value::boolean(o.checkCostOracle));
+    doc.set("pareto", Value::boolean(o.pareto));
+    doc.set("paretoFrontSize",
+            Value::number(static_cast<int64_t>(o.paretoFrontSize)));
+    doc.set("structuredMoves", Value::boolean(o.structuredMoves));
+    doc.set("powerObjectiveWeight", Value::number(o.powerObjectiveWeight));
+    return doc;
+}
+
+Value
+frontToJson(const ParetoFront &front)
+{
+    Value doc = Value::object();
+    doc.set("refAreaMm2", Value::number(front.refAreaMm2()));
+    doc.set("refPowerMw", Value::number(front.refPowerMw()));
+    doc.set("maxSize", Value::number(static_cast<int64_t>(front.maxSize())));
+    Value pts = Value::array();
+    for (const ParetoPoint &p : front.points()) {
+        Value pj = Value::object();
+        pj.set("adg", Value::str(p.adg.toText()));
+        pj.set("perf", Value::number(p.perf));
+        pj.set("areaMm2", Value::number(p.areaMm2));
+        pj.set("powerMw", Value::number(p.powerMw));
+        pj.set("objective", Value::number(p.objective));
+        pj.set("iter", Value::number(static_cast<int64_t>(p.iter)));
+        pj.set("seq", Value::str(std::to_string(p.seq)));
+        pts.push(std::move(pj));
+    }
+    doc.set("points", std::move(pts));
     return doc;
 }
 
@@ -268,6 +297,42 @@ struct Reader
             return dflt;
         }
         return v->asBool();
+    }
+
+    /** getInt with a default for fields added after version 1. */
+    int64_t
+    getIntOr(const Value &obj, const char *key, int64_t dflt,
+             const char *what)
+    {
+        if (!err.ok() || !obj.isObject())
+            return dflt;
+        const Value *v = obj.find(key);
+        if (!v)
+            return dflt;
+        if (v->kind() != Value::Kind::Number) {
+            err = Status::dataLoss(std::string(what) + " field '" + key +
+                                   "' has the wrong type");
+            return dflt;
+        }
+        return v->asInt64();
+    }
+
+    /** getDouble with a default for fields added after version 1. */
+    double
+    getDoubleOr(const Value &obj, const char *key, double dflt,
+                const char *what)
+    {
+        if (!err.ok() || !obj.isObject())
+            return dflt;
+        const Value *v = obj.find(key);
+        if (!v)
+            return dflt;
+        if (v->kind() != Value::Kind::Number) {
+            err = Status::dataLoss(std::string(what) + " field '" + key +
+                                   "' has the wrong type");
+            return dflt;
+        }
+        return v->asDouble();
     }
 
     /** Full-range uint64 stored as a decimal string (see seed). */
@@ -492,7 +557,9 @@ resultFromJson(Reader &rd, const Value &doc)
     for (size_t i = 0; i < hist->size(); ++i) {
         const Value *entry =
             rd.elem(*hist, i, Value::Kind::Array, "history record");
-        if (!entry || entry->size() != 6) {
+        // 6 elements in version-1 files from before the hypervolume
+        // column; 7 with it. Old records read back with hv = 0.
+        if (!entry || (entry->size() != 6 && entry->size() != 7)) {
             if (rd.err.ok())
                 rd.err = Status::dataLoss("history record is malformed");
             return r;
@@ -518,6 +585,13 @@ resultFromJson(Reader &rd, const Value &doc)
         h.perf = perf->asDouble();
         h.objective = obj->asDouble();
         h.accepted = acc->asBool();
+        if (entry->size() == 7) {
+            const Value *hv =
+                rd.elem(*entry, 6, Value::Kind::Number, "history record");
+            if (!hv)
+                return r;
+            h.hypervolume = hv->asDouble();
+        }
         r.history.push_back(h);
     }
     r.evalFailures =
@@ -578,7 +652,54 @@ optionsFromJson(Reader &rd, const Value &doc)
     o.dedupBatch = rd.getBoolOr(doc, "dedupBatch", o.dedupBatch, "options");
     o.checkCostOracle =
         rd.getBoolOr(doc, "checkCostOracle", o.checkCostOracle, "options");
+    // Pareto-mode fields postdate the memoization toggles; the same
+    // missing-field tolerance applies (defaults reproduce the old
+    // scalar behaviour exactly).
+    o.pareto = rd.getBoolOr(doc, "pareto", o.pareto, "options");
+    o.paretoFrontSize = static_cast<int>(
+        rd.getIntOr(doc, "paretoFrontSize", o.paretoFrontSize, "options"));
+    o.structuredMoves =
+        rd.getBoolOr(doc, "structuredMoves", o.structuredMoves, "options");
+    o.powerObjectiveWeight = rd.getDoubleOr(
+        doc, "powerObjectiveWeight", o.powerObjectiveWeight, "options");
     return o;
+}
+
+ParetoFront
+frontFromJson(Reader &rd, const Value &doc)
+{
+    double refA = rd.getDouble(doc, "refAreaMm2", "pareto front");
+    double refP = rd.getDouble(doc, "refPowerMw", "pareto front");
+    int maxSize =
+        static_cast<int>(rd.getInt(doc, "maxSize", "pareto front"));
+    const Value *pts =
+        rd.field(doc, "points", Value::Kind::Array, "pareto front");
+    std::vector<ParetoPoint> points;
+    if (pts) {
+        for (size_t i = 0; i < pts->size(); ++i) {
+            const Value *pj =
+                rd.elem(*pts, i, Value::Kind::Object, "pareto point");
+            if (!pj)
+                break;
+            ParetoPoint p;
+            p.adg = rd.adgText(*pj, "adg", "pareto point");
+            p.perf = rd.getDouble(*pj, "perf", "pareto point");
+            p.areaMm2 = rd.getDouble(*pj, "areaMm2", "pareto point");
+            p.powerMw = rd.getDouble(*pj, "powerMw", "pareto point");
+            p.objective = rd.getDouble(*pj, "objective", "pareto point");
+            p.iter = static_cast<int>(rd.getInt(*pj, "iter", "pareto point"));
+            p.seq = rd.getU64(*pj, "seq", "pareto point");
+            if (!rd.err.ok())
+                break;
+            points.push_back(std::move(p));
+        }
+    }
+    if (!rd.err.ok() || refA <= 0 || refP <= 0 || maxSize < 2) {
+        if (rd.err.ok())
+            rd.err = Status::dataLoss("pareto front header is malformed");
+        return ParetoFront();
+    }
+    return ParetoFront::restore(refA, refP, maxSize, std::move(points));
 }
 
 std::shared_ptr<EvalCache>
@@ -666,6 +787,11 @@ checkpointToJson(const std::vector<std::string> &workloadNames,
     }
     st.set("schedules", std::move(cache));
     st.set("result", resultToJson(state.result));
+    // Scalar runs carry a default-constructed (zero-capacity) front;
+    // serializing it would fail restore()'s invariants, so it is
+    // written only when Pareto mode actually initialized one.
+    if (state.front.maxSize() > 0)
+        st.set("front", frontToJson(state.front));
     if (state.evalCache)
         st.set("evalCache", evalCacheToJson(*state.evalCache));
     doc.set("state", std::move(st));
@@ -750,6 +876,18 @@ checkpointFromJson(const Value &doc)
             rd.field(*st, "result", Value::Kind::Object, "state");
         if (res)
             ck.state.result = resultFromJson(rd, *res);
+        // Optional: present only for Pareto-mode checkpoints (and
+        // absent in files from older builds).
+        if (rd.err.ok() && st->isObject()) {
+            const Value *fr = st->find("front");
+            if (fr) {
+                if (fr->kind() != Value::Kind::Object)
+                    rd.err = Status::dataLoss(
+                        "state field 'front' has the wrong type");
+                else
+                    ck.state.front = frontFromJson(rd, *fr);
+            }
+        }
         // Optional: absent in checkpoints written with the eval cache
         // disabled (or by older builds). A fresh cache is equivalent —
         // only warm-up cost differs, never results.

@@ -1,10 +1,12 @@
 #include "dse/explorer.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <utility>
 
+#include "adg/subgraph.h"
 #include "base/hashing.h"
 #include "base/logging.h"
 #include "dse/checkpoint.h"
@@ -53,6 +55,9 @@ Explorer::Explorer(std::vector<const workloads::Workload *> wls,
     sig = hashCombine(sig, static_cast<uint64_t>(opts_.initSchedIters));
     sig = hashCombine(sig, static_cast<uint64_t>(opts_.useRepair));
     sig = hashCombine(sig, static_cast<uint64_t>(opts_.candidateTimeMs));
+    // The power weight shapes the memoized objective, so caches from
+    // runs with different weights must never share entries.
+    sig = hashCombine(sig, std::bit_cast<uint64_t>(opts_.powerObjectiveWeight));
     workloadSig_ = sig;
 }
 
@@ -89,6 +94,25 @@ Explorer::priceFabric(const Adg &adg, bool tryIncremental)
     return cost;
 }
 
+bool
+Explorer::isDegenerateFabric(const Adg &adg)
+{
+    return adg.aliveNodes(NodeKind::Pe).empty();
+}
+
+double
+Explorer::scalarObjective(double perf,
+                          const model::ComponentCost &cost) const
+{
+    double obj = perf * perf / std::max(1e-6, cost.areaMm2);
+    // Weight 0 skips the factor entirely (not "multiplies by 1"): the
+    // legacy objective stays bit-identical, pow() rounding included.
+    if (opts_.powerObjectiveWeight != 0.0)
+        obj /= std::pow(std::max(1e-6, cost.powerMw) / 1000.0,
+                        opts_.powerObjectiveWeight);
+    return obj;
+}
+
 void
 Explorer::recordCacheStats(DseRunState &st)
 {
@@ -112,6 +136,17 @@ Explorer::recordCacheStats(DseRunState &st)
     cs.costMisses = ms.misses;
     cs.dedupCollapsed = dedupCollapsed_;
     st.result.cacheStats = cs;
+}
+
+void
+Explorer::finalizeResult(DseRunState &st)
+{
+    st.result.front.clear();
+    for (const ParetoPoint &p : st.front.points())
+        st.result.front.push_back(
+            {p.perf, p.areaMm2, p.powerMw, p.objective, p.iter});
+    st.result.frontHypervolume = st.front.hypervolume();
+    recordCacheStats(st);
 }
 
 std::vector<std::string>
@@ -324,7 +359,11 @@ Explorer::evaluateDesign(const Adg &adg, ScheduleCache &scheds,
     }
     double perf = std::exp(logSum / static_cast<double>(workloads_.size()));
     auto cost = knownCost ? *knownCost : priceFabric(adg, false);
-    double objective = perf * perf / std::max(1e-6, cost.areaMm2);
+    // Degenerate (PE-less) fabrics score 0, never a clamp-inflated
+    // perf^2/1e-6 — the exploration loop rejects them before costing,
+    // this is the backstop for direct callers.
+    double objective =
+        isDegenerateFabric(adg) ? 0.0 : scalarObjective(perf, cost);
 
     // Memoize fault-free evaluations only: a timed-out or faulted
     // sweep is not a function of the key and must be retried live.
@@ -412,7 +451,10 @@ Explorer::mutate(Adg &adg, Rng &rng) const
     auto syncs = adg.aliveNodes(NodeKind::Sync);
     auto mems = adg.aliveNodes(NodeKind::Memory);
 
-    switch (rng.uniformInt(0, 13)) {
+    // Cases 0-13 are flat parameter tweaks; 14-16 are SET-style
+    // structured subgraph moves (grow/shrink a tile, clone a region,
+    // rewire a sub-fabric), enabled by DseOptions::structuredMoves.
+    switch (rng.uniformInt(0, opts_.structuredMoves ? 16 : 13)) {
       case 0: {  // add a PE near random switches
         if (switches.size() < 2)
             return "noop";
@@ -579,7 +621,7 @@ Explorer::mutate(Adg &adg, Rng &rng) const
         adg.connect(d, rng.pick(switches));
         return "add delay";
       }
-      default: {  // main-memory interface width (bandwidth share)
+      case 13: {  // main-memory interface width (bandwidth share)
         for (NodeId m : mems) {
             auto &mem = adg.node(m).mem();
             if (mem.kind != adg::MemKind::Main)
@@ -590,6 +632,90 @@ Explorer::mutate(Adg &adg, Rng &rng) const
             return "tune main width";
         }
         return "noop";
+      }
+      case 14: {  // structured: grow or shrink a tile
+        if (switches.size() < 2)
+            return "noop";
+        if (rng.chance(0.5)) {
+            // Grow: clone a switch with up to two of its attached PEs
+            // (their mutual links come along), then stitch the cloned
+            // switch into the network — a proven tile replicated as
+            // one move instead of rediscovered tweak by tweak.
+            NodeId sw = rng.pick(switches);
+            std::vector<NodeId> tile{sw};
+            for (NodeId pe : adg::attachedPes(adg, sw)) {
+                if (tile.size() >= 3)
+                    break;
+                tile.push_back(pe);
+            }
+            auto clone = adg::cloneSubgraph(adg, tile);
+            NodeId swClone = clone.nodeMap.at(sw);
+            adg.connect(rng.pick(switches), swClone);
+            adg.connect(swClone, rng.pick(switches));
+            return "grow tile";
+        }
+        // Shrink: retire a switch and up to two of its PEs together.
+        if (switches.size() <= 4 || pes.size() <= 3)
+            return "noop";
+        NodeId sw = rng.pick(switches);
+        int removed = 0;
+        for (NodeId pe : adg::attachedPes(adg, sw)) {
+            if (removed >= 2 ||
+                static_cast<int>(pes.size()) - removed <= 2)
+                break;
+            adg.removeNode(pe);
+            ++removed;
+        }
+        adg.removeNode(sw);
+        return "shrink tile";
+      }
+      case 15: {  // structured: clone a region subgraph
+        if (switches.size() < 2)
+            return "noop";
+        NodeId seed = rng.pick(switches);
+        auto region = adg::fabricNeighborhood(adg, seed, /*radius=*/1,
+                                              /*maxNodes=*/6);
+        if (region.size() < 2)
+            return "noop";
+        auto clone = adg::cloneSubgraph(adg, region);
+        // The seed is a switch, so the clone always has one to stitch
+        // through: two feeds in, one drain out keeps it routable.
+        std::vector<NodeId> clonedSw;
+        for (const auto &[orig, copy] : clone.nodeMap)
+            if (adg.node(copy).kind == NodeKind::Switch)
+                clonedSw.push_back(copy);
+        adg.connect(rng.pick(switches), rng.pick(clonedSw));
+        adg.connect(rng.pick(switches), rng.pick(clonedSw));
+        adg.connect(rng.pick(clonedSw), rng.pick(switches));
+        return "clone region";
+      }
+      default: {  // structured: rewire a sub-fabric
+        if (switches.size() < 3)
+            return "noop";
+        NodeId sw = rng.pick(switches);
+        std::vector<adg::EdgeId> swOuts;
+        for (adg::EdgeId e : adg.outEdges(sw))
+            if (adg.node(adg.edge(e).dst).kind == NodeKind::Switch)
+                swOuts.push_back(e);
+        if (swOuts.empty())
+            return "noop";
+        // Retarget one or two of the switch's inter-switch links:
+        // local topology change bigger than one edge, smaller than a
+        // region clone.
+        int n = swOuts.size() > 1 && rng.chance(0.5) ? 2 : 1;
+        bool changed = false;
+        for (int i = 0; i < n; ++i) {
+            adg::EdgeId e = rng.pick(swOuts);
+            NodeId dst = rng.pick(switches);
+            if (!adg.edgeAlive(e) || dst == sw ||
+                dst == adg.edge(e).dst ||
+                adg.findEdge(sw, dst) != adg::kInvalidEdge)
+                continue;
+            adg.removeEdge(e);
+            adg.connect(sw, dst);
+            changed = true;
+        }
+        return changed ? "rewire fabric" : "noop";
       }
     }
 }
@@ -603,6 +729,9 @@ Explorer::run(const Adg &initial, std::shared_ptr<EvalCache> warmCache)
     if (opts_.evalCache)
         st.evalCache =
             warmCache ? std::move(warmCache) : std::make_shared<EvalCache>();
+    if (opts_.pareto)
+        st.front = ParetoFront(opts_.areaBudgetMm2, opts_.powerBudgetMw,
+                               std::max(2, opts_.paretoFrontSize));
 
     // Everything from here on reports errors as DseResult::status: a
     // worker exception, a corrupt workload, a compiler fault — none of
@@ -622,13 +751,16 @@ Explorer::run(const Adg &initial, std::shared_ptr<EvalCache> warmCache)
             // baseline to explore from.
             result.status = evalStatus;
             result.stopReason = "error";
-            recordCacheStats(st);
+            finalizeResult(st);
             return result;
         }
         result.initialCost = cost;
+        if (opts_.pareto && !isDegenerateFabric(st.current))
+            st.front.add({st.current, perf, cost.areaMm2, cost.powerMw,
+                          result.initialObjective, 0, 0});
         result.history.push_back(
             {0, cost.areaMm2, cost.powerMw, perf, result.initialObjective,
-             true});
+             true, st.front.hypervolume()});
 
         pruneUnused(st.current);
         st.curObj = evaluateDesign(st.current, st.schedules,
@@ -637,11 +769,15 @@ Explorer::run(const Adg &initial, std::shared_ptr<EvalCache> warmCache)
         if (!evalStatus.ok()) {
             result.status = evalStatus;
             result.stopReason = "error";
-            recordCacheStats(st);
+            finalizeResult(st);
             return result;
         }
+        if (opts_.pareto && !isDegenerateFabric(st.current))
+            st.front.add({st.current, perf, cost.areaMm2, cost.powerMw,
+                          st.curObj, 1, 0});
         result.history.push_back(
-            {1, cost.areaMm2, cost.powerMw, perf, st.curObj, true});
+            {1, cost.areaMm2, cost.powerMw, perf, st.curObj, true,
+             st.front.hypervolume()});
 
         result.best = st.current;
         result.bestObjective = st.curObj;
@@ -652,7 +788,7 @@ Explorer::run(const Adg &initial, std::shared_ptr<EvalCache> warmCache)
     } catch (...) {
         st.result.status = Status::fromCurrentException();
         st.result.stopReason = "error";
-        recordCacheStats(st);
+        finalizeResult(st);
         return st.result;
     }
 }
@@ -665,7 +801,7 @@ Explorer::resume(DseRunState state)
     } catch (...) {
         state.result.status = Status::fromCurrentException();
         state.result.stopReason = "error";
-        recordCacheStats(state);
+        finalizeResult(state);
         return state.result;
     }
 }
@@ -696,6 +832,12 @@ Explorer::runLoop(DseRunState &st)
     if (opts_.evalCache && !st.evalCache)
         st.evalCache = std::make_shared<EvalCache>();
     EvalCache *evalCache = opts_.evalCache ? st.evalCache.get() : nullptr;
+
+    // Same for the front: a pre-pareto checkpoint resumed with pareto
+    // on starts an empty archive against this run's budgets.
+    if (opts_.pareto && st.front.maxSize() == 0)
+        st.front = ParetoFront(opts_.areaBudgetMm2, opts_.powerBudgetMw,
+                               std::max(2, opts_.paretoFrontSize));
 
     // The incremental pricer is parent-relative: (re)bind it to the
     // design the batch mutates from, here and on every accepted step.
@@ -751,7 +893,7 @@ Explorer::runLoop(DseRunState &st)
             int nMut = 1 + static_cast<int>(st.rng.uniformInt(0, 2));
             for (int m = 0; m < nMut; ++m)
                 mutate(c.adg, st.rng);
-            if (c.adg.validate().empty()) {
+            if (c.adg.validate().empty() && !isDegenerateFabric(c.adg)) {
                 // Candidates differ from st.current by 1-3 mutations:
                 // price them against the bound parent (re-predicting
                 // only changed components) instead of walking the
@@ -815,44 +957,79 @@ Explorer::runLoop(DseRunState &st)
             ++dedupCollapsed_;
         }
 
-        // Deterministic selection: best improving candidate, first in
-        // draw order on ties. Candidates that errored or timed out are
-        // never selectable — their objective is untrustworthy.
+        // Deterministic selection. Candidates that errored or timed
+        // out are never selectable — their objective is untrustworthy.
+        //
+        // Scalar mode: best improving candidate, first in draw order
+        // on ties. Pareto mode: every evaluated candidate is offered
+        // to the front *serially in draw order* (the order is part of
+        // the determinism contract — archive updates and pruning
+        // tie-breaks depend on it); the accepted one is the candidate
+        // whose insertion grew the front's hypervolume the most.
         int bestIdx = -1;
-        for (size_t i = 0; i < cands.size(); ++i) {
-            const Candidate &c = cands[i];
-            if (!c.feasible || !c.evalStatus.ok())
-                continue;
-            if (c.objective > st.curObj &&
-                (bestIdx < 0 ||
-                 c.objective > cands[static_cast<size_t>(bestIdx)]
-                                   .objective))
-                bestIdx = static_cast<int>(i);
+        if (opts_.pareto) {
+            constexpr double kHvEps = 1e-12;
+            double bestGain = kHvEps;
+            for (size_t i = 0; i < cands.size(); ++i) {
+                Candidate &c = cands[i];
+                if (!c.feasible || !c.evalStatus.ok())
+                    continue;
+                // Copy the design: c.adg may later move into
+                // st.current while the point lives on in the archive.
+                auto out = st.front.add({c.adg, c.perf, c.cost.areaMm2,
+                                         c.cost.powerMw, c.objective,
+                                         c.iter, 0});
+                if (out.hvGain > bestGain) {
+                    bestGain = out.hvGain;
+                    bestIdx = static_cast<int>(i);
+                }
+            }
+        } else {
+            for (size_t i = 0; i < cands.size(); ++i) {
+                const Candidate &c = cands[i];
+                if (!c.feasible || !c.evalStatus.ok())
+                    continue;
+                if (c.objective > st.curObj &&
+                    (bestIdx < 0 ||
+                     c.objective > cands[static_cast<size_t>(bestIdx)]
+                                       .objective))
+                    bestIdx = static_cast<int>(i);
+            }
         }
 
+        // The infeasible-exit counter measures *steps* the budget
+        // pinned, not candidates: a batch with any evaluated member
+        // resets it, a fully-infeasible batch advances it by exactly
+        // one, so the exit threshold means the same wall-clock-bounded
+        // thing at candidateBatch=1 and =32.
+        bool sawInfeasible = false;
         int evaluated = 0;
+        double hv = opts_.pareto ? st.front.hypervolume() : 0;
         for (size_t i = 0; i < cands.size(); ++i) {
             Candidate &c = cands[i];
             if (!c.feasible) {
-                ++st.infeasibleStreak;
+                sawInfeasible = true;
                 continue;
             }
             if (!c.evalStatus.ok()) {
-                // Lost to an evaluation error or timeout: record it as
-                // infeasible (bounded by infeasibleExit), remember the
-                // first cause, and keep exploring.
-                ++st.infeasibleStreak;
+                // Lost to an evaluation error or timeout: count it
+                // toward the infeasible exit, remember the first
+                // cause, and keep exploring.
+                sawInfeasible = true;
                 ++result.evalFailures;
                 if (result.status.ok())
                     result.status = c.evalStatus;
                 continue;
             }
-            st.infeasibleStreak = 0;
             ++evaluated;
             result.history.push_back(
                 {c.iter, c.cost.areaMm2, c.cost.powerMw, c.perf,
-                 c.objective, static_cast<int>(i) == bestIdx});
+                 c.objective, static_cast<int>(i) == bestIdx, hv});
         }
+        if (evaluated > 0)
+            st.infeasibleStreak = 0;
+        else if (sawInfeasible)
+            ++st.infeasibleStreak;
         if (bestIdx >= 0) {
             Candidate &c = cands[static_cast<size_t>(bestIdx)];
             st.current = std::move(c.adg);
@@ -882,7 +1059,7 @@ Explorer::runLoop(DseRunState &st)
                         opts_.haltAfterCheckpoints) {
                     // Test knob: emulate a crash right after the write.
                     result.stopReason = "halted";
-                    recordCacheStats(st);
+                    finalizeResult(st);
                     return result;
                 }
             }
@@ -897,7 +1074,7 @@ Explorer::runLoop(DseRunState &st)
         writeCheckpoint(st);
     if (opts_.simValidateBest)
         validateBest(result);
-    recordCacheStats(st);
+    finalizeResult(st);
     return result;
 }
 

@@ -40,6 +40,7 @@
 #include "compiler/compile.h"
 #include "compiler/compile_cache.h"
 #include "dse/eval_cache.h"
+#include "dse/pareto.h"
 #include "mapper/scheduler.h"
 #include "model/cost.h"
 #include "model/cost_cache.h"
@@ -97,6 +98,45 @@ struct DseOptions
      * accepted. 1 reproduces the serial greedy trace.
      */
     int candidateBatch = 1;
+
+    /// @name Multi-objective search & structured mutations
+    /// @{
+    /**
+     * Maintain a Pareto front over (perf, areaMm2, powerMw) and accept
+     * moves by hypervolume contribution instead of scalar-objective
+     * improvement: each evaluated candidate is offered to the front in
+     * draw order, and the one whose insertion grew the front's
+     * hypervolume the most becomes the next current design. The front
+     * (bounded at paretoFrontSize, pruned by smallest exclusive
+     * contribution) is reported in DseResult::front and persisted
+     * through checkpoints, bit-identically across thread counts and
+     * kill-and-resume. The scalar objective is still computed and
+     * reported per candidate; `best` tracks the accepted design with
+     * the highest scalar objective, exactly as in scalar mode.
+     */
+    bool pareto = false;
+    /** Archive bound for the Pareto front (hypervolume pruning). */
+    int paretoFrontSize = 24;
+    /**
+     * SET-style structured mutation moves (grow/shrink a tile, clone
+     * a region subgraph, rewire a sub-fabric) mixed into the flat
+     * parameter tweaks, drawn from the same exploration RNG — traces
+     * stay bit-identical per (options, seed). Disabling removes the
+     * three structured cases from the draw (a different random
+     * stream, so toggling changes traces; the flag is serialized into
+     * checkpoints for exact resume).
+     */
+    bool structuredMoves = true;
+    /**
+     * Exponent of the power term in the scalar objective:
+     * perf^2 / (areaMm2 * (powerMw/1000)^powerObjectiveWeight).
+     * 0 (default) reproduces the legacy perf^2/mm^2 formula
+     * bit-identically — the power factor is skipped entirely, not
+     * multiplied by 1. The cost model always computed powerMw; this
+     * knob stops the scalar objective from silently discarding it.
+     */
+    double powerObjectiveWeight = 0.0;
+    /// @}
 
     /// @name Fault tolerance: checkpoints & watchdogs
     /// @{
@@ -213,8 +253,22 @@ struct DseIterRecord
     double areaMm2 = 0;
     double powerMw = 0;
     double perf = 0;        ///< geomean speedup over the host model
-    double objective = 0;   ///< perf^2 / mm^2
+    double objective = 0;   ///< scalar objective (perf^2/mm^2 default)
     bool accepted = false;
+    /** Front hypervolume after this candidate's batch (Pareto mode
+     *  only; 0 in scalar mode). Drives hypervolume-vs-candidates
+     *  curves without re-running the front. */
+    double hypervolume = 0;
+};
+
+/** One reported front point (DseResult; designs live in the state). */
+struct ParetoRecord
+{
+    double perf = 0;
+    double areaMm2 = 0;
+    double powerMw = 0;
+    double objective = 0;  ///< scalar objective of the point
+    int iter = 0;          ///< iteration that produced it
 };
 
 /**
@@ -266,6 +320,16 @@ struct DseResult
     /** Why the run stopped: "max-iters", "no-improve", "infeasible",
      *  "wall-clock", "halted", or "error". */
     std::string stopReason;
+    /**
+     * The Pareto front at run end (DseOptions::pareto), in archive
+     * order: mutually non-dominated (perf, area, power) points. Empty
+     * in scalar mode. The designs themselves are kept in
+     * DseRunState::front (and its checkpoints), not here.
+     */
+    std::vector<ParetoRecord> front;
+    /** Hypervolume of `front` vs the (area, power) budget reference
+     *  point, in geomean-speedup x mm^2 x mW units. */
+    double frontHypervolume = 0;
     /** Per-workload dense/sparse simulator wall-clock speedup on the
      *  best design (populated when DseOptions::simValidateBest). */
     std::map<std::string, double> simSpeedups;
@@ -290,6 +354,13 @@ struct DseRunState
     int infeasibleStreak = 0;
     int acceptedSinceCkpt = 0; ///< accepted steps since last checkpoint
     Rng rng{1};                ///< exploration RNG (stream position)
+    /**
+     * The Pareto archive (DseOptions::pareto; empty otherwise). Part
+     * of the resumable state: points carry their insertion sequence
+     * numbers, so pruning tie-breaks after a resume match the
+     * uninterrupted run exactly.
+     */
+    ParetoFront front;
     DseResult result;          ///< best-so-far + trace, grown in place
     /**
      * Design-level evaluation cache (null when DseOptions::evalCache
@@ -363,8 +434,27 @@ class Explorer
      */
     void pruneUnused(adg::Adg &adg) const;
 
-    /** Apply one random mutation; returns a description. */
+    /** Apply one random mutation; returns a description. Structured
+     *  subgraph moves are included iff DseOptions::structuredMoves. */
     std::string mutate(adg::Adg &adg, Rng &rng) const;
+
+    /**
+     * A fabric with no processing elements cannot compute: every
+     * kernel falls back to host execution (perf 1.0) while its area
+     * collapses toward zero, so the legacy `max(1e-6, area)` clamp
+     * would score it absurdly high and poison the best/front. Such
+     * designs are rejected as infeasible *before* costing.
+     */
+    static bool isDegenerateFabric(const adg::Adg &adg);
+
+    /**
+     * The scalar objective: perf^2 / mm^2, divided by
+     * (powerMw/1000)^powerObjectiveWeight when the weight is nonzero
+     * (with weight 0 the power factor is skipped, keeping the legacy
+     * formula bit-identical).
+     */
+    double scalarObjective(double perf,
+                           const model::ComponentCost &cost) const;
 
     /**
      * Eval-cache key of evaluating @p adg against @p schedules: the
@@ -388,6 +478,9 @@ class Explorer
                                      bool tryIncremental);
     /** Snapshot all cache counters into @p st's result. */
     void recordCacheStats(DseRunState &st);
+    /** Copy the front (records + hypervolume) into @p st's result and
+     *  snapshot the cache counters — every exit path calls this. */
+    void finalizeResult(DseRunState &st);
 
     std::vector<const workloads::Workload *> workloads_;
     DseOptions opts_;

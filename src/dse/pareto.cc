@@ -1,0 +1,179 @@
+#include "dse/pareto.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace dsa::dse {
+
+bool
+dominates(const ParetoPoint &a, const ParetoPoint &b)
+{
+    if (a.perf < b.perf || a.areaMm2 > b.areaMm2 || a.powerMw > b.powerMw)
+        return false;
+    return a.perf > b.perf || a.areaMm2 < b.areaMm2 ||
+           a.powerMw < b.powerMw;
+}
+
+namespace {
+
+/** (area, power) pair clamped into the reference box. */
+struct Pt2
+{
+    double a = 0;
+    double p = 0;
+};
+
+/**
+ * Area of the union of rectangles [a_i, refA] x [p_i, refP] — the 2D
+ * staircase of a minimization front. Exact sweep over a sorted copy.
+ */
+double
+staircaseArea(std::vector<Pt2> pts, double refA, double refP)
+{
+    if (pts.empty())
+        return 0;
+    // Sort by area ascending, power ascending on ties; then a single
+    // pass keeps only the 2D-non-dominated prefix-minima of power.
+    std::sort(pts.begin(), pts.end(), [](const Pt2 &x, const Pt2 &y) {
+        return x.a != y.a ? x.a < y.a : x.p < y.p;
+    });
+    double area = 0;
+    double prevP = refP;
+    for (const Pt2 &pt : pts) {
+        if (pt.p >= prevP)
+            continue; // 2D-dominated by an earlier (smaller-area) point
+        area += (refA - pt.a) * (prevP - pt.p);
+        prevP = pt.p;
+    }
+    return area;
+}
+
+/** Exact 3D hypervolume of @p pts vs (0-up perf, refA, refP). */
+double
+hypervolumeOf(const std::vector<const ParetoPoint *> &pts, double refA,
+              double refP)
+{
+    // Clamp into the reference box; drop degenerate contributions.
+    struct Pt3
+    {
+        double perf, a, p;
+    };
+    std::vector<Pt3> clamped;
+    clamped.reserve(pts.size());
+    for (const ParetoPoint *pt : pts) {
+        if (pt->perf <= 0 || pt->areaMm2 >= refA || pt->powerMw >= refP)
+            continue; // zero-volume slab
+        clamped.push_back({pt->perf, pt->areaMm2, pt->powerMw});
+    }
+    if (clamped.empty())
+        return 0;
+    // Sweep perf slices from the top: between consecutive perf levels
+    // the dominated cross-section is the 2D staircase of every point
+    // at or above the slice.
+    std::sort(clamped.begin(), clamped.end(),
+              [](const Pt3 &x, const Pt3 &y) { return x.perf > y.perf; });
+    double volume = 0;
+    std::vector<Pt2> active;
+    for (size_t i = 0; i < clamped.size(); ++i) {
+        active.push_back({clamped[i].a, clamped[i].p});
+        // Extend the slice down to the next (lower) distinct perf, or
+        // to 0 after the last point.
+        if (i + 1 < clamped.size() &&
+            clamped[i + 1].perf == clamped[i].perf)
+            continue;
+        double lower = i + 1 < clamped.size() ? clamped[i + 1].perf : 0;
+        volume +=
+            (clamped[i].perf - lower) * staircaseArea(active, refA, refP);
+    }
+    return volume;
+}
+
+} // namespace
+
+ParetoFront::ParetoFront(double refAreaMm2, double refPowerMw, int maxSize)
+    : refAreaMm2_(refAreaMm2), refPowerMw_(refPowerMw), maxSize_(maxSize)
+{
+    DSA_ASSERT(refAreaMm2 > 0 && refPowerMw > 0,
+               "pareto reference point must be positive");
+    DSA_ASSERT(maxSize >= 2, "pareto archive needs at least 2 slots");
+}
+
+double
+ParetoFront::hypervolume() const
+{
+    std::vector<const ParetoPoint *> all;
+    all.reserve(points_.size());
+    for (const auto &p : points_)
+        all.push_back(&p);
+    return hypervolumeOf(all, refAreaMm2_, refPowerMw_);
+}
+
+double
+ParetoFront::contribution(size_t i) const
+{
+    DSA_ASSERT(i < points_.size(), "contribution index out of range");
+    std::vector<const ParetoPoint *> rest;
+    rest.reserve(points_.size() - 1);
+    for (size_t j = 0; j < points_.size(); ++j)
+        if (j != i)
+            rest.push_back(&points_[j]);
+    return hypervolume() - hypervolumeOf(rest, refAreaMm2_, refPowerMw_);
+}
+
+ParetoFront::AddOutcome
+ParetoFront::add(ParetoPoint p)
+{
+    AddOutcome out;
+    for (const auto &q : points_)
+        if (dominates(q, p) || (q.perf == p.perf &&
+                                q.areaMm2 == p.areaMm2 &&
+                                q.powerMw == p.powerMw))
+            return out; // dominated (or an exact duplicate): no change
+
+    double before = hypervolume();
+    // Drop everything the newcomer dominates, preserving order.
+    points_.erase(std::remove_if(points_.begin(), points_.end(),
+                                 [&](const ParetoPoint &q) {
+                                     return dominates(p, q);
+                                 }),
+                  points_.end());
+    p.seq = nextSeq_++;
+    uint64_t seq = p.seq;
+    points_.push_back(std::move(p));
+
+    // Bounded archive: evict the smallest exclusive contribution
+    // (ties drop the newest — an older point with equal value has
+    // seniority). One add exceeds the cap by at most one.
+    while (static_cast<int>(points_.size()) > maxSize_) {
+        size_t worst = 0;
+        double worstC = contribution(0);
+        for (size_t i = 1; i < points_.size(); ++i) {
+            double c = contribution(i);
+            if (c < worstC ||
+                (c == worstC && points_[i].seq > points_[worst].seq)) {
+                worst = i;
+                worstC = c;
+            }
+        }
+        points_.erase(points_.begin() + static_cast<ptrdiff_t>(worst));
+    }
+
+    out.hvGain = hypervolume() - before;
+    for (const auto &q : points_)
+        out.added |= q.seq == seq;
+    return out;
+}
+
+ParetoFront
+ParetoFront::restore(double refAreaMm2, double refPowerMw, int maxSize,
+                     std::vector<ParetoPoint> points)
+{
+    ParetoFront f(refAreaMm2, refPowerMw, maxSize);
+    f.points_ = std::move(points);
+    for (const auto &p : f.points_)
+        f.nextSeq_ = std::max(f.nextSeq_, p.seq + 1);
+    return f;
+}
+
+} // namespace dsa::dse

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Multi-objective Pareto front over (perf, areaMm2, powerMw) for the
+ * DSE. The scalar annealer collapses three axes into perf^2/mm^2 and
+ * silently discards power; the Pareto mode instead maintains a
+ * bounded archive of mutually non-dominated designs and accepts moves
+ * by *hypervolume contribution*: the volume of objective space a
+ * candidate dominates beyond what the current front already covers,
+ * measured against the run's (area, power) budget as the reference
+ * point. Hypervolume is the standard strictly-Pareto-compliant
+ * scalarization — a front whose hypervolume grew strictly improved.
+ *
+ * Determinism contract (the repo's acceptance bar): every operation is
+ * a pure, serially-executed function of the archive contents and the
+ * inserted point. Points carry an insertion sequence number so pruning
+ * tie-breaks are reproducible, the archive order is insertion order,
+ * and hypervolume is computed by exact sweeps over sorted copies —
+ * so the same batch reduction produces the same front on any thread
+ * count, and a checkpoint that round-trips the points (with their
+ * sequence numbers) resumes bit-identically.
+ *
+ * Geometry: perf is maximized from 0; area and power are minimized
+ * against the reference point (refArea, refPower). A point contributes
+ * the box [0, perf] x [area, refArea] x [power, refPower]. The 3D
+ * hypervolume of the union is computed by sweeping perf slices over a
+ * 2D staircase (O(n^2 log n), archives are <= ~64 points). Points
+ * outside the reference box are clamped to it (zero contribution
+ * beyond the budget — budget-infeasible designs never get here
+ * anyway, the explorer rejects them before evaluation).
+ */
+
+#ifndef DSA_DSE_PARETO_H
+#define DSA_DSE_PARETO_H
+
+#include <cstdint>
+#include <vector>
+
+#include "adg/adg.h"
+
+namespace dsa::dse {
+
+/** One non-dominated design on the front. */
+struct ParetoPoint
+{
+    adg::Adg adg;          ///< the design realizing the point
+    double perf = 0;       ///< geomean speedup (maximized)
+    double areaMm2 = 0;    ///< silicon area (minimized)
+    double powerMw = 0;    ///< power (minimized)
+    double objective = 0;  ///< legacy scalar perf^2/mm^2 (reporting)
+    int iter = 0;          ///< exploration iteration that produced it
+    /** Insertion sequence (monotonic); pruning tie-break + resume. */
+    uint64_t seq = 0;
+};
+
+/**
+ * Weak Pareto dominance on (perf max, area min, power min): @p a is
+ * no worse on every axis and strictly better on at least one.
+ */
+bool dominates(const ParetoPoint &a, const ParetoPoint &b);
+
+/**
+ * Bounded non-dominated archive with hypervolume-contribution
+ * pruning. All updates are serial and deterministic (see file
+ * comment); the explorer feeds it candidates in fixed draw order.
+ */
+class ParetoFront
+{
+  public:
+    ParetoFront() = default;
+    ParetoFront(double refAreaMm2, double refPowerMw, int maxSize);
+
+    /** Outcome of one insertion attempt. */
+    struct AddOutcome
+    {
+        /** Point survived (non-dominated and not pruned right back). */
+        bool added = false;
+        /** Hypervolume growth of the archive (>= 0). */
+        double hvGain = 0;
+    };
+
+    /**
+     * Try to insert @p p: rejected if some archived point weakly
+     * dominates it; otherwise points it dominates are dropped, it is
+     * appended (gaining the next sequence number), and — if the
+     * archive now exceeds maxSize — the point with the smallest
+     * exclusive hypervolume contribution is pruned (ties drop the
+     * newest). Returns whether @p p survived and the archive's
+     * hypervolume growth.
+     */
+    AddOutcome add(ParetoPoint p);
+
+    /** Exact hypervolume of the archive vs the reference point. */
+    double hypervolume() const;
+
+    /** Exclusive hypervolume contribution of points_[i]. */
+    double contribution(size_t i) const;
+
+    /** Archive contents, in insertion order (deterministic). */
+    const std::vector<ParetoPoint> &points() const { return points_; }
+
+    double refAreaMm2() const { return refAreaMm2_; }
+    double refPowerMw() const { return refPowerMw_; }
+    int maxSize() const { return maxSize_; }
+    bool empty() const { return points_.empty(); }
+    size_t size() const { return points_.size(); }
+
+    /**
+     * Rebuild an archive from checkpointed state: points are taken
+     * verbatim (including their seq numbers) and the next sequence
+     * number continues past the largest restored one, so a resumed
+     * run prunes with the exact tie-breaks the uninterrupted run
+     * would have used.
+     */
+    static ParetoFront restore(double refAreaMm2, double refPowerMw,
+                               int maxSize,
+                               std::vector<ParetoPoint> points);
+
+  private:
+    std::vector<ParetoPoint> points_;
+    double refAreaMm2_ = 0;
+    double refPowerMw_ = 0;
+    int maxSize_ = 0;
+    uint64_t nextSeq_ = 0;
+};
+
+} // namespace dsa::dse
+
+#endif // DSA_DSE_PARETO_H

@@ -221,10 +221,11 @@ int
 finishDse(const dse::DseResult &res, const std::string &savePath)
 {
     std::printf("objective %.3f -> %.3f (%.1fx), area %.3f -> %.3f "
-                "mm^2\n",
+                "mm^2, power %.1f -> %.1f mW\n",
                 res.initialObjective, res.bestObjective,
                 res.bestObjective / std::max(1e-9, res.initialObjective),
-                res.initialCost.areaMm2, res.bestCost.areaMm2);
+                res.initialCost.areaMm2, res.bestCost.areaMm2,
+                res.initialCost.powerMw, res.bestCost.powerMw);
     std::printf("stopped: %s (%d eval failures", res.stopReason.c_str(),
                 res.evalFailures);
     if (res.checkpointsWritten > 0)
@@ -262,6 +263,15 @@ finishDse(const dse::DseResult &res, const std::string &savePath)
                     static_cast<unsigned long long>(cs.costHits),
                     static_cast<unsigned long long>(cs.costMisses),
                     static_cast<unsigned long long>(cs.dedupCollapsed));
+    }
+    if (!res.front.empty()) {
+        std::printf("pareto front (%zu points, hypervolume %.3f):\n",
+                    res.front.size(), res.frontHypervolume);
+        std::printf("  %8s %10s %10s %10s %6s\n", "perf", "area mm^2",
+                    "power mW", "objective", "iter");
+        for (const auto &p : res.front)
+            std::printf("  %8.3f %10.4f %10.1f %10.3f %6d\n", p.perf,
+                        p.areaMm2, p.powerMw, p.objective, p.iter);
     }
     if (!res.simSpeedups.empty()) {
         std::printf(
@@ -316,6 +326,20 @@ cmdDse(int argc, char **argv)
             threadsArg = static_cast<int>(intArg(a.c_str()));
         } else if (a == "--validate-sim") {
             flags.simValidateBest = true;
+        } else if (a == "--pareto") {
+            // Search-shaping flags (unlike the cache toggles) change
+            // what the run computes, so they apply to fresh runs only;
+            // a resumed run always keeps the checkpoint's options.
+            flags.pareto = true;
+        } else if (a == "--front-size") {
+            flags.paretoFrontSize =
+                std::max<int>(2, static_cast<int>(intArg(a.c_str())));
+        } else if (a == "--power-weight") {
+            if (i + 1 >= argc)
+                DSA_FATAL("flag --power-weight needs a value");
+            flags.powerObjectiveWeight = std::atof(argv[++i]);
+        } else if (a == "--no-structured") {
+            flags.structuredMoves = false;
         } else if (a == "--no-eval-cache") {
             evalCacheArg = 0;
         } else if (a == "--no-compile-cache") {
@@ -410,9 +434,9 @@ cmdDse(int argc, char **argv)
     opts.unrollFactors = {1, 4};
     opts.threads = threads > 0 ? threads : ThreadPool::hardwareThreads();
     opts.candidateBatch = std::max(1, batch);
-    std::printf("exploring %s: %d iterations, %d threads, batch %d\n",
-                suite.c_str(), iters, opts.threads,
-                opts.candidateBatch);
+    std::printf("exploring %s: %d iterations, %d threads, batch %d%s\n",
+                suite.c_str(), iters, opts.threads, opts.candidateBatch,
+                opts.pareto ? ", pareto" : "");
     if (!opts.checkpointPath.empty())
         std::printf("checkpointing to %s every %d accepted steps\n",
                     opts.checkpointPath.c_str(), opts.checkpointEvery);
@@ -463,6 +487,16 @@ usage()
         "      --candidate-time-ms <ms> per-candidate evaluation cap\n"
         "      --validate-sim           cross-check sparse vs dense\n"
         "                               simulation of the best design\n"
+        "      --pareto                 multi-objective search: keep a\n"
+        "                               (perf, area, power) Pareto front\n"
+        "                               and accept by hypervolume gain\n"
+        "      --front-size <n>         Pareto archive bound (default 24)\n"
+        "      --power-weight <w>       scalar objective power exponent:\n"
+        "                               perf^2/(mm^2*(mW/1000)^w); 0 =\n"
+        "                               legacy perf^2/mm^2 (default)\n"
+        "      --no-structured          drop the structured subgraph\n"
+        "                               mutations (tile grow/shrink,\n"
+        "                               region clone, fabric rewire)\n"
         "      --no-eval-cache          disable design-level eval cache\n"
         "      --no-compile-cache       disable placement/lowering cache\n"
         "      --no-cost-memo           disable area/power memoization\n"
