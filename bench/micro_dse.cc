@@ -90,7 +90,13 @@ main(int argc, char **argv)
 
     const char *suites[] = {"PolyBench", "Dsp"};
 
-    std::string json = "{\n  \"benchmarks\": [\n";
+    // Recorded so a committed BENCH_dse.json names the build it was
+    // measured from (scripts/bench_dse.sh exports this and refuses to
+    // record non-Release builds untagged).
+    const char *buildType = std::getenv("DSA_BENCH_BUILD_TYPE");
+    std::string json = "{\n  \"build_type\": \"" +
+                       std::string(buildType ? buildType : "unknown") +
+                       "\",\n  \"benchmarks\": [\n";
     bool first = true;
     for (const char *suite : suites) {
         dse::DseOptions base;

@@ -4,12 +4,15 @@
  * throughput (simulated cycles per wall second) on representative
  * kernels, plus interpreter (golden-model) throughput.
  *
- * Every simulator benchmark is registered twice — `*_sparse` (the
- * event-driven fast path, the default) and `*_dense` (the original
- * cycle-by-cycle oracle loop) — so BENCH_simulator.json carries its
- * own before/after comparison, mirroring the `*_reference` convention
- * in micro_scheduler.cc. The two modes produce bit-identical results
- * (enforced by tests/test_sim_sparse.cc); only wall-clock differs.
+ * Every simulator benchmark is registered three times — `*_compiled`
+ * (event-driven + per-region compute plans + period replay, the
+ * default), `*_sparse` (event-driven with the interpreted region
+ * tick), and `*_dense` (the original cycle-by-cycle oracle loop) — so
+ * BENCH_simulator.json carries its own tier-by-tier comparison,
+ * mirroring the `*_reference` convention in micro_scheduler.cc. All
+ * modes produce bit-identical results (enforced by
+ * tests/test_sim_sparse.cc and tests/test_sim_compiled.cc); only
+ * wall-clock differs.
  *
  * The `cmdheavy_*` fixtures model a slow control core (high command
  * latency, fractional issue IPC), stretching the WaitCmd quiet spells
@@ -79,9 +82,12 @@ struct SimFixture
     }
 };
 
+/** Which simulation tier the fixture exercises. */
+enum class Engine { Dense, Sparse, Compiled };
+
 void
 BM_Simulate(benchmark::State &state, const std::string &name,
-            const std::string &target, HwTweak tweak, bool sparse)
+            const std::string &target, HwTweak tweak, Engine engine)
 {
     SimFixture f(name, target, tweak);
     if (!f.ready) {
@@ -89,17 +95,28 @@ BM_Simulate(benchmark::State &state, const std::string &name,
         return;
     }
     sim::SimOptions opts;
-    opts.sparse = sparse;
+    opts.sparse = engine != Engine::Dense;
+    opts.compiled = engine == Engine::Compiled;
     int64_t cycles = 0;
+    sim::SimResult last;
     for (auto _ : state) {
         auto img = sim::MemImage::build(f.w.kernel, f.golden.initial,
                                         f.placement);
-        auto res = sim::simulate(f.prog, f.sched, f.hw, img, opts);
-        cycles += res.cycles;
-        benchmark::DoNotOptimize(res.cycles);
+        last = sim::simulate(f.prog, f.sched, f.hw, img, opts);
+        cycles += last.cycles;
+        benchmark::DoNotOptimize(last.cycles);
     }
     state.counters["sim_cycles/s"] = benchmark::Counter(
         static_cast<double>(cycles), benchmark::Counter::kIsRate);
+    if (engine == Engine::Compiled && last.cycles > 0) {
+        // Engine mix of one run: how much of the wall-cycle count the
+        // compiled tier (and its period-replay fast path) absorbed.
+        double n = static_cast<double>(last.cycles);
+        state.counters["compiled%"] =
+            100.0 * static_cast<double>(last.cyclesCompiled) / n;
+        state.counters["replayed%"] =
+            100.0 * static_cast<double>(last.cyclesReplayed) / n;
+    }
 }
 
 void
@@ -116,15 +133,22 @@ BM_Interpret(benchmark::State &state, const std::string &name)
 
 } // namespace
 
-// Register a sparse/dense benchmark pair under one fixture name.
+// Register a compiled/sparse/dense benchmark triple under one fixture
+// name: the three simulation tiers on identical inputs (bit-identical
+// results, enforced by tests/test_sim_sparse.cc and
+// tests/test_sim_compiled.cc; only wall-clock differs).
 #define SIM_PAIR(label, workload, target, tweak)                        \
+    BENCHMARK_CAPTURE(BM_Simulate, label##_compiled,                    \
+                      std::string(workload), std::string(target),       \
+                      tweak, Engine::Compiled)                          \
+        ->Unit(benchmark::kMillisecond);                                \
     BENCHMARK_CAPTURE(BM_Simulate, label##_sparse,                      \
                       std::string(workload), std::string(target),       \
-                      tweak, true)                                      \
+                      tweak, Engine::Sparse)                            \
         ->Unit(benchmark::kMillisecond);                                \
     BENCHMARK_CAPTURE(BM_Simulate, label##_dense,                       \
                       std::string(workload), std::string(target),       \
-                      tweak, false)                                     \
+                      tweak, Engine::Dense)                             \
         ->Unit(benchmark::kMillisecond)
 
 // Steady-state kernels on the DSE starting fabric: mostly-busy

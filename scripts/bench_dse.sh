@@ -11,6 +11,11 @@
 # aborts if the two fronts differ in any bit, and records the front
 # size, final hypervolume, and the hypervolume-vs-candidates curve.
 #
+# Recorded numbers come from a Release build (build-release/); the
+# script refuses to record from any other build type unless
+# BENCH_ALLOW_NONRELEASE=1 is set, in which case the output file is
+# tagged with the build type.
+#
 # Usage: scripts/bench_dse.sh [jobs] [iters] [batch] [threads]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -20,10 +25,25 @@ ITERS="${2:-60}"
 BATCH="${3:-6}"
 THREADS="${4:-0}"
 OUT="${BENCH_DSE_OUT:-BENCH_dse.json}"
+BUILD="${BENCH_BUILD_DIR:-build-release}"
 
-cmake -B build -S . >/dev/null
-cmake --build build -j "$JOBS" --target micro_dse
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+BT="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD/CMakeCache.txt")"
+if [ "$BT" != "Release" ]; then
+    if [ "${BENCH_ALLOW_NONRELEASE:-0}" = "1" ]; then
+        OUT="${OUT%.json}.${BT:-unknown}.json"
+        echo "WARNING: '$BUILD' is a '${BT:-unset}' build;" \
+             "tagging output as $OUT" >&2
+    else
+        echo "refusing to record benchmarks from a '${BT:-unset}'" \
+             "build in '$BUILD' (set BENCH_ALLOW_NONRELEASE=1 to" \
+             "record anyway, tagged)" >&2
+        exit 1
+    fi
+fi
+cmake --build "$BUILD" -j "$JOBS" --target micro_dse
 
-./build/bench/micro_dse "$OUT" "$ITERS" "$BATCH" "$THREADS"
+DSA_BENCH_BUILD_TYPE="$BT" \
+    "./$BUILD/bench/micro_dse" "$OUT" "$ITERS" "$BATCH" "$THREADS"
 
 echo "wrote $OUT"

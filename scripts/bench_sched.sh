@@ -6,17 +6,41 @@
 # variants that recompute bookkeeping from scratch at every use point,
 # so the JSON carries its own before/after comparison.
 #
+# Recorded numbers come from a Release build (build-release/); the
+# script refuses to record from any other build type unless
+# BENCH_ALLOW_NONRELEASE=1 is set, in which case the output file is
+# tagged with the build type.
+#
 # Usage: scripts/bench_sched.sh [jobs]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
 OUT="${BENCH_SCHED_OUT:-BENCH_scheduler.json}"
+BUILD="${BENCH_BUILD_DIR:-build-release}"
 
-cmake -B build -S . >/dev/null
-cmake --build build -j "$JOBS" --target micro_scheduler
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+BT="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD/CMakeCache.txt")"
+if [ "$BT" != "Release" ]; then
+    if [ "${BENCH_ALLOW_NONRELEASE:-0}" = "1" ]; then
+        OUT="${OUT%.json}.${BT:-unknown}.json"
+        echo "WARNING: '$BUILD' is a '${BT:-unset}' build;" \
+             "tagging output as $OUT" >&2
+    else
+        echo "refusing to record benchmarks from a '${BT:-unset}'" \
+             "build in '$BUILD' (set BENCH_ALLOW_NONRELEASE=1 to" \
+             "record anyway, tagged)" >&2
+        exit 1
+    fi
+fi
+cmake --build "$BUILD" -j "$JOBS" --target micro_scheduler
 
-./build/bench/micro_scheduler \
+# `library_build_type` in the JSON describes the system libbenchmark,
+# not this repo; `dsa_build_type` records the repo's build type.
+"./$BUILD/bench/micro_scheduler" \
+    --benchmark_repetitions="${BENCH_REPS:-5}" \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_context=dsa_build_type="$BT" \
     --benchmark_out="$OUT" \
     --benchmark_out_format=json
 

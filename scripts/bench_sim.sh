@@ -3,12 +3,21 @@
 # machine-readable results in BENCH_simulator.json (google-benchmark
 # JSON format).
 #
-# The binary benchmarks every fixture twice — `*_sparse` (the
-# event-driven fast path) and `*_dense` (the original cycle-by-cycle
-# oracle loop) — so the JSON carries its own before/after comparison,
-# like BENCH_scheduler.json does for the scheduler. The `cmdheavy_*`
-# and `fallback_*` fixtures are the quiet-spell-heavy configurations
-# where idle-cycle skipping pays off most.
+# The binary benchmarks every fixture three times — `*_compiled` (the
+# default engine: event-driven + per-region compute plans + period
+# replay), `*_sparse` (event-driven with the interpreted region tick)
+# and `*_dense` (the original cycle-by-cycle oracle loop) — so the
+# JSON carries its own tier-by-tier comparison, like
+# BENCH_scheduler.json does for the scheduler. The `cmdheavy_*` and
+# `fallback_*` fixtures are the quiet-spell-heavy configurations where
+# idle-cycle skipping pays off most.
+#
+# Recorded numbers come from a Release build (build-release/): a
+# committed BENCH file is meaningless if the library was compiled
+# without optimization. The script refuses to record from any other
+# build type unless BENCH_ALLOW_NONRELEASE=1 is set, in which case the
+# output file is tagged with the build type instead of silently
+# replacing the Release record.
 #
 # Usage: scripts/bench_sim.sh [jobs]
 set -euo pipefail
@@ -16,11 +25,33 @@ cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
 OUT="${BENCH_SIM_OUT:-BENCH_simulator.json}"
+BUILD="${BENCH_BUILD_DIR:-build-release}"
 
-cmake -B build -S . >/dev/null
-cmake --build build -j "$JOBS" --target micro_simulator
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+BT="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD/CMakeCache.txt")"
+if [ "$BT" != "Release" ]; then
+    if [ "${BENCH_ALLOW_NONRELEASE:-0}" = "1" ]; then
+        OUT="${OUT%.json}.${BT:-unknown}.json"
+        echo "WARNING: '$BUILD' is a '${BT:-unset}' build;" \
+             "tagging output as $OUT" >&2
+    else
+        echo "refusing to record benchmarks from a '${BT:-unset}'" \
+             "build in '$BUILD' (set BENCH_ALLOW_NONRELEASE=1 to" \
+             "record anyway, tagged)" >&2
+        exit 1
+    fi
+fi
+cmake --build "$BUILD" -j "$JOBS" --target micro_simulator
 
-./build/bench/micro_simulator \
+# Single-core boxes are noisy: repeat each benchmark and record only
+# the aggregate rows (mean/median/stddev/cv); readers should use the
+# *_median rows. The JSON's own `library_build_type` describes the
+# system libbenchmark, not this repo, so the repo's build type is
+# recorded explicitly as `dsa_build_type`.
+"./$BUILD/bench/micro_simulator" \
+    --benchmark_repetitions="${BENCH_REPS:-5}" \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_context=dsa_build_type="$BT" \
     --benchmark_out="$OUT" \
     --benchmark_out_format=json
 

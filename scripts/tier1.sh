@@ -48,13 +48,17 @@ echo "== tier-1: robustness + sparse-simulator tests under ASan+UBSan =="
 # indexed bookkeeping where an off-by-one reads out of bounds instead
 # of failing a test. It runs in both loop modes (test_sim_sparse and
 # its _dense ctest variant, which flips the DSA_SIM_SPARSE default).
+# test_sim_compiled joins it: the compiled tier's compute plans and
+# period-replay programs are arrays of raw pointers and arena offsets
+# rebuilt on every reconfigure — exactly where a stale pointer or
+# off-by-one survives a functional test but not ASan.
 cmake -B build-asan -S . -DDSA_SANITIZE=address,undefined \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j "$JOBS" --target test_robustness \
-      test_sim_sparse
+      test_sim_sparse test_sim_compiled
 ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-asan --output-on-failure \
-          -R 'test_robustness|test_sim_sparse'
+          -R 'test_robustness|test_sim_sparse|test_sim_compiled'
 
 echo
 echo "tier-1 OK"

@@ -32,13 +32,17 @@ LinearPattern::numElements() const
 std::vector<int64_t>
 LinearPattern::expandAddrs() const
 {
-    std::vector<int64_t> out;
-    out.reserve(static_cast<size_t>(numElements()));
+    // Hot in simulation setup (every issue re-expands its streams):
+    // sized write-through instead of per-element push_back, with the
+    // per-element multiply strength-reduced to an add.
+    std::vector<int64_t> out(static_cast<size_t>(numElements()));
+    const int64_t step = stride1 * elemBytes;
+    size_t k = 0;
     for (int64_t i = 0; i < len2; ++i) {
         int64_t inner_len = len1 + i * len1Delta;
-        int64_t row = baseBytes + (i * stride2 + i * start1Delta) * elemBytes;
-        for (int64_t j = 0; j < inner_len; ++j)
-            out.push_back(row + j * stride1 * elemBytes);
+        int64_t a = baseBytes + (i * stride2 + i * start1Delta) * elemBytes;
+        for (int64_t j = 0; j < inner_len; ++j, a += step)
+            out[k++] = a;
     }
     return out;
 }

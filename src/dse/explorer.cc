@@ -1,6 +1,7 @@
 #include "dse/explorer.h"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <chrono>
 #include <cmath>
@@ -13,6 +14,7 @@
 #include "model/host_model.h"
 #include "model/perf_model.h"
 #include "model/regression.h"
+#include "sim/sim_batch.h"
 
 namespace dsa::dse {
 
@@ -1081,6 +1083,20 @@ Explorer::runLoop(DseRunState &st)
 void
 Explorer::validateBest(DseResult &result)
 {
+    // Compile/schedule every workload first, then run all the
+    // simulations as one batch: per-workload {dense, sparse, compiled}
+    // job triples sharing one simulateBatch arena, so ring-buffer and
+    // compute-plan allocations are paid against a single high-water
+    // mark instead of once per engine per workload.
+    struct Pending
+    {
+        const workloads::Workload *w;
+        dfg::DecoupledProgram prog;
+        mapper::Schedule sched;
+        std::array<sim::MemImage, 3> imgs;  // dense, sparse, compiled
+    };
+    std::vector<std::unique_ptr<Pending>> pending;
+
     auto features = compiler::HwFeatures::fromAdg(result.best);
     for (const auto *w : workloads_) {
         auto golden = workloads::runGolden(*w);
@@ -1090,49 +1106,67 @@ Explorer::validateBest(DseResult &result)
             compiler::lowerKernel(w->kernel, placement, features, {}, 1);
         if (!lowered.ok)
             continue;
-        const auto &prog = lowered.version.program;
-        auto sched = mapper::scheduleProgram(
-            prog, result.best,
+        auto p = std::make_unique<Pending>();
+        p->w = w;
+        p->prog = lowered.version.program;
+        p->sched = mapper::scheduleProgram(
+            p->prog, result.best,
             {.maxIters = opts_.initSchedIters, .seed = opts_.seed});
-        if (!sched.cost.legal())
+        if (!p->sched.cost.legal())
             continue;
+        for (auto &img : p->imgs)
+            img = sim::MemImage::build(w->kernel, golden.initial,
+                                       placement);
+        pending.push_back(std::move(p));
+    }
 
-        auto denseImg =
-            sim::MemImage::build(w->kernel, golden.initial, placement);
-        auto sparseImg =
-            sim::MemImage::build(w->kernel, golden.initial, placement);
-        sim::SimOptions denseOpts = opts_.sim;
-        denseOpts.sparse = false;
-        denseOpts.checkSparse = false;
-        sim::SimOptions sparseOpts = opts_.sim;
-        sparseOpts.sparse = true;
-        sparseOpts.checkSparse = false;
+    std::vector<sim::SimJob> jobs;
+    jobs.reserve(pending.size() * 3);
+    for (auto &p : pending) {
+        for (int e = 0; e < 3; ++e) {
+            sim::SimJob job;
+            job.prog = &p->prog;
+            job.sched = &p->sched;
+            job.adg = &result.best;
+            job.mem = &p->imgs[static_cast<size_t>(e)];
+            job.opts = opts_.sim;
+            job.opts.sparse = e != 0;
+            job.opts.compiled = e == 2;
+            job.opts.checkSparse = false;
+            job.opts.checkCompiled = false;
+            jobs.push_back(job);
+        }
+    }
+    auto batch = sim::simulateBatch(jobs);
 
-        auto t0 = std::chrono::steady_clock::now();
-        auto denseRes =
-            sim::simulate(prog, sched, result.best, denseImg, denseOpts);
-        auto t1 = std::chrono::steady_clock::now();
-        auto sparseRes = sim::simulate(prog, sched, result.best,
-                                       sparseImg, sparseOpts);
-        auto t2 = std::chrono::steady_clock::now();
-
-        bool identical =
-            denseRes.ok == sparseRes.ok &&
-            denseRes.status.code() == sparseRes.status.code() &&
-            denseRes.error == sparseRes.error &&
-            denseRes.cycles == sparseRes.cycles &&
-            denseRes.peFires == sparseRes.peFires &&
-            denseRes.memBytes == sparseRes.memBytes &&
-            denseImg.main.bytes() == sparseImg.main.bytes() &&
-            denseImg.spad.bytes() == sparseImg.spad.bytes();
-        if (!identical && result.status.ok())
+    for (size_t i = 0; i < pending.size(); ++i) {
+        const auto &p = *pending[i];
+        const auto &dense = batch.results[i * 3];
+        auto sameAsDense = [&](const sim::SimResult &r, int img) {
+            return dense.ok == r.ok &&
+                   dense.status.code() == r.status.code() &&
+                   dense.error == r.error && dense.cycles == r.cycles &&
+                   dense.peFires == r.peFires &&
+                   dense.memBytes == r.memBytes &&
+                   p.imgs[0].main.bytes() ==
+                       p.imgs[static_cast<size_t>(img)].main.bytes() &&
+                   p.imgs[0].spad.bytes() ==
+                       p.imgs[static_cast<size_t>(img)].spad.bytes();
+        };
+        const char *bad = nullptr;
+        if (!sameAsDense(batch.results[i * 3 + 1], 1))
+            bad = "sparse";
+        else if (!sameAsDense(batch.results[i * 3 + 2], 2))
+            bad = "compiled";
+        if (bad && result.status.ok())
             result.status = Status::internal(
-                "sparse/dense simulator divergence on workload '" +
-                w->name + "' of the best design");
-        double denseS = std::chrono::duration<double>(t1 - t0).count();
-        double sparseS = std::chrono::duration<double>(t2 - t1).count();
-        result.simSpeedups[w->name] =
-            sparseS > 0 ? denseS / sparseS : 0.0;
+                std::string(bad) +
+                "/dense simulator divergence on workload '" +
+                p.w->name + "' of the best design");
+        double denseMs = batch.jobMs[i * 3];
+        double fastMs = batch.jobMs[i * 3 + 2];
+        result.simSpeedups[p.w->name] =
+            fastMs > 0 ? denseMs / fastMs : 0.0;
     }
 }
 

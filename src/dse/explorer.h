@@ -230,13 +230,14 @@ struct DseOptions
     /// @{
     /**
      * After the exploration loop, run the cycle-level simulator on
-     * the best design for every workload twice — once with the
-     * event-driven fast path and once with the dense oracle loop —
-     * cross-check the two results bit-exactly, and record the
-     * per-workload wall-clock speedup in DseResult::simSpeedups. A
-     * divergence surfaces as an Internal DseResult::status. Off by
-     * default (it adds a full simulation pass to the run). Not
-     * serialized into checkpoints.
+     * the best design for every workload three times — the dense
+     * oracle loop, the event-driven sparse loop, and the compiled
+     * steady-state engine — as one simulateBatch() over a shared
+     * arena, cross-check the three results bit-exactly, and record
+     * the per-workload dense/compiled wall-clock speedup in
+     * DseResult::simSpeedups. A divergence surfaces as an Internal
+     * DseResult::status. Off by default (it adds full simulation
+     * passes to the run). Not serialized into checkpoints.
      */
     bool simValidateBest = false;
     /** Simulator knobs for the validation runs (the sparse /
@@ -330,8 +331,8 @@ struct DseResult
     /** Hypervolume of `front` vs the (area, power) budget reference
      *  point, in geomean-speedup x mm^2 x mW units. */
     double frontHypervolume = 0;
-    /** Per-workload dense/sparse simulator wall-clock speedup on the
-     *  best design (populated when DseOptions::simValidateBest). */
+    /** Per-workload dense/compiled simulator wall-clock speedup on
+     *  the best design (populated when DseOptions::simValidateBest). */
     std::map<std::string, double> simSpeedups;
     /** Cache hit/miss/insert counters (see DseCacheStats). */
     DseCacheStats cacheStats;
@@ -467,8 +468,9 @@ class Explorer
   private:
     /** Main exploration loop, shared by run() and resume(). */
     DseResult runLoop(DseRunState &st);
-    /** Post-run sparse-vs-dense simulator cross-check of the best
-     *  design (DseOptions::simValidateBest). */
+    /** Post-run dense/sparse/compiled simulator cross-check of the
+     *  best design, batched through simulateBatch()
+     *  (DseOptions::simValidateBest). */
     void validateBest(DseResult &result);
     /** Write a checkpoint of @p st (warn, don't fail, on error). */
     void writeCheckpoint(DseRunState &st);

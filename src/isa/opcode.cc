@@ -1,7 +1,9 @@
 #include "isa/opcode.h"
 
+#include <array>
 #include <cmath>
 #include <cstring>
+#include <utility>
 
 #include "base/logging.h"
 #include "base/strings.h"
@@ -134,6 +136,36 @@ valueFromF64(double d)
     Value v;
     std::memcpy(&v, &d, sizeof(v));
     return v;
+}
+
+namespace {
+
+/** One instantiation per opcode; the constant folds evalOp's switch. */
+template <OpCode K>
+Value
+evalOpAs(Value a, Value b, Value c, Value *acc)
+{
+    return evalOp(K, a, b, c, acc);
+}
+
+template <size_t... I>
+constexpr std::array<OpFn, sizeof...(I)>
+makeOpFnTable(std::index_sequence<I...>)
+{
+    return {&evalOpAs<static_cast<OpCode>(I)>...};
+}
+
+const std::array<OpFn, kNumOpCodes> kOpFnTable =
+    makeOpFnTable(std::make_index_sequence<kNumOpCodes>{});
+
+} // namespace
+
+OpFn
+opFunction(OpCode op)
+{
+    int idx = static_cast<int>(op);
+    DSA_ASSERT(idx >= 0 && idx < kNumOpCodes, "bad opcode ", idx);
+    return kOpFnTable[static_cast<size_t>(idx)];
 }
 
 Value

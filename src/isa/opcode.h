@@ -147,6 +147,18 @@ Value valueFromF64(double d);
  */
 Value evalOp(OpCode op, Value a, Value b, Value c, Value *acc);
 
+/**
+ * Direct evaluation entry point for one opcode: behaves exactly like
+ * `evalOp(op, ...)` but with the opcode dispatch resolved ahead of
+ * time. The compiled simulation tier stores one of these per micro-op
+ * so the per-fire cost is a single indirect call with the operation's
+ * switch arm folded in.
+ */
+using OpFn = Value (*)(Value a, Value b, Value c, Value *acc);
+
+/** The specialized evaluator for @p op (never null). */
+OpFn opFunction(OpCode op);
+
 } // namespace dsa
 
 #endif // DSA_ISA_OPCODE_H

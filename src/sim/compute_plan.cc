@@ -1,0 +1,410 @@
+#include "sim/compute_plan.h"
+
+namespace dsa::sim::detail {
+
+using dfg::Vertex;
+
+RegionPlan
+buildRegionPlan(RegionSim &rs, int64_t *peFiredCycle, SimArena &arena)
+{
+    RegionPlan plan;
+    size_t total = rs.realInPorts.size() + rs.insts.size() +
+                   rs.realOutPorts.size();
+    plan.steps = arena.allocArray<PlanStep>(total);
+    plan.numSteps = static_cast<int>(total);
+
+    auto pipeArray = [&](const std::vector<Pipe *> &pipes) -> Pipe ** {
+        Pipe **arr = arena.allocArray<Pipe *>(pipes.size());
+        for (size_t i = 0; i < pipes.size(); ++i)
+            arr[i] = pipes[i];
+        return arr;
+    };
+
+    int n = 0;
+    // Input ports, in the interpreted tick's realInPorts order.
+    for (int v : rs.realInPorts) {
+        PortSim &ps = rs.inPorts[static_cast<size_t>(v)];
+        PlanStep s{};
+        s.port = &ps;
+        if (ps.lanes == 1 && ps.reuse <= 1 && ps.minPopInterval == 0) {
+            s.kind = PlanStep::PortSimple;
+            s.outs = pipeArray(ps.lanePipes[0]);
+            s.nOut = static_cast<uint8_t>(ps.lanePipes[0].size());
+        } else {
+            s.kind = PlanStep::PortGeneric;
+        }
+        plan.steps[n++] = s;
+    }
+
+    // Instructions, in index order.
+    for (InstSim &is : rs.insts) {
+        const Vertex &vx = *is.vx;
+        PlanStep s{};
+        s.inst = &is;
+        s.fn = opFunction(vx.op);
+        s.peStamp = is.sharedPe
+            ? &peFiredCycle[static_cast<size_t>(is.pe)]
+            : nullptr;
+        size_t arity = vx.operands.size();
+        if (vx.ctrl.active() || arity > 3 || arity == 0) {
+            s.kind = PlanStep::InstGeneric;
+        } else {
+            s.nIn = static_cast<uint8_t>(arity);
+            for (size_t i = 0; i < arity; ++i) {
+                s.in[i] = is.inPipes[i];
+                s.imm[i] = is.imms[i];
+            }
+            s.outs = pipeArray(is.outPipes);
+            s.nOut = static_cast<uint8_t>(is.outPipes.size());
+            s.latency =
+                static_cast<uint8_t>(opInfo(vx.op).latency);
+            if (vx.selfAcc) {
+                s.kind = PlanStep::InstSelfAcc;
+                s.accResetEvery = vx.accResetEvery;
+                s.accInit = vx.accInit;
+            } else if (vx.isAccumulate()) {
+                s.kind = PlanStep::InstAcc;
+            } else {
+                s.kind = PlanStep::InstSimple;
+            }
+        }
+        plan.steps[n++] = s;
+    }
+
+    // Output ports, in the interpreted tick's realOutPorts order.
+    for (int v : rs.realOutPorts) {
+        OutPortSim &op = rs.outPorts[static_cast<size_t>(v)];
+        PlanStep s{};
+        s.outPort = &op;
+        if (op.outputEvery == 1) {
+            s.kind = PlanStep::OutSimple;
+            s.outs = pipeArray(op.lanePipes);
+            s.nOut = static_cast<uint8_t>(op.lanePipes.size());
+        } else if (op.outputEvery == -1) {
+            s.kind = PlanStep::OutLast;
+            s.outs = pipeArray(op.lanePipes);
+            s.nOut = static_cast<uint8_t>(op.lanePipes.size());
+        } else if (op.outputEvery > 1) {
+            s.kind = PlanStep::OutEvery;
+            s.outs = pipeArray(op.lanePipes);
+            s.nOut = static_cast<uint8_t>(op.lanePipes.size());
+        } else {
+            s.kind = PlanStep::OutGeneric;
+        }
+        plan.steps[n++] = s;
+    }
+
+    DSA_ASSERT(n == plan.numSteps, "plan step count mismatch");
+    return plan;
+}
+
+/**
+ * Shared body of runPlan / runPlanRecord. The Rec instantiation
+ * additionally sets per-step action bits; the hot non-recording
+ * instantiation compiles the bookkeeping out entirely.
+ */
+template <bool Rec>
+static void
+runPlanT(RegionSim &rs, const RegionPlan &plan, int64_t now,
+         bool &activity, int64_t *peFiredCycle, uint64_t &fired64,
+         uint64_t &latched64)
+{
+    bool fired = false;
+    PlanStep *steps = plan.steps;
+    for (int i = 0; i < plan.numSteps; ++i) {
+        PlanStep &s = steps[i];
+        switch (s.kind) {
+          case PlanStep::PortSimple: {
+            PortSim &ps = *s.port;
+            if (ps.reuseLeft == 0) {
+                // Stateful refill: latch the next element even if a
+                // downstream pipe rejects the fire this cycle (the
+                // interpreted tryFire consumes the buffer the same
+                // way).
+                if (ps.bufCount == 0)
+                    break;
+                ps.current[0] = ps.buf[ps.bufHead];
+                ps.bufHead = (ps.bufHead + 1) & ps.bufMask;
+                --ps.bufCount;
+                ps.reuseLeft = 1;
+                if constexpr (Rec)
+                    latched64 |= uint64_t{1} << i;
+            }
+            bool room = true;
+            for (int j = 0; j < s.nOut; ++j)
+                if (!s.outs[j]->canPush()) {
+                    room = false;
+                    break;
+                }
+            if (!room)
+                break;
+            Value v = ps.current[0];
+            for (int j = 0; j < s.nOut; ++j)
+                s.outs[j]->push(now, v);
+            ps.reuseLeft = 0;
+            ps.lastPop = now;
+            ++ps.pops;
+            fired = true;
+            if constexpr (Rec)
+                fired64 |= uint64_t{1} << i;
+            break;
+          }
+          case PlanStep::PortGeneric:
+            if (s.port->tryFire(now)) {
+                fired = true;
+                if constexpr (Rec)
+                    fired64 |= uint64_t{1} << i;
+            }
+            break;
+          case PlanStep::InstSimple: {
+            InstSim &is = *s.inst;
+            bool ready = true;
+            for (int j = 0; j < s.nIn; ++j)
+                if (s.in[j] && !s.in[j]->ready(now)) {
+                    ready = false;
+                    break;
+                }
+            if (!ready)
+                break;
+            bool room = true;
+            for (int j = 0; j < s.nOut; ++j)
+                if (!s.outs[j]->canPush()) {
+                    room = false;
+                    break;
+                }
+            if (!room)
+                break;
+            if (s.peStamp) {
+                if (*s.peStamp == now)
+                    break;
+                *s.peStamp = now;
+            }
+            is.lastFire = now;
+            Value a = s.in[0] ? s.in[0]->front() : s.imm[0];
+            Value b = s.nIn > 1
+                ? (s.in[1] ? s.in[1]->front() : s.imm[1]) : 0;
+            Value c = s.nIn > 2
+                ? (s.in[2] ? s.in[2]->front() : s.imm[2]) : 0;
+            Value r = s.fn(a, b, c, nullptr);
+            for (int j = 0; j < s.nIn; ++j)
+                if (s.in[j])
+                    s.in[j]->pop();
+            ++is.fires;
+            for (int j = 0; j < s.nOut; ++j)
+                s.outs[j]->push(now, r);
+            fired = true;
+            if constexpr (Rec)
+                fired64 |= uint64_t{1} << i;
+            break;
+          }
+          case PlanStep::InstAcc: {
+            InstSim &is = *s.inst;
+            // Pure gates, cheapest first (the interpreted path checks
+            // operands first; conjunction order is unobservable).
+            if (now - is.lastFire < s.latency)
+                break;
+            bool ready = true;
+            for (int j = 0; j < s.nIn; ++j)
+                if (s.in[j] && !s.in[j]->ready(now)) {
+                    ready = false;
+                    break;
+                }
+            if (!ready)
+                break;
+            bool room = true;
+            for (int j = 0; j < s.nOut; ++j)
+                if (!s.outs[j]->canPush()) {
+                    room = false;
+                    break;
+                }
+            if (!room)
+                break;
+            if (s.peStamp) {
+                if (*s.peStamp == now)
+                    break;
+                *s.peStamp = now;
+            }
+            is.lastFire = now;
+            Value a = s.in[0] ? s.in[0]->front() : s.imm[0];
+            Value b = s.nIn > 1
+                ? (s.in[1] ? s.in[1]->front() : s.imm[1]) : 0;
+            Value c = s.nIn > 2
+                ? (s.in[2] ? s.in[2]->front() : s.imm[2]) : 0;
+            Value r = s.fn(a, b, c, &is.acc);
+            for (int j = 0; j < s.nIn; ++j)
+                if (s.in[j])
+                    s.in[j]->pop();
+            ++is.fires;
+            for (int j = 0; j < s.nOut; ++j)
+                s.outs[j]->push(now, r);
+            fired = true;
+            if constexpr (Rec)
+                fired64 |= uint64_t{1} << i;
+            break;
+          }
+          case PlanStep::InstSelfAcc: {
+            InstSim &is = *s.inst;
+            if (now - is.lastFire < s.latency)
+                break;
+            bool ready = true;
+            for (int j = 0; j < s.nIn; ++j)
+                if (s.in[j] && !s.in[j]->ready(now)) {
+                    ready = false;
+                    break;
+                }
+            if (!ready)
+                break;
+            bool room = true;
+            for (int j = 0; j < s.nOut; ++j)
+                if (!s.outs[j]->canPush()) {
+                    room = false;
+                    break;
+                }
+            if (!room)
+                break;
+            if (s.peStamp) {
+                if (*s.peStamp == now)
+                    break;
+                *s.peStamp = now;
+            }
+            is.lastFire = now;
+            Value v = s.in[0] ? s.in[0]->front() : s.imm[0];
+            is.acc = s.fn(is.acc, v, 0, nullptr);
+            Value r = is.acc;
+            for (int j = 0; j < s.nIn; ++j)
+                if (s.in[j])
+                    s.in[j]->pop();
+            ++is.fires;
+            for (int j = 0; j < s.nOut; ++j)
+                s.outs[j]->push(now, r);
+            if (s.accResetEvery > 0 &&
+                is.fires % s.accResetEvery == 0)
+                is.acc = s.accInit;
+            fired = true;
+            if constexpr (Rec)
+                fired64 |= uint64_t{1} << i;
+            break;
+          }
+          case PlanStep::InstGeneric:
+            genericFire(rs, *s.inst, now, activity, peFiredCycle);
+            break;
+          case PlanStep::OutSimple: {
+            OutPortSim &op = *s.outPort;
+            bool ready = true;
+            for (int j = 0; j < s.nOut; ++j)
+                if (!s.outs[j]->ready(now)) {
+                    ready = false;
+                    break;
+                }
+            if (!ready)
+                break;
+            if (!op.writeSinksRoom())
+                break;
+            if (!op.sinksAccept(op.lanes))
+                break;
+            for (int j = 0; j < s.nOut; ++j) {
+                Value v = s.outs[j]->front();
+                s.outs[j]->pop();
+                op.deliverElement(v);
+            }
+            ++op.fires;
+            fired = true;
+            if constexpr (Rec)
+                fired64 |= uint64_t{1} << i;
+            break;
+          }
+          case PlanStep::OutLast: {
+            OutPortSim &op = *s.outPort;
+            bool ready = true;
+            for (int j = 0; j < s.nOut; ++j)
+                if (!s.outs[j]->ready(now)) {
+                    ready = false;
+                    break;
+                }
+            if (!ready)
+                break;
+            if (!op.writeSinksRoom())
+                break;
+            // Latch (don't deliver): finalizeIssue emits the last
+            // vector. Writing lanes in place skips the interpreted
+            // path's scratch copy + vector assignment.
+            if (op.lastVec.size() != static_cast<size_t>(s.nOut))
+                op.lastVec.resize(s.nOut);
+            for (int j = 0; j < s.nOut; ++j) {
+                op.lastVec[static_cast<size_t>(j)] = s.outs[j]->front();
+                s.outs[j]->pop();
+            }
+            ++op.fires;
+            op.lastValid = true;
+            fired = true;
+            if constexpr (Rec)
+                fired64 |= uint64_t{1} << i;
+            break;
+          }
+          case PlanStep::OutEvery: {
+            OutPortSim &op = *s.outPort;
+            bool ready = true;
+            for (int j = 0; j < s.nOut; ++j)
+                if (!s.outs[j]->ready(now)) {
+                    ready = false;
+                    break;
+                }
+            if (!ready)
+                break;
+            bool keep = (op.fires + 1) % op.outputEvery == 0;
+            if (keep) {
+                if (!op.writeSinksRoom())
+                    break;
+                if (!op.sinksAccept(op.lanes))
+                    break;
+                for (int j = 0; j < s.nOut; ++j) {
+                    Value v = s.outs[j]->front();
+                    s.outs[j]->pop();
+                    op.deliverElement(v);
+                }
+            } else {
+                // Decimated fire: pop and discard, no scratch staging.
+                for (int j = 0; j < s.nOut; ++j)
+                    s.outs[j]->pop();
+            }
+            ++op.fires;
+            fired = true;
+            if constexpr (Rec)
+                fired64 |= uint64_t{1} << i;
+            break;
+          }
+          case PlanStep::OutGeneric:
+            if (s.outPort->tryFire(now)) {
+                fired = true;
+                if constexpr (Rec)
+                    fired64 |= uint64_t{1} << i;
+            }
+            break;
+        }
+    }
+    if (fired) {
+        rs.lastActivity = now;
+        activity = true;
+    }
+}
+
+void
+runPlan(RegionSim &rs, const RegionPlan &plan, int64_t now,
+        bool &activity, int64_t *peFiredCycle)
+{
+    uint64_t f = 0, l = 0;
+    runPlanT<false>(rs, plan, now, activity, peFiredCycle, f, l);
+}
+
+void
+runPlanRecord(RegionSim &rs, const RegionPlan &plan, int64_t now,
+              bool &activity, int64_t *peFiredCycle, uint64_t &fired,
+              uint64_t &latched)
+{
+    fired = 0;
+    latched = 0;
+    runPlanT<true>(rs, plan, now, activity, peFiredCycle, fired,
+                   latched);
+}
+
+} // namespace dsa::sim::detail

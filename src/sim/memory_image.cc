@@ -11,32 +11,6 @@ AddressSpace::ensure(int64_t bytes)
         bytes_.resize(static_cast<size_t>(bytes), 0);
 }
 
-Value
-AddressSpace::load(int64_t addr, int elemBytes) const
-{
-    DSA_ASSERT(addr >= 0 &&
-               addr + elemBytes <= static_cast<int64_t>(bytes_.size()),
-               "load out of bounds at ", addr, " (+", elemBytes, "), size ",
-               bytes_.size());
-    Value v = 0;
-    for (int i = elemBytes - 1; i >= 0; --i)
-        v = (v << 8) | bytes_[static_cast<size_t>(addr + i)];
-    return v;
-}
-
-void
-AddressSpace::store(int64_t addr, int elemBytes, Value v)
-{
-    DSA_ASSERT(addr >= 0 &&
-               addr + elemBytes <= static_cast<int64_t>(bytes_.size()),
-               "store out of bounds at ", addr, " (+", elemBytes,
-               "), size ", bytes_.size());
-    for (int i = 0; i < elemBytes; ++i) {
-        bytes_[static_cast<size_t>(addr + i)] = static_cast<uint8_t>(v);
-        v >>= 8;
-    }
-}
-
 MemImage
 MemImage::build(const ir::KernelSource &kernel, const ir::ArrayStore &store,
                 const compiler::Placement &placement)

@@ -10,8 +10,10 @@
 #define DSA_SIM_MEMORY_IMAGE_H
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
+#include "base/logging.h"
 #include "compiler/placement.h"
 #include "dfg/stream.h"
 #include "ir/interp.h"
@@ -26,9 +28,45 @@ class AddressSpace
     void ensure(int64_t bytes);
 
     /** Load @p elemBytes little-endian bytes, zero-extended. */
-    Value load(int64_t addr, int elemBytes) const;
+    Value
+    load(int64_t addr, int elemBytes) const
+    {
+        DSA_ASSERT(addr >= 0 && addr + elemBytes <=
+                                    static_cast<int64_t>(bytes_.size()),
+                   "load out of bounds at ", addr, " (+", elemBytes,
+                   "), size ", bytes_.size());
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+        Value v = 0;
+        std::memcpy(&v, bytes_.data() + addr,
+                    static_cast<size_t>(elemBytes));
+        return v;
+#else
+        Value v = 0;
+        for (int i = elemBytes - 1; i >= 0; --i)
+            v = (v << 8) | bytes_[static_cast<size_t>(addr + i)];
+        return v;
+#endif
+    }
+
     /** Store the low @p elemBytes bytes of @p v. */
-    void store(int64_t addr, int elemBytes, Value v);
+    void
+    store(int64_t addr, int elemBytes, Value v)
+    {
+        DSA_ASSERT(addr >= 0 && addr + elemBytes <=
+                                    static_cast<int64_t>(bytes_.size()),
+                   "store out of bounds at ", addr, " (+", elemBytes,
+                   "), size ", bytes_.size());
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+        std::memcpy(bytes_.data() + addr, &v,
+                    static_cast<size_t>(elemBytes));
+#else
+        for (int i = 0; i < elemBytes; ++i) {
+            bytes_[static_cast<size_t>(addr + i)] =
+                static_cast<uint8_t>(v);
+            v >>= 8;
+        }
+#endif
+    }
 
     int64_t size() const { return static_cast<int64_t>(bytes_.size()); }
 

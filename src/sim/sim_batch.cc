@@ -1,0 +1,36 @@
+#include "sim/sim_batch.h"
+
+#include <chrono>
+
+#include "base/logging.h"
+#include "sim/machine_state.h"
+
+namespace dsa::sim {
+
+SimBatchResult
+simulateBatch(const std::vector<SimJob> &jobs)
+{
+    SimBatchResult out;
+    out.results.reserve(jobs.size());
+    out.jobMs.reserve(jobs.size());
+    SimArena arena;
+    auto start = std::chrono::steady_clock::now();
+    for (const SimJob &job : jobs) {
+        DSA_ASSERT(job.prog && job.sched && job.adg && job.mem,
+                   "simulateBatch: incomplete job");
+        auto t0 = std::chrono::steady_clock::now();
+        out.results.push_back(simulateShared(*job.prog, *job.sched,
+                                             *job.adg, *job.mem, job.opts,
+                                             &arena));
+        auto t1 = std::chrono::steady_clock::now();
+        out.jobMs.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    auto end = std::chrono::steady_clock::now();
+    out.wallMs =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    out.arenaBytes = arena.footprint();
+    return out;
+}
+
+} // namespace dsa::sim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Batched multi-design simulation: run N candidate (program, schedule,
+ * ADG) triples through the simulator in one process while sharing the
+ * ring-buffer/compute-plan arena across machines, so per-design setup
+ * cost (allocation, plan lowering) is paid against one high-water mark
+ * instead of N times. The DSE explorer's validation/calibration paths
+ * use this to amortize setup over a whole candidate set.
+ *
+ * Results are bit-identical to calling simulate() once per job: the
+ * arena only changes *where* rings live, never what they hold, and
+ * machines run strictly one at a time.
+ */
+
+#ifndef DSA_SIM_SIM_BATCH_H
+#define DSA_SIM_SIM_BATCH_H
+
+#include <vector>
+
+#include "adg/adg.h"
+#include "dfg/program.h"
+#include "mapper/schedule.h"
+#include "sim/memory_image.h"
+#include "sim/simulator.h"
+
+namespace dsa::sim {
+
+/** One simulation to run. All pointees must outlive the batch call;
+ *  @p mem is mutated exactly as by simulate(). */
+struct SimJob
+{
+    const dfg::DecoupledProgram *prog = nullptr;
+    const mapper::Schedule *sched = nullptr;
+    const adg::Adg *adg = nullptr;
+    MemImage *mem = nullptr;
+    SimOptions opts;
+};
+
+/** Outcome of a batch run. */
+struct SimBatchResult
+{
+    /** Per-job results, in job order. */
+    std::vector<SimResult> results;
+    /** Per-job wall time (milliseconds), in job order — lets callers
+     *  compare engine configurations job-by-job (e.g. the explorer's
+     *  validation speedup report) without re-timing outside. */
+    std::vector<double> jobMs;
+    /** Total wall time for the whole batch (milliseconds). */
+    double wallMs = 0.0;
+    /** Shared-arena high-water mark after the batch (bytes). */
+    size_t arenaBytes = 0;
+};
+
+/**
+ * Run every job in @p jobs sequentially against one shared arena.
+ * Each job behaves exactly like simulate(job.prog, ..., job.opts) —
+ * including the checkSparse / checkCompiled oracle chains.
+ */
+SimBatchResult simulateBatch(const std::vector<SimJob> &jobs);
+
+} // namespace dsa::sim
+
+#endif // DSA_SIM_SIM_BATCH_H

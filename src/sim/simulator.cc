@@ -5,11 +5,13 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
-#include <deque>
 #include <map>
 #include <sstream>
+#include <unordered_map>
 
 #include "base/logging.h"
+#include "sim/compute_plan.h"
+#include "sim/machine_state.h"
 
 namespace dsa::sim {
 
@@ -17,7 +19,6 @@ using adg::Adg;
 using adg::NodeId;
 using adg::NodeKind;
 using adg::Sharing;
-using dfg::CtrlSpec;
 using dfg::LinearPattern;
 using dfg::Region;
 using dfg::Stream;
@@ -26,310 +27,19 @@ using dfg::Vertex;
 using dfg::VertexId;
 using dfg::VertexKind;
 
+using detail::FwdQueue;
+using detail::InstSim;
+using detail::OutPortSim;
+using detail::OutSink;
+using detail::Pipe;
+using detail::PortSim;
+using detail::RegionPlan;
+using detail::RegionSim;
+using detail::RegionState;
+using detail::StreamExec;
+using detail::regionStateName;
+
 namespace {
-
-/** A fixed-latency, bounded, in-order value pipe (a routed path). */
-struct Pipe
-{
-    int latency = 1;
-    int capacity = 8;
-    std::deque<std::pair<int64_t, Value>> q;
-
-    bool canPush() const { return static_cast<int>(q.size()) < capacity; }
-    void push(int64_t now, Value v) { q.emplace_back(now + latency, v); }
-    bool ready(int64_t now) const
-    {
-        return !q.empty() && q.front().first <= now;
-    }
-    Value front() const { return q.front().second; }
-    void pop() { q.pop_front(); }
-    bool empty() const { return q.empty(); }
-};
-
-struct StreamExec;
-struct PortSim;
-
-/**
- * A persistent forwarded-scalar channel. The queue survives the
- * consumer's per-issue port resets; a machine-level non-empty counter
- * lets the per-cycle pump skip the forward scan entirely while every
- * channel is drained (the common state).
- */
-struct FwdQueue
-{
-    std::deque<Value> q;
-    int *nonEmptyCount = nullptr;
-
-    void
-    push(Value v)
-    {
-        if (q.empty() && nonEmptyCount)
-            ++*nonEmptyCount;
-        q.push_back(v);
-    }
-
-    void
-    pop()
-    {
-        q.pop_front();
-        if (q.empty() && nonEmptyCount)
-            --*nonEmptyCount;
-    }
-
-    Value front() const { return q.front(); }
-    bool empty() const { return q.empty(); }
-};
-
-/** Where an output port's elements go. */
-struct OutSink
-{
-    enum class Kind { Write, Recurrence, Forward };
-    Kind kind = Kind::Write;
-    int64_t skip = 0;     ///< skip this many elements first
-    int64_t take = -1;    ///< then take this many (-1 = all)
-    int64_t seen = 0;
-    int64_t taken = 0;
-    StreamExec *write = nullptr;  ///< Write sink
-    PortSim *target = nullptr;    ///< Recurrence sink
-    /**
-     * Forward sink: values land in a persistent machine-level queue
-     * (surviving the consumer's per-issue port resets) and are moved
-     * into the consumer's port as it runs.
-     */
-    FwdQueue *fwdQueue = nullptr;
-
-    bool wants() const { return seen >= skip && (take < 0 || taken < take); }
-};
-
-/** Input port (sync element) simulation state. */
-struct PortSim
-{
-    int lanes = 1;
-    int64_t reuse = 1;
-    int capacity = 64;
-    std::deque<Value> buffer;
-    std::vector<Value> current;
-    int64_t reuseLeft = 0;
-    std::vector<std::vector<Pipe *>> lanePipes;
-    int64_t minPopInterval = 0;
-    int64_t lastPop = -1'000'000;
-    int64_t pops = 0;
-
-    bool
-    roomFor(int n) const
-    {
-        return static_cast<int>(buffer.size()) + n <= capacity;
-    }
-
-    void
-    deliver(Value v)
-    {
-        buffer.push_back(v);
-    }
-
-    bool
-    tryFire(int64_t now)
-    {
-        if (reuseLeft == 0) {
-            if (static_cast<int>(buffer.size()) < lanes)
-                return false;
-            current.assign(buffer.begin(), buffer.begin() + lanes);
-            buffer.erase(buffer.begin(), buffer.begin() + lanes);
-            reuseLeft = std::max<int64_t>(1, reuse);
-        }
-        if (now - lastPop < minPopInterval)
-            return false;
-        for (int l = 0; l < lanes; ++l)
-            for (Pipe *p : lanePipes[l])
-                if (!p->canPush())
-                    return false;
-        for (int l = 0; l < lanes; ++l)
-            for (Pipe *p : lanePipes[l])
-                p->push(now, current[static_cast<size_t>(l)]);
-        --reuseLeft;
-        lastPop = now;
-        ++pops;
-        return true;
-    }
-
-    void
-    resetForIssue()
-    {
-        buffer.clear();
-        current.clear();
-        reuseLeft = 0;
-    }
-};
-
-/** Output port simulation state. */
-struct OutPortSim
-{
-    int lanes = 1;
-    int64_t outputEvery = 1;
-    std::vector<Pipe *> lanePipes;
-    std::vector<OutSink> sinks;
-    int64_t fires = 0;
-    std::vector<Value> lastVec;
-    bool lastValid = false;
-    /** Source is an accumulator: its init value stands in when the
-     *  issue produced no elements (zero-trip reductions). */
-    bool hasFallback = false;
-    Value fallbackInit = 0;
-
-    bool
-    sinksAccept(int n) const
-    {
-        for (const OutSink &s : sinks) {
-            if (!s.wants())
-                continue;
-            // Writes are checked via their own buffer capacity and
-            // forwards buffer in an unbounded queue.
-            if (s.kind == OutSink::Kind::Recurrence && s.target &&
-                !s.target->roomFor(n))
-                return false;
-        }
-        return true;
-    }
-
-    void deliverElement(Value v);
-
-    bool tryFire(int64_t now);
-
-    void
-    resetForIssue()
-    {
-        fires = 0;
-        lastVec.clear();
-        lastValid = false;
-        for (OutSink &s : sinks) {
-            s.seen = 0;
-            s.taken = 0;
-        }
-    }
-};
-
-/** One stream's execution state for the current issue. */
-struct StreamExec
-{
-    const Stream *st = nullptr;
-    int regionIdx = -1;
-    // Pregenerated per-issue address (or value) sequences.
-    std::vector<int64_t> addrs;
-    std::vector<int64_t> idxAddrs;
-    size_t pos = 0;
-    PortSim *target = nullptr;       // reads
-    std::deque<Value> writeBuf;      // writes/atomics: values from port
-    int writeBufCap = 32;
-    int64_t nextReady = 0;           // scalar-fallback throttle
-    bool openDone = false;           // open-ended write finished
-    /** Index space, resolved once at build (indirect kinds only). */
-    AddressSpace *idxSpace = nullptr;
-
-    bool
-    readsDone() const
-    {
-        return pos >= addrs.size();
-    }
-
-    bool
-    done() const
-    {
-        switch (st->kind) {
-          case StreamKind::LinearWrite:
-          case StreamKind::IndirectWrite:
-          case StreamKind::AtomicUpdate:
-            return (pos >= addrs.size() && writeBuf.empty()) ||
-                   (st->openEnded && openDone && writeBuf.empty());
-          default:
-            return readsDone();
-        }
-    }
-};
-
-/** Instruction simulation state. */
-struct InstSim
-{
-    const Vertex *vx = nullptr;
-    std::vector<Pipe *> inPipes;  // null for immediates
-    std::vector<Value> imms;
-    std::vector<Pipe *> outPipes;
-    Value acc = 0;
-    int64_t fires = 0;
-    int64_t lastFire = -1'000'000;
-    NodeId pe = adg::kInvalidNode;
-    /** PE is temporally shared (resolved at build; saves a node lookup
-     *  on every fire attempt). */
-    bool sharedPe = false;
-
-    bool
-    operandsReady(int64_t now) const
-    {
-        for (size_t i = 0; i < inPipes.size(); ++i)
-            if (inPipes[i] && !inPipes[i]->ready(now))
-                return false;
-        return true;
-    }
-
-    Value
-    operandValue(size_t i) const
-    {
-        return inPipes[i] ? inPipes[i]->front() : imms[i];
-    }
-};
-
-void
-OutPortSim::deliverElement(Value v)
-{
-    for (OutSink &s : sinks) {
-        bool want = s.wants();
-        ++s.seen;
-        if (!want)
-            continue;
-        ++s.taken;
-        if (s.kind == OutSink::Kind::Write) {
-            s.write->writeBuf.push_back(v);
-        } else if (s.kind == OutSink::Kind::Forward) {
-            s.fwdQueue->push(v);
-        } else {
-            s.target->deliver(v);
-        }
-    }
-}
-
-bool
-OutPortSim::tryFire(int64_t now)
-{
-    for (Pipe *p : lanePipes)
-        if (!p->ready(now))
-            return false;
-    bool keep = outputEvery > 0 ? ((fires + 1) % outputEvery == 0)
-                                : false;
-    if (keep || outputEvery == -1) {
-        // Check write-sink buffer room.
-        for (const OutSink &s : sinks) {
-            if (s.kind == OutSink::Kind::Write && s.wants() &&
-                static_cast<int>(s.write->writeBuf.size()) + lanes >
-                    s.write->writeBufCap)
-                return false;
-        }
-        if (keep && !sinksAccept(lanes))
-            return false;
-    }
-    std::vector<Value> vec;
-    for (Pipe *p : lanePipes) {
-        vec.push_back(p->front());
-        p->pop();
-    }
-    ++fires;
-    if (outputEvery == -1) {
-        lastVec = vec;
-        lastValid = true;
-    } else if (keep) {
-        for (Value v : vec)
-            deliverElement(v);
-    }
-    return true;
-}
 
 /** Expand a pattern with reissue adjustments applied. */
 std::vector<int64_t>
@@ -342,103 +52,17 @@ expandPattern(const LinearPattern &base, int64_t baseShift,
     return p.expandAddrs();
 }
 
-/** Region issue/lifecycle state. */
-enum class RegionState {
-    WaitDep,      ///< waiting on via-memory producer regions
-    WaitCmd,      ///< control core issuing stream commands
-    Running,
-    Finalizing,   ///< last-value delivery + write drain
-    DoneIssue,
-    Complete
-};
-
-const char *
-regionStateName(RegionState st)
-{
-    switch (st) {
-      case RegionState::WaitDep: return "wait-dep";
-      case RegionState::WaitCmd: return "wait-cmd";
-      case RegionState::Running: return "running";
-      case RegionState::Finalizing: return "finalizing";
-      case RegionState::DoneIssue: return "done-issue";
-      case RegionState::Complete: return "complete";
-    }
-    return "?";
-}
-
-struct RegionSim
-{
-    const Region *reg = nullptr;
-    int idx = -1;
-    RegionState state = RegionState::WaitCmd;
-    int64_t stateUntil = 0;
-    // Re-issue enumeration over outer loops (outermost first).
-    std::vector<int64_t> outerIdx;
-    int64_t lastActivity = 0;
-    int quiesceWindow = 16;
-    int64_t endCycle = 0;
-
-    std::vector<PortSim> inPorts;      // by vertex id (sparse)
-    std::vector<OutPortSim> outPorts;  // by vertex id (sparse)
-    std::vector<InstSim> insts;
-    std::vector<std::unique_ptr<Pipe>> pipes;
-    std::vector<StreamExec> streams;   // by stream id
-    std::vector<int> waitOnRegions;    // region-level dependences
-    int64_t completedIssues = 0;
-
-    /// @name Build-time hot-loop caches (contents never change after
-    /// Machine::build; both the dense oracle and the sparse fast path
-    /// iterate these instead of re-filtering per cycle)
-    /// @{
-    std::vector<int> realInPorts;      ///< vertex ids with lane pipes
-    std::vector<int> realOutPorts;     ///< vertex ids with lane pipes
-    std::vector<int> genStreams;       ///< Const/Iota stream ids
-    std::vector<int> fallbackStreams;  ///< scalar-fallback stream ids
-    std::vector<int> throttledPorts;   ///< in-port ids, minPopInterval>0
-    /** (instruction index, op latency) of accumulate instructions —
-     *  the only instructions whose firing is gated on a future time. */
-    std::vector<std::pair<int, int>> accInsts;
-    /// @}
-
-    bool
-    allReadsDone() const
-    {
-        for (const StreamExec &se : streams) {
-            const Stream &st = *se.st;
-            if (st.kind == StreamKind::LinearRead ||
-                st.kind == StreamKind::IndirectRead ||
-                st.kind == StreamKind::Const || st.kind == StreamKind::Iota) {
-                if (!se.readsDone())
-                    return false;
-            }
-        }
-        return true;
-    }
-
-    bool
-    allWritesDone() const
-    {
-        for (const StreamExec &se : streams) {
-            const Stream &st = *se.st;
-            if (st.kind == StreamKind::LinearWrite ||
-                st.kind == StreamKind::IndirectWrite ||
-                st.kind == StreamKind::AtomicUpdate) {
-                if (!se.done())
-                    return false;
-            }
-        }
-        return true;
-    }
-};
-
 /** The whole-machine simulation. */
 class Machine
 {
   public:
     Machine(const dfg::DecoupledProgram &prog, const mapper::Schedule &sched,
-            const Adg &adg, MemImage &mem, const SimOptions &opts)
-        : prog_(prog), sched_(sched), adg_(adg), mem_(mem), opts_(opts)
+            const Adg &adg, MemImage &mem, const SimOptions &opts,
+            SimArena *arena = nullptr)
+        : prog_(prog), sched_(sched), adg_(adg), mem_(mem), opts_(opts),
+          arena_(arena ? arena : &ownArena_)
     {
+        arena_->reset();
         build();
     }
 
@@ -453,8 +77,12 @@ class Machine
     bool advanceIssue(RegionSim &rs);
     void tickStreams(int64_t now, bool &activity);
     void tickRegion(RegionSim &rs, int64_t now, bool &activity);
-    void fireInstruction(RegionSim &rs, InstSim &is, int64_t now,
-                         bool &activity);
+    /** Running-state region tick through the compiled compute plan
+     *  (bit-exact with tickRegion, minus the interpretive dispatch). */
+    void tickCompiled(RegionSim &rs, int64_t now, bool &activity);
+    /** Quiesce / drain phase transitions shared by the interpreted
+     *  and compiled region ticks. */
+    void regionPhaseTail(RegionSim &rs, int64_t now);
     /** Phase-script / configuration-group controller; true when any
      *  controller state (script cursor, active group) moved. */
     bool tickSequencer(int64_t now);
@@ -479,6 +107,16 @@ class Machine
      * INT64_MAX when nothing is pending (a true deadlock).
      */
     int64_t nextEventTime(int64_t now) const;
+    /**
+     * Latest cycle (exclusive) the compiled steady window may run to:
+     * the earliest wake-up of any waiting-for-command region in the
+     * active configuration group. Within the window no skipped
+     * controller or wait-state tick could have acted, so eliding them
+     * is provably bit-exact. Valid immediately after a fully generic
+     * cycle with no state/controller transition; every transition
+     * closes the window.
+     */
+    int64_t burstHorizon() const;
     /** Record a region lifecycle transition (keeps the sparse loop's
      *  progress flag and active-region list in sync). */
     void setState(RegionSim &rs, RegionState st);
@@ -505,8 +143,18 @@ class Machine
         int widthBytes = 0;
         int numBanks = 1;
         int64_t bytes = 0;  ///< moved so far (reporting)
-        /** (region index, stream id), in dense scan order. */
-        std::vector<std::pair<int, int>> streams;
+        /** One bound stream, pointers resolved at build (regions_ and
+         *  each region's stream vector never resize after build). */
+        struct Bound
+        {
+            RegionSim *rs = nullptr;
+            StreamExec *se = nullptr;
+            /** Period-replay record slot (see ReplaySlot), -1 when the
+             *  owning region is not replay-eligible. */
+            int recSlot = -1;
+        };
+        /** Streams in dense scan order. */
+        std::vector<Bound> streams;
     };
 
     const dfg::DecoupledProgram &prog_;
@@ -541,6 +189,188 @@ class Machine
     /** Regions in {WaitDep, WaitCmd, Running, Finalizing}. */
     std::vector<int> activeRegions_;
     bool activeDirty_ = true;
+
+    /** Ring/plan storage: external (batched) or machine-owned. */
+    SimArena *arena_ = nullptr;
+    SimArena ownArena_;
+    /** Per-region compiled compute plans (sparse+compiled mode). */
+    std::vector<RegionPlan> plans_;
+    bool compiled_ = false;
+    /** DSA_SIM_TRACE read once at build. */
+    bool trace_ = false;
+    /// @name Engine accounting (reported via SimResult)
+    /// @{
+    int64_t cyclesCompiled_ = 0;
+    int64_t cyclesGeneric_ = 0;
+    int64_t cyclesSkipped_ = 0;
+    int64_t cyclesReplayed_ = 0;
+    /// @}
+    /** Cached nextEventTime(): stays valid across consecutive
+     *  no-progress cycles (nothing that feeds it can change without
+     *  progress), so clamped idle jumps don't rescan. */
+    int64_t nextEventCache_ = 0;
+    bool nextEventCacheValid_ = false;
+
+    /// @name Steady-state period replay
+    ///
+    /// The fastest tier inside the compiled burst: when exactly one
+    /// region is running, its plan is fully specialized (no generic
+    /// steps, no fallback streams, no forwards), and the region's
+    /// *gate-relevant* state — buffer occupancies, pipe arrival times
+    /// relative to now, accumulate-latency gates, decimation/reset
+    /// counter residues, clamped stream remainders — recurs with
+    /// period p, then the next p cycles provably perform exactly the
+    /// same action sequence as the last p (values differ, gates do
+    /// not: no specialized gate reads a data value). The tier records
+    /// one period's micro-action trace and replays it for m periods
+    /// with zero gate evaluation, bounded so no stream runs low enough
+    /// to perturb a gate and no watchdog/deadline check is displaced.
+    /// @{
+
+    enum class RpPhase : uint8_t { Off, Idle, Detect, Record, Armed };
+
+    /** Pre-resolved per-stream replay binding, in tickStreams visit
+     *  order (memory plans in scan order, then generators). */
+    struct ReplaySlot
+    {
+        StreamExec *se = nullptr;
+        AddressSpace *space = nullptr;     // null for generators
+        AddressSpace *idxSpace = nullptr;  // indirect kinds
+        StreamKind kind = StreamKind::LinearRead;
+        int elemB = 0;
+        int idxElemB = 0;
+        int64_t base = 0;                  // indirect address base
+        OpCode updateOp = OpCode::Add;     // atomic update
+        OpFn updateFn = nullptr;           // pre-dispatched updateOp
+        /** Upper bound on one cycle's element count: the snapshot
+         *  clamps the stream remainder here (beyond it the remainder
+         *  cannot influence any gate) and replay keeps at least this
+         *  much slack so no recorded delivery turns remainder-bound. */
+        int64_t maxN = 1;
+    };
+
+    /** One recorded cycle: step actions + a span of deliveries. */
+    struct RpCycle
+    {
+        uint64_t fired = 0;
+        uint64_t latched = 0;
+        uint32_t dFirst = 0;
+        uint32_t dCount = 0;
+    };
+
+    /**
+     * One pre-decoded micro-action of the armed period. The hot
+     * replay loop executes these value-only: no timestamps (pipe
+     * arrival times are reconstructed at chunk end from the reference
+     * relative times), no fire/pop counters (batched at chunk end
+     * from per-step per-period counts), no arbitration stamps (stale
+     * stamps compare unequal to every post-replay cycle, which is
+     * exactly the live meaning). Residue-dependent behavior (OutEvery
+     * keep/discard, self-acc periodic reset) is baked into flags —
+     * the armed snapshot pins the residues, so the pattern is
+     * period-invariant.
+     */
+    struct RpAction
+    {
+        enum Op : uint8_t {
+            Latch,      ///< PortSimple buffer refill only
+            Fire,       ///< PortSimple push (reuses latched value)
+            LatchFire,  ///< refill + push in one cycle
+            Inst,       ///< InstSimple / InstAcc via pre-bound fn
+            /// @name Devirtualized InstSimple for the hottest ALU
+            /// shapes (two pipe operands, no immediates): the fn
+            /// pointer is matched back to its opcode at arm time so
+            /// the replay loop runs the arithmetic inline.
+            /// @{
+            InstFAdd2,
+            InstFMul2,
+            InstAdd2,
+            InstMul2,
+            /// @}
+            SelfAcc,    ///< acc = fn(acc, v); flags bit0 = reset after
+            SelfAccF,   ///< SelfAcc with fn == FAdd, inline fp add
+            OutDeliver, ///< OutSimple, or OutEvery on a keep cycle
+            OutDiscard, ///< OutEvery on a decimated cycle
+            OutLatch,   ///< OutLast: latch lastVec
+            Deliver,    ///< stream delivery of n elements via slot idx
+        };
+        uint8_t op = Inst;
+        uint8_t flags = 0;
+        uint16_t idx = 0;  ///< plan step index or replay slot index
+        int32_t n = 0;     ///< Deliver element count
+    };
+
+    /** Build per-region eligibility + slot bindings (end of build). */
+    void buildReplayInfo();
+    /** Serialize region r's gate-relevant state relative to @p now. */
+    void collectSnapshot(int r, int64_t now, std::vector<int64_t> &v) const;
+    /** Phase driver at the top of a burst cycle; returns the number of
+     *  cycles consumed by replay (0 = execute the cycle normally). */
+    int64_t replayTop(int64_t now, int64_t burstHzn,
+                      bool deadlineLimited);
+    /** Append the just-executed cycle to the period trace. */
+    void recordCycleEnd(int64_t now);
+    /** Decode the confirmed trace into the flat period program and
+     *  the chunk-end fix-up tables (called at arm, @p now = period
+     *  boundary whose live state is the reference). */
+    void buildPeriodProgram(int r, int64_t now);
+    /** Execute @p m recorded periods starting at @p now. */
+    void replayRun(int64_t now, int64_t m);
+    /** Replay one stream delivery of @p n elements (gate-free). */
+    void execSlot(const ReplaySlot &sl, int32_t n, int64_t now);
+    /** Drop transient detection state (cheap, keeps an armed trace). */
+    void rpDemote(int64_t now);
+
+    static constexpr int64_t kRpMaxPeriod = 2048;
+    static constexpr int64_t kRpDetectWindow = 4096;
+    static constexpr int64_t kRpRetryBackoff = 32768;
+    static constexpr int64_t kRpArmedPatience = 4096;
+
+    RpPhase rpPhase_ = RpPhase::Off;
+    int rpRegion_ = -1;
+    int64_t rpResumeAt_ = 0;
+    int64_t rpDetectUntil_ = 0;
+    int64_t rpRecordStart_ = 0;
+    int64_t rpPeriod_ = 0;
+    int64_t rpMisses_ = 0;
+    /** Absolute cycle of the last progress inside the last replay. */
+    int64_t rpProgress_ = 0;
+    int64_t rpLastActiveOff_ = -1;
+    bool recording_ = false;
+    uint64_t rpFired_ = 0;
+    uint64_t rpLatched_ = 0;
+    std::unordered_map<uint64_t, int64_t> rpHashAt_;
+    std::vector<int64_t> rpSnap_, rpRef_;
+    std::vector<RpCycle> rpTrace_;
+    std::vector<std::pair<uint16_t, int32_t>> rpDeliv_;
+    /// @name Armed period program + chunk-end fix-up tables
+    /// @{
+    std::vector<RpAction> rpProg_;
+    /** Per plan step: fires per period / latches per period / offset
+     *  of the step's last fire within the period (-1 = never). */
+    std::vector<int32_t> rpStepFires_, rpStepLatches_, rpStepLastOff_;
+    /** PortSimple steps' reuseLeft at the period boundary. */
+    std::vector<int8_t> rpStepReuse_;
+    /** Offset of the last step-fire cycle within the period. */
+    int64_t rpLastFireOff_ = -1;
+    /** Reference pipe occupancy: every pipe's entry arrival times
+     *  relative to the period boundary (unclamped — exact), flattened;
+     *  pipe i's entries are rpPipeRel_[rpPipeStart_[i] ...). */
+    std::vector<Pipe *> rpPipes_;
+    std::vector<int32_t> rpPipeStart_;
+    std::vector<int64_t> rpPipeRel_;
+    /// @}
+    std::vector<int32_t> recNBuf_;
+    /** Per-cycle delivered-count sink during recording (else null). */
+    int32_t *recN_ = nullptr;
+    std::vector<int64_t> rpPerPeriodN_;
+    std::vector<int64_t> rpBytesBase_;
+    std::vector<int64_t> rpBytesPeriod_;
+    std::vector<uint8_t> rpEligible_;
+    std::vector<std::vector<ReplaySlot>> rpSlots_;
+    /** genStreams-aligned record slots per region (-1 = untracked). */
+    std::vector<std::vector<int>> genRecSlots_;
+    /// @}
 };
 
 int64_t
@@ -666,11 +496,850 @@ Machine::build()
                           (mem.kind == adg::MemKind::Main)
                     : rsch.streamMap[st.id] == m;
                 if (mine)
-                    plan.streams.emplace_back(rs.idx, st.id);
+                    plan.streams.push_back({&rs, &se});
             }
         }
         memPlans_.push_back(std::move(plan));
     }
+
+    trace_ = std::getenv("DSA_SIM_TRACE") != nullptr;
+
+    // Compiled steady-state tier: lower each region's dataflow into a
+    // flat micro-op plan (only meaningful under the event-driven loop;
+    // the dense oracle never consults plans).
+    compiled_ = opts_.sparse && opts_.compiled;
+    if (compiled_) {
+        plans_.resize(regions_.size());
+        for (size_t r = 0; r < regions_.size(); ++r)
+            plans_[r] = detail::buildRegionPlan(
+                regions_[r], peFiredCycle_.data(), *arena_);
+        buildReplayInfo();
+    }
+}
+
+void
+Machine::buildReplayInfo()
+{
+    rpEligible_.assign(regions_.size(), 0);
+    rpSlots_.assign(regions_.size(), {});
+    genRecSlots_.assign(regions_.size(), {});
+    // Forward-touched regions are never replayed: pumpForwards can
+    // move values outside the recorded action set, and forward sinks
+    // grow machine-level queues the snapshot does not cover.
+    std::vector<uint8_t> fwdTouched(regions_.size(), 0);
+    for (const auto &f : prog_.forwards) {
+        fwdTouched[static_cast<size_t>(f.srcRegion)] = 1;
+        fwdTouched[static_cast<size_t>(f.dstRegion)] = 1;
+    }
+    bool any = false;
+    for (size_t r = 0; r < regions_.size(); ++r) {
+        RegionSim &rs = regions_[r];
+        const RegionPlan &plan = plans_[r];
+        genRecSlots_[r].assign(rs.genStreams.size(), -1);
+        if (plan.numSteps <= 0 || plan.numSteps > 64)
+            continue;
+        if (fwdTouched[r] || !rs.fallbackStreams.empty())
+            continue;
+        bool allSpecial = true;
+        for (int i = 0; i < plan.numSteps && allSpecial; ++i) {
+            auto k = plan.steps[i].kind;
+            allSpecial = k != detail::PlanStep::PortGeneric &&
+                         k != detail::PlanStep::InstGeneric &&
+                         k != detail::PlanStep::OutGeneric;
+        }
+        if (!allSpecial)
+            continue;
+        // Bind record slots in exact tickStreams visit order.
+        auto &slots = rpSlots_[r];
+        bool ok = true;
+        for (MemPlan &mp : memPlans_) {
+            for (MemPlan::Bound &b : mp.streams) {
+                if (b.rs != &rs || !ok)
+                    continue;
+                const Stream &st = *b.se->st;
+                ReplaySlot sl;
+                sl.se = b.se;
+                sl.space = mp.space;
+                sl.idxSpace = b.se->idxSpace;
+                sl.kind = st.kind;
+                sl.elemB = st.pattern.elemBytes;
+                sl.idxElemB = st.idxElemBytes;
+                sl.base = st.pattern.baseBytes;
+                sl.updateOp = st.updateOp;
+                sl.updateFn = opFunction(st.updateOp);
+                int eb = std::max(1, sl.elemB);
+                switch (st.kind) {
+                  case StreamKind::LinearRead:
+                    sl.maxN = std::min<int64_t>(
+                        mp.widthBytes / eb, b.se->target->capacity);
+                    break;
+                  case StreamKind::IndirectRead:
+                    sl.maxN = std::min<int64_t>(
+                        std::min<int64_t>(
+                            mp.widthBytes /
+                                std::max(1, sl.elemB + sl.idxElemB),
+                            mp.numBanks),
+                        b.se->target->capacity);
+                    break;
+                  case StreamKind::LinearWrite:
+                    sl.maxN = std::min<int64_t>(mp.widthBytes / eb,
+                                                b.se->writeBufCap);
+                    break;
+                  case StreamKind::IndirectWrite:
+                  case StreamKind::AtomicUpdate: {
+                    int cost = sl.elemB + sl.idxElemB +
+                               (st.kind == StreamKind::AtomicUpdate
+                                    ? sl.elemB
+                                    : 0);
+                    sl.maxN = std::min<int64_t>(
+                        std::min<int64_t>(
+                            mp.widthBytes / std::max(1, cost),
+                            mp.numBanks),
+                        b.se->writeBufCap);
+                    break;
+                  }
+                  default:
+                    ok = false;
+                    break;
+                }
+                if (!ok)
+                    continue;
+                sl.maxN = std::max<int64_t>(1, sl.maxN);
+                b.recSlot = static_cast<int>(slots.size());
+                slots.push_back(sl);
+            }
+        }
+        for (size_t k = 0; k < rs.genStreams.size() && ok; ++k) {
+            StreamExec &se =
+                rs.streams[static_cast<size_t>(rs.genStreams[k])];
+            ReplaySlot sl;
+            sl.se = &se;
+            sl.kind = se.st->kind;
+            sl.maxN = se.st->kind == StreamKind::Const
+                ? se.target->capacity
+                : std::min<int64_t>(8, se.target->capacity);
+            sl.maxN = std::max<int64_t>(1, sl.maxN);
+            genRecSlots_[r][k] = static_cast<int>(slots.size());
+            slots.push_back(sl);
+        }
+        if (!ok || slots.size() > 4096) {
+            // Unbind: the region stays interpreted/per-cycle compiled.
+            for (MemPlan &mp : memPlans_)
+                for (MemPlan::Bound &b : mp.streams)
+                    if (b.rs == &rs)
+                        b.recSlot = -1;
+            genRecSlots_[r].assign(rs.genStreams.size(), -1);
+            slots.clear();
+            continue;
+        }
+        rpEligible_[r] = 1;
+        any = true;
+    }
+    rpPhase_ = any ? RpPhase::Idle : RpPhase::Off;
+    rpResumeAt_ = 64;
+}
+
+namespace {
+inline uint64_t
+snapHash(const std::vector<int64_t> &v)
+{
+    uint64_t h = 1469598103934665603ull;  // FNV-1a
+    for (int64_t x : v) {
+        h ^= static_cast<uint64_t>(x);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** Value-only pipe push for the replay hot loop: no arrival-time
+ *  store (times are reconstructed at chunk end from the reference
+ *  relative occupancy captured at arm). */
+inline void
+pushVal(Pipe *p, Value v)
+{
+    p->vals[(p->head + p->count) & p->mask] = v;
+    ++p->count;
+}
+
+/** Local bit-cast helpers (the opcode.cc ones are out of line). */
+inline double
+asF64(Value v)
+{
+    double d;
+    std::memcpy(&d, &v, sizeof(d));
+    return d;
+}
+
+inline Value
+fromF64(double d)
+{
+    Value v;
+    std::memcpy(&v, &d, sizeof(v));
+    return v;
+}
+} // namespace
+
+void
+Machine::collectSnapshot(int r, int64_t now,
+                         std::vector<int64_t> &v) const
+{
+    const RegionSim &rs = regions_[static_cast<size_t>(r)];
+    const RegionPlan &plan = plans_[static_cast<size_t>(r)];
+    v.clear();
+    v.push_back(fwdNonEmpty_);
+    // Quiesce gate: values past the window all behave identically,
+    // now and on every later cycle (the clamp cannot mask a future
+    // gate flip because the relative value only moves further past).
+    v.push_back(std::max<int64_t>(rs.lastActivity - now,
+                                  -(rs.quiesceWindow + 2)));
+    for (const PortSim &ps : rs.inPorts) {
+        v.push_back(ps.bufCount);
+        v.push_back(ps.reuseLeft);
+    }
+    // Every routed value's arrival time, relative; entries already
+    // ready saturate (ready() only compares <= now).
+    for (const auto &p : rs.pipes) {
+        v.push_back(p->count);
+        for (uint32_t i = 0; i < p->count; ++i)
+            v.push_back(std::max<int64_t>(
+                p->times[(p->head + i) & p->mask] - now, -4));
+    }
+    for (int i = 0; i < plan.numSteps; ++i) {
+        const detail::PlanStep &s = plan.steps[i];
+        switch (s.kind) {
+          case detail::PlanStep::InstAcc:
+          case detail::PlanStep::InstSelfAcc:
+            v.push_back(std::max<int64_t>(
+                s.inst->lastFire - now, -1024));
+            if (s.kind == detail::PlanStep::InstSelfAcc &&
+                s.accResetEvery > 0)
+                v.push_back(s.inst->fires % s.accResetEvery);
+            break;
+          case detail::PlanStep::OutSimple:
+          case detail::PlanStep::OutLast:
+          case detail::PlanStep::OutEvery: {
+            const OutPortSim &op = *s.outPort;
+            if (s.kind == detail::PlanStep::OutEvery)
+                v.push_back(op.fires % op.outputEvery);
+            for (const OutSink &sk : op.sinks) {
+                v.push_back(std::min(sk.seen, sk.skip));
+                v.push_back(sk.take < 0 ? -1 : sk.take - sk.taken);
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    // Stream remainders clamp at maxN: beyond that bound the exact
+    // count cannot change any per-cycle min() outcome, and the replay
+    // chunk bound keeps at least maxN of slack.
+    for (const ReplaySlot &sl : rpSlots_[static_cast<size_t>(r)]) {
+        const StreamExec &se = *sl.se;
+        int64_t rem = static_cast<int64_t>(se.addrs.size()) -
+                      static_cast<int64_t>(se.pos);
+        v.push_back(std::min(rem, sl.maxN));
+        v.push_back(static_cast<int64_t>(se.writeBuf.size()));
+    }
+}
+
+void
+Machine::rpDemote(int64_t now)
+{
+    recording_ = false;
+    recN_ = nullptr;
+    if (rpPhase_ == RpPhase::Detect || rpPhase_ == RpPhase::Record) {
+        rpPhase_ = RpPhase::Idle;
+        rpResumeAt_ = now + 64;
+        rpHashAt_.clear();
+    }
+}
+
+int64_t
+Machine::replayTop(int64_t now, int64_t burstHzn, bool deadlineLimited)
+{
+    if (trace_ || activeRegions_.size() != 1) {
+        rpDemote(now);
+        return 0;
+    }
+    int r = activeRegions_[0];
+    if (!rpEligible_[static_cast<size_t>(r)] ||
+        regions_[static_cast<size_t>(r)].state != RegionState::Running) {
+        rpDemote(now);
+        return 0;
+    }
+    if (r != rpRegion_) {
+        rpRegion_ = r;
+        rpPhase_ = RpPhase::Idle;
+        rpResumeAt_ = now + 32;
+        rpHashAt_.clear();
+        recording_ = false;
+        recN_ = nullptr;
+        return 0;
+    }
+    if (rpPhase_ == RpPhase::Idle) {
+        if (now < rpResumeAt_)
+            return 0;
+        rpPhase_ = RpPhase::Detect;
+        rpDetectUntil_ = now + kRpDetectWindow;
+        rpHashAt_.clear();
+    }
+    bool haveSnap = false;
+    if (rpPhase_ == RpPhase::Detect) {
+        collectSnapshot(r, now, rpSnap_);
+        uint64_t h = snapHash(rpSnap_);
+        auto it = rpHashAt_.find(h);
+        int64_t p = it != rpHashAt_.end() ? now - it->second : 0;
+        int64_t window = opts_.progressWindow > 0
+            ? opts_.progressWindow
+            : INT64_MAX;
+        if (p >= 1 && p <= kRpMaxPeriod && 2 * p < window) {
+            // Candidate period (hash match; the end-of-record compare
+            // verifies it in full). Record the next p cycles.
+            rpPeriod_ = p;
+            rpRef_ = rpSnap_;
+            rpRecordStart_ = now;
+            rpTrace_.clear();
+            rpDeliv_.clear();
+            recNBuf_.assign(rpSlots_[static_cast<size_t>(r)].size(), 0);
+            rpBytesBase_.clear();
+            for (const MemPlan &mp : memPlans_)
+                rpBytesBase_.push_back(mp.bytes);
+            recording_ = true;
+            recN_ = recNBuf_.data();
+            rpPhase_ = RpPhase::Record;
+            return 0;
+        }
+        rpHashAt_[h] = now;
+        if (now > rpDetectUntil_) {
+            rpPhase_ = RpPhase::Idle;
+            rpResumeAt_ = now + kRpRetryBackoff;
+            rpHashAt_.clear();
+        }
+        return 0;
+    }
+    if (rpPhase_ == RpPhase::Record) {
+        if (now - rpRecordStart_ < rpPeriod_)
+            return 0;  // recordCycleEnd appends as cycles execute
+        recording_ = false;
+        recN_ = nullptr;
+        collectSnapshot(r, now, rpSnap_);
+        haveSnap = true;
+        bool confirmed = rpSnap_ == rpRef_ &&
+                         static_cast<int64_t>(rpTrace_.size()) ==
+                             rpPeriod_;
+        if (!confirmed) {
+            rpPhase_ = RpPhase::Detect;
+            rpDetectUntil_ = now + kRpDetectWindow;
+            rpHashAt_[snapHash(rpSnap_)] = now;
+            return 0;
+        }
+        const auto &slots = rpSlots_[static_cast<size_t>(r)];
+        rpPerPeriodN_.assign(slots.size(), 0);
+        rpLastActiveOff_ = -1;
+        for (size_t c = 0; c < rpTrace_.size(); ++c) {
+            const RpCycle &cy = rpTrace_[c];
+            for (uint32_t d = 0; d < cy.dCount; ++d)
+                rpPerPeriodN_[rpDeliv_[cy.dFirst + d].first] +=
+                    rpDeliv_[cy.dFirst + d].second;
+            if (cy.fired || cy.dCount)
+                rpLastActiveOff_ = static_cast<int64_t>(c);
+        }
+        rpBytesPeriod_.clear();
+        for (size_t mi = 0; mi < memPlans_.size(); ++mi)
+            rpBytesPeriod_.push_back(memPlans_[mi].bytes -
+                                     rpBytesBase_[mi]);
+        if (rpLastActiveOff_ < 0) {
+            // A period in which nothing moves is a stall, not steady
+            // state; leave it to the stall watchdog.
+            rpPhase_ = RpPhase::Idle;
+            rpResumeAt_ = now + kRpRetryBackoff;
+            return 0;
+        }
+        buildPeriodProgram(r, now);
+        rpPhase_ = RpPhase::Armed;
+        rpMisses_ = 0;
+    }
+    // Armed. Cheap cycle-count bounds first: during the drain tail
+    // every cycle would otherwise pay a full snapshot compare just to
+    // find m == 0.
+    const auto &slots = rpSlots_[static_cast<size_t>(r)];
+    int64_t m = INT64_MAX;
+    for (size_t s = 0; s < slots.size(); ++s) {
+        if (rpPerPeriodN_[s] <= 0)
+            continue;
+        const StreamExec &se = *slots[s].se;
+        int64_t rem = static_cast<int64_t>(se.addrs.size()) -
+                      static_cast<int64_t>(se.pos);
+        int64_t avail = rem - slots[s].maxN;
+        if (avail < rpPerPeriodN_[s])
+            return 0;  // too close to drain: finish per-cycle
+        m = std::min(m, avail / rpPerPeriodN_[s]);
+    }
+    m = std::min(m, (opts_.maxCycles - now) / rpPeriod_);
+    m = std::min(m, (burstHzn - now) / rpPeriod_);
+    if (deadlineLimited) {
+        // Stop at the next watchdog boundary so the wall-clock check
+        // runs on exactly the cycles the per-cycle loops check it on.
+        int64_t boundary = ((now >> 13) + 1) << 13;
+        m = std::min(m, (boundary - now) / rpPeriod_);
+    }
+    m = std::min<int64_t>(m, 1 << 20);
+    if (m < 1)
+        return 0;
+    // One snapshot compare decides whether the recorded period applies
+    // from here.
+    if (!haveSnap)
+        collectSnapshot(r, now, rpSnap_);
+    if (rpSnap_ != rpRef_) {
+        if (++rpMisses_ > kRpArmedPatience) {
+            rpPhase_ = RpPhase::Idle;
+            rpResumeAt_ = now + kRpRetryBackoff;
+            rpMisses_ = 0;
+        }
+        return 0;
+    }
+    rpMisses_ = 0;
+    replayRun(now, m);
+    rpProgress_ = now + (m - 1) * rpPeriod_ + rpLastActiveOff_;
+    return m * rpPeriod_;
+}
+
+void
+Machine::recordCycleEnd(int64_t now)
+{
+    RpCycle cy;
+    cy.fired = rpFired_;
+    cy.latched = rpLatched_;
+    cy.dFirst = static_cast<uint32_t>(rpDeliv_.size());
+    for (size_t s = 0; s < recNBuf_.size(); ++s)
+        if (recNBuf_[s] > 0) {
+            rpDeliv_.push_back(
+                {static_cast<uint16_t>(s), recNBuf_[s]});
+            recNBuf_[s] = 0;
+        }
+    cy.dCount = static_cast<uint32_t>(rpDeliv_.size()) - cy.dFirst;
+    rpTrace_.push_back(cy);
+    if (stateChanged_ ||
+        static_cast<int64_t>(rpTrace_.size()) > rpPeriod_) {
+        recording_ = false;
+        recN_ = nullptr;
+        rpPhase_ = RpPhase::Idle;
+        rpResumeAt_ = now + 64;
+    }
+}
+
+void
+Machine::execSlot(const ReplaySlot &sl, int32_t n, int64_t now)
+{
+    (void)now;
+    StreamExec &se = *sl.se;
+    // Constant-size access helpers: the dominant element width (8
+    // bytes) gets a compile-time-sized load/store, turning the
+    // variable-length memcpy inside AddressSpace into a single move.
+    const int eb = sl.elemB;
+    auto loadE = [&](int64_t a) {
+        return eb == 8 ? sl.space->load(a, 8) : sl.space->load(a, eb);
+    };
+    auto storeE = [&](int64_t a, Value v) {
+        if (eb == 8)
+            sl.space->store(a, 8, v);
+        else
+            sl.space->store(a, eb, v);
+    };
+    auto loadIdx = [&](int64_t a) {
+        return sl.idxElemB == 8
+            ? sl.idxSpace->load(a, 8)
+            : sl.idxSpace->load(a, sl.idxElemB);
+    };
+    switch (sl.kind) {
+      case StreamKind::LinearRead: {
+        PortSim &t = *se.target;
+        const int64_t *addrs = se.addrs.data() + se.pos;
+        uint32_t idx = t.bufHead + t.bufCount;
+        for (int32_t i = 0; i < n; ++i)
+            t.buf[(idx + static_cast<uint32_t>(i)) & t.bufMask] =
+                loadE(addrs[i]);
+        t.bufCount += static_cast<uint32_t>(n);
+        se.pos += static_cast<size_t>(n);
+        break;
+      }
+      case StreamKind::IndirectRead: {
+        for (int32_t i = 0; i < n; ++i) {
+            int64_t idxV =
+                static_cast<int64_t>(loadIdx(se.idxAddrs[se.pos]));
+            se.target->deliver(loadE(sl.base + idxV * sl.elemB));
+            ++se.pos;
+        }
+        break;
+      }
+      case StreamKind::LinearWrite: {
+        const int64_t *addrs = se.addrs.data() + se.pos;
+        for (int32_t i = 0; i < n; ++i)
+            storeE(addrs[i], se.writeBuf[static_cast<size_t>(i)]);
+        se.writeBuf.erase(se.writeBuf.begin(),
+                          se.writeBuf.begin() + n);
+        se.pos += static_cast<size_t>(n);
+        break;
+      }
+      case StreamKind::IndirectWrite:
+      case StreamKind::AtomicUpdate: {
+        bool atomic = sl.kind == StreamKind::AtomicUpdate;
+        for (int32_t i = 0; i < n; ++i) {
+            int64_t idxV =
+                static_cast<int64_t>(loadIdx(se.idxAddrs[se.pos]));
+            int64_t addr = sl.base + idxV * sl.elemB;
+            Value v = se.writeBuf.front();
+            se.writeBuf.pop_front();
+            if (atomic) {
+                Value old = loadE(addr);
+                v = sl.updateFn(old, v, 0, nullptr);
+            }
+            storeE(addr, v);
+            ++se.pos;
+        }
+        break;
+      }
+      case StreamKind::Const: {
+        PortSim &t = *se.target;
+        uint32_t idx = t.bufHead + t.bufCount;
+        Value cv = se.st->constValue;
+        for (int32_t i = 0; i < n; ++i)
+            t.buf[(idx + static_cast<uint32_t>(i)) & t.bufMask] = cv;
+        t.bufCount += static_cast<uint32_t>(n);
+        se.pos += static_cast<size_t>(n);
+        break;
+      }
+      case StreamKind::Iota: {
+        PortSim &t = *se.target;
+        uint32_t idx = t.bufHead + t.bufCount;
+        const int64_t *vals = se.addrs.data() + se.pos;
+        for (int32_t i = 0; i < n; ++i)
+            t.buf[(idx + static_cast<uint32_t>(i)) & t.bufMask] =
+                static_cast<Value>(vals[i]);
+        t.bufCount += static_cast<uint32_t>(n);
+        se.pos += static_cast<size_t>(n);
+        break;
+      }
+      default:
+        DSA_ASSERT(false, "unreplayable stream kind");
+    }
+}
+
+void
+Machine::buildPeriodProgram(int r, int64_t now)
+{
+    RegionSim &rs = regions_[static_cast<size_t>(r)];
+    const RegionPlan &plan = plans_[static_cast<size_t>(r)];
+    const int n = plan.numSteps;
+    rpProg_.clear();
+    rpStepFires_.assign(static_cast<size_t>(n), 0);
+    rpStepLatches_.assign(static_cast<size_t>(n), 0);
+    rpStepLastOff_.assign(static_cast<size_t>(n), -1);
+    rpStepReuse_.assign(static_cast<size_t>(n), 0);
+    rpLastFireOff_ = -1;
+    // Virtual fire counters seeded from the live boundary values: the
+    // armed snapshot pins fires%outputEvery and fires%accResetEvery,
+    // so keep/reset patterns decoded here hold for every replayed
+    // period, not just the recorded one.
+    std::vector<int64_t> vfires(static_cast<size_t>(n), 0);
+    for (int i = 0; i < n; ++i) {
+        const detail::PlanStep &s = plan.steps[i];
+        if (s.kind == detail::PlanStep::InstSelfAcc)
+            vfires[static_cast<size_t>(i)] = s.inst->fires;
+        else if (s.kind == detail::PlanStep::OutEvery)
+            vfires[static_cast<size_t>(i)] = s.outPort->fires;
+        else if (s.kind == detail::PlanStep::PortSimple)
+            rpStepReuse_[static_cast<size_t>(i)] =
+                static_cast<int8_t>(s.port->reuseLeft);
+    }
+    for (size_t c = 0; c < rpTrace_.size(); ++c) {
+        const RpCycle &cy = rpTrace_[c];
+        for (uint32_t d = 0; d < cy.dCount; ++d) {
+            const auto &dv = rpDeliv_[cy.dFirst + d];
+            RpAction a;
+            a.op = RpAction::Deliver;
+            a.idx = dv.first;
+            a.n = dv.second;
+            rpProg_.push_back(a);
+        }
+        uint64_t bits = cy.fired | cy.latched;
+        while (bits) {
+            int i = __builtin_ctzll(bits);
+            bits &= bits - 1;
+            bool fired = (cy.fired >> i) & 1;
+            bool latched = (cy.latched >> i) & 1;
+            const detail::PlanStep &s = plan.steps[i];
+            RpAction a;
+            a.idx = static_cast<uint16_t>(i);
+            switch (s.kind) {
+              case detail::PlanStep::PortSimple:
+                a.op = latched
+                    ? (fired ? RpAction::LatchFire : RpAction::Latch)
+                    : RpAction::Fire;
+                break;
+              case detail::PlanStep::InstSimple:
+                // Devirtualize the hottest ALU shapes: match the
+                // pre-dispatched fn pointer back to its opcode.
+                if (s.nIn == 2 && s.in[0] && s.in[1]) {
+                    if (s.fn == opFunction(OpCode::FAdd))
+                        a.op = RpAction::InstFAdd2;
+                    else if (s.fn == opFunction(OpCode::FMul))
+                        a.op = RpAction::InstFMul2;
+                    else if (s.fn == opFunction(OpCode::Add))
+                        a.op = RpAction::InstAdd2;
+                    else if (s.fn == opFunction(OpCode::Mul))
+                        a.op = RpAction::InstMul2;
+                    else
+                        a.op = RpAction::Inst;
+                } else {
+                    a.op = RpAction::Inst;
+                }
+                break;
+              case detail::PlanStep::InstAcc:
+                a.op = RpAction::Inst;
+                break;
+              case detail::PlanStep::InstSelfAcc:
+                a.op = s.fn == opFunction(OpCode::FAdd)
+                    ? RpAction::SelfAccF
+                    : RpAction::SelfAcc;
+                ++vfires[static_cast<size_t>(i)];
+                if (s.accResetEvery > 0 &&
+                    vfires[static_cast<size_t>(i)] % s.accResetEvery ==
+                        0)
+                    a.flags = 1;
+                break;
+              case detail::PlanStep::OutSimple:
+                a.op = RpAction::OutDeliver;
+                break;
+              case detail::PlanStep::OutEvery:
+                a.op = (vfires[static_cast<size_t>(i)] + 1) %
+                               s.outPort->outputEvery ==
+                           0
+                    ? RpAction::OutDeliver
+                    : RpAction::OutDiscard;
+                ++vfires[static_cast<size_t>(i)];
+                break;
+              case detail::PlanStep::OutLast:
+                a.op = RpAction::OutLatch;
+                break;
+              default:
+                DSA_ASSERT(false, "generic step in armed period");
+            }
+            if (fired) {
+                ++rpStepFires_[static_cast<size_t>(i)];
+                rpStepLastOff_[static_cast<size_t>(i)] =
+                    static_cast<int32_t>(c);
+            }
+            if (latched)
+                ++rpStepLatches_[static_cast<size_t>(i)];
+            rpProg_.push_back(a);
+        }
+        if (cy.fired)
+            rpLastFireOff_ = static_cast<int64_t>(c);
+    }
+    // Reference pipe occupancy at the period boundary, unclamped.
+    // Exact for entries inside the clamp horizon (the recurrence makes
+    // their relative arrival period-invariant); entries at or past the
+    // clamp are already-ready, where every past timestamp is
+    // observationally identical (gates only compare <= now).
+    rpPipes_.clear();
+    rpPipeStart_.clear();
+    rpPipeRel_.clear();
+    for (const auto &pp : rs.pipes) {
+        rpPipes_.push_back(pp.get());
+        rpPipeStart_.push_back(static_cast<int32_t>(rpPipeRel_.size()));
+        for (uint32_t i = 0; i < pp->count; ++i)
+            rpPipeRel_.push_back(
+                pp->times[(pp->head + i) & pp->mask] - now);
+    }
+    rpPipeStart_.push_back(static_cast<int32_t>(rpPipeRel_.size()));
+}
+
+void
+Machine::replayRun(int64_t now, int64_t m)
+{
+    RegionSim &rs = regions_[static_cast<size_t>(rpRegion_)];
+    const RegionPlan &plan = plans_[static_cast<size_t>(rpRegion_)];
+    const auto &slots = rpSlots_[static_cast<size_t>(rpRegion_)];
+    const RpAction *prog = rpProg_.data();
+    const size_t na = rpProg_.size();
+    // Hot loop: the period's actions, value-only. Timestamps, fire/pop
+    // counters, arbitration stamps, and reuse state are reconstructed
+    // once at chunk end (see below); correctness rests on the armed
+    // snapshot pinning every gate-relevant residue.
+    for (int64_t k = 0; k < m; ++k) {
+        for (size_t e = 0; e < na; ++e) {
+            const RpAction &a = prog[e];
+            detail::PlanStep &s = plan.steps[a.idx];
+            switch (a.op) {
+              case RpAction::Latch: {
+                PortSim &ps = *s.port;
+                ps.current[0] = ps.buf[ps.bufHead];
+                ps.bufHead = (ps.bufHead + 1) & ps.bufMask;
+                --ps.bufCount;
+                break;
+              }
+              case RpAction::Fire: {
+                Value v = s.port->current[0];
+                for (int j = 0; j < s.nOut; ++j)
+                    pushVal(s.outs[j], v);
+                break;
+              }
+              case RpAction::LatchFire: {
+                PortSim &ps = *s.port;
+                Value v = ps.buf[ps.bufHead];
+                ps.current[0] = v;
+                ps.bufHead = (ps.bufHead + 1) & ps.bufMask;
+                --ps.bufCount;
+                for (int j = 0; j < s.nOut; ++j)
+                    pushVal(s.outs[j], v);
+                break;
+              }
+              case RpAction::Inst: {
+                Value va = s.in[0] ? s.in[0]->front() : s.imm[0];
+                Value vb = s.nIn > 1
+                    ? (s.in[1] ? s.in[1]->front() : s.imm[1])
+                    : 0;
+                Value vc = s.nIn > 2
+                    ? (s.in[2] ? s.in[2]->front() : s.imm[2])
+                    : 0;
+                Value rv = s.fn(va, vb, vc,
+                                s.kind == detail::PlanStep::InstAcc
+                                    ? &s.inst->acc
+                                    : nullptr);
+                for (int j = 0; j < s.nIn; ++j)
+                    if (s.in[j])
+                        s.in[j]->pop();
+                for (int j = 0; j < s.nOut; ++j)
+                    pushVal(s.outs[j], rv);
+                break;
+              }
+              case RpAction::InstFAdd2:
+              case RpAction::InstFMul2:
+              case RpAction::InstAdd2:
+              case RpAction::InstMul2: {
+                Pipe *p0 = s.in[0];
+                Pipe *p1 = s.in[1];
+                Value va = p0->vals[p0->head];
+                Value vb = p1->vals[p1->head];
+                Value rv;
+                if (a.op == RpAction::InstFAdd2)
+                    rv = fromF64(asF64(va) + asF64(vb));
+                else if (a.op == RpAction::InstFMul2)
+                    rv = fromF64(asF64(va) * asF64(vb));
+                else if (a.op == RpAction::InstAdd2)
+                    rv = va + vb;
+                else
+                    rv = static_cast<Value>(
+                        static_cast<int64_t>(va) *
+                        static_cast<int64_t>(vb));
+                p0->pop();
+                p1->pop();
+                for (int j = 0; j < s.nOut; ++j)
+                    pushVal(s.outs[j], rv);
+                break;
+              }
+              case RpAction::SelfAcc:
+              case RpAction::SelfAccF: {
+                InstSim &is = *s.inst;
+                Value v = s.in[0] ? s.in[0]->front() : s.imm[0];
+                is.acc = a.op == RpAction::SelfAccF
+                    ? fromF64(asF64(is.acc) + asF64(v))
+                    : s.fn(is.acc, v, 0, nullptr);
+                Value rv = is.acc;
+                for (int j = 0; j < s.nIn; ++j)
+                    if (s.in[j])
+                        s.in[j]->pop();
+                for (int j = 0; j < s.nOut; ++j)
+                    pushVal(s.outs[j], rv);
+                if (a.flags & 1)
+                    is.acc = s.accInit;
+                break;
+              }
+              case RpAction::OutDeliver: {
+                OutPortSim &op = *s.outPort;
+                for (int j = 0; j < s.nOut; ++j) {
+                    Value v = s.outs[j]->front();
+                    s.outs[j]->pop();
+                    op.deliverElement(v);
+                }
+                break;
+              }
+              case RpAction::OutDiscard:
+                for (int j = 0; j < s.nOut; ++j)
+                    s.outs[j]->pop();
+                break;
+              case RpAction::OutLatch: {
+                OutPortSim &op = *s.outPort;
+                if (op.lastVec.size() != static_cast<size_t>(s.nOut))
+                    op.lastVec.resize(static_cast<size_t>(s.nOut));
+                for (int j = 0; j < s.nOut; ++j) {
+                    op.lastVec[static_cast<size_t>(j)] =
+                        s.outs[j]->front();
+                    s.outs[j]->pop();
+                }
+                op.lastValid = true;
+                break;
+              }
+              case RpAction::Deliver:
+                execSlot(slots[a.idx], a.n, 0);
+                break;
+            }
+        }
+    }
+    // Chunk-end fix-ups: reconstruct everything the hot loop elided.
+    const int64_t exitNow = now + m * rpPeriod_;
+    const int64_t lastBase = now + (m - 1) * rpPeriod_;
+    for (size_t i = 0; i < rpPipes_.size(); ++i) {
+        Pipe *pp = rpPipes_[i];
+        const int32_t b0 = rpPipeStart_[i];
+        const int32_t cnt = rpPipeStart_[i + 1] - b0;
+        DSA_ASSERT(static_cast<int32_t>(pp->count) == cnt,
+                   "pipe occupancy must recur at the period boundary");
+        for (int32_t j = 0; j < cnt; ++j)
+            pp->times[(pp->head + static_cast<uint32_t>(j)) &
+                      pp->mask] =
+                rpPipeRel_[static_cast<size_t>(b0 + j)] + exitNow;
+    }
+    for (int i = 0; i < plan.numSteps; ++i) {
+        const int64_t f = rpStepFires_[static_cast<size_t>(i)];
+        const int64_t l = rpStepLatches_[static_cast<size_t>(i)];
+        if (f == 0 && l == 0)
+            continue;
+        detail::PlanStep &s = plan.steps[i];
+        switch (s.kind) {
+          case detail::PlanStep::PortSimple: {
+            PortSim &ps = *s.port;
+            ps.pops += f * m;
+            if (f > 0)
+                ps.lastPop =
+                    lastBase + rpStepLastOff_[static_cast<size_t>(i)];
+            ps.reuseLeft = rpStepReuse_[static_cast<size_t>(i)];
+            break;
+          }
+          case detail::PlanStep::InstSimple:
+          case detail::PlanStep::InstAcc:
+          case detail::PlanStep::InstSelfAcc: {
+            InstSim &is = *s.inst;
+            is.fires += f * m;
+            is.lastFire =
+                lastBase + rpStepLastOff_[static_cast<size_t>(i)];
+            break;
+          }
+          case detail::PlanStep::OutSimple:
+          case detail::PlanStep::OutEvery:
+          case detail::PlanStep::OutLast:
+            s.outPort->fires += f * m;
+            break;
+          default:
+            break;
+        }
+    }
+    if (rpLastFireOff_ >= 0)
+        rs.lastActivity = lastBase + rpLastFireOff_;
+    for (size_t mi = 0; mi < memPlans_.size(); ++mi)
+        memPlans_[mi].bytes += rpBytesPeriod_[mi] * m;
 }
 
 void
@@ -723,12 +1392,13 @@ Machine::buildRegion(int r)
                       adg_.node(is.pe).pe().sharing == Sharing::Shared;
     }
 
-    // Pipes for every value edge.
+    // Pipes for every value edge (ring storage from the arena).
     auto makePipe = [&](int latency) -> Pipe * {
         rs.pipes.push_back(std::make_unique<Pipe>());
         Pipe *p = rs.pipes.back().get();
         p->latency = std::max(1, latency);
         p->capacity = p->latency + 8;
+        p->allocate(*arena_);
         return p;
     };
 
@@ -742,6 +1412,7 @@ Machine::buildRegion(int r)
             if (reg.serialized)
                 ps.minPopInterval =
                     std::max(1, reg.serialDependenceLatency);
+            ps.allocate(*arena_);
             continue;
         }
         // Instruction or output port: wire operand pipes.
@@ -784,6 +1455,7 @@ Machine::buildRegion(int r)
                 }
             }
             op.lanePipes = std::move(inPipes);
+            op.scratch.reserve(op.lanePipes.size());
             DSA_ASSERT(std::none_of(op.lanePipes.begin(),
                                     op.lanePipes.end(),
                                     [](Pipe *p) { return !p; }),
@@ -912,10 +1584,10 @@ Machine::startIssue(RegionSim &rs, int64_t now,
         is.fires = 0;
         // Flush stale pipe contents.
         for (Pipe *p : is.outPipes)
-            p->q.clear();
+            p->clear();
         for (Pipe *p : is.inPipes)
             if (p)
-                p->q.clear();
+                p->clear();
     }
     rs.lastActivity = now;
     setState(rs, RegionState::Running);
@@ -971,14 +1643,14 @@ Machine::tickStreams(int64_t now, bool &activity)
         const int startBudget = budget;
         int bankBudget = mp.numBanks;
         AddressSpace &space = *mp.space;
-        for (const auto &[ri, sid] : mp.streams) {
+        for (const MemPlan::Bound &bound : mp.streams) {
             if (budget <= 0)
                 break;  // never recovers within a cycle
-            RegionSim &rs = regions_[ri];
+            RegionSim &rs = *bound.rs;
             if (rs.state != RegionState::Running &&
                 rs.state != RegionState::Finalizing)
                 continue;
-            StreamExec &se = rs.streams[sid];
+            StreamExec &se = *bound.se;
             const Stream &st = *se.st;
             int elemB = st.pattern.elemBytes;
             auto throttled = [&]() {
@@ -993,21 +1665,47 @@ Machine::tickStreams(int64_t now, bool &activity)
                     se.nextReady = now + opts_.scalarElementInterval;
             };
             switch (st.kind) {
-              case StreamKind::LinearRead:
-                while (!se.readsDone() && budget >= elemB &&
-                       se.target->roomFor(1) && !throttled()) {
-                    se.target->deliver(
-                        space.load(se.addrs[se.pos], elemB));
-                    ++se.pos;
-                    budget -= elemB;
-                    consumeThrottle();
+              case StreamKind::LinearRead: {
+                if (st.scalarFallback) {
+                    if (!se.readsDone() && budget >= elemB &&
+                        se.target->roomFor(1) && !throttled()) {
+                        se.target->deliver(
+                            space.load(se.addrs[se.pos], elemB));
+                        ++se.pos;
+                        budget -= elemB;
+                        consumeThrottle();
+                        activity = true;
+                    }
+                    break;
+                }
+                // Batched delivery: the per-element loop's three gates
+                // (elements left, byte budget, port room) are all
+                // monotone within a cycle, so the element count is
+                // just their min — then the copy runs gate-free.
+                PortSim &t = *se.target;
+                int64_t n = static_cast<int64_t>(se.addrs.size()) -
+                            static_cast<int64_t>(se.pos);
+                n = std::min<int64_t>(n, budget / elemB);
+                n = std::min<int64_t>(
+                    n, t.capacity - static_cast<int>(t.bufCount));
+                if (n > 0) {
+                    const int64_t *addrs = se.addrs.data() + se.pos;
+                    uint32_t idx = t.bufHead + t.bufCount;
+                    for (int64_t i = 0; i < n; ++i)
+                        t.buf[(idx + static_cast<uint32_t>(i)) &
+                              t.bufMask] = space.load(addrs[i], elemB);
+                    t.bufCount += static_cast<uint32_t>(n);
+                    se.pos += static_cast<size_t>(n);
+                    budget -= static_cast<int>(n) * elemB;
                     activity = true;
-                    if (st.scalarFallback)
-                        break;
+                    if (recN_ && bound.recSlot >= 0)
+                        recN_[bound.recSlot] = static_cast<int32_t>(n);
                 }
                 break;
+              }
               case StreamKind::IndirectRead: {
                 AddressSpace &idxSpace = *se.idxSpace;
+                int32_t delivered = 0;
                 while (!se.readsDone() &&
                        budget >= elemB + st.idxElemBytes &&
                        bankBudget > 0 && se.target->roomFor(1) &&
@@ -1022,31 +1720,55 @@ Machine::tickStreams(int64_t now, bool &activity)
                     --bankBudget;
                     consumeThrottle();
                     activity = true;
+                    ++delivered;
                     if (st.scalarFallback)
                         break;
+                }
+                if (recN_ && bound.recSlot >= 0 && delivered > 0)
+                    recN_[bound.recSlot] = delivered;
+                break;
+              }
+              case StreamKind::LinearWrite: {
+                if (st.scalarFallback) {
+                    if (!se.writeBuf.empty() && budget >= elemB &&
+                        se.pos < se.addrs.size() && !throttled()) {
+                        space.store(se.addrs[se.pos], elemB,
+                                    se.writeBuf.front());
+                        se.writeBuf.pop_front();
+                        ++se.pos;
+                        budget -= elemB;
+                        consumeThrottle();
+                        activity = true;
+                    }
+                    break;
+                }
+                int64_t n = static_cast<int64_t>(se.writeBuf.size());
+                n = std::min<int64_t>(n, budget / elemB);
+                n = std::min<int64_t>(
+                    n, static_cast<int64_t>(se.addrs.size()) -
+                           static_cast<int64_t>(se.pos));
+                if (n > 0) {
+                    const int64_t *addrs = se.addrs.data() + se.pos;
+                    for (int64_t i = 0; i < n; ++i)
+                        space.store(addrs[i], elemB,
+                                    se.writeBuf[static_cast<size_t>(i)]);
+                    se.writeBuf.erase(se.writeBuf.begin(),
+                                      se.writeBuf.begin() + n);
+                    se.pos += static_cast<size_t>(n);
+                    budget -= static_cast<int>(n) * elemB;
+                    activity = true;
+                    if (recN_ && bound.recSlot >= 0)
+                        recN_[bound.recSlot] = static_cast<int32_t>(n);
                 }
                 break;
               }
-              case StreamKind::LinearWrite:
-                while (!se.writeBuf.empty() && budget >= elemB &&
-                       se.pos < se.addrs.size() && !throttled()) {
-                    space.store(se.addrs[se.pos], elemB,
-                                se.writeBuf.front());
-                    se.writeBuf.pop_front();
-                    ++se.pos;
-                    budget -= elemB;
-                    consumeThrottle();
-                    activity = true;
-                    if (st.scalarFallback)
-                        break;
-                }
-                break;
               case StreamKind::IndirectWrite:
               case StreamKind::AtomicUpdate: {
                 AddressSpace &idxSpace = *se.idxSpace;
                 bool atomic = st.kind == StreamKind::AtomicUpdate;
                 int cost = elemB + st.idxElemBytes +
                            (atomic ? elemB : 0);
+                int32_t delivered = 0;
                 while (!se.writeBuf.empty() && budget >= cost &&
                        bankBudget > 0 && se.pos < se.addrs.size() &&
                        !throttled()) {
@@ -1066,9 +1788,12 @@ Machine::tickStreams(int64_t now, bool &activity)
                     --bankBudget;
                     consumeThrottle();
                     activity = true;
+                    ++delivered;
                     if (st.scalarFallback)
                         break;
                 }
+                if (recN_ && bound.recSlot >= 0 && delivered > 0)
+                    recN_[bound.recSlot] = delivered;
                 break;
               }
               default:
@@ -1082,122 +1807,41 @@ Machine::tickStreams(int64_t now, bool &activity)
     for (RegionSim &rs : regions_) {
         if (rs.genStreams.empty() || rs.state != RegionState::Running)
             continue;
-        for (int sid : rs.genStreams) {
+        for (size_t k = 0; k < rs.genStreams.size(); ++k) {
+            int sid = rs.genStreams[k];
             StreamExec &se = rs.streams[sid];
             const Stream &st = *se.st;
-            if (st.kind == StreamKind::Const) {
-                while (!se.readsDone() && se.target->roomFor(1)) {
-                    se.target->deliver(st.constValue);
-                    ++se.pos;
-                    activity = true;
+            PortSim &t = *se.target;
+            int64_t n = static_cast<int64_t>(se.addrs.size()) -
+                        static_cast<int64_t>(se.pos);
+            n = std::min<int64_t>(
+                n, t.capacity - static_cast<int>(t.bufCount));
+            if (st.kind != StreamKind::Const)
+                n = std::min<int64_t>(n, 8);  // iota rate limit
+            if (n > 0) {
+                uint32_t idx = t.bufHead + t.bufCount;
+                if (st.kind == StreamKind::Const) {
+                    for (int64_t i = 0; i < n; ++i)
+                        t.buf[(idx + static_cast<uint32_t>(i)) &
+                              t.bufMask] = st.constValue;
+                } else {
+                    const int64_t *vals = se.addrs.data() + se.pos;
+                    for (int64_t i = 0; i < n; ++i)
+                        t.buf[(idx + static_cast<uint32_t>(i)) &
+                              t.bufMask] =
+                            static_cast<Value>(vals[i]);
                 }
-            } else {
-                int pushed = 0;
-                while (!se.readsDone() && se.target->roomFor(1) &&
-                       pushed < 8) {
-                    se.target->deliver(
-                        static_cast<Value>(se.addrs[se.pos]));
-                    ++se.pos;
-                    ++pushed;
-                    activity = true;
+                t.bufCount += static_cast<uint32_t>(n);
+                se.pos += static_cast<size_t>(n);
+                activity = true;
+                if (recN_) {
+                    int slot = genRecSlots_[rs.idx][k];
+                    if (slot >= 0)
+                        recN_[slot] = static_cast<int32_t>(n);
                 }
             }
         }
     }
-}
-
-void
-Machine::fireInstruction(RegionSim &rs, InstSim &is, int64_t now,
-                         bool &activity)
-{
-    const Vertex &vx = *is.vx;
-    if (!is.operandsReady(now))
-        return;
-    // Accumulators feed their own register back: the next firing must
-    // wait for the op's latency (limits FP-accumulate chains to II=L).
-    if (vx.isAccumulate() &&
-        now - is.lastFire < opInfo(vx.op).latency)
-        return;
-    for (Pipe *p : is.outPipes)
-        if (!p->canPush())
-            return;
-
-    // Shared-PE arbitration: one fire per shared PE per cycle. The
-    // stamp array is epoch-keyed by cycle, so there is no per-cycle
-    // clearing (and no map lookup).
-    if (is.sharedPe) {
-        int64_t &stamp = peFiredCycle_[static_cast<size_t>(is.pe)];
-        if (stamp == now)
-            return;
-        stamp = now;
-    }
-
-    is.lastFire = now;
-    Value result;
-    bool emit = true;
-    if (vx.ctrl.active()) {
-        // Stream-join control.
-        Value a = is.operandValue(0);
-        Value b = vx.operands.size() > 1 ? is.operandValue(1) : 0;
-        Value cval = vx.operands.size() > 2 ? is.operandValue(2) : 0;
-        // Natural-arity computation (extra ctrl operand excluded).
-        int arity = opInfo(vx.op).numOperands;
-        result = evalOp(vx.op, a, arity >= 2 ? b : 0,
-                        arity >= 3 ? cval : 0,
-                        vx.isAccumulate() ? &is.acc : nullptr);
-        int ctl;
-        if (vx.ctrl.source == CtrlSpec::Source::Self) {
-            ctl = static_cast<int>(result & 7);
-        } else {
-            ctl = static_cast<int>(
-                is.operandValue(
-                    static_cast<size_t>(vx.ctrl.ctrlOperand)) & 7);
-        }
-        emit = vx.ctrl.emits(ctl);
-        for (size_t i = 0; i < is.inPipes.size(); ++i) {
-            if (!is.inPipes[i])
-                continue;
-            if (vx.ctrl.pops(static_cast<int>(i), ctl))
-                is.inPipes[i]->pop();
-        }
-    } else if (vx.selfAcc) {
-        Value v = is.operandValue(0);
-        is.acc = evalOp(vx.op, is.acc, v, 0, nullptr);
-        result = is.acc;
-        for (Pipe *p : is.inPipes)
-            if (p)
-                p->pop();
-        ++is.fires;
-        if (vx.accResetEvery > 0 && is.fires % vx.accResetEvery == 0) {
-            // Reset after this result was produced.
-            for (Pipe *out : is.outPipes)
-                out->push(now, result);
-            is.acc = vx.accInit;
-            rs.lastActivity = now;
-            activity = true;
-            return;
-        }
-        for (Pipe *out : is.outPipes)
-            out->push(now, result);
-        rs.lastActivity = now;
-        activity = true;
-        return;
-    } else {
-        Value a = is.operandValue(0);
-        Value b = vx.operands.size() > 1 ? is.operandValue(1) : 0;
-        Value cc = vx.operands.size() > 2 ? is.operandValue(2) : 0;
-        result = evalOp(vx.op, a, b, cc,
-                        vx.isAccumulate() ? &is.acc : nullptr);
-        for (Pipe *p : is.inPipes)
-            if (p)
-                p->pop();
-    }
-    ++is.fires;
-    if (emit)
-        for (Pipe *out : is.outPipes)
-            out->push(now, result);
-    rs.lastActivity = now;
-    activity = true;
 }
 
 void
@@ -1237,7 +1881,7 @@ Machine::tickRegion(RegionSim &rs, int64_t now, bool &activity)
         }
     }
     for (auto &is : rs.insts)
-        fireInstruction(rs, is, now, activity);
+        detail::genericFire(rs, is, now, activity, peFiredCycle_.data());
     for (int v : rs.realOutPorts) {
         if (rs.outPorts[v].tryFire(now)) {
             rs.lastActivity = now;
@@ -1245,9 +1889,34 @@ Machine::tickRegion(RegionSim &rs, int64_t now, bool &activity)
         }
     }
 
+    regionPhaseTail(rs, now);
+}
+
+void
+Machine::tickCompiled(RegionSim &rs, int64_t now, bool &activity)
+{
+    // Running-state regions only: the burst dispatcher routes every
+    // other lifecycle state through the interpreted tick.
+    if (recording_ && rs.idx == rpRegion_) {
+        detail::runPlanRecord(rs, plans_[static_cast<size_t>(rs.idx)],
+                              now, activity, peFiredCycle_.data(),
+                              rpFired_, rpLatched_);
+        regionPhaseTail(rs, now);
+        return;
+    }
+    detail::runPlan(rs, plans_[static_cast<size_t>(rs.idx)], now,
+                    activity, peFiredCycle_.data());
+    regionPhaseTail(rs, now);
+}
+
+void
+Machine::regionPhaseTail(RegionSim &rs, int64_t now)
+{
     if (rs.state == RegionState::Running) {
-        if (rs.allReadsDone() && forwardsSatisfied(rs) &&
-            now - rs.lastActivity > rs.quiesceWindow)
+        // Pure predicates over a conjunction: cheapest first (the
+        // quiesce-window test almost always fails in steady state).
+        if (now - rs.lastActivity > rs.quiesceWindow &&
+            rs.allReadsDone() && forwardsSatisfied(rs))
             finalizeIssue(rs, now);
     } else if (rs.state == RegionState::Finalizing) {
         if (rs.allWritesDone() || now - rs.lastActivity >
@@ -1379,7 +2048,7 @@ Machine::pumpForwards(int64_t now, bool &activity)
         // cadence exactly (and degenerates to the historical
         // one-element-per-cycle delivery for scalar ports).
         while (!q.empty() && port.reuseLeft == 0 &&
-               static_cast<int>(port.buffer.size()) < port.lanes) {
+               port.bufSize() < port.lanes) {
             port.deliver(q.front());
             q.pop();
             dst.lastActivity = now;
@@ -1404,8 +2073,7 @@ void
 Machine::traceDump(int64_t now) const
 {
     // DSA_SIM_TRACE=1 dumps periodic machine state (debugging aid).
-    static const bool trace = std::getenv("DSA_SIM_TRACE") != nullptr;
-    if (!trace || now % 64 != 0)
+    if (now % 64 != 0)
         return;
     for (const RegionSim &rs : regions_) {
         std::fprintf(stderr,
@@ -1419,8 +2087,8 @@ Machine::traceDump(int64_t now) const
                          se.writeBuf.size());
         for (size_t v = 0; v < rs.inPorts.size(); ++v)
             if (!rs.inPorts[v].lanePipes.empty())
-                std::fprintf(stderr, " p%zu:buf=%zu pops=%lld",
-                             v, rs.inPorts[v].buffer.size(),
+                std::fprintf(stderr, " p%zu:buf=%d pops=%lld",
+                             v, rs.inPorts[v].bufSize(),
                              static_cast<long long>(
                                  rs.inPorts[v].pops));
         for (const InstSim &is : rs.insts)
@@ -1470,8 +2138,10 @@ Machine::runDense()
         tickStreams(now, activity);
         for (RegionSim &rs : regions_)
             tickRegion(rs, now, activity);
+        ++cyclesGeneric_;
 
-        traceDump(now);
+        if (trace_)
+            traceDump(now);
 
         if (allDone())
             break;
@@ -1542,8 +2212,8 @@ Machine::nextEventTime(int64_t now) const
                          1);
             // In-flight routed values (front = earliest arrival).
             for (const auto &p : rs.pipes)
-                if (!p->q.empty())
-                    consider(p->q.front().first);
+                if (!p->empty())
+                    consider(p->frontTime());
             // Pop-interval throttles (serialized regions).
             for (int v : rs.throttledPorts) {
                 const PortSim &ps = rs.inPorts[v];
@@ -1567,6 +2237,26 @@ Machine::nextEventTime(int64_t now) const
     return next;
 }
 
+int64_t
+Machine::burstHorizon() const
+{
+    // Time-gated transitions the burst cycle elides are exactly the
+    // command-issue wake-ups of active-group waiting regions (see the
+    // declaration comment); every other elided tick is progress-driven
+    // and progress closes the window the cycle it happens.
+    int64_t horizon = INT64_MAX;
+    for (int r : activeRegions_) {
+        const RegionSim &rs = regions_[r];
+        if (rs.state != RegionState::WaitCmd)
+            continue;
+        if (prog_.regions[rs.idx].configGroup != activeGroup_)
+            continue;  // inert until a group switch (= progress)
+        horizon = std::min(horizon,
+                           std::max(rs.stateUntil, reconfigUntil_));
+    }
+    return horizon;
+}
+
 SimResult
 Machine::runSparse()
 {
@@ -1574,32 +2264,86 @@ Machine::runSparse()
     int64_t now = 0;
     int64_t lastProgress = 0;
     const bool deadlineLimited = !opts_.deadline.unlimited();
+    // Compiled steady window: valid after a fully generic cycle with
+    // no state or controller transition, closed by any transition.
+    bool burstOk = false;
+    int64_t burstHzn = 0;
     while (now < opts_.maxCycles) {
         bool activity = false;
         stateChanged_ = false;
+        bool ctrlMoved = false;
 
-        bool ctrlMoved = tickSequencer(now);
-        // Refresh after the sequencer: in phase-script mode it is what
-        // re-activates DoneIssue regions.
-        if (activeDirty_)
-            refreshActiveRegions();
-        pumpForwards(now, activity);
-        tickStreams(now, activity);
-        for (int r : activeRegions_)
-            tickRegion(regions_[r], now, activity);
+        const bool burstCycle = burstOk && now < burstHzn;
+        if (burstCycle) {
+            // Period replay: when the lone active region's steady
+            // state provably repeats with period p, jump whole
+            // multiples of p in one shot (the recorded trace performs
+            // the real mutations, so final state is byte-identical).
+            if (rpPhase_ != RpPhase::Off) {
+                int64_t adv = replayTop(now, burstHzn, deadlineLimited);
+                if (adv > 0) {
+                    lastProgress = rpProgress_;
+                    nextEventCacheValid_ = false;
+                    cyclesCompiled_ += adv;
+                    cyclesReplayed_ += adv;
+                    now += adv;
+                    continue;
+                }
+            }
+            if (recording_)
+                rpFired_ = rpLatched_ = 0;
+            // Steady-state cycle: the sequencer and the waiting
+            // regions are provably inert inside the window, so only
+            // the data path runs — Running regions through their
+            // compiled plans, draining regions interpreted. If an
+            // earlier region transitions mid-cycle, later regions
+            // catch up with a full interpreted tick (regions before
+            // the change point were provably inert under the
+            // pre-change state, matching the dense same-cycle order).
+            pumpForwards(now, activity);
+            tickStreams(now, activity);
+            for (int r : activeRegions_) {
+                RegionSim &rs = regions_[r];
+                if (rs.state == RegionState::Running)
+                    tickCompiled(rs, now, activity);
+                else if (rs.state == RegionState::Finalizing ||
+                         stateChanged_)
+                    tickRegion(rs, now, activity);
+            }
+            ++cyclesCompiled_;
+            if (recording_)
+                recordCycleEnd(now);
+        } else {
+            if (recording_)
+                rpDemote(now);
+            ctrlMoved = tickSequencer(now);
+            // Refresh after the sequencer: in phase-script mode it is
+            // what re-activates DoneIssue regions.
+            if (activeDirty_)
+                refreshActiveRegions();
+            pumpForwards(now, activity);
+            tickStreams(now, activity);
+            for (int r : activeRegions_)
+                tickRegion(regions_[r], now, activity);
+            ++cyclesGeneric_;
+        }
 
-        traceDump(now);
+        if (trace_)
+            traceDump(now);
 
-        if (allDone())
+        // allDone only flips on a region transition, so an unchanged
+        // burst cycle cannot have completed the program.
+        if ((!burstCycle || stateChanged_) && allDone())
             break;
 
         // setState fires exactly on the transitions the dense loop's
         // before/after snapshot detects (no tick re-enters a state it
         // left within one cycle), so `progress` matches the oracle.
         bool progress = activity || ctrlMoved || stateChanged_;
-        if (progress)
+        if (progress) {
             lastProgress = now;
-        else if (opts_.progressWindow > 0 &&
+            nextEventCacheValid_ = false;
+        } else if (opts_.progressWindow > 0 &&
                  now - lastProgress >= opts_.progressWindow) {
             res.ok = false;
             res.error = stallDiagnostic(now, lastProgress);
@@ -1616,6 +2360,17 @@ Machine::runSparse()
             return res;
         }
 
+        // Burst window maintenance: any transition closes it; a clean
+        // fully generic cycle (re)opens it and prices the horizon.
+        if (compiled_) {
+            if (stateChanged_ || ctrlMoved)
+                burstOk = false;
+            else if (!burstCycle && (!burstOk || now + 1 >= burstHzn)) {
+                burstOk = true;
+                burstHzn = burstHorizon();
+            }
+        }
+
         if (progress) {
             ++now;
             continue;
@@ -1624,15 +2379,41 @@ Machine::runSparse()
         // frozen and no time gate opens before the next event), so
         // jump straight to the earliest cycle anything can move,
         // clamped so the watchdogs fire on exactly the same cycle the
-        // dense loop would fire them on.
-        int64_t target = nextEventTime(now);
+        // dense loop would fire them on. The scan result stays valid
+        // across consecutive no-progress cycles (nothing feeding it
+        // can change without progress), so clamped jumps don't rescan.
+        if (!nextEventCacheValid_ || nextEventCache_ <= now) {
+            nextEventCache_ = nextEventTime(now);
+            nextEventCacheValid_ = true;
+        }
+        int64_t target = nextEventCache_;
         if (opts_.progressWindow > 0)
             target = std::min(target,
                               lastProgress + opts_.progressWindow);
         if (deadlineLimited)
             target = std::min(target, ((now >> 13) + 1) << 13);
         target = std::min(target, opts_.maxCycles);
-        now = std::max(now + 1, target);
+        int64_t next = std::max(now + 1, target);
+        if (recording_ && next > now + 1) {
+            // Skipped cycles are provably idle; inside a recording
+            // they become empty trace entries (replaying them is a
+            // no-op, which is exactly what the machine did).
+            int64_t gap = next - (now + 1);
+            if (static_cast<int64_t>(rpTrace_.size()) + gap >
+                rpPeriod_) {
+                rpDemote(now);
+            } else {
+                RpCycle e;
+                e.fired = 0;
+                e.latched = 0;
+                e.dFirst = static_cast<uint32_t>(rpDeliv_.size());
+                e.dCount = 0;
+                for (int64_t i = 0; i < gap; ++i)
+                    rpTrace_.push_back(e);
+            }
+        }
+        cyclesSkipped_ += next - (now + 1);
+        now = next;
     }
     if (now >= opts_.maxCycles) {
         res.ok = false;
@@ -1679,6 +2460,11 @@ Machine::fillStats(SimResult &res, int64_t now) const
     res.memBytes.clear();
     for (const MemPlan &mp : memPlans_)
         res.memBytes[mp.node] = mp.bytes;
+    // Engine accounting (excluded from cross-engine equivalence).
+    res.cyclesCompiled = cyclesCompiled_;
+    res.cyclesGeneric = cyclesGeneric_;
+    res.cyclesSkipped = cyclesSkipped_;
+    res.cyclesReplayed = cyclesReplayed_;
 }
 
 std::string
@@ -1716,7 +2502,7 @@ Machine::stallDiagnostic(int64_t now, int64_t lastProgress) const
             const PortSim &ps = rs.inPorts[v];
             if (ps.lanePipes.empty())
                 continue;
-            os << " in-port" << v << "{buf " << ps.buffer.size() << "/"
+            os << " in-port" << v << "{buf " << ps.bufSize() << "/"
                << ps.capacity << ", pops " << ps.pops << "}";
         }
         for (size_t v = 0; v < rs.outPorts.size(); ++v) {
@@ -1782,14 +2568,55 @@ sparseDefault()
     return sparse;
 }
 
-SimResult
-simulate(const dfg::DecoupledProgram &prog, const mapper::Schedule &sched,
-         const Adg &adg, MemImage &mem, const SimOptions &opts)
+bool
+compiledDefault()
 {
+    static const bool compiled = [] {
+        const char *env = std::getenv("DSA_SIM_COMPILED");
+        return !(env && std::strcmp(env, "0") == 0);
+    }();
+    return compiled;
+}
+
+SimResult
+simulateShared(const dfg::DecoupledProgram &prog,
+               const mapper::Schedule &sched, const Adg &adg, MemImage &mem,
+               const SimOptions &opts, SimArena *arena)
+{
+    if (opts.checkCompiled) {
+        // Oracle cross-check: the interpreted reference runs on a
+        // throwaway copy of the memory image (and may itself honor
+        // checkSparse, chaining back to the dense oracle), the
+        // compiled engine on the real one, and any divergence in
+        // result or memory contents turns into an Internal error.
+        MemImage refMem = mem;
+        SimOptions refOpts = opts;
+        refOpts.compiled = false;
+        refOpts.checkCompiled = false;
+        SimResult refRes =
+            simulateShared(prog, sched, adg, refMem, refOpts, nullptr);
+
+        SimOptions cOpts = opts;
+        cOpts.sparse = true;
+        cOpts.compiled = true;
+        cOpts.checkSparse = false;
+        cOpts.checkCompiled = false;
+        Machine cm(prog, sched, adg, mem, cOpts, arena);
+        SimResult cRes = cm.run();
+
+        std::string diff = firstDivergence(refRes, cRes, refMem, mem);
+        if (!diff.empty()) {
+            cRes.ok = false;
+            cRes.error =
+                "compiled/interpreted simulator divergence: " + diff;
+            cRes.status = Status::internal(cRes.error);
+        }
+        return cRes;
+    }
     if (opts.checkSparse) {
         // Oracle cross-check: dense runs on a throwaway copy of the
-        // memory image, sparse on the real one, and any divergence in
-        // result or memory contents turns into an Internal error.
+        // memory image, sparse (with whatever compiled setting the
+        // caller chose — the production engine) on the real one.
         MemImage denseMem = mem;
         SimOptions denseOpts = opts;
         denseOpts.sparse = false;
@@ -1800,7 +2627,7 @@ simulate(const dfg::DecoupledProgram &prog, const mapper::Schedule &sched,
         SimOptions sparseOpts = opts;
         sparseOpts.sparse = true;
         sparseOpts.checkSparse = false;
-        Machine sm(prog, sched, adg, mem, sparseOpts);
+        Machine sm(prog, sched, adg, mem, sparseOpts, arena);
         SimResult sparseRes = sm.run();
 
         std::string diff =
@@ -1813,8 +2640,15 @@ simulate(const dfg::DecoupledProgram &prog, const mapper::Schedule &sched,
         }
         return sparseRes;
     }
-    Machine m(prog, sched, adg, mem, opts);
+    Machine m(prog, sched, adg, mem, opts, arena);
     return m.run();
+}
+
+SimResult
+simulate(const dfg::DecoupledProgram &prog, const mapper::Schedule &sched,
+         const Adg &adg, MemImage &mem, const SimOptions &opts)
+{
+    return simulateShared(prog, sched, adg, mem, opts, nullptr);
 }
 
 } // namespace dsa::sim

@@ -40,6 +40,14 @@ namespace dsa::sim {
  */
 bool sparseDefault();
 
+/**
+ * Default for SimOptions::compiled: true unless the environment
+ * variable DSA_SIM_COMPILED is set to "0" (read once per process).
+ * The override pins the event-driven loop to its fully interpreted
+ * tick — useful for bisecting a suspected compiled-tier bug.
+ */
+bool compiledDefault();
+
 /** Simulation knobs. */
 struct SimOptions
 {
@@ -88,6 +96,31 @@ struct SimOptions
      * cycles.
      */
     bool checkSparse = false;
+    /**
+     * Compiled steady-state tier (requires `sparse`): at sim-build
+     * time each region's dataflow is lowered to a flattened compute
+     * plan — a fixed array of micro-ops with resolved operand pipes
+     * and pre-dispatched opcode functions — and whenever the machine
+     * is in steady state (no controller movement, no region lifecycle
+     * transition) whole cycles run as straight-line plan execution
+     * with the sequencer and waiting regions provably inert. Any
+     * reconfiguration, drain, stall, or lifecycle event falls back to
+     * the interpreted tick for that cycle. Bit-identical SimResult
+     * and MemImage to the interpreted engines on every path
+     * (enforced by tests/test_sim_compiled.cc). Default-on (see
+     * compiledDefault()).
+     */
+    bool compiled = compiledDefault();
+    /**
+     * Cross-check mode for the compiled tier: run the interpreted
+     * reference (which itself still honors checkSparse, chaining to
+     * the dense oracle) on a copy of the memory image and the
+     * compiled engine on the real one, compare SimResult bit-exactly
+     * and both address spaces byte-exactly, and return an Internal
+     * error describing the first divergence. Same deadline caveat as
+     * checkSparse.
+     */
+    bool checkCompiled = false;
 };
 
 /** Per-region outcome. */
@@ -117,6 +150,17 @@ struct SimResult
     std::map<adg::NodeId, int64_t> peFires;
     /** Bytes moved per memory node. */
     std::map<adg::NodeId, int64_t> memBytes;
+    /// @name Engine accounting (which loop executed each wall cycle;
+    /// diagnostic only — deliberately excluded from the cross-engine
+    /// equivalence checks, since the split differs by construction)
+    /// @{
+    int64_t cyclesCompiled = 0;  ///< compiled steady-state cycles
+    int64_t cyclesGeneric = 0;   ///< interpreted (dense or sparse) cycles
+    int64_t cyclesSkipped = 0;   ///< idle cycles jumped over wholesale
+    /** Of cyclesCompiled, cycles executed by period replay (a recorded
+     *  steady-state period's trace re-run with no gate evaluation). */
+    int64_t cyclesReplayed = 0;
+    /// @}
 };
 
 /**

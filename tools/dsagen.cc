@@ -182,7 +182,7 @@ cmdCompile(const std::string &workload, const std::string &target,
 
 int
 cmdRun(const std::string &workload, const std::string &target, int unroll,
-       const sim::SimOptions &simOpts)
+       const sim::SimOptions &simOpts, bool simStats)
 {
     auto b = compileBundle(workload, target, unroll);
     if (!b.ok)
@@ -209,6 +209,29 @@ cmdRun(const std::string &workload, const std::string &target, int unroll,
         workloads::checkOutputs(*b.w, b.golden.final, out);
     std::printf("estimated cycles: %.0f\n", est.cycles);
     std::printf("%s", sim::utilizationReport(res, b.hw).c_str());
+    if (simStats) {
+        int64_t total = res.cyclesCompiled + res.cyclesGeneric +
+                        res.cyclesSkipped;
+        auto pct = [&](int64_t n) {
+            return total ? 100.0 * static_cast<double>(n) /
+                               static_cast<double>(total)
+                         : 0.0;
+        };
+        std::printf("\nengine breakdown (%lld wall cycles):\n",
+                    static_cast<long long>(total));
+        std::printf("  compiled steady-state: %12lld (%5.1f%%)\n",
+                    static_cast<long long>(res.cyclesCompiled),
+                    pct(res.cyclesCompiled));
+        std::printf("    of which replayed:   %12lld (%5.1f%%)\n",
+                    static_cast<long long>(res.cyclesReplayed),
+                    pct(res.cyclesReplayed));
+        std::printf("  interpreted:           %12lld (%5.1f%%)\n",
+                    static_cast<long long>(res.cyclesGeneric),
+                    pct(res.cyclesGeneric));
+        std::printf("  idle (skipped):        %12lld (%5.1f%%)\n",
+                    static_cast<long long>(res.cyclesSkipped),
+                    pct(res.cyclesSkipped));
+    }
     double host = model::estimateHostCycles(b.golden.stats);
     std::printf("\nspeedup vs host model: %.2fx\n",
                 host / static_cast<double>(res.cycles));
@@ -275,8 +298,8 @@ finishDse(const dse::DseResult &res, const std::string &savePath)
     }
     if (!res.simSpeedups.empty()) {
         std::printf(
-            "simulator validation on best design (sparse==dense, "
-            "wall-clock dense/sparse):\n");
+            "simulator validation on best design (dense==sparse=="
+            "compiled, wall-clock dense/compiled):\n");
         for (const auto &[name, sx] : res.simSpeedups)
             std::printf("  %-12s %.2fx\n", name.c_str(), sx);
     }
@@ -474,10 +497,16 @@ usage()
         "  list-workloads | list-targets | show-adg <target>\n"
         "  compile <workload> <target> [unroll]\n"
         "  run <workload> <target> [unroll] [--dense-sim]\n"
-        "      [--check-sparse]\n"
-        "      --dense-sim     use the dense oracle simulator loop\n"
-        "                      (DSA_SIM_SPARSE=0 flips the default)\n"
-        "      --check-sparse  run both loops and cross-check them\n"
+        "      [--check-sparse] [--check-compiled] [--sim-stats]\n"
+        "      --dense-sim        use the dense oracle simulator loop\n"
+        "                         (DSA_SIM_SPARSE=0 flips the default)\n"
+        "      --check-sparse     run both loops and cross-check them\n"
+        "      --compiled-sim     force the compiled steady-state tier\n"
+        "      --no-compiled-sim  interpreted event-driven loop only\n"
+        "                         (DSA_SIM_COMPILED=0 flips the default)\n"
+        "      --check-compiled   cross-check compiled vs interpreted\n"
+        "      --sim-stats        per-engine wall-cycle breakdown\n"
+        "                         (compiled / interpreted / skipped)\n"
         "  dse <suite> [iters] [threads] [batch]\n"
         "      threads: evaluation workers (0 = all cores); results\n"
         "      are identical for any thread count\n"
@@ -485,8 +514,9 @@ usage()
         "      --checkpoint-every <n>   accepted steps per snapshot\n"
         "      --wall-budget-ms <ms>    whole-run wall-clock cap\n"
         "      --candidate-time-ms <ms> per-candidate evaluation cap\n"
-        "      --validate-sim           cross-check sparse vs dense\n"
-        "                               simulation of the best design\n"
+        "      --validate-sim           batch-simulate the best design\n"
+        "                               dense/sparse/compiled and\n"
+        "                               cross-check the three bit-exactly\n"
         "      --pareto                 multi-objective search: keep a\n"
         "                               (perf, area, power) Pareto front\n"
         "                               and accept by hypervolume gain\n"
@@ -533,6 +563,7 @@ try {
                           argc >= 5 ? std::atoi(argv[4]) : 1);
     if (cmd == "run" && argc >= 4) {
         int unroll = 1;
+        bool simStats = false;
         sim::SimOptions simOpts;
         for (int i = 4; i < argc; ++i) {
             std::string a = argv[i];
@@ -540,10 +571,18 @@ try {
                 simOpts.sparse = false;
             else if (a == "--check-sparse")
                 simOpts.checkSparse = true;
+            else if (a == "--compiled-sim")
+                simOpts.compiled = true;
+            else if (a == "--no-compiled-sim")
+                simOpts.compiled = false;
+            else if (a == "--check-compiled")
+                simOpts.checkCompiled = true;
+            else if (a == "--sim-stats")
+                simStats = true;
             else
                 unroll = std::atoi(a.c_str());
         }
-        return cmdRun(argv[2], argv[3], unroll, simOpts);
+        return cmdRun(argv[2], argv[3], unroll, simOpts, simStats);
     }
     if (cmd == "dse" && argc >= 3)
         return cmdDse(argc - 2, argv + 2);
