@@ -21,6 +21,14 @@
  * hypervolume, the hypervolume-vs-candidates curve, and whether some
  * front point dominates (or matches) the scalar run's best design.
  *
+ * Finally, a multi-process sweep re-runs the exploration with
+ * --workers N for N in {1, 2, 4}, all sharing one on-disk eval-cache
+ * store: N=1 runs cold and populates the store, N=2 and N=4 warm-start
+ * from it. The harness aborts on any divergence from the in-process
+ * run and records candidates/second, the warm shared-cache hit rate,
+ * and store load/append counts per N. (This binary doubles as the
+ * worker subprocess via the `__dse-worker` argv marker.)
+ *
  * Usage: micro_dse [out.json] [iters] [batch] [threads] [schedIters]
  */
 
@@ -31,10 +39,13 @@
 #include <string>
 #include <vector>
 
+#include <dirent.h>
+
 #include "adg/prebuilt.h"
 #include "base/thread_pool.h"
 #include "dse/checkpoint.h"
 #include "dse/explorer.h"
+#include "dse/worker_pool.h"
 #include "workloads/workload.h"
 
 using namespace dsa;
@@ -75,11 +86,30 @@ rate(uint64_t hits, uint64_t misses)
                  : 0.0;
 }
 
+/** Remove a flat directory (the per-suite cache-store scratch dirs). */
+void
+rmTree(const std::string &dir)
+{
+    if (DIR *d = ::opendir(dir.c_str())) {
+        while (dirent *e = ::readdir(d)) {
+            std::string n = e->d_name;
+            if (n != "." && n != "..")
+                std::remove((dir + "/" + n).c_str());
+        }
+        ::closedir(d);
+    }
+    ::rmdir(dir.c_str());
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    // The worker pool re-execs this binary as its evaluation worker.
+    if (argc > 1 && std::string(argv[1]) == "__dse-worker")
+        return dse::workerMain();
+
     std::string outPath = argc > 1 ? argv[1] : "BENCH_dse.json";
     int iters = argc > 2 ? std::atoi(argv[2]) : 60;
     int batch = argc > 3 ? std::atoi(argv[3]) : 6;
@@ -229,6 +259,52 @@ main(int argc, char **argv)
                                p.areaMm2 <= cached.res.bestCost.areaMm2 &&
                                p.powerMw <= cached.res.bestCost.powerMw;
 
+        // Multi-process sweep: crash-isolated worker subprocesses
+        // sharing one on-disk eval-cache store. N=1 runs cold and
+        // populates the store; N=2 and N=4 warm-start from it. The
+        // transport must not change a single bit of the outcome.
+        std::string storeDir = std::string("bench_dse_") + suite + ".store";
+        rmTree(storeDir);
+        std::string workersJson;
+        for (int nw : {1, 2, 4}) {
+            dse::DseOptions wo = base;
+            wo.workers = nw;
+            wo.cacheStoreDir = storeDir;
+            Timed wt = timedRun(suite, wo);
+            if (wt.res.best.toText() != uncached.res.best.toText() ||
+                wt.res.bestObjective != uncached.res.bestObjective ||
+                wt.res.history.size() != uncached.res.history.size()) {
+                std::fprintf(stderr,
+                             "FATAL: --workers %d diverged from the "
+                             "in-process run on %s\n",
+                             nw, suite);
+                return 1;
+            }
+            const dse::DseCacheStats &wcs = wt.res.cacheStats;
+            const dse::DseWorkerStats &wws = wt.res.workerStats;
+            std::printf("  workers=%d: %.1fs, %.2f candidates/s, "
+                        "eval %.0f%% hit, store %llu loaded / %llu "
+                        "appended\n",
+                        nw, wt.seconds, wt.candidatesPerSec,
+                        100 * rate(wcs.evalHits, wcs.evalMisses),
+                        static_cast<unsigned long long>(wcs.storeLoaded),
+                        static_cast<unsigned long long>(wcs.storeAppends));
+            char wb[320];
+            std::snprintf(
+                wb, sizeof wb,
+                "%s{\"workers\": %d, \"seconds\": %.3f, "
+                "\"candidates_per_sec\": %.3f, \"eval_hit_rate\": %.4f, "
+                "\"store_loaded\": %llu, \"store_appends\": %llu, "
+                "\"degraded\": %llu}",
+                workersJson.empty() ? "" : ", ", nw, wt.seconds,
+                wt.candidatesPerSec, rate(wcs.evalHits, wcs.evalMisses),
+                static_cast<unsigned long long>(wcs.storeLoaded),
+                static_cast<unsigned long long>(wcs.storeAppends),
+                static_cast<unsigned long long>(wws.degraded));
+            workersJson += wb;
+        }
+        rmTree(storeDir);
+
         char buf[8192];  // roomy: the hv curve rides along as a %s
         std::snprintf(
             buf, sizeof buf,
@@ -257,7 +333,8 @@ main(int argc, char **argv)
             "        \"front_size\": %zu, \"hypervolume\": %.6f,\n"
             "        \"identical_across_threads\": true,\n"
             "        \"dominates_scalar\": %s,\n"
-            "        \"hv_vs_candidates\": [%s]}\n"
+            "        \"hv_vs_candidates\": [%s]},\n"
+            "      \"workers_shared_store\": [%s]\n"
             "    }",
             first ? "" : ",\n", suite, iters, batch, threads,
             cached.res.history.size(), uncached.seconds,
@@ -274,7 +351,7 @@ main(int argc, char **argv)
             replay.candidatesPerSec / uncached.candidatesPerSec,
             pSerial.seconds, pPar.seconds, pPar.res.front.size(),
             pPar.res.frontHypervolume, dominatesScalar ? "true" : "false",
-            curve.c_str());
+            curve.c_str(), workersJson.c_str());
         json += buf;
         first = false;
     }

@@ -10,6 +10,11 @@
 # exploration in multi-objective (--pareto) mode at 1 and N threads,
 # aborts if the two fronts differ in any bit, and records the front
 # size, final hypervolume, and the hypervolume-vs-candidates curve.
+# Finally it sweeps crash-isolated multi-process evaluation (--workers
+# 1, 2, 4) over a shared on-disk eval-cache store — N=1 populates it
+# cold, N=2/4 warm-start — recording candidates/second and the warm
+# shared-cache hit rate per N; any divergence from the in-process run
+# aborts the benchmark.
 #
 # Recorded numbers come from a Release build (build-release/); the
 # script refuses to record from any other build type unless

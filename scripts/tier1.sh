@@ -27,14 +27,18 @@ echo "== tier-1: concurrency + incremental-scheduler tests under ThreadSanitizer
 # test_dse_pareto joins them because the Pareto front's thread-count
 # bit-identity depends on front updates staying strictly serial while
 # candidate evaluation fans out.
+# test_robustness joins as well: the worker-pool coordinator, the
+# shared cache store's append/compact locking, and the fault-injection
+# registry all mix threads with subprocess supervision (the spawned
+# workers are TSan-instrumented re-execs of the test binary itself).
 cmake -B build-tsan -S . -DDSA_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j "$JOBS" \
       --target test_concurrency test_base test_scheduler_incremental \
-      test_dse_cache test_dse_pareto
+      test_dse_cache test_dse_pareto test_robustness
 TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure \
-          -R 'test_concurrency|test_base|test_scheduler_incremental|test_dse_cache|test_dse_pareto'
+          -R 'test_concurrency|test_base|test_scheduler_incremental|test_dse_cache|test_dse_pareto|test_robustness'
 
 echo
 echo "== tier-1: robustness + sparse-simulator tests under ASan+UBSan =="

@@ -1,0 +1,150 @@
+#include "base/fault.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace dsa {
+namespace fault {
+
+namespace {
+
+struct Site {
+    uint64_t nth = 0;   // fire at this occurrence (1-based)
+    uint64_t seen = 0;  // occurrences so far
+    bool fired = false; // each site fires at most once per process
+};
+
+struct Registry {
+    std::mutex mu;
+    std::map<std::string, Site> sites;
+};
+
+std::atomic<bool> gArmed{false};
+
+Registry &registry()
+{
+    static Registry *r = new Registry; // leaked: usable during exit
+    return *r;
+}
+
+void addSpecLocked(Registry &reg, const std::string &spec)
+{
+    for (const std::string &part : split(spec, ',')) {
+        std::string entry = trim(part);
+        if (entry.empty())
+            continue;
+        size_t colon = entry.rfind(':');
+        uint64_t nth = 0;
+        if (colon != std::string::npos && colon + 1 < entry.size()) {
+            char *end = nullptr;
+            nth = std::strtoull(entry.c_str() + colon + 1, &end, 10);
+            if (end == nullptr || *end != '\0')
+                nth = 0;
+        }
+        if (colon == std::string::npos || nth == 0) {
+            DSA_WARN("ignoring malformed DSA_FAULT entry '", entry,
+                     "' (want site:nth with nth >= 1)");
+            continue;
+        }
+        Site &site = reg.sites[entry.substr(0, colon)];
+        site.nth = nth;
+        site.seen = 0;
+        site.fired = false;
+        gArmed.store(true, std::memory_order_relaxed);
+    }
+}
+
+void parseEnvOnce()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        const char *env = std::getenv("DSA_FAULT");
+        if (env == nullptr || *env == '\0')
+            return;
+        Registry &reg = registry();
+        std::lock_guard<std::mutex> lock(reg.mu);
+        addSpecLocked(reg, env);
+    });
+}
+
+} // namespace
+
+bool armed()
+{
+    parseEnvOnce();
+    return gArmed.load(std::memory_order_relaxed);
+}
+
+bool shouldFire(const char *site)
+{
+    if (!armed())
+        return false;
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    auto it = reg.sites.find(site);
+    if (it == reg.sites.end())
+        return false;
+    Site &s = it->second;
+    ++s.seen;
+    if (s.fired || s.seen != s.nth)
+        return false;
+    s.fired = true;
+    return true;
+}
+
+uint64_t occurrences(const char *site)
+{
+    if (!armed())
+        return 0;
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    auto it = reg.sites.find(site);
+    return it == reg.sites.end() ? 0 : it->second.seen;
+}
+
+void configure(const std::string &spec)
+{
+    parseEnvOnce();
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    addSpecLocked(reg, spec);
+}
+
+void reset()
+{
+    parseEnvOnce(); // keep the once-flag consumed so env can't re-arm later
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.sites.clear();
+    gArmed.store(false, std::memory_order_relaxed);
+}
+
+void maybeKill(const char *site)
+{
+    if (shouldFire(site)) {
+        DSA_WARN("fault '", site, "': SIGKILL pid ", ::getpid());
+        ::kill(::getpid(), SIGKILL);
+    }
+}
+
+bool maybeStallMs(const char *site, int64_t ms)
+{
+    if (!shouldFire(site))
+        return false;
+    DSA_WARN("fault '", site, "': stalling ", ms, " ms");
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    return true;
+}
+
+} // namespace fault
+} // namespace dsa

@@ -1,0 +1,53 @@
+#pragma once
+
+// Deterministic fault injection for robustness tests.
+//
+// A fault *site* is a string literal naming one spot in the code where a
+// failure can be provoked (e.g. "worker.eval.kill" or "checkpoint.tear").
+// Sites are armed either programmatically via configure() or through the
+// DSA_FAULT environment variable, whose value is a comma-separated list of
+// `site:nth` pairs: the site fires exactly once, at the nth time execution
+// reaches it (1-based), in this process. Restarted subprocesses re-parse
+// the environment and therefore fire again — which is exactly what the
+// worker-restart ladder tests need — while a single process never loops on
+// the same injected fault.
+//
+// When nothing is armed the fast path is a single relaxed atomic load, so
+// production code can leave the probes in place.
+
+#include <cstdint>
+#include <string>
+
+namespace dsa {
+namespace fault {
+
+/** True when any fault site is armed in this process. */
+bool armed();
+
+/**
+ * Count one occurrence of @p site; true exactly once, at the occurrence
+ * the site was armed for. Unarmed (or already-fired) sites return false.
+ */
+bool shouldFire(const char *site);
+
+/** Number of times @p site has been reached (counted only while armed). */
+uint64_t occurrences(const char *site);
+
+/**
+ * Arm sites from a `site:nth[,site:nth...]` spec (same grammar as the
+ * DSA_FAULT environment variable). Malformed entries are warned about and
+ * skipped. Adds to — does not replace — previously armed sites.
+ */
+void configure(const std::string &spec);
+
+/** Disarm every site and forget all counters (tests call this in teardown). */
+void reset();
+
+/** SIGKILL this process when @p site fires. */
+void maybeKill(const char *site);
+
+/** Sleep @p ms milliseconds when @p site fires; true when it slept. */
+bool maybeStallMs(const char *site, int64_t ms);
+
+} // namespace fault
+} // namespace dsa

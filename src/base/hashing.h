@@ -86,6 +86,80 @@ struct UnorderedHash
     }
 };
 
+/**
+ * XXH64 over a byte buffer (the standard xxHash-64 algorithm,
+ * implemented here so the on-disk eval-cache store needs no external
+ * dependency). Used as the per-record checksum in cache_store segment
+ * files: fast enough to checksum every append, and its output is
+ * stable across platforms so segments are portable.
+ */
+inline uint64_t
+xxhash64(const void *data, size_t len, uint64_t seed = 0)
+{
+    constexpr uint64_t P1 = 0x9e3779b185ebca87ull;
+    constexpr uint64_t P2 = 0xc2b2ae3d27d4eb4full;
+    constexpr uint64_t P3 = 0x165667b19e3779f9ull;
+    constexpr uint64_t P4 = 0x85ebca77c2b2ae63ull;
+    constexpr uint64_t P5 = 0x27d4eb2f165667c5ull;
+    auto rotl = [](uint64_t x, int r) { return (x << r) | (x >> (64 - r)); };
+    auto read64 = [](const unsigned char *p) {
+        uint64_t v;
+        std::memcpy(&v, p, sizeof v);
+        return v; // little-endian hosts only (all current targets)
+    };
+    auto read32 = [](const unsigned char *p) {
+        uint32_t v;
+        std::memcpy(&v, p, sizeof v);
+        return static_cast<uint64_t>(v);
+    };
+    auto round = [&](uint64_t acc, uint64_t lane) {
+        return rotl(acc + lane * P2, 31) * P1;
+    };
+
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    const unsigned char *end = p + len;
+    uint64_t h;
+    if (len >= 32) {
+        uint64_t v1 = seed + P1 + P2;
+        uint64_t v2 = seed + P2;
+        uint64_t v3 = seed;
+        uint64_t v4 = seed - P1;
+        do {
+            v1 = round(v1, read64(p));
+            v2 = round(v2, read64(p + 8));
+            v3 = round(v3, read64(p + 16));
+            v4 = round(v4, read64(p + 24));
+            p += 32;
+        } while (p + 32 <= end);
+        h = rotl(v1, 1) + rotl(v2, 7) + rotl(v3, 12) + rotl(v4, 18);
+        h = (h ^ round(0, v1)) * P1 + P4;
+        h = (h ^ round(0, v2)) * P1 + P4;
+        h = (h ^ round(0, v3)) * P1 + P4;
+        h = (h ^ round(0, v4)) * P1 + P4;
+    } else {
+        h = seed + P5;
+    }
+    h += static_cast<uint64_t>(len);
+    while (p + 8 <= end) {
+        h = rotl(h ^ round(0, read64(p)), 27) * P1 + P4;
+        p += 8;
+    }
+    if (p + 4 <= end) {
+        h = rotl(h ^ (read32(p) * P1), 23) * P2 + P3;
+        p += 4;
+    }
+    while (p < end) {
+        h = rotl(h ^ (*p * P5), 11) * P1;
+        ++p;
+    }
+    h ^= h >> 33;
+    h *= P2;
+    h ^= h >> 29;
+    h *= P3;
+    h ^= h >> 32;
+    return h;
+}
+
 } // namespace dsa
 
 #endif // DSA_BASE_HASHING_H

@@ -1,0 +1,464 @@
+#include "dse/cache_store.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <map>
+#include <vector>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "base/fault.h"
+#include "base/hashing.h"
+#include "base/json.h"
+#include "base/logging.h"
+#include "base/subprocess.h"
+#include "dse/checkpoint.h"
+
+namespace dsa::dse {
+
+namespace {
+
+// Record layout: magic, u32 LE payload length, u64 LE xxhash64 of the
+// payload, then the payload (one evalEntryToJson document).
+constexpr char kRecordMagic[4] = {'D', 'S', 'E', 'C'};
+constexpr size_t kRecordHeader = 4 + 4 + 8;
+constexpr uint32_t kMaxRecordBytes = 64u << 20;
+constexpr uint64_t kChecksumSeed = 0x647361636163ull; // "dsacac"
+
+void putU32(std::string &buf, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void putU64(std::string &buf, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+uint32_t getU32(const unsigned char *p)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+uint64_t getU64(const unsigned char *p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+bool isSegmentName(const std::string &name)
+{
+    return name.size() > 9 && name.compare(0, 4, "seg-") == 0 &&
+           name.compare(name.size() - 5, 5, ".dsec") == 0;
+}
+
+Result<std::vector<std::string>> listSegments(const std::string &dir)
+{
+    DIR *d = ::opendir(dir.c_str());
+    if (!d)
+        return errnoStatus("store.opendir", errno);
+    std::vector<std::string> names;
+    while (struct dirent *ent = ::readdir(d)) {
+        std::string name = ent->d_name;
+        if (isSegmentName(name))
+            names.push_back(name);
+    }
+    ::closedir(d);
+    // Sorted so every process scans segments in the same order.
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+Result<std::string> readFile(const std::string &path)
+{
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        return errnoStatus("store.open", errno);
+    std::string data;
+    char buf[1 << 16];
+    for (;;) {
+        ssize_t n = ::read(fd, buf, sizeof buf);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            int err = errno;
+            ::close(fd);
+            return errnoStatus("store.read", err);
+        }
+        if (n == 0)
+            break;
+        data.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return data;
+}
+
+Status writeAllFd(int fd, const char *data, size_t len, const char *site)
+{
+    size_t off = 0;
+    while (off < len) {
+        ssize_t n = ::write(fd, data + off, len - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return errnoStatus(site, errno);
+        }
+        off += static_cast<size_t>(n);
+    }
+    return Status();
+}
+
+std::string serializeRecord(const EvalKey &key, const EvalCacheEntry &entry)
+{
+    std::string payload = evalEntryToJson(key, entry).dump();
+    std::string buf;
+    buf.reserve(kRecordHeader + payload.size());
+    buf.append(kRecordMagic, sizeof(kRecordMagic));
+    putU32(buf, static_cast<uint32_t>(payload.size()));
+    putU64(buf, xxhash64(payload.data(), payload.size(), kChecksumSeed));
+    buf.append(payload);
+    return buf;
+}
+
+/**
+ * Scan one segment's bytes, invoking @p sink per good record. Bad
+ * records are quarantined: counted once per corrupt region, logged
+ * with their offset, and skipped by resynchronizing on the next
+ * record magic.
+ */
+template <typename Sink>
+void scanSegment(const std::string &name, const std::string &data,
+                 CacheStoreStats &stats, Sink &&sink)
+{
+    const unsigned char *bytes =
+        reinterpret_cast<const unsigned char *>(data.data());
+    size_t off = 0;
+    auto resync = [&](const char *why, size_t at) {
+        ++stats.recordsQuarantined;
+        DSA_WARN("cache store: quarantined ", why, " in '", name,
+                 "' at offset ", at, " (", data.size(), " bytes total)");
+        // Skip forward to the next plausible record start.
+        size_t next = data.find(std::string(kRecordMagic, 4), at + 1);
+        off = next == std::string::npos ? data.size() : next;
+    };
+    while (off < data.size()) {
+        if (off + kRecordHeader > data.size()) {
+            resync("torn record header", off);
+            continue;
+        }
+        if (std::memcmp(bytes + off, kRecordMagic, 4) != 0) {
+            resync("bad record magic", off);
+            continue;
+        }
+        uint32_t len = getU32(bytes + off + 4);
+        uint64_t sum = getU64(bytes + off + 8);
+        if (len > kMaxRecordBytes || off + kRecordHeader + len > data.size()) {
+            resync("torn or oversized record", off);
+            continue;
+        }
+        const char *payload = data.data() + off + kRecordHeader;
+        if (xxhash64(payload, len, kChecksumSeed) != sum) {
+            resync("checksum mismatch", off);
+            continue;
+        }
+        auto parsed = json::parse(std::string(payload, len));
+        if (!parsed.ok()) {
+            resync("unparseable record payload", off);
+            continue;
+        }
+        auto rec = evalEntryFromJson(parsed.value());
+        if (!rec.ok()) {
+            resync("malformed record document", off);
+            continue;
+        }
+        sink(rec.value());
+        off += kRecordHeader + len;
+    }
+}
+
+} // namespace
+
+CacheStore::CacheStore(std::string dir, CacheStoreOptions opts)
+    : dir_(std::move(dir)), opts_(opts)
+{
+}
+
+CacheStore::~CacheStore()
+{
+    flush();
+}
+
+Status CacheStore::open()
+{
+    // mkdir -p: create each path component, tolerating ones that exist.
+    std::string partial;
+    for (size_t i = 0; i <= dir_.size(); ++i) {
+        if (i < dir_.size() && dir_[i] != '/') {
+            partial.push_back(dir_[i]);
+            continue;
+        }
+        if (!partial.empty() && partial != "." &&
+            ::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST)
+            return errnoStatus("store.mkdir", errno);
+        if (i < dir_.size())
+            partial.push_back('/');
+    }
+    struct stat st;
+    if (::stat(dir_.c_str(), &st) != 0 || !S_ISDIR(st.st_mode))
+        return Status::invalidArgument("cache store path '" + dir_ +
+                                       "' is not a directory");
+    return Status();
+}
+
+Status CacheStore::loadInto(EvalCache &cache)
+{
+    auto names = listSegments(dir_);
+    if (!names.ok())
+        return names.status();
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::string &name : *names) {
+        auto data = readFile(dir_ + "/" + name);
+        if (!data.ok()) {
+            // A segment can vanish mid-scan (concurrent compaction
+            // unlinked it); its records live on in the merged segment.
+            DSA_WARN("cache store: skipping unreadable segment '", name,
+                     "': ", data.status().toString());
+            continue;
+        }
+        ++stats_.segmentsLoaded;
+        scanSegment(name, *data, stats_, [&](const EvalStoreRecord &rec) {
+            cache.restore(rec.key, rec.entry);
+            ++stats_.recordsLoaded;
+        });
+    }
+    return Status();
+}
+
+Status CacheStore::ensureSegmentLocked()
+{
+    if (segFd_ >= 0)
+        return Status();
+    // One writer per segment file, guaranteed by O_EXCL on a
+    // pid-unique name (the counter covers reopen-after-flush and
+    // multiple stores in one process).
+    static std::atomic<uint64_t> counter{0};
+    for (int tries = 0; tries < 64; ++tries) {
+        uint64_t n = counter.fetch_add(1);
+        std::string path = dir_ + "/seg-" + std::to_string(::getpid()) + "-" +
+                           std::to_string(n) + ".dsec";
+        int fd = ::open(path.c_str(),
+                        O_WRONLY | O_CREAT | O_EXCL | O_APPEND | O_CLOEXEC,
+                        0644);
+        if (fd >= 0) {
+            segFd_ = fd;
+            segPath_ = path;
+            return Status();
+        }
+        if (errno != EEXIST)
+            return errnoStatus("store.segment-open", errno);
+    }
+    return Status::internal("cache store: cannot allocate a segment name in '" +
+                            dir_ + "'");
+}
+
+Status CacheStore::append(const EvalKey &key, const EvalCacheEntry &entry)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Status s = ensureSegmentLocked();
+    if (!s.ok())
+        return s;
+    std::string rec = serializeRecord(key, entry);
+    if (fault::shouldFire("store.append.flip")) {
+        // Bit rot: corrupt one payload byte after the checksum was
+        // computed, so loads must detect and quarantine this record.
+        DSA_WARN("fault 'store.append.flip': flipping a byte in '", segPath_,
+                 "'");
+        rec[kRecordHeader + rec.size() / 2 % (rec.size() - kRecordHeader)] ^=
+            0x40;
+    }
+    size_t len = rec.size();
+    if (fault::shouldFire("store.append.tear")) {
+        // Writer killed mid-append: only half the record reaches disk.
+        DSA_WARN("fault 'store.append.tear': writing a torn record to '",
+                 segPath_, "'");
+        len = kRecordHeader + (len - kRecordHeader) / 2;
+    }
+    s = writeAllFd(segFd_, rec.data(), len, "store.append");
+    if (!s.ok())
+        return s;
+    ++stats_.appends;
+    return Status();
+}
+
+void CacheStore::flush()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (segFd_ < 0)
+        return;
+    if (::fsync(segFd_) != 0)
+        DSA_WARN("cache store: fsync('", segPath_,
+                 "') failed: ", std::strerror(errno));
+    ::close(segFd_);
+    segFd_ = -1;
+    segPath_.clear();
+}
+
+Result<bool> CacheStore::acquireLease()
+{
+    std::string lease = dir_ + "/compact.lease";
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        int fd = ::open(lease.c_str(),
+                        O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+        if (fd >= 0) {
+            std::string body = "pid " + std::to_string(::getpid()) + "\n";
+            (void)writeAllFd(fd, body.data(), body.size(), "store.lease");
+            ::close(fd);
+            return true;
+        }
+        if (errno != EEXIST)
+            return errnoStatus("store.lease-open", errno);
+        // Someone holds the lease. Stale if its owner is gone or it
+        // has outlived the staleness bound (a wedged owner).
+        bool stale = false;
+        auto body = readFile(lease);
+        if (body.ok()) {
+            pid_t owner = 0;
+            if (std::sscanf(body->c_str(), "pid %d", &owner) == 1 &&
+                owner > 0 && ::kill(owner, 0) != 0 && errno == ESRCH)
+                stale = true;
+        } else {
+            stale = true; // vanished or unreadable: retry the create
+        }
+        struct stat st;
+        if (!stale && ::stat(lease.c_str(), &st) == 0) {
+            int64_t ageMs =
+                (static_cast<int64_t>(::time(nullptr)) - st.st_mtime) * 1000;
+            if (ageMs > opts_.leaseStaleMs)
+                stale = true;
+        }
+        if (!stale)
+            return false;
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.leaseTakeovers;
+        DSA_WARN("cache store: taking over stale compaction lease '", lease,
+                 "'");
+        ::unlink(lease.c_str());
+    }
+    return false; // lost the takeover race to another process
+}
+
+void CacheStore::releaseLease()
+{
+    ::unlink((dir_ + "/compact.lease").c_str());
+}
+
+Result<bool> CacheStore::compact()
+{
+    auto lease = acquireLease();
+    if (!lease.ok() || !*lease)
+        return lease;
+
+    // Our own write segment must be complete on disk before the merge
+    // reads it (and we want its records in the merged file).
+    flush();
+
+    auto names = listSegments(dir_);
+    if (!names.ok()) {
+        releaseLease();
+        return names.status();
+    }
+    if (names->size() < 2) {
+        releaseLease();
+        return true; // nothing to merge
+    }
+
+    // Dedup by key: entries are pure functions of the key, so any
+    // duplicate's payload is interchangeable (last one wins).
+    std::map<EvalKey, std::string> merged;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const std::string &name : *names) {
+            auto data = readFile(dir_ + "/" + name);
+            if (!data.ok())
+                continue;
+            scanSegment(name, *data, stats_, [&](const EvalStoreRecord &rec) {
+                merged[rec.key] = serializeRecord(rec.key, *rec.entry);
+            });
+        }
+    }
+
+    std::string mergedPath = dir_ + "/seg-" + std::to_string(::getpid()) +
+                             "-merge.dsec";
+    std::string tmp = mergedPath + ".tmp";
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                    0644);
+    if (fd < 0) {
+        int err = errno;
+        releaseLease();
+        return errnoStatus("store.compact-open", err);
+    }
+    for (const auto &[key, rec] : merged) {
+        Status s = writeAllFd(fd, rec.data(), rec.size(), "store.compact");
+        if (!s.ok()) {
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            releaseLease();
+            return s;
+        }
+    }
+    // Same durability order as checkpoints: data, then rename, so a
+    // crash mid-compaction leaves either the old segments or a full
+    // merged one — never a half-written "merged" file under a valid
+    // name.
+    if (::fsync(fd) != 0 || ::close(fd) != 0 ||
+        ::rename(tmp.c_str(), mergedPath.c_str()) != 0) {
+        int err = errno;
+        ::unlink(tmp.c_str());
+        releaseLease();
+        return errnoStatus("store.compact-finish", err);
+    }
+    for (const std::string &name : *names) {
+        if (dir_ + "/" + name != mergedPath)
+            ::unlink((dir_ + "/" + name).c_str());
+    }
+    releaseLease();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.compactions;
+    return true;
+}
+
+void CacheStore::maybeCompact()
+{
+    if (opts_.compactSegments <= 0)
+        return;
+    auto names = listSegments(dir_);
+    if (!names.ok() ||
+        names->size() <= static_cast<size_t>(opts_.compactSegments))
+        return;
+    auto done = compact();
+    if (!done.ok())
+        DSA_WARN("cache store: compaction failed: ", done.status().toString());
+}
+
+CacheStoreStats CacheStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+} // namespace dsa::dse

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Persistent shared eval-cache store for multi-process DSE.
+ *
+ * A store is a directory of append-only *segment* files, each owned by
+ * exactly one writer process (`seg-<pid>-<n>.dsec`), holding one
+ * xxhash64-checksummed record per eval-cache entry keyed by the
+ * canonical fingerprints (EvalKey). Entries are pure functions of
+ * their key, so replaying any subset of any segment set into an
+ * EvalCache is always sound — the store changes how often work is
+ * recomputed, never its results. That property is what lets the
+ * coordinator and N workers share one directory with no record-level
+ * coordination at all: writers never touch each other's segments, and
+ * readers simply scan everything present.
+ *
+ * Torn or corrupt records (a writer killed mid-append, bit rot, a
+ * truncated tail) are *quarantined*: the scanner logs the file and
+ * byte offset, counts the record in CacheStoreStats, resynchronizes on
+ * the next record magic, and keeps going. Corruption can cost cache
+ * warmth, never correctness and never a crash.
+ *
+ * The one multi-writer operation — compacting all segments into one —
+ * is serialized by a lease file (`compact.lease`, O_EXCL-created,
+ * holding the owner pid). A lease whose owner is dead, or older than
+ * CacheStoreOptions::leaseStaleMs, is stale and is taken over.
+ */
+
+#ifndef DSA_DSE_CACHE_STORE_H
+#define DSA_DSE_CACHE_STORE_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "base/status.h"
+#include "dse/eval_cache.h"
+
+namespace dsa::dse {
+
+struct CacheStoreOptions
+{
+    /** Compact (merge + dedup segments) past this many segment files;
+     *  0 disables the maybeCompact() trigger. */
+    int compactSegments = 8;
+    /** A compaction lease older than this is stale and taken over even
+     *  if its owner pid is still alive (a wedged owner must not block
+     *  compaction forever). */
+    int64_t leaseStaleMs = 60000;
+};
+
+/** Store activity counters (feed DseCacheStats::store*). */
+struct CacheStoreStats
+{
+    uint64_t segmentsLoaded = 0;     ///< segment files scanned
+    uint64_t recordsLoaded = 0;      ///< records replayed into a cache
+    uint64_t recordsQuarantined = 0; ///< torn/corrupt records skipped
+    uint64_t appends = 0;            ///< records this process wrote
+    uint64_t compactions = 0;        ///< successful compact() runs
+    uint64_t leaseTakeovers = 0;     ///< stale leases broken
+};
+
+class CacheStore
+{
+  public:
+    explicit CacheStore(std::string dir, CacheStoreOptions opts = {});
+    ~CacheStore(); ///< flushes the write segment
+
+    CacheStore(const CacheStore &) = delete;
+    CacheStore &operator=(const CacheStore &) = delete;
+
+    /** Create the store directory (mkdir -p); call before anything else. */
+    Status open();
+
+    const std::string &dir() const { return dir_; }
+
+    /**
+     * Scan every segment in the store into @p cache (insert-once, so
+     * records already present — e.g. from a checkpoint — are kept).
+     * Quarantines bad records; only I/O-level failures return non-OK.
+     */
+    Status loadInto(EvalCache &cache);
+
+    /** Append one record to this process's segment file (thread-safe). */
+    Status append(const EvalKey &key, const EvalCacheEntry &entry);
+
+    /** fsync + close the current write segment (reopened on next append). */
+    void flush();
+
+    /**
+     * Merge every segment into one (deduplicated by key) under the
+     * compaction lease. Returns false — not an error — when another
+     * live process holds the lease.
+     */
+    Result<bool> compact();
+
+    /** compact() iff the segment count exceeds the configured bound. */
+    void maybeCompact();
+
+    CacheStoreStats stats() const;
+
+  private:
+    Status ensureSegmentLocked();
+    Result<bool> acquireLease();
+    void releaseLease();
+
+    std::string dir_;
+    CacheStoreOptions opts_;
+    mutable std::mutex mu_;
+    CacheStoreStats stats_;
+    int segFd_ = -1;
+    std::string segPath_;
+};
+
+} // namespace dsa::dse
+
+#endif // DSA_DSE_CACHE_STORE_H

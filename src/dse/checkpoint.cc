@@ -1,10 +1,17 @@
 #include "dse/checkpoint.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "base/fault.h"
+#include "base/subprocess.h"
 
 namespace dsa::dse {
 
@@ -162,6 +169,13 @@ optionsToJson(const DseOptions &o)
             Value::number(static_cast<int64_t>(o.paretoFrontSize)));
     doc.set("structuredMoves", Value::boolean(o.structuredMoves));
     doc.set("powerObjectiveWeight", Value::number(o.powerObjectiveWeight));
+    // Multi-process knobs. Like threads, they shape transport only —
+    // never the produced trace — so resuming with different values is
+    // legal, and none of them enter the eval-context hash.
+    doc.set("workers", Value::number(static_cast<int64_t>(o.workers)));
+    doc.set("cacheStoreDir", Value::str(o.cacheStoreDir));
+    doc.set("workerRequestTimeoutMs",
+            Value::number(o.workerRequestTimeoutMs));
     return doc;
 }
 
@@ -201,28 +215,8 @@ evalCacheToJson(const EvalCache &cache)
     // always serialize to the same bytes — checkpoint files stay
     // comparable across runs, thread counts, and resumes.
     Value arr = Value::array();
-    for (const auto &[key, entry] : cache.sortedEntries()) {
-        Value ej = Value::object();
-        ej.set("fpHi", Value::str(u64ToText(key.structural.hi)));
-        ej.set("fpLo", Value::str(u64ToText(key.structural.lo)));
-        ej.set("lab", Value::str(u64ToText(key.labeling)));
-        ej.set("ctx", Value::str(u64ToText(key.context)));
-        ej.set("objective", Value::number(entry->objective));
-        ej.set("perf", Value::number(entry->perf));
-        ej.set("cost", costToJson(entry->cost));
-        Value tasks = Value::array();
-        for (const auto &t : entry->tasks) {
-            Value tj = Value::object();
-            tj.set("lowered", Value::boolean(t.lowered));
-            tj.set("legal", Value::boolean(t.legal));
-            tj.set("cycles", Value::number(t.cycles));
-            if (t.legal)
-                tj.set("sched", scheduleToJson(t.sched));
-            tasks.push(std::move(tj));
-        }
-        ej.set("tasks", std::move(tasks));
-        arr.push(std::move(ej));
-    }
+    for (const auto &[key, entry] : cache.sortedEntries())
+        arr.push(evalEntryToJson(key, *entry));
     return arr;
 }
 
@@ -333,6 +327,24 @@ struct Reader
             return dflt;
         }
         return v->asDouble();
+    }
+
+    /** getString with a default for fields added after version 1. */
+    std::string
+    getStringOr(const Value &obj, const char *key, const std::string &dflt,
+                const char *what)
+    {
+        if (!err.ok() || !obj.isObject())
+            return dflt;
+        const Value *v = obj.find(key);
+        if (!v)
+            return dflt;
+        if (v->kind() != Value::Kind::String) {
+            err = Status::dataLoss(std::string(what) + " field '" + key +
+                                   "' has the wrong type");
+            return dflt;
+        }
+        return v->asString();
     }
 
     /** Full-range uint64 stored as a decimal string (see seed). */
@@ -662,6 +674,13 @@ optionsFromJson(Reader &rd, const Value &doc)
         rd.getBoolOr(doc, "structuredMoves", o.structuredMoves, "options");
     o.powerObjectiveWeight = rd.getDoubleOr(
         doc, "powerObjectiveWeight", o.powerObjectiveWeight, "options");
+    // Multi-process fields postdate all of the above; same tolerance.
+    o.workers =
+        static_cast<int>(rd.getIntOr(doc, "workers", o.workers, "options"));
+    o.cacheStoreDir =
+        rd.getStringOr(doc, "cacheStoreDir", o.cacheStoreDir, "options");
+    o.workerRequestTimeoutMs = rd.getIntOr(
+        doc, "workerRequestTimeoutMs", o.workerRequestTimeoutMs, "options");
     return o;
 }
 
@@ -702,6 +721,43 @@ frontFromJson(Reader &rd, const Value &doc)
     return ParetoFront::restore(refA, refP, maxSize, std::move(points));
 }
 
+/** Shared per-entry reader (checkpoint eval-cache array + store records). */
+bool
+readEvalEntry(Reader &rd, const Value &ej, EvalKey &key, EvalCacheEntry &entry)
+{
+    key.structural.hi = rd.getU64(ej, "fpHi", "eval cache entry");
+    key.structural.lo = rd.getU64(ej, "fpLo", "eval cache entry");
+    key.labeling = rd.getU64(ej, "lab", "eval cache entry");
+    key.context = rd.getU64(ej, "ctx", "eval cache entry");
+    entry.objective = rd.getDouble(ej, "objective", "eval cache entry");
+    entry.perf = rd.getDouble(ej, "perf", "eval cache entry");
+    entry.cost = costFromJson(rd, ej, "cost", "eval cache entry");
+    const Value *tasks =
+        rd.field(ej, "tasks", Value::Kind::Array, "eval cache entry");
+    if (!tasks)
+        return false;
+    for (size_t j = 0; j < tasks->size(); ++j) {
+        const Value *tj =
+            rd.elem(*tasks, j, Value::Kind::Object, "eval cache task");
+        if (!tj)
+            return false;
+        EvalTaskOutcome t;
+        t.lowered = rd.getBool(*tj, "lowered", "eval cache task");
+        t.legal = rd.getBool(*tj, "legal", "eval cache task");
+        t.cycles = rd.getDouble(*tj, "cycles", "eval cache task");
+        if (rd.err.ok() && t.legal) {
+            const Value *sj =
+                rd.field(*tj, "sched", Value::Kind::Object, "eval cache task");
+            if (sj)
+                t.sched = scheduleFromJson(rd, *sj);
+        }
+        if (!rd.err.ok())
+            return false;
+        entry.tasks.push_back(std::move(t));
+    }
+    return rd.err.ok();
+}
+
 std::shared_ptr<EvalCache>
 evalCacheFromJson(Reader &rd, const Value &arr)
 {
@@ -711,38 +767,8 @@ evalCacheFromJson(Reader &rd, const Value &arr)
         if (!ej)
             break;
         EvalKey key;
-        key.structural.hi = rd.getU64(*ej, "fpHi", "eval cache entry");
-        key.structural.lo = rd.getU64(*ej, "fpLo", "eval cache entry");
-        key.labeling = rd.getU64(*ej, "lab", "eval cache entry");
-        key.context = rd.getU64(*ej, "ctx", "eval cache entry");
         EvalCacheEntry entry;
-        entry.objective = rd.getDouble(*ej, "objective", "eval cache entry");
-        entry.perf = rd.getDouble(*ej, "perf", "eval cache entry");
-        entry.cost = costFromJson(rd, *ej, "cost", "eval cache entry");
-        const Value *tasks =
-            rd.field(*ej, "tasks", Value::Kind::Array, "eval cache entry");
-        if (!tasks)
-            break;
-        for (size_t j = 0; j < tasks->size(); ++j) {
-            const Value *tj =
-                rd.elem(*tasks, j, Value::Kind::Object, "eval cache task");
-            if (!tj)
-                break;
-            EvalTaskOutcome t;
-            t.lowered = rd.getBool(*tj, "lowered", "eval cache task");
-            t.legal = rd.getBool(*tj, "legal", "eval cache task");
-            t.cycles = rd.getDouble(*tj, "cycles", "eval cache task");
-            if (rd.err.ok() && t.legal) {
-                const Value *sj = rd.field(*tj, "sched", Value::Kind::Object,
-                                           "eval cache task");
-                if (sj)
-                    t.sched = scheduleFromJson(rd, *sj);
-            }
-            if (!rd.err.ok())
-                break;
-            entry.tasks.push_back(std::move(t));
-        }
-        if (!rd.err.ok())
+        if (!readEvalEntry(rd, *ej, key, entry))
             break;
         cache->restore(key,
                        std::make_shared<EvalCacheEntry>(std::move(entry)));
@@ -751,6 +777,113 @@ evalCacheFromJson(Reader &rd, const Value &arr)
 }
 
 } // namespace
+
+Value
+evalEntryToJson(const EvalKey &key, const EvalCacheEntry &entry)
+{
+    Value ej = Value::object();
+    ej.set("fpHi", Value::str(u64ToText(key.structural.hi)));
+    ej.set("fpLo", Value::str(u64ToText(key.structural.lo)));
+    ej.set("lab", Value::str(u64ToText(key.labeling)));
+    ej.set("ctx", Value::str(u64ToText(key.context)));
+    ej.set("objective", Value::number(entry.objective));
+    ej.set("perf", Value::number(entry.perf));
+    ej.set("cost", costToJson(entry.cost));
+    Value tasks = Value::array();
+    for (const auto &t : entry.tasks) {
+        Value tj = Value::object();
+        tj.set("lowered", Value::boolean(t.lowered));
+        tj.set("legal", Value::boolean(t.legal));
+        tj.set("cycles", Value::number(t.cycles));
+        if (t.legal)
+            tj.set("sched", scheduleToJson(t.sched));
+        tasks.push(std::move(tj));
+    }
+    ej.set("tasks", std::move(tasks));
+    return ej;
+}
+
+Result<EvalStoreRecord>
+evalEntryFromJson(const Value &doc)
+{
+    Reader rd;
+    EvalKey key;
+    EvalCacheEntry entry;
+    if (!doc.isObject())
+        return Status::dataLoss("eval cache entry is not an object");
+    readEvalEntry(rd, doc, key, entry);
+    if (!rd.err.ok())
+        return rd.err;
+    EvalStoreRecord rec;
+    rec.key = key;
+    rec.entry = std::make_shared<EvalCacheEntry>(std::move(entry));
+    return rec;
+}
+
+Value
+scheduleCacheToJson(const ScheduleCache &cache)
+{
+    Value arr = Value::array();
+    for (const auto &[key, entry] : cache) {
+        Value ej = Value::object();
+        ej.set("k", Value::number(static_cast<int64_t>(key.first)));
+        ej.set("u", Value::number(static_cast<int64_t>(key.second)));
+        ej.set("hasLegal", Value::boolean(entry.hasLegal));
+        if (entry.hasLegal)
+            ej.set("sched", scheduleToJson(entry.sched));
+        arr.push(std::move(ej));
+    }
+    return arr;
+}
+
+Result<ScheduleCache>
+scheduleCacheFromJson(const Value &arr)
+{
+    Reader rd;
+    ScheduleCache cache;
+    if (!arr.isArray())
+        return Status::dataLoss("schedule cache is not an array");
+    for (size_t i = 0; i < arr.size(); ++i) {
+        const Value *ej = rd.elem(arr, i, Value::Kind::Object,
+                                  "schedule cache");
+        if (!ej)
+            break;
+        int k = static_cast<int>(rd.getInt(*ej, "k", "schedule cache entry"));
+        int u = static_cast<int>(rd.getInt(*ej, "u", "schedule cache entry"));
+        ScheduleCacheEntry entry;
+        entry.hasLegal = rd.getBool(*ej, "hasLegal", "schedule cache entry");
+        if (rd.err.ok() && entry.hasLegal) {
+            const Value *sj = rd.field(*ej, "sched", Value::Kind::Object,
+                                       "schedule cache entry");
+            if (sj)
+                entry.sched = scheduleFromJson(rd, *sj);
+        }
+        if (!rd.err.ok())
+            break;
+        cache[{k, u}] = std::move(entry);
+    }
+    if (!rd.err.ok())
+        return rd.err;
+    return cache;
+}
+
+Value
+dseOptionsToJson(const DseOptions &opts)
+{
+    return optionsToJson(opts);
+}
+
+Result<DseOptions>
+dseOptionsFromJson(const Value &doc)
+{
+    Reader rd;
+    if (!doc.isObject())
+        return Status::dataLoss("options is not an object");
+    DseOptions o = optionsFromJson(rd, doc);
+    if (!rd.err.ok())
+        return rd.err;
+    return o;
+}
 
 Value
 checkpointToJson(const std::vector<std::string> &workloadNames,
@@ -775,17 +908,7 @@ checkpointToJson(const std::vector<std::string> &workloadNames,
     st.set("acceptedSinceCkpt",
            Value::number(static_cast<int64_t>(state.acceptedSinceCkpt)));
     st.set("rng", Value::str(state.rng.saveState()));
-    Value cache = Value::array();
-    for (const auto &[key, entry] : state.schedules) {
-        Value ej = Value::object();
-        ej.set("k", Value::number(static_cast<int64_t>(key.first)));
-        ej.set("u", Value::number(static_cast<int64_t>(key.second)));
-        ej.set("hasLegal", Value::boolean(entry.hasLegal));
-        if (entry.hasLegal)
-            ej.set("sched", scheduleToJson(entry.sched));
-        cache.push(std::move(ej));
-    }
-    st.set("schedules", std::move(cache));
+    st.set("schedules", scheduleCacheToJson(state.schedules));
     st.set("result", resultToJson(state.result));
     // Scalar runs carry a default-constructed (zero-capacity) front;
     // serializing it would fail restore()'s invariants, so it is
@@ -848,28 +971,12 @@ checkpointFromJson(const Value &doc)
         const Value *cache =
             rd.field(*st, "schedules", Value::Kind::Array, "state");
         if (cache) {
-            for (size_t i = 0; i < cache->size(); ++i) {
-                const Value *ej =
-                    rd.elem(*cache, i, Value::Kind::Object, "schedule cache");
-                if (!ej)
-                    break;
-                int k = static_cast<int>(
-                    rd.getInt(*ej, "k", "schedule cache entry"));
-                int u = static_cast<int>(
-                    rd.getInt(*ej, "u", "schedule cache entry"));
-                ScheduleCacheEntry entry;
-                entry.hasLegal =
-                    rd.getBool(*ej, "hasLegal", "schedule cache entry");
-                if (rd.err.ok() && entry.hasLegal) {
-                    const Value *sj = rd.field(*ej, "sched",
-                                               Value::Kind::Object,
-                                               "schedule cache entry");
-                    if (sj)
-                        entry.sched = scheduleFromJson(rd, *sj);
-                }
-                if (!rd.err.ok())
-                    break;
-                ck.state.schedules[{k, u}] = std::move(entry);
+            auto sc = scheduleCacheFromJson(*cache);
+            if (!sc.ok()) {
+                if (rd.err.ok())
+                    rd.err = sc.status();
+            } else {
+                ck.state.schedules = std::move(sc.value());
             }
         }
         const Value *res =
@@ -914,21 +1021,65 @@ saveCheckpoint(const std::vector<std::string> &workloadNames,
                const std::string &path)
 {
     std::string text = checkpointToJson(workloadNames, opts, state).dump();
+    text += '\n';
     std::string tmp = path + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out)
-            return Status::internal("cannot open '" + tmp + "' for writing");
-        out << text << '\n';
-        out.flush();
-        if (!out)
-            return Status::internal("short write to '" + tmp + "'");
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                    0644);
+    if (fd < 0)
+        return errnoStatus("checkpoint.open", errno);
+    size_t off = 0;
+    while (off < text.size()) {
+        ssize_t n = ::write(fd, text.data() + off, text.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            int err = errno;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return errnoStatus("checkpoint.write", err);
+        }
+        off += static_cast<size_t>(n);
     }
+    if (fault::shouldFire("checkpoint.tear")) {
+        // Simulated power loss mid-save: leave a torn temp file behind
+        // and bail before the rename — the previous checkpoint must
+        // stay loadable.
+        (void)::ftruncate(fd, static_cast<off_t>(text.size() / 2));
+        ::close(fd);
+        return Status::dataLoss("fault-injected torn write to '" + tmp + "'");
+    }
+    // The rename-is-atomic trick only yields a durable checkpoint if
+    // the temp file's *data* reaches disk before the rename does:
+    // otherwise a power loss can promote a zero-length temp file into
+    // a "valid" checkpoint.
+    if (::fsync(fd) != 0) {
+        int err = errno;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return errnoStatus("checkpoint.fsync", err);
+    }
+    if (::close(fd) != 0)
+        return errnoStatus("checkpoint.close", errno);
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        int err = errno;
         std::remove(tmp.c_str());
-        return Status::internal("cannot rename '" + tmp + "' to '" + path +
-                                "'");
+        return errnoStatus("checkpoint.rename", err);
     }
+    // And the rename itself lives in the directory, which has its own
+    // write-back cache; fsync it so the new name survives power loss.
+    size_t slash = path.find_last_of('/');
+    std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+    if (dir.empty())
+        dir = "/";
+    int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd < 0)
+        return errnoStatus("checkpoint.dir-open", errno);
+    if (::fsync(dfd) != 0) {
+        int err = errno;
+        ::close(dfd);
+        return errnoStatus("checkpoint.dir-fsync", err);
+    }
+    ::close(dfd);
     return Status();
 }
 

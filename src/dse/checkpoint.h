@@ -50,6 +50,42 @@ json::Value checkpointToJson(const std::vector<std::string> &workloadNames,
                              const DseOptions &opts,
                              const DseRunState &state);
 
+/// @name Shared serializers
+/// The checkpoint format's building blocks, exported for the two other
+/// consumers that must speak exactly the same bytes: the worker-pool
+/// pipe protocol (ships options + the repair cache to workers and eval
+/// outcomes back) and the on-disk eval-cache store (one evalEntry JSON
+/// document per segment record). Round-trips are exact — the
+/// bit-identity of multi-process runs rests on it.
+/// @{
+
+/** Serialize a per-(kernel,unroll) repair cache. */
+json::Value scheduleCacheToJson(const ScheduleCache &cache);
+
+/** Rebuild a repair cache; DataLoss on corrupt input. */
+Result<ScheduleCache> scheduleCacheFromJson(const json::Value &arr);
+
+/** Serialize exploration options (test-only knobs excluded). */
+json::Value dseOptionsToJson(const DseOptions &opts);
+
+/** Rebuild exploration options; DataLoss on corrupt input. */
+Result<DseOptions> dseOptionsFromJson(const json::Value &doc);
+
+/** One eval-cache entry with its key (a cache-store segment record). */
+struct EvalStoreRecord
+{
+    EvalKey key;
+    std::shared_ptr<const EvalCacheEntry> entry;
+};
+
+/** Serialize one eval-cache entry with its key. */
+json::Value evalEntryToJson(const EvalKey &key, const EvalCacheEntry &entry);
+
+/** Rebuild an eval-cache record; DataLoss on corrupt input. */
+Result<EvalStoreRecord> evalEntryFromJson(const json::Value &doc);
+
+/// @}
+
 /** Rebuild a checkpoint from a parsed document; DataLoss on corrupt. */
 Result<DseCheckpoint> checkpointFromJson(const json::Value &doc);
 

@@ -8,9 +8,12 @@
 #include <utility>
 
 #include "adg/subgraph.h"
+#include "base/fault.h"
 #include "base/hashing.h"
 #include "base/logging.h"
+#include "dse/cache_store.h"
 #include "dse/checkpoint.h"
+#include "dse/worker_pool.h"
 #include "model/host_model.h"
 #include "model/perf_model.h"
 #include "model/regression.h"
@@ -25,6 +28,25 @@ using adg::NodeKind;
 using adg::Scheduling;
 using adg::Sharing;
 using adg::SyncDir;
+
+namespace {
+
+/** Copy pool counters (and its first transport error) into a result. */
+void
+mergeWorkerStats(const WorkerPoolStats &ws, DseResult &r)
+{
+    r.workerStats.spawned = ws.spawned;
+    r.workerStats.dispatched = ws.dispatched;
+    r.workerStats.redispatched = ws.redispatched;
+    r.workerStats.restarts = ws.restarts;
+    r.workerStats.degraded = ws.degraded;
+    r.workerStats.deaths = ws.deaths;
+    r.workerStats.timeouts = ws.timeouts;
+    if (r.status.ok() && !ws.firstError.ok())
+        r.status = ws.firstError;
+}
+
+} // namespace
 
 Explorer::Explorer(std::vector<const workloads::Workload *> wls,
                    DseOptions opts)
@@ -61,7 +83,22 @@ Explorer::Explorer(std::vector<const workloads::Workload *> wls,
     // runs with different weights must never share entries.
     sig = hashCombine(sig, std::bit_cast<uint64_t>(opts_.powerObjectiveWeight));
     workloadSig_ = sig;
+
+    // The shared store only changes how often evaluations recompute,
+    // never what they produce — so an unopenable store degrades to a
+    // warning, not a failed exploration.
+    if (!opts_.cacheStoreDir.empty()) {
+        cacheStore_ = std::make_unique<CacheStore>(opts_.cacheStoreDir);
+        Status s = cacheStore_->open();
+        if (!s.ok()) {
+            DSA_WARN("eval-cache store '", opts_.cacheStoreDir,
+                     "' unavailable, continuing without it: ", s.toString());
+            cacheStore_.reset();
+        }
+    }
 }
+
+Explorer::~Explorer() = default;
 
 EvalKey
 Explorer::makeEvalKey(const Adg &adg, const ScheduleCache &scheds,
@@ -137,6 +174,13 @@ Explorer::recordCacheStats(DseRunState &st)
     cs.costHits = ms.hits;
     cs.costMisses = ms.misses;
     cs.dedupCollapsed = dedupCollapsed_;
+    if (cacheStore_) {
+        CacheStoreStats ss = cacheStore_->stats();
+        cs.storeLoaded = ss.recordsLoaded;
+        cs.storeQuarantined = ss.recordsQuarantined;
+        cs.storeAppends = ss.appends;
+        cs.storeSegments = ss.segmentsLoaded;
+    }
     st.result.cacheStats = cs;
 }
 
@@ -148,6 +192,12 @@ Explorer::finalizeResult(DseRunState &st)
         st.result.front.push_back(
             {p.perf, p.areaMm2, p.powerMw, p.objective, p.iter});
     st.result.frontHypervolume = st.front.hypervolume();
+    if (workerPool_)
+        mergeWorkerStats(workerPool_->stats(), st.result);
+    if (cacheStore_) {
+        cacheStore_->flush();
+        cacheStore_->maybeCompact();
+    }
     recordCacheStats(st);
 }
 
@@ -159,6 +209,40 @@ Explorer::workloadNames() const
     for (const auto *w : workloads_)
         names.push_back(w->name);
     return names;
+}
+
+void
+Explorer::replayEvalEntry(const EvalCacheEntry &entry,
+                          ScheduleCache &scheds) const
+{
+    // Task t is (kernel t / |unrolls|, unroll t % |unrolls|) — the
+    // exact flattening evaluateDesign builds its task list with. The
+    // reduction mirrors the live path: an illegal attempt leaves any
+    // previous legal schedule in place as the repair seed.
+    size_t nu = opts_.unrollFactors.size();
+    for (size_t t = 0; t < entry.tasks.size(); ++t) {
+        const EvalTaskOutcome &out = entry.tasks[t];
+        if (!out.lowered)
+            continue;
+        int k = static_cast<int>(t / nu);
+        int u = opts_.unrollFactors[t % nu];
+        auto &e = scheds[{k, u}];
+        if (out.legal) {
+            e.sched = out.sched;
+            e.hasLegal = true;
+        }
+    }
+}
+
+void
+Explorer::warmFromStore(EvalCache &cache)
+{
+    if (!cacheStore_)
+        return;
+    Status s = cacheStore_->loadInto(cache);
+    if (!s.ok())
+        DSA_WARN("eval-cache store '", opts_.cacheStoreDir,
+                 "' load failed, continuing cold: ", s.toString());
 }
 
 double
@@ -202,16 +286,7 @@ Explorer::evaluateDesign(const Adg &adg, ScheduleCache &scheds,
         if (auto hit = cache->find(key)) {
             DSA_ASSERT(hit->tasks.size() == tasks.size(),
                        "eval-cache entry has the wrong task count");
-            for (size_t t = 0; t < tasks.size(); ++t) {
-                const EvalTaskOutcome &out = hit->tasks[t];
-                if (!out.lowered)
-                    continue;
-                auto &entry = scheds[{tasks[t].k, tasks[t].u}];
-                if (out.legal) {
-                    entry.sched = out.sched;
-                    entry.hasLegal = true;
-                }
-            }
+            replayEvalEntry(*hit, scheds);
             if (statusOut)
                 *statusOut = Status();
             if (perfOut)
@@ -375,6 +450,14 @@ Explorer::evaluateDesign(const Adg &adg, ScheduleCache &scheds,
         entry->perf = perf;
         entry->cost = cost;
         entry->tasks = std::move(recorded);
+        // Fresh evaluations also go to the shared store, so other
+        // processes (and future runs) never re-pay this one. Append
+        // failures only cost warmth; a warning is all they get.
+        if (cacheStore_) {
+            Status as = cacheStore_->append(key, *entry);
+            if (!as.ok())
+                DSA_WARN("eval-cache store append failed: ", as.toString());
+        }
         cache->insert(key, std::move(entry));
     }
 
@@ -731,6 +814,11 @@ Explorer::run(const Adg &initial, std::shared_ptr<EvalCache> warmCache)
     if (opts_.evalCache)
         st.evalCache =
             warmCache ? std::move(warmCache) : std::make_shared<EvalCache>();
+    // Warm before the very first evaluation: entries other processes
+    // banked in the shared store are work this run never redoes
+    // (insert-once, so the caller's warmCache entries win).
+    if (st.evalCache)
+        warmFromStore(*st.evalCache);
     if (opts_.pareto)
         st.front = ParetoFront(opts_.areaBudgetMm2, opts_.powerBudgetMw,
                                std::max(2, opts_.paretoFrontSize));
@@ -799,6 +887,10 @@ DseResult
 Explorer::resume(DseRunState state)
 {
     try {
+        if (opts_.evalCache && !state.evalCache)
+            state.evalCache = std::make_shared<EvalCache>();
+        if (state.evalCache)
+            warmFromStore(*state.evalCache);
         return runLoop(state);
     } catch (...) {
         state.result.status = Status::fromCurrentException();
@@ -835,6 +927,28 @@ Explorer::runLoop(DseRunState &st)
         st.evalCache = std::make_shared<EvalCache>();
     EvalCache *evalCache = opts_.evalCache ? st.evalCache.get() : nullptr;
 
+    if (opts_.workers > 0 && !workerPool_) {
+        WorkerPoolOptions wo;
+        wo.workers = opts_.workers;
+        wo.workloadNames = workloadNames();
+        wo.dse = opts_;
+        wo.dse.evalFaultHook = nullptr; // process-local, not shippable
+        wo.extraEnv = opts_.workerEnv;
+        wo.requestTimeoutMs = opts_.workerRequestTimeoutMs;
+        workerPool_ = std::make_unique<WorkerPool>(std::move(wo));
+        Status ps = workerPool_->start();
+        if (!ps.ok()) {
+            // The bottom of the degradation ladder: no subprocess at
+            // all. Same results, one process, and a visible status.
+            DSA_WARN("dse worker pool failed to start; evaluating "
+                     "in-process: ", ps.toString());
+            mergeWorkerStats(workerPool_->stats(), result);
+            if (result.status.ok())
+                result.status = ps;
+            workerPool_.reset();
+        }
+    }
+
     // Same for the front: a pre-pareto checkpoint resumed with pareto
     // on starts an empty archive against this run's budgets.
     if (opts_.pareto && st.front.maxSize() == 0)
@@ -853,6 +967,10 @@ Explorer::runLoop(DseRunState &st)
     // their own consecutive-rejection cap to bound runtime instead.
     result.stopReason = "max-iters";
     while (st.iter < opts_.maxIters) {
+        // Crash lever for kill-and-resume tests: die between steps,
+        // exactly where a power loss would leave the last checkpoint
+        // as the only surviving state.
+        fault::maybeKill("dse.step.kill");
         if (st.noImprove >= opts_.noImproveExit) {
             result.stopReason = "no-improve";
             break;
@@ -941,13 +1059,88 @@ Explorer::runLoop(DseRunState &st)
         // Cache note: deduped leaders have pairwise-distinct keys and
         // the pre-batch cache state is fixed, so concurrent lookups
         // and inserts are deterministic, not just race-safe.
-        pool_->parallelFor(evalIdx.size(), [&](size_t e) {
-            Candidate &c = cands[evalIdx[e]];
-            c.cache = st.schedules;  // repair from the current mapping
-            c.objective = evaluateDesign(c.adg, c.cache, opts_.useRepair,
-                                         &c.perf, &c.cost, &c.evalStatus,
-                                         evalCache, &c.cost);
-        });
+        if (!workerPool_) {
+            pool_->parallelFor(evalIdx.size(), [&](size_t e) {
+                Candidate &c = cands[evalIdx[e]];
+                c.cache = st.schedules; // repair from the current mapping
+                c.objective = evaluateDesign(c.adg, c.cache, opts_.useRepair,
+                                             &c.perf, &c.cost, &c.evalStatus,
+                                             evalCache, &c.cost);
+            });
+        } else {
+            // Crash-isolated evaluation: leaders ship to worker
+            // subprocesses and come back as serialized eval-cache
+            // entries, replayed here through the same path a cache hit
+            // takes — so the trace is the in-process trace, bit for
+            // bit, whatever the workers live through.
+            std::vector<EvalKey> keys(evalIdx.size());
+            for (size_t e = 0; e < evalIdx.size(); ++e)
+                keys[e] = makeEvalKey(cands[evalIdx[e]].adg, st.schedules,
+                                      opts_.useRepair);
+            // Applies a memoized outcome to candidate e (a coordinator
+            // cache hit or a worker reply).
+            auto applyEntry =
+                [&](size_t e,
+                    const std::shared_ptr<const EvalCacheEntry> &entry) {
+                    Candidate &c = cands[evalIdx[e]];
+                    c.cache = st.schedules;
+                    replayEvalEntry(*entry, c.cache);
+                    c.perf = entry->perf;
+                    c.objective = entry->objective;
+                    c.cost = entry->cost;
+                    c.evalStatus = Status();
+                };
+            // The degradation floor (and the ground truth for any
+            // worker-side eval fault): evaluate right here.
+            std::vector<char> done(evalIdx.size(), 0);
+            auto inProcess = [&](size_t e) -> WorkerEvalOutcome {
+                Candidate &c = cands[evalIdx[e]];
+                c.cache = st.schedules;
+                c.objective = evaluateDesign(c.adg, c.cache, opts_.useRepair,
+                                             &c.perf, &c.cost, &c.evalStatus,
+                                             evalCache, &c.cost);
+                done[e] = 1;
+                WorkerEvalOutcome o;
+                o.status = c.evalStatus;
+                if (evalCache && c.evalStatus.ok())
+                    o.entry = evalCache->find(keys[e]);
+                return o;
+            };
+            std::vector<const Adg *> ship;
+            std::vector<size_t> shipIdx;
+            for (size_t e = 0; e < evalIdx.size(); ++e) {
+                std::shared_ptr<const EvalCacheEntry> hit =
+                    evalCache ? evalCache->find(keys[e]) : nullptr;
+                if (hit) {
+                    applyEntry(e, hit);
+                    done[e] = 1;
+                } else {
+                    ship.push_back(&cands[evalIdx[e]].adg);
+                    shipIdx.push_back(e);
+                }
+            }
+            if (!ship.empty()) {
+                auto outs = workerPool_->evaluateBatch(
+                    ship, st.schedules, opts_.useRepair,
+                    [&](size_t j) { return inProcess(shipIdx[j]); });
+                for (size_t j = 0; j < outs.size(); ++j) {
+                    size_t e = shipIdx[j];
+                    if (done[e])
+                        continue; // degraded: already evaluated here
+                    const WorkerEvalOutcome &o = outs[j];
+                    if (!o.status.ok() || !o.entry) {
+                        // A worker-side eval fault (e.g. a candidate
+                        // timeout) is re-established locally so its
+                        // semantics match the in-process run exactly.
+                        inProcess(e);
+                        continue;
+                    }
+                    applyEntry(e, o.entry);
+                    if (evalCache)
+                        evalCache->insert(keys[e], o.entry);
+                }
+            }
+        }
         for (auto [copy, leader] : dups) {
             Candidate &c = cands[copy];
             const Candidate &l = cands[leader];

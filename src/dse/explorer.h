@@ -183,6 +183,48 @@ struct DseOptions
     std::function<void(int kernel, int unroll)> evalFaultHook;
     /// @}
 
+    /// @name Multi-process evaluation & the shared eval-cache store
+    /// Crash isolation for the batch-evaluation axis: candidates are
+    /// sharded over supervised worker *subprocesses*, so a candidate
+    /// that segfaults, gets OOM-killed, or wedges the scheduler takes
+    /// down a worker — which the coordinator restarts — instead of the
+    /// exploration. Like `threads`, none of these knobs can change the
+    /// produced trace: a worker's reply is a serialized eval-cache
+    /// entry replayed through the cache-hit path, and every transport
+    /// failure re-evaluates the shard elsewhere (another worker, a
+    /// restarted one, or in-process) with identical results. None of
+    /// them enter the eval-context hash.
+    /// @{
+    /**
+     * Worker subprocesses for candidate evaluation (0 = evaluate
+     * in-process, the default). Results are bit-identical for any
+     * value, including under worker crashes.
+     */
+    int workers = 0;
+    /**
+     * When non-empty, a directory of append-only, checksummed
+     * eval-cache segments shared by the coordinator, its workers, and
+     * any concurrent or future run pointed at the same path. Loaded
+     * into the eval cache at run start; every fresh evaluation is
+     * appended. Corrupt records are quarantined (counted in
+     * DseCacheStats::storeQuarantined), never trusted and never fatal.
+     */
+    std::string cacheStoreDir;
+    /**
+     * Per-request watchdog on worker replies (0 = unlimited). A shard
+     * whose worker exceeds it is SIGKILLed and re-evaluated elsewhere;
+     * like candidateTimeMs this trades nothing but latency — the
+     * retry produces the same bits.
+     */
+    int64_t workerRequestTimeoutMs = 0;
+    /**
+     * Test knob: extra `KEY=VALUE` environment entries for worker
+     * subprocesses (fault injection via DSA_FAULT). Not serialized
+     * into checkpoints.
+     */
+    std::vector<std::string> workerEnv;
+    /// @}
+
     /// @name Evaluation memoization
     /// All four fast paths preserve bit-identical exploration results
     /// (same best design, objective trajectory, checkpoints, and
@@ -292,6 +334,28 @@ struct DseCacheStats
     uint64_t costMisses = 0;
     /** Batch mutants collapsed onto an identical leader. */
     uint64_t dedupCollapsed = 0;
+    /// @name Shared eval-cache store activity (DseOptions::cacheStoreDir)
+    /// @{
+    uint64_t storeLoaded = 0;      ///< records warm-loaded at run start
+    uint64_t storeQuarantined = 0; ///< torn/corrupt records skipped
+    uint64_t storeAppends = 0;     ///< records this process appended
+    uint64_t storeSegments = 0;    ///< segment files scanned at load
+    /// @}
+};
+
+/**
+ * Worker-pool activity of one run (DseOptions::workers > 0; all zero
+ * otherwise). Observability only — never part of the resumable state.
+ */
+struct DseWorkerStats
+{
+    uint64_t spawned = 0;      ///< worker processes started (incl. restarts)
+    uint64_t dispatched = 0;   ///< shards sent to workers
+    uint64_t redispatched = 0; ///< shard retries after worker failures
+    uint64_t restarts = 0;     ///< workers restarted by the recovery ladder
+    uint64_t degraded = 0;     ///< candidates degraded to in-process eval
+    uint64_t deaths = 0;       ///< worker deaths observed mid-request
+    uint64_t timeouts = 0;     ///< reply watchdog expiries
 };
 
 /** Exploration outcome. */
@@ -336,6 +400,10 @@ struct DseResult
     std::map<std::string, double> simSpeedups;
     /** Cache hit/miss/insert counters (see DseCacheStats). */
     DseCacheStats cacheStats;
+    /** Worker-pool counters (zero when DseOptions::workers == 0). The
+     *  pool's first transport error also lands in `status` — visible,
+     *  but it never changed a result (the ladder re-evaluated). */
+    DseWorkerStats workerStats;
 };
 
 /**
@@ -372,12 +440,16 @@ struct DseRunState
     std::shared_ptr<EvalCache> evalCache;
 };
 
+class CacheStore; // dse/cache_store.h
+class WorkerPool; // dse/worker_pool.h
+
 /** Hardware/software co-design explorer over a set of workloads. */
 class Explorer
 {
   public:
     Explorer(std::vector<const workloads::Workload *> workloads,
              DseOptions opts = {});
+    ~Explorer();
 
     /**
      * Run the exploration from @p initial. @p warmCache optionally
@@ -465,6 +537,23 @@ class Explorer
     EvalKey makeEvalKey(const adg::Adg &adg, const ScheduleCache &schedules,
                         bool repair) const;
 
+    /**
+     * Apply a memoized evaluation outcome to @p schedules, exactly as
+     * the cache-hit path in evaluateDesign would: per-task, a lowered
+     * result marks the version attempted and a legal one installs its
+     * schedule. Shared by the hit path and the worker-pool coordinator
+     * (a worker reply IS an entry), so both leave the repair cache in
+     * the state a local recomputation would have.
+     */
+    void replayEvalEntry(const EvalCacheEntry &entry,
+                         ScheduleCache &schedules) const;
+
+    /**
+     * Warm @p cache from the shared store (DseOptions::cacheStoreDir;
+     * no-op without one). Insert-once under entries already present.
+     */
+    void warmFromStore(EvalCache &cache);
+
   private:
     /** Main exploration loop, shared by run() and resume(). */
     DseResult runLoop(DseRunState &st);
@@ -500,6 +589,12 @@ class Explorer
     model::IncrementalFabricCost pricer_;
     /** Batch mutants collapsed by dedup (for DseCacheStats). */
     uint64_t dedupCollapsed_ = 0;
+    /** Shared on-disk eval-cache store (null without cacheStoreDir). */
+    std::unique_ptr<CacheStore> cacheStore_;
+    /** Worker-subprocess pool (null until a run with workers > 0
+     *  starts one; dropped — with a recorded status — if every worker
+     *  fails, degrading the run to in-process evaluation). */
+    std::unique_ptr<WorkerPool> workerPool_;
 };
 
 } // namespace dsa::dse

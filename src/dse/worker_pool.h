@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Crash-isolated multi-process candidate evaluation.
+ *
+ * A WorkerPool supervises N worker subprocesses (the host binary
+ * re-exec'ed with the `__dse-worker` argv marker), speaking a JSON
+ * pipe protocol in Subprocess frames:
+ *
+ *   coordinator -> worker   {type:"init", workloads:[...], options:{...}}
+ *   worker -> coordinator   {type:"ready"}
+ *   coordinator -> worker   {type:"eval", id:N, repair:b,
+ *                            schedules:[...], cands:["<adg text>", ...]}
+ *   worker -> coordinator   {type:"result", id:N,
+ *                            results:[{code,msg,entry?}, ...]}
+ *   coordinator -> worker   {type:"shutdown"}
+ *
+ * Each eval result's `entry` is a full EvalCacheEntry document — the
+ * same bytes the eval cache serializes into checkpoints. The
+ * coordinator replays it through the cache-hit path, so a worker-
+ * evaluated candidate updates the exploration state through exactly
+ * the code a local evaluation would have used: traces are bit-
+ * identical to `--workers 0` by construction.
+ *
+ * Failure handling per shard (a worker death, pipe EOF, corrupt frame,
+ * or response timeout) walks a capped-backoff ladder:
+ *   1. re-dispatch the shard to the next live worker;
+ *   2. restart the dead worker (up to maxRestarts) and re-dispatch;
+ *   3. degrade: evaluate the shard in-process via the caller-supplied
+ *      fallback.
+ * Workers are stateless between requests (each eval ships the full
+ * repair cache), so any retry is safe, and every rung produces the
+ * same entries — only latency differs.
+ */
+
+#ifndef DSA_DSE_WORKER_POOL_H
+#define DSA_DSE_WORKER_POOL_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/json.h"
+#include "base/status.h"
+#include "base/subprocess.h"
+#include "dse/eval_cache.h"
+#include "dse/explorer.h"
+
+namespace dsa::dse {
+
+struct WorkerPoolOptions
+{
+    /** Worker subprocesses to supervise (>= 1). */
+    int workers = 1;
+    /** Binary to exec (default: this process's executable). */
+    std::string program;
+    /** argv[1] marker the binary's main() dispatches on. */
+    std::string workerArg = "__dse-worker";
+    /** Workload names the workers resolve via the registry. */
+    std::vector<std::string> workloadNames;
+    /** Options shipped to workers (already shaped: workers=0 etc.). */
+    DseOptions dse;
+    /** Extra child environment (`KEY=VALUE`; the fault-injection knob). */
+    std::vector<std::string> extraEnv;
+    /** Per-request response watchdog (0 = unlimited). */
+    int64_t requestTimeoutMs = 0;
+    /** Worker restarts per shard before degrading to in-process. */
+    int maxRestarts = 2;
+    /** Capped exponential backoff between shard retries. */
+    int64_t backoffBaseMs = 10;
+    int64_t backoffCapMs = 500;
+};
+
+/** Pool activity counters (surface as DseResult::workerStats). */
+struct WorkerPoolStats
+{
+    uint64_t spawned = 0;      ///< worker processes started (incl. restarts)
+    uint64_t dispatched = 0;   ///< shards sent to a worker
+    uint64_t redispatched = 0; ///< shard retries after a worker failure
+    uint64_t restarts = 0;     ///< workers restarted by the ladder
+    uint64_t degraded = 0;     ///< candidates that fell back in-process
+    uint64_t deaths = 0;       ///< worker EOFs/exits observed mid-request
+    uint64_t timeouts = 0;     ///< response watchdog expiries
+    /** First transport-level failure (errno + site); OK when none.
+     *  Transport failures never change results (the ladder re-evaluates
+     *  elsewhere) but are reported through DseResult::status. */
+    Status firstError;
+};
+
+/** One candidate's outcome as evaluated by a worker (or the fallback). */
+struct WorkerEvalOutcome
+{
+    /** Evaluation status (a worker-side eval fault, e.g. a candidate
+     *  timeout — NOT transport errors, which the ladder absorbs). */
+    Status status;
+    /** The memoized outcome; null iff !status.ok(). */
+    std::shared_ptr<const EvalCacheEntry> entry;
+};
+
+class WorkerPool
+{
+  public:
+    explicit WorkerPool(WorkerPoolOptions opts);
+    ~WorkerPool(); ///< shuts the workers down
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /**
+     * Spawn + handshake every worker. OK when at least one worker came
+     * up; the full-failure error otherwise (callers then run entirely
+     * in-process).
+     */
+    Status start();
+
+    /**
+     * Evaluate @p cands (shard i%N -> worker i, fixed draw order)
+     * against the shared repair cache @p schedules. @p inProcess is
+     * the degradation floor: called with a candidate index, it must
+     * evaluate locally and never fail to return. The result vector is
+     * index-aligned with @p cands.
+     */
+    std::vector<WorkerEvalOutcome>
+    evaluateBatch(const std::vector<const adg::Adg *> &cands,
+                  const ScheduleCache &schedules, bool repair,
+                  const std::function<WorkerEvalOutcome(size_t)> &inProcess);
+
+    /** Graceful shutdown (frame, then EOF, then SIGKILL). */
+    void shutdown();
+
+    const WorkerPoolStats &stats() const { return stats_; }
+
+  private:
+    struct Worker
+    {
+        std::unique_ptr<Subprocess> proc;
+        bool ready = false;
+        /** Out-of-order responses (a redispatched shard's reply can
+         *  arrive behind the reply of the shard we are waiting on). */
+        std::map<uint64_t, json::Value> pending;
+    };
+
+    Status spawnWorker(size_t i);
+    void failWorker(size_t i, const Status &why);
+    void noteError(const Status &s);
+    /** First live worker != @p except; -1 when none. */
+    int pickLiveWorker(size_t except) const;
+
+    WorkerPoolOptions opts_;
+    std::vector<Worker> workers_;
+    WorkerPoolStats stats_;
+    uint64_t nextRequestId_ = 1;
+    bool started_ = false;
+};
+
+/**
+ * Worker-process entry point: speak the protocol on stdin/stdout until
+ * EOF or a shutdown frame. Host binaries dispatch to this from main()
+ * when argv[1] is `__dse-worker`. Returns the process exit code.
+ */
+int workerMain();
+
+} // namespace dsa::dse
+
+#endif // DSA_DSE_WORKER_POOL_H

@@ -2,29 +2,49 @@
  * @file
  * Fault-injection tests for the crash-safety layer: structured Status
  * propagation out of worker threads, cooperative watchdogs in the
- * scheduler and simulator, simulator deadlock diagnostics, and DSE
+ * scheduler and simulator, simulator deadlock diagnostics, DSE
  * checkpoint/resume (including bit-identical equivalence with an
- * uninterrupted run and clean rejection of corrupt checkpoint files).
+ * uninterrupted run and clean rejection of corrupt checkpoint files),
+ * the deterministic fault-injection registry, the shared on-disk
+ * eval-cache store (torn/corrupt segments, compaction leases), and
+ * crash-isolated multi-process DSE (worker SIGKILL, stalled pipes,
+ * coordinator kill -9 + resume — all bit-identical to --workers 0).
+ *
+ * This binary defines its own main(): the multi-process suites re-exec
+ * it with the `__dse-worker` / `__dse-halt-run` argv markers.
  */
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
+
+#include <dirent.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <gtest/gtest.h>
 
 #include "adg/prebuilt.h"
+#include "base/deadline.h"
+#include "base/fault.h"
 #include "base/json.h"
 #include "base/rng.h"
 #include "base/status.h"
 #include "base/strings.h"
+#include "base/subprocess.h"
 #include "compiler/compile.h"
+#include "dse/cache_store.h"
 #include "dse/checkpoint.h"
 #include "dse/explorer.h"
+#include "dse/worker_pool.h"
 #include "mapper/scheduler.h"
 #include "sim/simulator.h"
 #include "workloads/workload.h"
@@ -565,5 +585,473 @@ TEST(CheckpointResume, ThreadCountMayChangeAcrossResume)
     std::remove(crashOpts.checkpointPath.c_str());
 }
 
+// ---------------------------------------------------------------------
+// Fault-injection registry
+// ---------------------------------------------------------------------
+
+TEST(FaultInjection, FiresExactlyOnceAtNthOccurrence)
+{
+    fault::reset();
+    fault::configure("test.site:3");
+    EXPECT_TRUE(fault::armed());
+    EXPECT_FALSE(fault::shouldFire("test.site")); // 1st
+    EXPECT_FALSE(fault::shouldFire("test.site")); // 2nd
+    EXPECT_TRUE(fault::shouldFire("test.site"));  // 3rd: armed for this one
+    EXPECT_FALSE(fault::shouldFire("test.site")); // at most once per process
+    EXPECT_EQ(fault::occurrences("test.site"), 4u);
+    EXPECT_FALSE(fault::shouldFire("unarmed.site"));
+    fault::reset();
+    EXPECT_FALSE(fault::armed());
+    EXPECT_FALSE(fault::shouldFire("test.site"));
+}
+
+TEST(FaultInjection, MalformedSpecEntriesAreSkipped)
+{
+    fault::reset();
+    fault::configure("nocolon,empty:,zeroth:0,ok.site:2,");
+    EXPECT_TRUE(fault::armed());
+    EXPECT_FALSE(fault::shouldFire("nocolon"));
+    EXPECT_FALSE(fault::shouldFire("empty"));
+    EXPECT_FALSE(fault::shouldFire("zeroth"));
+    EXPECT_FALSE(fault::shouldFire("ok.site"));
+    EXPECT_TRUE(fault::shouldFire("ok.site"));
+    fault::reset();
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint durability: a torn save must not lose the prior file
+// ---------------------------------------------------------------------
+
+TEST(Checkpoint, TornSaveFailsCleanlyAndKeepsPriorFile)
+{
+    auto set = workloads::suiteWorkloads("PolyBench");
+    auto opts = tinyDse();
+    opts.checkpointPath = tmpPath("tear");
+    opts.checkpointEvery = 1;
+    dse::Explorer ex(set, opts);
+    auto res = ex.run(adg::buildDseInitial());
+    ASSERT_GT(res.checkpointsWritten, 0);
+    std::string before = readAll(opts.checkpointPath);
+    ASSERT_FALSE(before.empty());
+    auto loaded = dse::loadCheckpoint(opts.checkpointPath);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+    const dse::DseCheckpoint &ck = loaded.value();
+
+    // Simulated power loss mid-save: the write tears before the
+    // rename, so the overwrite must fail *without* touching the
+    // existing checkpoint.
+    fault::reset();
+    fault::configure("checkpoint.tear:1");
+    Status s = dse::saveCheckpoint(ck.workloadNames, ck.options, ck.state,
+                                   opts.checkpointPath);
+    fault::reset();
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::DataLoss);
+    EXPECT_EQ(readAll(opts.checkpointPath), before);
+    EXPECT_TRUE(dse::loadCheckpoint(opts.checkpointPath).ok());
+    // The torn temp file is on disk (half the bytes) and is itself
+    // rejected cleanly — it can never be mistaken for a checkpoint.
+    auto torn = dse::loadCheckpoint(opts.checkpointPath + ".tmp");
+    EXPECT_FALSE(torn.ok());
+    std::remove((opts.checkpointPath + ".tmp").c_str());
+    std::remove(opts.checkpointPath.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Shared eval-cache store: segments, corruption, leases
+// ---------------------------------------------------------------------
+
+/** Remove a flat directory and everything in it. */
+void
+rmTree(const std::string &dir)
+{
+    if (DIR *d = ::opendir(dir.c_str())) {
+        while (dirent *e = ::readdir(d)) {
+            std::string n = e->d_name;
+            if (n != "." && n != "..")
+                std::remove((dir + "/" + n).c_str());
+        }
+        ::closedir(d);
+    }
+    ::rmdir(dir.c_str());
+}
+
+/** Sorted segment file names in a store directory. */
+std::vector<std::string>
+segFiles(const std::string &dir)
+{
+    std::vector<std::string> out;
+    if (DIR *d = ::opendir(dir.c_str())) {
+        while (dirent *e = ::readdir(d)) {
+            std::string n = e->d_name;
+            if (n.size() > 5 && n.substr(n.size() - 5) == ".dsec")
+                out.push_back(n);
+        }
+        ::closedir(d);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+dse::EvalKey
+synthKey(uint64_t n)
+{
+    dse::EvalKey k;
+    k.structural.hi = 0x9e3779b97f4a7c15ull * (n + 1);
+    k.structural.lo = 0xc2b2ae3d27d4eb4full * (n + 1);
+    k.labeling = 0x165667b19e3779f9ull * (n + 1);
+    k.context = 0x27d4eb2f165667c5ull * (n + 1);
+    return k;
+}
+
+dse::EvalCacheEntry
+synthEntry(uint64_t n)
+{
+    dse::EvalCacheEntry e;
+    e.objective = 1.0 + static_cast<double>(n);
+    e.perf = 2.0 + static_cast<double>(n);
+    e.tasks.resize(1);
+    e.tasks[0].lowered = true;
+    e.tasks[0].legal = false; // no schedule payload needed
+    e.tasks[0].cycles = 100.0 + static_cast<double>(n);
+    return e;
+}
+
+TEST(CacheStore, AppendLoadRoundTrip)
+{
+    std::string dir = "robustness_store_rt";
+    rmTree(dir);
+    {
+        dse::CacheStore store(dir);
+        ASSERT_TRUE(store.open().ok());
+        for (uint64_t i = 0; i < 3; ++i)
+            ASSERT_TRUE(store.append(synthKey(i), synthEntry(i)).ok());
+        store.flush();
+        EXPECT_EQ(store.stats().appends, 3u);
+        EXPECT_EQ(segFiles(dir).size(), 1u); // one segment per writer
+    }
+    dse::CacheStore reader(dir);
+    ASSERT_TRUE(reader.open().ok());
+    dse::EvalCache cache;
+    ASSERT_TRUE(reader.loadInto(cache).ok());
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(reader.stats().segmentsLoaded, 1u);
+    EXPECT_EQ(reader.stats().recordsLoaded, 3u);
+    EXPECT_EQ(reader.stats().recordsQuarantined, 0u);
+    auto hit = cache.find(synthKey(1));
+    ASSERT_NE(hit, nullptr);
+    EXPECT_DOUBLE_EQ(hit->objective, 2.0);
+    EXPECT_DOUBLE_EQ(hit->perf, 3.0);
+    ASSERT_EQ(hit->tasks.size(), 1u);
+    EXPECT_TRUE(hit->tasks[0].lowered);
+    EXPECT_FALSE(hit->tasks[0].legal);
+    EXPECT_DOUBLE_EQ(hit->tasks[0].cycles, 101.0);
+    rmTree(dir);
+}
+
+TEST(CacheStore, FlippedByteQuarantinesOnlyThatRecord)
+{
+    std::string dir = "robustness_store_flip";
+    rmTree(dir);
+    {
+        dse::CacheStore store(dir);
+        ASSERT_TRUE(store.open().ok());
+        for (uint64_t i = 0; i < 3; ++i)
+            ASSERT_TRUE(store.append(synthKey(i), synthEntry(i)).ok());
+    }
+    auto segs = segFiles(dir);
+    ASSERT_EQ(segs.size(), 1u);
+    std::string path = dir + "/" + segs[0];
+    std::string bytes = readAll(path);
+    // Flip one payload byte inside the *second* record (just past its
+    // 16-byte magic+len+checksum header).
+    size_t second = bytes.find("DSEC", 4);
+    ASSERT_NE(second, std::string::npos);
+    bytes[second + 16 + 5] ^= 0x40;
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << bytes;
+    }
+    dse::CacheStore reader(dir);
+    ASSERT_TRUE(reader.open().ok());
+    dse::EvalCache cache;
+    ASSERT_TRUE(reader.loadInto(cache).ok()); // corruption is never fatal
+    EXPECT_EQ(reader.stats().recordsQuarantined, 1u);
+    EXPECT_EQ(reader.stats().recordsLoaded, 2u);
+    EXPECT_NE(cache.find(synthKey(0)), nullptr);
+    EXPECT_EQ(cache.find(synthKey(1)), nullptr); // the corrupt one
+    EXPECT_NE(cache.find(synthKey(2)), nullptr); // resync recovered it
+    rmTree(dir);
+}
+
+TEST(CacheStore, TruncatedTailQuarantinesOnlyLastRecord)
+{
+    std::string dir = "robustness_store_trunc";
+    rmTree(dir);
+    {
+        dse::CacheStore store(dir);
+        ASSERT_TRUE(store.open().ok());
+        for (uint64_t i = 0; i < 3; ++i)
+            ASSERT_TRUE(store.append(synthKey(i), synthEntry(i)).ok());
+    }
+    auto segs = segFiles(dir);
+    ASSERT_EQ(segs.size(), 1u);
+    std::string path = dir + "/" + segs[0];
+    std::string bytes = readAll(path);
+    ASSERT_GT(bytes.size(), 8u);
+    { // a writer killed mid-append: the tail record is torn
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << bytes.substr(0, bytes.size() - 8);
+    }
+    dse::CacheStore reader(dir);
+    dse::EvalCache cache;
+    ASSERT_TRUE(reader.open().ok());
+    ASSERT_TRUE(reader.loadInto(cache).ok());
+    EXPECT_EQ(reader.stats().recordsQuarantined, 1u);
+    EXPECT_EQ(reader.stats().recordsLoaded, 2u);
+    EXPECT_NE(cache.find(synthKey(0)), nullptr);
+    EXPECT_NE(cache.find(synthKey(1)), nullptr);
+    EXPECT_EQ(cache.find(synthKey(2)), nullptr);
+    rmTree(dir);
+}
+
+TEST(CacheStore, StaleLeaseOfDeadOwnerIsTakenOver)
+{
+    std::string dir = "robustness_store_lease";
+    rmTree(dir);
+    dse::CacheStore store(dir);
+    ASSERT_TRUE(store.open().ok());
+    // Two segments (flush closes one; the next append opens another),
+    // so there is actually something to merge.
+    ASSERT_TRUE(store.append(synthKey(0), synthEntry(0)).ok());
+    store.flush();
+    ASSERT_TRUE(store.append(synthKey(1), synthEntry(1)).ok());
+    store.flush();
+    ASSERT_EQ(segFiles(dir).size(), 2u);
+
+    // A compaction lease whose owner died (a real pid, forked and
+    // reaped, so kill(pid, 0) reports ESRCH).
+    pid_t dead = ::fork();
+    ASSERT_GE(dead, 0);
+    if (dead == 0)
+        ::_exit(0);
+    ASSERT_EQ(::waitpid(dead, nullptr, 0), dead);
+    {
+        std::ofstream lease(dir + "/compact.lease", std::ios::trunc);
+        lease << "pid " << dead << "\n";
+    }
+
+    auto compacted = store.compact();
+    ASSERT_TRUE(compacted.ok()) << compacted.status().toString();
+    EXPECT_TRUE(*compacted);
+    EXPECT_EQ(store.stats().leaseTakeovers, 1u);
+    EXPECT_EQ(store.stats().compactions, 1u);
+    EXPECT_EQ(segFiles(dir).size(), 1u); // merged into one segment
+
+    dse::CacheStore reader(dir);
+    dse::EvalCache cache;
+    ASSERT_TRUE(reader.open().ok());
+    ASSERT_TRUE(reader.loadInto(cache).ok());
+    EXPECT_EQ(cache.size(), 2u); // nothing lost in the merge
+    rmTree(dir);
+}
+
+TEST(CacheStore, LiveLeaseRefusesCompactionWithoutError)
+{
+    std::string dir = "robustness_store_livelease";
+    rmTree(dir);
+    dse::CacheStore store(dir);
+    ASSERT_TRUE(store.open().ok());
+    ASSERT_TRUE(store.append(synthKey(0), synthEntry(0)).ok());
+    store.flush();
+    { // a fresh lease held by a live process (us)
+        std::ofstream lease(dir + "/compact.lease", std::ios::trunc);
+        lease << "pid " << ::getpid() << "\n";
+    }
+    auto compacted = store.compact();
+    ASSERT_TRUE(compacted.ok()) << compacted.status().toString();
+    EXPECT_FALSE(*compacted); // declined, not an error
+    EXPECT_EQ(store.stats().leaseTakeovers, 0u);
+    EXPECT_EQ(store.stats().compactions, 0u);
+    EXPECT_TRUE(readAll(dir + "/compact.lease").find("pid ") == 0);
+    rmTree(dir);
+}
+
+TEST(CacheStoreDse, CorruptSegmentsQuarantinedTraceUnchanged)
+{
+    std::string dir = "robustness_store_dse";
+    rmTree(dir);
+    auto set = workloads::suiteWorkloads("PolyBench");
+    auto opts = tinyDse();
+    dse::Explorer ref(set, opts);
+    auto refRes = ref.run(adg::buildDseInitial());
+
+    // Populate the store; the store itself must be trace-neutral.
+    auto storeOpts = opts;
+    storeOpts.cacheStoreDir = dir;
+    dse::Explorer writer(set, storeOpts);
+    auto writeRes = writer.run(adg::buildDseInitial());
+    expectSameHistory(refRes, writeRes);
+    EXPECT_GT(writeRes.cacheStats.storeAppends, 0u);
+    ASSERT_FALSE(segFiles(dir).empty());
+
+    // Bit-rot every segment, then rerun against the damaged store: the
+    // corruption is quarantined and costs only warmth, never results.
+    for (const std::string &name : segFiles(dir)) {
+        std::string path = dir + "/" + name;
+        std::string bytes = readAll(path);
+        ASSERT_FALSE(bytes.empty());
+        bytes[bytes.size() / 2] ^= 0x40;
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << bytes;
+    }
+    dse::Explorer reread(set, storeOpts);
+    auto rereadRes = reread.run(adg::buildDseInitial());
+    expectSameHistory(refRes, rereadRes);
+    EXPECT_EQ(refRes.best.toText(), rereadRes.best.toText());
+    EXPECT_DOUBLE_EQ(refRes.bestObjective, rereadRes.bestObjective);
+    EXPECT_GE(rereadRes.cacheStats.storeQuarantined, 1u);
+    rmTree(dir);
+}
+
+// ---------------------------------------------------------------------
+// Multi-process DSE: bit-identity under crashes, stalls, and kill -9
+// ---------------------------------------------------------------------
+
+dse::DseResult
+runPoolDse(int workers, const std::vector<std::string> &workerEnv,
+           int64_t timeoutMs, int maxIters, int batch)
+{
+    auto set = workloads::suiteWorkloads("PolyBench");
+    auto opts = tinyDse();
+    opts.maxIters = maxIters;
+    opts.noImproveExit = maxIters;
+    opts.candidateBatch = batch;
+    opts.workers = workers;
+    opts.workerEnv = workerEnv;
+    opts.workerRequestTimeoutMs = timeoutMs;
+    dse::Explorer ex(set, opts);
+    return ex.run(adg::buildDseInitial());
+}
+
+TEST(MultiProcessDse, WorkersMatchSerialBitIdentically)
+{
+    auto serial = runPoolDse(0, {}, 0, 24, 4);
+    EXPECT_EQ(serial.workerStats.spawned, 0u);
+    for (int n : {1, 2, 4}) {
+        SCOPED_TRACE("workers=" + std::to_string(n));
+        auto par = runPoolDse(n, {}, 0, 24, 4);
+        expectSameHistory(serial, par);
+        EXPECT_EQ(serial.best.toText(), par.best.toText());
+        EXPECT_DOUBLE_EQ(serial.bestObjective, par.bestObjective);
+        EXPECT_DOUBLE_EQ(serial.bestPerf, par.bestPerf);
+        EXPECT_EQ(serial.stopReason, par.stopReason);
+        EXPECT_TRUE(par.status.ok()) << par.status.toString();
+        EXPECT_GE(par.workerStats.spawned, static_cast<uint64_t>(n));
+        EXPECT_GT(par.workerStats.dispatched, 0u);
+        EXPECT_EQ(par.workerStats.deaths, 0u);
+        EXPECT_EQ(par.workerStats.degraded, 0u);
+    }
+}
+
+TEST(MultiProcessDse, WorkerSigkillMidBatchRecoversBitIdentically)
+{
+    auto serial = runPoolDse(0, {}, 0, 12, 4);
+    // Every worker process SIGKILLs itself at its 3rd candidate
+    // evaluation — including restarted ones (fresh processes re-parse
+    // the env), so the recovery ladder is exercised end to end.
+    auto par = runPoolDse(2, {"DSA_FAULT=worker.eval.kill:3"}, 0, 12, 4);
+    expectSameHistory(serial, par);
+    EXPECT_EQ(serial.best.toText(), par.best.toText());
+    EXPECT_DOUBLE_EQ(serial.bestObjective, par.bestObjective);
+    EXPECT_EQ(serial.stopReason, par.stopReason);
+    EXPECT_GT(par.workerStats.deaths, 0u);
+    EXPECT_GT(par.workerStats.redispatched + par.workerStats.degraded, 0u);
+}
+
+TEST(MultiProcessDse, StalledWorkerTimesOutAndRecoversBitIdentically)
+{
+    auto serial = runPoolDse(0, {}, 0, 8, 4);
+    // Each worker's first eval reply stalls 5 s; the 300 ms response
+    // watchdog must fire and walk the ladder instead of wedging.
+    auto par =
+        runPoolDse(2, {"DSA_FAULT=worker.pipe.stall:1"}, 300, 8, 4);
+    expectSameHistory(serial, par);
+    EXPECT_EQ(serial.best.toText(), par.best.toText());
+    EXPECT_EQ(serial.stopReason, par.stopReason);
+    EXPECT_GT(par.workerStats.timeouts, 0u);
+}
+
+TEST(MultiProcessDse, CoordinatorKillAndResumeBitIdentical)
+{
+    auto set = workloads::suiteWorkloads("PolyBench");
+    auto refOpts = tinyDse();
+    refOpts.checkpointPath = tmpPath("coord_ref");
+    refOpts.checkpointEvery = 1;
+    dse::Explorer ref(set, refOpts);
+    auto refRes = ref.run(adg::buildDseInitial());
+    ASSERT_GT(refRes.checkpointsWritten, 1);
+
+    // Re-exec this binary as a checkpointing run and kill -9 it (for
+    // real — the armed fault SIGKILLs the child) mid-exploration.
+    std::string victimPath = tmpPath("coord_victim");
+    std::remove(victimPath.c_str());
+    Subprocess::Options so;
+    so.argv = {Subprocess::selfExe(), "__dse-halt-run", victimPath};
+    so.extraEnv = {"DSA_FAULT=dse.step.kill:16"};
+    auto spawned = Subprocess::spawn(std::move(so));
+    ASSERT_TRUE(spawned.ok()) << spawned.status().toString();
+    std::unique_ptr<Subprocess> child = std::move(spawned.value());
+    auto ended = child->wait(Deadline::afterMs(10LL * 60 * 1000));
+    ASSERT_TRUE(ended.signaled) << ended.describe();
+    EXPECT_EQ(ended.sig, SIGKILL);
+
+    // Resume from whatever the victim left on disk; the continuation
+    // must replay onto the uninterrupted run's exact trace.
+    auto loaded = dse::loadCheckpoint(victimPath);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+    dse::DseCheckpoint ck = std::move(loaded.value());
+    dse::Explorer resumed(set, ck.options);
+    auto resRes = resumed.resume(std::move(ck.state));
+    expectSameHistory(refRes, resRes);
+    EXPECT_EQ(refRes.best.toText(), resRes.best.toText());
+    EXPECT_DOUBLE_EQ(refRes.bestObjective, resRes.bestObjective);
+    EXPECT_EQ(refRes.stopReason, resRes.stopReason);
+    std::remove(refOpts.checkpointPath.c_str());
+    std::remove(victimPath.c_str());
+}
+
 } // namespace
+
+/**
+ * Child side of CoordinatorKillAndResumeBitIdentical: run the same
+ * checkpointing DSE the reference ran; the DSA_FAULT armed in our
+ * environment by the parent SIGKILLs us at the chosen step.
+ */
+int
+haltRunChildMain(const std::string &ckptPath)
+{
+    ::dup2(2, 1); // chatter must not block on the parent's pipe
+    auto set = workloads::suiteWorkloads("PolyBench");
+    auto opts = tinyDse();
+    opts.checkpointPath = ckptPath;
+    opts.checkpointEvery = 1;
+    dse::Explorer ex(set, opts);
+    auto res = ex.run(adg::buildDseInitial());
+    return res.status.ok() ? 0 : 1;
+}
+
 } // namespace dsa
+
+int
+main(int argc, char **argv)
+{
+    // Self-exec entry points for the multi-process suites: this binary
+    // doubles as the DSE worker subprocess and as the kill -9 victim.
+    if (argc >= 2 && std::string(argv[1]) == "__dse-worker")
+        return dsa::dse::workerMain();
+    if (argc >= 3 && std::string(argv[1]) == "__dse-halt-run")
+        return dsa::haltRunChildMain(argv[2]);
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -35,6 +35,7 @@
 #include "dfg/dfg_text.h"
 #include "dse/checkpoint.h"
 #include "dse/explorer.h"
+#include "dse/worker_pool.h"
 #include "hwgen/bitstream.h"
 #include "hwgen/config_path.h"
 #include "hwgen/verilog.h"
@@ -49,6 +50,24 @@
 using namespace dsa;
 
 namespace {
+
+/**
+ * Exit-code policy at the CLI boundary: configuration mistakes the
+ * user can fix by editing the command line (bad names, missing files)
+ * exit 2; runtime faults hit while doing the work (corrupt state,
+ * timeouts, internal errors) exit 1.
+ */
+int
+exitCodeFor(const Status &s)
+{
+    switch (s.code()) {
+    case StatusCode::InvalidArgument:
+    case StatusCode::NotFound:
+        return 2;
+    default:
+        return 1;
+    }
+}
 
 adg::Adg
 loadTarget(const std::string &name)
@@ -287,6 +306,30 @@ finishDse(const dse::DseResult &res, const std::string &savePath)
                     static_cast<unsigned long long>(cs.costMisses),
                     static_cast<unsigned long long>(cs.dedupCollapsed));
     }
+    if (cs.storeLoaded + cs.storeAppends + cs.storeSegments > 0)
+        std::printf("cache store: %llu records loaded from %llu segments, "
+                    "%llu appended, %llu quarantined\n",
+                    static_cast<unsigned long long>(cs.storeLoaded),
+                    static_cast<unsigned long long>(cs.storeSegments),
+                    static_cast<unsigned long long>(cs.storeAppends),
+                    static_cast<unsigned long long>(cs.storeQuarantined));
+    const dse::DseWorkerStats &ws = res.workerStats;
+    if (ws.spawned > 0) {
+        std::printf("workers: %llu spawned, %llu shards dispatched",
+                    static_cast<unsigned long long>(ws.spawned),
+                    static_cast<unsigned long long>(ws.dispatched));
+        if (ws.deaths + ws.timeouts + ws.restarts + ws.redispatched +
+                ws.degraded >
+            0)
+            std::printf(" (%llu deaths, %llu timeouts, %llu restarts, "
+                        "%llu redispatched, %llu degraded in-process)",
+                        static_cast<unsigned long long>(ws.deaths),
+                        static_cast<unsigned long long>(ws.timeouts),
+                        static_cast<unsigned long long>(ws.restarts),
+                        static_cast<unsigned long long>(ws.redispatched),
+                        static_cast<unsigned long long>(ws.degraded));
+        std::printf("\n");
+    }
     if (!res.front.empty()) {
         std::printf("pareto front (%zu points, hypervolume %.3f):\n",
                     res.front.size(), res.frontHypervolume);
@@ -318,6 +361,13 @@ cmdDse(int argc, char **argv)
     std::string resumePath;
     dse::DseOptions flags;
     int threadsArg = -1;
+    // Multi-process knobs: transport-only (never part of the RNG draws
+    // or the eval-context hash), so like --threads they may be set on
+    // fresh and resumed runs alike.
+    int workersArg = -1;
+    int64_t workerTimeoutArg = -1;
+    bool cacheStoreGiven = false;
+    std::string cacheStoreArg;
     // Cache toggles: -1 = not given, 0/1 = forced. Tracked separately
     // so a resumed run only overrides what the user actually asked
     // for (the caches never change results, so overriding is safe).
@@ -347,6 +397,16 @@ cmdDse(int argc, char **argv)
             flags.candidateTimeMs = intArg(a.c_str());
         } else if (a == "--threads") {
             threadsArg = static_cast<int>(intArg(a.c_str()));
+        } else if (a == "--workers") {
+            workersArg =
+                std::max<int>(0, static_cast<int>(intArg(a.c_str())));
+        } else if (a == "--worker-timeout-ms") {
+            workerTimeoutArg = std::max<int64_t>(0, intArg(a.c_str()));
+        } else if (a == "--cache-store") {
+            if (i + 1 >= argc)
+                DSA_FATAL("flag --cache-store needs a directory");
+            cacheStoreGiven = true;
+            cacheStoreArg = argv[++i];
         } else if (a == "--validate-sim") {
             flags.simValidateBest = true;
         } else if (a == "--pareto") {
@@ -392,6 +452,12 @@ cmdDse(int argc, char **argv)
             o.dedupBatch = dedupArg != 0;
         if (checkOracleArg >= 0)
             o.checkCostOracle = checkOracleArg != 0;
+        if (workersArg >= 0)
+            o.workers = workersArg;
+        if (workerTimeoutArg >= 0)
+            o.workerRequestTimeoutMs = workerTimeoutArg;
+        if (cacheStoreGiven)
+            o.cacheStoreDir = cacheStoreArg;
     };
     applyCacheFlags(flags);
 
@@ -404,7 +470,7 @@ cmdDse(int argc, char **argv)
         if (!loaded.ok()) {
             std::fprintf(stderr, "%s\n",
                          loaded.status().toString().c_str());
-            return 1;
+            return exitCodeFor(loaded.status());
         }
         dse::DseCheckpoint ck = std::move(loaded.value());
         std::vector<const workloads::Workload *> set;
@@ -448,7 +514,7 @@ cmdDse(int argc, char **argv)
                 suites.push_back(w.suite);
         std::fprintf(stderr, "unknown suite '%s' %s\n", suite.c_str(),
                      suggestName(suite, suites).c_str());
-        return 1;
+        return 2; // a configuration error, not a runtime fault
     }
     dse::DseOptions opts = flags;
     opts.maxIters = iters;
@@ -512,6 +578,19 @@ usage()
         "      are identical for any thread count\n"
         "      --checkpoint <file>      crash-safe state snapshots\n"
         "      --checkpoint-every <n>   accepted steps per snapshot\n"
+        "      --workers <n>            evaluate candidates in n crash-\n"
+        "                               isolated worker subprocesses;\n"
+        "                               results are bit-identical to\n"
+        "                               --workers 0, even under worker\n"
+        "                               crashes (supervised restart +\n"
+        "                               in-process degradation)\n"
+        "      --worker-timeout-ms <ms> per-shard reply watchdog: a\n"
+        "                               stalled worker is killed and its\n"
+        "                               shard re-evaluated elsewhere\n"
+        "      --cache-store <dir>      shared on-disk eval-cache store\n"
+        "                               (append-only checksummed segments;\n"
+        "                               corrupt records are quarantined,\n"
+        "                               never fatal)\n"
         "      --wall-budget-ms <ms>    whole-run wall-clock cap\n"
         "      --candidate-time-ms <ms> per-candidate evaluation cap\n"
         "      --validate-sim           batch-simulate the best design\n"
@@ -550,6 +629,11 @@ try {
         return 2;
     }
     std::string cmd = argv[1];
+    // Re-exec'ed by a DSE coordinator: become a pure evaluation worker
+    // speaking the frame protocol on stdin/stdout. Checked before
+    // anything else so the marker can never collide with user commands.
+    if (cmd == "__dse-worker")
+        return dse::workerMain();
     if (cmd == "list-workloads")
         return cmdListWorkloads();
     if (cmd == "list-targets")
@@ -591,8 +675,9 @@ try {
     usage();
     return 2;
 } catch (const StatusException &e) {
-    // The CLI boundary: library errors (bad names in ADG files, corrupt
-    // inputs) surface as StatusExceptions and exit cleanly here.
+    // The CLI boundary: library errors surface as StatusExceptions and
+    // exit cleanly here — 2 for configuration mistakes (bad names,
+    // missing files), 1 for runtime faults.
     std::fprintf(stderr, "dsagen: %s\n", e.status().toString().c_str());
-    return 1;
+    return exitCodeFor(e.status());
 }
