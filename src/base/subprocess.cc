@@ -13,6 +13,8 @@
 
 #include "base/logging.h"
 
+extern char **environ;
+
 namespace dsa {
 
 namespace {
@@ -157,6 +159,44 @@ Result<std::unique_ptr<Subprocess>> Subprocess::spawn(Options opts)
         return Status::invalidArgument("subprocess.spawn: empty argv");
     ignoreSigpipeOnce();
 
+    // Everything the child touches between fork() and exec must be
+    // async-signal-safe: the parent is multithreaded (coordinator
+    // thread pool, worker restarts mid-run), so another thread can
+    // hold the malloc lock at fork time and any allocation — or
+    // setenv — in the child would deadlock before exec. Build argv
+    // and a merged envp up front, so the child only dup2s and execs.
+    std::vector<std::string> envStore;
+    for (char **e = environ; e && *e; ++e) {
+        const char *kv = *e;
+        const char *eq = std::strchr(kv, '=');
+        bool overridden = false;
+        if (eq) {
+            size_t keyLen = static_cast<size_t>(eq - kv) + 1; // "KEY="
+            for (const std::string &extra : opts.extraEnv)
+                if (extra.compare(0, keyLen, kv, keyLen) == 0) {
+                    overridden = true;
+                    break;
+                }
+        }
+        if (!overridden)
+            envStore.emplace_back(kv);
+    }
+    for (const std::string &kv : opts.extraEnv) {
+        size_t eq = kv.find('=');
+        if (eq != std::string::npos && eq != 0)
+            envStore.push_back(kv);
+    }
+    std::vector<char *> envp;
+    envp.reserve(envStore.size() + 1);
+    for (std::string &s : envStore)
+        envp.push_back(s.data());
+    envp.push_back(nullptr);
+    std::vector<char *> argvp;
+    argvp.reserve(opts.argv.size() + 1);
+    for (std::string &a : opts.argv)
+        argvp.push_back(a.data());
+    argvp.push_back(nullptr);
+
     int inPipe[2];  // parent writes [1] -> child reads [0] as stdin
     int outPipe[2]; // child writes [1] as stdout -> parent reads [0]
     if (::pipe2(inPipe, O_CLOEXEC) != 0)
@@ -185,18 +225,7 @@ Result<std::unique_ptr<Subprocess>> Subprocess::spawn(Options opts)
         if (::dup2(inPipe[0], STDIN_FILENO) < 0 ||
             ::dup2(outPipe[1], STDOUT_FILENO) < 0)
             ::_exit(127);
-        for (const std::string &kv : opts.extraEnv) {
-            size_t eq = kv.find('=');
-            if (eq == std::string::npos || eq == 0)
-                continue;
-            ::setenv(kv.substr(0, eq).c_str(), kv.c_str() + eq + 1, 1);
-        }
-        std::vector<char *> argv;
-        argv.reserve(opts.argv.size() + 1);
-        for (const std::string &a : opts.argv)
-            argv.push_back(const_cast<char *>(a.c_str()));
-        argv.push_back(nullptr);
-        ::execvp(argv[0], argv.data());
+        ::execvpe(argvp[0], argvp.data(), envp.data());
         ::_exit(127);
     }
 

@@ -61,6 +61,15 @@ uint64_t getU64(const unsigned char *p)
     return v;
 }
 
+/** Owner pid encoded in a segment file name (`seg-<pid>-...`), or -1. */
+pid_t segmentOwner(const std::string &name)
+{
+    int pid = 0;
+    if (std::sscanf(name.c_str(), "seg-%d-", &pid) == 1 && pid > 0)
+        return static_cast<pid_t>(pid);
+    return -1;
+}
+
 bool isSegmentName(const std::string &name)
 {
     return name.size() > 9 && name.compare(0, 4, "seg-") == 0 &&
@@ -321,50 +330,80 @@ void CacheStore::flush()
 Result<bool> CacheStore::acquireLease()
 {
     std::string lease = dir_ + "/compact.lease";
-    for (int attempt = 0; attempt < 2; ++attempt) {
-        int fd = ::open(lease.c_str(),
-                        O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
-        if (fd >= 0) {
-            std::string body = "pid " + std::to_string(::getpid()) + "\n";
-            (void)writeAllFd(fd, body.data(), body.size(), "store.lease");
-            ::close(fd);
-            return true;
-        }
-        if (errno != EEXIST)
-            return errnoStatus("store.lease-open", errno);
-        // Someone holds the lease. Stale if its owner is gone or it
-        // has outlived the staleness bound (a wedged owner).
-        bool stale = false;
-        auto body = readFile(lease);
-        if (body.ok()) {
-            pid_t owner = 0;
-            if (std::sscanf(body->c_str(), "pid %d", &owner) == 1 &&
-                owner > 0 && ::kill(owner, 0) != 0 && errno == ESRCH)
-                stale = true;
-        } else {
-            stale = true; // vanished or unreadable: retry the create
-        }
-        struct stat st;
-        if (!stale && ::stat(lease.c_str(), &st) == 0) {
-            int64_t ageMs =
-                (static_cast<int64_t>(::time(nullptr)) - st.st_mtime) * 1000;
-            if (ageMs > opts_.leaseStaleMs)
-                stale = true;
-        }
-        if (!stale)
-            return false;
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.leaseTakeovers;
-        DSA_WARN("cache store: taking over stale compaction lease '", lease,
-                 "'");
-        ::unlink(lease.c_str());
+    std::string body = "pid " + std::to_string(::getpid()) + "\n";
+    int fd = ::open(lease.c_str(),
+                    O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+    if (fd >= 0) {
+        (void)writeAllFd(fd, body.data(), body.size(), "store.lease");
+        ::close(fd);
+        return true;
     }
-    return false; // lost the takeover race to another process
+    if (errno != EEXIST)
+        return errnoStatus("store.lease-open", errno);
+    // Someone holds the lease. Stale if its owner is gone or it has
+    // outlived the staleness bound (a wedged owner).
+    bool stale = false;
+    auto held = readFile(lease);
+    if (held.ok()) {
+        pid_t owner = 0;
+        if (std::sscanf(held->c_str(), "pid %d", &owner) == 1 &&
+            owner > 0 && ::kill(owner, 0) != 0 && errno == ESRCH)
+            stale = true;
+    } else {
+        stale = true; // vanished or unreadable: contend for it
+    }
+    struct stat st;
+    if (!stale && ::stat(lease.c_str(), &st) == 0) {
+        int64_t ageMs =
+            (static_cast<int64_t>(::time(nullptr)) - st.st_mtime) * 1000;
+        if (ageMs > opts_.leaseStaleMs)
+            stale = true;
+    }
+    if (!stale)
+        return false;
+    // Take over by renaming a fully written replacement over the stale
+    // file. unlink-then-create would race concurrent takeovers (one
+    // contender can unlink another's *fresh* lease); rename is atomic,
+    // so the file always holds exactly one pid, and re-reading it
+    // tells every contender whether it actually won.
+    std::string mine = lease + "." + std::to_string(::getpid());
+    int tfd = ::open(mine.c_str(),
+                     O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (tfd < 0)
+        return errnoStatus("store.lease-open", errno);
+    Status ws = writeAllFd(tfd, body.data(), body.size(), "store.lease");
+    ::close(tfd);
+    if (!ws.ok()) {
+        ::unlink(mine.c_str());
+        return ws;
+    }
+    if (::rename(mine.c_str(), lease.c_str()) != 0) {
+        int err = errno;
+        ::unlink(mine.c_str());
+        return errnoStatus("store.lease-rename", err);
+    }
+    if (!leaseOwned())
+        return false; // lost the takeover race to another process
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.leaseTakeovers;
+    DSA_WARN("cache store: took over stale compaction lease '", lease, "'");
+    return true;
+}
+
+bool CacheStore::leaseOwned() const
+{
+    auto body = readFile(dir_ + "/compact.lease");
+    pid_t owner = 0;
+    return body.ok() && std::sscanf(body->c_str(), "pid %d", &owner) == 1 &&
+           owner == ::getpid();
 }
 
 void CacheStore::releaseLease()
 {
-    ::unlink((dir_ + "/compact.lease").c_str());
+    // Never unlink a lease another process renamed over ours (it would
+    // hand a third contender a free takeover mid-compaction).
+    if (leaseOwned())
+        ::unlink((dir_ + "/compact.lease").c_str());
 }
 
 Result<bool> CacheStore::compact()
@@ -432,12 +471,39 @@ Result<bool> CacheStore::compact()
         releaseLease();
         return errnoStatus("store.compact-finish", err);
     }
+    // The lease can have been taken over mid-merge (a contender judged
+    // us wedged past leaseStaleMs). The merge itself was additive —
+    // our pid-unique merged segment is just more valid records — but
+    // the destructive step below must then be skipped, or two
+    // compactors unlink each other's segments.
+    if (!leaseOwned())
+        return false;
+    pid_t self = ::getpid();
+    std::string active;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        active = segPath_;
+    }
+    uint64_t liveSkipped = 0;
     for (const std::string &name : *names) {
-        if (dir_ + "/" + name != mergedPath)
-            ::unlink((dir_ + "/" + name).c_str());
+        std::string path = dir_ + "/" + name;
+        if (path == mergedPath || path == active)
+            continue;
+        pid_t owner = segmentOwner(name);
+        if (owner > 0 && owner != self &&
+            !(::kill(owner, 0) != 0 && errno == ESRCH)) {
+            // A live writer may have appended to this segment after
+            // the merge snapshotted it; unlinking now would silently
+            // drop those records. Leave it — a later compaction
+            // retires it once its owner exits.
+            ++liveSkipped;
+            continue;
+        }
+        ::unlink(path.c_str());
     }
     releaseLease();
     std::lock_guard<std::mutex> lock(mu_);
+    stats_.liveSegmentsSkipped += liveSkipped;
     ++stats_.compactions;
     return true;
 }

@@ -19,10 +19,18 @@
  * the next record magic, and keeps going. Corruption can cost cache
  * warmth, never correctness and never a crash.
  *
- * The one multi-writer operation — compacting all segments into one —
- * is serialized by a lease file (`compact.lease`, O_EXCL-created,
- * holding the owner pid). A lease whose owner is dead, or older than
- * CacheStoreOptions::leaseStaleMs, is stale and is taken over.
+ * The one multi-writer operation — compacting segments into one — is
+ * serialized by a lease file (`compact.lease`, O_EXCL-created, holding
+ * the owner pid). A lease whose owner is dead, or older than
+ * CacheStoreOptions::leaseStaleMs, is stale and is taken over by
+ * rename()-ing a replacement over it and re-reading the file to see
+ * which contender actually won. Compaction preserves the writers-
+ * never-touch-each-other's-segments invariant by only unlinking
+ * segments whose owner process is gone (or its own closed ones): a
+ * live writer may append to its segment after the merge snapshotted
+ * it, so such segments are merged but left in place (counted in
+ * CacheStoreStats::liveSegmentsSkipped) for a later compaction to
+ * retire once their owner exits.
  */
 
 #ifndef DSA_DSE_CACHE_STORE_H
@@ -57,6 +65,9 @@ struct CacheStoreStats
     uint64_t appends = 0;            ///< records this process wrote
     uint64_t compactions = 0;        ///< successful compact() runs
     uint64_t leaseTakeovers = 0;     ///< stale leases broken
+    /** Segments merged but not unlinked because their owner process is
+     *  still alive (it may append after the merge snapshot). */
+    uint64_t liveSegmentsSkipped = 0;
 };
 
 class CacheStore
@@ -102,6 +113,8 @@ class CacheStore
     Status ensureSegmentLocked();
     Result<bool> acquireLease();
     void releaseLease();
+    /** True when compact.lease currently names this process. */
+    bool leaseOwned() const;
 
     std::string dir_;
     CacheStoreOptions opts_;

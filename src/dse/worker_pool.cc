@@ -73,6 +73,7 @@ Status
 WorkerPool::spawnWorker(size_t i)
 {
     Worker &w = workers_[i];
+    ++w.gen;
     w.proc.reset();
     w.ready = false;
     w.pending.clear();
@@ -155,6 +156,7 @@ void
 WorkerPool::failWorker(size_t i, const Status &why)
 {
     Worker &w = workers_[i];
+    ++w.gen;
     noteError(why);
     if (w.proc) {
         w.proc->kill(SIGKILL);
@@ -228,10 +230,11 @@ WorkerPool::evaluateBatch(
         return id;
     };
 
-    // Wait for request @p id on worker @p w; fills out[] on success.
-    // Any failure (timeout, EOF, malformed reply) retires the worker
-    // and reports false so the ladder can retry the shard elsewhere.
-    auto awaitShard = [&](size_t w, uint64_t id,
+    // Wait for request @p id, sent to slot @p w under generation
+    // @p gen; fills out[] on success. Any failure (timeout, EOF,
+    // malformed reply) retires the worker and reports false so the
+    // ladder can retry the shard elsewhere.
+    auto awaitShard = [&](size_t w, uint64_t gen, uint64_t id,
                           const std::vector<size_t> &idx) -> bool {
         Worker &wk = workers_[w];
         json::Value resp;
@@ -242,10 +245,15 @@ WorkerPool::evaluateBatch(
                 wk.pending.erase(it);
                 break;
             }
-            // The worker may already have been retired while an
-            // *earlier* shard's recovery ran through it; its death was
-            // counted then, so just report the loss to the ladder.
-            if (!wk.proc)
+            // The slot may have been retired — or retired *and
+            // respawned* — while an earlier shard's recovery ran
+            // through it (its death was counted then). A respawned
+            // slot has a live process that never received this
+            // request, so reading its pipe would block until the
+            // watchdog (forever with the unlimited default); the
+            // generation mismatch reports the loss to the ladder
+            // instead.
+            if (!wk.proc || wk.gen != gen)
                 return false;
             Deadline dl = opts_.requestTimeoutMs > 0
                 ? Deadline::afterMs(opts_.requestTimeoutMs)
@@ -335,6 +343,7 @@ WorkerPool::evaluateBatch(
     struct InFlight
     {
         size_t worker = 0;
+        uint64_t gen = 0;
         uint64_t id = 0;
         bool sent = false;
         bool done = false;
@@ -350,7 +359,8 @@ WorkerPool::evaluateBatch(
             continue; // ladder below restarts or degrades
         auto sent = sendShard(static_cast<size_t>(w), shards[s]);
         if (sent.ok())
-            flight[s] = {static_cast<size_t>(w), sent.value(), true, false};
+            flight[s] = {static_cast<size_t>(w), workers_[w].gen,
+                         sent.value(), true, false};
     }
 
     // Collect + recovery ladder, shard by shard in fixed order:
@@ -361,7 +371,7 @@ WorkerPool::evaluateBatch(
         if (f.done)
             continue;
         bool done =
-            f.sent && awaitShard(f.worker, f.id, shards[s]);
+            f.sent && awaitShard(f.worker, f.gen, f.id, shards[s]);
         int restartsUsed = 0;
         int64_t backoff = opts_.backoffBaseMs;
         size_t attempts = done ? 0 : 1;
@@ -386,7 +396,8 @@ WorkerPool::evaluateBatch(
             ++stats_.redispatched;
             auto sent = sendShard(static_cast<size_t>(w), shards[s]);
             if (sent.ok() &&
-                awaitShard(static_cast<size_t>(w), sent.value(), shards[s])) {
+                awaitShard(static_cast<size_t>(w), workers_[w].gen,
+                           sent.value(), shards[s])) {
                 done = true;
                 break;
             }

@@ -137,6 +137,12 @@ class WorkerPool
     {
         std::unique_ptr<Subprocess> proc;
         bool ready = false;
+        /** Slot incarnation, bumped on every spawn and retirement. A
+         *  request records the generation it was sent under; a mismatch
+         *  at await time means the slot was respawned in between — the
+         *  live process never saw the request, so waiting on it would
+         *  block forever (or SIGKILL an innocent worker on timeout). */
+        uint64_t gen = 0;
         /** Out-of-order responses (a redispatched shard's reply can
          *  arrive behind the reply of the shard we are waiting on). */
         std::map<uint64_t, json::Value> pending;

@@ -969,6 +969,76 @@ TEST(MultiProcessDse, WorkerSigkillMidBatchRecoversBitIdentically)
     EXPECT_GT(par.workerStats.redispatched + par.workerStats.degraded, 0u);
 }
 
+TEST(MultiProcessDse, StaleRequestOnRespawnedSlotIsRedispatchedNotAwaited)
+{
+    // Regression: a shard request is in flight on slot W when W dies
+    // before replying, and an *earlier* shard's recovery ladder
+    // restarts slot W. The respawned process never received the
+    // request, so awaiting its reply with the unlimited default
+    // timeout hung the coordinator forever (and with a finite timeout
+    // SIGKILLed the innocent restarted worker). The per-slot
+    // generation check must instead report the shard lost so the
+    // ladder redispatches it.
+    //
+    // Every worker process dies at its 3rd evaluated candidate
+    // (restarted processes re-arm), and the batch sequence walks the
+    // pool deterministically into that state. Batches 1+2 (one
+    // candidate per shard) bring both workers to two evals. Batch 3
+    // (one candidate) kills worker 0 on receipt, then the redispatch
+    // kills worker 1 too, and the ladder restarts slot 0 — leaving
+    // slot 1 dead and slot 0 fresh at one eval. Batch 4 (two
+    // two-candidate shards of a design no live worker has cached)
+    // queues both shards on slot 0, which evaluates the first
+    // candidate of shard 0 — slow, a real uncached evaluation, so
+    // shard 1's request is queued on its pipe long before — then hits
+    // its 3rd-eval fault mid-request, and shard 0's recovery respawns
+    // slot 0. Shard 1 is now awaiting a request the new process never
+    // saw.
+    auto set = workloads::suiteWorkloads("PolyBench");
+    dse::WorkerPoolOptions po;
+    po.workers = 2;
+    po.dse = tinyDse();
+    for (const workloads::Workload *w : set)
+        po.workloadNames.push_back(w->name);
+    po.extraEnv = {"DSA_FAULT=worker.eval.kill:3"};
+    dse::WorkerPool pool(po);
+    ASSERT_TRUE(pool.start().ok());
+
+    adg::Adg warm = adg::buildDseInitial();
+    adg::Adg cold = adg::buildDseInitial(4, 4); // distinct fingerprint
+    dse::ScheduleCache scheds;
+    int fallbacks = 0;
+    auto inProcess = [&](size_t) {
+        ++fallbacks;
+        return dse::WorkerEvalOutcome{
+            Status::internal("degraded in test"), nullptr};
+    };
+    const std::vector<std::vector<const adg::Adg *>> batches = {
+        {&warm, &warm},
+        {&warm, &warm},
+        {&warm},
+        {&cold, &cold, &cold, &cold},
+    };
+    for (const auto &cands : batches) {
+        SCOPED_TRACE("batch=" + std::to_string(cands.size()));
+        auto out = pool.evaluateBatch(cands, scheds, po.dse.useRepair,
+                                      inProcess);
+        ASSERT_EQ(out.size(), cands.size());
+        for (const dse::WorkerEvalOutcome &o : out) {
+            EXPECT_TRUE(o.status.ok()) << o.status.toString();
+            EXPECT_NE(o.entry, nullptr);
+        }
+    }
+    // Every shard recovered through redispatch/restart, never by
+    // degrading — proof the stale request was detected and retried
+    // rather than awaited (the await would never return).
+    EXPECT_EQ(fallbacks, 0);
+    EXPECT_EQ(pool.stats().degraded, 0u);
+    EXPECT_GT(pool.stats().deaths, 0u);
+    EXPECT_GT(pool.stats().restarts, 0u);
+    EXPECT_GT(pool.stats().redispatched, 0u);
+}
+
 TEST(MultiProcessDse, StalledWorkerTimesOutAndRecoversBitIdentically)
 {
     auto serial = runPoolDse(0, {}, 0, 8, 4);
