@@ -4,15 +4,21 @@
  * throughput (simulated cycles per wall second) on representative
  * kernels, plus interpreter (golden-model) throughput.
  *
- * Every simulator benchmark is registered three times — `*_compiled`
- * (event-driven + per-region compute plans + period replay, the
- * default), `*_sparse` (event-driven with the interpreted region
- * tick), and `*_dense` (the original cycle-by-cycle oracle loop) — so
- * BENCH_simulator.json carries its own tier-by-tier comparison,
- * mirroring the `*_reference` convention in micro_scheduler.cc. All
- * modes produce bit-identical results (enforced by
- * tests/test_sim_sparse.cc and tests/test_sim_compiled.cc); only
- * wall-clock differs.
+ * Every simulator benchmark is registered four times — `*_jit`
+ * (runtime code generation: the armed period program lowered to C++,
+ * compiled to a cached shared object, replay chunks run natively),
+ * `*_compiled` (event-driven + per-region compute plans + interpreted
+ * period replay, the PR 8 tier), `*_sparse` (event-driven with the
+ * interpreted region tick), and `*_dense` (the original
+ * cycle-by-cycle oracle loop) — so BENCH_simulator.json carries its
+ * own tier-by-tier comparison, mirroring the `*_reference` convention
+ * in micro_scheduler.cc. All modes produce bit-identical results
+ * (enforced by tests/test_sim_sparse.cc, tests/test_sim_compiled.cc,
+ * and tests/test_sim_jit.cc); only wall-clock differs. The jit
+ * fixtures prewarm synchronously (DSA_SIM_JIT_SYNC) so the timed
+ * iterations measure native replay, not compiler latency; the one
+ * compile per kernel shape is amortized through the on-disk object
+ * cache in real runs.
  *
  * The `cmdheavy_*` fixtures model a slow control core (high command
  * latency, fractional issue IPC), stretching the WaitCmd quiet spells
@@ -23,6 +29,8 @@
  */
 
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
 
 #include "bench/bench_common.h"
 
@@ -83,7 +91,16 @@ struct SimFixture
 };
 
 /** Which simulation tier the fixture exercises. */
-enum class Engine { Dense, Sparse, Compiled };
+enum class Engine { Dense, Sparse, Compiled, Jit };
+
+/** The jit fixtures block acquire() until the kernel is terminal
+ *  (ready or failed): the prewarm run below then guarantees the timed
+ *  iterations execute native replay, never a compile. Set before any
+ *  simulation runs (the runtime reads it once, lazily). */
+const bool kJitSyncArmed = [] {
+    setenv("DSA_SIM_JIT_SYNC", "1", 0);
+    return true;
+}();
 
 void
 BM_Simulate(benchmark::State &state, const std::string &name,
@@ -96,7 +113,18 @@ BM_Simulate(benchmark::State &state, const std::string &name,
     }
     sim::SimOptions opts;
     opts.sparse = engine != Engine::Dense;
-    opts.compiled = engine == Engine::Compiled;
+    opts.compiled = engine == Engine::Compiled || engine == Engine::Jit;
+    opts.jit = engine == Engine::Jit;
+    if (engine == Engine::Jit) {
+        // Compile eagerly, and pay for it (plus the dlopen) once in an
+        // untimed prewarm run; the timed loop below is then all
+        // mem-hit native replay — the steady-state cost a long run or
+        // a warm-cache rerun actually sees.
+        opts.jitHotCycles = 0;
+        auto img = sim::MemImage::build(f.w.kernel, f.golden.initial,
+                                        f.placement);
+        sim::simulate(f.prog, f.sched, f.hw, img, opts);
+    }
     int64_t cycles = 0;
     sim::SimResult last;
     for (auto _ : state) {
@@ -108,7 +136,8 @@ BM_Simulate(benchmark::State &state, const std::string &name,
     }
     state.counters["sim_cycles/s"] = benchmark::Counter(
         static_cast<double>(cycles), benchmark::Counter::kIsRate);
-    if (engine == Engine::Compiled && last.cycles > 0) {
+    if ((engine == Engine::Compiled || engine == Engine::Jit) &&
+        last.cycles > 0) {
         // Engine mix of one run: how much of the wall-cycle count the
         // compiled tier (and its period-replay fast path) absorbed.
         double n = static_cast<double>(last.cycles);
@@ -117,6 +146,10 @@ BM_Simulate(benchmark::State &state, const std::string &name,
         state.counters["replayed%"] =
             100.0 * static_cast<double>(last.cyclesReplayed) / n;
     }
+    if (engine == Engine::Jit && last.cycles > 0)
+        state.counters["jit%"] =
+            100.0 * static_cast<double>(last.cyclesJit) /
+            static_cast<double>(last.cycles);
 }
 
 void
@@ -133,11 +166,16 @@ BM_Interpret(benchmark::State &state, const std::string &name)
 
 } // namespace
 
-// Register a compiled/sparse/dense benchmark triple under one fixture
-// name: the three simulation tiers on identical inputs (bit-identical
-// results, enforced by tests/test_sim_sparse.cc and
-// tests/test_sim_compiled.cc; only wall-clock differs).
+// Register a jit/compiled/sparse/dense benchmark quadruple under one
+// fixture name: the four simulation tiers on identical inputs
+// (bit-identical results, enforced by tests/test_sim_sparse.cc,
+// tests/test_sim_compiled.cc, and tests/test_sim_jit.cc; only
+// wall-clock differs).
 #define SIM_PAIR(label, workload, target, tweak)                        \
+    BENCHMARK_CAPTURE(BM_Simulate, label##_jit,                         \
+                      std::string(workload), std::string(target),       \
+                      tweak, Engine::Jit)                               \
+        ->Unit(benchmark::kMillisecond);                                \
     BENCHMARK_CAPTURE(BM_Simulate, label##_compiled,                    \
                       std::string(workload), std::string(target),       \
                       tweak, Engine::Compiled)                          \

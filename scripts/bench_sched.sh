@@ -35,13 +35,26 @@ if [ "$BT" != "Release" ]; then
 fi
 cmake --build "$BUILD" -j "$JOBS" --target micro_scheduler
 
-# `library_build_type` in the JSON describes the system libbenchmark,
-# not this repo; `dsa_build_type` records the repo's build type.
+# `library_build_type` is reported by the vendored timing harness
+# (bench/minibench) from its own NDEBUG, i.e. it describes the code
+# that actually ran the measurement loop; `dsa_build_type` records the
+# repo's CMake build type alongside it.
 "./$BUILD/bench/micro_scheduler" \
     --benchmark_repetitions="${BENCH_REPS:-5}" \
     --benchmark_report_aggregates_only=true \
     --benchmark_context=dsa_build_type="$BT" \
     --benchmark_out="$OUT" \
     --benchmark_out_format=json
+
+# A debug timing harness produces meaningless numbers: refuse to keep
+# the recording (unless explicitly tagged as non-release above).
+if grep -q '"library_build_type": "debug"' "$OUT" &&
+   [ "${BENCH_ALLOW_NONRELEASE:-0}" != "1" ]; then
+    rm -f "$OUT"
+    echo "refusing to record: benchmark harness was built debug" \
+         "(library_build_type=debug); rebuild Release or set" \
+         "BENCH_ALLOW_NONRELEASE=1" >&2
+    exit 1
+fi
 
 echo "wrote $OUT"

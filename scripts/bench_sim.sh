@@ -45,14 +45,29 @@ cmake --build "$BUILD" -j "$JOBS" --target micro_simulator
 
 # Single-core boxes are noisy: repeat each benchmark and record only
 # the aggregate rows (mean/median/stddev/cv); readers should use the
-# *_median rows. The JSON's own `library_build_type` describes the
-# system libbenchmark, not this repo, so the repo's build type is
-# recorded explicitly as `dsa_build_type`.
+# *_median rows. `library_build_type` is reported by the vendored
+# timing harness (bench/minibench) from its own NDEBUG — it describes
+# the code that ran the measurement loop; the repo's CMake build type
+# is recorded alongside it as `dsa_build_type`. The jit fixtures use a
+# throwaway object-cache directory so every recording pays (and
+# amortizes) its compiles the same way.
+DSA_SIM_JIT_DIR="$(mktemp -d)" \
 "./$BUILD/bench/micro_simulator" \
     --benchmark_repetitions="${BENCH_REPS:-5}" \
     --benchmark_report_aggregates_only=true \
     --benchmark_context=dsa_build_type="$BT" \
     --benchmark_out="$OUT" \
     --benchmark_out_format=json
+
+# A debug timing harness produces meaningless numbers: refuse to keep
+# the recording (unless explicitly tagged as non-release above).
+if grep -q '"library_build_type": "debug"' "$OUT" &&
+   [ "${BENCH_ALLOW_NONRELEASE:-0}" != "1" ]; then
+    rm -f "$OUT"
+    echo "refusing to record: benchmark harness was built debug" \
+         "(library_build_type=debug); rebuild Release or set" \
+         "BENCH_ALLOW_NONRELEASE=1" >&2
+    exit 1
+fi
 
 echo "wrote $OUT"

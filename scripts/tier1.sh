@@ -56,13 +56,19 @@ echo "== tier-1: robustness + sparse-simulator tests under ASan+UBSan =="
 # period-replay programs are arrays of raw pointers and arena offsets
 # rebuilt on every reconfigure — exactly where a stale pointer or
 # off-by-one survives a functional test but not ASan.
+# test_sim_jit joins too: the jit tier hands raw operand tables (host
+# pointers into ring storage, port buffers, scratch arrays) to
+# dlopen'ed code, rebinding them every chunk — a stale rebind is a
+# use-after-free only ASan can see. The generated kernels themselves
+# are compiled by the system compiler without instrumentation; the
+# instrumented host still checks every byte the kernel hands back.
 cmake -B build-asan -S . -DDSA_SANITIZE=address,undefined \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j "$JOBS" --target test_robustness \
-      test_sim_sparse test_sim_compiled
+      test_sim_sparse test_sim_compiled test_sim_jit
 ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-asan --output-on-failure \
-          -R 'test_robustness|test_sim_sparse|test_sim_compiled'
+          -R 'test_robustness|test_sim_sparse|test_sim_compiled|test_sim_jit'
 
 echo
 echo "tier-1 OK"

@@ -17,6 +17,7 @@
 #include "model/host_model.h"
 #include "model/perf_model.h"
 #include "model/regression.h"
+#include "sim/jit/jit_runtime.h"
 #include "sim/sim_batch.h"
 
 namespace dsa::dse {
@@ -60,6 +61,7 @@ Explorer::Explorer(std::vector<const workloads::Workload *> wls,
     // Warm the process-wide singletons (area/power fit, workload
     // registry) serially so pool workers only ever read them.
     model::AreaPowerModel::instance();
+    jitStatsBase_ = sim::jit::JitRuntime::instance().stats();
     pool_ = std::make_unique<ThreadPool>(opts_.threads);
     if (opts_.compileCache)
         compileCache_ = std::make_unique<compiler::CompileCache>();
@@ -198,6 +200,8 @@ Explorer::finalizeResult(DseRunState &st)
         cacheStore_->flush();
         cacheStore_->maybeCompact();
     }
+    st.result.jitStats =
+        sim::jit::JitRuntime::instance().stats() - jitStatsBase_;
     recordCacheStats(st);
 }
 
@@ -1277,16 +1281,16 @@ void
 Explorer::validateBest(DseResult &result)
 {
     // Compile/schedule every workload first, then run all the
-    // simulations as one batch: per-workload {dense, sparse, compiled}
-    // job triples sharing one simulateBatch arena, so ring-buffer and
-    // compute-plan allocations are paid against a single high-water
-    // mark instead of once per engine per workload.
+    // simulations as one batch: per-workload {dense, sparse, compiled,
+    // jit} job quadruples sharing one simulateBatch arena, so
+    // ring-buffer and compute-plan allocations are paid against a
+    // single high-water mark instead of once per engine per workload.
     struct Pending
     {
         const workloads::Workload *w;
         dfg::DecoupledProgram prog;
         mapper::Schedule sched;
-        std::array<sim::MemImage, 3> imgs;  // dense, sparse, compiled
+        std::array<sim::MemImage, 4> imgs; // dense,sparse,compiled,jit
     };
     std::vector<std::unique_ptr<Pending>> pending;
 
@@ -1314,9 +1318,9 @@ Explorer::validateBest(DseResult &result)
     }
 
     std::vector<sim::SimJob> jobs;
-    jobs.reserve(pending.size() * 3);
+    jobs.reserve(pending.size() * 4);
     for (auto &p : pending) {
-        for (int e = 0; e < 3; ++e) {
+        for (int e = 0; e < 4; ++e) {
             sim::SimJob job;
             job.prog = &p->prog;
             job.sched = &p->sched;
@@ -1324,9 +1328,17 @@ Explorer::validateBest(DseResult &result)
             job.mem = &p->imgs[static_cast<size_t>(e)];
             job.opts = opts_.sim;
             job.opts.sparse = e != 0;
-            job.opts.compiled = e == 2;
+            job.opts.compiled = e >= 2;
+            job.opts.jit = e == 3;
             job.opts.checkSparse = false;
             job.opts.checkCompiled = false;
+            job.opts.checkJit = false;
+            if (e == 3) {
+                // Validation runs are short: compile eagerly so the
+                // native path is actually exercised (and its object
+                // lands in the shared cache for the next run).
+                job.opts.jitHotCycles = 0;
+            }
             jobs.push_back(job);
         }
     }
@@ -1334,7 +1346,7 @@ Explorer::validateBest(DseResult &result)
 
     for (size_t i = 0; i < pending.size(); ++i) {
         const auto &p = *pending[i];
-        const auto &dense = batch.results[i * 3];
+        const auto &dense = batch.results[i * 4];
         auto sameAsDense = [&](const sim::SimResult &r, int img) {
             return dense.ok == r.ok &&
                    dense.status.code() == r.status.code() &&
@@ -1347,17 +1359,19 @@ Explorer::validateBest(DseResult &result)
                        p.imgs[static_cast<size_t>(img)].spad.bytes();
         };
         const char *bad = nullptr;
-        if (!sameAsDense(batch.results[i * 3 + 1], 1))
+        if (!sameAsDense(batch.results[i * 4 + 1], 1))
             bad = "sparse";
-        else if (!sameAsDense(batch.results[i * 3 + 2], 2))
+        else if (!sameAsDense(batch.results[i * 4 + 2], 2))
             bad = "compiled";
+        else if (!sameAsDense(batch.results[i * 4 + 3], 3))
+            bad = "jit";
         if (bad && result.status.ok())
             result.status = Status::internal(
                 std::string(bad) +
                 "/dense simulator divergence on workload '" +
                 p.w->name + "' of the best design");
-        double denseMs = batch.jobMs[i * 3];
-        double fastMs = batch.jobMs[i * 3 + 2];
+        double denseMs = batch.jobMs[i * 4];
+        double fastMs = batch.jobMs[i * 4 + 3];
         result.simSpeedups[p.w->name] =
             fastMs > 0 ? denseMs / fastMs : 0.0;
     }

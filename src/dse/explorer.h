@@ -44,6 +44,7 @@
 #include "mapper/scheduler.h"
 #include "model/cost.h"
 #include "model/cost_cache.h"
+#include "sim/jit/jit_stats.h"
 #include "sim/simulator.h"
 #include "workloads/workload.h"
 
@@ -272,11 +273,12 @@ struct DseOptions
     /// @{
     /**
      * After the exploration loop, run the cycle-level simulator on
-     * the best design for every workload three times — the dense
-     * oracle loop, the event-driven sparse loop, and the compiled
-     * steady-state engine — as one simulateBatch() over a shared
-     * arena, cross-check the three results bit-exactly, and record
-     * the per-workload dense/compiled wall-clock speedup in
+     * the best design for every workload four times — the dense
+     * oracle loop, the event-driven sparse loop, the compiled
+     * steady-state engine, and the jit (runtime code generation)
+     * engine — as one simulateBatch() over a shared arena,
+     * cross-check the four results bit-exactly, and record the
+     * per-workload dense/jit wall-clock speedup in
      * DseResult::simSpeedups. A divergence surfaces as an Internal
      * DseResult::status. Off by default (it adds full simulation
      * passes to the run). Not serialized into checkpoints.
@@ -395,9 +397,14 @@ struct DseResult
     /** Hypervolume of `front` vs the (area, power) budget reference
      *  point, in geomean-speedup x mm^2 x mW units. */
     double frontHypervolume = 0;
-    /** Per-workload dense/compiled simulator wall-clock speedup on
-     *  the best design (populated when DseOptions::simValidateBest). */
+    /** Per-workload dense/jit simulator wall-clock speedup on the
+     *  best design (populated when DseOptions::simValidateBest). */
     std::map<std::string, double> simSpeedups;
+    /** JIT-tier activity during this run — object compiles and their
+     *  total latency, cache hits by level, degrade counts (see
+     *  sim/jit/jit_stats.h). Delta over the run, so a warm object
+     *  cache shows up as zero compiles. Observability only. */
+    sim::jit::JitStats jitStats;
     /** Cache hit/miss/insert counters (see DseCacheStats). */
     DseCacheStats cacheStats;
     /** Worker-pool counters (zero when DseOptions::workers == 0). The
@@ -595,6 +602,9 @@ class Explorer
      *  starts one; dropped — with a recorded status — if every worker
      *  fails, degrading the run to in-process evaluation). */
     std::unique_ptr<WorkerPool> workerPool_;
+    /** Process-wide jit counters at construction: DseResult::jitStats
+     *  reports the delta over this explorer's lifetime. */
+    sim::jit::JitStats jitStatsBase_;
 };
 
 } // namespace dsa::dse

@@ -366,6 +366,96 @@ struct OutPortSim
     }
 };
 
+/**
+ * Power-of-two ring of Values with exposed storage. Replaces the
+ * std::deque write buffer so the jit tier can bind (data, head,
+ * count, mask) directly into a generated kernel; the interpreted
+ * paths use the deque-shaped methods below. Growth re-linearizes
+ * into a fresh buffer (order preserved) — never mid-kernel: callers
+ * that hand the ring to native code reserve() the worst case first.
+ */
+struct ValueRing
+{
+    Value *data = nullptr;
+    uint32_t head = 0;
+    uint32_t count = 0;
+    uint32_t mask = 0; ///< capacity - 1 (capacity is a power of two)
+    std::vector<Value> store;
+
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+
+    Value &operator[](size_t i) { return data[(head + i) & mask]; }
+    const Value &
+    operator[](size_t i) const
+    {
+        return data[(head + i) & mask];
+    }
+    Value &front() { return data[head]; }
+    const Value &front() const { return data[head]; }
+
+    void
+    push_back(Value v)
+    {
+        if (!data || count > mask)
+            grow(data ? 2 * (mask + 1) : 64);
+        data[(head + count) & mask] = v;
+        ++count;
+    }
+
+    void
+    pop_front()
+    {
+        head = (head + 1) & mask;
+        --count;
+    }
+
+    /** Drop the first @p n values (deque erase(begin, begin + n)). */
+    void
+    erase_front(size_t n)
+    {
+        head = (head + static_cast<uint32_t>(n)) & mask;
+        count -= static_cast<uint32_t>(n);
+    }
+
+    void
+    clear()
+    {
+        head = 0;
+        count = 0;
+    }
+
+    /** Guarantee room for @p cap values without any future grow(). */
+    void
+    reserve(uint32_t cap)
+    {
+        if (cap > 0 && (!data || mask + 1 < cap))
+            grow(detail_roundUp(cap));
+    }
+
+  private:
+    static uint32_t
+    detail_roundUp(uint32_t v)
+    {
+        uint32_t c = 64;
+        while (c < v)
+            c *= 2;
+        return c;
+    }
+
+    void
+    grow(uint32_t cap)
+    {
+        std::vector<Value> next(cap);
+        for (uint32_t i = 0; i < count; ++i)
+            next[i] = data[(head + i) & mask];
+        store = std::move(next);
+        data = store.data();
+        head = 0;
+        mask = cap - 1;
+    }
+};
+
 /** One stream's execution state for the current issue. */
 struct StreamExec
 {
@@ -376,7 +466,7 @@ struct StreamExec
     std::vector<int64_t> idxAddrs;
     size_t pos = 0;
     PortSim *target = nullptr;       // reads
-    std::deque<Value> writeBuf;      // writes/atomics: values from port
+    ValueRing writeBuf;              // writes/atomics: values from port
     int writeBufCap = 32;
     int64_t nextReady = 0;           // scalar-fallback throttle
     bool openDone = false;           // open-ended write finished

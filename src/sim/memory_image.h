@@ -74,6 +74,11 @@ class AddressSpace
      *  simulator's sparse-vs-dense cross-check mode). */
     const std::vector<uint8_t> &bytes() const { return bytes_; }
 
+    /** Mutable backing bytes: the jit tier binds this base pointer
+     *  into generated kernels (bounds-guarded in the emitted code the
+     *  same way load/store assert here). */
+    uint8_t *data() { return bytes_.data(); }
+
   private:
     std::vector<uint8_t> bytes_;
 };

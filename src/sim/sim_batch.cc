@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "base/logging.h"
+#include "sim/jit/jit_runtime.h"
 #include "sim/machine_state.h"
 
 namespace dsa::sim {
@@ -14,6 +15,7 @@ simulateBatch(const std::vector<SimJob> &jobs)
     out.results.reserve(jobs.size());
     out.jobMs.reserve(jobs.size());
     SimArena arena;
+    const jit::JitStats jitBase = jit::JitRuntime::instance().stats();
     auto start = std::chrono::steady_clock::now();
     for (const SimJob &job : jobs) {
         DSA_ASSERT(job.prog && job.sched && job.adg && job.mem,
@@ -30,6 +32,7 @@ simulateBatch(const std::vector<SimJob> &jobs)
     out.wallMs =
         std::chrono::duration<double, std::milli>(end - start).count();
     out.arenaBytes = arena.footprint();
+    out.jitStats = jit::JitRuntime::instance().stats() - jitBase;
     return out;
 }
 

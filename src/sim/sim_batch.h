@@ -20,6 +20,7 @@
 #include "adg/adg.h"
 #include "dfg/program.h"
 #include "mapper/schedule.h"
+#include "sim/jit/jit_stats.h"
 #include "sim/memory_image.h"
 #include "sim/simulator.h"
 
@@ -49,6 +50,10 @@ struct SimBatchResult
     double wallMs = 0.0;
     /** Shared-arena high-water mark after the batch (bytes). */
     size_t arenaBytes = 0;
+    /** JIT-tier activity during the batch (delta of the process-wide
+     *  counters): jobs share one object cache, so N jobs with the
+     *  same armed kernel shape show one compile and N-1 hits. */
+    jit::JitStats jitStats;
 };
 
 /**

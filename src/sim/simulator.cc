@@ -9,8 +9,13 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "adg/fingerprint.h"
+#include "base/hashing.h"
 #include "base/logging.h"
 #include "sim/compute_plan.h"
+#include "sim/jit/jit_cache.h"
+#include "sim/jit/jit_emit.h"
+#include "sim/jit/jit_runtime.h"
 #include "sim/machine_state.h"
 
 namespace dsa::sim {
@@ -371,6 +376,79 @@ class Machine
     /** genStreams-aligned record slots per region (-1 = untracked). */
     std::vector<std::vector<int>> genRecSlots_;
     /// @}
+
+    /// @name JIT tier: native execution of the armed period program
+    ///
+    /// At arm time the period program is additionally lowered to C++
+    /// (sim/jit/jit_emit) and handed to the process-wide JitRuntime;
+    /// replayRun() dispatches whole chunks through the native kernel
+    /// once it is Ready, interpreting until then. The kernel performs
+    /// exactly the hot loop's value mutations; the chunk-end fix-ups
+    /// stay host-side and are shared between both paths, plus two
+    /// host-side extras the interpreted loop does per element (sink
+    /// seen/taken counters, OutLast lastValid).
+    /// @{
+
+    /** Mark region @p r's freshly armed program as jit-candidate
+     *  (cheap: actual lowering is deferred to jitTryNative so runs
+     *  that never replay long enough to win never pay for it). */
+    void jitArm(int r);
+    /** Lower the armed program (source text, cache key) — the
+     *  expensive half of arming, run at most once per arm and only
+     *  once replay volume passes the amortization gate. */
+    void jitLower();
+    /** Run @p m periods through the native kernel; false = not ready
+     *  (or not worth it), caller interprets. */
+    bool jitTryNative(int64_t m);
+
+    /** Amortization gate, in simulated-cycles-per-period-action:
+     *  lower once the replay volume since the arm (cycles already
+     *  replayed plus the chunk being offered) reaches this many cycles
+     *  per action. Lowering costs roughly 0.7µs per action (text
+     *  emission + key hashing) while native replay gains ~22ns/cycle
+     *  over the interpreted loop, so break-even sits near 32
+     *  cycles/action for a single run; 24 engages high-volume kernels
+     *  (whose later chunks dwarf the lowering cost) one chunk earlier
+     *  while still excluding one-shot programs whose entire replay
+     *  is the same order as their action count. */
+    static constexpr int64_t kJitLowerCyclesPerAction = 24;
+
+    bool jitWanted_ = false; ///< opts + host allow the jit tier
+    bool jitLowered_ = false; ///< lowering ran for the current arm
+    int jitRegion_ = -1;      ///< region of the current arm
+    int64_t jitArmReplayed0_ = 0; ///< cyclesReplayed_ at arm time
+    int64_t cyclesJit_ = 0;
+    std::string jitDir_;
+    /** Canonical ADG fingerprint, computed only if acquire() starts a
+     *  new compile job (manifest metadata; ~50µs structural walk). */
+    std::string jitFp_;
+    uint64_t jitOptsHash_ = 0;
+    bool jitUsable_ = false; ///< armed program lowered successfully
+    /** Minimum chunk size (in simulated cycles) worth running
+     *  natively: every native call pays a table rebind proportional
+     *  to the program's operand-table footprint, so short chunks are
+     *  faster through the interpreted loop. Set at arm time. */
+    int64_t jitMinChunkCycles_ = 0;
+    jit::Emitted jitEm_;
+    std::string jitKey_;
+    jit::KernelFn jitFn_ = nullptr;
+    /// Kernel argument tables, rebound before every native chunk.
+    std::vector<long long> jitS_;
+    std::vector<Value *> jitP_;
+    std::vector<const long long *> jitA_;
+    std::vector<unsigned char *> jitB_;
+    /** OutLast ports in the program: lastValid set host-side. */
+    std::vector<OutPortSim *> jitLastPorts_;
+    /** Per-period sink counter deltas (deliverElement's ++seen/++taken
+     *  batched: wants() is provably constant across the chunk). */
+    struct JitSinkDelta
+    {
+        OutSink *sink = nullptr;
+        int64_t seenPer = 0;
+        int64_t takenPer = 0;
+    };
+    std::vector<JitSinkDelta> jitSinkDeltas_;
+    /// @}
 };
 
 int64_t
@@ -508,6 +586,11 @@ Machine::build()
     // flat micro-op plan (only meaningful under the event-driven loop;
     // the dense oracle never consults plans).
     compiled_ = opts_.sparse && opts_.compiled;
+    jitWanted_ = compiled_ && opts_.jit &&
+                 jit::JitRuntime::hostSupported();
+    if (jitWanted_)
+        jitDir_ = opts_.jitCacheDir.empty() ? jit::defaultCacheDir()
+                                            : opts_.jitCacheDir;
     if (compiled_) {
         plans_.resize(regions_.size());
         for (size_t r = 0; r < regions_.size(); ++r)
@@ -857,6 +940,7 @@ Machine::replayTop(int64_t now, int64_t burstHzn, bool deadlineLimited)
             return 0;
         }
         buildPeriodProgram(r, now);
+        jitArm(r);
         rpPhase_ = RpPhase::Armed;
         rpMisses_ = 0;
     }
@@ -977,8 +1061,7 @@ Machine::execSlot(const ReplaySlot &sl, int32_t n, int64_t now)
         const int64_t *addrs = se.addrs.data() + se.pos;
         for (int32_t i = 0; i < n; ++i)
             storeE(addrs[i], se.writeBuf[static_cast<size_t>(i)]);
-        se.writeBuf.erase(se.writeBuf.begin(),
-                          se.writeBuf.begin() + n);
+        se.writeBuf.erase_front(static_cast<size_t>(n));
         se.pos += static_cast<size_t>(n);
         break;
       }
@@ -1157,6 +1240,272 @@ Machine::buildPeriodProgram(int r, int64_t now)
 }
 
 void
+Machine::jitArm(int r)
+{
+    jitFn_ = nullptr;
+    jitUsable_ = false;
+    jitLowered_ = false;
+    jitRegion_ = r;
+    jitArmReplayed0_ = cyclesReplayed_;
+}
+
+void
+Machine::jitLower()
+{
+    jitLowered_ = true;
+    const int r = jitRegion_;
+    const RegionPlan &plan = plans_[static_cast<size_t>(r)];
+    const auto &slots = rpSlots_[static_cast<size_t>(r)];
+    jit::KernelBuilder b;
+    jitLastPorts_.clear();
+    jitSinkDeltas_.clear();
+    // Elements deliverElement() would see per period, per out port
+    // (the kernel pushes values but leaves the sink seen/taken
+    // counters to the chunk-end fix-up).
+    std::map<OutPortSim *, int64_t> delivered;
+    for (const RpAction &a : rpProg_) {
+        switch (a.op) {
+          case RpAction::Latch:
+            b.latch(plan.steps[a.idx].port);
+            break;
+          case RpAction::Fire:
+            b.fire(plan.steps[a.idx]);
+            break;
+          case RpAction::LatchFire:
+            b.latchFire(plan.steps[a.idx]);
+            break;
+          case RpAction::Inst:
+            b.inst(plan.steps[a.idx],
+                   plan.steps[a.idx].kind == detail::PlanStep::InstAcc);
+            break;
+          case RpAction::InstFAdd2:
+            b.inst2(plan.steps[a.idx], OpCode::FAdd);
+            break;
+          case RpAction::InstFMul2:
+            b.inst2(plan.steps[a.idx], OpCode::FMul);
+            break;
+          case RpAction::InstAdd2:
+            b.inst2(plan.steps[a.idx], OpCode::Add);
+            break;
+          case RpAction::InstMul2:
+            b.inst2(plan.steps[a.idx], OpCode::Mul);
+            break;
+          case RpAction::SelfAcc:
+            b.selfAcc(plan.steps[a.idx], false, a.flags & 1);
+            break;
+          case RpAction::SelfAccF:
+            b.selfAcc(plan.steps[a.idx], true, a.flags & 1);
+            break;
+          case RpAction::OutDeliver: {
+            const detail::PlanStep &s = plan.steps[a.idx];
+            b.outDeliver(s);
+            delivered[s.outPort] += s.nOut;
+            break;
+          }
+          case RpAction::OutDiscard:
+            b.outDiscard(plan.steps[a.idx]);
+            break;
+          case RpAction::OutLatch: {
+            const detail::PlanStep &s = plan.steps[a.idx];
+            b.outLatch(s);
+            jitLastPorts_.push_back(s.outPort);
+            break;
+          }
+          case RpAction::Deliver: {
+            const ReplaySlot &sl = slots[a.idx];
+            jit::StreamRef sr;
+            sr.kind = sl.kind;
+            sr.elemB = sl.elemB;
+            sr.idxElemB = sl.idxElemB;
+            sr.base = sl.base;
+            sr.updateFn = sl.updateFn;
+            sr.se = sl.se;
+            sr.space = sl.space;
+            sr.idxSpace = sl.idxSpace;
+            sr.constValue = sl.se->st->constValue;
+            b.deliver(sr, a.n);
+            break;
+          }
+        }
+        if (!b.ok())
+            return; // shape the emitter cannot lower: interpret
+    }
+    for (auto &[op, n] : delivered)
+        for (OutSink &sk : op->sinks)
+            jitSinkDeltas_.push_back(
+                {&sk, n, sk.wants() ? n : static_cast<int64_t>(0)});
+    std::sort(jitLastPorts_.begin(), jitLastPorts_.end());
+    jitLastPorts_.erase(
+        std::unique(jitLastPorts_.begin(), jitLastPorts_.end()),
+        jitLastPorts_.end());
+
+    jit::Emitted em = b.finish();
+    if (em.source.empty())
+        return;
+    jitOptsHash_ =
+        hashCombine(static_cast<uint64_t>(opts_.scalarElementInterval),
+                    static_cast<uint64_t>(1));
+    jitEm_ = std::move(em);
+    jitKey_ = jit::JitRuntime::makeKey(
+        jitEm_.source, jit::JitRuntime::instance().compilerId(),
+        jitOptsHash_);
+    // Break-even gate for jitTryNative: the per-call rebind walks
+    // every operand-table slot, so a chunk must simulate at least on
+    // the order of that many cycles before native execution wins.
+    // (Measured: the native loop gains ~25ns/cycle over interpreted
+    // replay while a rebind costs a few ns/slot — one cycle per slot
+    // is already conservative.)
+    jitMinChunkCycles_ = static_cast<int64_t>(
+        64 + jitEm_.state.size() + jitEm_.ptrs.size() +
+        jitEm_.addrs.size() + jitEm_.bytes.size());
+    jitUsable_ = true;
+}
+
+bool
+Machine::jitTryNative(int64_t m)
+{
+    if (!jitLowered_) {
+        // Don't even lower until the native win can pay for the
+        // lowering itself: the replay volume since the arm (including
+        // the chunk on offer) has to reach the per-action break-even.
+        // Keeps short bursty runs (which the interpreted loop serves
+        // in microseconds) from paying milliseconds of text emission
+        // for nothing.
+        const int64_t actions = static_cast<int64_t>(rpProg_.size());
+        if (cyclesReplayed_ - jitArmReplayed0_ + m * rpPeriod_ <
+            kJitLowerCyclesPerAction * actions)
+            return false;
+        jitLower();
+    }
+    if (!jitUsable_)
+        return false;
+    // Short chunks lose to the fixed rebind cost: run them through the
+    // interpreted loop (bit-identical, just a different engine mix).
+    if (m * rpPeriod_ < jitMinChunkCycles_)
+        return false;
+    if (!jitFn_) {
+        const bool allowCompile = opts_.jitHotCycles <= 0 ||
+                                  cyclesReplayed_ >= opts_.jitHotCycles;
+        // The fingerprint lambda runs only when this acquire starts a
+        // new job (first sight of the key in this process): the
+        // structural walk costs ~50µs, which would dominate short
+        // runs if paid per Machine on warm hits.
+        jitFn_ = jit::JitRuntime::instance().acquire(
+            jitDir_, jitKey_, jitEm_.source,
+            [this] {
+                if (jitFp_.empty())
+                    jitFp_ =
+                        adg::toString(adg::structuralFingerprint(adg_));
+                return jitFp_;
+            },
+            allowCompile);
+        if (!jitFn_)
+            return false;
+        jitS_.resize(jitEm_.state.size());
+        jitP_.resize(jitEm_.ptrs.size());
+        jitA_.resize(jitEm_.addrs.size());
+        jitB_.resize(jitEm_.bytes.size());
+    }
+    // Rebind every table: host pointers (ring storage, lastVec) can
+    // move between chunks, and mutable scalars changed since.
+    for (size_t i = 0; i < jitEm_.ptrs.size(); ++i) {
+        const jit::PtrRef &pr = jitEm_.ptrs[i];
+        switch (pr.kind) {
+          case jit::PtrRef::PipeVals:
+            jitP_[i] = static_cast<Pipe *>(pr.obj)->vals;
+            break;
+          case jit::PtrRef::PortBuf:
+            jitP_[i] = static_cast<PortSim *>(pr.obj)->buf;
+            break;
+          case jit::PtrRef::RingData: {
+            auto *se = static_cast<StreamExec *>(pr.obj);
+            // The kernel never grows the ring; the recorded period's
+            // peak occupancy is gate-bounded by writeBufCap, so one
+            // up-front reservation covers every chunk.
+            se->writeBuf.reserve(
+                static_cast<uint32_t>(se->writeBufCap) * 2);
+            jitP_[i] = se->writeBuf.data;
+            break;
+          }
+          case jit::PtrRef::LastVec: {
+            auto *op = static_cast<OutPortSim *>(pr.obj);
+            if (op->lastVec.size() != static_cast<size_t>(pr.n))
+                op->lastVec.resize(static_cast<size_t>(pr.n));
+            jitP_[i] = op->lastVec.data();
+            break;
+          }
+          default:
+            DSA_ASSERT(false, "bad jit pointer binding");
+        }
+    }
+    for (size_t i = 0; i < jitEm_.addrs.size(); ++i) {
+        const jit::PtrRef &pr = jitEm_.addrs[i];
+        auto *se = static_cast<StreamExec *>(pr.obj);
+        jitA_[i] = reinterpret_cast<const long long *>(
+            pr.kind == jit::PtrRef::IdxAddrs ? se->idxAddrs.data()
+                                             : se->addrs.data());
+    }
+    for (size_t i = 0; i < jitEm_.bytes.size(); ++i)
+        jitB_[i] = static_cast<AddressSpace *>(jitEm_.bytes[i].obj)
+                       ->data();
+    for (size_t i = 0; i < jitEm_.state.size(); ++i) {
+        const jit::StateRef &st = jitEm_.state[i];
+        switch (st.kind) {
+          case jit::StateRef::Const:
+            jitS_[i] = st.constV;
+            break;
+          case jit::StateRef::U32:
+            jitS_[i] = *static_cast<uint32_t *>(st.p);
+            break;
+          case jit::StateRef::U64:
+            jitS_[i] = static_cast<long long>(
+                *static_cast<uint64_t *>(st.p));
+            break;
+          case jit::StateRef::Size:
+            jitS_[i] = static_cast<long long>(
+                *static_cast<size_t *>(st.p));
+            break;
+        }
+    }
+
+    jitFn_(m, jitS_.data(), jitP_.data(), jitA_.data(), jitB_.data(),
+           jitEm_.fns.data(), &jit::dsaJitTrap);
+
+    for (size_t i = 0; i < jitEm_.state.size(); ++i) {
+        const jit::StateRef &st = jitEm_.state[i];
+        if (!st.writeback)
+            continue;
+        switch (st.kind) {
+          case jit::StateRef::U32:
+            *static_cast<uint32_t *>(st.p) =
+                static_cast<uint32_t>(jitS_[i]);
+            break;
+          case jit::StateRef::U64:
+            *static_cast<uint64_t *>(st.p) =
+                static_cast<uint64_t>(jitS_[i]);
+            break;
+          case jit::StateRef::Size:
+            *static_cast<size_t *>(st.p) =
+                static_cast<size_t>(jitS_[i]);
+            break;
+          case jit::StateRef::Const:
+            break;
+        }
+    }
+    // Host-side per-element effects the kernel elides: sink counters
+    // (wants() is pinned by the armed snapshot, so the deltas are
+    // exact multiples) and OutLast validity.
+    for (const JitSinkDelta &d : jitSinkDeltas_) {
+        d.sink->seen += d.seenPer * m;
+        d.sink->taken += d.takenPer * m;
+    }
+    for (OutPortSim *op : jitLastPorts_)
+        op->lastValid = true;
+    cyclesJit_ += m * rpPeriod_;
+    return true;
+}
+
+void
 Machine::replayRun(int64_t now, int64_t m)
 {
     RegionSim &rs = regions_[static_cast<size_t>(rpRegion_)];
@@ -1164,11 +1513,15 @@ Machine::replayRun(int64_t now, int64_t m)
     const auto &slots = rpSlots_[static_cast<size_t>(rpRegion_)];
     const RpAction *prog = rpProg_.data();
     const size_t na = rpProg_.size();
+    // Native fast path: once the jit kernel for the armed program is
+    // ready it performs exactly the hot loop below (same mutations,
+    // same order); the chunk-end fix-ups further down are shared.
+    const bool native = jitWanted_ && jitTryNative(m);
     // Hot loop: the period's actions, value-only. Timestamps, fire/pop
     // counters, arbitration stamps, and reuse state are reconstructed
     // once at chunk end (see below); correctness rests on the armed
     // snapshot pinning every gate-relevant residue.
-    for (int64_t k = 0; k < m; ++k) {
+    for (int64_t k = 0; !native && k < m; ++k) {
         for (size_t e = 0; e < na; ++e) {
             const RpAction &a = prog[e];
             detail::PlanStep &s = plan.steps[a.idx];
@@ -1752,8 +2105,7 @@ Machine::tickStreams(int64_t now, bool &activity)
                     for (int64_t i = 0; i < n; ++i)
                         space.store(addrs[i], elemB,
                                     se.writeBuf[static_cast<size_t>(i)]);
-                    se.writeBuf.erase(se.writeBuf.begin(),
-                                      se.writeBuf.begin() + n);
+                    se.writeBuf.erase_front(static_cast<size_t>(n));
                     se.pos += static_cast<size_t>(n);
                     budget -= static_cast<int>(n) * elemB;
                     activity = true;
@@ -2465,6 +2817,7 @@ Machine::fillStats(SimResult &res, int64_t now) const
     res.cyclesGeneric = cyclesGeneric_;
     res.cyclesSkipped = cyclesSkipped_;
     res.cyclesReplayed = cyclesReplayed_;
+    res.cyclesJit = cyclesJit_;
 }
 
 std::string
@@ -2578,11 +2931,70 @@ compiledDefault()
     return compiled;
 }
 
+bool
+jitDefault()
+{
+    static const bool jit = [] {
+        const char *env = std::getenv("DSA_SIM_JIT");
+        return !(env && std::strcmp(env, "0") == 0);
+    }();
+    return jit;
+}
+
+int64_t
+jitHotCyclesDefault()
+{
+    static const int64_t hot = [] {
+        const char *env = std::getenv("DSA_SIM_JIT_HOT");
+        if (env && *env) {
+            char *end = nullptr;
+            long long v = std::strtoll(env, &end, 10);
+            if (end && *end == '\0' && v >= 0)
+                return static_cast<int64_t>(v);
+        }
+        return static_cast<int64_t>(65536);
+    }();
+    return hot;
+}
+
 SimResult
 simulateShared(const dfg::DecoupledProgram &prog,
                const mapper::Schedule &sched, const Adg &adg, MemImage &mem,
                const SimOptions &opts, SimArena *arena)
 {
+    if (opts.checkJit) {
+        // Oracle cross-check: the non-jit reference runs on a
+        // throwaway copy of the memory image (and may itself honor
+        // checkCompiled/checkSparse, chaining down to the dense
+        // oracle), the jit-enabled engine on the real one, and any
+        // divergence in result or memory contents turns into an
+        // Internal error.
+        MemImage refMem = mem;
+        SimOptions refOpts = opts;
+        refOpts.jit = false;
+        refOpts.checkJit = false;
+        SimResult refRes =
+            simulateShared(prog, sched, adg, refMem, refOpts, nullptr);
+
+        SimOptions jOpts = opts;
+        jOpts.sparse = true;
+        jOpts.compiled = true;
+        jOpts.jit = true;
+        jOpts.checkSparse = false;
+        jOpts.checkCompiled = false;
+        jOpts.checkJit = false;
+        Machine jm(prog, sched, adg, mem, jOpts, arena);
+        SimResult jRes = jm.run();
+
+        std::string diff = firstDivergence(refRes, jRes, refMem, mem);
+        if (!diff.empty()) {
+            jRes.ok = false;
+            jRes.error =
+                "jit/interpreted simulator divergence: " + diff;
+            jRes.status = Status::internal(jRes.error);
+        }
+        return jRes;
+    }
     if (opts.checkCompiled) {
         // Oracle cross-check: the interpreted reference runs on a
         // throwaway copy of the memory image (and may itself honor

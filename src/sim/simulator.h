@@ -48,6 +48,17 @@ bool sparseDefault();
  */
 bool compiledDefault();
 
+/**
+ * Default for SimOptions::jit: true unless the environment variable
+ * DSA_SIM_JIT is set to "0" (read once per process). The override
+ * pins steady-state replay to the interpreted loop — for bisection,
+ * and for the `test_sim*_nojit` CI variants.
+ */
+bool jitDefault();
+
+/** Default for SimOptions::jitHotCycles ($DSA_SIM_JIT_HOT override). */
+int64_t jitHotCyclesDefault();
+
 /** Simulation knobs. */
 struct SimOptions
 {
@@ -121,6 +132,41 @@ struct SimOptions
      * checkSparse.
      */
     bool checkCompiled = false;
+    /**
+     * JIT tier (requires `sparse` + `compiled`): when a region's
+     * steady-state period program is armed, it is additionally lowered
+     * to generated C++, compiled to a shared object on a background
+     * thread (the interpreted replay loop serves until it is ready),
+     * dlopen()ed, and whole replay chunks then run through the native
+     * kernel. Objects are content-addressed and cached on disk (see
+     * sim/jit/jit_cache.h) so repeated runs — and DSE worker pools
+     * sharing one cache directory — compile each kernel shape once.
+     * Degrades silently to the interpreted replay tier when the host
+     * has no compiler, compilation fails, or a fault site fires;
+     * results are bit-identical either way (enforced by
+     * tests/test_sim_jit.cc). Default-on (see jitDefault()).
+     */
+    bool jit = jitDefault();
+    /**
+     * Cross-check mode for the jit tier: run the non-jit reference
+     * (which itself still honors checkCompiled/checkSparse, chaining
+     * down to the dense oracle) on a copy of the memory image and the
+     * jit-enabled engine on the real one, compare SimResult
+     * bit-exactly and both address spaces byte-exactly, and return an
+     * Internal error describing the first divergence. Same deadline
+     * caveat as checkSparse.
+     */
+    bool checkJit = false;
+    /** JIT object-cache directory ("" = $DSA_SIM_JIT_DIR, else a
+     *  per-uid default under $TMPDIR). */
+    std::string jitCacheDir;
+    /**
+     * Compile threshold: invoke the compiler only once a machine has
+     * replayed at least this many cycles (cache probes still happen
+     * immediately, so previously compiled kernels load regardless).
+     * 0 compiles eagerly at arm. Default 65536 ($DSA_SIM_JIT_HOT).
+     */
+    int64_t jitHotCycles = jitHotCyclesDefault();
 };
 
 /** Per-region outcome. */
@@ -160,6 +206,9 @@ struct SimResult
     /** Of cyclesCompiled, cycles executed by period replay (a recorded
      *  steady-state period's trace re-run with no gate evaluation). */
     int64_t cyclesReplayed = 0;
+    /** Of cyclesReplayed, cycles executed by a jit-compiled native
+     *  kernel rather than the interpreted replay loop. */
+    int64_t cyclesJit = 0;
     /// @}
 };
 

@@ -43,6 +43,7 @@
 #include "model/host_model.h"
 #include "model/perf_model.h"
 #include "model/regression.h"
+#include "sim/jit/jit_runtime.h"
 #include "sim/report.h"
 #include "sim/simulator.h"
 #include "workloads/workload.h"
@@ -244,12 +245,34 @@ cmdRun(const std::string &workload, const std::string &target, int unroll,
         std::printf("    of which replayed:   %12lld (%5.1f%%)\n",
                     static_cast<long long>(res.cyclesReplayed),
                     pct(res.cyclesReplayed));
+        std::printf("    of which jit-native: %12lld (%5.1f%%)\n",
+                    static_cast<long long>(res.cyclesJit),
+                    pct(res.cyclesJit));
         std::printf("  interpreted:           %12lld (%5.1f%%)\n",
                     static_cast<long long>(res.cyclesGeneric),
                     pct(res.cyclesGeneric));
         std::printf("  idle (skipped):        %12lld (%5.1f%%)\n",
                     static_cast<long long>(res.cyclesSkipped),
                     pct(res.cyclesSkipped));
+        const sim::jit::JitStats js = sim::jit::JitRuntime::instance().stats();
+        if (js.requests > 0) {
+            int64_t hits = js.memHits + js.diskHits;
+            std::printf(
+                "  jit objects: %lld compiled (%.1f ms), %lld mem + "
+                "%lld disk hits of %lld requests\n",
+                static_cast<long long>(js.compiles), js.compileMs,
+                static_cast<long long>(js.memHits),
+                static_cast<long long>(js.diskHits),
+                static_cast<long long>(js.requests));
+            if (js.compileFailures + js.dlopenFailures + js.quarantined >
+                0)
+                std::printf("  jit degrades: %lld compile failures, "
+                            "%lld dlopen failures, %lld quarantined\n",
+                            static_cast<long long>(js.compileFailures),
+                            static_cast<long long>(js.dlopenFailures),
+                            static_cast<long long>(js.quarantined));
+            (void)hits;
+        }
     }
     double host = model::estimateHostCycles(b.golden.stats);
     std::printf("\nspeedup vs host model: %.2fx\n",
@@ -342,9 +365,24 @@ finishDse(const dse::DseResult &res, const std::string &savePath)
     if (!res.simSpeedups.empty()) {
         std::printf(
             "simulator validation on best design (dense==sparse=="
-            "compiled, wall-clock dense/compiled):\n");
+            "compiled==jit, wall-clock dense/jit):\n");
         for (const auto &[name, sx] : res.simSpeedups)
             std::printf("  %-12s %.2fx\n", name.c_str(), sx);
+    }
+    const sim::jit::JitStats &js = res.jitStats;
+    if (js.requests > 0) {
+        std::printf("jit objects: %lld compiled (%.1f ms), %lld mem + "
+                    "%lld disk hits of %lld requests\n",
+                    static_cast<long long>(js.compiles), js.compileMs,
+                    static_cast<long long>(js.memHits),
+                    static_cast<long long>(js.diskHits),
+                    static_cast<long long>(js.requests));
+        if (js.compileFailures + js.dlopenFailures + js.quarantined > 0)
+            std::printf("jit degrades: %lld compile failures, %lld "
+                        "dlopen failures, %lld quarantined\n",
+                        static_cast<long long>(js.compileFailures),
+                        static_cast<long long>(js.dlopenFailures),
+                        static_cast<long long>(js.quarantined));
     }
     std::ofstream out(savePath);
     out << res.best.toText();
@@ -571,8 +609,14 @@ usage()
         "      --no-compiled-sim  interpreted event-driven loop only\n"
         "                         (DSA_SIM_COMPILED=0 flips the default)\n"
         "      --check-compiled   cross-check compiled vs interpreted\n"
+        "      --no-jit-sim       disable runtime code generation for\n"
+        "                         steady-state replay (DSA_SIM_JIT=0\n"
+        "                         flips the default)\n"
+        "      --check-jit        cross-check jit vs interpreted replay\n"
         "      --sim-stats        per-engine wall-cycle breakdown\n"
-        "                         (compiled / interpreted / skipped)\n"
+        "                         (compiled / replayed / jit-native /\n"
+        "                         interpreted / skipped) + jit object\n"
+        "                         cache and compile stats\n"
         "  dse <suite> [iters] [threads] [batch]\n"
         "      threads: evaluation workers (0 = all cores); results\n"
         "      are identical for any thread count\n"
@@ -594,8 +638,8 @@ usage()
         "      --wall-budget-ms <ms>    whole-run wall-clock cap\n"
         "      --candidate-time-ms <ms> per-candidate evaluation cap\n"
         "      --validate-sim           batch-simulate the best design\n"
-        "                               dense/sparse/compiled and\n"
-        "                               cross-check the three bit-exactly\n"
+        "                               dense/sparse/compiled/jit and\n"
+        "                               cross-check the four bit-exactly\n"
         "      --pareto                 multi-objective search: keep a\n"
         "                               (perf, area, power) Pareto front\n"
         "                               and accept by hypervolume gain\n"
@@ -661,6 +705,12 @@ try {
                 simOpts.compiled = false;
             else if (a == "--check-compiled")
                 simOpts.checkCompiled = true;
+            else if (a == "--jit-sim")
+                simOpts.jit = true;
+            else if (a == "--no-jit-sim")
+                simOpts.jit = false;
+            else if (a == "--check-jit")
+                simOpts.checkJit = true;
             else if (a == "--sim-stats")
                 simStats = true;
             else
