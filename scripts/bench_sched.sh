@@ -19,6 +19,28 @@ JOBS="${1:-$(nproc)}"
 OUT="${BENCH_SCHED_OUT:-BENCH_scheduler.json}"
 BUILD="${BENCH_BUILD_DIR:-build-release}"
 
+# A pre-existing build tree keeps its cached configuration: re-running
+# cmake with -DCMAKE_BUILD_TYPE=Release does NOT clear a sanitizer or
+# profiling setup cached in there earlier, and those silently wreck the
+# numbers while still reporting "Release". Detect the stale cache and
+# fail with the fix instead of recording garbage.
+if [ -f "$BUILD/CMakeCache.txt" ]; then
+    STALE=""
+    SAN="$(sed -n 's/^DSA_SANITIZE:[^=]*=//p' "$BUILD/CMakeCache.txt")"
+    [ -n "$SAN" ] && STALE="DSA_SANITIZE=$SAN"
+    FLAGS="$(sed -n 's/^CMAKE_CXX_FLAGS:[^=]*=//p' "$BUILD/CMakeCache.txt")"
+    case "$FLAGS" in
+        *-fsanitize*|*-pg*|*--coverage*)
+            STALE="${STALE:+$STALE, }CMAKE_CXX_FLAGS='$FLAGS'" ;;
+    esac
+    if [ -n "$STALE" ]; then
+        echo "ERROR: stale CMake cache in '$BUILD': $STALE" >&2
+        echo "benchmark numbers from such a build are meaningless;" \
+             "delete the tree (rm -rf '$BUILD') and re-run" >&2
+        exit 1
+    fi
+fi
+
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 BT="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD/CMakeCache.txt")"
 if [ "$BT" != "Release" ]; then

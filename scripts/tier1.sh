@@ -31,14 +31,21 @@ echo "== tier-1: concurrency + incremental-scheduler tests under ThreadSanitizer
 # shared cache store's append/compact locking, and the fault-injection
 # registry all mix threads with subprocess supervision (the spawned
 # workers are TSan-instrumented re-execs of the test binary itself).
+# test_scheduler_parallel rounds out the set: multi-chain annealing
+# runs independently-seeded chains on a shared pool with a serial
+# fixed-order reduction, and the shared landmark table is read
+# concurrently by every chain — the chains=1 bit-identity and
+# thread-count determinism guarantees hold only if none of that
+# per-chain state leaks across threads.
 cmake -B build-tsan -S . -DDSA_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j "$JOBS" \
       --target test_concurrency test_base test_scheduler_incremental \
-      test_dse_cache test_dse_pareto test_robustness
+      test_scheduler_parallel test_dse_cache test_dse_pareto \
+      test_robustness
 TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure \
-          -R 'test_concurrency|test_base|test_scheduler_incremental|test_dse_cache|test_dse_pareto|test_robustness'
+          -R 'test_concurrency|test_base|test_scheduler_incremental|test_scheduler_parallel|test_dse_cache|test_dse_pareto|test_robustness'
 
 echo
 echo "== tier-1: robustness + sparse-simulator tests under ASan+UBSan =="

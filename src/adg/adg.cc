@@ -196,52 +196,6 @@ Adg::removeEdge(EdgeId id)
     in.erase(std::remove(in.begin(), in.end(), id), in.end());
 }
 
-bool
-Adg::nodeAlive(NodeId id) const
-{
-    return id >= 0 && id < static_cast<NodeId>(nodes_.size()) &&
-           nodes_[id].alive;
-}
-
-bool
-Adg::edgeAlive(EdgeId id) const
-{
-    return id >= 0 && id < static_cast<EdgeId>(edges_.size()) &&
-           edges_[id].alive;
-}
-
-const AdgNode &
-Adg::node(NodeId id) const
-{
-    DSA_ASSERT(id >= 0 && id < static_cast<NodeId>(nodes_.size()),
-               "bad node id ", id);
-    return nodes_[id];
-}
-
-AdgNode &
-Adg::node(NodeId id)
-{
-    DSA_ASSERT(id >= 0 && id < static_cast<NodeId>(nodes_.size()),
-               "bad node id ", id);
-    return nodes_[id];
-}
-
-const AdgEdge &
-Adg::edge(EdgeId id) const
-{
-    DSA_ASSERT(id >= 0 && id < static_cast<EdgeId>(edges_.size()),
-               "bad edge id ", id);
-    return edges_[id];
-}
-
-AdgEdge &
-Adg::edge(EdgeId id)
-{
-    DSA_ASSERT(id >= 0 && id < static_cast<EdgeId>(edges_.size()),
-               "bad edge id ", id);
-    return edges_[id];
-}
-
 std::vector<NodeId>
 Adg::aliveNodes() const
 {
@@ -270,22 +224,6 @@ Adg::aliveEdges() const
         if (e.alive)
             out.push_back(e.id);
     return out;
-}
-
-const std::vector<EdgeId> &
-Adg::outEdges(NodeId id) const
-{
-    DSA_ASSERT(id >= 0 && id < static_cast<NodeId>(nodes_.size()),
-               "bad node id ", id);
-    return outEdges_[id];
-}
-
-const std::vector<EdgeId> &
-Adg::inEdges(NodeId id) const
-{
-    DSA_ASSERT(id >= 0 && id < static_cast<NodeId>(nodes_.size()),
-               "bad node id ", id);
-    return inEdges_[id];
 }
 
 EdgeId

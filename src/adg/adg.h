@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "adg/node.h"
+#include "base/logging.h"
 
 namespace dsa::adg {
 
@@ -66,6 +67,11 @@ class Adg
 
     /// @name Access
     /// @{
+    // The element accessors are defined inline below the class: the
+    // scheduler's routing inner loop and the usage tracker's route
+    // hooks call them tens of millions of times per DSE candidate,
+    // and the out-of-line definitions they started with showed up as
+    // ~15% of scheduler profiles in pure call overhead.
     bool nodeAlive(NodeId id) const;
     bool edgeAlive(EdgeId id) const;
     const AdgNode &node(NodeId id) const;
@@ -127,6 +133,68 @@ class Adg
     std::vector<std::vector<EdgeId>> inEdges_;
     ControlProps control_;
 };
+
+inline bool
+Adg::nodeAlive(NodeId id) const
+{
+    return id >= 0 && id < static_cast<NodeId>(nodes_.size()) &&
+           nodes_[id].alive;
+}
+
+inline bool
+Adg::edgeAlive(EdgeId id) const
+{
+    return id >= 0 && id < static_cast<EdgeId>(edges_.size()) &&
+           edges_[id].alive;
+}
+
+inline const AdgNode &
+Adg::node(NodeId id) const
+{
+    DSA_ASSERT(id >= 0 && id < static_cast<NodeId>(nodes_.size()),
+               "bad node id ", id);
+    return nodes_[id];
+}
+
+inline AdgNode &
+Adg::node(NodeId id)
+{
+    DSA_ASSERT(id >= 0 && id < static_cast<NodeId>(nodes_.size()),
+               "bad node id ", id);
+    return nodes_[id];
+}
+
+inline const AdgEdge &
+Adg::edge(EdgeId id) const
+{
+    DSA_ASSERT(id >= 0 && id < static_cast<EdgeId>(edges_.size()),
+               "bad edge id ", id);
+    return edges_[id];
+}
+
+inline AdgEdge &
+Adg::edge(EdgeId id)
+{
+    DSA_ASSERT(id >= 0 && id < static_cast<EdgeId>(edges_.size()),
+               "bad edge id ", id);
+    return edges_[id];
+}
+
+inline const std::vector<EdgeId> &
+Adg::outEdges(NodeId id) const
+{
+    DSA_ASSERT(id >= 0 && id < static_cast<NodeId>(nodes_.size()),
+               "bad node id ", id);
+    return outEdges_[id];
+}
+
+inline const std::vector<EdgeId> &
+Adg::inEdges(NodeId id) const
+{
+    DSA_ASSERT(id >= 0 && id < static_cast<NodeId>(nodes_.size()),
+               "bad node id ", id);
+    return inEdges_[id];
+}
 
 } // namespace dsa::adg
 

@@ -191,22 +191,7 @@ canonicalKey(const Adg &adg)
 
     // Labeling: the live graph verbatim under its concrete IDs, in ID
     // order — exactly what the labeling-sensitive pipeline consumes.
-    {
-        uint64_t h = kSaltLabeling;
-        for (NodeId id : nodes) {
-            h = hashCombine(h, static_cast<uint64_t>(id));
-            h = hashCombine(h, nodeParamHash(adg.node(id)));
-        }
-        for (EdgeId e : adg.aliveEdges()) {
-            const AdgEdge &edge = adg.edge(e);
-            h = hashCombine(h, static_cast<uint64_t>(e));
-            h = hashCombine(h, static_cast<uint64_t>(edge.src));
-            h = hashCombine(h, static_cast<uint64_t>(edge.dst));
-            h = hashCombine(h, static_cast<uint64_t>(edge.widthBits));
-        }
-        h = hashCombine(h, hashControl(adg.control()));
-        key.labeling = h;
-    }
+    key.labeling = labelingHash(adg);
     return key;
 }
 
@@ -219,7 +204,24 @@ structuralFingerprint(const Adg &adg)
 uint64_t
 labelingHash(const Adg &adg)
 {
-    return canonicalKey(adg).labeling;
+    // One cheap O(V + E) pass — no WL refinement. Callers that only
+    // need to pin the concrete labeled graph (per-fabric caches
+    // indexed by raw node/edge IDs, e.g. the scheduler's landmark
+    // tables) key on this alone instead of paying canonicalKey's
+    // refinement rounds per lookup.
+    uint64_t h = kSaltLabeling;
+    for (NodeId id : adg.aliveNodes()) {
+        h = hashCombine(h, static_cast<uint64_t>(id));
+        h = hashCombine(h, nodeParamHash(adg.node(id)));
+    }
+    for (EdgeId e : adg.aliveEdges()) {
+        const AdgEdge &edge = adg.edge(e);
+        h = hashCombine(h, static_cast<uint64_t>(e));
+        h = hashCombine(h, static_cast<uint64_t>(edge.src));
+        h = hashCombine(h, static_cast<uint64_t>(edge.dst));
+        h = hashCombine(h, static_cast<uint64_t>(edge.widthBits));
+    }
+    return hashCombine(h, hashControl(adg.control()));
 }
 
 } // namespace dsa::adg

@@ -154,6 +154,8 @@ optionsToJson(const DseOptions &o)
     doc.set("threads", Value::number(static_cast<int64_t>(o.threads)));
     doc.set("candidateBatch",
             Value::number(static_cast<int64_t>(o.candidateBatch)));
+    doc.set("schedChains",
+            Value::number(static_cast<int64_t>(o.schedChains)));
     doc.set("checkpointPath", Value::str(o.checkpointPath));
     doc.set("checkpointEvery",
             Value::number(static_cast<int64_t>(o.checkpointEvery)));
@@ -649,6 +651,10 @@ optionsFromJson(Reader &rd, const Value &doc)
     o.threads = static_cast<int>(rd.getInt(doc, "threads", "options"));
     o.candidateBatch =
         static_cast<int>(rd.getInt(doc, "candidateBatch", "options"));
+    // Added after the first checkpoint format shipped: default, don't
+    // reject, so older checkpoints stay resumable.
+    o.schedChains = static_cast<int>(
+        rd.getIntOr(doc, "schedChains", o.schedChains, "options"));
     o.checkpointPath = rd.getString(doc, "checkpointPath", "options");
     o.checkpointEvery =
         static_cast<int>(rd.getInt(doc, "checkpointEvery", "options"));

@@ -14,6 +14,7 @@
 #include "dse/cache_store.h"
 #include "dse/checkpoint.h"
 #include "dse/worker_pool.h"
+#include "mapper/landmarks.h"
 #include "model/host_model.h"
 #include "model/perf_model.h"
 #include "model/regression.h"
@@ -63,6 +64,9 @@ Explorer::Explorer(std::vector<const workloads::Workload *> wls,
     model::AreaPowerModel::instance();
     jitStatsBase_ = sim::jit::JitRuntime::instance().stats();
     pool_ = std::make_unique<ThreadPool>(opts_.threads);
+    if (opts_.schedChains > 1)
+        chainPool_ = std::make_unique<ThreadPool>(
+            std::min(opts_.schedChains, ThreadPool::hardwareThreads()));
     if (opts_.compileCache)
         compileCache_ = std::make_unique<compiler::CompileCache>();
 
@@ -80,6 +84,9 @@ Explorer::Explorer(std::vector<const workloads::Workload *> wls,
     sig = hashCombine(sig, static_cast<uint64_t>(opts_.schedIters));
     sig = hashCombine(sig, static_cast<uint64_t>(opts_.initSchedIters));
     sig = hashCombine(sig, static_cast<uint64_t>(opts_.useRepair));
+    // Chains change which schedule wins, so runs with different chain
+    // counts must never share cached evaluations.
+    sig = hashCombine(sig, static_cast<uint64_t>(opts_.schedChains));
     sig = hashCombine(sig, static_cast<uint64_t>(opts_.candidateTimeMs));
     // The power weight shapes the memoized objective, so caches from
     // runs with different weights must never share entries.
@@ -202,6 +209,10 @@ Explorer::finalizeResult(DseRunState &st)
     }
     st.result.jitStats =
         sim::jit::JitRuntime::instance().stats() - jitStatsBase_;
+    {
+        std::lock_guard<std::mutex> lk(schedStatsMu_);
+        st.result.schedStats = schedStats_;
+    }
     recordCacheStats(st);
 }
 
@@ -273,6 +284,7 @@ Explorer::evaluateDesign(const Adg &adg, ScheduleCache &scheds,
         double cycles = 1e30;
         mapper::Schedule sched;
         Status status;
+        mapper::SchedStats schedStats;
     };
     std::vector<Task> tasks;
     for (size_t k = 0; k < workloads_.size(); ++k)
@@ -331,6 +343,18 @@ Explorer::evaluateDesign(const Adg &adg, ScheduleCache &scheds,
         ? Deadline::afterMs(opts_.candidateTimeMs)
         : Deadline::never();
 
+    // One landmark-cache lookup per design instead of one per task:
+    // every task schedules onto the same fabric, so hoisting the
+    // shared table keeps pool workers off the cache mutex (and off
+    // the per-construction fingerprint hash).
+    std::shared_ptr<const mapper::LandmarkTable> sharedLandmarks;
+    {
+        mapper::SchedOptions defaults;
+        if (defaults.routeFastPath)
+            sharedLandmarks = mapper::landmarksFor(
+                adg, defaults.routeBaseCost, defaults.routePePassCost);
+    }
+
     pool_->parallelFor(tasks.size(), [&](size_t t) {
         const Task &task = tasks[t];
         TaskOut &out = outs[t];
@@ -369,6 +393,9 @@ Explorer::evaluateDesign(const Adg &adg, ScheduleCache &scheds,
             so.seed = mixSeed(opts_.seed, static_cast<uint64_t>(task.k),
                               static_cast<uint64_t>(task.u));
             so.deadline = candDeadline;
+            so.chains = opts_.schedChains;
+            so.chainPool = chainPool_.get();
+            so.landmarks = sharedLandmarks;
             mapper::SpatialScheduler scheduler(lowered->version.program,
                                                adg, so);
             const mapper::Schedule *seedSched =
@@ -376,6 +403,7 @@ Explorer::evaluateDesign(const Adg &adg, ScheduleCache &scheds,
                     ? &prev->second.sched
                     : nullptr;
             out.sched = scheduler.run(seedSched);
+            out.schedStats = scheduler.stats();
             if (!scheduler.lastRunStatus().ok()) {
                 // Timed out: the schedule is best-effort garbage; report
                 // the timeout and contribute nothing to the cache.
@@ -401,6 +429,10 @@ Explorer::evaluateDesign(const Adg &adg, ScheduleCache &scheds,
         recorded.resize(tasks.size());
     for (size_t t = 0; t < tasks.size(); ++t) {
         TaskOut &out = outs[t];
+        {
+            std::lock_guard<std::mutex> lk(schedStatsMu_);
+            schedStats_.merge(out.schedStats);
+        }
         if (evalStatus.ok() && !out.status.ok())
             evalStatus = out.status;
         if (!out.lowered)

@@ -29,6 +29,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -99,6 +100,14 @@ struct DseOptions
      * accepted. 1 reproduces the serial greedy trace.
      */
     int candidateBatch = 1;
+    /**
+     * Annealing chains per scheduling run (SchedOptions::chains).
+     * Chains run on a dedicated pool shared by all evaluation tasks
+     * (created iff > 1), so cold evaluations exploit idle cores;
+     * results are deterministic for any thread count, and 1 is
+     * bit-identical to the single-chain scheduler.
+     */
+    int schedChains = 1;
 
     /// @name Multi-objective search & structured mutations
     /// @{
@@ -407,6 +416,11 @@ struct DseResult
     sim::jit::JitStats jitStats;
     /** Cache hit/miss/insert counters (see DseCacheStats). */
     DseCacheStats cacheStats;
+    /** Scheduler counters summed over every in-process scheduling run
+     *  (route cache / A* / SSSP-layer activity, chains executed).
+     *  Observability only; eval-cache hits replay no scheduler, so
+     *  replayed evaluations contribute nothing here. */
+    mapper::SchedStats schedStats;
     /** Worker-pool counters (zero when DseOptions::workers == 0). The
      *  pool's first transport error also lands in `status` — visible,
      *  but it never changed a result (the ladder re-evaluated). */
@@ -586,6 +600,18 @@ class Explorer
     /** Shared pool for grid and batch evaluation (nested calls run
      *  inline on the worker, so the two axes compose safely). */
     std::unique_ptr<ThreadPool> pool_;
+    /** Chain pool for SchedOptions::chains (null when schedChains
+     *  <= 1). Separate from pool_: parallelFor from inside a pool_
+     *  worker would run inline/serially, while an outside pool is
+     *  merely serialized across concurrent submitters. */
+    std::unique_ptr<ThreadPool> chainPool_;
+    /** Scheduler counters accumulated across evaluations (see
+     *  DseResult::schedStats). Guarded by schedStatsMu_: candidate
+     *  batching runs whole evaluateDesign() calls on pool_ workers,
+     *  so their per-task reductions land concurrently. Counter sums
+     *  are commutative, so accumulation order doesn't matter. */
+    mapper::SchedStats schedStats_;
+    mutable std::mutex schedStatsMu_;
     /** Context-hash component covering workloads + eval options. */
     uint64_t workloadSig_ = 0;
     /** Placement/lowering cache (null when opts_.compileCache off). */

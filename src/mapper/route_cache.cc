@@ -1,0 +1,19 @@
+#include "mapper/route_cache.h"
+
+#include "base/rng.h"
+
+namespace dsa::mapper {
+
+size_t
+RouteCache::KeyHash::operator()(const Key &k) const
+{
+    uint64_t h = splitmix64(static_cast<uint64_t>(k.from) |
+                            (static_cast<uint64_t>(k.to) << 20) |
+                            (static_cast<uint64_t>(k.group) << 40) |
+                            (static_cast<uint64_t>(k.dynFlow) << 63));
+    h = splitmix64(h ^ (static_cast<uint64_t>(k.value.first) |
+                        (static_cast<uint64_t>(k.value.second) << 32)));
+    return static_cast<size_t>(h);
+}
+
+} // namespace dsa::mapper

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Exact route memoization for the scheduler's routing fast path.
+ *
+ * The routing cost function is a pure function of (from, to, dynFlow,
+ * value, the cost knobs, the hardware, and the group's edge-usage
+ * state). The first five are fixed per cache instance or carried in
+ * the key; the last is pinned by the UsageTracker's incremental
+ * content hash (`routeStateHash`). A cached route is returned only
+ * when the stored hash equals the current one — i.e. when a fresh
+ * search would see bit-identical edge costs — so hits are exact (up
+ * to 64-bit hash collision; `SchedOptions::checkRoutes` re-runs the
+ * reference search on every route to police that).
+ *
+ * Because the hash is content-based rather than a monotone epoch, it
+ * *returns* to earlier values when the usage state does: the final
+ * place() of a probed winner replays its probe-time queries as hits,
+ * and a stalled annealer revisiting a configuration re-routes for
+ * free.
+ *
+ * Storage is a fixed-size 2-way set-associative table rather than a
+ * node-based hash map: the annealer stores and invalidates hundreds
+ * of routes per repair run, and a flat table turns that churn into
+ * in-place overwrites (a replaced entry's route vector keeps its
+ * heap allocation) instead of per-entry node allocation — the lookup
+ * itself is two adjacent slots, no chasing. A set collision simply
+ * evicts (deterministically: empty way, then a hash-mismatched way,
+ * then round-robin); the cache is exact, so eviction only ever costs
+ * a recompute, never correctness.
+ */
+
+#ifndef DSA_MAPPER_ROUTE_CACHE_H
+#define DSA_MAPPER_ROUTE_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "adg/adg.h"
+#include "mapper/schedule.h"
+#include "mapper/usage_tracker.h"
+
+namespace dsa::mapper {
+
+class RouteCache
+{
+  public:
+    struct Key
+    {
+        adg::NodeId from = adg::kInvalidNode;
+        adg::NodeId to = adg::kInvalidNode;
+        ValueKey value{-1, -1};
+        int group = 0;
+        bool dynFlow = false;
+
+        bool operator==(const Key &) const = default;
+    };
+
+    /**
+     * The cached route for @p key computed under @p stateHash, or
+     * nullptr. When an entry exists under a different hash (stale:
+     * usage on some edge of the group changed since it was stored),
+     * sets @p *stale — the caller counts it as an invalidation.
+     */
+    const Route *find(const Key &key, uint64_t stateHash,
+                      bool *stale) const
+    {
+        if (slots_.empty())
+            return nullptr;
+        const Slot *set = &slots_[setBase(key)];
+        for (size_t w = 0; w < kWays; ++w) {
+            const Slot &s = set[w];
+            if (s.used && s.key == key) {
+                if (s.stateHash != stateHash) {
+                    *stale = true;
+                    return nullptr;
+                }
+                return &s.route;
+            }
+        }
+        return nullptr;
+    }
+
+    /** Store (or overwrite) @p key's route computed under @p stateHash. */
+    void store(const Key &key, uint64_t stateHash, const Route &route)
+    {
+        if (slots_.empty())
+            slots_.resize(kSets * kWays);
+        Slot *set = &slots_[setBase(key)];
+        Slot *victim = nullptr;
+        for (size_t w = 0; w < kWays && !victim; ++w)
+            if (set[w].used && set[w].key == key)
+                victim = &set[w];
+        for (size_t w = 0; w < kWays && !victim; ++w)
+            if (!set[w].used) {
+                victim = &set[w];
+                ++size_;
+            }
+        // Full set: prefer a way the current state already invalidated.
+        for (size_t w = 0; w < kWays && !victim; ++w)
+            if (set[w].stateHash != stateHash)
+                victim = &set[w];
+        if (!victim)
+            victim = &set[tick_++ & (kWays - 1)];
+        victim->used = true;
+        victim->key = key;
+        victim->stateHash = stateHash;
+        victim->route = route;
+    }
+
+    void clear()
+    {
+        slots_.clear();
+        size_ = 0;
+        tick_ = 0;
+    }
+    /** Live entries (filled slots), for stats. */
+    size_t size() const { return size_; }
+
+  private:
+    static constexpr size_t kSets = 2048;
+    static constexpr size_t kWays = 2;
+
+    struct Slot
+    {
+        Key key;
+        uint64_t stateHash = 0;
+        Route route;
+        bool used = false;
+    };
+
+    struct KeyHash
+    {
+        size_t operator()(const Key &k) const;
+    };
+
+    size_t setBase(const Key &k) const
+    {
+        return (KeyHash{}(k) & (kSets - 1)) * kWays;
+    }
+
+    /** Lazily sized on first store; empty until a route is cached. */
+    std::vector<Slot> slots_;
+    size_t size_ = 0;
+    uint64_t tick_ = 0;
+};
+
+} // namespace dsa::mapper
+
+#endif // DSA_MAPPER_ROUTE_CACHE_H

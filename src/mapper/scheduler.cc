@@ -1,10 +1,13 @@
 #include "mapper/scheduler.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <queue>
 #include <set>
 
 #include "base/logging.h"
+#include "base/thread_pool.h"
+#include "mapper/landmarks.h"
 
 namespace dsa::mapper {
 
@@ -23,6 +26,36 @@ using dfg::StreamKind;
 using dfg::Vertex;
 using dfg::VertexId;
 using dfg::VertexKind;
+
+bool
+routeFastPathDefault()
+{
+    static const bool on = [] {
+        const char *env = std::getenv("DSA_SCHED_ROUTECACHE");
+        return !(env && env[0] == '0' && env[1] == '\0');
+    }();
+    return on;
+}
+
+void
+SchedStats::merge(const SchedStats &o)
+{
+    routeCalls += o.routeCalls;
+    dijkstraSearches += o.dijkstraSearches;
+    astarSearches += o.astarSearches;
+    nodesExpanded += o.nodesExpanded;
+    cacheHits += o.cacheHits;
+    cacheMisses += o.cacheMisses;
+    cacheStale += o.cacheStale;
+    ssspBuilds += o.ssspBuilds;
+    ssspHits += o.ssspHits;
+    revBuilds += o.revBuilds;
+    revHits += o.revHits;
+    probeMemoHits += o.probeMemoHits;
+    probeMemoMisses += o.probeMemoMisses;
+    iterations += o.iterations;
+    chainsRun += o.chainsRun;
+}
 
 SpatialScheduler::SpatialScheduler(const dfg::DecoupledProgram &prog,
                                    const Adg &adg, SchedOptions opts)
@@ -47,19 +80,31 @@ SpatialScheduler::SpatialScheduler(const dfg::DecoupledProgram &prog,
         }
     }
     buildStaticTables();
+    if (opts_.routeFastPath)
+        landmarks_ = opts_.landmarks
+            ? opts_.landmarks
+            : landmarksFor(adg_, opts_.routeBaseCost,
+                           opts_.routePePassCost);
 }
 
 void
 SpatialScheduler::buildSlots()
 {
     slots_.clear();
+    // Memoize each region's topological order up front: the DFG never
+    // changes for the scheduler's lifetime, and timing recomputation
+    // walks the order on every dirty region (it was ~5% of a DSE run
+    // recomputed per call).
+    topo_.resize(prog_.regions.size());
+    for (size_t r = 0; r < prog_.regions.size(); ++r)
+        topo_[r] = prog_.regions[r].dfg.topoOrder();
     for (size_t r = 0; r < prog_.regions.size(); ++r) {
         const Region &reg = prog_.regions[r];
         if (reg.serialized)
             continue;
         for (VertexId v : reg.dfg.inputPorts())
             slots_.push_back({static_cast<int>(r), false, v, -1});
-        for (VertexId v : reg.dfg.topoOrder())
+        for (VertexId v : topo_[r])
             if (reg.dfg.vertex(v).kind == VertexKind::Instruction)
                 slots_.push_back({static_cast<int>(r), false, v, -1});
         for (VertexId v : reg.dfg.outputPorts())
@@ -135,6 +180,54 @@ SpatialScheduler::buildStaticTables()
     for (NodeId n : adg_.aliveNodes(NodeKind::Memory))
         memCap_[n] = adg_.node(n).mem().numStreamEngines;
 
+    // Routing flags: which nodes may forward a value of each flow
+    // kind, folded into one byte so the search inner loop tests a
+    // mask instead of chasing node records. Dead nodes keep 0, which
+    // doubles as the liveness check (out-edge lists only reference
+    // live endpoints, but a DSE mutation can race a stale schedule).
+    nodeFlags_.assign(adg_.nodeIdBound(), 0);
+    for (NodeId n : adg_.aliveNodes()) {
+        const AdgNode &node = adg_.node(n);
+        // kAlive marks every live node (Sync/Memory carry no pass
+        // bits yet are legal route *targets*, which the untargeted
+        // SSSP build must relax into).
+        uint8_t f = kAlive;
+        switch (node.kind) {
+          case NodeKind::Switch:
+            // Static flows traverse any switch; dynamic flows need
+            // flow control.
+            f |= kPassStatic;
+            if (node.sw().sched == Scheduling::Dynamic)
+                f |= kPassDyn;
+            break;
+          case NodeKind::Delay:
+            f |= kPassStatic;
+            break;
+          case NodeKind::Pe:
+            // PEs forward values with a Pass instruction (e.g.
+            // through a reduction tree), protocol matched to the
+            // flow; this occupies a slot, which the evaluator
+            // charges via the pass cost below.
+            f |= kIsPe;
+            f |= node.pe().sched == Scheduling::Dynamic ? kPeDyn
+                                                        : kPeStatic;
+            if (node.pe().ops.contains(OpCode::Pass))
+                f |= node.pe().sched == Scheduling::Dynamic
+                    ? kPassDyn
+                    : kPassStatic;
+            break;
+          default:
+            break;
+        }
+        nodeFlags_[n] = f;
+    }
+    edgeSrc_.assign(adg_.edgeIdBound(), kInvalidNode);
+    edgeDst_.assign(adg_.edgeIdBound(), kInvalidNode);
+    for (EdgeId e : adg_.aliveEdges()) {
+        edgeSrc_[e] = adg_.edge(e).src;
+        edgeDst_[e] = adg_.edge(e).dst;
+    }
+
     tracker_.init(prog_, adg_, regionGroupIdx_,
                   static_cast<int>(configGroups_.size()), regionClass_,
                   numClasses_);
@@ -145,6 +238,11 @@ SpatialScheduler::buildStaticTables()
     dist_.assign(adg_.nodeIdBound(), 0.0);
     via_.assign(adg_.nodeIdBound(), adg::kInvalidEdge);
     nodeStamp_.assign(adg_.nodeIdBound(), 0);
+    hVal_.assign(adg_.nodeIdBound(), 0.0);
+    predG_.assign(adg_.nodeIdBound(), 0.0);
+    heap_.reserve(64);
+    sssp_.assign(kSsspSlots, SsspEntry{});
+    rev_.assign(kRevSlots, RevEntry{});
     shortfallScratch_.assign(adg_.nodeIdBound(), 0);
     shortfallAdj_.assign(adg_.nodeIdBound(), 0);
     adjStamp_.assign(adg_.nodeIdBound(), 0);
@@ -153,21 +251,15 @@ SpatialScheduler::buildStaticTables()
 bool
 SpatialScheduler::nodeIsDynamicPe(NodeId n) const
 {
-    if (n == kInvalidNode || !adg_.nodeAlive(n))
-        return false;
-    const AdgNode &node = adg_.node(n);
-    return node.kind == NodeKind::Pe &&
-           node.pe().sched == Scheduling::Dynamic;
+    // nodeFlags_ is 0 for dead nodes, so one mask test covers
+    // liveness, kind, and protocol (hot on every routed value).
+    return n != kInvalidNode && (nodeFlags_[n] & kPeDyn);
 }
 
 bool
 SpatialScheduler::nodeIsStaticPe(NodeId n) const
 {
-    if (n == kInvalidNode || !adg_.nodeAlive(n))
-        return false;
-    const AdgNode &node = adg_.node(n);
-    return node.kind == NodeKind::Pe &&
-           node.pe().sched == Scheduling::Static;
+    return n != kInvalidNode && (nodeFlags_[n] & kPeStatic);
 }
 
 std::vector<NodeId>
@@ -243,6 +335,24 @@ SpatialScheduler::candidatesFor(const Slot &slot, const Schedule &s) const
     return out;
 }
 
+namespace {
+
+/**
+ * Min-heap order on (f, node id) for std::push_heap/pop_heap. A
+ * functor (not a function) so the comparison inlines into the heap
+ * algorithms instead of going through a function pointer.
+ */
+struct HeapAfter
+{
+    bool operator()(const SpatialScheduler::HeapEntry &a,
+                    const SpatialScheduler::HeapEntry &b) const
+    {
+        return a.f != b.f ? a.f > b.f : a.n > b.n;
+    }
+};
+
+} // namespace
+
 Route
 SpatialScheduler::dijkstra(const Schedule &s, NodeId from, NodeId to,
                            bool dynFlow, const ValueKey &value,
@@ -252,7 +362,83 @@ SpatialScheduler::dijkstra(const Schedule &s, NodeId from, NodeId to,
     // point, exactly like the historical edgeUsage() rebuild.
     if (!opts_.incremental)
         tracker_.rebuild(s);
+    ++stats_.routeCalls;
+    if (!opts_.routeFastPath)
+        return searchDijkstra(from, to, dynFlow, value, group);
 
+    // Fast path: exact route cache, then landmark-guided A*. The
+    // tracker's content hash pins the group's entire edge-usage state,
+    // so a matching entry would be recomputed identically; it returns
+    // to prior values when the state does (probe place/unplace round
+    // trips, stalled annealing), which is where the hits come from.
+    uint64_t stateHash = tracker_.routeStateHash(group);
+    RouteCache::Key key{from, to, value, group, dynFlow};
+    bool stale = false;
+    Route out;
+    const Route *hit = routeCache_.find(key, stateHash, &stale);
+    if (hit) {
+        ++stats_.cacheHits;
+        out = *hit;
+    } else {
+        ++(stale ? stats_.cacheStale : stats_.cacheMisses);
+        // Second layer: the candidate scan asks for many targets from
+        // one (source, value) under one usage state. The first such
+        // query runs targeted A*; the second invests in one full SSSP
+        // tree; every further target is a pure backtrack.
+        SsspKey skey{from, value, group, dynFlow};
+        SsspEntry &se =
+            sssp_[SsspKeyHash{}(skey) & (kSsspSlots - 1)];
+        if (se.seen && se.key == skey && se.stateHash == stateHash) {
+            if (!se.full)
+                buildSsspTree(from, dynFlow, value, group, &se);
+            else
+                ++stats_.ssspHits;
+            out = backtrackTree(se, from, to);
+        } else {
+            se.key = skey;
+            se.stateHash = stateHash;
+            se.seen = true;
+            se.full = false;
+            // Third layer, mirrored from the target side: many
+            // sources route into one (target, value) under one usage
+            // state. The second such query builds an exact reverse
+            // distance table; every further one runs A* under that
+            // perfect heuristic (expands only optimal-path nodes).
+            SsspKey rkey{to, value, group, dynFlow};
+            RevEntry &re =
+                rev_[SsspKeyHash{}(rkey) & (kRevSlots - 1)];
+            if (re.seen && re.key == rkey &&
+                re.stateHash == stateHash) {
+                if (!re.full)
+                    buildReverseDist(to, dynFlow, value, group, &re);
+                else
+                    ++stats_.revHits;
+                out = searchAstar(from, to, dynFlow, value, group,
+                                  re.dist.data());
+            } else {
+                re.key = rkey;
+                re.stateHash = stateHash;
+                re.seen = true;
+                re.full = false;
+                out = searchAstar(from, to, dynFlow, value, group);
+            }
+        }
+        routeCache_.store(key, stateHash, out);
+    }
+    if (opts_.checkRoutes) {
+        Route ref = searchDijkstra(from, to, dynFlow, value, group);
+        DSA_ASSERT(out == ref,
+                   "route fast path diverged from Dijkstra (", from,
+                   " -> ", to, ")");
+    }
+    return out;
+}
+
+Route
+SpatialScheduler::searchDijkstra(NodeId from, NodeId to, bool dynFlow,
+                                 const ValueKey &value, int group) const
+{
+    ++stats_.dijkstraSearches;
     // Usage-penalized shortest path allowing only protocol-compatible
     // switches (and delay elements for static flows) as intermediates.
     // dist_/via_ are epoch-stamped: a slot is live only if its stamp
@@ -269,45 +455,26 @@ SpatialScheduler::dijkstra(const Schedule &s, NodeId from, NodeId to,
             via_[n] = adg::kInvalidEdge;
         }
     };
-    using QE = std::pair<double, NodeId>;
-    std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+    const uint8_t passMask = dynFlow ? kPassDyn : kPassStatic;
+    heap_.clear();
     touch(from);
     dist_[from] = 0;
-    pq.push({0, from});
-    auto passable = [&](NodeId n) {
-        if (n == to)
-            return true;
-        const AdgNode &node = adg_.node(n);
-        if (node.kind == NodeKind::Switch) {
-            if (dynFlow && node.sw().sched != Scheduling::Dynamic)
-                return false;
-            return true;
-        }
-        if (node.kind == NodeKind::Delay && !dynFlow)
-            return true;
-        // PEs forward values with a Pass instruction (e.g. through a
-        // reduction tree); this occupies an instruction slot, which
-        // the evaluator charges.
-        if (node.kind == NodeKind::Pe && node.pe().ops.contains(OpCode::Pass)) {
-            if (dynFlow && node.pe().sched != Scheduling::Dynamic)
-                return false;
-            if (!dynFlow && node.pe().sched == Scheduling::Dynamic)
-                return false;
-            return true;
-        }
-        return false;
-    };
-    while (!pq.empty()) {
-        auto [d, n] = pq.top();
-        pq.pop();
-        if (d > dist_[n])
+    heap_.push_back({0, 0, from});
+    while (!heap_.empty()) {
+        HeapEntry top = heap_.front();
+        std::pop_heap(heap_.begin(), heap_.end(), HeapAfter{});
+        heap_.pop_back();
+        NodeId n = top.n;
+        if (top.f > dist_[n])
             continue;
         if (n == to)
             break;
+        ++stats_.nodesExpanded;
         for (EdgeId e : adg_.outEdges(n)) {
-            const auto &edge = adg_.edge(e);
-            NodeId m = edge.dst;
-            if (!adg_.nodeAlive(m) || !passable(m))
+            NodeId m = edgeDst_[e];
+            // nodeFlags_ is 0 for dead nodes, so the mask test covers
+            // the historical liveness check too.
+            if (m != to && !(nodeFlags_[m] & passMask))
                 continue;
             double c = opts_.routeBaseCost;
             int used = tracker_.distinctOnEdge(group, e);
@@ -316,27 +483,342 @@ SpatialScheduler::dijkstra(const Schedule &s, NodeId from, NodeId to,
                     ? opts_.routeReuseCost
                     : opts_.routeBaseCost + opts_.routeCongestSlope * used;
             // Passing through a PE burns an instruction slot.
-            if (m != to && adg_.node(m).kind == NodeKind::Pe)
+            if (m != to && (nodeFlags_[m] & kIsPe))
                 c += opts_.routePePassCost;
             touch(m);
             if (dist_[n] + c < dist_[m]) {
                 dist_[m] = dist_[n] + c;
                 via_[m] = e;
-                pq.push({dist_[m], m});
+                heap_.push_back({dist_[m], dist_[m], m});
+                std::push_heap(heap_.begin(), heap_.end(), HeapAfter{});
             }
         }
     }
     if (nodeStamp_[to] != dijkstraEpoch_ || dist_[to] >= kInf)
         return {};
-    Route route;
+    return backtrack(from, to);
+}
+
+Route
+SpatialScheduler::searchAstar(NodeId from, NodeId to, bool dynFlow,
+                              const ValueKey &value, int group,
+                              const double *exactH) const
+{
+    // Landmark-guided A* returning the *same canonical route* as
+    // searchDijkstra for the same usage state. Dijkstra's via tree is
+    // a pure function of the cost function: its pop order is globally
+    // sorted by (dist, node id) and every edge cost is >= 0.01, so
+    // via_[m] ends up being the edge from the achiever predecessor
+    // minimizing (dist[n], n) (first minimal-cost edge in scan order
+    // within one predecessor). A* reproduces exactly that via an
+    // explicit tie-break on g-equality instead of relying on pop
+    // order, and keeps popping until the best f in the heap strictly
+    // exceeds g[to] so every achiever (all have f <= g[to] under an
+    // admissible heuristic) relaxes before it stops. g accumulates
+    // through the identical additions, so values match bit-for-bit.
+    //
+    // The heuristic may be inconsistent under the dynamic costs (the
+    // reuse discount prices an edge below the static metric), so a
+    // popped node reopens when its g later improves — handled by the
+    // same lazy re-push discipline Dijkstra already uses.
+    const double kInf = 1e18;
+    const double kCut = LandmarkTable::kUnreach / 2;
+    const LandmarkTable &lm = *landmarks_;
+
+    // Query-time admissibility corrections (see landmarks.h): the
+    // router waives the pass surcharge on the target PE itself, and a
+    // route for this value may collect the reuse discount on every
+    // edge already carrying it. An exact reverse-distance heuristic
+    // needs neither correction — it already prices both.
+    double corr = 0.0;
+    if (!exactH) {
+        corr = (nodeFlags_[to] & kIsPe) ? opts_.routePePassCost : 0.0;
+        corr +=
+            std::max(0.0, (opts_.routeBaseCost - opts_.routeReuseCost) *
+                              tracker_.edgesCarrying(group, value));
+        // A value already spread across many edges discounts the bound
+        // to zero at every reachable node; A* would just be Dijkstra
+        // paying a landmark scan per touch, so run the real thing
+        // instead (same canonical route — see the equivalence argument
+        // below).
+        if (corr >= lm.maxFiniteBound())
+            return searchDijkstra(from, to, dynFlow, value, group);
+    }
+    ++stats_.astarSearches;
+
+    if (++dijkstraEpoch_ == 0) {
+        std::fill(nodeStamp_.begin(), nodeStamp_.end(), 0);
+        dijkstraEpoch_ = 1;
+    }
+    auto touch = [&](NodeId n) {
+        if (nodeStamp_[n] != dijkstraEpoch_) {
+            nodeStamp_[n] = dijkstraEpoch_;
+            dist_[n] = kInf;
+            via_[n] = adg::kInvalidEdge;
+            predG_[n] = kInf;
+            double lb = exactH ? exactH[n] : lm.lowerBound(n, to);
+            hVal_[n] = lb >= kCut ? LandmarkTable::kUnreach
+                                  : std::max(0.0, lb - corr);
+        }
+    };
+    const uint8_t passMask = dynFlow ? kPassDyn : kPassStatic;
+    touch(from);
+    // The metric underlying the landmarks runs over a superset of the
+    // passable edges, so metric-unreachable implies truly unreachable:
+    // an early exact no-route answer, and below, pruning of any
+    // neighbor that provably cannot reach the target (nothing beyond
+    // it can either, or it would give the neighbor a path).
+    if (hVal_[from] >= kCut)
+        return {};
+    dist_[from] = 0;
+    heap_.clear();
+    heap_.push_back({hVal_[from], 0, from});
+    while (!heap_.empty()) {
+        HeapEntry top = heap_.front();
+        std::pop_heap(heap_.begin(), heap_.end(), HeapAfter{});
+        heap_.pop_back();
+        double gTo =
+            nodeStamp_[to] == dijkstraEpoch_ ? dist_[to] : kInf;
+        if (top.f > gTo)
+            break;
+        NodeId n = top.n;
+        if (top.g != dist_[n])
+            continue; // stale duplicate
+        if (n == to)
+            continue; // the target never expands (mirrors Dijkstra)
+        ++stats_.nodesExpanded;
+        for (EdgeId e : adg_.outEdges(n)) {
+            NodeId m = edgeDst_[e];
+            if (m != to && !(nodeFlags_[m] & passMask))
+                continue;
+            double c = opts_.routeBaseCost;
+            int used = tracker_.distinctOnEdge(group, e);
+            if (used > 0)
+                c = tracker_.valueOnEdge(group, e, value)
+                    ? opts_.routeReuseCost
+                    : opts_.routeBaseCost + opts_.routeCongestSlope * used;
+            if (m != to && (nodeFlags_[m] & kIsPe))
+                c += opts_.routePePassCost;
+            touch(m);
+            if (hVal_[m] >= kCut)
+                continue;
+            double cand = dist_[n] + c;
+            if (cand < dist_[m]) {
+                dist_[m] = cand;
+                via_[m] = e;
+                predG_[m] = top.g;
+                heap_.push_back({cand + hVal_[m], cand, m});
+                std::push_heap(heap_.begin(), heap_.end(), HeapAfter{});
+            } else if (cand == dist_[m]) {
+                // Canonical tie-break: the achiever minimizing
+                // (g, node id); within one predecessor the first
+                // minimal-cost edge in scan order (keep the stored
+                // edge on full ties). Matches Dijkstra's pop-order
+                // outcome without depending on ours.
+                NodeId pred = via_[m] == adg::kInvalidEdge
+                    ? kInvalidNode
+                    : edgeSrc_[via_[m]];
+                if (top.g < predG_[m] ||
+                    (top.g == predG_[m] && n < pred)) {
+                    via_[m] = e;
+                    predG_[m] = top.g;
+                }
+            }
+        }
+    }
+    if (nodeStamp_[to] != dijkstraEpoch_ || dist_[to] >= kInf)
+        return {};
+    return backtrack(from, to);
+}
+
+void
+SpatialScheduler::buildSsspTree(NodeId from, bool dynFlow,
+                                const ValueKey &value, int group,
+                                SsspEntry *entry) const
+{
+    // Untargeted Dijkstra whose via tree answers *every* target from
+    // @p from exactly as a targeted search would:
+    //  - every node on a target t's path pops strictly before t, so
+    //    its via edge is final by then and relaxations the full run
+    //    performs later cannot disturb it (non-negative edge costs,
+    //    strict-improvement updates only);
+    //  - the targeted search's waiver of the PE pass surcharge on t
+    //    itself is a constant added to *all* edges entering t here,
+    //    shifting every accept/reject and tie comparison equally, so
+    //    via_[t] comes out identical (only dist[t] differs, and the
+    //    route doesn't return it);
+    //  - non-passable nodes (Sync, Memory, protocol-mismatched
+    //    switches/PEs) are relaxed into — they are legal targets —
+    //    but never expanded, exactly like the targeted runs.
+    ++stats_.ssspBuilds;
+    const double kInf = 1e18;
+    if (++dijkstraEpoch_ == 0) {
+        std::fill(nodeStamp_.begin(), nodeStamp_.end(), 0);
+        dijkstraEpoch_ = 1;
+    }
+    auto touch = [&](NodeId n) {
+        if (nodeStamp_[n] != dijkstraEpoch_) {
+            nodeStamp_[n] = dijkstraEpoch_;
+            dist_[n] = kInf;
+            via_[n] = adg::kInvalidEdge;
+        }
+    };
+    const uint8_t passMask = dynFlow ? kPassDyn : kPassStatic;
+    heap_.clear();
+    touch(from);
+    dist_[from] = 0;
+    heap_.push_back({0, 0, from});
+    while (!heap_.empty()) {
+        HeapEntry top = heap_.front();
+        std::pop_heap(heap_.begin(), heap_.end(), HeapAfter{});
+        heap_.pop_back();
+        NodeId n = top.n;
+        if (top.f > dist_[n])
+            continue;
+        if (n != from && !(nodeFlags_[n] & passMask))
+            continue; // reachable as a target only — never expands
+        ++stats_.nodesExpanded;
+        for (EdgeId e : adg_.outEdges(n)) {
+            NodeId m = edgeDst_[e];
+            if (!(nodeFlags_[m] & kAlive))
+                continue;
+            double c = opts_.routeBaseCost;
+            int used = tracker_.distinctOnEdge(group, e);
+            if (used > 0)
+                c = tracker_.valueOnEdge(group, e, value)
+                    ? opts_.routeReuseCost
+                    : opts_.routeBaseCost + opts_.routeCongestSlope * used;
+            if (nodeFlags_[m] & kIsPe)
+                c += opts_.routePePassCost;
+            touch(m);
+            if (dist_[n] + c < dist_[m]) {
+                dist_[m] = dist_[n] + c;
+                via_[m] = e;
+                heap_.push_back({dist_[m], dist_[m], m});
+                std::push_heap(heap_.begin(), heap_.end(), HeapAfter{});
+            }
+        }
+    }
+    const size_t bound = nodeStamp_.size();
+    entry->dist.assign(bound, kInf);
+    entry->via.assign(bound, adg::kInvalidEdge);
+    for (size_t i = 0; i < bound; ++i) {
+        if (nodeStamp_[i] == dijkstraEpoch_) {
+            entry->dist[i] = dist_[i];
+            entry->via[i] = via_[i];
+        }
+    }
+    entry->full = true;
+}
+
+Route
+SpatialScheduler::backtrackTree(const SsspEntry &entry, NodeId from,
+                                NodeId to) const
+{
+    if (entry.dist[to] >= 1e18)
+        return {};
+    size_t len = 0;
+    for (NodeId cur = to; cur != from;) {
+        EdgeId e = entry.via[cur];
+        DSA_ASSERT(e != adg::kInvalidEdge, "broken sssp backtrack");
+        ++len;
+        cur = edgeSrc_[e];
+    }
+    Route route(len);
     NodeId cur = to;
-    while (cur != from) {
+    for (size_t i = len; i-- > 0;) {
+        EdgeId e = entry.via[cur];
+        route[i] = e;
+        cur = edgeSrc_[e];
+    }
+    return route;
+}
+
+void
+SpatialScheduler::buildReverseDist(NodeId to, bool dynFlow,
+                                   const ValueKey &value, int group,
+                                   RevEntry *entry) const
+{
+    // Reverse Dijkstra rooted at @p to over the in-edge adjacency,
+    // accumulating the *targeted* search's exact edge costs (the pass
+    // surcharge waiver on @p to falls out naturally: edges into the
+    // root take no surcharge). Expansion is restricted to passable
+    // nodes — paths may only tunnel through protocol-compatible
+    // intermediates — while any alive node is relaxed *into*, since
+    // any node can be a route source (sources are exempt from the
+    // passability check, just like targets are in the forward runs).
+    // The result: dist[n] is the exact optimal n -> to cost, kInf when
+    // unreachable, making it both an admissible heuristic and an exact
+    // unreachability oracle for searchAstar.
+    ++stats_.revBuilds;
+    const double kInf = 1e18;
+    entry->dist.assign(nodeStamp_.size(), kInf);
+    auto &dist = entry->dist;
+    const uint8_t passMask = dynFlow ? kPassDyn : kPassStatic;
+    heap_.clear();
+    dist[to] = 0;
+    heap_.push_back({0, 0, to});
+    while (!heap_.empty()) {
+        HeapEntry top = heap_.front();
+        std::pop_heap(heap_.begin(), heap_.end(), HeapAfter{});
+        heap_.pop_back();
+        NodeId m = top.n;
+        if (top.f > dist[m])
+            continue;
+        if (m != to && !(nodeFlags_[m] & passMask))
+            continue; // a source only — paths never pass through it
+        ++stats_.nodesExpanded;
+        for (EdgeId e : adg_.inEdges(m)) {
+            NodeId u = edgeSrc_[e];
+            if (!(nodeFlags_[u] & kAlive))
+                continue;
+            double c = opts_.routeBaseCost;
+            int used = tracker_.distinctOnEdge(group, e);
+            if (used > 0)
+                c = tracker_.valueOnEdge(group, e, value)
+                    ? opts_.routeReuseCost
+                    : opts_.routeBaseCost + opts_.routeCongestSlope * used;
+            if (m != to && (nodeFlags_[m] & kIsPe))
+                c += opts_.routePePassCost;
+            double nd = dist[m] + c;
+            if (nd < dist[u]) {
+                dist[u] = nd;
+                heap_.push_back({nd, nd, u});
+                std::push_heap(heap_.begin(), heap_.end(), HeapAfter{});
+            }
+        }
+    }
+    entry->full = true;
+}
+
+size_t
+SpatialScheduler::SsspKeyHash::operator()(const SsspKey &k) const
+{
+    uint64_t h = splitmix64(static_cast<uint64_t>(k.from) |
+                            (static_cast<uint64_t>(k.group) << 40) |
+                            (static_cast<uint64_t>(k.dynFlow) << 63));
+    h = splitmix64(h ^ (static_cast<uint64_t>(k.value.first) |
+                        (static_cast<uint64_t>(k.value.second) << 32)));
+    return static_cast<size_t>(h);
+}
+
+Route
+SpatialScheduler::backtrack(NodeId from, NodeId to) const
+{
+    size_t len = 0;
+    for (NodeId cur = to; cur != from;) {
         EdgeId e = via_[cur];
         DSA_ASSERT(e != adg::kInvalidEdge, "broken dijkstra backtrack");
-        route.push_back(e);
-        cur = adg_.edge(e).src;
+        ++len;
+        cur = edgeSrc_[e];
     }
-    std::reverse(route.begin(), route.end());
+    Route route(len);
+    NodeId cur = to;
+    for (size_t i = len; i-- > 0;) {
+        EdgeId e = via_[cur];
+        route[i] = e;
+        cur = edgeSrc_[e];
+    }
     return route;
 }
 
@@ -424,7 +906,19 @@ SpatialScheduler::place(Schedule &s, const Slot &slot, NodeId node) const
             tracker_.mapPort(slot.region, node, vx.lanes, +1);
         timingDirty_[slot.region] = 1;
     }
-    // Route operands from mapped producers.
+    // Compute every new route against the usage state at entry, then
+    // insert them all. Routing against the snapshot (rather than
+    // letting each fresh route see its predecessors') keeps one
+    // placement's queries under a single usage state, which is what
+    // lets the SSSP/reverse-distance layers amortize a candidate
+    // scan: every candidate's operand routes share (source, value,
+    // state) and its consumer routes share (target, value, state).
+    // The congestion the routes create is still priced — the
+    // evaluator charges overuse after insertion — they just don't
+    // dodge each other within one placement.
+    auto &fresh = placeScratch_;
+    fresh.clear();
+    // Operands from mapped producers.
     for (size_t i = 0; i < vx.operands.size(); ++i) {
         const auto &op = vx.operands[i];
         if (op.isImm())
@@ -434,19 +928,19 @@ SpatialScheduler::place(Schedule &s, const Slot &slot, NodeId node) const
             continue;
         Route r = routeValue(s, slot.region, op.src, from, node);
         if (!r.empty())
-            setValueRoute(s, slot.region, {v, static_cast<int>(i)},
-                          std::move(r));
+            fresh.push_back({{v, static_cast<int>(i)}, std::move(r)});
     }
-    // Route to mapped consumers.
+    // Uses by mapped consumers.
     for (const auto &use : reg.dfg.uses(v)) {
         NodeId to = rs.vertexMap[use.user];
         if (to == kInvalidNode)
             continue;
         Route r = routeValue(s, slot.region, v, node, to);
         if (!r.empty())
-            setValueRoute(s, slot.region, {use.user, use.operandIdx},
-                          std::move(r));
+            fresh.push_back({{use.user, use.operandIdx}, std::move(r)});
     }
+    for (auto &[key, r] : fresh)
+        setValueRoute(s, slot.region, key, std::move(r));
 }
 
 void
@@ -593,9 +1087,12 @@ SpatialScheduler::computeRegionTiming(const Schedule &s, size_t r,
     RegionTiming out;
     const Region &reg = prog_.regions[r];
     const auto &rs = s.regions[r];
-    std::vector<NodeId> touched;
+    // Fully consumed before returning, so sharing one buffer across
+    // the oracle and the hot path is safe (calls never interleave).
+    std::vector<NodeId> &touched = timingTouched_;
+    touched.clear();
     vertexTime.assign(reg.dfg.numVertices(), 0);
-    for (VertexId v : reg.dfg.topoOrder()) {
+    for (VertexId v : topo_[r]) {
         const Vertex &vx = reg.dfg.vertex(v);
         if (vx.kind == VertexKind::InputPort) {
             vertexTime[v] = 0;
@@ -1037,6 +1534,38 @@ SpatialScheduler::probeCandidate(Schedule &s, const Slot &slot,
     return c.scalar();
 }
 
+uint64_t
+SpatialScheduler::placementHash(const Schedule &s, size_t slotIdx) const
+{
+    uint64_t h = splitmix64(0x70b5a7e5u ^ (slotIdx << 32));
+    auto mix = [&h](uint64_t v) { h = splitmix64(h ^ v); };
+    auto mixRoutes = [&](const auto &routes) {
+        for (const auto &[key, route] : routes) {
+            if constexpr (std::is_same_v<std::decay_t<decltype(key)>,
+                                         std::pair<dfg::VertexId, int>>)
+                mix((uint64_t(uint32_t(key.first)) << 32) |
+                    uint32_t(key.second));
+            else
+                mix(uint64_t(uint32_t(key)));
+            for (EdgeId e : route)
+                mix(uint64_t(uint32_t(e)) + 1);
+            mix(0x517cc1b7);
+        }
+    };
+    // std::map iteration is content-ordered, so equal state always
+    // produces an equal key regardless of mutation history.
+    for (const auto &rs : s.regions) {
+        for (NodeId n : rs.vertexMap)
+            mix(uint64_t(uint32_t(n)) + 1);
+        for (NodeId n : rs.streamMap)
+            mix(uint64_t(uint32_t(n)) + 1);
+        mixRoutes(rs.routes);
+        mixRoutes(rs.recurrenceRoutes);
+    }
+    mixRoutes(s.forwardRoutes);
+    return h;
+}
+
 void
 SpatialScheduler::fillUnplaced(Schedule &s)
 {
@@ -1061,7 +1590,23 @@ SpatialScheduler::fillUnplaced(Schedule &s)
             double bestCost = 0;
             NodeId bestNode = kInvalidNode;
             int tried = 0;
-            if (opts_.incremental) {
+            // Probe-scan memo: the annealer's rip-up / refill loop
+            // revisits the same states constantly once near-converged,
+            // and the scan is a pure function of the placement state,
+            // so an exact-state repeat can reuse the previous winner.
+            // The membership check makes a (astronomically unlikely)
+            // hash collision degrade to a full scan, never a bogus
+            // placement.
+            size_t slotIdx =
+                static_cast<size_t>(&slot - slots_.data());
+            uint64_t pkey = placementHash(s, slotIdx);
+            auto memo = probeMemo_.find(pkey);
+            if (memo != probeMemo_.end() &&
+                std::find(cands.begin(), cands.end(), memo->second) !=
+                    cands.end()) {
+                ++stats_.probeMemoHits;
+                bestNode = memo->second;
+            } else if (opts_.incremental) {
                 ProbeBase base = makeProbeBase(s, slot);
                 for (NodeId cand : cands) {
                     double cost = probeCandidate(s, slot, cand, base);
@@ -1085,6 +1630,12 @@ SpatialScheduler::fillUnplaced(Schedule &s)
                     if (++tried >= opts_.candidateScanCap)
                         break;
                 }
+            }
+            if (memo == probeMemo_.end()) {
+                ++stats_.probeMemoMisses;
+                if (probeMemo_.size() >= kMaxProbeMemo)
+                    probeMemo_.clear();
+                probeMemo_.emplace(pkey, bestNode);
             }
             place(s, slot, bestNode);
             progress = true;
@@ -1138,6 +1689,24 @@ SpatialScheduler::hotSlots(const Schedule &s) const
         if (tracker_.peInstCount(g, n) > peCap_[n])
             hotNode[n] = 1;
 
+    // One pass over each region's routes marks the vertices whose
+    // routes touch a hot edge; the slot loop below then reads a flag
+    // instead of rescanning the whole route map per slot.
+    std::vector<std::vector<char>> vertHot(s.regions.size());
+    for (size_t r = 0; r < s.regions.size(); ++r) {
+        vertHot[r].assign(
+            static_cast<size_t>(prog_.regions[r].dfg.numVertices()), 0);
+        for (const auto &[key, route] : s.regions[r].routes) {
+            if (vertHot[r][key.first])
+                continue;
+            for (EdgeId e : route)
+                if (hotEdge[e]) {
+                    vertHot[r][key.first] = 1;
+                    break;
+                }
+        }
+    }
+
     std::vector<int> hot;
     for (size_t i = 0; i < slots_.size(); ++i) {
         const Slot &sl = slots_[i];
@@ -1147,23 +1716,15 @@ SpatialScheduler::hotSlots(const Schedule &s) const
         NodeId n = rs.vertexMap[sl.vertex];
         if (n == kInvalidNode)
             continue;
-        bool isHot = hotNode[n];
+        bool isHot = hotNode[n] || vertHot[sl.region][sl.vertex];
         // Violating consumers (dynamic producer into static PE).
-        const Vertex &vx =
-            prog_.regions[sl.region].dfg.vertex(sl.vertex);
-        if (nodeIsStaticPe(n)) {
+        if (!isHot && nodeIsStaticPe(n)) {
+            const Vertex &vx =
+                prog_.regions[sl.region].dfg.vertex(sl.vertex);
             for (const auto &op : vx.operands)
                 if (!op.isImm() &&
                     nodeIsDynamicPe(rs.vertexMap[op.src]))
                     isHot = true;
-        }
-        if (!isHot) {
-            for (const auto &[key, route] : rs.routes) {
-                if (key.first != sl.vertex)
-                    continue;
-                for (EdgeId e : route)
-                    isHot |= hotEdge[e] != 0;
-            }
         }
         if (isHot)
             hot.push_back(static_cast<int>(i));
@@ -1174,7 +1735,70 @@ SpatialScheduler::hotSlots(const Schedule &s) const
 Schedule
 SpatialScheduler::run(const Schedule *initial)
 {
+    if (opts_.chains > 1)
+        return runChains(initial);
+    return runSingle(initial);
+}
+
+Schedule
+SpatialScheduler::runChains(const Schedule *initial)
+{
+    // K independently-seeded chains; each runs the unmodified
+    // single-chain annealer in a private child scheduler (own tracker,
+    // route cache, rng, scratch) so chains share nothing mutable. The
+    // winner is picked by a fixed-order serial reduction, so the
+    // result is a pure function of (options, inputs) — identical for
+    // any thread count and with or without a pool.
+    const int k = opts_.chains;
+    std::vector<Schedule> results(static_cast<size_t>(k));
+    std::vector<Status> statuses(static_cast<size_t>(k));
+    std::vector<SchedStats> chainStats(static_cast<size_t>(k));
+    // Chain 0 keeps the caller's seed so chains=1 (which skips this
+    // path entirely) and chain 0 of chains=K explore identically.
+    constexpr uint64_t kChainSalt = 0x5ca1ab1e;
+    auto runOne = [&](size_t c) {
+        SchedOptions co = opts_;
+        co.chains = 1;
+        co.chainPool = nullptr;
+        co.landmarks = landmarks_; // skip K-1 fingerprint lookups
+        if (c > 0)
+            co.seed = mixSeed(opts_.seed, kChainSalt, c);
+        SpatialScheduler chain(prog_, adg_, co);
+        results[c] = chain.run(initial);
+        statuses[c] = chain.lastRunStatus();
+        chainStats[c] = chain.stats();
+    };
+    if (opts_.chainPool)
+        opts_.chainPool->parallelFor(static_cast<size_t>(k), runOne);
+    else
+        for (size_t c = 0; c < static_cast<size_t>(k); ++c)
+            runOne(c);
+    // Fixed-order reduction: legal beats illegal, then strictly lower
+    // scalar cost, earliest chain on ties.
+    size_t win = 0;
+    for (size_t c = 1; c < static_cast<size_t>(k); ++c) {
+        bool better =
+            (results[c].cost.legal() && !results[win].cost.legal()) ||
+            (results[c].cost.legal() == results[win].cost.legal() &&
+             results[c].cost.scalar() < results[win].cost.scalar());
+        if (better)
+            win = c;
+    }
+    for (size_t c = 0; c < static_cast<size_t>(k); ++c)
+        stats_.merge(chainStats[c]);
+    lastStatus_ = statuses[win];
+    // Leave this scheduler's tracker bound to the winning schedule so
+    // post-run queries (and a follow-up repair) see consistent state.
+    if (opts_.incremental)
+        bindTo(results[win]);
+    return results[win];
+}
+
+Schedule
+SpatialScheduler::runSingle(const Schedule *initial)
+{
     lastStatus_ = Status();
+    ++stats_.chainsRun;
     Schedule s;
     bool evict = false;
     if (initial && initial->regions.size() == prog_.regions.size()) {
@@ -1227,6 +1851,7 @@ SpatialScheduler::run(const Schedule *initial)
     int noImprove = 0;
     std::vector<int> placedIdx;
     for (int iter = 0; iter < opts_.maxIters; ++iter) {
+        ++stats_.iterations;
         if (opts_.deadline.expired()) {
             lastStatus_ = Status::deadlineExceeded(
                 "scheduler timed out after " + std::to_string(iter) +

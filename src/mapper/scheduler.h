@@ -27,15 +27,71 @@
 #ifndef DSA_MAPPER_SCHEDULER_H
 #define DSA_MAPPER_SCHEDULER_H
 
+#include <memory>
+#include <unordered_map>
+
 #include "adg/adg.h"
 #include "base/deadline.h"
 #include "base/rng.h"
 #include "base/status.h"
 #include "dfg/program.h"
+#include "mapper/route_cache.h"
 #include "mapper/schedule.h"
 #include "mapper/usage_tracker.h"
 
+namespace dsa {
+class ThreadPool;
+} // namespace dsa
+
 namespace dsa::mapper {
+
+class LandmarkTable;
+
+/**
+ * Default for SchedOptions::routeFastPath: on, unless the environment
+ * sets DSA_SCHED_ROUTECACHE=0 (read once per process). The ctest
+ * `*_nocache` variants run the scheduler suites with the fast path
+ * disabled so the plain-Dijkstra fallback stays exercised.
+ */
+bool routeFastPathDefault();
+
+/**
+ * Counters from one scheduler run (or one DSE's worth of runs; the
+ * struct is additive via merge()). Exposed through `--sched-stats`.
+ */
+struct SchedStats
+{
+    /** Route requests entering the dispatcher. */
+    uint64_t routeCalls = 0;
+    /** Plain Dijkstra searches (fast path off, or checkRoutes oracle). */
+    uint64_t dijkstraSearches = 0;
+    /** Landmark-guided A* searches (fast path, cache miss). */
+    uint64_t astarSearches = 0;
+    /** Heap pops expanded across both search kinds. */
+    uint64_t nodesExpanded = 0;
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    /** Cache entries skipped because the group's usage state changed. */
+    uint64_t cacheStale = 0;
+    /** Full SSSP trees built (one amortizes many same-source routes). */
+    uint64_t ssspBuilds = 0;
+    /** Routes answered by backtracking a shared SSSP tree. */
+    uint64_t ssspHits = 0;
+    /** Reverse (target-rooted) distance tables built. */
+    uint64_t revBuilds = 0;
+    /** A* searches guided by an exact reverse-distance heuristic. */
+    uint64_t revHits = 0;
+    /** Candidate scans skipped: the exact state was probed before. */
+    uint64_t probeMemoHits = 0;
+    /** Candidate scans run and memoized. */
+    uint64_t probeMemoMisses = 0;
+    /** Annealing iterations, summed over chains. */
+    uint64_t iterations = 0;
+    /** Chains executed (0 when run() was never called). */
+    uint64_t chainsRun = 0;
+
+    void merge(const SchedStats &o);
+};
 
 /** Scheduler knobs. */
 struct SchedOptions
@@ -81,6 +137,38 @@ struct SchedOptions
     bool checkIncremental = false;
     /// @}
 
+    /// @name Routing fast path & parallel annealing chains
+    /// @{
+    /**
+     * Route with landmark-guided A* + the exact route cache instead
+     * of plain Dijkstra. Produced schedules are bit-identical either
+     * way (test-enforced); off exists to exercise the fallback and to
+     * isolate the fast path when benchmarking.
+     */
+    bool routeFastPath = routeFastPathDefault();
+    /**
+     * Debug oracle: re-run plain Dijkstra for every route the fast
+     * path produces (cache hit or A*) and assert exact equality.
+     */
+    bool checkRoutes = false;
+    /**
+     * Independently-seeded annealing chains; the best legal result
+     * wins by fixed-order reduction, so the outcome is deterministic
+     * for any thread count and chains=1 is bit-identical to the
+     * single-chain scheduler. Chains run on `chainPool` when set
+     * (one task per chain), serially otherwise.
+     */
+    int chains = 1;
+    dsa::ThreadPool *chainPool = nullptr;
+    /**
+     * Pre-shared landmark table (must match this ADG + cost knobs).
+     * Null = look up / compute via the process-wide landmark cache at
+     * construction. Chains pass theirs down so K chains don't pay K
+     * fingerprint lookups.
+     */
+    std::shared_ptr<const LandmarkTable> landmarks;
+    /// @}
+
     /**
      * Cooperative wall-clock watchdog (default: unlimited). Checked
      * between annealing iterations and between greedy-fill placements;
@@ -122,6 +210,17 @@ class SpatialScheduler
      */
     const Status &lastRunStatus() const { return lastStatus_; }
 
+    /** Counters accumulated since construction (all chains merged). */
+    const SchedStats &stats() const { return stats_; }
+
+    /** Search-heap entry (public so the heap comparator can be free). */
+    struct HeapEntry
+    {
+        double f = 0; ///< pop key (== g for plain Dijkstra)
+        double g = 0;
+        adg::NodeId n = adg::kInvalidNode;
+    };
+
   private:
     /** One placement decision: a DFG vertex or a memory stream. */
     struct Slot
@@ -152,6 +251,10 @@ class SpatialScheduler
 
     void buildSlots();
     void buildStaticTables();
+    /** The single-chain annealer (the historical run() body). */
+    Schedule runSingle(const Schedule *initial);
+    /** K independently-seeded chains merged by fixed-order reduction. */
+    Schedule runChains(const Schedule *initial);
     std::vector<adg::NodeId> candidatesFor(const Slot &slot,
                                            const Schedule &s) const;
 
@@ -162,6 +265,15 @@ class SpatialScheduler
 
     /** Greedily place every unplaced slot (best candidate by cost). */
     void fillUnplaced(Schedule &s);
+    /**
+     * Content hash of everything a candidate scan for slot @p slotIdx
+     * can read: every region's placements and routes plus the special
+     * routes. Both scan modes (probe deltas and full re-evaluation)
+     * are pure functions of that state, so an equal key means the
+     * scan would pick the same winner again — the basis of the
+     * probe-scan memo in fillUnplaced.
+     */
+    uint64_t placementHash(const Schedule &s, size_t slotIdx) const;
     /** Slots implicated in overuse/violations (targeted rip-up). */
     std::vector<int> hotSlots(const Schedule &s) const;
     /** Route forwards/recurrences whose endpoints are both mapped. */
@@ -176,8 +288,108 @@ class SpatialScheduler
     void setForwardRoute(Schedule &s, int fi, Route route) const;
     /// @}
 
+    /// @name Routing (dispatcher + the two search implementations)
+    /// @{
+    /**
+     * Route one value: reference-mode tracker rebuild, then either
+     * the fast path (route cache -> landmark A*) or plain Dijkstra.
+     * Both produce the same canonical route for the same usage state.
+     */
     Route dijkstra(const Schedule &s, adg::NodeId from, adg::NodeId to,
                    bool dynFlow, const ValueKey &value, int group) const;
+    Route searchDijkstra(adg::NodeId from, adg::NodeId to, bool dynFlow,
+                         const ValueKey &value, int group) const;
+    /**
+     * @p exactH, when non-null, is a nodeIdBound-sized exact
+     * cost-to-target table (from a reverse Dijkstra) used as the
+     * heuristic instead of the landmark bounds. Any admissible
+     * heuristic yields the same canonical route (see the equivalence
+     * argument at the definition), and an exact one is the strongest
+     * admissible choice: expansion narrows to optimal-path nodes.
+     */
+    Route searchAstar(adg::NodeId from, adg::NodeId to, bool dynFlow,
+                      const ValueKey &value, int group,
+                      const double *exactH = nullptr) const;
+    /** Backtrack via_[] from @p to into a Route (exact-sized). */
+    Route backtrack(adg::NodeId from, adg::NodeId to) const;
+
+    /**
+     * Shared-source SSSP trees: the greedy candidate scan routes the
+     * same (source, value) to dozens of probe targets under one usage
+     * state, so the second such query invests in one untargeted
+     * Dijkstra whose via tree then answers every further target by
+     * backtracking alone. Exact: a targeted run's canonical via chain
+     * is a prefix of the full tree's (all achievers pop before the
+     * target pops, and the PE-target pass-cost waiver is a constant
+     * shift over all edges into the target, so every accept/reject
+     * and tie decision matches; see buildSsspTree).
+     */
+    struct SsspKey
+    {
+        adg::NodeId from = adg::kInvalidNode;
+        ValueKey value{-1, -1};
+        int group = 0;
+        bool dynFlow = false;
+
+        bool operator==(const SsspKey &) const = default;
+    };
+    struct SsspKeyHash
+    {
+        size_t operator()(const SsspKey &k) const;
+    };
+    struct SsspEntry
+    {
+        SsspKey key;
+        uint64_t stateHash = 0;
+        /** Slot holds a live marker/tree for (key, stateHash). */
+        bool seen = false;
+        /** dist/via hold a full tree for (key, stateHash). */
+        bool full = false;
+        std::vector<double> dist;
+        std::vector<adg::EdgeId> via;
+    };
+    /**
+     * Direct-mapped slot count (power of two). Misses are the common
+     * case on cold/stale states, so the layer must cost O(1) with no
+     * allocation there: a colliding key just evicts the slot, and a
+     * rebuilt tree reuses the slot's vector capacity.
+     */
+    static constexpr size_t kSsspSlots = 128;
+    /** Probe-memo wholesale-clear backstop (entries are tiny). */
+    static constexpr size_t kMaxProbeMemo = 1u << 17;
+    void buildSsspTree(adg::NodeId from, bool dynFlow,
+                       const ValueKey &value, int group,
+                       SsspEntry *entry) const;
+    /** Backtrack @p entry's via tree; empty when @p to unreachable. */
+    Route backtrackTree(const SsspEntry &entry, adg::NodeId from,
+                        adg::NodeId to) const;
+
+    /**
+     * Target-rooted mirror of the SSSP layer: the candidate scan also
+     * routes many (source, value) pairs *into* one consumer node under
+     * one usage state (a different probe source per candidate). A via
+     * tree can't be shared from the target side — the canonical
+     * tie-break needs source-side g values — but exact costs can: the
+     * second same-target query invests in one reverse Dijkstra, and
+     * every further query runs searchAstar with the resulting exact
+     * cost-to-target heuristic, which expands only optimal-path nodes
+     * yet returns the identical canonical route.
+     */
+    struct RevEntry
+    {
+        /** Slot key; `.from` holds the *target* node. */
+        SsspKey key;
+        uint64_t stateHash = 0;
+        bool seen = false;
+        bool full = false;
+        /** Exact cost node -> target under the usage state. */
+        std::vector<double> dist;
+    };
+    static constexpr size_t kRevSlots = 64;
+    void buildReverseDist(adg::NodeId to, bool dynFlow,
+                          const ValueKey &value, int group,
+                          RevEntry *entry) const;
+    /// @}
 
     /** Route one value dependence; empty on failure. */
     Route routeValue(const Schedule &s, int region, dfg::VertexId producer,
@@ -230,6 +442,8 @@ class SpatialScheduler
     std::vector<Slot> slots_;
     /** Concurrency class per region (stream-engine sharing). */
     std::vector<int> regionClass_;
+    /** Memoized per-region topological order (the DFG is immutable). */
+    std::vector<std::vector<dfg::VertexId>> topo_;
 
     /** Distinct config groups, ascending (hoisted from evaluate()). */
     std::vector<int> configGroups_;
@@ -246,6 +460,36 @@ class SpatialScheduler
     std::vector<char> peShared_;
     std::vector<int> syncCap_;
     std::vector<int> memCap_;
+    /** Per-node routing flags (kPassDyn/kPassStatic/kIsPe below). */
+    std::vector<uint8_t> nodeFlags_;
+    /** Flat edge endpoints (dead edges keep kInvalidNode). */
+    std::vector<adg::NodeId> edgeSrc_;
+    std::vector<adg::NodeId> edgeDst_;
+    /// @}
+
+    static constexpr uint8_t kPassDyn = 1;    ///< intermediate, dyn flow
+    static constexpr uint8_t kPassStatic = 2; ///< intermediate, static flow
+    static constexpr uint8_t kIsPe = 4;
+    static constexpr uint8_t kPeDyn = 8;      ///< dynamic-scheduled PE
+    static constexpr uint8_t kPeStatic = 16;  ///< static-scheduled PE
+    static constexpr uint8_t kAlive = 32;     ///< any alive node
+
+    /// @name Routing fast path
+    /// @{
+    std::shared_ptr<const LandmarkTable> landmarks_;
+    mutable RouteCache routeCache_;
+    mutable std::vector<SsspEntry> sssp_;
+    mutable std::vector<RevEntry> rev_;
+    /**
+     * Probe-scan memo: placementHash -> the candidate the scan chose
+     * (kept for the scheduler's lifetime; the annealer's rip-up /
+     * refill loop revisits the same states constantly once the
+     * schedule is near-converged). Mode-independent by construction
+     * (see placementHash), so the incremental/reference and
+     * fast-path on/off equivalences are preserved.
+     */
+    mutable std::unordered_map<uint64_t, adg::NodeId> probeMemo_;
+    mutable SchedStats stats_;
     /// @}
 
     /** Incrementally-maintained usage/occupancy state. */
@@ -262,9 +506,20 @@ class SpatialScheduler
     mutable std::vector<adg::EdgeId> via_;
     mutable std::vector<uint32_t> nodeStamp_;
     mutable uint32_t dijkstraEpoch_ = 0;
+    /** Hoisted search heap (std::push_heap/pop_heap over this). */
+    mutable std::vector<HeapEntry> heap_;
+    /** A* per-node heuristic value, valid under nodeStamp_. */
+    mutable std::vector<double> hVal_;
+    /** A* tie-break key: g of the predecessor that set via_[n]. */
+    mutable std::vector<double> predG_;
     mutable std::vector<int> shortfallScratch_;
     mutable std::vector<int> arrivalScratch_;
+    /** computeRegionTiming's touched-node list (consumed per call). */
+    mutable std::vector<adg::NodeId> timingTouched_;
     mutable std::vector<int> vertexTimeScratch_;
+    /** place()'s snapshot-route staging buffer (consumed per call). */
+    mutable std::vector<std::pair<std::pair<dfg::VertexId, int>, Route>>
+        placeScratch_;
     mutable std::vector<int> shortfallAdj_;
     mutable std::vector<uint32_t> adjStamp_;
     mutable uint32_t adjEpoch_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.h"
+#include "base/rng.h"
 
 namespace dsa::mapper {
 
@@ -32,6 +33,7 @@ UsageTracker::init(const dfg::DecoupledProgram &prog, const adg::Adg &adg,
     size_t cn = static_cast<size_t>(numClasses_) *
                 static_cast<size_t>(nodeBound_);
     edgeVals_.assign(ge, {});
+    edgeDistinct_.assign(ge, 0);
     peInst_.assign(gn, 0);
     pePass_.assign(gn, {});
     syncLanes_.assign(gn, 0);
@@ -48,6 +50,32 @@ UsageTracker::init(const dfg::DecoupledProgram &prog, const adg::Adg &adg,
     peTouchStamp_.assign(gn, 0);
     journaling_ = false;
     probeEpoch_ = 0;
+
+    // Route-state hash + carry counts. Every ValueKey names a vertex
+    // of its own region's DFG (stream recurrences and cross-region
+    // forwards use the source *port* vertex), so a per-region prefix
+    // offset gives a dense (group, value) index.
+    vertOff_.assign(prog.regions.size(), 0);
+    vertTotal_ = 0;
+    for (size_t r = 0; r < prog.regions.size(); ++r) {
+        vertOff_[r] = vertTotal_;
+        vertTotal_ += prog.regions[r].dfg.numVertices();
+    }
+    groupHash_.assign(static_cast<size_t>(numGroups_), 0);
+    carry_.assign(static_cast<size_t>(numGroups_) *
+                      static_cast<size_t>(vertTotal_),
+                  0);
+    edgeWords_ = (static_cast<size_t>(edgeBound_) + 63) / 64;
+    valEdgeBits_.assign(carry_.size() * edgeWords_, 0);
+}
+
+uint64_t
+UsageTracker::edgeValMix(EdgeId e, const ValueKey &val)
+{
+    uint64_t h = splitmix64(static_cast<uint64_t>(e) + 0x9e3779b97f4a7c15ull);
+    h = splitmix64(h ^ (static_cast<uint64_t>(val.first) +
+                        0xc2b2ae3d27d4eb4full));
+    return splitmix64(h ^ static_cast<uint64_t>(val.second));
 }
 
 template <typename Id>
@@ -121,6 +149,12 @@ UsageTracker::addValue(int group, EdgeId e, const ValueKey &val)
         }
     }
     vals.push_back({val, 1});
+    ++edgeDistinct_[f];
+    groupHash_[group] ^= edgeValMix(e, val);
+    ++carry_[flatV(group, val)];
+    valEdgeBits_[flatV(group, val) * edgeWords_ +
+                 (static_cast<size_t>(e) >> 6)] |=
+        uint64_t(1) << (static_cast<size_t>(e) & 63);
     if (vals.size() == 1)
         activate(activeEdges_, activeEdgePos_, f, group, e);
 }
@@ -137,6 +171,12 @@ UsageTracker::removeValue(int group, EdgeId e, const ValueKey &val)
         if (--vals[i].count == 0) {
             vals[i] = vals.back();
             vals.pop_back();
+            --edgeDistinct_[f];
+            groupHash_[group] ^= edgeValMix(e, val);
+            --carry_[flatV(group, val)];
+            valEdgeBits_[flatV(group, val) * edgeWords_ +
+                         (static_cast<size_t>(e) >> 6)] &=
+                ~(uint64_t(1) << (static_cast<size_t>(e) & 63));
             if (vals.empty())
                 deactivate(activeEdges_, activeEdgePos_, f);
         }
@@ -180,16 +220,6 @@ UsageTracker::removePass(int group, NodeId n, const ValueKey &val)
         return;
     }
     DSA_PANIC("UsageTracker: removing pass-through absent from node ", n);
-}
-
-bool
-UsageTracker::valueOnEdge(int group, EdgeId e, const ValueKey &val) const
-{
-    const auto &vals = edgeVals_[flatE(group, e)];
-    for (const auto &vc : vals)
-        if (vc.val == val)
-            return true;
-    return false;
 }
 
 void
@@ -276,9 +306,22 @@ UsageTracker::rebuild(const Schedule &s)
     while (!activeEdges_.empty()) {
         auto [g, e] = activeEdges_.back();
         size_t f = flatE(g, e);
+        // The drain bypasses removeValue(), so clear each populated
+        // value's edge bit here (cheaper than a wholesale fill of the
+        // bitset, which reference mode would pay on every rebuild).
+        for (const auto &vc : edgeVals_[f])
+            valEdgeBits_[flatV(g, vc.val) * edgeWords_ +
+                         (static_cast<size_t>(e) >> 6)] &=
+                ~(uint64_t(1) << (static_cast<size_t>(e) & 63));
         edgeVals_[f].clear();
+        edgeDistinct_[f] = 0;
         deactivate(activeEdges_, activeEdgePos_, f);
     }
+    // The drain above bypasses removeValue(), so reset the hash/carry
+    // state wholesale; the addRoute replay below rebuilds both to the
+    // same values incremental maintenance would have produced.
+    std::fill(groupHash_.begin(), groupHash_.end(), 0);
+    std::fill(carry_.begin(), carry_.end(), 0);
     while (!activePes_.empty()) {
         auto [g, n] = activePes_.back();
         size_t f = flatN(g, n);
@@ -415,6 +458,15 @@ UsageTracker::equals(const UsageTracker &other, std::string *why) const
         if (memCnt_[f] != other.memCnt_[f])
             return fail("memory stream-count mismatch at flat " +
                         std::to_string(f));
+    // Derived state: semantically equal trackers must agree on the
+    // route-state hashes and carry counts, or the incremental
+    // maintenance (and with it the route cache's epoch) has drifted.
+    if (groupHash_ != other.groupHash_)
+        return fail("route-state hash mismatch");
+    if (carry_ != other.carry_)
+        return fail("value carry-count mismatch");
+    if (valEdgeBits_ != other.valEdgeBits_)
+        return fail("value-on-edge bitset mismatch");
     return true;
 }
 

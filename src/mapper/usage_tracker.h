@@ -29,6 +29,7 @@
 #ifndef DSA_MAPPER_USAGE_TRACKER_H
 #define DSA_MAPPER_USAGE_TRACKER_H
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -110,9 +111,20 @@ class UsageTracker
 
     int distinctOnEdge(int group, adg::EdgeId e) const
     {
-        return static_cast<int>(edgeVals_[flatE(group, e)].size());
+        // Reads the dense mirror, not edgeVals_: the route searches
+        // call this for every relaxed edge, and one contiguous
+        // uint16 load beats chasing a scattered vector header.
+        return edgeDistinct_[flatE(group, e)];
     }
-    bool valueOnEdge(int group, adg::EdgeId e, const ValueKey &val) const;
+    bool valueOnEdge(int group, adg::EdgeId e, const ValueKey &val) const
+    {
+        // Bit test on the per-(group, value) edge bitset: the route
+        // searches ask this for every congested edge they relax, so it
+        // must not scan the edge's value list.
+        size_t w = flatV(group, val) * edgeWords_ +
+                   (static_cast<size_t>(e) >> 6);
+        return (valEdgeBits_[w] >> (static_cast<size_t>(e) & 63)) & 1;
+    }
 
     int peInstCount(int group, adg::NodeId n) const
     {
@@ -129,6 +141,31 @@ class UsageTracker
     int memStreamCount(int cls, adg::NodeId n) const
     {
         return memCnt_[flatC(cls, n)];
+    }
+
+    /**
+     * Incremental content hash over one group's edge-usage state: the
+     * XOR of a per-(edge, value) mix for every distinct value present
+     * on every edge of the group. Because XOR is self-inverse, the
+     * hash returns to its previous value whenever the state does —
+     * e.g. across a probe's place/unplace round trip — so it acts as
+     * the route cache's congestion epoch: the routing cost function
+     * reads only distinct-value sets (`distinctOnEdge`/`valueOnEdge`),
+     * which this hash pins exactly (refcounts above 1 don't change
+     * costs and are deliberately excluded). Cached routes are reused
+     * iff the hash matches, exact up to 64-bit collision (policed by
+     * `SchedOptions::checkRoutes`).
+     */
+    uint64_t routeStateHash(int group) const { return groupHash_[group]; }
+
+    /**
+     * Number of distinct edges in @p group currently carrying @p val.
+     * Bounds the total reuse discount a route for @p val can collect;
+     * the A* heuristic subtracts it to stay admissible.
+     */
+    int edgesCarrying(int group, const ValueKey &val) const
+    {
+        return carry_[flatV(group, val)];
     }
 
     /** (group, edge) pairs with at least one routed value. */
@@ -192,6 +229,13 @@ class UsageTracker
         return static_cast<size_t>(cls) * static_cast<size_t>(nodeBound_) +
                static_cast<size_t>(n);
     }
+    size_t flatV(int group, const ValueKey &val) const
+    {
+        return static_cast<size_t>(group) * static_cast<size_t>(vertTotal_) +
+               static_cast<size_t>(vertOff_[val.first]) +
+               static_cast<size_t>(val.second);
+    }
+    static uint64_t edgeValMix(adg::EdgeId e, const ValueKey &val);
 
     void addValue(int group, adg::EdgeId e, const ValueKey &val);
     void removeValue(int group, adg::EdgeId e, const ValueKey &val);
@@ -219,6 +263,22 @@ class UsageTracker
 
     // Flat per-(group, id) state.
     std::vector<std::vector<ValCount>> edgeVals_;
+    /** Dense mirror of edgeVals_[f].size() (hot in route searches). */
+    std::vector<uint16_t> edgeDistinct_;
+    /** Per-group route-state hash (see routeStateHash()). */
+    std::vector<uint64_t> groupHash_;
+    /** Distinct-edge carry counts per (group, value); see flatV(). */
+    std::vector<int> carry_;
+    /**
+     * Per-(group, value) bitset over edges: bit e set iff @p val is
+     * among edge e's distinct values. Maintained at the same 0<->1
+     * transitions as carry_, so it is exact by construction.
+     */
+    std::vector<uint64_t> valEdgeBits_;
+    size_t edgeWords_ = 0;
+    /** Per-region offsets into the flat (group, value) space. */
+    std::vector<int> vertOff_;
+    int vertTotal_ = 0;
     std::vector<int> peInst_;
     std::vector<std::vector<ValCount>> pePass_;
     std::vector<int> syncLanes_;

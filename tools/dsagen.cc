@@ -39,6 +39,7 @@
 #include "hwgen/bitstream.h"
 #include "hwgen/config_path.h"
 #include "hwgen/verilog.h"
+#include "mapper/landmarks.h"
 #include "mapper/scheduler.h"
 #include "model/host_model.h"
 #include "model/perf_model.h"
@@ -283,7 +284,8 @@ cmdRun(const std::string &workload, const std::string &target, int unroll,
 }
 
 int
-finishDse(const dse::DseResult &res, const std::string &savePath)
+finishDse(const dse::DseResult &res, const std::string &savePath,
+          bool schedStats = false)
 {
     std::printf("objective %.3f -> %.3f (%.1fx), area %.3f -> %.3f "
                 "mm^2, power %.1f -> %.1f mW\n",
@@ -353,6 +355,37 @@ finishDse(const dse::DseResult &res, const std::string &savePath)
                         static_cast<unsigned long long>(ws.degraded));
         std::printf("\n");
     }
+    if (schedStats) {
+        const mapper::SchedStats &ss = res.schedStats;
+        std::printf("scheduler: %llu iterations over %llu chains, "
+                    "%llu route calls\n",
+                    static_cast<unsigned long long>(ss.iterations),
+                    static_cast<unsigned long long>(ss.chainsRun),
+                    static_cast<unsigned long long>(ss.routeCalls));
+        std::printf("  route cache: %llu hits / %llu misses / %llu "
+                    "stale; %llu A* + %llu dijkstra searches, %llu "
+                    "nodes expanded\n",
+                    static_cast<unsigned long long>(ss.cacheHits),
+                    static_cast<unsigned long long>(ss.cacheMisses),
+                    static_cast<unsigned long long>(ss.cacheStale),
+                    static_cast<unsigned long long>(ss.astarSearches),
+                    static_cast<unsigned long long>(ss.dijkstraSearches),
+                    static_cast<unsigned long long>(ss.nodesExpanded));
+        std::printf("  shared trees: %llu sssp builds / %llu hits, "
+                    "%llu reverse builds / %llu hits; probe memo "
+                    "%llu/%llu hits\n",
+                    static_cast<unsigned long long>(ss.ssspBuilds),
+                    static_cast<unsigned long long>(ss.ssspHits),
+                    static_cast<unsigned long long>(ss.revBuilds),
+                    static_cast<unsigned long long>(ss.revHits),
+                    static_cast<unsigned long long>(ss.probeMemoHits),
+                    static_cast<unsigned long long>(ss.probeMemoHits +
+                                                    ss.probeMemoMisses));
+        mapper::LandmarkCacheStats lc = mapper::landmarkCacheStats();
+        std::printf("  landmark cache: %llu hits / %llu misses\n",
+                    static_cast<unsigned long long>(lc.hits),
+                    static_cast<unsigned long long>(lc.misses));
+    }
     if (!res.front.empty()) {
         std::printf("pareto front (%zu points, hypervolume %.3f):\n",
                     res.front.size(), res.frontHypervolume);
@@ -411,6 +444,7 @@ cmdDse(int argc, char **argv)
     // for (the caches never change results, so overriding is safe).
     int evalCacheArg = -1, compileCacheArg = -1, costMemoArg = -1,
         dedupArg = -1, checkOracleArg = -1;
+    bool schedStatsArg = false;
     for (int i = 0; i < argc; ++i) {
         std::string a = argv[i];
         auto intArg = [&](const char *what) -> int64_t {
@@ -435,6 +469,13 @@ cmdDse(int argc, char **argv)
             flags.candidateTimeMs = intArg(a.c_str());
         } else if (a == "--threads") {
             threadsArg = static_cast<int>(intArg(a.c_str()));
+        } else if (a == "--sched-chains") {
+            // Search-shaping: changes which schedule wins, so fresh
+            // runs only (a resumed run keeps the checkpoint's value).
+            flags.schedChains =
+                std::max<int>(1, static_cast<int>(intArg(a.c_str())));
+        } else if (a == "--sched-stats") {
+            schedStatsArg = true;
         } else if (a == "--workers") {
             workersArg =
                 std::max<int>(0, static_cast<int>(intArg(a.c_str())));
@@ -528,7 +569,7 @@ cmdDse(int argc, char **argv)
                     ck.options.maxIters, ck.options.threads);
         dse::Explorer ex(set, ck.options);
         auto res = ex.resume(std::move(ck.state));
-        return finishDse(res, resumePath + ".best.adg");
+        return finishDse(res, resumePath + ".best.adg", schedStatsArg);
     }
 
     if (pos.empty()) {
@@ -569,7 +610,7 @@ cmdDse(int argc, char **argv)
                     opts.checkpointPath.c_str(), opts.checkpointEvery);
     dse::Explorer ex(set, opts);
     auto res = ex.run(adg::buildDseInitial());
-    return finishDse(res, "dsagen_" + suite + ".adg");
+    return finishDse(res, "dsagen_" + suite + ".adg", schedStatsArg);
 }
 
 int
@@ -637,6 +678,13 @@ usage()
         "                               never fatal)\n"
         "      --wall-budget-ms <ms>    whole-run wall-clock cap\n"
         "      --candidate-time-ms <ms> per-candidate evaluation cap\n"
+        "      --sched-chains <k>       annealing chains per scheduling\n"
+        "                               run (best legal schedule wins;\n"
+        "                               deterministic for any thread\n"
+        "                               count, 1 = single-chain legacy)\n"
+        "      --sched-stats            print scheduler/routing counters\n"
+        "                               (route cache, A*, shared trees,\n"
+        "                               landmark cache) after the run\n"
         "      --validate-sim           batch-simulate the best design\n"
         "                               dense/sparse/compiled/jit and\n"
         "                               cross-check the four bit-exactly\n"
